@@ -1,0 +1,128 @@
+//! Bounded simulation event log.
+//!
+//! The machine records noteworthy events (exceptions, interrupt deliveries,
+//! device activity) into a ring buffer that tests and examples read to
+//! assert *sequences* of behaviour — e.g. that a hardware-task hypercall is
+//! followed by a PCAP transfer and later by a completion IRQ injected into
+//! the right VM.
+
+use mnv_hal::{Cycles, IrqNum, VirtAddr};
+use std::collections::VecDeque;
+
+/// One logged simulator event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimEvent {
+    /// An exception was taken (kind name, faulting/return PC).
+    Exception { kind: &'static str, pc: VirtAddr },
+    /// An exception return to `pc`.
+    ExceptionReturn { pc: VirtAddr },
+    /// The GIC delivered an interrupt to the core.
+    IrqDelivered(IrqNum),
+    /// A device raised an interrupt line.
+    IrqRaised(IrqNum),
+    /// MMIO write (address window name, offset, value) — coarse, for tests.
+    MmioWrite { dev: &'static str, off: u64, val: u32 },
+    /// A custom marker emitted by software models.
+    Marker(&'static str),
+}
+
+/// Timestamped ring-buffer of [`SimEvent`]s.
+pub struct EventLog {
+    buf: VecDeque<(Cycles, SimEvent)>,
+    cap: usize,
+    /// Total events ever pushed (including evicted ones).
+    pub total: u64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl EventLog {
+    /// A log retaining the most recent `cap` events.
+    pub fn new(cap: usize) -> Self {
+        EventLog {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            total: 0,
+        }
+    }
+
+    /// Append an event at time `now`.
+    pub fn push(&mut self, now: Cycles, ev: SimEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back((now, ev));
+        self.total += 1;
+    }
+
+    /// Iterate events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &(Cycles, SimEvent)> {
+        self.buf.iter()
+    }
+
+    /// Find the first event (oldest-first) matching a predicate.
+    pub fn find(&self, mut pred: impl FnMut(&SimEvent) -> bool) -> Option<&(Cycles, SimEvent)> {
+        self.buf.iter().find(|(_, e)| pred(e))
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, mut pred: impl FnMut(&SimEvent) -> bool) -> usize {
+        self.buf.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Drop all retained events (totals are kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut log = EventLog::new(8);
+        log.push(Cycles::new(1), SimEvent::Marker("a"));
+        log.push(Cycles::new(2), SimEvent::IrqRaised(IrqNum(61)));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.count(|e| matches!(e, SimEvent::IrqRaised(_))), 1);
+        let (t, _) = log.find(|e| matches!(e, SimEvent::IrqRaised(_))).unwrap();
+        assert_eq!(*t, Cycles::new(2));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = EventLog::new(2);
+        log.push(Cycles::new(1), SimEvent::Marker("one"));
+        log.push(Cycles::new(2), SimEvent::Marker("two"));
+        log.push(Cycles::new(3), SimEvent::Marker("three"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total, 3);
+        assert!(log.find(|e| *e == SimEvent::Marker("one")).is_none());
+        assert!(log.find(|e| *e == SimEvent::Marker("three")).is_some());
+    }
+
+    #[test]
+    fn clear_retains_total() {
+        let mut log = EventLog::new(4);
+        log.push(Cycles::ZERO, SimEvent::Marker("x"));
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.total, 1);
+    }
+}

@@ -1,0 +1,1059 @@
+//! The simulated Zynq-7000 processing system: CPU + MMU + caches + TLB +
+//! GIC + timers + peripherals on one clock, plus the MIR interpreter.
+//!
+//! The machine is the *only* way software models touch hardware state, and
+//! every access advances the global cycle clock through the cache/TLB
+//! models — which is what makes the Table III reproduction meaningful: the
+//! kernel's entry paths get slower with more VMs because their cache lines
+//! really do get evicted by the other guests' traffic.
+
+use mnv_hal::{Cycles, HalResult, PhysAddr, VirtAddr};
+
+use crate::bus::{PeriphCtx, Peripheral};
+use crate::cache::{CacheHierarchy, MemAccessKind};
+use crate::cp15::{Cp15, Cp15Reg};
+use crate::cpu::{Cpu, CpuEvent, ExceptionKind};
+use crate::event::{EventLog, SimEvent};
+use crate::gic::Gic;
+use crate::memory::PhysMemory;
+use crate::mir::{AluOp, Cond, Instr, MirCp15, Program, INSTR_SIZE};
+use crate::mmu::{AccessKind, Fault, Mmu};
+use crate::psr::Psr;
+use crate::timer::{GlobalTimer, PrivateTimer};
+use crate::timing;
+use crate::tlb::Tlb;
+use crate::vfp::Vfp;
+
+/// MMIO window of the GIC (distributor + CPU interface).
+pub const GIC_BASE: u64 = 0xF8F0_1000;
+/// Size of the GIC window.
+pub const GIC_SIZE: u64 = 0x3000;
+/// MMIO window of the MPCore private timer.
+pub const PTIMER_BASE: u64 = 0xF8F0_0600;
+/// Size of the private-timer window.
+pub const PTIMER_SIZE: u64 = 0x20;
+
+/// Why an undefined-instruction exception was raised — the kernel's
+/// trap-and-emulate logic dispatches on this.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UndCause {
+    /// Address of the trapping instruction.
+    pub pc: VirtAddr,
+    /// Classification.
+    pub kind: UndKind,
+}
+
+/// Classification of undefined-instruction causes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UndKind {
+    /// PL0 attempted to read a privileged CP15 register into `rd`.
+    Cp15Read {
+        /// Target register of the read.
+        rd: u8,
+        /// The CP15 register addressed.
+        reg: MirCp15,
+    },
+    /// PL0 attempted to write a CP15 register with `value`.
+    Cp15Write {
+        /// The CP15 register addressed.
+        reg: MirCp15,
+        /// The value the guest tried to write.
+        value: u32,
+    },
+    /// A VFP instruction executed while the VFP was disabled (lazy switch).
+    VfpAccess,
+    /// The fetched bytes did not decode to any MIR instruction.
+    InvalidInstr,
+    /// A privileged CPSR write attempted an illegal mode value.
+    MsrBadMode,
+}
+
+/// Machine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Main-TLB capacity (128 on the A9).
+    pub tlb_entries: usize,
+    /// Event-log retention.
+    pub log_capacity: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            tlb_entries: 128,
+            log_capacity: 4096,
+        }
+    }
+}
+
+/// The composed machine.
+pub struct Machine {
+    /// Physical RAM.
+    pub mem: PhysMemory,
+    /// Cache hierarchy (timing).
+    pub caches: CacheHierarchy,
+    /// Main TLB.
+    pub tlb: Tlb,
+    /// Table walker.
+    pub mmu: Mmu,
+    /// System coprocessor registers.
+    pub cp15: Cp15,
+    /// Core registers, modes, exception machinery.
+    pub cpu: Cpu,
+    /// VFP bank.
+    pub vfp: Vfp,
+    /// Interrupt controller.
+    pub gic: Gic,
+    /// Private (tick) timer.
+    pub ptimer: PrivateTimer,
+    /// Global free-running counter.
+    pub gtimer: GlobalTimer,
+    /// Event log.
+    pub log: EventLog,
+    /// Cause of the most recent undefined-instruction exception.
+    pub last_und: Option<UndCause>,
+    /// Immediate of the most recent SVC.
+    pub last_svc: Option<u8>,
+    /// Most recent translation fault (also encoded into DFSR/IFSR).
+    pub last_fault: Option<Fault>,
+    /// Retired MIR instruction count.
+    pub instructions_retired: u64,
+    clock: Cycles,
+    last_sync: Cycles,
+    periphs: Vec<Box<dyn Peripheral>>,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new(MachineConfig::default())
+    }
+}
+
+impl Machine {
+    /// Build a machine with the given configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine {
+            mem: PhysMemory::new(),
+            caches: CacheHierarchy::new(),
+            tlb: Tlb::new(cfg.tlb_entries),
+            mmu: Mmu,
+            cp15: Cp15::reset(),
+            cpu: Cpu::new(),
+            vfp: Vfp::new(),
+            gic: Gic::new(),
+            ptimer: PrivateTimer::new(),
+            gtimer: GlobalTimer::default(),
+            log: EventLog::new(cfg.log_capacity),
+            last_und: None,
+            last_svc: None,
+            last_fault: None,
+            instructions_retired: 0,
+            clock: Cycles::ZERO,
+            last_sync: Cycles::ZERO,
+            periphs: Vec::new(),
+        }
+    }
+
+    // -- clock --------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.clock
+    }
+
+    /// Advance the clock by `n` cycles (does not tick devices; see
+    /// [`Machine::sync_devices`]).
+    #[inline]
+    pub fn charge(&mut self, n: u64) {
+        self.clock += Cycles::new(n);
+    }
+
+    /// Bring timers and peripherals up to the current clock. Called at
+    /// instruction boundaries and before interrupt checks.
+    pub fn sync_devices(&mut self) {
+        let dt = self.clock.saturating_sub(self.last_sync);
+        if dt.is_zero() {
+            return;
+        }
+        self.last_sync = self.clock;
+        self.gtimer.advance(dt);
+        let fired = self.ptimer.advance(dt);
+        for _ in 0..fired {
+            self.gic.raise(self.ptimer.irq());
+            self.log
+                .push(self.clock, SimEvent::IrqRaised(self.ptimer.irq()));
+        }
+        let Machine {
+            ref mut periphs,
+            ref mut mem,
+            ref mut gic,
+            ref mut log,
+            clock,
+            ..
+        } = *self;
+        let mut ctx = PeriphCtx {
+            mem,
+            gic,
+            now: clock,
+            log,
+        };
+        for p in periphs.iter_mut() {
+            p.advance(dt, &mut ctx);
+        }
+    }
+
+    /// Advance simulated time until the GIC asserts an interrupt or `limit`
+    /// cycles elapse; returns the cycles actually waited. This is the WFI /
+    /// idle-loop helper.
+    pub fn wait_for_irq(&mut self, limit: Cycles) -> Cycles {
+        let start = self.clock;
+        let deadline = start + limit;
+        // Step in coarse quanta; device models are cheap to advance.
+        while self.gic.highest_pending().is_none() && self.clock < deadline {
+            let step = (deadline - self.clock).raw().min(64);
+            self.charge(step);
+            self.sync_devices();
+        }
+        self.clock - start
+    }
+
+    // -- peripherals ---------------------------------------------------------
+
+    /// Attach a peripheral to the bus.
+    pub fn add_peripheral(&mut self, p: Box<dyn Peripheral>) {
+        let (base, len) = p.window();
+        // Windows must not overlap RAM or each other.
+        assert!(
+            !self.mem.is_ram(base, len as usize),
+            "peripheral window overlaps RAM"
+        );
+        for q in &self.periphs {
+            let (qb, ql) = q.window();
+            assert!(
+                base.raw() + len <= qb.raw() || qb.raw() + ql <= base.raw(),
+                "peripheral windows overlap"
+            );
+        }
+        self.periphs.push(p);
+    }
+
+    /// Typed access to an attached peripheral.
+    pub fn peripheral<T: 'static>(&self) -> Option<&T> {
+        self.periphs.iter().find_map(|p| p.as_any().downcast_ref())
+    }
+
+    /// Typed mutable access to an attached peripheral.
+    pub fn peripheral_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        self.periphs
+            .iter_mut()
+            .find_map(|p| p.as_any_mut().downcast_mut())
+    }
+
+    // -- physical access ------------------------------------------------------
+
+    fn mmio_lookup(&self, pa: PhysAddr) -> Option<usize> {
+        self.periphs.iter().position(|p| {
+            let (b, l) = p.window();
+            pa >= b && pa.raw() < b.raw() + l
+        })
+    }
+
+    /// True if `pa` is a device register (GIC, timer or peripheral window).
+    pub fn is_mmio(&self, pa: PhysAddr) -> bool {
+        let a = pa.raw();
+        (GIC_BASE..GIC_BASE + GIC_SIZE).contains(&a)
+            || (PTIMER_BASE..PTIMER_BASE + PTIMER_SIZE).contains(&a)
+            || self.mmio_lookup(pa).is_some()
+    }
+
+    /// 32-bit physical read with cycle charging (RAM via caches, devices at
+    /// AXI GP cost).
+    pub fn phys_read_u32(&mut self, pa: PhysAddr) -> HalResult<u32> {
+        let a = pa.raw();
+        if (GIC_BASE..GIC_BASE + GIC_SIZE).contains(&a) {
+            self.charge(timing::MMIO);
+            self.sync_devices();
+            return Ok(self.gic.mmio_read(a - GIC_BASE));
+        }
+        if (PTIMER_BASE..PTIMER_BASE + PTIMER_SIZE).contains(&a) {
+            self.charge(timing::MMIO);
+            self.sync_devices();
+            return Ok(self.ptimer.mmio_read(a - PTIMER_BASE));
+        }
+        if let Some(i) = self.mmio_lookup(pa) {
+            self.charge(timing::MMIO);
+            self.sync_devices();
+            let Machine {
+                ref mut periphs,
+                ref mut mem,
+                ref mut gic,
+                ref mut log,
+                clock,
+                ..
+            } = *self;
+            let (base, _) = periphs[i].window();
+            let mut ctx = PeriphCtx {
+                mem,
+                gic,
+                now: clock,
+                log,
+            };
+            return Ok(periphs[i].read32(pa - base, &mut ctx));
+        }
+        let cost = self
+            .caches
+            .access(pa, MemAccessKind::Read, self.mem.is_ocm(pa));
+        self.charge(cost);
+        self.mem.read_u32(pa)
+    }
+
+    /// 32-bit physical write with cycle charging.
+    pub fn phys_write_u32(&mut self, pa: PhysAddr, val: u32) -> HalResult<()> {
+        let a = pa.raw();
+        if (GIC_BASE..GIC_BASE + GIC_SIZE).contains(&a) {
+            self.charge(timing::MMIO);
+            self.sync_devices();
+            self.gic.mmio_write(a - GIC_BASE, val);
+            return Ok(());
+        }
+        if (PTIMER_BASE..PTIMER_BASE + PTIMER_SIZE).contains(&a) {
+            self.charge(timing::MMIO);
+            self.sync_devices();
+            self.ptimer.mmio_write(a - PTIMER_BASE, val);
+            return Ok(());
+        }
+        if let Some(i) = self.mmio_lookup(pa) {
+            self.charge(timing::MMIO);
+            self.sync_devices();
+            let Machine {
+                ref mut periphs,
+                ref mut mem,
+                ref mut gic,
+                ref mut log,
+                clock,
+                ..
+            } = *self;
+            let (base, _) = periphs[i].window();
+            let mut ctx = PeriphCtx {
+                mem,
+                gic,
+                now: clock,
+                log,
+            };
+            periphs[i].write32(pa - base, val, &mut ctx);
+            return Ok(());
+        }
+        let cost = self
+            .caches
+            .access(pa, MemAccessKind::Write, self.mem.is_ocm(pa));
+        self.charge(cost);
+        self.mem.write_u32(pa, val)
+    }
+
+    /// Charged block read (per-cache-line accounting).
+    pub fn phys_read_block(&mut self, pa: PhysAddr, out: &mut [u8]) -> HalResult<()> {
+        self.charge_block(pa, out.len(), MemAccessKind::Read);
+        self.mem.read(pa, out)
+    }
+
+    /// Charged block write.
+    pub fn phys_write_block(&mut self, pa: PhysAddr, data: &[u8]) -> HalResult<()> {
+        self.charge_block(pa, data.len(), MemAccessKind::Write);
+        self.mem.write(pa, data)
+    }
+
+    fn charge_block(&mut self, pa: PhysAddr, len: usize, kind: MemAccessKind) {
+        let line = self.caches.l1d.line_size() as u64;
+        let mut a = pa.raw() & !(line - 1);
+        let end = pa.raw() + len as u64;
+        let mut cost = 0;
+        while a < end {
+            cost += self
+                .caches
+                .access(PhysAddr::new(a), kind, self.mem.is_ocm(PhysAddr::new(a)));
+            a += line;
+        }
+        self.charge(cost);
+    }
+
+    /// Uncharged, unchecked store of bytes — boot-time loading only (the
+    /// equivalent of JTAG/SD preload, not an architectural access).
+    pub fn load_bytes(&mut self, pa: PhysAddr, data: &[u8]) -> HalResult<()> {
+        self.mem.write(pa, data)
+    }
+
+    // -- virtual access -------------------------------------------------------
+
+    fn record_fault(&mut self, fault: Fault) {
+        self.last_fault = Some(fault);
+        match fault.access {
+            AccessKind::Execute => {
+                self.cp15.write(Cp15Reg::Ifar, fault.va.raw() as u32);
+                self.cp15.write(Cp15Reg::Ifsr, fault.fsr());
+            }
+            _ => {
+                self.cp15.write(Cp15Reg::Dfar, fault.va.raw() as u32);
+                self.cp15.write(Cp15Reg::Dfsr, fault.fsr());
+            }
+        }
+    }
+
+    /// Translate only (charges walk traffic). Faults are recorded into the
+    /// fault registers as a side effect.
+    pub fn translate(
+        &mut self,
+        va: VirtAddr,
+        access: AccessKind,
+        privileged: bool,
+    ) -> Result<PhysAddr, Fault> {
+        let Machine {
+            ref mmu,
+            ref cp15,
+            ref mut tlb,
+            ref mem,
+            ref mut caches,
+            ..
+        } = *self;
+        match mmu.translate(va, access, privileged, cp15, tlb, mem, caches) {
+            Ok(r) => {
+                self.charge(r.cost);
+                Ok(r.pa)
+            }
+            Err(f) => {
+                self.record_fault(f);
+                Err(f)
+            }
+        }
+    }
+
+    /// Charged virtual 32-bit read at the given privilege.
+    pub fn virt_read_u32(&mut self, va: VirtAddr, privileged: bool) -> Result<u32, Fault> {
+        let pa = self.translate(va, AccessKind::Read, privileged)?;
+        Ok(self.phys_read_u32(pa).unwrap_or(0))
+    }
+
+    /// Charged virtual 32-bit write at the given privilege.
+    pub fn virt_write_u32(
+        &mut self,
+        va: VirtAddr,
+        val: u32,
+        privileged: bool,
+    ) -> Result<(), Fault> {
+        let pa = self.translate(va, AccessKind::Write, privileged)?;
+        let _ = self.phys_write_u32(pa, val);
+        Ok(())
+    }
+
+    // -- maintenance wrappers (what the kernel's CP15 ops do) ------------------
+
+    /// TLBIALL with its issue cost.
+    pub fn tlb_flush_all(&mut self) {
+        self.charge(timing::TLB_MAINT);
+        self.tlb.flush_all();
+    }
+
+    /// TLBIASID.
+    pub fn tlb_flush_asid(&mut self, asid: mnv_hal::Asid) {
+        self.charge(timing::TLB_MAINT);
+        self.tlb.flush_asid(asid);
+    }
+
+    /// TLBIMVA.
+    pub fn tlb_flush_mva(&mut self, va: VirtAddr, asid: mnv_hal::Asid) {
+        self.charge(timing::TLB_MAINT);
+        self.tlb.flush_mva(va, asid);
+    }
+
+    /// Full cache clean+invalidate, charged per resident line.
+    pub fn cache_flush_all(&mut self) {
+        let cost = self.caches.flush_all();
+        self.charge(cost);
+    }
+
+    // -- exceptions ------------------------------------------------------------
+
+    /// Deliver an exception: architectural entry + cycle cost + logging.
+    pub fn deliver_exception(&mut self, kind: ExceptionKind, return_pc: u32) {
+        self.charge(timing::EXC_ENTRY);
+        let pc = VirtAddr::new(self.cpu.pc as u64);
+        self.cpu
+            .take_exception(kind, return_pc, self.cp15.read(Cp15Reg::Vbar));
+        self.log.push(
+            self.clock,
+            SimEvent::Exception {
+                kind: kind.name(),
+                pc,
+            },
+        );
+    }
+
+    /// Return from the current exception to `pc`.
+    pub fn exception_return(&mut self, pc: u32) {
+        self.charge(timing::EXC_RETURN);
+        self.cpu.exception_return(pc);
+        self.log
+            .push(self.clock, SimEvent::ExceptionReturn { pc: VirtAddr::new(pc as u64) });
+    }
+
+    // -- program loading --------------------------------------------------------
+
+    /// Load an assembled MIR program at its base address *physically* (the
+    /// caller ensures the VA->PA mapping makes it reachable).
+    pub fn load_program(&mut self, prog: &Program, pa: PhysAddr) -> HalResult<()> {
+        self.load_bytes(pa, &prog.bytes)
+    }
+
+    // -- the interpreter ----------------------------------------------------------
+
+    /// Check for a deliverable IRQ; if one is pending and the CPU has IRQs
+    /// unmasked, perform exception entry and report it. The kernel then
+    /// acknowledges via the GIC.
+    pub fn poll_irq(&mut self) -> Option<CpuEvent> {
+        self.sync_devices();
+        if self.cpu.cpsr.irq_masked {
+            return None;
+        }
+        self.gic.highest_pending()?;
+        let ret = self.cpu.pc; // resume at the interrupted instruction
+        self.deliver_exception(ExceptionKind::Irq, ret);
+        Some(CpuEvent::Exception(ExceptionKind::Irq))
+    }
+
+    /// Execute one MIR instruction at the current PC. Devices are synced and
+    /// pending IRQs are taken first.
+    pub fn step(&mut self) -> CpuEvent {
+        if let Some(ev) = self.poll_irq() {
+            return ev;
+        }
+
+        let pc = self.cpu.pc;
+        let privileged = self.cpu.cpsr.mode.is_privileged();
+
+        // Fetch through the MMU + I-cache.
+        let va = VirtAddr::new(pc as u64);
+        let pa = match self.translate(va, AccessKind::Execute, privileged) {
+            Ok(pa) => pa,
+            Err(_) => {
+                self.deliver_exception(ExceptionKind::PrefetchAbort, pc);
+                return CpuEvent::Exception(ExceptionKind::PrefetchAbort);
+            }
+        };
+        let cost = self
+            .caches
+            .access(pa, MemAccessKind::Fetch, self.mem.is_ocm(pa));
+        self.charge(cost + timing::INSTR_BASE);
+        let mut bytes = [0u8; 8];
+        if self.mem.read(pa, &mut bytes).is_err() {
+            self.deliver_exception(ExceptionKind::PrefetchAbort, pc);
+            return CpuEvent::Exception(ExceptionKind::PrefetchAbort);
+        }
+
+        let instr = match Instr::decode(bytes) {
+            Some(i) => i,
+            None => {
+                self.last_und = Some(UndCause {
+                    pc: va,
+                    kind: UndKind::InvalidInstr,
+                });
+                self.deliver_exception(ExceptionKind::Undefined, pc.wrapping_add(8));
+                return CpuEvent::Exception(ExceptionKind::Undefined);
+            }
+        };
+
+        self.execute(instr, pc, privileged)
+    }
+
+    fn und(&mut self, pc: u32, kind: UndKind) -> CpuEvent {
+        self.last_und = Some(UndCause {
+            pc: VirtAddr::new(pc as u64),
+            kind,
+        });
+        self.deliver_exception(ExceptionKind::Undefined, pc.wrapping_add(8));
+        CpuEvent::Exception(ExceptionKind::Undefined)
+    }
+
+    fn execute(&mut self, instr: Instr, pc: u32, privileged: bool) -> CpuEvent {
+        let next = pc.wrapping_add(INSTR_SIZE as u32);
+        let mut new_pc = next;
+        match instr {
+            Instr::Halt => {
+                self.instructions_retired += 1;
+                return CpuEvent::Halted;
+            }
+            Instr::MovImm { rd, imm } => self.cpu.set_reg(rd, imm),
+            Instr::Alu { op, rd, rn, rm } => {
+                let a = self.cpu.reg(rn);
+                let b = self.cpu.reg(rm);
+                self.alu(op, rd, a, b);
+            }
+            Instr::AluImm { op, rd, rn, imm } => {
+                let a = self.cpu.reg(rn);
+                self.alu(op, rd, a, imm);
+            }
+            Instr::Ldr { rd, rn, imm } => {
+                let va = VirtAddr::new(self.cpu.reg(rn).wrapping_add(imm) as u64);
+                match self.virt_read_u32(va, privileged) {
+                    Ok(v) => self.cpu.set_reg(rd, v),
+                    Err(_) => {
+                        // Return address = faulting instruction (retry).
+                        self.deliver_exception(ExceptionKind::DataAbort, pc);
+                        return CpuEvent::Exception(ExceptionKind::DataAbort);
+                    }
+                }
+            }
+            Instr::Str { rs, rn, imm } => {
+                let va = VirtAddr::new(self.cpu.reg(rn).wrapping_add(imm) as u64);
+                let val = self.cpu.reg(rs);
+                if self.virt_write_u32(va, val, privileged).is_err() {
+                    self.deliver_exception(ExceptionKind::DataAbort, pc);
+                    return CpuEvent::Exception(ExceptionKind::DataAbort);
+                }
+            }
+            Instr::B { cond, target } => {
+                if self.cond_holds(cond) {
+                    new_pc = target;
+                    self.charge(timing::BRANCH_TAKEN);
+                }
+            }
+            Instr::Bl { target } => {
+                self.cpu.set_reg(14, next);
+                new_pc = target;
+                self.charge(timing::BRANCH_TAKEN);
+            }
+            Instr::Ret => {
+                new_pc = self.cpu.reg(14);
+                self.charge(timing::BRANCH_TAKEN);
+            }
+            Instr::Svc { imm } => {
+                self.instructions_retired += 1;
+                self.last_svc = Some(imm);
+                self.deliver_exception(ExceptionKind::Svc, next);
+                return CpuEvent::Exception(ExceptionKind::Svc);
+            }
+            Instr::Mrc { rd, reg } => {
+                if !privileged && !reg.pl0_readable() {
+                    return self.und(pc, UndKind::Cp15Read { rd, reg });
+                }
+                self.charge(timing::CP15_ACCESS);
+                let v = self.cp15.read(map_cp15(reg));
+                self.cpu.set_reg(rd, v);
+            }
+            Instr::Mcr { reg, rs } => {
+                let value = self.cpu.reg(rs);
+                if !privileged {
+                    return self.und(pc, UndKind::Cp15Write { reg, value });
+                }
+                self.charge(timing::CP15_ACCESS);
+                self.cp15.write(map_cp15(reg), value);
+            }
+            Instr::MrsCpsr { rd } => {
+                let v = self.cpu.cpsr.to_bits();
+                self.cpu.set_reg(rd, v);
+            }
+            Instr::MsrCpsr { rs } => {
+                let v = self.cpu.reg(rs);
+                if privileged {
+                    match Psr::from_bits(v) {
+                        Some(p) => self.cpu.cpsr = p,
+                        None => return self.und(pc, UndKind::MsrBadMode),
+                    }
+                } else {
+                    // The classic sensitive-but-non-trapping hole: only the
+                    // condition flags are updated; mode and mask bits are
+                    // silently ignored.
+                    self.cpu.cpsr.n = v & (1 << 31) != 0;
+                    self.cpu.cpsr.z = v & (1 << 30) != 0;
+                    self.cpu.cpsr.c = v & (1 << 29) != 0;
+                    self.cpu.cpsr.v = v & (1 << 28) != 0;
+                }
+            }
+            Instr::Wfi => {
+                self.cpu.pc = next;
+                self.instructions_retired += 1;
+                return CpuEvent::Wfi;
+            }
+            Instr::Compute { cycles } => {
+                self.charge(cycles as u64);
+            }
+            Instr::VfpOp { op, rd, rn, rm } => {
+                if !self.cp15.vfp_enabled() || !self.vfp.enabled {
+                    return self.und(pc, UndKind::VfpAccess);
+                }
+                self.charge(2);
+                let a = self.vfp.d[rn as usize % 32];
+                let b = self.vfp.d[rm as usize % 32];
+                self.vfp.d[rd as usize % 32] = match op {
+                    0 => a + b,
+                    1 => a * b,
+                    _ => a - b,
+                };
+            }
+        }
+        if matches!(
+            instr,
+            Instr::Alu { op: AluOp::Mul, .. } | Instr::AluImm { op: AluOp::Mul, .. }
+        ) {
+            self.charge(timing::MUL - timing::INSTR_BASE);
+        }
+        self.cpu.pc = new_pc;
+        self.instructions_retired += 1;
+        CpuEvent::Retired
+    }
+
+    fn alu(&mut self, op: AluOp, rd: u8, a: u32, b: u32) {
+        let (result, set_flags) = match op {
+            AluOp::Add => (a.wrapping_add(b), false),
+            AluOp::Sub => (a.wrapping_sub(b), true),
+            AluOp::And => (a & b, false),
+            AluOp::Orr => (a | b, false),
+            AluOp::Eor => (a ^ b, false),
+            AluOp::Mul => (a.wrapping_mul(b), false),
+            AluOp::Lsl => (a.wrapping_shl(b & 31), false),
+            AluOp::Lsr => (a.wrapping_shr(b & 31), false),
+            AluOp::Cmp => (a.wrapping_sub(b), true),
+        };
+        if set_flags {
+            self.cpu.cpsr.n = result & 0x8000_0000 != 0;
+            self.cpu.cpsr.z = result == 0;
+            self.cpu.cpsr.c = a >= b; // no borrow
+        }
+        if op != AluOp::Cmp {
+            self.cpu.set_reg(rd, result);
+        }
+    }
+
+    fn cond_holds(&self, c: Cond) -> bool {
+        let p = &self.cpu.cpsr;
+        match c {
+            Cond::Al => true,
+            Cond::Eq => p.z,
+            Cond::Ne => !p.z,
+            Cond::Lo => !p.c,
+            Cond::Hs => p.c,
+            Cond::Mi => p.n,
+            Cond::Pl => !p.n,
+        }
+    }
+
+    /// Run until a non-`Retired` event occurs or `max_instrs` retire.
+    pub fn run(&mut self, max_instrs: u64) -> CpuEvent {
+        for _ in 0..max_instrs {
+            match self.step() {
+                CpuEvent::Retired => continue,
+                ev => return ev,
+            }
+        }
+        CpuEvent::Retired
+    }
+}
+
+fn map_cp15(r: MirCp15) -> Cp15Reg {
+    match r {
+        MirCp15::Sctlr => Cp15Reg::Sctlr,
+        MirCp15::Ttbr0 => Cp15Reg::Ttbr0,
+        MirCp15::Dacr => Cp15Reg::Dacr,
+        MirCp15::Contextidr => Cp15Reg::Contextidr,
+        MirCp15::Dfar => Cp15Reg::Dfar,
+        MirCp15::Dfsr => Cp15Reg::Dfsr,
+        MirCp15::Tpidruro => Cp15Reg::Tpidruro,
+    }
+}
+
+/// Convenience: construct a machine where the MMU is off and programs can
+/// run flat — used heavily by unit tests below this layer.
+pub fn bare_machine() -> Machine {
+    Machine::default()
+}
+
+#[allow(unused_imports)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mir::ProgramBuilder;
+    use crate::psr::Mode;
+    use mnv_hal::IrqNum;
+
+    /// Assemble + load a program at 0x8000 (flat, MMU off) and point PC at it.
+    fn with_program(build: impl FnOnce(&mut ProgramBuilder)) -> Machine {
+        let mut m = bare_machine();
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        let p = b.assemble(0x8000);
+        m.load_program(&p, PhysAddr::new(0x8000)).unwrap();
+        m.cpu.pc = 0x8000;
+        m.cpu.cpsr = Psr::user();
+        m
+    }
+
+    #[test]
+    fn arithmetic_program_runs() {
+        let mut m = with_program(|b| {
+            b.mov(0, 6);
+            b.mov(1, 7);
+            b.alu(AluOp::Mul, 2, 0, 1);
+            b.halt();
+        });
+        assert_eq!(m.run(100), CpuEvent::Halted);
+        assert_eq!(m.cpu.reg(2), 42);
+        assert_eq!(m.instructions_retired, 4);
+    }
+
+    #[test]
+    fn loop_with_flags_and_branches() {
+        // Sum 1..=5 using a countdown loop.
+        let mut m = with_program(|b| {
+            b.mov(0, 5); // counter
+            b.mov(1, 0); // acc
+            let top = b.label();
+            b.bind(top);
+            b.alu(AluOp::Add, 1, 1, 0);
+            b.alu_imm(AluOp::Sub, 0, 0, 1);
+            b.alu_imm(AluOp::Cmp, 0, 0, 0);
+            b.branch(Cond::Ne, top);
+            b.halt();
+        });
+        assert_eq!(m.run(100), CpuEvent::Halted);
+        assert_eq!(m.cpu.reg(1), 15);
+    }
+
+    #[test]
+    fn loads_and_stores_flat() {
+        let mut m = with_program(|b| {
+            b.mov(0, 0x9000);
+            b.mov(1, 0xCAFE);
+            b.str(1, 0, 4);
+            b.ldr(2, 0, 4);
+            b.halt();
+        });
+        assert_eq!(m.run(100), CpuEvent::Halted);
+        assert_eq!(m.cpu.reg(2), 0xCAFE);
+        assert_eq!(m.mem.read_u32(PhysAddr::new(0x9004)).unwrap(), 0xCAFE);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut m = with_program(|b| {
+            let f = b.label();
+            b.mov(0, 1);
+            b.call(f);
+            b.halt();
+            b.bind(f);
+            b.mov(0, 99);
+            b.ret();
+        });
+        assert_eq!(m.run(100), CpuEvent::Halted);
+        assert_eq!(m.cpu.reg(0), 99);
+    }
+
+    #[test]
+    fn svc_traps_to_svc_mode() {
+        let mut m = with_program(|b| {
+            b.svc(17);
+            b.halt();
+        });
+        let ev = m.run(10);
+        assert_eq!(ev, CpuEvent::Exception(ExceptionKind::Svc));
+        assert_eq!(m.last_svc, Some(17));
+        assert_eq!(m.cpu.cpsr.mode, Mode::Svc);
+        // LR_svc points past the SVC; returning resumes at Halt.
+        let ret = m.cpu.reg(14);
+        m.exception_return(ret);
+        assert_eq!(m.run(10), CpuEvent::Halted);
+    }
+
+    #[test]
+    fn privileged_cp15_write_traps_in_user_mode() {
+        let mut m = with_program(|b| {
+            b.mov(0, 0x1234);
+            b.push(Instr::Mcr {
+                reg: MirCp15::Dacr,
+                rs: 0,
+            });
+            b.halt();
+        });
+        let ev = m.run(10);
+        assert_eq!(ev, CpuEvent::Exception(ExceptionKind::Undefined));
+        let cause = m.last_und.unwrap();
+        assert_eq!(
+            cause.kind,
+            UndKind::Cp15Write {
+                reg: MirCp15::Dacr,
+                value: 0x1234
+            }
+        );
+        assert_eq!(m.cp15.dacr, 0, "the write must NOT have taken effect");
+        assert_eq!(m.cpu.cpsr.mode, Mode::Und);
+    }
+
+    #[test]
+    fn privileged_cp15_write_succeeds_in_svc() {
+        let mut m = with_program(|b| {
+            b.mov(0, 0x5);
+            b.push(Instr::Mcr {
+                reg: MirCp15::Tpidruro,
+                rs: 0,
+            });
+            b.halt();
+        });
+        m.cpu.cpsr = Psr::reset(); // SVC
+        assert_eq!(m.run(10), CpuEvent::Halted);
+        assert_eq!(m.cp15.tpidruro, 0x5);
+    }
+
+    #[test]
+    fn pl0_readable_cp15_does_not_trap() {
+        let mut m = with_program(|b| {
+            b.push(Instr::Mrc {
+                rd: 3,
+                reg: MirCp15::Tpidruro,
+            });
+            b.halt();
+        });
+        m.cp15.tpidruro = 0x77;
+        assert_eq!(m.run(10), CpuEvent::Halted);
+        assert_eq!(m.cpu.reg(3), 0x77);
+    }
+
+    #[test]
+    fn msr_in_user_mode_silently_drops_mode_change() {
+        // The non-trapping sensitive instruction that motivates
+        // paravirtualization: a guest trying to raise its own privilege
+        // gets its flags updated and nothing else — no trap, no escalation.
+        let mut m = with_program(|b| {
+            b.mov(0, 0b10011 | (1 << 31)); // request SVC mode + N flag
+            b.push(Instr::MsrCpsr { rs: 0 });
+            b.halt();
+        });
+        assert_eq!(m.run(10), CpuEvent::Halted);
+        assert_eq!(m.cpu.cpsr.mode, Mode::Usr, "privilege must not escalate");
+        assert!(m.cpu.cpsr.n, "flags do update — silently wrong semantics");
+    }
+
+    #[test]
+    fn vfp_disabled_traps_lazily() {
+        let mut m = with_program(|b| {
+            b.push(Instr::VfpOp {
+                op: 0,
+                rd: 0,
+                rn: 1,
+                rm: 2,
+            });
+            b.halt();
+        });
+        let ev = m.run(10);
+        assert_eq!(ev, CpuEvent::Exception(ExceptionKind::Undefined));
+        assert_eq!(m.last_und.unwrap().kind, UndKind::VfpAccess);
+        // Kernel enables the VFP and retries the faulting instruction.
+        let fault_pc = m.last_und.unwrap().pc.raw() as u32;
+        m.cp15.cpacr = crate::cp15::CPACR_VFP_FULL;
+        m.vfp.enabled = true;
+        m.vfp.d[1] = 2.0;
+        m.vfp.d[2] = 3.0;
+        m.exception_return(fault_pc);
+        assert_eq!(m.run(10), CpuEvent::Halted);
+        assert_eq!(m.vfp.d[0], 5.0);
+    }
+
+    #[test]
+    fn irq_preempts_user_code() {
+        let mut m = with_program(|b| {
+            let top = b.label();
+            b.bind(top);
+            b.compute(10);
+            b.branch(Cond::Al, top);
+        });
+        m.gic.enable(IrqNum::PRIVATE_TIMER);
+        m.ptimer.program_periodic(Cycles::new(200));
+        let ev = m.run(1_000);
+        assert_eq!(ev, CpuEvent::Exception(ExceptionKind::Irq));
+        assert_eq!(m.cpu.cpsr.mode, Mode::Irq);
+        assert_eq!(m.gic.ack(), Some(IrqNum::PRIVATE_TIMER));
+    }
+
+    #[test]
+    fn masked_irq_not_delivered() {
+        let mut m = with_program(|b| {
+            b.compute(1000);
+            b.halt();
+        });
+        m.cpu.cpsr.irq_masked = true;
+        m.gic.enable(IrqNum::PRIVATE_TIMER);
+        m.ptimer.program_periodic(Cycles::new(100));
+        assert_eq!(m.run(10), CpuEvent::Halted);
+        assert!(m.gic.is_pending(IrqNum::PRIVATE_TIMER));
+    }
+
+    #[test]
+    fn wfi_then_wait_for_irq() {
+        let mut m = with_program(|b| {
+            b.push(Instr::Wfi);
+            b.halt();
+        });
+        assert_eq!(m.run(10), CpuEvent::Wfi);
+        m.gic.enable(IrqNum::PRIVATE_TIMER);
+        m.ptimer.program_periodic(Cycles::new(500));
+        let waited = m.wait_for_irq(Cycles::new(10_000));
+        assert!(waited.raw() >= 500 - 64 && waited.raw() <= 600, "{waited:?}");
+        assert!(m.gic.highest_pending().is_some());
+    }
+
+    #[test]
+    fn invalid_instruction_is_undefined() {
+        let mut m = bare_machine();
+        m.load_bytes(PhysAddr::new(0x8000), &[0xFF; 8]).unwrap();
+        m.cpu.pc = 0x8000;
+        m.cpu.cpsr = Psr::user();
+        assert_eq!(m.step(), CpuEvent::Exception(ExceptionKind::Undefined));
+        assert_eq!(m.last_und.unwrap().kind, UndKind::InvalidInstr);
+    }
+
+    #[test]
+    fn mmio_gic_window_reachable_from_program() {
+        let mut m = with_program(|b| {
+            // Enable IRQ 32 through the distributor window, then read back.
+            b.mov(0, (GIC_BASE + 0x104) as u32);
+            b.mov(1, 1);
+            b.str(1, 0, 0);
+            b.ldr(2, 0, 0);
+            b.halt();
+        });
+        m.cpu.cpsr = Psr::reset(); // privileged, MMU off
+        assert_eq!(m.run(10), CpuEvent::Halted);
+        assert_eq!(m.cpu.reg(2) & 1, 1);
+        assert!(m.gic.is_enabled(IrqNum(32)));
+    }
+
+    #[test]
+    fn clock_advances_with_execution() {
+        let mut m = with_program(|b| {
+            b.compute(500);
+            b.halt();
+        });
+        let t0 = m.now();
+        m.run(10);
+        assert!(m.now() - t0 >= Cycles::new(500));
+    }
+
+    #[test]
+    fn repeated_code_gets_cheaper_via_caches() {
+        // Run the same small loop twice; the second pass must be faster
+        // because the I-cache and D-cache are warm.
+        let mut m = with_program(|b| {
+            b.mov(0, 0x9000);
+            let top = b.label();
+            b.bind(top);
+            b.ldr(1, 0, 0);
+            b.alu_imm(AluOp::Cmp, 1, 1, 0);
+            b.branch(Cond::Ne, top); // not taken: loads are 0
+            b.halt();
+        });
+        let t0 = m.now();
+        m.run(100);
+        let cold = m.now() - t0;
+        m.cpu.pc = 0x8000;
+        let t1 = m.now();
+        m.run(100);
+        let warm = m.now() - t1;
+        assert!(warm < cold, "warm {warm:?} must be < cold {cold:?}");
+    }
+}

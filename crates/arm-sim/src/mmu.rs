@@ -1,0 +1,540 @@
+//! ARMv7 short-descriptor MMU: two-stage table walk, domain access control,
+//! permission checking and fault generation.
+//!
+//! This is the mechanism §III-C of the paper builds on. Guest page tables
+//! are *real tables in simulated physical memory*, written in the
+//! architectural descriptor format by the microkernel's page-table editor,
+//! and walked here on TLB misses. Faults carry the same classification the
+//! real fault-status register encodes (translation / domain / permission ×
+//! level), because the microkernel's abort handler dispatches on it.
+
+use mnv_hal::{Asid, Domain, PhysAddr, VirtAddr};
+
+use crate::cache::{CacheHierarchy, MemAccessKind};
+use crate::cp15::{Cp15, DomainAccess};
+use crate::memory::PhysMemory;
+use crate::tlb::{Ap, PageKind, Tlb, TlbEntry};
+
+/// What kind of access is being translated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+/// Architectural fault classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Descriptor was invalid (unmapped) at the given level.
+    Translation,
+    /// The DACR field for the descriptor's domain was NoAccess.
+    Domain,
+    /// AP/XN bits denied the access (only possible in Client domains).
+    Permission,
+}
+
+/// A translation fault, as delivered to the abort/prefetch-abort handler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// Classification.
+    pub kind: FaultKind,
+    /// Walk level at which the fault was detected (1 or 2).
+    pub level: u8,
+    /// Faulting virtual address (goes to DFAR/IFAR).
+    pub va: VirtAddr,
+    /// The access that faulted.
+    pub access: AccessKind,
+    /// Domain of the descriptor (when it got far enough to have one).
+    pub domain: Option<Domain>,
+}
+
+impl Fault {
+    /// Encode the short-descriptor FSR status value the handler would read.
+    pub fn fsr(&self) -> u32 {
+        match (self.kind, self.level) {
+            (FaultKind::Translation, 1) => 0b00101,
+            (FaultKind::Translation, _) => 0b00111,
+            (FaultKind::Domain, 1) => 0b01001,
+            (FaultKind::Domain, _) => 0b01011,
+            (FaultKind::Permission, 1) => 0b01101,
+            (FaultKind::Permission, _) => 0b01111,
+        }
+    }
+}
+
+/// Successful translation: target physical address plus the entry that
+/// produced it and the cycle cost of getting it (TLB hit: small; miss: the
+/// table walk's memory traffic).
+#[derive(Clone, Copy, Debug)]
+pub struct TranslationResult {
+    /// Translated physical address.
+    pub pa: PhysAddr,
+    /// The (possibly newly inserted) TLB entry.
+    pub entry: TlbEntry,
+    /// Cycles consumed by translation machinery (excluding the access
+    /// itself).
+    pub cost: u64,
+    /// True if this translation required a page-table walk.
+    pub walked: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor encoding helpers (shared with the kernel's page-table editor).
+// ---------------------------------------------------------------------------
+
+/// L1 descriptor type field.
+const L1_TYPE_MASK: u32 = 0b11;
+
+const L1_TYPE_TABLE: u32 = 0b01;
+const L1_TYPE_SECTION: u32 = 0b10;
+
+/// Encode a first-level *section* descriptor (1 MB mapping).
+pub fn l1_section_desc(pa: PhysAddr, domain: Domain, ap: Ap, xn: bool, global: bool) -> u32 {
+    debug_assert!(pa.is_section_aligned());
+    let (apx, ap10) = encode_ap(ap);
+    (pa.raw() as u32 & 0xFFF0_0000)
+        | L1_TYPE_SECTION
+        | ((domain.0 as u32) << 5)
+        | (ap10 << 10)
+        | (apx << 15)
+        | ((!global as u32) << 17)
+        | ((xn as u32) << 4)
+}
+
+/// Encode a first-level *page table* descriptor pointing at a 1 KB L2 table.
+pub fn l1_table_desc(table_pa: PhysAddr, domain: Domain) -> u32 {
+    debug_assert_eq!(table_pa.raw() & 0x3FF, 0, "L2 tables are 1KB aligned");
+    (table_pa.raw() as u32 & 0xFFFF_FC00) | L1_TYPE_TABLE | ((domain.0 as u32) << 5)
+}
+
+/// Encode a second-level *small page* descriptor (4 KB mapping).
+pub fn l2_small_desc(pa: PhysAddr, ap: Ap, xn: bool, global: bool) -> u32 {
+    debug_assert!(pa.is_page_aligned());
+    let (apx, ap10) = encode_ap(ap);
+    (pa.raw() as u32 & 0xFFFF_F000)
+        | 0b10
+        | (xn as u32)
+        | (ap10 << 4)
+        | (apx << 9)
+        | ((!global as u32) << 11)
+}
+
+/// The all-zero "fault" descriptor (both levels).
+pub const FAULT_DESC: u32 = 0;
+
+fn encode_ap(ap: Ap) -> (u32, u32) {
+    match ap {
+        Ap::None => (0, 0b00),
+        Ap::PrivOnly => (0, 0b01),
+        Ap::PrivRwUserRo => (0, 0b10),
+        Ap::Full => (0, 0b11),
+        Ap::ReadOnly => (1, 0b11),
+    }
+}
+
+fn decode_ap(apx: u32, ap10: u32) -> Ap {
+    match (apx, ap10) {
+        (0, 0b00) => Ap::None,
+        (0, 0b01) => Ap::PrivOnly,
+        (0, 0b10) => Ap::PrivRwUserRo,
+        (0, 0b11) => Ap::Full,
+        (1, 0b11) => Ap::ReadOnly,
+        // Deprecated/reserved APX=1 rows collapse to priv-only read: treat
+        // as PrivOnly, the closest conservative behaviour.
+        _ => Ap::PrivOnly,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The MMU proper.
+// ---------------------------------------------------------------------------
+
+/// The memory-management unit: a table walker in front of the TLB.
+///
+/// The MMU is deliberately stateless — configuration lives in CP15 (TTBR0,
+/// DACR, SCTLR, CONTEXTIDR), cached translations in the [`Tlb`]. That split
+/// mirrors hardware and means a vCPU switch is nothing more than a CP15
+/// reload, exactly the cheap operation the paper relies on.
+#[derive(Default)]
+pub struct Mmu;
+
+impl Mmu {
+    /// Translate `va` for `access` at privilege `privileged`.
+    ///
+    /// On success the translation is inserted into the TLB and returned; on
+    /// failure the architectural fault is returned for delivery via the
+    /// exception machinery. Walk memory traffic is charged through `caches`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn translate(
+        &self,
+        va: VirtAddr,
+        access: AccessKind,
+        privileged: bool,
+        cp15: &Cp15,
+        tlb: &mut Tlb,
+        mem: &PhysMemory,
+        caches: &mut CacheHierarchy,
+    ) -> Result<TranslationResult, Fault> {
+        if !cp15.mmu_enabled() {
+            // Flat mapping, full access — the state the machine boots in.
+            let pa = PhysAddr::new(va.raw());
+            return Ok(TranslationResult {
+                pa,
+                entry: TlbEntry {
+                    va_base: va.page_base().raw(),
+                    pa_base: pa.page_base().raw(),
+                    kind: PageKind::Small,
+                    asid: Asid(0),
+                    global: true,
+                    ap: Ap::Full,
+                    domain: Domain::KERNEL,
+                    xn: false,
+                },
+                cost: 0,
+                walked: false,
+            });
+        }
+
+        let asid = cp15.asid();
+        if let Some(entry) = tlb.lookup(va, asid) {
+            let level = if entry.kind == PageKind::Section { 1 } else { 2 };
+            self.check(&entry, va, access, privileged, cp15, level)?;
+            return Ok(TranslationResult {
+                pa: PhysAddr::new(entry.translate(va)),
+                entry,
+                cost: 0,
+                walked: false,
+            });
+        }
+
+        // Hardware table walk.
+        let mut cost = crate::timing::L1_HIT; // walker issue overhead
+        let l1_base = PhysAddr::new((cp15.ttbr0 & 0xFFFF_C000) as u64);
+        let l1_addr = l1_base + (va.l1_index() as u64) * 4;
+        cost += caches.access(l1_addr, MemAccessKind::Read, mem.is_ocm(l1_addr));
+        let l1 = mem.read_u32(l1_addr).unwrap_or(FAULT_DESC);
+
+        let entry = match l1 & L1_TYPE_MASK {
+            L1_TYPE_SECTION => {
+                let domain = Domain(((l1 >> 5) & 0xF) as u8);
+                let ap = decode_ap((l1 >> 15) & 1, (l1 >> 10) & 0b11);
+                TlbEntry {
+                    va_base: va.section_base().raw(),
+                    pa_base: (l1 & 0xFFF0_0000) as u64,
+                    kind: PageKind::Section,
+                    asid,
+                    global: (l1 >> 17) & 1 == 0,
+                    ap,
+                    domain,
+                    xn: (l1 >> 4) & 1 == 1,
+                }
+            }
+            L1_TYPE_TABLE => {
+                let domain = Domain(((l1 >> 5) & 0xF) as u8);
+                let l2_base = PhysAddr::new((l1 & 0xFFFF_FC00) as u64);
+                let l2_addr = l2_base + (va.l2_index() as u64) * 4;
+                cost += caches.access(l2_addr, MemAccessKind::Read, mem.is_ocm(l2_addr));
+                let l2 = mem.read_u32(l2_addr).unwrap_or(FAULT_DESC);
+                if l2 & 0b10 == 0 {
+                    return Err(Fault {
+                        kind: FaultKind::Translation,
+                        level: 2,
+                        va,
+                        access,
+                        domain: Some(domain),
+                    });
+                }
+                let ap = decode_ap((l2 >> 9) & 1, (l2 >> 4) & 0b11);
+                TlbEntry {
+                    va_base: va.page_base().raw(),
+                    pa_base: (l2 & 0xFFFF_F000) as u64,
+                    kind: PageKind::Small,
+                    asid,
+                    global: (l2 >> 11) & 1 == 0,
+                    ap,
+                    domain,
+                    xn: l2 & 1 == 1,
+                }
+            }
+            _ => {
+                return Err(Fault {
+                    kind: FaultKind::Translation,
+                    level: 1,
+                    va,
+                    access,
+                    domain: None,
+                })
+            }
+        };
+
+        let level = if entry.kind == PageKind::Section { 1 } else { 2 };
+        self.check(&entry, va, access, privileged, cp15, level)?;
+        tlb.insert(entry);
+        Ok(TranslationResult {
+            pa: PhysAddr::new(entry.translate(va)),
+            entry,
+            cost,
+            walked: true,
+        })
+    }
+
+    /// Domain + permission check against the *current* DACR. Note the check
+    /// happens on TLB hits too — this is what makes Mini-NOVA's DACR trick
+    /// (Table II) work without TLB flushes when switching between guest
+    /// kernel and guest user.
+    fn check(
+        &self,
+        entry: &TlbEntry,
+        va: VirtAddr,
+        access: AccessKind,
+        privileged: bool,
+        cp15: &Cp15,
+        level: u8,
+    ) -> Result<(), Fault> {
+        match cp15.domain_access(entry.domain) {
+            DomainAccess::NoAccess => {
+                return Err(Fault {
+                    kind: FaultKind::Domain,
+                    level,
+                    va,
+                    access,
+                    domain: Some(entry.domain),
+                })
+            }
+            DomainAccess::Manager => {
+                // AP ignored; XN still enforced.
+                if access == AccessKind::Execute && entry.xn {
+                    return Err(self.perm_fault(entry, va, access, level));
+                }
+                return Ok(());
+            }
+            DomainAccess::Client => {}
+        }
+        if access == AccessKind::Execute && entry.xn {
+            return Err(self.perm_fault(entry, va, access, level));
+        }
+        let allowed = match (entry.ap, privileged, access) {
+            (Ap::None, _, _) => false,
+            (Ap::PrivOnly, true, _) => true,
+            (Ap::PrivOnly, false, _) => false,
+            (Ap::PrivRwUserRo, true, _) => true,
+            (Ap::PrivRwUserRo, false, AccessKind::Write) => false,
+            (Ap::PrivRwUserRo, false, _) => true,
+            (Ap::Full, _, _) => true,
+            (Ap::ReadOnly, _, AccessKind::Write) => false,
+            (Ap::ReadOnly, _, _) => true,
+        };
+        if allowed {
+            Ok(())
+        } else {
+            Err(self.perm_fault(entry, va, access, level))
+        }
+    }
+
+    fn perm_fault(&self, entry: &TlbEntry, va: VirtAddr, access: AccessKind, level: u8) -> Fault {
+        Fault {
+            kind: FaultKind::Permission,
+            level,
+            va,
+            access,
+            domain: Some(entry.domain),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp15::{DomainAccess, SCTLR_C, SCTLR_M};
+
+    /// Fixture: memory with an L1 table at 0x4000 mapping
+    ///   section VA 0x0010_0000 -> PA 0x0050_0000 (domain 0, Full)
+    ///   L2 table for VA 0x0000_0000 at 0x8000:
+    ///     page VA 0x0000_1000 -> PA 0x0060_0000 (Full, global)
+    ///     page VA 0x0000_2000 -> PA 0x0060_1000 (PrivOnly)
+    ///     page VA 0x0000_3000 -> PA 0x0060_2000 (Full, XN, non-global)
+    fn fixture() -> (PhysMemory, Cp15, Tlb, CacheHierarchy, Mmu) {
+        let mut mem = PhysMemory::new();
+        let l1 = PhysAddr::new(0x4000);
+        let l2 = PhysAddr::new(0x8000);
+        mem.write_u32(
+            l1 + 4,
+            l1_section_desc(
+                PhysAddr::new(0x0050_0000),
+                Domain::KERNEL,
+                Ap::Full,
+                false,
+                true,
+            ),
+        )
+        .unwrap();
+        mem.write_u32(l1 + 0, l1_table_desc(l2, Domain::GUEST_USER)).unwrap();
+        mem.write_u32(l2 + 4, l2_small_desc(PhysAddr::new(0x0060_0000), Ap::Full, false, true))
+            .unwrap();
+        mem.write_u32(
+            l2 + 2 * 4,
+            l2_small_desc(PhysAddr::new(0x0060_1000), Ap::PrivOnly, false, true),
+        )
+        .unwrap();
+        mem.write_u32(
+            l2 + 3 * 4,
+            l2_small_desc(PhysAddr::new(0x0060_2000), Ap::Full, true, false),
+        )
+        .unwrap();
+
+        let mut cp15 = Cp15::reset();
+        cp15.sctlr = SCTLR_M | SCTLR_C;
+        cp15.ttbr0 = 0x4000;
+        cp15.set_domain_access(Domain::KERNEL, DomainAccess::Client);
+        cp15.set_domain_access(Domain::GUEST_USER, DomainAccess::Client);
+        cp15.set_asid(Asid(5));
+        (mem, cp15, Tlb::new(32), CacheHierarchy::new(), Mmu)
+    }
+
+    fn xlate(
+        parts: &mut (PhysMemory, Cp15, Tlb, CacheHierarchy, Mmu),
+        va: u64,
+        access: AccessKind,
+        privileged: bool,
+    ) -> Result<TranslationResult, Fault> {
+        let (mem, cp15, tlb, caches, mmu) = parts;
+        mmu.translate(VirtAddr::new(va), access, privileged, cp15, tlb, mem, caches)
+    }
+
+    #[test]
+    fn mmu_off_is_flat() {
+        let mut parts = fixture();
+        parts.1.sctlr = 0;
+        let r = xlate(&mut parts, 0xDEAD_B000, AccessKind::Read, false).unwrap();
+        assert_eq!(r.pa.raw(), 0xDEAD_B000);
+        assert!(!r.walked);
+    }
+
+    #[test]
+    fn section_translation() {
+        let mut parts = fixture();
+        let r = xlate(&mut parts, 0x0012_3456, AccessKind::Read, true).unwrap();
+        assert_eq!(r.pa.raw(), 0x0052_3456);
+        assert!(r.walked);
+        // Second access hits the TLB: no walk, zero extra cost.
+        let r2 = xlate(&mut parts, 0x001F_0000, AccessKind::Read, true).unwrap();
+        assert!(!r2.walked);
+        assert_eq!(r2.cost, 0);
+    }
+
+    #[test]
+    fn small_page_translation() {
+        let mut parts = fixture();
+        let r = xlate(&mut parts, 0x0000_1ABC, AccessKind::Read, false).unwrap();
+        assert_eq!(r.pa.raw(), 0x0060_0ABC);
+    }
+
+    #[test]
+    fn l1_translation_fault_on_unmapped() {
+        let mut parts = fixture();
+        let f = xlate(&mut parts, 0x4000_0000, AccessKind::Read, true).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Translation);
+        assert_eq!(f.level, 1);
+        assert_eq!(f.fsr(), 0b00101);
+    }
+
+    #[test]
+    fn l2_translation_fault_on_unmapped_page() {
+        let mut parts = fixture();
+        let f = xlate(&mut parts, 0x0000_7000, AccessKind::Read, true).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Translation);
+        assert_eq!(f.level, 2);
+        assert_eq!(f.fsr(), 0b00111);
+    }
+
+    #[test]
+    fn user_denied_priv_only_page() {
+        let mut parts = fixture();
+        assert!(xlate(&mut parts, 0x0000_2000, AccessKind::Read, true).is_ok());
+        let f = xlate(&mut parts, 0x0000_2000, AccessKind::Read, false).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Permission);
+        assert_eq!(f.level, 2);
+    }
+
+    #[test]
+    fn xn_blocks_execution_even_for_manager() {
+        let mut parts = fixture();
+        let f = xlate(&mut parts, 0x0000_3000, AccessKind::Execute, true).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Permission);
+        // Reads still fine.
+        assert!(xlate(&mut parts, 0x0000_3000, AccessKind::Read, false).is_ok());
+        // Manager domain: AP ignored, XN still enforced.
+        parts.1.set_domain_access(Domain::GUEST_USER, DomainAccess::Manager);
+        parts.2.flush_all();
+        let f = xlate(&mut parts, 0x0000_3000, AccessKind::Execute, true).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Permission);
+    }
+
+    #[test]
+    fn domain_no_access_faults_even_on_tlb_hit() {
+        // This is the core of the paper's Table II mechanism: flipping the
+        // DACR must take effect immediately, *without* a TLB flush.
+        let mut parts = fixture();
+        assert!(xlate(&mut parts, 0x0000_1000, AccessKind::Read, false).is_ok());
+        parts.1.set_domain_access(Domain::GUEST_USER, DomainAccess::NoAccess);
+        let f = xlate(&mut parts, 0x0000_1000, AccessKind::Read, false).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Domain);
+        assert_eq!(f.fsr() & 0b1111, 0b1011 & 0b1111);
+        // Flip back: access works again, still no flush needed.
+        parts.1.set_domain_access(Domain::GUEST_USER, DomainAccess::Client);
+        assert!(xlate(&mut parts, 0x0000_1000, AccessKind::Read, false).is_ok());
+    }
+
+    #[test]
+    fn manager_domain_ignores_ap() {
+        let mut parts = fixture();
+        parts.1.set_domain_access(Domain::GUEST_USER, DomainAccess::Manager);
+        // PrivOnly page readable from user mode under a manager domain.
+        assert!(xlate(&mut parts, 0x0000_2000, AccessKind::Read, false).is_ok());
+    }
+
+    #[test]
+    fn write_to_readonly_page_faults() {
+        let mut parts = fixture();
+        let l2 = PhysAddr::new(0x8000);
+        parts
+            .0
+            .write_u32(
+                l2 + 4 * 4,
+                l2_small_desc(PhysAddr::new(0x0060_3000), Ap::ReadOnly, false, true),
+            )
+            .unwrap();
+        assert!(xlate(&mut parts, 0x0000_4000, AccessKind::Read, false).is_ok());
+        let f = xlate(&mut parts, 0x0000_4100, AccessKind::Write, true).unwrap_err();
+        assert_eq!(f.kind, FaultKind::Permission);
+    }
+
+    #[test]
+    fn non_global_pages_are_asid_tagged() {
+        let mut parts = fixture();
+        assert!(xlate(&mut parts, 0x0000_3000, AccessKind::Read, false).is_ok());
+        // Same VA under a different ASID misses the TLB and re-walks.
+        parts.1.set_asid(Asid(9));
+        let r = xlate(&mut parts, 0x0000_3000, AccessKind::Read, false).unwrap();
+        assert!(r.walked);
+    }
+
+    #[test]
+    fn walk_cost_is_charged() {
+        let mut parts = fixture();
+        let r = xlate(&mut parts, 0x0000_1000, AccessKind::Read, false).unwrap();
+        assert!(r.cost > 0, "walk must cost cycles");
+    }
+
+    #[test]
+    fn ap_encode_decode_round_trip() {
+        for ap in [Ap::None, Ap::PrivOnly, Ap::PrivRwUserRo, Ap::Full, Ap::ReadOnly] {
+            let (apx, ap10) = encode_ap(ap);
+            assert_eq!(decode_ap(apx, ap10), ap);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Program status registers and the six Cortex-A9 operating modes.
+//!
+//! §III of the paper: "The Cortex-A9 architecture offers 6 main operating
+//! modes, which are divided into two privilege levels: non-privileged PL0
+//! (USR mode) and privileged PL1 (SVC, IRQ, FIQ, UND and ABT modes)."
+//! Mini-NOVA executes in SVC; guests run in USR; the other modes exist to
+//! trap the exception classes that build the virtualized environment.
+
+use core::fmt;
+
+/// ARM operating mode (mode field of the CPSR).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// User mode — PL0, where guest kernels and guest users execute.
+    Usr,
+    /// Fast interrupt mode — PL1.
+    Fiq,
+    /// Interrupt mode — PL1, entry point of IRQs.
+    Irq,
+    /// Supervisor mode — PL1, where Mini-NOVA mainly executes.
+    Svc,
+    /// Abort mode — PL1, entered on prefetch/data aborts (page faults).
+    Abt,
+    /// Undefined mode — PL1, entered on undefined/privileged instructions.
+    Und,
+    /// System mode — PL1 with user-visible registers (rarely used).
+    Sys,
+}
+
+impl Mode {
+    /// The canonical mode-field encoding (CPSR\[4:0\]).
+    pub fn bits(self) -> u32 {
+        match self {
+            Mode::Usr => 0b10000,
+            Mode::Fiq => 0b10001,
+            Mode::Irq => 0b10010,
+            Mode::Svc => 0b10011,
+            Mode::Abt => 0b10111,
+            Mode::Und => 0b11011,
+            Mode::Sys => 0b11111,
+        }
+    }
+
+    /// Decode a mode field; `None` for reserved encodings.
+    pub fn from_bits(bits: u32) -> Option<Self> {
+        Some(match bits & 0b11111 {
+            0b10000 => Mode::Usr,
+            0b10001 => Mode::Fiq,
+            0b10010 => Mode::Irq,
+            0b10011 => Mode::Svc,
+            0b10111 => Mode::Abt,
+            0b11011 => Mode::Und,
+            0b11111 => Mode::Sys,
+            _ => return None,
+        })
+    }
+
+    /// True for the privileged level PL1 (everything except USR).
+    pub fn is_privileged(self) -> bool {
+        !matches!(self, Mode::Usr)
+    }
+
+    /// Index of this mode's banked SP/LR set.
+    pub(crate) fn bank(self) -> usize {
+        match self {
+            // SYS shares the USR bank by architecture.
+            Mode::Usr | Mode::Sys => 0,
+            Mode::Fiq => 1,
+            Mode::Irq => 2,
+            Mode::Svc => 3,
+            Mode::Abt => 4,
+            Mode::Und => 5,
+        }
+    }
+
+    /// Index of this mode's SPSR (exception modes only).
+    pub(crate) fn spsr_index(self) -> Option<usize> {
+        match self {
+            Mode::Usr | Mode::Sys => None,
+            Mode::Fiq => Some(0),
+            Mode::Irq => Some(1),
+            Mode::Svc => Some(2),
+            Mode::Abt => Some(3),
+            Mode::Und => Some(4),
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mode::Usr => "USR",
+            Mode::Fiq => "FIQ",
+            Mode::Irq => "IRQ",
+            Mode::Svc => "SVC",
+            Mode::Abt => "ABT",
+            Mode::Und => "UND",
+            Mode::Sys => "SYS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A program status register (CPSR or SPSR): mode + interrupt masks +
+/// condition flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Psr {
+    /// Operating mode.
+    pub mode: Mode,
+    /// IRQs masked (CPSR.I).
+    pub irq_masked: bool,
+    /// FIQs masked (CPSR.F).
+    pub fiq_masked: bool,
+    /// Negative flag.
+    pub n: bool,
+    /// Zero flag.
+    pub z: bool,
+    /// Carry flag.
+    pub c: bool,
+    /// Overflow flag.
+    pub v: bool,
+}
+
+impl Psr {
+    /// Reset value: SVC mode, both interrupt classes masked (as after an ARM
+    /// core reset).
+    pub fn reset() -> Self {
+        Psr {
+            mode: Mode::Svc,
+            irq_masked: true,
+            fiq_masked: true,
+            n: false,
+            z: false,
+            c: false,
+            v: false,
+        }
+    }
+
+    /// A user-mode PSR with interrupts enabled — the state guests start in.
+    pub fn user() -> Self {
+        Psr {
+            mode: Mode::Usr,
+            irq_masked: false,
+            fiq_masked: false,
+            n: false,
+            z: false,
+            c: false,
+            v: false,
+        }
+    }
+
+    /// Pack into the architectural 32-bit format.
+    pub fn to_bits(self) -> u32 {
+        self.mode.bits()
+            | (self.fiq_masked as u32) << 6
+            | (self.irq_masked as u32) << 7
+            | (self.v as u32) << 28
+            | (self.c as u32) << 29
+            | (self.z as u32) << 30
+            | (self.n as u32) << 31
+    }
+
+    /// Unpack from the architectural format; reserved modes yield `None`.
+    pub fn from_bits(bits: u32) -> Option<Self> {
+        Some(Psr {
+            mode: Mode::from_bits(bits)?,
+            fiq_masked: bits & (1 << 6) != 0,
+            irq_masked: bits & (1 << 7) != 0,
+            v: bits & (1 << 28) != 0,
+            c: bits & (1 << 29) != 0,
+            z: bits & (1 << 30) != 0,
+            n: bits & (1 << 31) != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privilege_split_matches_paper() {
+        // PL0: USR only. PL1: SVC, IRQ, FIQ, UND, ABT (and SYS).
+        assert!(!Mode::Usr.is_privileged());
+        for m in [Mode::Svc, Mode::Irq, Mode::Fiq, Mode::Und, Mode::Abt, Mode::Sys] {
+            assert!(m.is_privileged(), "{m} must be PL1");
+        }
+    }
+
+    #[test]
+    fn mode_bits_round_trip() {
+        for m in [
+            Mode::Usr,
+            Mode::Fiq,
+            Mode::Irq,
+            Mode::Svc,
+            Mode::Abt,
+            Mode::Und,
+            Mode::Sys,
+        ] {
+            assert_eq!(Mode::from_bits(m.bits()), Some(m));
+        }
+        assert_eq!(Mode::from_bits(0b00000), None);
+    }
+
+    #[test]
+    fn psr_bits_round_trip() {
+        let p = Psr {
+            mode: Mode::Irq,
+            irq_masked: true,
+            fiq_masked: false,
+            n: true,
+            z: false,
+            c: true,
+            v: false,
+        };
+        assert_eq!(Psr::from_bits(p.to_bits()), Some(p));
+    }
+
+    #[test]
+    fn sys_shares_user_bank() {
+        assert_eq!(Mode::Usr.bank(), Mode::Sys.bank());
+        assert_ne!(Mode::Usr.bank(), Mode::Svc.bank());
+    }
+
+    #[test]
+    fn exception_modes_have_spsr() {
+        assert!(Mode::Usr.spsr_index().is_none());
+        assert!(Mode::Sys.spsr_index().is_none());
+        let mut seen = std::collections::HashSet::new();
+        for m in [Mode::Fiq, Mode::Irq, Mode::Svc, Mode::Abt, Mode::Und] {
+            assert!(seen.insert(m.spsr_index().unwrap()));
+        }
+    }
+
+    #[test]
+    fn reset_is_svc_masked() {
+        let p = Psr::reset();
+        assert_eq!(p.mode, Mode::Svc);
+        assert!(p.irq_masked && p.fiq_masked);
+        let u = Psr::user();
+        assert_eq!(u.mode, Mode::Usr);
+        assert!(!u.irq_masked);
+    }
+}

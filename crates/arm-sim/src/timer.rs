@@ -1,0 +1,250 @@
+//! MPCore private timer and global free-running counter.
+//!
+//! The private timer is the tick source Mini-NOVA multiplexes into per-VM
+//! virtual timers (§V-A: "The guest timer is implemented by a virtual timer
+//! allocated by Mini-NOVA"). The global timer provides the monotonic
+//! timestamps used by the measurement harness — exactly how one measures on
+//! the real part.
+
+use mnv_hal::{Cycles, IrqNum};
+
+/// The per-CPU private countdown timer (raises [`IrqNum::PRIVATE_TIMER`]).
+pub struct PrivateTimer {
+    /// Reload value (in timer ticks == CPU cycles / 2 on the A9; we keep a
+    /// 1:1 prescale for simplicity and model the /2 in the prescaler field).
+    pub load: u32,
+    /// Current countdown value.
+    pub counter: u32,
+    /// Timer running.
+    pub enabled: bool,
+    /// Reload `load` and continue on expiry.
+    pub auto_reload: bool,
+    /// Raise the interrupt line on expiry.
+    pub irq_enable: bool,
+    /// Expired-event flag (interrupt status register).
+    pub event: bool,
+    /// Prescaler: counts once per `prescale+1` cycles.
+    pub prescale: u8,
+    /// Residual cycles not yet translated into ticks.
+    residual: u64,
+    /// Number of expiries since reset (diagnostics).
+    pub expiries: u64,
+}
+
+impl Default for PrivateTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrivateTimer {
+    /// A disabled timer with zeroed registers.
+    pub fn new() -> Self {
+        PrivateTimer {
+            load: 0,
+            counter: 0,
+            enabled: false,
+            auto_reload: false,
+            irq_enable: false,
+            event: false,
+            prescale: 0,
+            residual: 0,
+            expiries: 0,
+        }
+    }
+
+    /// Program the timer for a periodic tick every `period` cycles.
+    pub fn program_periodic(&mut self, period: Cycles) {
+        self.load = period.raw().min(u32::MAX as u64) as u32;
+        self.counter = self.load;
+        self.enabled = true;
+        self.auto_reload = true;
+        self.irq_enable = true;
+        self.event = false;
+        self.residual = 0;
+    }
+
+    /// Stop the timer.
+    pub fn stop(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Advance the timer by `dt` cycles; returns the number of expiries that
+    /// occurred (each would pulse the interrupt line).
+    pub fn advance(&mut self, dt: Cycles) -> u32 {
+        if !self.enabled {
+            return 0;
+        }
+        let mut ticks = {
+            let total = self.residual + dt.raw();
+            let per = self.prescale as u64 + 1;
+            self.residual = total % per;
+            total / per
+        };
+        let mut fired = 0u32;
+        while ticks > 0 {
+            if (self.counter as u64) > ticks {
+                self.counter -= ticks as u32;
+                break;
+            }
+            ticks -= self.counter as u64;
+            self.event = true;
+            self.expiries += 1;
+            fired += 1;
+            if self.auto_reload && self.load > 0 {
+                self.counter = self.load;
+            } else {
+                self.enabled = false;
+                self.counter = 0;
+                break;
+            }
+        }
+        if self.irq_enable {
+            fired
+        } else {
+            0
+        }
+    }
+
+    /// The interrupt line this timer drives.
+    pub fn irq(&self) -> IrqNum {
+        IrqNum::PRIVATE_TIMER
+    }
+
+    /// Acknowledge the event flag (write-1-to-clear in hardware).
+    pub fn clear_event(&mut self) {
+        self.event = false;
+    }
+
+    // MMIO register layout (offsets within the private-timer window, as on
+    // the MPCore: 0x00 load, 0x04 counter, 0x08 control, 0x0C int-status).
+
+    /// MMIO read.
+    pub fn mmio_read(&self, off: u64) -> u32 {
+        match off {
+            0x00 => self.load,
+            0x04 => self.counter,
+            0x08 => {
+                (self.enabled as u32)
+                    | (self.auto_reload as u32) << 1
+                    | (self.irq_enable as u32) << 2
+                    | (self.prescale as u32) << 8
+            }
+            0x0C => self.event as u32,
+            _ => 0,
+        }
+    }
+
+    /// MMIO write.
+    pub fn mmio_write(&mut self, off: u64, val: u32) {
+        match off {
+            0x00 => {
+                self.load = val;
+                self.counter = val;
+            }
+            0x04 => self.counter = val,
+            0x08 => {
+                self.enabled = val & 1 != 0;
+                self.auto_reload = val & 2 != 0;
+                self.irq_enable = val & 4 != 0;
+                self.prescale = ((val >> 8) & 0xFF) as u8;
+            }
+            0x0C if val & 1 != 0 => self.event = false,
+            _ => {}
+        }
+    }
+}
+
+/// The 64-bit global free-running counter (timestamps for measurements).
+#[derive(Default)]
+pub struct GlobalTimer {
+    /// Current 64-bit count, driven from the machine clock.
+    pub count: u64,
+}
+
+impl GlobalTimer {
+    /// Advance by `dt` cycles.
+    pub fn advance(&mut self, dt: Cycles) {
+        self.count += dt.raw();
+    }
+
+    /// Read the count as a cycle timestamp.
+    pub fn now(&self) -> Cycles {
+        Cycles::new(self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_expiry() {
+        let mut t = PrivateTimer::new();
+        t.load = 100;
+        t.counter = 100;
+        t.enabled = true;
+        t.irq_enable = true;
+        assert_eq!(t.advance(Cycles::new(99)), 0);
+        assert_eq!(t.counter, 1);
+        assert_eq!(t.advance(Cycles::new(1)), 1);
+        assert!(t.event);
+        assert!(!t.enabled, "non-reloading timer stops");
+    }
+
+    #[test]
+    fn periodic_fires_repeatedly() {
+        let mut t = PrivateTimer::new();
+        t.program_periodic(Cycles::new(50));
+        assert_eq!(t.advance(Cycles::new(125)), 2);
+        assert_eq!(t.counter, 25);
+        assert_eq!(t.expiries, 2);
+        assert_eq!(t.advance(Cycles::new(25)), 1);
+    }
+
+    #[test]
+    fn irq_disable_suppresses_reporting_but_counts() {
+        let mut t = PrivateTimer::new();
+        t.program_periodic(Cycles::new(10));
+        t.irq_enable = false;
+        assert_eq!(t.advance(Cycles::new(30)), 0);
+        assert_eq!(t.expiries, 3);
+        assert!(t.event);
+    }
+
+    #[test]
+    fn prescaler_slows_ticks() {
+        let mut t = PrivateTimer::new();
+        t.program_periodic(Cycles::new(10));
+        t.prescale = 1; // one tick per 2 cycles
+        assert_eq!(t.advance(Cycles::new(19)), 0);
+        assert_eq!(t.advance(Cycles::new(1)), 1);
+    }
+
+    #[test]
+    fn mmio_round_trip() {
+        let mut t = PrivateTimer::new();
+        t.mmio_write(0x00, 500);
+        t.mmio_write(0x08, 0b111 | (3 << 8));
+        assert_eq!(t.mmio_read(0x00), 500);
+        assert_eq!(t.mmio_read(0x04), 500);
+        let ctrl = t.mmio_read(0x08);
+        assert_eq!(ctrl & 0b111, 0b111);
+        assert_eq!((ctrl >> 8) & 0xFF, 3);
+        // Expire, then W1C the event flag.
+        t.prescale = 0;
+        t.advance(Cycles::new(500));
+        assert_eq!(t.mmio_read(0x0C), 1);
+        t.mmio_write(0x0C, 1);
+        assert_eq!(t.mmio_read(0x0C), 0);
+    }
+
+    #[test]
+    fn global_timer_monotonic() {
+        let mut g = GlobalTimer::default();
+        g.advance(Cycles::new(10));
+        let a = g.now();
+        g.advance(Cycles::new(5));
+        assert_eq!(g.now() - a, Cycles::new(5));
+    }
+}

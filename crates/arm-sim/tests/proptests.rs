@@ -1,0 +1,92 @@
+//! Property tests on the simulator's encodings and models.
+
+use mnv_arm::cache::{Cache, CacheHierarchy, MemAccessKind};
+use mnv_arm::mir::Instr;
+use mnv_arm::psr::{Mode, Psr};
+use mnv_arm::timer::PrivateTimer;
+use mnv_hal::{Cycles, PhysAddr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// decode(encode(i)) == i for every instruction the decoder accepts,
+    /// and decode is total (never panics) on arbitrary bytes.
+    #[test]
+    fn mir_decode_is_total_and_round_trips(bytes in prop::array::uniform8(any::<u8>())) {
+        if let Some(i) = Instr::decode(bytes) {
+            let re = i.encode();
+            prop_assert_eq!(Instr::decode(re), Some(i));
+        }
+    }
+
+    /// PSR bit packing round-trips for all valid mode encodings.
+    #[test]
+    fn psr_bits_round_trip(bits in any::<u32>()) {
+        if let Some(p) = Psr::from_bits(bits) {
+            // Only the modelled fields survive, and they survive exactly.
+            let p2 = Psr::from_bits(p.to_bits()).unwrap();
+            prop_assert_eq!(p, p2);
+        }
+        // Reserved mode encodings are rejected, never mangled.
+        if Mode::from_bits(bits).is_none() {
+            prop_assert!(Psr::from_bits(bits).is_none());
+        }
+    }
+
+    /// A cache access is a hit iff a probe immediately before said so; an
+    /// access always leaves the line resident.
+    #[test]
+    fn cache_access_probe_consistency(addrs in prop::collection::vec(0u64..0x4_0000, 1..200)) {
+        let mut c = Cache::new("t", 8 * 1024, 4);
+        for a in addrs {
+            let pa = PhysAddr::new(a & !3);
+            let predicted = c.probe(pa);
+            let hit = c.access(pa);
+            prop_assert_eq!(hit, predicted);
+            prop_assert!(c.probe(pa), "line resident after access");
+        }
+    }
+
+    /// Hierarchy cost is always one of the three modelled latencies.
+    #[test]
+    fn hierarchy_costs_are_quantised(addrs in prop::collection::vec(0u64..0x10_0000, 1..100)) {
+        let mut h = CacheHierarchy::new();
+        for a in addrs {
+            let cost = h.access(PhysAddr::new(a), MemAccessKind::Read, false);
+            prop_assert!(
+                cost == mnv_arm::timing::L1_HIT
+                    || cost == mnv_arm::timing::L2_HIT
+                    || cost == mnv_arm::timing::DDR
+            );
+        }
+    }
+
+    /// The private timer fires exactly floor(elapsed/period) times under
+    /// periodic reload, regardless of how the time is sliced.
+    #[test]
+    fn timer_expiry_count_is_slicing_invariant(
+        period in 10u64..1000,
+        slices in prop::collection::vec(1u64..500, 1..50),
+    ) {
+        let total: u64 = slices.iter().sum();
+        let mut a = PrivateTimer::new();
+        a.program_periodic(Cycles::new(period));
+        let mut fired_sliced = 0u64;
+        for s in &slices {
+            fired_sliced += a.advance(Cycles::new(*s)) as u64;
+        }
+        let mut b = PrivateTimer::new();
+        b.program_periodic(Cycles::new(period));
+        let fired_once = b.advance(Cycles::new(total)) as u64;
+        prop_assert_eq!(fired_sliced, fired_once);
+        prop_assert_eq!(fired_once, total / period);
+    }
+
+    /// Cycle/microsecond conversions are inverse up to half a cycle.
+    #[test]
+    fn cycles_micros_round_trip(us in 0.0f64..1e6) {
+        let c = Cycles::from_micros(us);
+        prop_assert!((c.as_micros() - us).abs() <= 0.5e6 / mnv_hal::cycles::CPU_HZ as f64 * 1e6 + 1e-9);
+    }
+}

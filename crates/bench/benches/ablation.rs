@@ -1,0 +1,28 @@
+//! Criterion wrapper for the ablation arms. The paper-facing comparison
+//! (simulated cycles per arm) comes from `--bin ablation`; here each arm is
+//! timed on the host to keep regeneration cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnv_bench::ablation::{hypercall_vs_trap, vfp_lazy_vs_eager};
+use std::hint::black_box;
+
+fn bench_vfp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("vfp_lazy_vs_eager", |b| {
+        b.iter(|| black_box(vfp_lazy_vs_eager()));
+    });
+    g.finish();
+}
+
+fn bench_sensitive_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("hypercall_vs_trap", |b| {
+        b.iter(|| black_box(hypercall_vs_trap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vfp, bench_sensitive_ops);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Runs the ablation experiments for the design choices DESIGN.md indexes:
+//! lazy VFP switching, ASID tagging, hypercalls vs trap-and-emulate, and
+//! the Hardware Task Manager's priority.
+//!
+//! Usage: `cargo run --release -p mnv-bench --bin ablation [vfp|asid|hypercall|mgrprio]`
+
+use mnv_bench::write_json;
+use mnv_bench::ablation::{
+    asid_vs_flush, hypercall_vs_trap, manager_priority, run_all, vfp_lazy_vs_eager,
+};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    let results = match which.as_str() {
+        "vfp" => vfp_lazy_vs_eager(),
+        "asid" => asid_vs_flush(),
+        "hypercall" => hypercall_vs_trap(),
+        "mgrprio" => manager_priority(),
+        _ => run_all(),
+    };
+
+    println!("ABLATIONS: PAPER DESIGN vs ALTERNATIVE\n");
+    println!("{:<18}{:<22}{:>14}  unit", "experiment", "arm", "value");
+    for r in &results {
+        println!(
+            "{:<18}{:<22}{:>14.2}  {}",
+            r.experiment, r.arm, r.value, r.unit
+        );
+    }
+    write_json("ablation", &results);
+}

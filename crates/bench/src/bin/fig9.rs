@@ -1,0 +1,42 @@
+//! Regenerates Fig. 9: the performance degradation ratios of the Hardware
+//! Task Manager, R_D = t_virtualized / t_reference, for 1–4 parallel guest
+//! OSes.
+//!
+//! Usage: `cargo run --release -p mnv-bench --bin fig9 [--quick]`
+
+use mnv_bench::{fig9_rows, measure_native, measure_virtualized, write_json, Table3Config};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        mnv_bench::table3::quick_config()
+    } else {
+        Table3Config::default()
+    };
+
+    let native = measure_native(&cfg);
+    let virt: Vec<_> = (1..=4).map(|n| measure_virtualized(n, &cfg)).collect();
+    let rows = fig9_rows(&native, &virt);
+
+    println!("FIG. 9: PERFORMANCE DEGRADATION RATIO OF HARDWARE TASK MANAGER");
+    println!("(entry/exit/IRQ-entry normalised to the 1-OS case; execution");
+    println!(" and total to the native case, as in the paper)\n");
+    println!(
+        "{:<10}{:>9}{:>9}{:>11}{:>12}{:>9}",
+        "guests", "entry", "exit", "IRQ entry", "execution", "total"
+    );
+    for r in &rows {
+        println!(
+            "{:<10}{:>9.3}{:>9.3}{:>11.3}{:>12.3}{:>9.3}",
+            r.guests, r.entry, r.exit, r.irq_entry, r.execution, r.total
+        );
+    }
+    println!("\nPaper's Fig. 9 series for comparison:");
+    println!("  entry      1.000  1.270  1.443  1.655");
+    println!("  exit       1.000  1.255  1.328  1.366");
+    println!("  IRQ entry  1.000  1.981  2.115  2.221");
+    println!("  execution  1.032  1.056  1.075  1.085");
+    println!("  total      1.138  1.191  1.223  1.227");
+
+    write_json("fig9", &rows);
+}

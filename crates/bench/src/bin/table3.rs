@@ -1,0 +1,103 @@
+//! Regenerates Table III: overhead of hardware task management (µs) for
+//! native execution and 1–4 parallel guest OSes.
+//!
+//! Usage: `cargo run --release -p mnv-bench --bin table3 [--quick] [--footprint]`
+
+use mnv_bench::{measure_native, measure_virtualized, table3::format_table3, write_json, Table3Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        mnv_bench::table3::quick_config()
+    } else {
+        Table3Config::default()
+    };
+
+    if args.iter().any(|a| a == "--footprint") {
+        print_footprint();
+        return;
+    }
+
+    eprintln!(
+        "measuring: native + 1..=4 guests, {} ms/guest x {} seeds (simulated time)",
+        cfg.measure_ms_per_guest,
+        cfg.seeds.len()
+    );
+    let native = measure_native(&cfg);
+    eprintln!("  native done ({} samples)", native.samples);
+    let mut virt = Vec::new();
+    for n in 1..=4 {
+        let row = measure_virtualized(n, &cfg);
+        eprintln!("  {n} guest(s) done ({} samples)", row.samples);
+        virt.push(row);
+    }
+
+    println!("{}", format_table3(&native, &virt));
+    println!("Paper's Table III for comparison (us):");
+    println!("  entry     0.00  0.87  1.11  1.26  1.29");
+    println!("  exit      0.00  0.72  0.91  0.96  0.99");
+    println!("  PL IRQ    0.00  0.23  0.46  0.50  0.51");
+    println!("  exec     15.01 15.46 15.83 16.11 16.31");
+    println!("  total    15.01 17.06 17.84 18.33 18.57");
+
+    #[derive(serde::Serialize)]
+    struct Out {
+        native: mnv_bench::Row,
+        virtualized: Vec<mnv_bench::Row>,
+    }
+    write_json(
+        "table3",
+        &Out {
+            native,
+            virtualized: virt,
+        },
+    );
+}
+
+/// The §V-B footprint paragraph: kernel size, hypercall counts, patch size.
+fn print_footprint() {
+    use mnv_hal::abi::HYPERCALL_COUNT;
+    use mnv_ucos::port::HYPERCALLS_USED;
+
+    println!("Mini-NOVA footprint (paper §V-B vs this reproduction)");
+    println!(
+        "  hypercalls provided: {HYPERCALL_COUNT}   (paper: 25)"
+    );
+    println!(
+        "  hypercalls used by uC/OS-II port: {}   (paper: 17)",
+        HYPERCALLS_USED.len()
+    );
+    // LoC of the microkernel crate, the analogue of the paper's 5,363 LoC.
+    let loc = count_loc("crates/core/src");
+    println!("  microkernel source lines: {loc}   (paper: 5,363 LoC kernel+services)");
+    let patch_loc = count_loc_file("crates/ucos/src/port.rs");
+    println!("  paravirtualization patch lines: {patch_loc}   (paper: ~200 LoC)");
+}
+
+fn count_loc(dir: &str) -> usize {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                total += count_loc(p.to_str().unwrap_or(""));
+            } else if p.extension().map(|x| x == "rs").unwrap_or(false) {
+                total += count_loc_file(p.to_str().unwrap_or(""));
+            }
+        }
+    }
+    total
+}
+
+fn count_loc_file(path: &str) -> usize {
+    std::fs::read_to_string(path)
+        .map(|s| {
+            s.lines()
+                .filter(|l| {
+                    let t = l.trim();
+                    !t.is_empty() && !t.starts_with("//")
+                })
+                .count()
+        })
+        .unwrap_or(0)
+}

@@ -1,0 +1,43 @@
+//! # mnv-bench — the experiment harness
+//!
+//! Regenerates every quantitative artefact of the paper's evaluation
+//! section from the simulated stack:
+//!
+//! * **Table III** — overhead of hardware-task management (µs) for native
+//!   execution and 1–4 parallel guest OSes ([`table3`]);
+//! * **Fig. 9** — the degradation ratios derived from Table III
+//!   ([`fig9_rows`]);
+//! * the **reconfiguration-delay** table from the authors' companion paper
+//!   that Table III's setup relies on ([`recon_delay`]);
+//! * the **ablation** experiments for the design choices DESIGN.md calls
+//!   out (lazy VFP switch, ASID tagging, manager priority, hypercalls vs
+//!   trap-and-emulate) ([`ablation`]).
+//!
+//! Binaries print the tables in the paper's layout and emit JSON records
+//! next to them; Criterion benches cover the harness's own hot paths.
+
+pub mod ablation;
+pub mod table3;
+
+pub use table3::{fig9_rows, measure_native, measure_virtualized, recon_delay, Row, Table3Config};
+
+/// Write a serialisable record to `target/experiments/<name>.json`
+/// (best-effort: failures only warn, results are always printed anyway).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warn: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warn: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warn: serialisation failed: {e}"),
+    }
+}

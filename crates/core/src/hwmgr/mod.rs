@@ -1,0 +1,18 @@
+//! The Hardware Task Manager — Mini-NOVA's DPR support (§IV).
+//!
+//! A user-level service in its own protection domain, at a priority above
+//! the guests, invoked by hypercall: it owns the hardware-task lookup
+//! table and the PRR table, performs the six-stage allocation routine of
+//! Fig. 7, enforces the two security principles of §IV-C (exclusive
+//! interface mapping; hwMMU-confined DMA), allocates PL interrupt lines
+//! (§IV-D) and launches PCAP reconfigurations without waiting for them
+//! ("to overlap the significant reconfiguration overhead, the manager
+//! service does not check the completion of the PCAP transfer").
+
+pub mod irqalloc;
+pub mod service;
+pub mod tables;
+
+pub use irqalloc::PlIrqAllocator;
+pub use service::HwMgr;
+pub use tables::{HwTaskEntry, HwTaskTable, PrrEntry, PrrTable};

@@ -1,0 +1,223 @@
+//! The manager's two lookup tables (§IV-B, §IV-E and Fig. 7).
+//!
+//! *Hardware task table*: "hardware tasks are organized by the Hardware
+//! Task Manager in a look-up table that is indexed with unique ID numbers.
+//! For each task, the address and size of its .bit file, the
+//! reconfiguration latency and the list of predefined PRRs are stored."
+//!
+//! *PRR table*: "a PRR table is built to record the states of the PRRs.
+//! Its contents include the PRR's current client, the hardware task, the
+//! execution state (idle or busy), etc."
+//!
+//! Table lookups are charged against the manager's private memory region so
+//! that the allocation cost genuinely grows when more guests thrash the
+//! cache — the effect §V-B measures.
+
+use mnv_arm::machine::Machine;
+use mnv_fpga::bitstream::CoreKind;
+use mnv_fpga::pl::pcap_transfer_cycles;
+use mnv_hal::{Cycles, HwTaskId, PhysAddr, VmId};
+use std::collections::BTreeMap;
+
+use crate::mem::layout;
+
+/// One hardware-task table entry.
+#[derive(Clone, Debug)]
+pub struct HwTaskEntry {
+    /// Unique task id.
+    pub id: HwTaskId,
+    /// The IP core the bitstream configures.
+    pub core: CoreKind,
+    /// Physical address of the .bit file in the bitstream store.
+    pub bit_addr: PhysAddr,
+    /// Length of the .bit file.
+    pub bit_len: u32,
+    /// Reconfiguration latency (derived from the bitstream size and PCAP
+    /// throughput — the paper stores it per task).
+    pub recon_latency: Cycles,
+    /// Predefined PRR list.
+    pub prrs: Vec<u8>,
+}
+
+/// The hardware-task lookup table.
+#[derive(Default)]
+pub struct HwTaskTable {
+    entries: BTreeMap<u16, HwTaskEntry>,
+}
+
+impl HwTaskTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a task.
+    pub fn register(
+        &mut self,
+        id: HwTaskId,
+        core: CoreKind,
+        bit_addr: PhysAddr,
+        bit_len: u32,
+        prrs: Vec<u8>,
+    ) {
+        assert!(!prrs.is_empty(), "a task needs at least one PRR");
+        self.entries.insert(
+            id.0,
+            HwTaskEntry {
+                id,
+                core,
+                bit_addr,
+                bit_len,
+                recon_latency: Cycles::new(pcap_transfer_cycles(bit_len as u64)),
+                prrs,
+            },
+        );
+    }
+
+    /// Charged lookup: touches the entry's backing lines in the manager's
+    /// region, then returns the entry.
+    pub fn lookup(&self, m: &mut Machine, id: HwTaskId) -> Option<&HwTaskEntry> {
+        // Each entry occupies two cache lines in the manager's table area.
+        let addr = layout::HWMGR_BASE + 0x1000 + (id.0 as u64) * 128;
+        let _ = m.phys_read_u32(addr);
+        let _ = m.phys_read_u32(addr + 64);
+        self.entries.get(&id.0)
+    }
+
+    /// Uncharged lookup (introspection).
+    pub fn get(&self, id: HwTaskId) -> Option<&HwTaskEntry> {
+        self.entries.get(&id.0)
+    }
+
+    /// All registered ids.
+    pub fn ids(&self) -> Vec<HwTaskId> {
+        self.entries.keys().map(|&k| HwTaskId(k)).collect()
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One PRR-table entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrrEntry {
+    /// Current client VM, if dispatched.
+    pub client: Option<VmId>,
+    /// Hardware task currently implemented in the region.
+    pub task: Option<HwTaskId>,
+    /// Interface VA in the client's space (for demapping at reclaim).
+    pub iface_va: Option<u64>,
+    /// Completed dispatches through this region.
+    pub dispatches: u64,
+}
+
+/// The PRR state table.
+pub struct PrrTable {
+    entries: Vec<PrrEntry>,
+}
+
+impl PrrTable {
+    /// Table for `n` regions.
+    pub fn new(n: usize) -> Self {
+        PrrTable {
+            entries: vec![PrrEntry::default(); n],
+        }
+    }
+
+    /// Charged access to a PRR's entry.
+    pub fn touch(&self, m: &mut Machine, prr: u8) {
+        let addr = layout::HWMGR_BASE + 0x4000 + (prr as u64) * 64;
+        let _ = m.phys_read_u32(addr);
+    }
+
+    /// Entry accessor.
+    pub fn entry(&self, prr: u8) -> &PrrEntry {
+        &self.entries[prr as usize]
+    }
+
+    /// Mutable entry accessor (charges the write line).
+    pub fn entry_mut(&mut self, m: &mut Machine, prr: u8) -> &mut PrrEntry {
+        let addr = layout::HWMGR_BASE + 0x4000 + (prr as u64) * 64;
+        let _ = m.phys_write_u32(addr, 0);
+        &mut self.entries[prr as usize]
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no regions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The PRR currently dispatched to `vm` for `task`, if any.
+    pub fn find_dispatch(&self, vm: VmId, task: HwTaskId) -> Option<u8> {
+        self.entries
+            .iter()
+            .position(|e| e.client == Some(vm) && e.task == Some(task))
+            .map(|i| i as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_table_register_lookup() {
+        let mut m = Machine::default();
+        let mut t = HwTaskTable::new();
+        t.register(
+            HwTaskId(3),
+            CoreKind::Fft { log2_points: 9 },
+            PhysAddr::new(0x0100_0000),
+            200_000,
+            vec![0, 1],
+        );
+        let e = t.lookup(&mut m, HwTaskId(3)).unwrap();
+        assert_eq!(e.core, CoreKind::Fft { log2_points: 9 });
+        assert_eq!(e.prrs, vec![0, 1]);
+        assert!(e.recon_latency.raw() > 0);
+        assert!(t.lookup(&mut m, HwTaskId(9)).is_none());
+        assert_eq!(t.ids(), vec![HwTaskId(3)]);
+    }
+
+    #[test]
+    fn recon_latency_scales_with_size() {
+        let mut t = HwTaskTable::new();
+        t.register(HwTaskId(0), CoreKind::Qam { bits_per_symbol: 2 }, PhysAddr::new(0), 50_000, vec![0]);
+        t.register(HwTaskId(1), CoreKind::Fft { log2_points: 13 }, PhysAddr::new(0), 500_000, vec![0]);
+        assert!(t.get(HwTaskId(1)).unwrap().recon_latency > t.get(HwTaskId(0)).unwrap().recon_latency);
+    }
+
+    #[test]
+    fn prr_table_dispatch_tracking() {
+        let mut m = Machine::default();
+        let mut p = PrrTable::new(4);
+        assert_eq!(p.len(), 4);
+        {
+            let e = p.entry_mut(&mut m, 2);
+            e.client = Some(VmId(1));
+            e.task = Some(HwTaskId(5));
+        }
+        assert_eq!(p.find_dispatch(VmId(1), HwTaskId(5)), Some(2));
+        assert_eq!(p.find_dispatch(VmId(2), HwTaskId(5)), None);
+        assert_eq!(p.find_dispatch(VmId(1), HwTaskId(6)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PRR")]
+    fn empty_prr_list_rejected() {
+        let mut t = HwTaskTable::new();
+        t.register(HwTaskId(0), CoreKind::Fir { taps: 4 }, PhysAddr::new(0), 1, vec![]);
+    }
+}

@@ -1,0 +1,374 @@
+//! The hypercall layer: trap cost, portal check and dispatch of all 25
+//! calls (§III-A).
+//!
+//! For the hardware-task calls the dispatcher also performs the *manager
+//! invocation protocol* of §IV-E: the caller's vCPU is saved, the machine
+//! switches into the Hardware Task Manager's memory space (it runs in "an
+//! independent memory space" at a priority above the guests), the request
+//! is handled, and the machine switches back — with the entry, execution
+//! and exit phases measured separately, which is precisely how Table III
+//! is produced.
+
+use mnv_arm::cp15::Cp15Reg;
+use mnv_arm::machine::Machine;
+use mnv_hal::abi::{HcError, Hypercall, HypercallArgs};
+use mnv_hal::{Cycles, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
+
+use crate::ipc;
+use crate::kernel::{sd_block, KernelState};
+use crate::mem::dacr::{self, GuestContext};
+use crate::mem::layout::ktext;
+use crate::mem::pagetable;
+
+/// Charge instruction-fetch traffic on a kernel code path.
+pub(crate) fn touch_ktext(m: &mut Machine, base: PhysAddr, lines: u64) {
+    for i in 0..lines {
+        let cost = m
+            .caches
+            .access(base + i * 32, mnv_arm::cache::MemAccessKind::Fetch, false);
+        m.charge(cost);
+    }
+}
+
+/// Per-VM emulated privileged register count (RegRead/RegWrite space).
+pub const EMULATED_REGS: usize = 8;
+
+/// Execute a hypercall from `caller`. Charges the full SVC trap round trip
+/// around the handler.
+pub fn hypercall(
+    m: &mut Machine,
+    ks: &mut KernelState,
+    caller: VmId,
+    args: HypercallArgs,
+) -> Result<u32, HcError> {
+    // SVC trap entry: exception + hypercall entry code + PD/portal lookup.
+    m.charge(mnv_arm::timing::EXC_ENTRY);
+    let r = hypercall_from_trap(m, ks, caller, args);
+    // Exception return to the guest.
+    m.charge(mnv_arm::timing::EXC_RETURN);
+    r
+}
+
+/// Hypercall body for callers that already paid the architectural
+/// exception entry/return (the MIR interpreter's SVC path).
+pub fn hypercall_from_trap(
+    m: &mut Machine,
+    ks: &mut KernelState,
+    caller: VmId,
+    args: HypercallArgs,
+) -> Result<u32, HcError> {
+    touch_ktext(m, ktext::HC_ENTRY, 10);
+    {
+        let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+        pd.stats.hypercalls += 1;
+        pd.portals.check(args.nr).inspect_err(|_| {
+            ks.stats.hypercalls_denied += 1;
+        })?;
+    }
+    ks.stats.hypercalls[args.nr.nr() as usize] += 1;
+    ks.stats.hypercalls_total += 1;
+    dispatch(m, ks, caller, args)
+}
+
+fn dispatch(
+    m: &mut Machine,
+    ks: &mut KernelState,
+    caller: VmId,
+    args: HypercallArgs,
+) -> Result<u32, HcError> {
+    use Hypercall::*;
+    match args.nr {
+        Yield => {
+            ks.yield_requested = true;
+            Ok(0)
+        }
+        VmInfo => {
+            let pd = ks.pds.get(&caller).ok_or(HcError::BadArg)?;
+            match args.a1 {
+                0 => Ok(caller.0 as u32),
+                1 => Ok(pd.region.raw() as u32),
+                2 => Ok(pd.region_len as u32),
+                _ => Err(HcError::BadArg),
+            }
+        }
+        CacheFlushAll => {
+            m.cache_flush_all();
+            Ok(0)
+        }
+        CacheFlushLine => {
+            let pd = ks.pds.get(&caller).ok_or(HcError::BadArg)?;
+            let pa = pd
+                .guest_pa(VirtAddr::new(args.a0 as u64))
+                .ok_or(HcError::BadArg)?;
+            let cost = m.caches.flush_line(pa);
+            m.charge(cost);
+            Ok(0)
+        }
+        TlbFlush => {
+            let asid = ks.pds.get(&caller).ok_or(HcError::BadArg)?.asid;
+            m.tlb_flush_asid(asid);
+            Ok(0)
+        }
+        TlbFlushMva => {
+            let asid = ks.pds.get(&caller).ok_or(HcError::BadArg)?.asid;
+            m.tlb_flush_mva(VirtAddr::new(args.a0 as u64), asid);
+            Ok(0)
+        }
+        IrqEnable => {
+            let irq = valid_irq(args.a0)?;
+            let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+            pd.vgic.enable(irq);
+            if ks.current == Some(caller) {
+                m.charge(mnv_arm::timing::MMIO);
+                m.gic.enable(irq);
+            }
+            Ok(0)
+        }
+        IrqDisable => {
+            let irq = valid_irq(args.a0)?;
+            let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+            pd.vgic.disable(irq);
+            if ks.current == Some(caller) {
+                m.charge(mnv_arm::timing::MMIO);
+                m.gic.disable(irq);
+            }
+            Ok(0)
+        }
+        IrqEoi => {
+            let irq = valid_irq(args.a0)?;
+            let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+            pd.vgic.note_eoi(irq);
+            Ok(0)
+        }
+        IrqSetEntry => {
+            let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+            pd.vgic.set_entry(VirtAddr::new(args.a0 as u64));
+            Ok(0)
+        }
+        TimerProgram => {
+            if args.a0 == 0 {
+                return Err(HcError::BadArg);
+            }
+            let period = args.a0 as u64 * mnv_hal::cycles::CPU_HZ / 1_000_000;
+            let now = m.now();
+            let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+            pd.vtimer.program(period, now);
+            Ok(0)
+        }
+        TimerStop => {
+            let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+            pd.vtimer.stop();
+            Ok(0)
+        }
+        MapInsert => {
+            let va = VirtAddr::new(args.a0 as u64);
+            let offset = args.a1 as u64;
+            let pd = ks.pds.get(&caller).ok_or(HcError::BadArg)?;
+            let l1 = pd.l1;
+            // Security: guests may only map their own region.
+            if offset + mnv_hal::PAGE_SIZE > pd.region_len {
+                return Err(HcError::Denied);
+            }
+            if va.raw() + mnv_hal::PAGE_SIZE > mnv_ucos::layout::GUEST_SPACE {
+                return Err(HcError::Denied);
+            }
+            let pa = pd.region + offset;
+            let domain = if args.a2 & 1 != 0 {
+                mnv_hal::Domain::GUEST_KERNEL
+            } else {
+                mnv_hal::Domain::GUEST_USER
+            };
+            let xn = args.a2 & 2 != 0;
+            pagetable::map_page(
+                m,
+                l1,
+                va,
+                pa,
+                domain,
+                mnv_arm::tlb::Ap::Full,
+                xn,
+                false,
+                &mut ks.pt,
+            )
+            .map_err(|_| HcError::BadArg)?;
+            Ok(0)
+        }
+        MapRemove => {
+            let pd = ks.pds.get(&caller).ok_or(HcError::BadArg)?;
+            let va = VirtAddr::new(args.a0 as u64);
+            if va.raw() >= mnv_ucos::layout::GUEST_SPACE {
+                return Err(HcError::Denied);
+            }
+            let (l1, asid) = (pd.l1, pd.asid);
+            pagetable::unmap_page(m, l1, va, asid).map_err(|_| HcError::BadArg)?;
+            Ok(0)
+        }
+        PtCreate => {
+            let pd = ks.pds.get(&caller).ok_or(HcError::BadArg)?;
+            let va = VirtAddr::new(args.a0 as u64);
+            if va.raw() >= mnv_ucos::layout::GUEST_SPACE {
+                return Err(HcError::Denied);
+            }
+            let l1 = pd.l1;
+            pagetable::ensure_l2(m, l1, va, mnv_hal::Domain::GUEST_USER, &mut ks.pt)
+                .map_err(|_| HcError::NoResource)?;
+            Ok(0)
+        }
+        RegRead => {
+            let pd = ks.pds.get(&caller).ok_or(HcError::BadArg)?;
+            let id = args.a0 as usize;
+            if id >= EMULATED_REGS {
+                return Err(HcError::BadArg);
+            }
+            m.charge(mnv_arm::timing::CP15_ACCESS);
+            Ok(emulated_read(pd, id))
+        }
+        RegWrite => {
+            let id = args.a0 as usize;
+            if id >= EMULATED_REGS {
+                return Err(HcError::BadArg);
+            }
+            m.charge(mnv_arm::timing::CP15_ACCESS);
+            let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+            emulated_write(pd, id, args.a1);
+            if id == 2 && ks.current == Some(caller) {
+                m.cp15.write(Cp15Reg::Tpidruro, args.a1);
+            }
+            Ok(0)
+        }
+        HwTaskRequest => with_manager(m, ks, caller, |m, ks| {
+            let (hwmgr, pds, pt, stats) =
+                (&mut ks.hwmgr, &mut ks.pds, &mut ks.pt, &mut ks.stats);
+            hwmgr.handle_request(
+                m,
+                pds,
+                pt,
+                stats,
+                caller,
+                HwTaskId(args.a0 as u16),
+                VirtAddr::new(args.a1 as u64),
+                VirtAddr::new(args.a2 as u64),
+            )
+        }),
+        HwTaskRelease => with_manager(m, ks, caller, |m, ks| {
+            let (hwmgr, pds) = (&mut ks.hwmgr, &mut ks.pds);
+            hwmgr.handle_release(m, pds, caller, HwTaskId(args.a0 as u16))
+        }),
+        HwTaskQuery => {
+            ks.hwmgr
+                .handle_query(m, &ks.pds, caller, HwTaskId(args.a0 as u16))
+        }
+        PcapPoll => {
+            let (hwmgr, pds) = (&mut ks.hwmgr, &mut ks.pds);
+            hwmgr.handle_pcap_poll(m, pds, caller)
+        }
+        IpcSend => ipc::send(
+            &mut ks.pds,
+            caller,
+            VmId(args.a0 as u16),
+            [args.a1, args.a2, args.a3],
+        ),
+        IpcRecv => ipc::recv(m, &mut ks.pds, caller, VirtAddr::new(args.a0 as u64)),
+        ConsoleWrite => {
+            m.charge(mnv_arm::timing::MMIO); // the supervised UART access
+            let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+            pd.console.push(args.a0 as u8);
+            Ok(0)
+        }
+        SdRead => {
+            let pd = ks.pds.get(&caller).ok_or(HcError::BadArg)?;
+            let pa = pd
+                .guest_pa(VirtAddr::new(args.a1 as u64))
+                .ok_or(HcError::BadArg)?;
+            let block = sd_block(args.a0);
+            m.charge(2_000); // SD controller DMA latency
+            m.phys_write_block(pa, &block).map_err(|_| HcError::BadArg)?;
+            Ok(0)
+        }
+    }
+}
+
+fn valid_irq(n: u32) -> Result<IrqNum, HcError> {
+    if n < mnv_arm::gic::NUM_IRQS as u32 {
+        Ok(IrqNum(n as u16))
+    } else {
+        Err(HcError::BadArg)
+    }
+}
+
+fn emulated_read(pd: &crate::kobj::pd::Pd, id: usize) -> u32 {
+    if id == 2 {
+        pd.vcpu.tpidruro
+    } else {
+        pd.emulated_regs[id]
+    }
+}
+
+fn emulated_write(pd: &mut crate::kobj::pd::Pd, id: usize, v: u32) {
+    pd.emulated_regs[id] = v;
+    if id == 2 {
+        pd.vcpu.tpidruro = v;
+    }
+}
+
+/// The manager invocation protocol: world-switch into the Hardware Task
+/// Manager's domain, run the body, switch back — with the three phases
+/// measured into the Table III accumulators.
+fn with_manager(
+    m: &mut Machine,
+    ks: &mut KernelState,
+    caller: VmId,
+    body: impl FnOnce(&mut Machine, &mut KernelState) -> Result<u32, HcError>,
+) -> Result<u32, HcError> {
+    // ---- entry: save the caller, enter the manager's memory space ----
+    let t0 = m.now();
+    if ks.defer_manager {
+        // Ablation: a manager at guest priority cannot preempt — the
+        // request waits, on average, half the remaining slice of the
+        // system's other runnable work before being served. The wait is
+        // part of the observed entry latency.
+        let wait = ks.quantum.raw() / 2;
+        m.charge(wait);
+    }
+    // Fixed portion of the invocation path (register shuffling, PD/portal
+    // bookkeeping — cache-insensitive).
+    m.charge(400);
+    touch_ktext(m, ktext::MGR_ENTRY, 16);
+    {
+        let pd = ks.pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+        pd.vcpu.save_active(m, caller);
+        // Mask the caller's lines while the service runs (it preempts).
+        for line in pd.vgic.all_lines() {
+            m.charge(mnv_arm::timing::MMIO);
+            m.gic.disable(line);
+        }
+    }
+    // Manager memory space: kernel table, ASID 0, host DACR.
+    m.charge(mnv_arm::timing::CP15_ACCESS * 3);
+    m.cp15.write(Cp15Reg::Dacr, dacr::dacr_for(GuestContext::HostKernel));
+    m.cp15.set_asid(mnv_hal::Asid(0));
+    ks.stats.vm_switches += 1;
+    let t1 = m.now();
+    ks.stats.hwmgr.entry.push(Cycles::new((t1 - t0).raw()));
+
+    // ---- execution ----
+    let result = body(m, ks);
+    let t2 = m.now();
+    ks.stats.hwmgr.exec.push(Cycles::new((t2 - t1).raw()));
+
+    // ---- exit: resume the interrupted guest ----
+    m.charge(280);
+    touch_ktext(m, ktext::MGR_EXIT, 12);
+    {
+        let pd = ks.pds.get_mut(&caller).expect("checked above");
+        pd.vcpu.restore_active(m, caller);
+        for line in pd.vgic.enabled_lines() {
+            m.charge(mnv_arm::timing::MMIO);
+            m.gic.enable(line);
+        }
+    }
+    ks.stats.vm_switches += 1;
+    let t3 = m.now();
+    ks.stats.hwmgr.exit.push(Cycles::new((t3 - t2).raw()));
+    result
+}

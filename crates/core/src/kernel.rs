@@ -1,0 +1,658 @@
+//! Kernel composition: boot, VM lifecycle, world switch and the main
+//! scheduling loop.
+
+use mnv_arm::cp15::Cp15Reg;
+use mnv_arm::machine::{Machine, MachineConfig};
+use mnv_arm::tlb::Ap;
+use mnv_fpga::bitstream::{Bitstream, CoreKind};
+use mnv_fpga::fabric::FabricConfig;
+use mnv_fpga::pl::{Pl, PlConfig};
+use mnv_hal::{Cycles, Domain, HwTaskId, PhysAddr, Priority, VirtAddr, VmId};
+use mnv_ucos::kernel::{RunExit, Ucos};
+use std::collections::BTreeMap;
+
+use crate::hwmgr::HwMgr;
+use crate::kobj::pd::{Pd, PdState};
+use crate::mem::asid::AsidAllocator;
+use crate::mem::dacr::{self, GuestContext};
+use crate::mem::layout::{self, ktext};
+use crate::mem::pagetable::{self, PtAlloc};
+use crate::mirguest::MirGuest;
+use crate::sched::scheduler::{Scheduler, StopReason};
+use crate::sched::DEFAULT_QUANTUM;
+use crate::stats::KernelStats;
+use crate::vmenv::VmEnv;
+
+/// The guest payload of a VM.
+pub enum GuestKind {
+    /// A paravirtualized uC/OS-II instance (the paper's evaluation guest).
+    Ucos(Box<Ucos>),
+    /// A deprivileged MIR program executed on the interpreter (used by
+    /// trap-and-emulate tests and the lazy-switch ablation).
+    Mir(Box<MirGuest>),
+}
+
+/// Parameters of one VM.
+pub struct VmSpec {
+    /// Name for diagnostics.
+    pub name: &'static str,
+    /// Scheduling priority (guests default to [`Priority::GUEST`]).
+    pub priority: Priority,
+    /// The guest payload.
+    pub guest: GuestKind,
+}
+
+/// Kernel construction parameters.
+pub struct KernelConfig {
+    /// FPGA fabric geometry (defaults to the paper's four-PRR fabric).
+    pub fabric: FabricConfig,
+    /// Scheduler time slice (the paper's 33 ms by default).
+    pub quantum: Cycles,
+    /// Machine configuration.
+    pub machine: MachineConfig,
+    /// Ablation: eagerly switch the VFP bank on every VM switch instead of
+    /// the paper's lazy policy (Table I).
+    pub eager_vfp: bool,
+    /// Ablation: flush the whole TLB on every VM switch instead of relying
+    /// on ASID tagging (§III-C).
+    pub flush_tlb_on_switch: bool,
+    /// Ablation: run the Hardware Task Manager at guest priority instead of
+    /// above it — requests wait out the remainder of the current slice
+    /// before being served (§IV-E motivates the high-priority choice).
+    pub defer_manager: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            fabric: FabricConfig::paper_fabric(),
+            quantum: DEFAULT_QUANTUM,
+            machine: MachineConfig::default(),
+            eager_vfp: false,
+            flush_tlb_on_switch: false,
+            defer_manager: false,
+        }
+    }
+}
+
+/// Mutable kernel state reachable from hypercall context (everything except
+/// the machine and the guest payloads).
+pub struct KernelState {
+    /// Protection domains by VM id.
+    pub pds: BTreeMap<VmId, Pd>,
+    /// The scheduler.
+    pub sched: Scheduler,
+    /// The Hardware Task Manager service.
+    pub hwmgr: HwMgr,
+    /// ASID allocator.
+    pub asids: AsidAllocator,
+    /// Page-table pool allocator.
+    pub pt: PtAlloc,
+    /// Instrumentation.
+    pub stats: KernelStats,
+    /// The VM currently holding the CPU.
+    pub current: Option<VmId>,
+    /// Set by the Yield hypercall; the VM env ends the slice early.
+    pub yield_requested: bool,
+    /// Owner of the VFP bank under lazy switching.
+    pub vfp_owner: Option<VmId>,
+    /// Ablation flags copied from the [`KernelConfig`].
+    pub eager_vfp: bool,
+    /// See [`KernelConfig::flush_tlb_on_switch`].
+    pub flush_tlb_on_switch: bool,
+    /// See [`KernelConfig::defer_manager`].
+    pub defer_manager: bool,
+    /// Quantum (needed by the deferred-manager wait model).
+    pub quantum: Cycles,
+}
+
+/// The composed kernel.
+pub struct Kernel {
+    /// The simulated platform.
+    pub machine: Machine,
+    /// Kernel state.
+    pub state: KernelState,
+    guests: BTreeMap<VmId, GuestKind>,
+    next_vm: u16,
+    bitstream_cursor: u64,
+}
+
+/// Synthetic SD-card block content (deterministic; the "external 4 GB SD
+/// card" of the evaluation platform).
+pub fn sd_block(block: u32) -> [u8; 512] {
+    let seed = block.wrapping_mul(0x9E37_79B1).wrapping_add(0x85EB_CA6B);
+    let mut out = [0u8; 512];
+    for (i, b) in out.iter_mut().enumerate() {
+        let word = seed.rotate_left((i as u32 % 4) * 8);
+        *b = (word as u8)
+            .wrapping_add((i as u8).wrapping_mul(17))
+            .wrapping_add(5);
+    }
+    out
+}
+
+impl Kernel {
+    /// Boot the kernel: build the machine, attach the PL, initialise Dom0
+    /// and the Hardware Task Manager.
+    pub fn new(cfg: KernelConfig) -> Self {
+        let mut machine = Machine::new(cfg.machine);
+        let num_prrs = cfg.fabric.num_prrs();
+        machine.add_peripheral(Box::new(Pl::new(PlConfig { fabric: cfg.fabric })));
+        machine.gic.enable(mnv_hal::IrqNum::PCAP_DONE);
+
+        let state = KernelState {
+            pds: BTreeMap::new(),
+            sched: Scheduler::new(cfg.quantum),
+            hwmgr: HwMgr::new(num_prrs, false),
+            asids: AsidAllocator::new(),
+            pt: PtAlloc::new(),
+            stats: KernelStats::default(),
+            current: None,
+            yield_requested: false,
+            vfp_owner: None,
+            eager_vfp: cfg.eager_vfp,
+            flush_tlb_on_switch: cfg.flush_tlb_on_switch,
+            defer_manager: cfg.defer_manager,
+            quantum: cfg.quantum,
+        };
+        Kernel {
+            machine,
+            state,
+            guests: BTreeMap::new(),
+            next_vm: 1,
+            bitstream_cursor: layout::BITSTREAM_BASE.raw(),
+        }
+    }
+
+    /// Register a hardware task: encode its bitstream into the store and
+    /// enter it into the manager's lookup table. Returns the task id.
+    pub fn register_hw_task(&mut self, core: CoreKind) -> HwTaskId {
+        let fabric = FabricConfig::paper_fabric();
+        let compat = fabric.compatible_prrs(core);
+        assert!(!compat.is_empty(), "{} fits no PRR", core.name());
+        let bs = Bitstream::for_core(core, &compat);
+        let bytes = bs.encode();
+        let addr = PhysAddr::new(self.bitstream_cursor);
+        assert!(
+            self.bitstream_cursor + bytes.len() as u64
+                <= layout::BITSTREAM_BASE.raw() + layout::BITSTREAM_LEN,
+            "bitstream store full"
+        );
+        self.machine.load_bytes(addr, &bytes).expect("store is RAM");
+        self.bitstream_cursor += (bytes.len() as u64).next_multiple_of(0x1000);
+
+        let id = HwTaskId(self.state.hwmgr.tasks.len() as u16);
+        self.state
+            .hwmgr
+            .tasks
+            .register(id, core, addr, bytes.len() as u32, compat);
+        id
+    }
+
+    /// Register the paper's full evaluation task set (FFT-256…FFT-8192,
+    /// QAM-4/16/64). Returns the ids in order.
+    pub fn register_paper_task_set(&mut self) -> Vec<HwTaskId> {
+        mnv_fpga::bitstream::paper_task_set()
+            .into_iter()
+            .map(|c| self.register_hw_task(c))
+            .collect()
+    }
+
+    /// Create a VM: allocates identity, ASID, region and page table; builds
+    /// the guest-window mappings (sections for RAM, leaving the interface
+    /// megabyte to on-demand 4 KB pages); enqueues it runnable.
+    pub fn create_vm(&mut self, spec: VmSpec) -> VmId {
+        let vm = VmId(self.next_vm);
+        self.next_vm += 1;
+        let asid = self.state.asids.alloc().expect("ASIDs available");
+        let region = layout::vm_region(vm);
+        let l1 = self
+            .state
+            .pt
+            .alloc_l1(&mut self.machine)
+            .expect("page-table pool");
+
+        // Map the guest window: 1 MB sections with the guest-kernel /
+        // guest-user domain split of Table II; the interface megabyte
+        // (holding layout slots for PRR register pages) stays unmapped at
+        // section level — the manager inserts 4 KB pages there.
+        let iface_mb = mnv_ucos::layout::HWIFACE_BASE.section_base().raw();
+        let gu_base = mnv_ucos::layout::GUEST_USER_BASE.raw();
+        let mut va = 0u64;
+        while va < mnv_ucos::layout::GUEST_SPACE {
+            if va != iface_mb {
+                let domain = if va < gu_base {
+                    Domain::GUEST_KERNEL
+                } else {
+                    Domain::GUEST_USER
+                };
+                pagetable::map_section(
+                    &mut self.machine,
+                    l1,
+                    VirtAddr::new(va),
+                    region + va,
+                    domain,
+                    Ap::Full,
+                    false,
+                )
+                .expect("section map");
+            }
+            va += mnv_hal::SECTION_SIZE;
+        }
+
+        let entry = mnv_ucos::layout::CODE_BASE.raw() as u32;
+        let mut pd = Pd::new(
+            vm,
+            spec.name,
+            spec.priority,
+            asid,
+            region,
+            layout::VM_REGION_LEN,
+            l1,
+            entry,
+        );
+        pd.vcpu.ttbr0 = l1.raw() as u32;
+        pd.vcpu.contextidr = asid.0 as u32;
+        pd.vcpu.dacr = dacr::dacr_for(GuestContext::GuestKernel);
+
+        // Load MIR guests' code into their region now.
+        if let GuestKind::Mir(mir) = &spec.guest {
+            let pa = region + mir.program.base.raw();
+            self.machine
+                .load_bytes(pa, &mir.program.bytes)
+                .expect("guest region is RAM");
+        }
+
+        self.state.sched.add(vm, spec.priority);
+        self.state.pds.insert(vm, pd);
+        self.guests.insert(vm, spec.guest);
+        vm
+    }
+
+    /// Number of guest VMs.
+    pub fn vm_count(&self) -> usize {
+        self.guests.len()
+    }
+
+    /// Access a PD.
+    pub fn pd(&self, vm: VmId) -> &Pd {
+        &self.state.pds[&vm]
+    }
+
+    /// Mutable guest access (tests inspect task stats through this).
+    pub fn guest_mut(&mut self, vm: VmId) -> Option<&mut GuestKind> {
+        self.guests.get_mut(&vm)
+    }
+
+    /// Typed PL access.
+    pub fn pl(&self) -> &Pl {
+        self.machine.peripheral::<Pl>().expect("PL attached")
+    }
+
+    /// Move a VM to the suspend queue (Fig. 3: "the suspend queue …
+    /// contains the ones that are not necessarily schedulable to avoid
+    /// wasting the CPU resource. By default, some user service applications
+    /// of Mini-NOVA are in the suspend queue because they are only invoked
+    /// when necessary").
+    pub fn suspend_vm(&mut self, vm: VmId) {
+        self.state.sched.queue.suspend(vm);
+    }
+
+    /// Move a suspended VM back into the run queue at its priority
+    /// (Fig. 3b: the invoked service preempts lower-priority VMs).
+    pub fn resume_vm(&mut self, vm: VmId) {
+        let prio = self.state.pds[&vm].priority;
+        if let Some(pd) = self.state.pds.get_mut(&vm) {
+            pd.wake_at = 0;
+        }
+        self.state.sched.queue.resume(vm, prio);
+    }
+
+    /// Is the VM currently suspended?
+    pub fn is_suspended(&self, vm: VmId) -> bool {
+        self.state.sched.queue.is_suspended(vm)
+    }
+
+    /// Destroy a VM: release its hardware tasks (closing their hwMMU
+    /// windows and IRQ routes), remove it from the scheduler and return
+    /// its ASID to the pool. Its physical region is left as-is (regions
+    /// are statically carved per VM id and may be reused by a later VM
+    /// with the same id).
+    pub fn destroy_vm(&mut self, vm: VmId) {
+        self.guests.remove(&vm);
+        self.state.sched.queue.remove(vm);
+        let held: Vec<HwTaskId> = self
+            .state
+            .pds
+            .get(&vm)
+            .map(|pd| pd.iface_maps.keys().copied().collect())
+            .unwrap_or_default();
+        for t in held {
+            let KernelState { hwmgr, pds, .. } = &mut self.state;
+            let _ = hwmgr.handle_release(&mut self.machine, pds, vm, t);
+        }
+        if let Some(pd) = self.state.pds.remove(&vm) {
+            self.state.asids.free(pd.asid);
+        }
+        if self.state.current == Some(vm) {
+            self.state.current = None;
+        }
+    }
+
+    // -- world switch ---------------------------------------------------------
+
+    fn touch_ktext(&mut self, base: PhysAddr, lines: u64) {
+        for i in 0..lines {
+            let cost = self.machine.caches.access(
+                base + i * 32,
+                mnv_arm::cache::MemAccessKind::Fetch,
+                false,
+            );
+            self.machine.charge(cost);
+        }
+    }
+
+    /// Switch the machine into `vm`'s world: restore the active vCPU set,
+    /// reprogram the GIC per the vGIC lists, reload TTBR/ASID/DACR. Returns
+    /// buffered vIRQs to inject.
+    fn switch_in(&mut self, vm: VmId) -> Vec<(mnv_hal::IrqNum, u32)> {
+        self.touch_ktext(ktext::WORLD_SWITCH, 16);
+        self.state.stats.vm_switches += 1;
+        {
+            let pd = self.state.pds.get_mut(&vm).expect("vm exists");
+            pd.stats.activations += 1;
+            pd.vcpu.restore_active(&mut self.machine, vm);
+            // Unmask this VM's enabled lines (charged MMIO per line).
+            for line in pd.vgic.enabled_lines() {
+                self.machine.charge(mnv_arm::timing::MMIO);
+                self.machine.gic.enable(line);
+            }
+        }
+        if self.state.flush_tlb_on_switch {
+            // Ablation: the no-ASID world — every switch flushes.
+            self.machine.tlb_flush_all();
+        }
+        if self.state.eager_vfp {
+            // Ablation: eager policy — transfer the bank on every switch.
+            if self.state.vfp_owner != Some(vm) {
+                if let Some(owner) = self.state.vfp_owner {
+                    self.machine.vfp.enabled = true;
+                    if let Some(opd) = self.state.pds.get_mut(&owner) {
+                        opd.vcpu.vfp_park(&mut self.machine, owner);
+                    }
+                }
+                if let Some(pd) = self.state.pds.get_mut(&vm) {
+                    pd.vcpu.vfp_adopt(&mut self.machine, vm);
+                }
+                self.state.vfp_owner = Some(vm);
+            }
+            self.machine.cp15.cpacr = mnv_arm::cp15::CPACR_VFP_FULL;
+            self.machine.vfp.enabled = true;
+        } else if self.state.vfp_owner == Some(vm) {
+            // Lazy state: the bank is already this VM's.
+            self.machine.cp15.cpacr = mnv_arm::cp15::CPACR_VFP_FULL;
+            self.machine.vfp.enabled = true;
+        } else {
+            // Lazy state: VFP disabled; first use traps and adopts.
+            self.machine.cp15.cpacr = 0;
+            self.machine.vfp.enabled = false;
+        }
+        self.machine.cp15.sctlr |= mnv_arm::cp15::SCTLR_M | mnv_arm::cp15::SCTLR_C;
+        self.state.current = Some(vm);
+        self.state
+            .pds
+            .get_mut(&vm)
+            .expect("vm exists")
+            .vgic
+            .drain_buffered()
+    }
+
+    /// Switch out of `vm`: save the active set and mask its lines.
+    fn switch_out(&mut self, vm: VmId) {
+        self.touch_ktext(ktext::WORLD_SWITCH, 12);
+        let pd = self.state.pds.get_mut(&vm).expect("vm exists");
+        pd.vcpu.save_active(&mut self.machine, vm);
+        for line in pd.vgic.all_lines() {
+            self.machine.charge(mnv_arm::timing::MMIO);
+            self.machine.gic.disable(line);
+        }
+        // Host context: MMU off (kernel runs identity-mapped), host DACR.
+        self.machine.cp15.sctlr &= !mnv_arm::cp15::SCTLR_M;
+        self.machine
+            .cp15
+            .write(Cp15Reg::Dacr, dacr::dacr_for(GuestContext::HostKernel));
+        self.state.current = None;
+    }
+
+    // -- the main loop ----------------------------------------------------------
+
+    /// Run the system for `duration` simulated cycles.
+    pub fn run(&mut self, duration: Cycles) {
+        let deadline = self.machine.now() + duration;
+        while self.machine.now() < deadline {
+            let now = self.machine.now().raw();
+            let Some(vm) = self.pick_awake(now) else {
+                // Everyone is asleep (WFI): fast-forward to the earliest
+                // wake-up event, as a real kernel's idle loop would.
+                let next = self
+                    .state
+                    .pds
+                    .values()
+                    .filter(|p| p.state == PdState::Runnable)
+                    .map(|p| p.wake_at.max(now + 1))
+                    .min()
+                    .unwrap_or(now + 100_000)
+                    .clamp(now + 1, deadline.raw().max(now + 1));
+                self.machine.charge(next - now);
+                self.machine.sync_devices();
+                continue;
+            };
+
+            // Quantum: the preserved remainder, else a fresh slice —
+            // truncated by the run deadline and by the earliest wake-up of
+            // any higher-priority VM (the physical timer interrupt through
+            // which the kernel preempts, §III-D).
+            self.state.sched.stats.dispatches += 1;
+            let left = self.state.pds[&vm].quantum_left;
+            let full = if left.is_zero() {
+                self.state.sched.quantum
+            } else {
+                left
+            };
+            let my_prio = self.state.pds[&vm].priority;
+            let preempt_at = self
+                .state
+                .pds
+                .values()
+                .filter(|p| {
+                    p.state == PdState::Runnable && p.priority > my_prio && p.vm != vm
+                })
+                .map(|p| p.wake_at)
+                .min()
+                .unwrap_or(u64::MAX);
+            let horizon = deadline.raw().min(preempt_at).max(now + 1);
+            let grant = Cycles::new(full.raw().min(horizon - now));
+            // Only a higher-priority wake-up is a *preemption*; truncation
+            // by the run() deadline is a harness artifact and counts as
+            // ordinary expiry (rotate as usual).
+            let preempt_truncated =
+                preempt_at.saturating_sub(now) < full.raw() && grant < full;
+
+            let (used, exit) = self.run_vm(vm, grant);
+            let reason = match exit {
+                RunExit::QuantumExhausted if preempt_truncated => StopReason::Preempted,
+                RunExit::QuantumExhausted => StopReason::QuantumExpired,
+                RunExit::Idle => StopReason::Idled,
+            };
+            // On preemption the *full* slice remainder is preserved
+            // (§III-D: "its total execution time slice is constant").
+            let left = self.state.sched.stopped(vm, full, used, reason);
+            let end = self.machine.now().raw();
+            let pd = self.state.pds.get_mut(&vm).expect("vm exists");
+            pd.quantum_left = left;
+            pd.stats.cpu_cycles += used.raw();
+            if reason == StopReason::Preempted {
+                pd.stats.preemptions += 1;
+            }
+            pd.wake_at = match reason {
+                // Still has work: runnable immediately.
+                StopReason::QuantumExpired | StopReason::Preempted => end,
+                // Idle: sleeps until its next timer tick (or a buffered
+                // vIRQ clears wake_at), with a bounded poll fallback.
+                StopReason::Idled => {
+                    if pd.vgic.has_buffered_enabled() {
+                        end
+                    } else if pd.vtimer.running() {
+                        pd.vtimer.deadline
+                    } else {
+                        end + 660_000 // 1 ms poll backoff
+                    }
+                }
+            };
+            if pd.state == PdState::Halted {
+                self.state.sched.queue.remove(vm);
+            }
+        }
+    }
+
+    /// Highest-priority runnable VM that is awake at `now`, honouring the
+    /// round-robin order within each level.
+    fn pick_awake(&self, now: u64) -> Option<VmId> {
+        for prio in (0..Priority::LEVELS as u8).rev() {
+            for vm in self.state.sched.queue.level(Priority(prio)) {
+                let pd = &self.state.pds[&vm];
+                if pd.state == PdState::Runnable
+                    && (pd.wake_at <= now || pd.vgic.has_buffered_enabled())
+                {
+                    return Some(vm);
+                }
+            }
+        }
+        None
+    }
+
+    /// Run one VM for (at most) `grant` cycles; returns (used, exit).
+    fn run_vm(&mut self, vm: VmId, grant: Cycles) -> (Cycles, RunExit) {
+        let buffered = self.switch_in(vm);
+        let start = self.machine.now();
+
+        let mut guest = self.guests.remove(&vm).expect("guest exists");
+        let exit = match &mut guest {
+            GuestKind::Ucos(os) => {
+                let mut env = VmEnv::new(&mut self.machine, &mut self.state, vm, grant, start);
+                for (line, _coalesced) in buffered {
+                    os.inject_virq(&mut env, line.0);
+                }
+                os.run(&mut env)
+            }
+            GuestKind::Mir(mir) => mir.run(&mut self.machine, &mut self.state, vm, grant),
+        };
+        self.guests.insert(vm, guest);
+
+        let used = self.machine.now() - start;
+        self.switch_out(vm);
+        (Cycles::new(used.raw()), exit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnv_ucos::kernel::UcosConfig;
+    use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
+
+    struct Spin {
+        steps: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl GuestTask for Spin {
+        fn name(&self) -> &'static str {
+            "spin"
+        }
+        fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+            ctx.env.compute(10_000);
+            self.steps.set(self.steps.get() + 1);
+            TaskAction::Continue
+        }
+    }
+
+    fn spin_guest() -> (GuestKind, std::rc::Rc<std::cell::Cell<u64>>) {
+        let steps = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut os = Ucos::new(UcosConfig::default());
+        os.task_create(
+            10,
+            Box::new(Spin {
+                steps: steps.clone(),
+            }),
+        );
+        (GuestKind::Ucos(Box::new(os)), steps)
+    }
+
+    #[test]
+    fn boot_and_register_tasks() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let ids = k.register_paper_task_set();
+        assert_eq!(ids.len(), 9, "6 FFT sizes + 3 QAM orders");
+        assert_eq!(k.state.hwmgr.tasks.len(), 9);
+        // FFT tasks restricted to the large PRRs.
+        let fft = k.state.hwmgr.tasks.get(ids[0]).unwrap();
+        assert_eq!(fft.prrs, vec![0, 1]);
+    }
+
+    #[test]
+    fn guests_share_cpu_round_robin() {
+        let mut k = Kernel::new(KernelConfig {
+            quantum: Cycles::new(200_000),
+            ..Default::default()
+        });
+        let (g1, s1) = spin_guest();
+        let (g2, s2) = spin_guest();
+        k.create_vm(VmSpec {
+            name: "g1",
+            priority: Priority::GUEST,
+            guest: g1,
+        });
+        k.create_vm(VmSpec {
+            name: "g2",
+            priority: Priority::GUEST,
+            guest: g2,
+        });
+        k.run(Cycles::new(4_000_000));
+        assert!(s1.get() > 0 && s2.get() > 0);
+        let ratio = s1.get() as f64 / s2.get() as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "equal sharing expected, got {} vs {}",
+            s1.get(),
+            s2.get()
+        );
+        assert!(k.state.stats.vm_switches >= 4);
+    }
+
+    #[test]
+    fn vm_regions_and_asids_are_distinct() {
+        let mut k = Kernel::new(KernelConfig::default());
+        let (g1, _) = spin_guest();
+        let (g2, _) = spin_guest();
+        let v1 = k.create_vm(VmSpec {
+            name: "a",
+            priority: Priority::GUEST,
+            guest: g1,
+        });
+        let v2 = k.create_vm(VmSpec {
+            name: "b",
+            priority: Priority::GUEST,
+            guest: g2,
+        });
+        let (p1, p2) = (k.pd(v1), k.pd(v2));
+        assert_ne!(p1.asid, p2.asid);
+        assert_ne!(p1.region, p2.region);
+        assert_ne!(p1.l1, p2.l1);
+    }
+
+    #[test]
+    fn sd_block_is_deterministic() {
+        assert_eq!(sd_block(3), sd_block(3));
+        assert_ne!(sd_block(3)[..16], sd_block(4)[..16]);
+    }
+}

@@ -1,0 +1,5 @@
+//! Kernel objects: protection domains, vCPUs and capability portals.
+
+pub mod pd;
+pub mod portal;
+pub mod vcpu;

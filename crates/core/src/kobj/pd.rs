@@ -1,0 +1,234 @@
+//! Protection domains (§III-A): "A Protection domain acts as a resource
+//! container and a capability interface between a virtual machine and the
+//! microkernel. It holds the state of a virtual machine (the ID number,
+//! the priority level, etc)."
+
+use mnv_hal::{Asid, Cycles, HwTaskId, PhysAddr, Priority, VirtAddr, VmId};
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::kobj::portal::PortalTable;
+use crate::kobj::vcpu::Vcpu;
+use crate::vgic::Vgic;
+use crate::vtimer::VTimer;
+
+/// Scheduling state of a PD (run queue vs. suspend queue of Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PdState {
+    /// In the run queue.
+    Runnable,
+    /// In the suspend queue ("only invoked when necessary" — the manager
+    /// service parks here between requests).
+    Suspended,
+    /// Halted (guest exited or was killed on an unrecoverable fault).
+    Halted,
+}
+
+/// The guest's hardware-task data section (registered at the first
+/// HwTaskRequest; Fig. 4's "HW task data" region).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataSection {
+    /// Guest VA of the section.
+    pub va: VirtAddr,
+    /// Physical base (inside the VM's region).
+    pub pa: PhysAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// An inter-VM message (IpcSend payload).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IpcMsg {
+    /// Sending VM.
+    pub from: VmId,
+    /// Three payload words.
+    pub payload: [u32; 3],
+}
+
+/// Per-PD accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PdStats {
+    /// Cycles of CPU time consumed.
+    pub cpu_cycles: u64,
+    /// Hypercalls issued.
+    pub hypercalls: u64,
+    /// Times scheduled in.
+    pub activations: u64,
+    /// Times preempted with quantum remaining.
+    pub preemptions: u64,
+    /// Page faults forwarded to the guest.
+    pub faults_forwarded: u64,
+}
+
+/// A protection domain.
+pub struct Pd {
+    /// VM identity.
+    pub vm: VmId,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Fixed scheduling priority (Fig. 3; higher value preempts lower).
+    pub priority: Priority,
+    /// The VM's unique ASID (§III-C).
+    pub asid: Asid,
+    /// Physical base of the VM's private memory region.
+    pub region: PhysAddr,
+    /// Region length.
+    pub region_len: u64,
+    /// Physical address of the VM's L1 page table.
+    pub l1: PhysAddr,
+    /// Saved vCPU.
+    pub vcpu: Vcpu,
+    /// The VM's virtual interrupt controller.
+    pub vgic: Vgic,
+    /// The VM's virtual timer.
+    pub vtimer: VTimer,
+    /// Hypercall capability table.
+    pub portals: PortalTable,
+    /// Scheduling state.
+    pub state: PdState,
+    /// Remaining quantum (preserved across preemption — §III-D: "When this
+    /// VM is resumed, its time quantum is also resumed so that its total
+    /// execution time slice is constant").
+    pub quantum_left: Cycles,
+    /// Registered hardware-task data section.
+    pub data_section: Option<DataSection>,
+    /// Hardware-task interfaces currently mapped into this VM:
+    /// task id → (interface VA, PRR id).
+    pub iface_maps: BTreeMap<HwTaskId, (VirtAddr, u8)>,
+    /// A PCAP reconfiguration this VM is waiting on (task id).
+    pub pcap_pending: Option<HwTaskId>,
+    /// Inter-VM message queue (bounded).
+    pub ipc_queue: VecDeque<IpcMsg>,
+    /// Supervised console output buffer.
+    pub console: Vec<u8>,
+    /// Emulated privileged registers (RegRead/RegWrite space; index 2
+    /// shadows TPIDRURO).
+    pub emulated_regs: [u32; 8],
+    /// Cursor into the guest's code working set (instruction-fetch traffic
+    /// model — see `VmEnv::compute`).
+    pub text_cursor: u64,
+    /// Absolute cycle time of this VM's next wake-up event (0 = awake now).
+    /// Set when the guest idles; cleared when a vIRQ is buffered for it.
+    pub wake_at: u64,
+    /// Accounting.
+    pub stats: PdStats,
+}
+
+/// IPC queue bound.
+pub const IPC_QUEUE_DEPTH: usize = 8;
+
+impl Pd {
+    /// Construct a PD (the kernel fills in memory layout fields).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        vm: VmId,
+        name: &'static str,
+        priority: Priority,
+        asid: Asid,
+        region: PhysAddr,
+        region_len: u64,
+        l1: PhysAddr,
+        entry: u32,
+    ) -> Self {
+        Pd {
+            vm,
+            name,
+            priority,
+            asid,
+            region,
+            region_len,
+            l1,
+            vcpu: Vcpu::new(entry),
+            vgic: Vgic::new(),
+            vtimer: VTimer::default(),
+            portals: PortalTable::guest_default(),
+            state: PdState::Runnable,
+            quantum_left: Cycles::ZERO,
+            data_section: None,
+            iface_maps: BTreeMap::new(),
+            pcap_pending: None,
+            ipc_queue: VecDeque::new(),
+            console: Vec::new(),
+            emulated_regs: [0; 8],
+            text_cursor: 0,
+            wake_at: 0,
+            stats: PdStats::default(),
+        }
+    }
+
+    /// Translate a guest VA to a physical address *within this VM's own
+    /// region* using the region-offset identity (fast path used by the
+    /// kernel for argument marshalling; full page-table walks are used
+    /// where mappings may differ, e.g. interface pages).
+    pub fn guest_pa(&self, va: VirtAddr) -> Option<PhysAddr> {
+        (va.raw() < self.region_len).then(|| self.region + va.raw())
+    }
+
+    /// Enqueue an IPC message; false when the queue is full.
+    pub fn ipc_push(&mut self, msg: IpcMsg) -> bool {
+        if self.ipc_queue.len() >= IPC_QUEUE_DEPTH {
+            return false;
+        }
+        self.ipc_queue.push_back(msg);
+        true
+    }
+
+    /// Dequeue the oldest IPC message.
+    pub fn ipc_pop(&mut self) -> Option<IpcMsg> {
+        self.ipc_queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pd() -> Pd {
+        Pd::new(
+            VmId(1),
+            "g1",
+            Priority::GUEST,
+            Asid(1),
+            PhysAddr::new(0x0400_0000),
+            0x0100_0000,
+            PhysAddr::new(0x0200_0000),
+            0x1_0000,
+        )
+    }
+
+    #[test]
+    fn guest_pa_is_region_offset() {
+        let p = pd();
+        assert_eq!(
+            p.guest_pa(VirtAddr::new(0x1234)).unwrap(),
+            PhysAddr::new(0x0400_1234)
+        );
+        assert!(p.guest_pa(VirtAddr::new(0x0100_0000)).is_none());
+    }
+
+    #[test]
+    fn ipc_queue_bounded() {
+        let mut p = pd();
+        let msg = IpcMsg {
+            from: VmId(2),
+            payload: [1, 2, 3],
+        };
+        for _ in 0..IPC_QUEUE_DEPTH {
+            assert!(p.ipc_push(msg));
+        }
+        assert!(!p.ipc_push(msg), "queue must bound");
+        assert_eq!(p.ipc_pop().unwrap().payload, [1, 2, 3]);
+        assert!(p.ipc_push(msg), "pop frees a slot");
+    }
+
+    #[test]
+    fn fresh_pd_is_runnable_with_full_portals() {
+        let p = pd();
+        assert_eq!(p.state, PdState::Runnable);
+        assert!(p
+            .portals
+            .check(mnv_hal::abi::Hypercall::HwTaskRequest)
+            .is_ok());
+        assert!(p.data_section.is_none());
+        assert!(p.iface_maps.is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! The virtual CPU: the hardware state a VM owns, split into the two
+//! switch classes of Table I.
+//!
+//! | privilege | resources | switch |
+//! |-----------|-----------|--------|
+//! | non-privileged | general-purpose registers, platform timer | active |
+//! | non-privileged | VFP | **lazy** |
+//! | privileged | CP14/CP15 registers, GIC state, MMU state | active |
+//! | privileged | VFP, L2 cache control registers | **lazy** |
+//!
+//! Active state is saved/restored on every VM switch; lazy state is
+//! switched on first use: the kernel leaves the VFP disabled and the first
+//! guest VFP instruction traps (UND), at which point the bank is swapped.
+//! "The reason is that they are relatively less frequently accessed and
+//! quite expensive to save."
+
+use mnv_arm::cp15::Cp15Reg;
+use mnv_arm::machine::Machine;
+use mnv_arm::psr::Psr;
+use mnv_arm::vfp::{Vfp, VfpImage};
+use mnv_hal::{PhysAddr, VmId};
+
+use crate::mem::layout;
+
+/// Names of the active-switch resources (Table I, asserted by tests and
+/// printed by the footprint report).
+pub const ACTIVE_SWITCH_SET: [&str; 5] = [
+    "general-purpose registers",
+    "platform-specific timer",
+    "CP14/CP15 coprocessor registers",
+    "GIC interrupt state",
+    "MMU state (TTBR/DACR/ASID)",
+];
+
+/// Names of the lazy-switch resources (Table I).
+pub const LAZY_SWITCH_SET: [&str; 2] = ["VFP register bank", "L2 cache control registers"];
+
+/// Saved vCPU content.
+#[derive(Clone, Debug)]
+pub struct Vcpu {
+    /// User-visible r0–r15.
+    pub regs: [u32; 16],
+    /// Guest CPSR (always a PL0 view).
+    pub cpsr: Psr,
+    /// Active CP15 set: TTBR0.
+    pub ttbr0: u32,
+    /// Active CP15 set: DACR.
+    pub dacr: u32,
+    /// Active CP15 set: CONTEXTIDR (ASID).
+    pub contextidr: u32,
+    /// Active CP15 set: user-readable thread register.
+    pub tpidruro: u32,
+    /// Lazy set: VFP bank image (populated on first lazy save).
+    pub vfp: VfpImage,
+    /// Whether this VM's VFP state currently lives in the hardware bank.
+    pub vfp_resident: bool,
+    /// Whether this VM ever used the VFP (owns a meaningful image).
+    pub vfp_used: bool,
+    /// Lazy set: L2 cache control register image.
+    pub l2ctl: u32,
+    /// Active saves performed.
+    pub saves: u64,
+    /// Active restores performed.
+    pub restores: u64,
+    /// Lazy VFP switches performed.
+    pub vfp_switches: u64,
+}
+
+impl Vcpu {
+    /// A fresh vCPU starting execution at `entry` in user mode.
+    pub fn new(entry: u32) -> Self {
+        let mut regs = [0u32; 16];
+        regs[15] = entry;
+        Vcpu {
+            regs,
+            cpsr: Psr::user(),
+            ttbr0: 0,
+            dacr: 0,
+            contextidr: 0,
+            tpidruro: 0,
+            vfp: VfpImage::default(),
+            vfp_resident: false,
+            vfp_used: false,
+            l2ctl: 0,
+            saves: 0,
+            restores: 0,
+            vfp_switches: 0,
+        }
+    }
+
+    /// Number of 32-bit words in the active frame (GPRs + CPSR + 4 CP15).
+    pub const ACTIVE_FRAME_WORDS: u64 = 16 + 1 + 4;
+
+    fn frame(vm: VmId) -> PhysAddr {
+        layout::vcpu_frame(vm)
+    }
+
+    /// Save the active-switch state from the machine (charging the frame
+    /// stores and CP15 reads).
+    pub fn save_active(&mut self, m: &mut Machine, vm: VmId) {
+        for r in 0..16u8 {
+            self.regs[r as usize] = m.cpu.user_reg(r);
+        }
+        self.cpsr = if m.cpu.cpsr.mode.is_privileged() {
+            // Saved from an exception context: the guest view is the SPSR.
+            m.cpu.spsr()
+        } else {
+            m.cpu.cpsr
+        };
+        m.charge(mnv_arm::timing::CP15_ACCESS * 4);
+        self.ttbr0 = m.cp15.read(Cp15Reg::Ttbr0);
+        self.dacr = m.cp15.read(Cp15Reg::Dacr);
+        self.contextidr = m.cp15.read(Cp15Reg::Contextidr);
+        self.tpidruro = m.cp15.read(Cp15Reg::Tpidruro);
+        // Frame store traffic.
+        let frame = Self::frame(vm);
+        let bytes = vec![0u8; (Self::ACTIVE_FRAME_WORDS * 4) as usize];
+        let _ = m.phys_write_block(frame, &bytes);
+        self.saves += 1;
+    }
+
+    /// Restore the active-switch state into the machine.
+    pub fn restore_active(&mut self, m: &mut Machine, vm: VmId) {
+        let frame = Self::frame(vm);
+        let mut bytes = vec![0u8; (Self::ACTIVE_FRAME_WORDS * 4) as usize];
+        let _ = m.phys_read_block(frame, &mut bytes);
+        for r in 0..16u8 {
+            m.cpu.set_user_reg(r, self.regs[r as usize]);
+        }
+        // Resume in the guest's (PL0) processor state.
+        m.cpu.cpsr = self.cpsr;
+        m.charge(mnv_arm::timing::CP15_ACCESS * 4);
+        m.cp15.write(Cp15Reg::Ttbr0, self.ttbr0);
+        m.cp15.write(Cp15Reg::Dacr, self.dacr);
+        m.cp15.write(Cp15Reg::Contextidr, self.contextidr);
+        m.cp15.write(Cp15Reg::Tpidruro, self.tpidruro);
+        self.restores += 1;
+    }
+
+    /// Lazily park the VFP: called on the *owner* when another VM traps on
+    /// VFP use. Saves the hardware bank into this vCPU's image.
+    pub fn vfp_park(&mut self, m: &mut Machine, vm: VmId) {
+        debug_assert!(self.vfp_resident);
+        m.charge(Vfp::transfer_cost().raw());
+        let frame = Self::frame(vm) + 0x100;
+        let bytes = vec![0u8; 32 * 8 + 8];
+        let _ = m.phys_write_block(frame, &bytes);
+        self.vfp = m.vfp.save();
+        self.vfp_resident = false;
+        self.vfp_switches += 1;
+    }
+
+    /// Lazily adopt the VFP: load this vCPU's image into the hardware bank
+    /// and enable it.
+    pub fn vfp_adopt(&mut self, m: &mut Machine, vm: VmId) {
+        m.charge(Vfp::transfer_cost().raw());
+        let frame = Self::frame(vm) + 0x100;
+        let mut bytes = vec![0u8; 32 * 8 + 8];
+        let _ = m.phys_read_block(frame, &mut bytes);
+        m.vfp.restore(&self.vfp);
+        m.vfp.enabled = true;
+        m.cp15.cpacr = mnv_arm::cp15::CPACR_VFP_FULL;
+        self.vfp_resident = true;
+        self.vfp_used = true;
+        self.vfp_switches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces Table I as a checked artefact: the resource classes and
+    /// their switch policies.
+    #[test]
+    fn table1_switch_classes() {
+        assert_eq!(ACTIVE_SWITCH_SET.len() + LAZY_SWITCH_SET.len(), 7);
+        assert!(LAZY_SWITCH_SET.contains(&"VFP register bank"));
+        assert!(LAZY_SWITCH_SET.contains(&"L2 cache control registers"));
+        assert!(ACTIVE_SWITCH_SET.contains(&"general-purpose registers"));
+        // The lazy set must be the expensive one: a VFP transfer costs more
+        // than the whole active register-file bookkeeping.
+        assert!(
+            Vfp::transfer_cost().raw() > Vcpu::ACTIVE_FRAME_WORDS,
+            "lazy switching only pays off for expensive state"
+        );
+    }
+
+    #[test]
+    fn save_restore_round_trip() {
+        let mut m = Machine::default();
+        let mut v = Vcpu::new(0x8000);
+        m.cpu.cpsr = Psr::user();
+        m.cpu.set_user_reg(0, 0xAA);
+        m.cpu.set_user_reg(13, 0x1000);
+        m.cp15.write(Cp15Reg::Ttbr0, 0x4000);
+        m.cp15.write(Cp15Reg::Contextidr, 7);
+        v.save_active(&mut m, VmId(1));
+
+        // Clobber, then restore.
+        m.cpu.set_user_reg(0, 0);
+        m.cp15.write(Cp15Reg::Ttbr0, 0);
+        v.restore_active(&mut m, VmId(1));
+        assert_eq!(m.cpu.user_reg(0), 0xAA);
+        assert_eq!(m.cpu.user_reg(13), 0x1000);
+        assert_eq!(m.cp15.read(Cp15Reg::Ttbr0), 0x4000);
+        assert_eq!(m.cp15.asid().0, 7);
+        assert_eq!(v.saves, 1);
+        assert_eq!(v.restores, 1);
+    }
+
+    #[test]
+    fn save_from_exception_context_uses_spsr() {
+        let mut m = Machine::default();
+        m.cpu.cpsr = Psr::user();
+        m.cpu.pc = 0x8000;
+        m.deliver_exception(mnv_arm::cpu::ExceptionKind::Svc, 0x8008);
+        let mut v = Vcpu::new(0);
+        v.save_active(&mut m, VmId(1));
+        assert_eq!(v.cpsr.mode, mnv_arm::psr::Mode::Usr);
+    }
+
+    #[test]
+    fn lazy_vfp_park_adopt() {
+        let mut m = Machine::default();
+        let mut owner = Vcpu::new(0);
+        let mut next = Vcpu::new(0);
+        // Owner adopts first.
+        owner.vfp_adopt(&mut m, VmId(1));
+        m.vfp.d[3] = 2.5;
+        // Switch: park owner, adopt next.
+        owner.vfp_park(&mut m, VmId(1));
+        assert_eq!(owner.vfp.d[3], 2.5);
+        assert!(!owner.vfp_resident);
+        next.vfp_adopt(&mut m, VmId(2));
+        assert_eq!(m.vfp.d[3], 0.0, "next VM sees its own (clean) bank");
+        // Owner's state comes back intact.
+        next.vfp_park(&mut m, VmId(2));
+        owner.vfp_adopt(&mut m, VmId(1));
+        assert_eq!(m.vfp.d[3], 2.5);
+    }
+
+    #[test]
+    fn save_restore_costs_cycles() {
+        let mut m = Machine::default();
+        let mut v = Vcpu::new(0);
+        let t0 = m.now();
+        v.save_active(&mut m, VmId(1));
+        v.restore_active(&mut m, VmId(1));
+        assert!((m.now() - t0).raw() > 0);
+    }
+}

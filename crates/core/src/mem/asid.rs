@@ -1,0 +1,78 @@
+//! ASID allocation (§III-C: "Each VM is associated with one unique ASID
+//! value. The microkernel reloads the ASID register whenever a virtual
+//! machine is switched.")
+
+use mnv_hal::{Asid, HalError, HalResult};
+
+/// Allocator over the 8-bit ASID space. ASID 0 is reserved for the kernel
+/// / Dom0 context.
+pub struct AsidAllocator {
+    used: [bool; 256],
+}
+
+impl Default for AsidAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AsidAllocator {
+    /// Fresh allocator with ASID 0 reserved.
+    pub fn new() -> Self {
+        let mut used = [false; 256];
+        used[0] = true;
+        AsidAllocator { used }
+    }
+
+    /// Allocate the lowest free ASID.
+    pub fn alloc(&mut self) -> HalResult<Asid> {
+        for (i, u) in self.used.iter_mut().enumerate().skip(1) {
+            if !*u {
+                *u = true;
+                return Ok(Asid(i as u8));
+            }
+        }
+        Err(HalError::ResourceExhausted("ASIDs"))
+    }
+
+    /// Return an ASID to the pool (on VM destruction).
+    pub fn free(&mut self, asid: Asid) {
+        assert!(asid.0 != 0, "ASID 0 is permanently reserved");
+        assert!(self.used[asid.0 as usize], "double free of {asid}");
+        self.used[asid.0 as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_unique_and_nonzero() {
+        let mut a = AsidAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..255 {
+            let asid = a.alloc().unwrap();
+            assert_ne!(asid.0, 0);
+            assert!(seen.insert(asid));
+        }
+        assert!(matches!(a.alloc(), Err(HalError::ResourceExhausted(_))));
+    }
+
+    #[test]
+    fn free_allows_reuse() {
+        let mut a = AsidAllocator::new();
+        let x = a.alloc().unwrap();
+        a.free(x);
+        assert_eq!(a.alloc().unwrap(), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = AsidAllocator::new();
+        let x = a.alloc().unwrap();
+        a.free(x);
+        a.free(x);
+    }
+}

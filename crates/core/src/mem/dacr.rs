@@ -1,0 +1,111 @@
+//! The DACR-based guest-kernel / guest-user split — Table II of the paper.
+//!
+//! Both guest kernel and guest user run in ARM's non-privileged mode, so
+//! descriptor AP bits alone cannot separate them. Mini-NOVA assigns their
+//! mappings to different MMU domains and rewrites the DACR on every guest
+//! privilege-level change: in guest-user context the guest-kernel domain is
+//! NoAccess; in guest-kernel context it is Client; the microkernel's own
+//! domain is only ever Client in the host context.
+
+use mnv_arm::cp15::{Cp15, DomainAccess};
+use mnv_hal::Domain;
+
+/// The three execution contexts of Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuestContext {
+    /// Guest user code running (GU column).
+    GuestUser,
+    /// Guest kernel code running (GK column).
+    GuestKernel,
+    /// Microkernel itself running (HK column).
+    HostKernel,
+}
+
+/// Compute the DACR field assignment for a context, exactly as Table II:
+///
+/// | Domain        | GU     | GK     | HK     |
+/// |---------------|--------|--------|--------|
+/// | guest user    | client | client | client |
+/// | guest kernel  | NA     | client | client |
+/// | microkernel   | (priv) | (priv) | client |
+///
+/// The microkernel's mappings are privileged-only at the AP level, so its
+/// domain can stay Client in all contexts — PL0 access is stopped by the
+/// permission check (the "Privileged" cell of the table).
+pub fn dacr_for(ctx: GuestContext) -> u32 {
+    let mut cp15 = Cp15::reset();
+    cp15.set_domain_access(Domain::GUEST_USER, DomainAccess::Client);
+    cp15.set_domain_access(Domain::DEVICE, DomainAccess::Client);
+    cp15.set_domain_access(Domain::KERNEL, DomainAccess::Client);
+    let gk = match ctx {
+        GuestContext::GuestUser => DomainAccess::NoAccess,
+        GuestContext::GuestKernel | GuestContext::HostKernel => DomainAccess::Client,
+    };
+    cp15.set_domain_access(Domain::GUEST_KERNEL, gk);
+    cp15.dacr
+}
+
+/// Apply a context's DACR to the live CP15 (what the kernel does on guest
+/// privilege-level changes — a single register write, no TLB flush).
+pub fn apply(cp15: &mut Cp15, ctx: GuestContext) {
+    cp15.dacr = dacr_for(ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces Table II of the paper as a checked artefact.
+    #[test]
+    fn table2_access_control() {
+        let mut cp15 = Cp15::reset();
+
+        apply(&mut cp15, GuestContext::GuestUser);
+        assert_eq!(cp15.domain_access(Domain::GUEST_USER), DomainAccess::Client);
+        assert_eq!(
+            cp15.domain_access(Domain::GUEST_KERNEL),
+            DomainAccess::NoAccess,
+            "guest kernel must be invisible to guest user"
+        );
+        assert_eq!(cp15.domain_access(Domain::KERNEL), DomainAccess::Client);
+
+        apply(&mut cp15, GuestContext::GuestKernel);
+        assert_eq!(cp15.domain_access(Domain::GUEST_USER), DomainAccess::Client);
+        assert_eq!(cp15.domain_access(Domain::GUEST_KERNEL), DomainAccess::Client);
+
+        apply(&mut cp15, GuestContext::HostKernel);
+        assert_eq!(cp15.domain_access(Domain::GUEST_USER), DomainAccess::Client);
+        assert_eq!(cp15.domain_access(Domain::GUEST_KERNEL), DomainAccess::Client);
+        assert_eq!(cp15.domain_access(Domain::KERNEL), DomainAccess::Client);
+    }
+
+    #[test]
+    fn no_context_uses_manager_domains() {
+        // Manager (check-free) access would bypass AP bits entirely — the
+        // design never grants it.
+        for ctx in [
+            GuestContext::GuestUser,
+            GuestContext::GuestKernel,
+            GuestContext::HostKernel,
+        ] {
+            let mut cp15 = Cp15::reset();
+            apply(&mut cp15, ctx);
+            for d in 0..16u8 {
+                assert_ne!(
+                    cp15.domain_access(Domain(d)),
+                    DomainAccess::Manager,
+                    "{ctx:?} domain {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unused_domains_are_no_access() {
+        let mut cp15 = Cp15::reset();
+        apply(&mut cp15, GuestContext::HostKernel);
+        for d in 4..16u8 {
+            assert_eq!(cp15.domain_access(Domain(d)), DomainAccess::NoAccess);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Physical memory carve-up of the 512 MB DDR.
+//!
+//! The microkernel owns the map: its own image and data low in memory, a
+//! page-table pool, the bitstream store (exclusively mapped to the Hardware
+//! Task Manager, §IV-B: "Mini-NOVA exclusively maps these .bit files to the
+//! memory space of the Hardware Task Manager, which is separated from other
+//! VMs"), the manager service's private region, and one private region per
+//! guest VM.
+
+use mnv_hal::{PhysAddr, VmId};
+
+/// Kernel image + kernel data (vectors, PD/vCPU frames, stacks).
+pub const KERNEL_BASE: PhysAddr = PhysAddr::new(0x0000_0000);
+/// Kernel region size (1 MB).
+pub const KERNEL_LEN: u64 = 0x0010_0000;
+
+/// Synthetic "kernel text" ranges used to charge instruction-fetch traffic
+/// on kernel paths (one cache-line-granular range per path).
+pub mod ktext {
+    use mnv_hal::PhysAddr;
+    /// Exception vector + SVC/hypercall entry path.
+    pub const HC_ENTRY: PhysAddr = PhysAddr::new(0x0000_1000);
+    /// World-switch (vCPU save/restore) path.
+    pub const WORLD_SWITCH: PhysAddr = PhysAddr::new(0x0000_2000);
+    /// IRQ entry + vGIC injection path.
+    pub const IRQ_ENTRY: PhysAddr = PhysAddr::new(0x0000_3000);
+    /// Scheduler path.
+    pub const SCHED: PhysAddr = PhysAddr::new(0x0000_4000);
+    /// Hardware Task Manager service code.
+    pub const HWMGR: PhysAddr = PhysAddr::new(0x0000_6000);
+    /// Manager invocation path (PD save + space switch into the service).
+    pub const MGR_ENTRY: PhysAddr = PhysAddr::new(0x0000_8000);
+    /// Manager return path (resume of the interrupted guest).
+    pub const MGR_EXIT: PhysAddr = PhysAddr::new(0x0000_9000);
+    /// Undefined-instruction decode + emulation path (trap & emulate).
+    pub const UND_EMULATE: PhysAddr = PhysAddr::new(0x0000_A000);
+}
+
+/// Base of the per-VM vCPU frame array in kernel data.
+pub const VCPU_FRAMES: PhysAddr = PhysAddr::new(0x0002_0000);
+/// Bytes per vCPU frame.
+pub const VCPU_FRAME_LEN: u64 = 0x400;
+
+/// Page-table pool: L1 tables (16 KB each, 16 KB aligned) and L2 tables
+/// (1 KB each) are allocated from here.
+pub const PT_POOL_BASE: PhysAddr = PhysAddr::new(0x0200_0000);
+/// Pool size (16 MB — enough for dozens of VMs).
+pub const PT_POOL_LEN: u64 = 0x0100_0000;
+
+/// Bitstream store (the .bit library on "SD card", preloaded into DDR).
+pub const BITSTREAM_BASE: PhysAddr = PhysAddr::new(0x0100_0000);
+/// Store size (16 MB).
+pub const BITSTREAM_LEN: u64 = 0x0100_0000;
+
+/// The Hardware Task Manager service's private region (its tables live
+/// here; accesses are charged against these addresses).
+pub const HWMGR_BASE: PhysAddr = PhysAddr::new(0x0300_0000);
+/// Manager region size.
+pub const HWMGR_LEN: u64 = 0x0010_0000;
+
+/// First guest VM physical region.
+pub const VM_REGION_BASE: PhysAddr = PhysAddr::new(0x0400_0000);
+/// Bytes of private physical memory per VM (matches the 16 MB guest
+/// virtual window).
+pub const VM_REGION_LEN: u64 = 0x0100_0000;
+/// Maximum number of guest VMs the layout supports.
+pub const MAX_VMS: usize = 16;
+
+/// Physical base of a VM's private region. Guest VA `v` maps to
+/// `vm_region(vm) + v` (offset identity within the region).
+pub fn vm_region(vm: VmId) -> PhysAddr {
+    assert!(vm.0 >= 1, "VM ids start at 1 (0 is Dom0)");
+    assert!((vm.0 as usize) <= MAX_VMS, "too many VMs for the layout");
+    PhysAddr::new(VM_REGION_BASE.raw() + (vm.0 as u64 - 1) * VM_REGION_LEN)
+}
+
+/// Physical address of a VM's vCPU frame (for charging save/restore
+/// traffic).
+pub fn vcpu_frame(vm: VmId) -> PhysAddr {
+    PhysAddr::new(VCPU_FRAMES.raw() + vm.0 as u64 * VCPU_FRAME_LEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut regions = vec![
+            (KERNEL_BASE.raw(), KERNEL_LEN),
+            (BITSTREAM_BASE.raw(), BITSTREAM_LEN),
+            (PT_POOL_BASE.raw(), PT_POOL_LEN),
+            (HWMGR_BASE.raw(), HWMGR_LEN),
+        ];
+        for i in 1..=MAX_VMS as u16 {
+            regions.push((vm_region(VmId(i)).raw(), VM_REGION_LEN));
+        }
+        regions.sort();
+        for w in regions.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "{:#x}+{:#x} overlaps {:#x}",
+                w[0].0,
+                w[0].1,
+                w[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn everything_fits_in_ddr() {
+        let top = vm_region(VmId(MAX_VMS as u16)).raw() + VM_REGION_LEN;
+        assert!(top <= 512 * 1024 * 1024);
+    }
+
+    #[test]
+    fn vcpu_frames_inside_kernel_region() {
+        let last = vcpu_frame(VmId(MAX_VMS as u16));
+        assert!(last.raw() + VCPU_FRAME_LEN <= KERNEL_BASE.raw() + KERNEL_LEN);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 1")]
+    fn dom0_has_no_guest_region() {
+        let _ = vm_region(VmId::DOM0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Memory management: physical layout, page-table editing, DACR policy and
+//! ASID allocation (§III-C of the paper).
+
+pub mod asid;
+pub mod dacr;
+pub mod layout;
+pub mod pagetable;

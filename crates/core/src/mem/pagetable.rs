@@ -1,0 +1,347 @@
+//! Page-table editor: writes real ARMv7 short descriptors into simulated
+//! DDR.
+//!
+//! Each VM owns an L1 table (16 KB, 4096 word entries) plus second-level
+//! tables allocated from the kernel's pool. The editor is what the
+//! Hardware Task Manager uses in stage 3 of Fig. 7 ("updates the guest OS'
+//! page table by mapping the PRR hardware task interface to the desired
+//! virtual address space") and at reclaim ("the VM2's page table must be
+//! updated to demap the PRR1 interface section"). Every descriptor write
+//! is a charged memory access, and every unmap is followed by the required
+//! TLB invalidate-by-MVA.
+
+use mnv_arm::machine::Machine;
+use mnv_arm::mmu::{l1_section_desc, l1_table_desc, l2_small_desc, FAULT_DESC};
+use mnv_arm::tlb::Ap;
+use mnv_hal::{Asid, Domain, HalError, HalResult, PhysAddr, VirtAddr};
+
+use super::layout;
+
+/// Bump allocator over the kernel's page-table pool.
+pub struct PtAlloc {
+    next: u64,
+    end: u64,
+}
+
+impl Default for PtAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PtAlloc {
+    /// Allocator over the standard pool region.
+    pub fn new() -> Self {
+        PtAlloc {
+            next: layout::PT_POOL_BASE.raw(),
+            end: layout::PT_POOL_BASE.raw() + layout::PT_POOL_LEN,
+        }
+    }
+
+    fn take(&mut self, len: u64, align: u64) -> HalResult<PhysAddr> {
+        let base = self.next.next_multiple_of(align);
+        if base + len > self.end {
+            return Err(HalError::ResourceExhausted("page-table pool"));
+        }
+        self.next = base + len;
+        Ok(PhysAddr::new(base))
+    }
+
+    /// Allocate and zero a 16 KB L1 table.
+    pub fn alloc_l1(&mut self, m: &mut Machine) -> HalResult<PhysAddr> {
+        let base = self.take(0x4000, 0x4000)?;
+        m.mem.fill(base, 0x4000, 0)?;
+        Ok(base)
+    }
+
+    /// Allocate and zero a 1 KB L2 table.
+    pub fn alloc_l2(&mut self, m: &mut Machine) -> HalResult<PhysAddr> {
+        let base = self.take(0x400, 0x400)?;
+        m.mem.fill(base, 0x400, 0)?;
+        Ok(base)
+    }
+
+    /// Bytes consumed so far (footprint reporting).
+    pub fn consumed(&self) -> u64 {
+        self.next - layout::PT_POOL_BASE.raw()
+    }
+}
+
+fn l1_slot(l1: PhysAddr, va: VirtAddr) -> PhysAddr {
+    l1 + (va.l1_index() as u64) * 4
+}
+
+/// Map a 1 MB section.
+pub fn map_section(
+    m: &mut Machine,
+    l1: PhysAddr,
+    va: VirtAddr,
+    pa: PhysAddr,
+    domain: Domain,
+    ap: Ap,
+    global: bool,
+) -> HalResult<()> {
+    if !va.is_section_aligned() || !pa.is_section_aligned() {
+        return Err(HalError::Invalid("section mapping must be 1MB aligned"));
+    }
+    let desc = l1_section_desc(pa, domain, ap, false, global);
+    m.phys_write_u32(l1_slot(l1, va), desc)
+}
+
+/// Ensure an L2 table exists for `va`'s 1 MB slot; returns its base.
+pub fn ensure_l2(
+    m: &mut Machine,
+    l1: PhysAddr,
+    va: VirtAddr,
+    domain: Domain,
+    alloc: &mut PtAlloc,
+) -> HalResult<PhysAddr> {
+    let slot = l1_slot(l1, va);
+    let cur = m.phys_read_u32(slot)?;
+    match cur & 0b11 {
+        0b01 => Ok(PhysAddr::new((cur & 0xFFFF_FC00) as u64)),
+        0b00 => {
+            let l2 = alloc.alloc_l2(m)?;
+            m.phys_write_u32(slot, l1_table_desc(l2, domain))?;
+            Ok(l2)
+        }
+        _ => Err(HalError::Invalid("VA slot already holds a section")),
+    }
+}
+
+/// Map a 4 KB page (allocating an L2 table if needed).
+#[allow(clippy::too_many_arguments)]
+pub fn map_page(
+    m: &mut Machine,
+    l1: PhysAddr,
+    va: VirtAddr,
+    pa: PhysAddr,
+    domain: Domain,
+    ap: Ap,
+    xn: bool,
+    global: bool,
+    alloc: &mut PtAlloc,
+) -> HalResult<()> {
+    if !va.is_page_aligned() || !pa.is_page_aligned() {
+        return Err(HalError::Invalid("page mapping must be 4KB aligned"));
+    }
+    let l2 = ensure_l2(m, l1, va, domain, alloc)?;
+    let desc = l2_small_desc(pa, ap, xn, global);
+    m.phys_write_u32(l2 + (va.l2_index() as u64) * 4, desc)
+}
+
+/// Remove a 4 KB mapping and invalidate the TLB entry (the demap operation
+/// of the reclaim path, Fig. 5). Returns true if a mapping was present.
+pub fn unmap_page(
+    m: &mut Machine,
+    l1: PhysAddr,
+    va: VirtAddr,
+    asid: Asid,
+) -> HalResult<bool> {
+    let slot = l1_slot(l1, va);
+    let cur = m.phys_read_u32(slot)?;
+    if cur & 0b11 != 0b01 {
+        return Ok(false);
+    }
+    let l2 = PhysAddr::new((cur & 0xFFFF_FC00) as u64);
+    let pslot = l2 + (va.l2_index() as u64) * 4;
+    let present = m.phys_read_u32(pslot)? & 0b10 != 0;
+    m.phys_write_u32(pslot, FAULT_DESC)?;
+    m.tlb_flush_mva(va, asid);
+    Ok(present)
+}
+
+/// Walk a table in software (kernel-side inspection; charged reads). Used
+/// by hypercall handlers to translate guest VAs.
+pub fn walk(m: &mut Machine, l1: PhysAddr, va: VirtAddr) -> Option<PhysAddr> {
+    let d = m.phys_read_u32(l1_slot(l1, va)).ok()?;
+    match d & 0b11 {
+        0b10 => Some(PhysAddr::new(((d & 0xFFF0_0000) as u64) | va.section_offset())),
+        0b01 => {
+            let l2 = PhysAddr::new((d & 0xFFFF_FC00) as u64);
+            let p = m.phys_read_u32(l2 + (va.l2_index() as u64) * 4).ok()?;
+            if p & 0b10 == 0 {
+                return None;
+            }
+            Some(PhysAddr::new(((p & 0xFFFF_F000) as u64) | va.page_offset()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnv_arm::cp15::{DomainAccess, SCTLR_C, SCTLR_M};
+    use mnv_arm::mmu::AccessKind;
+
+    fn machine_with_table() -> (Machine, PhysAddr, PtAlloc) {
+        let mut m = Machine::default();
+        let mut alloc = PtAlloc::new();
+        let l1 = alloc.alloc_l1(&mut m).unwrap();
+        (m, l1, alloc)
+    }
+
+    fn enable_mmu(m: &mut Machine, l1: PhysAddr, asid: u8) {
+        m.cp15.sctlr = SCTLR_M | SCTLR_C;
+        m.cp15.ttbr0 = l1.raw() as u32;
+        m.cp15.set_asid(Asid(asid));
+        m.cp15
+            .set_domain_access(Domain::GUEST_USER, DomainAccess::Client);
+        m.cp15
+            .set_domain_access(Domain::KERNEL, DomainAccess::Client);
+        m.cp15
+            .set_domain_access(Domain::DEVICE, DomainAccess::Client);
+    }
+
+    #[test]
+    fn section_map_translates() {
+        let (mut m, l1, _a) = machine_with_table();
+        map_section(
+            &mut m,
+            l1,
+            VirtAddr::new(0x0010_0000),
+            PhysAddr::new(0x0450_0000),
+            Domain::GUEST_USER,
+            Ap::Full,
+            false,
+        )
+        .unwrap();
+        enable_mmu(&mut m, l1, 3);
+        let pa = m
+            .translate(VirtAddr::new(0x0012_3456), AccessKind::Read, false)
+            .unwrap();
+        assert_eq!(pa.raw(), 0x0452_3456);
+        assert_eq!(walk(&mut m, l1, VirtAddr::new(0x0012_3456)).unwrap().raw(), 0x0452_3456);
+    }
+
+    #[test]
+    fn page_map_unmap_cycle() {
+        let (mut m, l1, mut a) = machine_with_table();
+        let va = VirtAddr::new(0x00F0_0000);
+        map_page(
+            &mut m,
+            l1,
+            va,
+            PhysAddr::new(0x4000_1000),
+            Domain::DEVICE,
+            Ap::Full,
+            true,
+            false,
+            &mut a,
+        )
+        .unwrap();
+        enable_mmu(&mut m, l1, 4);
+        assert!(m.translate(va, AccessKind::Read, false).is_ok());
+        // Unmap: the next access must fault even though the TLB held it.
+        assert!(unmap_page(&mut m, l1, va, Asid(4)).unwrap());
+        assert!(m.translate(va, AccessKind::Read, false).is_err());
+        // Second unmap reports nothing present.
+        assert!(!unmap_page(&mut m, l1, va, Asid(4)).unwrap());
+    }
+
+    #[test]
+    fn l2_tables_are_shared_within_a_section() {
+        let (mut m, l1, mut a) = machine_with_table();
+        let consumed0 = a.consumed();
+        for i in 0..4u64 {
+            map_page(
+                &mut m,
+                l1,
+                VirtAddr::new(0x00F0_0000 + i * 0x1000),
+                PhysAddr::new(0x4000_0000 + i * 0x1000),
+                Domain::DEVICE,
+                Ap::Full,
+                true,
+                false,
+                &mut a,
+            )
+            .unwrap();
+        }
+        // One L2 table total.
+        assert_eq!(a.consumed() - consumed0, 0x400);
+    }
+
+    #[test]
+    fn misaligned_mappings_rejected() {
+        let (mut m, l1, mut a) = machine_with_table();
+        assert!(map_section(
+            &mut m,
+            l1,
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x0040_0000),
+            Domain::KERNEL,
+            Ap::Full,
+            true
+        )
+        .is_err());
+        assert!(map_page(
+            &mut m,
+            l1,
+            VirtAddr::new(0x1004),
+            PhysAddr::new(0x2000),
+            Domain::KERNEL,
+            Ap::Full,
+            false,
+            true,
+            &mut a
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn section_slot_conflicts_with_l2() {
+        let (mut m, l1, mut a) = machine_with_table();
+        map_section(
+            &mut m,
+            l1,
+            VirtAddr::new(0x0010_0000),
+            PhysAddr::new(0x0040_0000),
+            Domain::KERNEL,
+            Ap::Full,
+            true,
+        )
+        .unwrap();
+        let e = ensure_l2(&mut m, l1, VirtAddr::new(0x0010_0000), Domain::KERNEL, &mut a);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn pool_exhaustion_is_an_error() {
+        let mut a = PtAlloc::new();
+        let mut m = Machine::default();
+        // Drain the pool with L1 allocations.
+        let mut n = 0;
+        while a.alloc_l1(&mut m).is_ok() {
+            n += 1;
+            assert!(n < 10_000, "pool should exhaust");
+        }
+        assert!(matches!(
+            a.alloc_l2(&mut m),
+            Err(HalError::ResourceExhausted(_)) | Ok(_)
+        ));
+    }
+
+    #[test]
+    fn asid_isolation_between_two_tables() {
+        // Two VMs map the same VA to different PAs; switching TTBR+ASID
+        // must not require a TLB flush (the §III-C property).
+        let (mut m, l1a, mut a) = machine_with_table();
+        let l1b = a.alloc_l1(&mut m).unwrap();
+        let va = VirtAddr::new(0x0001_0000);
+        map_page(&mut m, l1a, va, PhysAddr::new(0x0400_0000), Domain::GUEST_USER, Ap::Full, false, false, &mut a).unwrap();
+        map_page(&mut m, l1b, va, PhysAddr::new(0x0500_0000), Domain::GUEST_USER, Ap::Full, false, false, &mut a).unwrap();
+        enable_mmu(&mut m, l1a, 1);
+        assert_eq!(m.translate(va, AccessKind::Read, false).unwrap().raw(), 0x0400_0000);
+        // Switch VM: TTBR + ASID reload only.
+        m.cp15.ttbr0 = l1b.raw() as u32;
+        m.cp15.set_asid(Asid(2));
+        assert_eq!(m.translate(va, AccessKind::Read, false).unwrap().raw(), 0x0500_0000);
+        // Switch back: the first VM's entry is still cached (hit, no walk).
+        m.cp15.ttbr0 = l1a.raw() as u32;
+        m.cp15.set_asid(Asid(1));
+        let r = m.translate(va, AccessKind::Read, false).unwrap();
+        assert_eq!(r.raw(), 0x0400_0000);
+        assert!(m.tlb.stats().hits >= 1);
+    }
+}

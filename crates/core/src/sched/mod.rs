@@ -1,0 +1,8 @@
+//! Scheduling (§III-D): preemptive priority-based round-robin with run and
+//! suspend queues and quantum preservation.
+
+pub mod queue;
+pub mod scheduler;
+
+pub use queue::{RunQueue, DEFAULT_QUANTUM};
+pub use scheduler::Scheduler;

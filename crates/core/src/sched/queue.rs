@@ -1,0 +1,162 @@
+//! Run/suspend queues (Fig. 3).
+//!
+//! "All guest OSes/applications are organized into two execution groups:
+//! the run queue and the suspend queue. … In the run queue, VMs at the same
+//! priority level are organized in double-link circles." Round-robin within
+//! a level is a queue rotation; the suspend queue holds services that are
+//! "only invoked when necessary" (the Hardware Task Manager parks there
+//! between requests).
+
+use mnv_hal::{Cycles, Priority, VmId};
+use std::collections::VecDeque;
+
+/// Default time slice: 33 ms, as §V-B ("Mini-NOVA provides each guest OS
+/// with a time slice of 33 ms").
+pub const DEFAULT_QUANTUM: Cycles = Cycles(21_780_000);
+
+/// The two-group queue structure.
+#[derive(Default)]
+pub struct RunQueue {
+    /// One circular list per priority level (index = priority value).
+    levels: [VecDeque<VmId>; Priority::LEVELS],
+    /// The suspend queue.
+    suspended: Vec<VmId>,
+}
+
+impl RunQueue {
+    /// Empty queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a PD into the run queue at its priority (tail of the circle).
+    pub fn enqueue(&mut self, vm: VmId, prio: Priority) {
+        let lvl = &mut self.levels[prio.0 as usize];
+        debug_assert!(!lvl.contains(&vm), "{vm} already queued");
+        lvl.push_back(vm);
+    }
+
+    /// Remove a PD from the run queue (wherever it is).
+    pub fn remove(&mut self, vm: VmId) {
+        for lvl in &mut self.levels {
+            lvl.retain(|&v| v != vm);
+        }
+    }
+
+    /// Move a PD to the suspend queue.
+    pub fn suspend(&mut self, vm: VmId) {
+        self.remove(vm);
+        if !self.suspended.contains(&vm) {
+            self.suspended.push(vm);
+        }
+    }
+
+    /// Move a PD from the suspend queue into the run queue (invocation of a
+    /// suspended service — Fig. 3b).
+    pub fn resume(&mut self, vm: VmId, prio: Priority) {
+        self.suspended.retain(|&v| v != vm);
+        self.enqueue(vm, prio);
+    }
+
+    /// The PD that should run now: head of the highest non-empty level.
+    pub fn current(&self) -> Option<VmId> {
+        self.levels
+            .iter()
+            .rev()
+            .find(|l| !l.is_empty())
+            .and_then(|l| l.front().copied())
+    }
+
+    /// Round-robin: rotate `vm`'s level so the next PD at the same priority
+    /// gets the head. No-op if `vm` is not at its level's head.
+    pub fn rotate(&mut self, vm: VmId) {
+        for lvl in &mut self.levels {
+            if lvl.front() == Some(&vm) {
+                lvl.rotate_left(1);
+                return;
+            }
+        }
+    }
+
+    /// Is the PD in the suspend queue?
+    pub fn is_suspended(&self, vm: VmId) -> bool {
+        self.suspended.contains(&vm)
+    }
+
+    /// All runnable PDs at a level, head first.
+    pub fn level(&self, prio: Priority) -> impl Iterator<Item = VmId> + '_ {
+        self.levels[prio.0 as usize].iter().copied()
+    }
+
+    /// Total runnable PDs.
+    pub fn runnable_count(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut q = RunQueue::new();
+        q.enqueue(VmId(1), Priority::GUEST);
+        q.enqueue(VmId(2), Priority::GUEST);
+        assert_eq!(q.current(), Some(VmId(1)));
+        // A service at higher priority preempts (Fig. 3b).
+        q.enqueue(VmId(9), Priority::SERVICE);
+        assert_eq!(q.current(), Some(VmId(9)));
+        q.remove(VmId(9));
+        assert_eq!(q.current(), Some(VmId(1)));
+    }
+
+    #[test]
+    fn round_robin_rotation() {
+        let mut q = RunQueue::new();
+        q.enqueue(VmId(1), Priority::GUEST);
+        q.enqueue(VmId(2), Priority::GUEST);
+        q.enqueue(VmId(3), Priority::GUEST);
+        assert_eq!(q.current(), Some(VmId(1)));
+        q.rotate(VmId(1));
+        assert_eq!(q.current(), Some(VmId(2)));
+        q.rotate(VmId(2));
+        assert_eq!(q.current(), Some(VmId(3)));
+        q.rotate(VmId(3));
+        assert_eq!(q.current(), Some(VmId(1)), "circular");
+    }
+
+    #[test]
+    fn rotate_nonhead_is_noop() {
+        let mut q = RunQueue::new();
+        q.enqueue(VmId(1), Priority::GUEST);
+        q.enqueue(VmId(2), Priority::GUEST);
+        q.rotate(VmId(2));
+        assert_eq!(q.current(), Some(VmId(1)));
+    }
+
+    #[test]
+    fn suspend_resume_cycle() {
+        let mut q = RunQueue::new();
+        q.enqueue(VmId(1), Priority::GUEST);
+        q.enqueue(VmId(5), Priority::SERVICE);
+        q.suspend(VmId(5));
+        assert!(q.is_suspended(VmId(5)));
+        assert_eq!(q.current(), Some(VmId(1)));
+        q.resume(VmId(5), Priority::SERVICE);
+        assert!(!q.is_suspended(VmId(5)));
+        assert_eq!(q.current(), Some(VmId(5)));
+    }
+
+    #[test]
+    fn empty_queue_has_no_current() {
+        let q = RunQueue::new();
+        assert_eq!(q.current(), None);
+        assert_eq!(q.runnable_count(), 0);
+    }
+
+    #[test]
+    fn default_quantum_is_33ms() {
+        assert!((DEFAULT_QUANTUM.as_millis() - 33.0).abs() < 1e-9);
+    }
+}

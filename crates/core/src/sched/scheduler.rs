@@ -1,0 +1,165 @@
+//! The scheduler proper: quantum accounting and preemption bookkeeping on
+//! top of the run/suspend queues.
+//!
+//! §III-D: "Once activated, a guest OS can run until its time quantum is
+//! consumed, or until it is preempted by a higher priority virtual machine.
+//! At the preemption point, the microkernel saves the remaining time
+//! quantum of the interrupted virtual machine. When this VM is resumed, its
+//! time quantum is also resumed so that its total execution time slice is
+//! constant."
+
+use mnv_hal::{Cycles, Priority, VmId};
+
+use super::queue::{RunQueue, DEFAULT_QUANTUM};
+
+/// Why the current PD stopped running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Quantum fully consumed: rotate the level, refill the quantum.
+    QuantumExpired,
+    /// Preempted by a higher-priority PD: keep the remaining quantum.
+    Preempted,
+    /// Blocked/idled voluntarily (WFI, all tasks blocked).
+    Idled,
+}
+
+/// Scheduler statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedStats {
+    /// Dispatch decisions taken.
+    pub dispatches: u64,
+    /// Quantum expirations.
+    pub expirations: u64,
+    /// Preemptions.
+    pub preemptions: u64,
+}
+
+/// The scheduler: queues + quanta.
+pub struct Scheduler {
+    /// The two-group queue structure.
+    pub queue: RunQueue,
+    /// Time slice handed to a PD on refill.
+    pub quantum: Cycles,
+    /// Statistics.
+    pub stats: SchedStats,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new(DEFAULT_QUANTUM)
+    }
+}
+
+impl Scheduler {
+    /// Scheduler with a configurable slice (the paper's default is 33 ms).
+    pub fn new(quantum: Cycles) -> Self {
+        Scheduler {
+            queue: RunQueue::new(),
+            quantum,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Pick the PD to dispatch and return it with the quantum it should
+    /// receive: the preserved remainder if any, else a full slice.
+    /// `quantum_left` is read from/written back to the PD by the caller.
+    pub fn pick(&mut self, quantum_left_of: impl Fn(VmId) -> Cycles) -> Option<(VmId, Cycles)> {
+        let vm = self.queue.current()?;
+        self.stats.dispatches += 1;
+        let left = quantum_left_of(vm);
+        let grant = if left.is_zero() { self.quantum } else { left };
+        Some((vm, grant))
+    }
+
+    /// Account the end of a run: returns the quantum to store back into the
+    /// PD (zero on expiry, the remainder on preemption/idle).
+    pub fn stopped(
+        &mut self,
+        vm: VmId,
+        granted: Cycles,
+        used: Cycles,
+        reason: StopReason,
+    ) -> Cycles {
+        match reason {
+            StopReason::QuantumExpired => {
+                self.stats.expirations += 1;
+                self.queue.rotate(vm);
+                Cycles::ZERO
+            }
+            StopReason::Preempted => {
+                self.stats.preemptions += 1;
+                granted.saturating_sub(used)
+            }
+            StopReason::Idled => {
+                // An idling VM keeps the slice remainder but yields the
+                // head so siblings can run.
+                self.queue.rotate(vm);
+                granted.saturating_sub(used)
+            }
+        }
+    }
+
+    /// Add a PD to the run queue.
+    pub fn add(&mut self, vm: VmId, prio: Priority) {
+        self.queue.enqueue(vm, prio);
+    }
+
+    /// True if `candidate` would preempt `running`.
+    pub fn preempts(candidate: Priority, running: Priority) -> bool {
+        candidate > running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_pd_gets_full_slice() {
+        let mut s = Scheduler::new(Cycles::new(1000));
+        s.add(VmId(1), Priority::GUEST);
+        let (vm, grant) = s.pick(|_| Cycles::ZERO).unwrap();
+        assert_eq!(vm, VmId(1));
+        assert_eq!(grant, Cycles::new(1000));
+    }
+
+    #[test]
+    fn preserved_quantum_is_regranted() {
+        let mut s = Scheduler::new(Cycles::new(1000));
+        s.add(VmId(1), Priority::GUEST);
+        // Preempted after 400 cycles: 600 remain.
+        let left = s.stopped(VmId(1), Cycles::new(1000), Cycles::new(400), StopReason::Preempted);
+        assert_eq!(left, Cycles::new(600));
+        let (_, grant) = s.pick(|_| left).unwrap();
+        assert_eq!(grant, Cycles::new(600), "total slice stays constant");
+    }
+
+    #[test]
+    fn expiry_rotates_and_refills() {
+        let mut s = Scheduler::new(Cycles::new(1000));
+        s.add(VmId(1), Priority::GUEST);
+        s.add(VmId(2), Priority::GUEST);
+        let left = s.stopped(VmId(1), Cycles::new(1000), Cycles::new(1000), StopReason::QuantumExpired);
+        assert_eq!(left, Cycles::ZERO);
+        let (vm, grant) = s.pick(|_| Cycles::ZERO).unwrap();
+        assert_eq!(vm, VmId(2));
+        assert_eq!(grant, Cycles::new(1000));
+    }
+
+    #[test]
+    fn priority_preemption_predicate() {
+        assert!(Scheduler::preempts(Priority::SERVICE, Priority::GUEST));
+        assert!(!Scheduler::preempts(Priority::GUEST, Priority::SERVICE));
+        assert!(!Scheduler::preempts(Priority::GUEST, Priority::GUEST));
+    }
+
+    #[test]
+    fn idle_keeps_remainder_but_rotates() {
+        let mut s = Scheduler::new(Cycles::new(1000));
+        s.add(VmId(1), Priority::GUEST);
+        s.add(VmId(2), Priority::GUEST);
+        let left = s.stopped(VmId(1), Cycles::new(1000), Cycles::new(100), StopReason::Idled);
+        assert_eq!(left, Cycles::new(900));
+        assert_eq!(s.queue.current(), Some(VmId(2)));
+    }
+}

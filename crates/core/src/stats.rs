@@ -1,0 +1,150 @@
+//! Kernel instrumentation — the measurement points behind Table III.
+//!
+//! Four characteristic overheads are accumulated exactly as the paper
+//! defines them (§V-B):
+//!
+//! * **HW Manager entry**: from the guest's hardware-task hypercall trap to
+//!   the manager service starting execution (includes the memory-space
+//!   switch into the manager's domain);
+//! * **HW Manager execution**: the manager's own request handling;
+//! * **HW Manager exit**: from manager completion back into the guest;
+//! * **PL IRQ entry**: "from the exception vector table … until the vGIC
+//!   injects the virtual interrupt to the VM".
+
+use mnv_hal::abi::HYPERCALL_COUNT;
+use mnv_hal::Cycles;
+
+/// A mean accumulator over cycle samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Acc {
+    /// Sum of samples in cycles.
+    pub total: u64,
+    /// Number of samples.
+    pub samples: u64,
+    /// Largest single sample.
+    pub max: u64,
+}
+
+impl Acc {
+    /// Record one sample.
+    pub fn push(&mut self, c: Cycles) {
+        self.total += c.raw();
+        self.samples += 1;
+        self.max = self.max.max(c.raw());
+    }
+
+    /// Mean in cycles (0 when empty).
+    pub fn mean_cycles(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.samples as f64
+        }
+    }
+
+    /// Mean in microseconds at 660 MHz.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_cycles() * 1e6 / mnv_hal::cycles::CPU_HZ as f64
+    }
+}
+
+/// Hardware Task Manager measurements (the rows of Table III).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HwMgrStats {
+    /// HW Manager entry overhead.
+    pub entry: Acc,
+    /// HW Manager exit overhead.
+    pub exit: Acc,
+    /// HW Manager execution time.
+    pub exec: Acc,
+    /// PL IRQ entry (vGIC injection) overhead.
+    pub irq_entry: Acc,
+    /// Manager invocations.
+    pub invocations: u64,
+    /// Requests answered Busy.
+    pub busy: u64,
+    /// PCAP reconfigurations launched.
+    pub reconfigs: u64,
+    /// Hardware tasks reclaimed from a previous client.
+    pub reclaims: u64,
+}
+
+impl HwMgrStats {
+    /// Total mean response delay (entry + execution + exit), Table III's
+    /// "Total overhead" row.
+    pub fn total_mean_us(&self) -> f64 {
+        self.entry.mean_us() + self.exec.mean_us() + self.exit.mean_us()
+    }
+}
+
+/// Aggregate kernel statistics.
+#[derive(Clone, Debug, Default)]
+pub struct KernelStats {
+    /// World switches performed.
+    pub vm_switches: u64,
+    /// Per-hypercall invocation counts.
+    pub hypercalls: [u64; HYPERCALL_COUNT],
+    /// Total hypercalls.
+    pub hypercalls_total: u64,
+    /// Denied hypercalls (portal capability misses).
+    pub hypercalls_denied: u64,
+    /// Hardware Task Manager measurements.
+    pub hwmgr: HwMgrStats,
+    /// Virtual IRQs injected (all classes).
+    pub virqs_injected: u64,
+    /// Lazy VFP switches performed.
+    pub vfp_lazy_switches: u64,
+    /// Guest faults forwarded to guests.
+    pub faults_forwarded: u64,
+    /// VMs killed on unrecoverable faults.
+    pub vms_killed: u64,
+}
+
+impl KernelStats {
+    /// Reset only the Table III accumulators (benchmarks call this between
+    /// warm-up and measurement phases).
+    pub fn reset_hwmgr(&mut self) {
+        self.hwmgr = HwMgrStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_mean() {
+        let mut a = Acc::default();
+        assert_eq!(a.mean_cycles(), 0.0);
+        a.push(Cycles::new(100));
+        a.push(Cycles::new(300));
+        assert_eq!(a.mean_cycles(), 200.0);
+        assert_eq!(a.max, 300);
+        // 660 cycles = 1 us.
+        let mut b = Acc::default();
+        // One microsecond at 660 MHz.
+        b.push(Cycles::new(660));
+        assert!((b.mean_us() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_is_sum_of_phases() {
+        let mut h = HwMgrStats::default();
+        h.entry.push(Cycles::new(660));
+        h.exec.push(Cycles::new(6600));
+        h.exit.push(Cycles::new(660));
+        assert!((h.total_mean_us() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_hwmgr_preserves_rest() {
+        let mut s = KernelStats {
+            vm_switches: 7,
+            ..Default::default()
+        };
+        s.hwmgr.invocations = 3;
+        s.reset_hwmgr();
+        assert_eq!(s.vm_switches, 7);
+        assert_eq!(s.hwmgr.invocations, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-VM virtual generic interrupt controller (§III-B, Fig. 2).
+//!
+//! Each VM's vGIC keeps "a record list of the states of interrupts which
+//! the virtual machine is using". On every VM switch the kernel walks the
+//! outgoing VM's list to mask its lines at the physical GIC and the
+//! incoming VM's list to unmask the enabled ones. Interrupts that fire
+//! while the VM is inactive are buffered here ("the IRQ state remains the
+//! same until the next time the VM is scheduled").
+
+use mnv_hal::{IrqNum, VirtAddr};
+use std::collections::BTreeMap;
+
+/// State of one virtual IRQ in the VM's list.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VirqState {
+    /// Guest enabled this line (via the IrqEnable hypercall).
+    pub enabled: bool,
+    /// Deliveries buffered while the VM was inactive.
+    pub buffered: u32,
+    /// Injections performed.
+    pub injected: u64,
+    /// EOIs received from the guest.
+    pub eois: u64,
+}
+
+/// The per-VM vGIC object.
+#[derive(Default)]
+pub struct Vgic {
+    list: BTreeMap<u16, VirqState>,
+    /// Guest's registered IRQ entry address (Fig. 2 "VM IRQ Entry").
+    pub irq_entry: Option<VirtAddr>,
+}
+
+impl Vgic {
+    /// Fresh, empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the guest's IRQ entry point.
+    pub fn set_entry(&mut self, entry: VirtAddr) {
+        self.irq_entry = Some(entry);
+    }
+
+    /// Guest enables a vIRQ (adds it to the list).
+    pub fn enable(&mut self, irq: IrqNum) {
+        self.list.entry(irq.0).or_default().enabled = true;
+    }
+
+    /// Guest disables a vIRQ (kept in the list, disabled).
+    pub fn disable(&mut self, irq: IrqNum) {
+        self.list.entry(irq.0).or_default().enabled = false;
+    }
+
+    /// Remove a line entirely (hardware-task IRQ deallocation).
+    pub fn remove(&mut self, irq: IrqNum) {
+        self.list.remove(&irq.0);
+    }
+
+    /// Is the line in the list and enabled?
+    pub fn is_enabled(&self, irq: IrqNum) -> bool {
+        self.list.get(&irq.0).map(|s| s.enabled).unwrap_or(false)
+    }
+
+    /// The enabled lines (what the kernel unmasks on switch-in).
+    pub fn enabled_lines(&self) -> Vec<IrqNum> {
+        self.list
+            .iter()
+            .filter(|(_, s)| s.enabled)
+            .map(|(&n, _)| IrqNum(n))
+            .collect()
+    }
+
+    /// All lines in the list (what the kernel masks on switch-out).
+    pub fn all_lines(&self) -> Vec<IrqNum> {
+        self.list.keys().map(|&n| IrqNum(n)).collect()
+    }
+
+    /// Buffer a delivery for an inactive VM.
+    pub fn buffer(&mut self, irq: IrqNum) {
+        self.list.entry(irq.0).or_default().buffered += 1;
+    }
+
+    /// Drain buffered deliveries of enabled lines (on switch-in): returns
+    /// (line, coalesced count) pairs.
+    pub fn drain_buffered(&mut self) -> Vec<(IrqNum, u32)> {
+        let mut out = Vec::new();
+        for (&n, s) in self.list.iter_mut() {
+            if s.enabled && s.buffered > 0 {
+                out.push((IrqNum(n), s.buffered));
+                s.buffered = 0;
+            }
+        }
+        out
+    }
+
+    /// Any enabled line with buffered deliveries? (Wakes a sleeping VM.)
+    pub fn has_buffered_enabled(&self) -> bool {
+        self.list.values().any(|s| s.enabled && s.buffered > 0)
+    }
+
+    /// Record an injection into the guest.
+    pub fn note_injected(&mut self, irq: IrqNum) {
+        self.list.entry(irq.0).or_default().injected += 1;
+    }
+
+    /// Record a guest EOI.
+    pub fn note_eoi(&mut self, irq: IrqNum) {
+        self.list.entry(irq.0).or_default().eois += 1;
+    }
+
+    /// Inspect a line's state.
+    pub fn state(&self, irq: IrqNum) -> VirqState {
+        self.list.get(&irq.0).copied().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_disable_lists() {
+        let mut v = Vgic::new();
+        v.enable(IrqNum(29));
+        v.enable(IrqNum::pl(0));
+        v.disable(IrqNum::pl(0));
+        assert!(v.is_enabled(IrqNum(29)));
+        assert!(!v.is_enabled(IrqNum::pl(0)));
+        assert_eq!(v.enabled_lines(), vec![IrqNum(29)]);
+        assert_eq!(v.all_lines(), vec![IrqNum(29), IrqNum::pl(0)]);
+    }
+
+    #[test]
+    fn buffered_deliveries_drain_once() {
+        let mut v = Vgic::new();
+        v.enable(IrqNum::pl(2));
+        v.buffer(IrqNum::pl(2));
+        v.buffer(IrqNum::pl(2));
+        assert_eq!(v.drain_buffered(), vec![(IrqNum::pl(2), 2)]);
+        assert!(v.drain_buffered().is_empty());
+    }
+
+    #[test]
+    fn disabled_lines_do_not_drain() {
+        let mut v = Vgic::new();
+        v.buffer(IrqNum::pl(1)); // never enabled
+        assert!(v.drain_buffered().is_empty());
+        assert_eq!(v.state(IrqNum::pl(1)).buffered, 1, "kept for later");
+        v.enable(IrqNum::pl(1));
+        assert_eq!(v.drain_buffered(), vec![(IrqNum::pl(1), 1)]);
+    }
+
+    #[test]
+    fn remove_clears_state() {
+        let mut v = Vgic::new();
+        v.enable(IrqNum::pl(3));
+        v.note_injected(IrqNum::pl(3));
+        v.remove(IrqNum::pl(3));
+        assert_eq!(v.state(IrqNum::pl(3)), VirqState::default());
+    }
+
+    #[test]
+    fn counters_track() {
+        let mut v = Vgic::new();
+        v.enable(IrqNum(29));
+        v.note_injected(IrqNum(29));
+        v.note_injected(IrqNum(29));
+        v.note_eoi(IrqNum(29));
+        let s = v.state(IrqNum(29));
+        assert_eq!(s.injected, 2);
+        assert_eq!(s.eois, 1);
+    }
+}

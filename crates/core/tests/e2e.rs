@@ -1,0 +1,310 @@
+//! End-to-end tests: paravirtualized uC/OS-II guests driving the full
+//! Mini-NOVA + PL stack.
+
+use mnv_fpga::pl::Pl;
+use mnv_hal::{Cycles, HwTaskId, Priority, VmId};
+use mnv_ucos::kernel::{Ucos, UcosConfig};
+use mnv_ucos::tasks::{AdpcmTask, GsmTask, THwTask};
+use mini_nova::{GuestKind, Kernel, KernelConfig, VmSpec};
+
+/// Build a kernel with the paper's task set registered.
+fn kernel() -> (Kernel, Vec<HwTaskId>) {
+    let mut k = Kernel::new(KernelConfig {
+        quantum: Cycles::from_millis(2.0), // shorter slice: faster tests
+        ..Default::default()
+    });
+    let ids = k.register_paper_task_set();
+    (k, ids)
+}
+
+/// A guest running the paper's workload mix: GSM + ADPCM + T_hw.
+fn workload_guest(seed: u64, task_set: Vec<HwTaskId>) -> GuestKind {
+    let mut os = Ucos::new(UcosConfig::default());
+    os.task_create(8, Box::new(THwTask::new(task_set, seed)));
+    os.task_create(12, Box::new(GsmTask::new(seed, 8)));
+    os.task_create(20, Box::new(AdpcmTask::new(seed + 99)));
+    GuestKind::Ucos(Box::new(os))
+}
+
+fn thw_stats(k: &mut Kernel, vm: VmId) -> mnv_ucos::tasks::THwStats {
+    match k.guest_mut(vm) {
+        Some(GuestKind::Ucos(_os)) => {
+            // THwTask is at priority 8; we cannot easily reach inside the
+            // boxed task, so stats are read through kernel counters
+            // instead. This helper is kept for symmetry; see asserts below.
+            unreachable!("use kernel stats instead")
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn single_guest_completes_hardware_tasks() {
+    let (mut k, ids) = kernel();
+    let qam_only: Vec<HwTaskId> = ids[6..].to_vec(); // QAM tasks: small, fast
+    k.create_vm(VmSpec {
+        name: "g1",
+        priority: Priority::GUEST,
+        guest: workload_guest(1, qam_only),
+    });
+    k.run(Cycles::from_millis(80.0));
+
+    let s = &k.state.stats;
+    assert!(
+        s.hwmgr.invocations > 0,
+        "manager must have been invoked: {s:?}"
+    );
+    assert!(s.hwmgr.reconfigs > 0, "first request must reconfigure");
+    assert!(
+        s.hwmgr.entry.samples > 0 && s.hwmgr.exec.samples > 0,
+        "Table III accumulators must fill"
+    );
+    // The PL really ran something.
+    let pl: &Pl = k.pl();
+    assert!(pl.pcap_transfers() > 0);
+    let total_runs: u64 = (0..pl.num_prrs()).map(|p| pl.prr(p as u8).runs).sum();
+    assert!(total_runs > 0, "an accelerator must have completed a run");
+    // PL completion IRQs flowed through the vGIC.
+    assert!(s.hwmgr.irq_entry.samples > 0 || total_runs > 0);
+}
+
+#[test]
+fn guest_timer_ticks_are_injected() {
+    let (mut k, _) = kernel();
+    let mut os = Ucos::new(UcosConfig::default());
+    os.task_create(20, Box::new(AdpcmTask::new(3)));
+    let vm = k.create_vm(VmSpec {
+        name: "t",
+        priority: Priority::GUEST,
+        guest: GuestKind::Ucos(Box::new(os)),
+    });
+    k.run(Cycles::from_millis(20.0));
+    // 1 kHz tick for ~20 ms => on the order of 20 ticks, coalescing aside.
+    let pd = k.pd(vm);
+    assert!(
+        pd.vtimer.ticks_injected >= 5,
+        "expected timer ticks, got {}",
+        pd.vtimer.ticks_injected
+    );
+    assert!(k.state.stats.virqs_injected >= 5);
+}
+
+#[test]
+fn two_guests_contend_for_one_large_prr_class() {
+    let (mut k, ids) = kernel();
+    let fft_large: Vec<HwTaskId> = ids[..6].to_vec(); // FFTs: only PRR0/1
+    k.create_vm(VmSpec {
+        name: "g1",
+        priority: Priority::GUEST,
+        guest: workload_guest(10, fft_large.clone()),
+    });
+    k.create_vm(VmSpec {
+        name: "g2",
+        priority: Priority::GUEST,
+        guest: workload_guest(20, fft_large),
+    });
+    k.run(Cycles::from_millis(240.0));
+
+    let s = &k.state.stats;
+    assert!(s.hwmgr.invocations >= 2);
+    // Two guests over two large PRRs with random FFT choices must force
+    // reconfigurations and typically reclaims.
+    assert!(s.hwmgr.reconfigs >= 2, "{:?}", s.hwmgr);
+    // Both guests got CPU time.
+    assert!(k.pd(VmId(1)).stats.cpu_cycles > 0);
+    assert!(k.pd(VmId(2)).stats.cpu_cycles > 0);
+}
+
+#[test]
+fn hwmmu_confines_each_vm_dma_to_its_data_section() {
+    let (mut k, ids) = kernel();
+    let qam: Vec<HwTaskId> = ids[6..].to_vec();
+    k.create_vm(VmSpec {
+        name: "g1",
+        priority: Priority::GUEST,
+        guest: workload_guest(5, qam.clone()),
+    });
+    k.create_vm(VmSpec {
+        name: "g2",
+        priority: Priority::GUEST,
+        guest: workload_guest(6, qam),
+    });
+    k.run(Cycles::from_millis(160.0));
+    // Legitimate traffic only: the hwMMU must never have latched a
+    // violation, while accelerator runs did happen.
+    let pl: &Pl = k.pl();
+    let total_runs: u64 = (0..pl.num_prrs()).map(|p| pl.prr(p as u8).runs).sum();
+    assert!(total_runs > 0);
+    assert_eq!(
+        pl.hwmmu().violation_count,
+        0,
+        "in-protocol guests must never trip the hwMMU"
+    );
+}
+
+#[test]
+fn isolation_guest_cannot_read_other_vm_memory() {
+    // A guest touching a VA outside its mapped window faults; more
+    // importantly, nothing it can name reaches another VM's region.
+    use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct Prober {
+        faults: Rc<Cell<u32>>,
+    }
+    impl GuestTask for Prober {
+        fn name(&self) -> &'static str {
+            "prober"
+        }
+        fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+            // VA beyond the 16 MB guest window: must fault, not read VM2.
+            if ctx.env.read_u32(mnv_hal::VirtAddr::new(0x0110_0000)).is_err() { self.faults.set(self.faults.get() + 1) }
+            TaskAction::Done
+        }
+    }
+
+    let (mut k, _) = kernel();
+    let faults = Rc::new(Cell::new(0));
+    let mut os = Ucos::new(UcosConfig::default());
+    os.task_create(
+        10,
+        Box::new(Prober {
+            faults: faults.clone(),
+        }),
+    );
+    k.create_vm(VmSpec {
+        name: "prober",
+        priority: Priority::GUEST,
+        guest: GuestKind::Ucos(Box::new(os)),
+    });
+    k.run(Cycles::from_millis(10.0));
+    assert_eq!(faults.get(), 1, "out-of-window access must fault");
+}
+
+#[test]
+fn console_hypercall_reaches_pd_buffer() {
+    use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
+
+    struct Greeter;
+    impl GuestTask for Greeter {
+        fn name(&self) -> &'static str {
+            "greeter"
+        }
+        fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+            mnv_ucos::port::console_write(ctx.env, "hello");
+            TaskAction::Done
+        }
+    }
+
+    let (mut k, _) = kernel();
+    let mut os = Ucos::new(UcosConfig::default());
+    os.task_create(10, Box::new(Greeter));
+    let vm = k.create_vm(VmSpec {
+        name: "c",
+        priority: Priority::GUEST,
+        guest: GuestKind::Ucos(Box::new(os)),
+    });
+    k.run(Cycles::from_millis(5.0));
+    assert_eq!(k.pd(vm).console, b"hello");
+}
+
+#[test]
+fn ipc_between_two_guests() {
+    use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
+    use mnv_hal::abi::{Hypercall, HypercallArgs};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct Sender;
+    impl GuestTask for Sender {
+        fn name(&self) -> &'static str {
+            "sender"
+        }
+        fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+            let _ = ctx.env.hypercall(
+                HypercallArgs::new(Hypercall::IpcSend)
+                    .a0(2)
+                    .a1(111)
+                    .a2(222)
+                    .a3(333),
+            );
+            TaskAction::Done
+        }
+    }
+    struct Receiver {
+        got: Rc<Cell<u32>>,
+    }
+    impl GuestTask for Receiver {
+        fn name(&self) -> &'static str {
+            "receiver"
+        }
+        fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+            let r = ctx
+                .env
+                .hypercall(HypercallArgs::new(Hypercall::IpcRecv).a0(0x2000))
+                .unwrap_or(0);
+            if r != 0 {
+                // Payload landed at VA 0x2000.
+                let w0 = ctx.env.read_u32(mnv_hal::VirtAddr::new(0x2000)).unwrap();
+                self.got.set(w0);
+                return TaskAction::Done;
+            }
+            TaskAction::Delay(1)
+        }
+    }
+
+    let (mut k, _) = kernel();
+    let got = Rc::new(Cell::new(0));
+    let mut os1 = Ucos::new(UcosConfig::default());
+    os1.task_create(10, Box::new(Sender));
+    let mut os2 = Ucos::new(UcosConfig::default());
+    os2.task_create(
+        10,
+        Box::new(Receiver { got: got.clone() }),
+    );
+    k.create_vm(VmSpec {
+        name: "tx",
+        priority: Priority::GUEST,
+        guest: GuestKind::Ucos(Box::new(os1)),
+    });
+    k.create_vm(VmSpec {
+        name: "rx",
+        priority: Priority::GUEST,
+        guest: GuestKind::Ucos(Box::new(os2)),
+    });
+    k.run(Cycles::from_millis(30.0));
+    assert_eq!(got.get(), 111);
+}
+
+#[test]
+fn manager_overheads_grow_with_guest_count() {
+    // The headline qualitative claim of Table III: entry cost with 4
+    // guests exceeds entry cost with 1 guest.
+    let measure = |n: usize| -> (f64, f64) {
+        let (mut k, ids) = kernel();
+        let qam: Vec<HwTaskId> = ids[6..].to_vec();
+        for i in 0..n {
+            k.create_vm(VmSpec {
+                name: "g",
+                priority: Priority::GUEST,
+                guest: workload_guest(100 + i as u64, qam.clone()),
+            });
+        }
+        k.run(Cycles::from_millis(60.0 * n as f64));
+        let h = &k.state.stats.hwmgr;
+        assert!(h.entry.samples >= 3, "n={n}: too few samples");
+        (h.entry.mean_us(), h.exec.mean_us())
+    };
+    let (e1, _x1) = measure(1);
+    let (e4, _x4) = measure(4);
+    assert!(
+        e4 > e1,
+        "entry overhead must grow with guest count: 1 OS {e1:.3}us vs 4 OS {e4:.3}us"
+    );
+}
+
+#[allow(dead_code)]
+fn silence_unused(k: &mut Kernel, vm: VmId) {
+    let _ = thw_stats(k, vm);
+}

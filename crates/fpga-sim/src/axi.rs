@@ -1,0 +1,134 @@
+//! AXI interconnect port models (§IV-A and Fig. 4).
+//!
+//! Three PS↔PL port families exist on the Zynq-7000, and the paper takes a
+//! position on each:
+//!
+//! * **AXI_GP** — "offers the universally-addressed access of PL … used as
+//!   a main method to configure and control hardware tasks." Uncached,
+//!   unbuffered single-beat register accesses (our [`gp_access_cycles`]; it
+//!   is also the `MMIO` cost the machine charges for every PL register).
+//! * **AXI_HP** — "a buffered AXI high performance interface … used by
+//!   hardware tasks to access and exchange data directly with on-chip
+//!   memory at high speed." Burst DMA with setup cost + per-byte streaming
+//!   (our [`hp_transfer_cycles`], the model behind the PRR execution
+//!   engine's DMA phases).
+//! * **AXI_ACP** — cache-coherent, but "since there is only one … its usage
+//!   may starve accesses from other AXI masters, it is inappropriate and
+//!   thus aborted in our system." Modelled for completeness (it *is* faster
+//!   for small coherent transfers) and rejected by policy, exactly as the
+//!   paper rejects it — see [`AxiPort::ACCEPTED`] and the tests.
+
+use mnv_arm::timing;
+
+/// The three port families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AxiPort {
+    /// General-purpose register port.
+    Gp,
+    /// High-performance DMA port.
+    Hp,
+    /// Accelerator coherency port.
+    Acp,
+}
+
+impl AxiPort {
+    /// Ports the design actually uses (the paper rejects the ACP).
+    pub const ACCEPTED: [AxiPort; 2] = [AxiPort::Gp, AxiPort::Hp];
+
+    /// Is this port part of the accepted design?
+    pub fn accepted(self) -> bool {
+        Self::ACCEPTED.contains(&self)
+    }
+}
+
+/// Cycles for one 32-bit AXI_GP register access (matches the machine's
+/// MMIO charge so the two models cannot drift apart).
+pub const fn gp_access_cycles() -> u64 {
+    timing::MMIO
+}
+
+/// AXI_HP burst setup cost in cycles (descriptor fetch + arbitration).
+pub const HP_SETUP: u64 = crate::prr::DMA_SETUP_CYCLES;
+/// AXI_HP streaming rate: bytes per CPU cycle once a burst is running.
+pub const HP_BYTES_PER_CYCLE: u64 = crate::prr::HP_BYTES_PER_CYCLE;
+
+/// Cycles to move `bytes` over the HP port (one burst).
+pub const fn hp_transfer_cycles(bytes: u64) -> u64 {
+    HP_SETUP + bytes.div_ceil(HP_BYTES_PER_CYCLE)
+}
+
+/// ACP burst setup (cheaper: no cache-maintenance round trip needed).
+pub const ACP_SETUP: u64 = 12;
+/// ACP streaming rate (same fabric width, coherent path).
+pub const ACP_BYTES_PER_CYCLE: u64 = 2;
+/// The contention penalty the paper's rejection is about: while an ACP
+/// burst runs it occupies the CPU's coherency machinery, stalling other
+/// masters (modelled as extra cycles *charged to the rest of the system*
+/// per kilobyte moved).
+pub const ACP_STARVATION_PER_KB: u64 = 180;
+
+/// Cycles for an ACP transfer as seen by the issuing task.
+pub const fn acp_transfer_cycles(bytes: u64) -> u64 {
+    ACP_SETUP + bytes.div_ceil(ACP_BYTES_PER_CYCLE)
+}
+
+/// System-wide cost of an ACP transfer: the issuer's time plus the
+/// starvation imposed on concurrent masters — the quantity that makes the
+/// paper's call ("inappropriate … where the AXI ACP access interferes
+/// other simultaneous tasks") the right one whenever more than one master
+/// is active.
+pub const fn acp_system_cycles(bytes: u64, other_masters: u64) -> u64 {
+    acp_transfer_cycles(bytes) + other_masters * (bytes.div_ceil(1024)) * ACP_STARVATION_PER_KB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepted_ports_exclude_acp() {
+        assert!(AxiPort::Gp.accepted());
+        assert!(AxiPort::Hp.accepted());
+        assert!(!AxiPort::Acp.accepted(), "the paper aborts the ACP");
+    }
+
+    #[test]
+    fn gp_matches_machine_mmio_cost() {
+        assert_eq!(gp_access_cycles(), timing::MMIO);
+    }
+
+    #[test]
+    fn hp_beats_gp_for_bulk_data() {
+        // Moving 4 KB over GP would be 1024 register accesses; HP does it
+        // in one burst. This is why data goes over HP (Fig. 4).
+        let gp = 1024 * gp_access_cycles();
+        let hp = hp_transfer_cycles(4096);
+        assert!(hp < gp / 5, "hp {hp} vs gp {gp}");
+    }
+
+    #[test]
+    fn acp_wins_alone_but_loses_under_contention() {
+        // The paper's exact trade-off: solo, the coherent port is at least
+        // as fast (no cache maintenance); with concurrent masters, the
+        // starvation penalty makes it worse than HP.
+        let bytes = 64 * 1024;
+        assert!(acp_transfer_cycles(bytes) <= hp_transfer_cycles(bytes));
+        let hp_sys = hp_transfer_cycles(bytes); // HP does not stall others
+        for masters in 1..=3 {
+            assert!(
+                acp_system_cycles(bytes, masters) > hp_sys,
+                "with {masters} other masters the ACP must lose"
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_cost_is_monotonic_in_size() {
+        let mut last = 0;
+        for kb in [1u64, 4, 16, 64, 256] {
+            let c = hp_transfer_cycles(kb * 1024);
+            assert!(c > last);
+            last = c;
+        }
+    }
+}

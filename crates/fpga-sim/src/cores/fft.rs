@@ -1,0 +1,195 @@
+//! Radix-2 decimation-in-time FFT core (256–8192 points).
+//!
+//! Functional model: an in-place iterative radix-2 FFT over complex f32
+//! samples. Timing model: a streaming pipelined butterfly engine processing
+//! four butterflies per fabric cycle — the reason a VM bothers asking for
+//! the hardware task at all.
+
+use crate::bitstream::CoreKind;
+use crate::cores::{bytes_to_complex, complex_to_bytes, IpCore};
+
+/// The FFT accelerator.
+pub struct FftCore {
+    log2_points: u8,
+}
+
+impl FftCore {
+    /// Build an FFT core for `1 << log2_points` points (8..=13).
+    pub fn new(log2_points: u8) -> Self {
+        assert!((8..=13).contains(&log2_points), "FFT size out of range");
+        FftCore { log2_points }
+    }
+
+    /// Transform size in points.
+    pub fn points(&self) -> usize {
+        1usize << self.log2_points
+    }
+}
+
+/// In-place iterative radix-2 DIT FFT. Exposed so the software golden model
+/// in `mnv-workloads` can share the exact reference behaviour in tests.
+pub fn fft_inplace(data: &mut [(f32, f32)]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f32::consts::PI / len as f32;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_r, mut cur_i) = (1.0f32, 0.0f32);
+            for j in 0..len / 2 {
+                let (ar, ai) = data[i + j];
+                let (br, bi) = data[i + j + len / 2];
+                let tr = br * cur_r - bi * cur_i;
+                let ti = br * cur_i + bi * cur_r;
+                data[i + j] = (ar + tr, ai + ti);
+                data[i + j + len / 2] = (ar - tr, ai - ti);
+                let nr = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = nr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+impl IpCore for FftCore {
+    fn kind(&self) -> CoreKind {
+        CoreKind::Fft {
+            log2_points: self.log2_points,
+        }
+    }
+
+    fn process(&self, input: &[u8]) -> Vec<u8> {
+        let n = self.points();
+        let mut data = bytes_to_complex(input);
+        data.resize(n, (0.0, 0.0)); // zero-pad or truncate to the core size
+        data.truncate(n);
+        fft_inplace(&mut data);
+        complex_to_bytes(&data)
+    }
+
+    fn compute_cycles(&self, _input_len: usize) -> u64 {
+        // (N/2 · log2 N) butterflies, 4 per fabric cycle, fabric at ~1/3 the
+        // CPU clock -> ×3 on the CPU clock, plus pipeline fill.
+        let n = self.points() as u64;
+        let butterflies = (n / 2) * self.log2_points as u64;
+        (butterflies / 4) * 3 + 200
+    }
+
+    fn output_len(&self, _input_len: usize) -> usize {
+        self.points() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: (f32, f32), b: (f32, f32), tol: f32) {
+        assert!(
+            (a.0 - b.0).abs() < tol && (a.1 - b.1).abs() < tol,
+            "{a:?} !~ {b:?}"
+        );
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![(0.0f32, 0.0f32); 256];
+        data[0] = (1.0, 0.0);
+        fft_inplace(&mut data);
+        for &x in &data {
+            assert_close(x, (1.0, 0.0), 1e-4);
+        }
+    }
+
+    #[test]
+    fn dc_transforms_to_single_bin() {
+        let mut data = vec![(1.0f32, 0.0f32); 256];
+        fft_inplace(&mut data);
+        assert_close(data[0], (256.0, 0.0), 1e-2);
+        for &x in &data[1..] {
+            assert_close(x, (0.0, 0.0), 1e-2);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_its_bin() {
+        let n = 512usize;
+        let k = 37usize;
+        let mut data: Vec<(f32, f32)> = (0..n)
+            .map(|i| {
+                let ph = 2.0 * std::f32::consts::PI * k as f32 * i as f32 / n as f32;
+                (ph.cos(), ph.sin())
+            })
+            .collect();
+        fft_inplace(&mut data);
+        // Energy concentrated in bin k.
+        let mag = |x: (f32, f32)| (x.0 * x.0 + x.1 * x.1).sqrt();
+        assert!(mag(data[k]) > 0.9 * n as f32);
+        let others: f32 = (0..n).filter(|&i| i != k).map(|i| mag(data[i])).sum();
+        assert!(others < 0.05 * n as f32, "leakage {others}");
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 256;
+        let a: Vec<(f32, f32)> = (0..n).map(|i| ((i as f32).sin(), 0.0)).collect();
+        let b: Vec<(f32, f32)> = (0..n).map(|i| ((i as f32 * 0.7).cos(), 0.0)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<(f32, f32)> =
+            a.iter().zip(&b).map(|(x, y)| (x.0 + y.0, x.1 + y.1)).collect();
+        fft_inplace(&mut fa);
+        fft_inplace(&mut fb);
+        fft_inplace(&mut fab);
+        for i in 0..n {
+            assert_close(fab[i], (fa[i].0 + fb[i].0, fa[i].1 + fb[i].1), 1e-2);
+        }
+    }
+
+    #[test]
+    fn core_pads_and_truncates() {
+        let core = FftCore::new(8);
+        let out = core.process(&[]);
+        assert_eq!(out.len(), 256 * 8);
+        let big_input = vec![0u8; 1024 * 8];
+        assert_eq!(core.process(&big_input).len(), 256 * 8);
+    }
+
+    #[test]
+    fn bigger_ffts_cost_more_cycles() {
+        let small = FftCore::new(8).compute_cycles(0);
+        let large = FftCore::new(13).compute_cycles(0);
+        assert!(large > 10 * small);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_size() {
+        let _ = FftCore::new(7);
+    }
+
+    #[test]
+    fn hardware_beats_naive_software_budget() {
+        // The accelerator's latency must be far below a plausible software
+        // FFT cost (~5 N log N cycles on the A9) — otherwise the evaluation
+        // scenario makes no sense.
+        let core = FftCore::new(13);
+        let n = 8192u64;
+        let sw = 5 * n * 13;
+        assert!(core.compute_cycles(0) < sw / 5);
+    }
+}

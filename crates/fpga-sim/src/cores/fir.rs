@@ -1,0 +1,152 @@
+//! Direct-form FIR filter core (extension beyond the paper's two task
+//! families; used by capacity/fragmentation tests and the ablation bench).
+//!
+//! Functional model: real-valued convolution of f32 samples with a
+//! deterministic windowed-sinc low-pass kernel derived from the tap count.
+//! Timing model: a fully systolic tap chain, one output sample per fabric
+//! cycle regardless of tap count.
+
+use crate::bitstream::CoreKind;
+use crate::cores::IpCore;
+
+/// The FIR accelerator.
+pub struct FirCore {
+    taps: u8,
+    kernel: Vec<f32>,
+}
+
+impl FirCore {
+    /// Build an FIR core with `taps` coefficients (1..=64).
+    pub fn new(taps: u8) -> Self {
+        assert!((1..=64).contains(&taps), "tap count out of range");
+        FirCore {
+            taps,
+            kernel: lowpass_kernel(taps as usize),
+        }
+    }
+
+    /// The filter coefficients.
+    pub fn kernel(&self) -> &[f32] {
+        &self.kernel
+    }
+}
+
+/// Windowed-sinc low-pass kernel at normalised cutoff 0.25, Hann window,
+/// normalised to unit DC gain. Deterministic in `taps` so hardware and
+/// golden model agree by construction.
+pub fn lowpass_kernel(taps: usize) -> Vec<f32> {
+    let m = taps as f32 - 1.0;
+    let mut k: Vec<f32> = (0..taps)
+        .map(|i| {
+            let x = i as f32 - m / 2.0;
+            let sinc = if x.abs() < 1e-6 {
+                1.0
+            } else {
+                let t = std::f32::consts::PI * 0.5 * x;
+                t.sin() / t
+            };
+            let hann = 0.5 - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / m.max(1.0)).cos();
+            sinc * if taps > 1 { hann } else { 1.0 }
+        })
+        .collect();
+    let sum: f32 = k.iter().sum();
+    if sum.abs() > 1e-9 {
+        for c in &mut k {
+            *c /= sum;
+        }
+    }
+    k
+}
+
+/// Convolve (same-length "valid-from-zero" convolution with zero history),
+/// shared with tests.
+pub fn fir_apply(kernel: &[f32], samples: &[f32]) -> Vec<f32> {
+    (0..samples.len())
+        .map(|n| {
+            kernel
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k <= n)
+                .map(|(k, &c)| c * samples[n - k])
+                .sum()
+        })
+        .collect()
+}
+
+impl IpCore for FirCore {
+    fn kind(&self) -> CoreKind {
+        CoreKind::Fir { taps: self.taps }
+    }
+
+    fn process(&self, input: &[u8]) -> Vec<u8> {
+        let samples: Vec<f32> = input
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let out = fir_apply(&self.kernel, &samples);
+        out.iter().flat_map(|s| s.to_le_bytes()).collect()
+    }
+
+    fn compute_cycles(&self, input_len: usize) -> u64 {
+        (input_len as u64 / 4) * 3 + 80
+    }
+
+    fn output_len(&self, input_len: usize) -> usize {
+        (input_len / 4) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_has_unit_dc_gain() {
+        for taps in [1usize, 8, 16, 33, 64] {
+            let k = lowpass_kernel(taps);
+            let sum: f32 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "taps={taps}: sum={sum}");
+        }
+    }
+
+    #[test]
+    fn dc_passes_through() {
+        let core = FirCore::new(16);
+        let dc = vec![2.0f32; 128];
+        let out = fir_apply(core.kernel(), &dc);
+        // After the transient, output settles at the DC value.
+        for &v in &out[32..] {
+            assert!((v - 2.0).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn attenuates_nyquist() {
+        let core = FirCore::new(32);
+        let alt: Vec<f32> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let out = fir_apply(core.kernel(), &alt);
+        let tail_energy: f32 = out[64..].iter().map(|v| v * v).sum();
+        assert!(tail_energy < 0.1, "Nyquist leakage {tail_energy}");
+    }
+
+    #[test]
+    fn byte_interface_round_trips_sample_count() {
+        let core = FirCore::new(8);
+        let input: Vec<u8> = (0..64u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let out = core.process(&input);
+        assert_eq!(out.len(), input.len());
+    }
+
+    #[test]
+    fn systolic_timing_independent_of_taps() {
+        let a = FirCore::new(4).compute_cycles(4096);
+        let b = FirCore::new(64).compute_cycles(4096);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "tap count out of range")]
+    fn zero_taps_rejected() {
+        let _ = FirCore::new(0);
+    }
+}

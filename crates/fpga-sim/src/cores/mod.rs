@@ -1,0 +1,96 @@
+//! Hardware IP cores hosted in PRRs.
+//!
+//! Each core is a *functional + timing* model: [`IpCore::process`] computes
+//! the real result (so integration tests compare against software golden
+//! models) and [`IpCore::compute_cycles`] gives the latency a pipelined
+//! hardware implementation would take — far fewer cycles than the ARM would
+//! need, which is the whole point of dispatching these tasks to the fabric.
+
+pub mod fft;
+pub mod fir;
+pub mod qam;
+
+use crate::bitstream::CoreKind;
+
+/// A hardware accelerator implementation.
+pub trait IpCore: Send {
+    /// Which core this is.
+    fn kind(&self) -> CoreKind;
+
+    /// Transform input bytes to output bytes (the real computation).
+    fn process(&self, input: &[u8]) -> Vec<u8>;
+
+    /// Pipeline latency in fabric-side cycles for `input_len` bytes,
+    /// expressed on the CPU clock.
+    fn compute_cycles(&self, input_len: usize) -> u64;
+
+    /// Output size for a given input size (lets the DMA engine size its
+    /// write-back before computing).
+    fn output_len(&self, input_len: usize) -> usize;
+}
+
+/// Instantiate the implementation of a core kind.
+pub fn make_core(kind: CoreKind) -> Box<dyn IpCore> {
+    match kind {
+        CoreKind::Fft { log2_points } => Box::new(fft::FftCore::new(log2_points)),
+        CoreKind::Qam { bits_per_symbol } => Box::new(qam::QamCore::new(bits_per_symbol)),
+        CoreKind::Fir { taps } => Box::new(fir::FirCore::new(taps)),
+    }
+}
+
+/// Interpret a byte slice as little-endian f32 pairs (complex samples).
+pub fn bytes_to_complex(bytes: &[u8]) -> Vec<(f32, f32)> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| {
+            (
+                f32::from_le_bytes(c[0..4].try_into().unwrap()),
+                f32::from_le_bytes(c[4..8].try_into().unwrap()),
+            )
+        })
+        .collect()
+}
+
+/// Serialise complex samples to little-endian f32 pairs.
+pub fn complex_to_bytes(samples: &[(f32, f32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(samples.len() * 8);
+    for (re, im) in samples {
+        out.extend_from_slice(&re.to_le_bytes());
+        out.extend_from_slice(&im.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_core_dispatches() {
+        assert_eq!(
+            make_core(CoreKind::Fft { log2_points: 8 }).kind(),
+            CoreKind::Fft { log2_points: 8 }
+        );
+        assert_eq!(
+            make_core(CoreKind::Qam { bits_per_symbol: 4 }).kind(),
+            CoreKind::Qam { bits_per_symbol: 4 }
+        );
+        assert_eq!(
+            make_core(CoreKind::Fir { taps: 8 }).kind(),
+            CoreKind::Fir { taps: 8 }
+        );
+    }
+
+    #[test]
+    fn complex_serde_round_trip() {
+        let samples = vec![(1.0f32, -2.0f32), (0.5, 3.25)];
+        assert_eq!(bytes_to_complex(&complex_to_bytes(&samples)), samples);
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let mut bytes = complex_to_bytes(&[(1.0, 2.0)]);
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(bytes_to_complex(&bytes).len(), 1);
+    }
+}

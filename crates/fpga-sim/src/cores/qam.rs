@@ -1,0 +1,206 @@
+//! QAM mapper core (QAM-4 / QAM-16 / QAM-64).
+//!
+//! Functional model: Gray-coded square-constellation mapping of a bit
+//! stream onto complex symbols, normalised to unit average energy — the
+//! standard digital-communication component the paper's motivating domain
+//! (§I references TDS-OFDM work) uses constantly. Timing model: one symbol
+//! per fabric cycle.
+
+use crate::bitstream::CoreKind;
+use crate::cores::{complex_to_bytes, IpCore};
+
+/// The QAM mapper.
+pub struct QamCore {
+    bits_per_symbol: u8,
+}
+
+impl QamCore {
+    /// Build for 2/4/6 bits per symbol (QAM-4/16/64).
+    pub fn new(bits_per_symbol: u8) -> Self {
+        assert!(
+            matches!(bits_per_symbol, 2 | 4 | 6),
+            "unsupported QAM order"
+        );
+        QamCore { bits_per_symbol }
+    }
+
+    /// Constellation order (4, 16 or 64).
+    pub fn order(&self) -> u32 {
+        1 << self.bits_per_symbol
+    }
+}
+
+/// Map `bits_per_symbol`-bit groups of `data` onto Gray-coded square QAM
+/// symbols with unit average energy. Shared with the software golden model.
+pub fn qam_map(data: &[u8], bits_per_symbol: u8) -> Vec<(f32, f32)> {
+    let half = bits_per_symbol / 2; // bits per axis
+    let levels = 1u32 << half;
+    // Average energy of a square PAM with levels {±1, ±3, …}:
+    // E = 2 (L²-1)/3 per complex symbol.
+    let norm = ((2.0 * (levels * levels - 1) as f32) / 3.0).sqrt();
+    let mut out = Vec::new();
+    let mut acc = 0u32;
+    let mut nbits = 0u8;
+    for &byte in data {
+        acc = (acc << 8) | byte as u32;
+        nbits += 8;
+        while nbits >= bits_per_symbol {
+            nbits -= bits_per_symbol;
+            let sym = (acc >> nbits) & ((1 << bits_per_symbol) - 1);
+            let i_bits = sym >> half;
+            let q_bits = sym & ((1 << half) - 1);
+            out.push((
+                pam_level(gray_decode(i_bits), levels) / norm,
+                pam_level(gray_decode(q_bits), levels) / norm,
+            ));
+        }
+    }
+    out
+}
+
+/// Inverse: decide the nearest constellation point and return the packed
+/// bit stream (hard-decision demapping, used by tests).
+pub fn qam_demap(symbols: &[(f32, f32)], bits_per_symbol: u8) -> Vec<u8> {
+    let half = bits_per_symbol / 2;
+    let levels = 1u32 << half;
+    let norm = ((2.0 * (levels * levels - 1) as f32) / 3.0).sqrt();
+    let mut bits = Vec::new();
+    for &(i, q) in symbols {
+        let i_idx = nearest_level(i * norm, levels);
+        let q_idx = nearest_level(q * norm, levels);
+        let sym = (gray_encode(i_idx) << half) | gray_encode(q_idx);
+        for b in (0..bits_per_symbol).rev() {
+            bits.push(((sym >> b) & 1) as u8);
+        }
+    }
+    // Pack bits MSB-first into bytes (truncating any partial byte).
+    bits.chunks_exact(8)
+        .map(|c| c.iter().fold(0u8, |a, &b| (a << 1) | b))
+        .collect()
+}
+
+fn gray_decode(mut g: u32) -> u32 {
+    let mut b = 0;
+    while g != 0 {
+        b ^= g;
+        g >>= 1;
+    }
+    b
+}
+
+fn gray_encode(b: u32) -> u32 {
+    b ^ (b >> 1)
+}
+
+fn pam_level(idx: u32, levels: u32) -> f32 {
+    (2.0 * idx as f32) - (levels as f32 - 1.0)
+}
+
+fn nearest_level(v: f32, levels: u32) -> u32 {
+    let idx = ((v + (levels as f32 - 1.0)) / 2.0).round();
+    idx.clamp(0.0, levels as f32 - 1.0) as u32
+}
+
+impl IpCore for QamCore {
+    fn kind(&self) -> CoreKind {
+        CoreKind::Qam {
+            bits_per_symbol: self.bits_per_symbol,
+        }
+    }
+
+    fn process(&self, input: &[u8]) -> Vec<u8> {
+        complex_to_bytes(&qam_map(input, self.bits_per_symbol))
+    }
+
+    fn compute_cycles(&self, input_len: usize) -> u64 {
+        let symbols = (input_len * 8) as u64 / self.bits_per_symbol as u64;
+        // One symbol per fabric cycle at ~1/3 CPU clock, plus setup.
+        symbols * 3 + 60
+    }
+
+    fn output_len(&self, input_len: usize) -> usize {
+        ((input_len * 8) / self.bits_per_symbol as usize) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qpsk_maps_to_four_points() {
+        let syms = qam_map(&[0b00_01_10_11], 2);
+        assert_eq!(syms.len(), 4);
+        let uniq: std::collections::HashSet<(i32, i32)> = syms
+            .iter()
+            .map(|&(i, q)| ((i * 1000.0) as i32, (q * 1000.0) as i32))
+            .collect();
+        assert_eq!(uniq.len(), 4);
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        for bps in [2u8, 4, 6] {
+            let data: Vec<u8> = (0..=255).collect();
+            let syms = qam_map(&data, bps);
+            let e: f32 =
+                syms.iter().map(|&(i, q)| i * i + q * q).sum::<f32>() / syms.len() as f32;
+            assert!((e - 1.0).abs() < 0.05, "QAM-{}: E={e}", 1 << bps);
+        }
+    }
+
+    #[test]
+    fn map_demap_round_trip() {
+        for bps in [2u8, 4, 6] {
+            // Use a length divisible by 3 so QAM-64 packs whole bytes.
+            let data: Vec<u8> = (0..24u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+            let syms = qam_map(&data, bps);
+            let back = qam_demap(&syms, bps);
+            assert_eq!(back, data, "QAM-{}", 1 << bps);
+        }
+    }
+
+    #[test]
+    fn demap_survives_small_noise() {
+        let data: Vec<u8> = (0..24).collect();
+        let mut syms = qam_map(&data, 4);
+        for (k, s) in syms.iter_mut().enumerate() {
+            // Deterministic pseudo-noise well inside the decision region.
+            let n = ((k as f32 * 0.7).sin()) * 0.05;
+            s.0 += n;
+            s.1 -= n;
+        }
+        assert_eq!(qam_demap(&syms, 4), data);
+    }
+
+    #[test]
+    fn gray_code_round_trip() {
+        for b in 0..64u32 {
+            assert_eq!(gray_decode(gray_encode(b)), b);
+        }
+        // Adjacent Gray codes differ in exactly one bit.
+        for b in 0..63u32 {
+            let diff = gray_encode(b) ^ gray_encode(b + 1);
+            assert_eq!(diff.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn output_sizing() {
+        let core = QamCore::new(4);
+        assert_eq!(core.output_len(2), 4 * 8); // 16 bits -> 4 symbols
+        assert_eq!(core.process(&[0xAB, 0xCD]).len(), 4 * 8);
+    }
+
+    #[test]
+    fn higher_order_is_denser() {
+        let data = vec![0u8; 30];
+        assert!(qam_map(&data, 6).len() < qam_map(&data, 2).len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported QAM order")]
+    fn odd_order_rejected() {
+        let _ = QamCore::new(3);
+    }
+}

@@ -1,0 +1,112 @@
+//! FPGA fabric geometry: static logic and partially reconfigurable regions.
+//!
+//! §IV-A: "this fabric is divided into static logic and multiple partially
+//! reconfigurable regions (PRR). … PRRs are allocated with different FPGA
+//! resources. Since FFT blocks are quite large, only PRR1 and PRR2 are
+//! large enough to contain the FFT tasks. … QAM modules have a small size
+//! and can be hosted in all four PRRs."
+
+/// Resource counts of a region (or requirements of a core).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrrResources {
+    /// Logic slices.
+    pub slices: u32,
+    /// Block RAMs.
+    pub bram: u32,
+    /// DSP slices.
+    pub dsp: u32,
+}
+
+impl PrrResources {
+    /// True if a region with these resources can host a core needing
+    /// `need`.
+    pub fn fits(&self, need: &PrrResources) -> bool {
+        self.slices >= need.slices && self.bram >= need.bram && self.dsp >= need.dsp
+    }
+}
+
+/// Static geometry of one PRR.
+#[derive(Clone, Copy, Debug)]
+pub struct PrrGeometry {
+    /// Region index (0-based; the paper's PRR1..PRR4 are ids 0..4 here).
+    pub id: u8,
+    /// Resource capacity.
+    pub resources: PrrResources,
+}
+
+/// Fabric construction parameters.
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// The regions carved out of the reconfigurable fabric.
+    pub prrs: Vec<PrrGeometry>,
+}
+
+impl FabricConfig {
+    /// The evaluation fabric of §V-B: four PRRs, two large enough for FFTs
+    /// (including FFT-8192) and two sized for QAM-class cores only.
+    pub fn paper_fabric() -> Self {
+        let large = PrrResources {
+            slices: 3200,
+            bram: 32,
+            dsp: 40,
+        };
+        let small = PrrResources {
+            slices: 600,
+            bram: 4,
+            dsp: 8,
+        };
+        FabricConfig {
+            prrs: vec![
+                PrrGeometry { id: 0, resources: large },
+                PrrGeometry { id: 1, resources: large },
+                PrrGeometry { id: 2, resources: small },
+                PrrGeometry { id: 3, resources: small },
+            ],
+        }
+    }
+
+    /// Number of regions.
+    pub fn num_prrs(&self) -> usize {
+        self.prrs.len()
+    }
+
+    /// Which PRR ids can host `core` (by resource fit) — used when building
+    /// hardware-task tables.
+    pub fn compatible_prrs(&self, core: crate::bitstream::CoreKind) -> Vec<u8> {
+        let need = core.resources();
+        self.prrs
+            .iter()
+            .filter(|p| p.resources.fits(&need))
+            .map(|p| p.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::CoreKind;
+
+    #[test]
+    fn paper_fabric_shape() {
+        let f = FabricConfig::paper_fabric();
+        assert_eq!(f.num_prrs(), 4);
+        // FFTs fit only the two large regions.
+        for l in 8..=13u8 {
+            let compat = f.compatible_prrs(CoreKind::Fft { log2_points: l });
+            assert_eq!(compat, vec![0, 1], "FFT-{}", 1u32 << l);
+        }
+        // QAM fits everywhere.
+        let compat = f.compatible_prrs(CoreKind::Qam { bits_per_symbol: 4 });
+        assert_eq!(compat, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fits_is_componentwise() {
+        let cap = PrrResources { slices: 100, bram: 10, dsp: 5 };
+        assert!(cap.fits(&PrrResources { slices: 100, bram: 10, dsp: 5 }));
+        assert!(!cap.fits(&PrrResources { slices: 101, bram: 1, dsp: 1 }));
+        assert!(!cap.fits(&PrrResources { slices: 1, bram: 11, dsp: 1 }));
+        assert!(!cap.fits(&PrrResources { slices: 1, bram: 1, dsp: 6 }));
+    }
+}

@@ -1,0 +1,172 @@
+//! The hardware memory-management unit (hwMMU).
+//!
+//! §IV-C: "we apply a custom component which is called the hardware memory
+//! management unit (hwMMU) to control the FPGA's access to the system
+//! memory. … When a hardware task is allocated to one VM, the hwMMU is
+//! loaded with the physical address of the VM's hardware task data section.
+//! So, any access from this hardware task is checked by the hwMMU, which
+//! forbids the access outside the determined section."
+//!
+//! One base/limit window per PRR; every DMA transaction the PRR's execution
+//! engine issues is checked here. Violations are latched and counted so the
+//! security integration tests can assert that out-of-section access is
+//! blocked *and observed*, never silently performed.
+
+use mnv_hal::PhysAddr;
+
+/// Per-PRR DMA window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Window {
+    /// Base physical address of the permitted section (inclusive).
+    pub base: u64,
+    /// Length of the permitted section in bytes (0 = nothing permitted).
+    pub len: u64,
+}
+
+impl Window {
+    /// Does `[addr, addr+len)` fall entirely inside the window?
+    pub fn permits(&self, addr: PhysAddr, len: u64) -> bool {
+        let a = addr.raw();
+        self.len > 0 && a >= self.base && a.saturating_add(len) <= self.base + self.len
+    }
+}
+
+/// A latched violation record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// PRR that issued the offending transaction.
+    pub prr: u8,
+    /// Offending address.
+    pub addr: PhysAddr,
+    /// Transaction length.
+    pub len: u64,
+    /// True for a write (store to PS memory), false for a read.
+    pub write: bool,
+}
+
+/// The hwMMU: base/limit windows for up to 32 PRRs plus violation latching.
+pub struct HwMmu {
+    windows: Vec<Window>,
+    /// Total violations since reset.
+    pub violation_count: u64,
+    /// Most recent violation (sticky until cleared).
+    pub last_violation: Option<Violation>,
+}
+
+impl HwMmu {
+    /// Build for `num_prrs` regions; all windows start empty (deny all).
+    pub fn new(num_prrs: usize) -> Self {
+        HwMmu {
+            windows: vec![Window::default(); num_prrs],
+            violation_count: 0,
+            last_violation: None,
+        }
+    }
+
+    /// Load PRR `prr`'s window — done by the Hardware Task Manager at
+    /// allocation time (stage 4 of Fig. 7).
+    pub fn load_window(&mut self, prr: u8, base: PhysAddr, len: u64) {
+        self.windows[prr as usize] = Window {
+            base: base.raw(),
+            len,
+        };
+    }
+
+    /// Clear PRR `prr`'s window (deny all) — done at reclaim.
+    pub fn clear_window(&mut self, prr: u8) {
+        self.windows[prr as usize] = Window::default();
+    }
+
+    /// The current window of a PRR.
+    pub fn window(&self, prr: u8) -> Window {
+        self.windows[prr as usize]
+    }
+
+    /// Check one DMA transaction; on violation, latch and deny.
+    pub fn check(&mut self, prr: u8, addr: PhysAddr, len: u64, write: bool) -> bool {
+        if self.windows[prr as usize].permits(addr, len) {
+            true
+        } else {
+            self.violation_count += 1;
+            self.last_violation = Some(Violation {
+                prr,
+                addr,
+                len,
+                write,
+            });
+            false
+        }
+    }
+
+    /// Clear the sticky violation record.
+    pub fn clear_violation(&mut self) {
+        self.last_violation = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_denies_everything() {
+        let mut h = HwMmu::new(2);
+        assert!(!h.check(0, PhysAddr::new(0x1000), 4, false));
+        assert_eq!(h.violation_count, 1);
+    }
+
+    #[test]
+    fn in_window_access_permitted() {
+        let mut h = HwMmu::new(2);
+        h.load_window(1, PhysAddr::new(0x10_0000), 0x1000);
+        assert!(h.check(1, PhysAddr::new(0x10_0000), 0x1000, true));
+        assert!(h.check(1, PhysAddr::new(0x10_0FF0), 16, false));
+        assert_eq!(h.violation_count, 0);
+    }
+
+    #[test]
+    fn boundary_overrun_denied_and_latched() {
+        let mut h = HwMmu::new(2);
+        h.load_window(0, PhysAddr::new(0x10_0000), 0x1000);
+        assert!(!h.check(0, PhysAddr::new(0x10_0FF0), 17, true));
+        let v = h.last_violation.unwrap();
+        assert_eq!(v.prr, 0);
+        assert!(v.write);
+        assert_eq!(v.addr, PhysAddr::new(0x10_0FF0));
+        h.clear_violation();
+        assert!(h.last_violation.is_none());
+        assert_eq!(h.violation_count, 1, "count survives clearing the latch");
+    }
+
+    #[test]
+    fn below_base_denied() {
+        let mut h = HwMmu::new(1);
+        h.load_window(0, PhysAddr::new(0x2000), 0x1000);
+        assert!(!h.check(0, PhysAddr::new(0x1FFC), 4, false));
+    }
+
+    #[test]
+    fn windows_are_per_prr() {
+        let mut h = HwMmu::new(2);
+        h.load_window(0, PhysAddr::new(0x1000), 0x100);
+        // PRR 1 has no window: identical access denied.
+        assert!(h.check(0, PhysAddr::new(0x1000), 4, false));
+        assert!(!h.check(1, PhysAddr::new(0x1000), 4, false));
+    }
+
+    #[test]
+    fn clear_window_revokes() {
+        let mut h = HwMmu::new(1);
+        h.load_window(0, PhysAddr::new(0x1000), 0x100);
+        assert!(h.check(0, PhysAddr::new(0x1000), 4, false));
+        h.clear_window(0);
+        assert!(!h.check(0, PhysAddr::new(0x1000), 4, false));
+    }
+
+    #[test]
+    fn wraparound_attack_denied() {
+        let mut h = HwMmu::new(1);
+        h.load_window(0, PhysAddr::new(0x1000), 0x100);
+        assert!(!h.check(0, PhysAddr::new(u64::MAX - 3), 8, true));
+    }
+}

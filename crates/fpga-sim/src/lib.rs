@@ -1,0 +1,39 @@
+//! # mnv-fpga — Zynq-7000 programmable-logic simulator with DPR
+//!
+//! Models the PL side of the platform the paper evaluates on (§IV):
+//!
+//! * an FPGA **fabric** divided into static logic and multiple partially
+//!   reconfigurable regions (**PRRs**) with distinct resource capacities;
+//! * **bitstream** (.bit) files stored in DDR, carrying a hardware task
+//!   (IP core kind + parameters) and a PRR compatibility list;
+//! * the **PCAP** configuration port, which downloads a bitstream into a
+//!   PRR at realistic throughput and raises a completion interrupt;
+//! * the **PRR controller** static logic: a per-PRR register group mapped
+//!   at the edge of its own 4 KB page (so the microkernel can map each one
+//!   independently into exactly one VM — the exclusivity mechanism of
+//!   Fig. 5), the **hwMMU** bounding every DMA access to the current
+//!   client's hardware-task data section, and the 16 PL-to-PS interrupt
+//!   lines;
+//! * **IP cores** that really compute: FFT (256–8192 points) and QAM
+//!   (4/16/64) — so results are checkable against software golden models.
+//!
+//! The whole PL attaches to the `mnv-arm` machine as a peripheral through
+//! the AXI general-purpose window; hardware-task DMA flows through the AXI
+//! high-performance port model straight into physical memory, bypassing the
+//! CPU's MMU — the exact property that forces the paper's hwMMU security
+//! mechanism.
+
+pub mod axi;
+pub mod bitstream;
+pub mod cores;
+pub mod fabric;
+pub mod hwmmu;
+pub mod pl;
+pub mod prr;
+
+pub use axi::AxiPort;
+pub use bitstream::{Bitstream, CoreKind};
+pub use fabric::{FabricConfig, PrrGeometry, PrrResources};
+pub use hwmmu::HwMmu;
+pub use pl::{Pl, PlConfig, PL_GP_BASE};
+pub use prr::{ExecState, Prr, RegGroup};

@@ -1,0 +1,168 @@
+//! PL-level behaviour tests: PCAP edge cases, FIR as a third core family,
+//! capacity checks, and the controller's IRQ plumbing under reuse.
+
+use mnv_arm::machine::Machine;
+use mnv_fpga::bitstream::{Bitstream, CoreKind};
+use mnv_fpga::fabric::{FabricConfig, PrrGeometry, PrrResources};
+use mnv_fpga::pl::{pcap_err, pcap_status, plregs, Pl, PlConfig, PL_GP_BASE};
+use mnv_fpga::prr::{ctrl, regs, status};
+use mnv_hal::{IrqNum, PhysAddr};
+
+fn reg(off: u64) -> PhysAddr {
+    PhysAddr::new(PL_GP_BASE + off)
+}
+
+fn machine() -> Machine {
+    let mut m = Machine::default();
+    m.add_peripheral(Box::new(Pl::new(PlConfig::default())));
+    m
+}
+
+fn load_bitstream(m: &mut Machine, core: CoreKind, at: u64) -> (PhysAddr, u32) {
+    let compat = FabricConfig::paper_fabric().compatible_prrs(core);
+    let bs = Bitstream::for_core(core, &compat);
+    let bytes = bs.encode();
+    m.load_bytes(PhysAddr::new(at), &bytes).unwrap();
+    (PhysAddr::new(at), bytes.len() as u32)
+}
+
+fn pcap(m: &mut Machine, src: PhysAddr, len: u32, target: u8) -> u32 {
+    m.phys_write_u32(reg(plregs::PCAP_SRC), src.raw() as u32).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_LEN), len).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_TARGET), target as u32).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_CTRL), 1).unwrap();
+    for _ in 0..100_000 {
+        let s = m.phys_read_u32(reg(plregs::PCAP_STATUS)).unwrap();
+        if s != pcap_status::BUSY {
+            return s;
+        }
+        m.charge(10_000);
+        m.sync_devices();
+    }
+    panic!("PCAP stuck");
+}
+
+#[test]
+fn fir_core_loads_and_filters() {
+    let mut m = machine();
+    let (src, len) = load_bitstream(&mut m, CoreKind::Fir { taps: 8 }, 0x100_0000);
+    assert_eq!(pcap(&mut m, src, len, 2), pcap_status::DONE, "FIR fits a small PRR");
+
+    // Run it on a DC signal; the output must settle at the same level
+    // (unit DC gain).
+    let samples: Vec<u8> = std::iter::repeat_n(2.0f32.to_le_bytes(), 128)
+        .flatten()
+        .collect();
+    let data = PhysAddr::new(0x20_0000);
+    m.load_bytes(data, &samples).unwrap();
+    m.phys_write_u32(reg(plregs::HWMMU_SEL), 2).unwrap();
+    m.phys_write_u32(reg(plregs::HWMMU_BASE), data.raw() as u32).unwrap();
+    m.phys_write_u32(reg(plregs::HWMMU_LEN), 0x10000).unwrap();
+    let page = Pl::prr_page(2);
+    m.phys_write_u32(page + 4 * regs::SRC_ADDR as u64, data.raw() as u32).unwrap();
+    m.phys_write_u32(page + 4 * regs::SRC_LEN as u64, samples.len() as u32).unwrap();
+    m.phys_write_u32(page + 4 * regs::DST_ADDR as u64, (data.raw() + 0x1000) as u32).unwrap();
+    m.phys_write_u32(page + 4 * regs::DST_LEN as u64, 0x1000).unwrap();
+    m.phys_write_u32(page + 4 * regs::CTRL as u64, ctrl::START).unwrap();
+    for _ in 0..10_000 {
+        if m.phys_read_u32(page + 4 * regs::STATUS as u64).unwrap() == status::DONE {
+            break;
+        }
+        m.charge(1_000);
+        m.sync_devices();
+    }
+    let last = m
+        .mem
+        .read_u32(PhysAddr::new(data.raw() + 0x1000 + 127 * 4))
+        .unwrap();
+    let v = f32::from_le_bytes(last.to_le_bytes());
+    assert!((v - 2.0).abs() < 1e-3, "DC gain: {v}");
+}
+
+#[test]
+fn bitstream_larger_than_prr_is_rejected() {
+    // A custom fabric with one tiny region: even a QAM core is too large.
+    let mut m = Machine::default();
+    m.add_peripheral(Box::new(Pl::new(PlConfig {
+        fabric: FabricConfig {
+            prrs: vec![PrrGeometry {
+                id: 0,
+                resources: PrrResources { slices: 10, bram: 1, dsp: 1 },
+            }],
+        },
+    })));
+    let bs = Bitstream::for_core(CoreKind::Qam { bits_per_symbol: 2 }, &[0]);
+    let bytes = bs.encode();
+    m.load_bytes(PhysAddr::new(0x100_0000), &bytes).unwrap();
+    let s = pcap(&mut m, PhysAddr::new(0x100_0000), bytes.len() as u32, 0);
+    assert_eq!(s, pcap_status::ERROR);
+    assert_eq!(
+        m.phys_read_u32(reg(plregs::PCAP_ERR)).unwrap(),
+        pcap_err::TOO_LARGE
+    );
+}
+
+#[test]
+fn pcap_start_while_busy_is_ignored() {
+    let mut m = machine();
+    let (src, len) = load_bitstream(&mut m, CoreKind::Fft { log2_points: 13 }, 0x100_0000);
+    m.phys_write_u32(reg(plregs::PCAP_SRC), src.raw() as u32).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_LEN), len).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_TARGET), 0).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_CTRL), 1).unwrap();
+    assert_eq!(
+        m.phys_read_u32(reg(plregs::PCAP_STATUS)).unwrap(),
+        pcap_status::BUSY
+    );
+    // A second start (even redirected) must not corrupt the transfer.
+    m.phys_write_u32(reg(plregs::PCAP_TARGET), 1).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_CTRL), 1).unwrap();
+    for _ in 0..100_000 {
+        if m.phys_read_u32(reg(plregs::PCAP_STATUS)).unwrap() != pcap_status::BUSY {
+            break;
+        }
+        m.charge(10_000);
+        m.sync_devices();
+    }
+    let pl: &Pl = m.peripheral::<Pl>().unwrap();
+    assert_eq!(pl.pcap_transfers(), 1, "exactly one transfer completed");
+}
+
+#[test]
+fn reconfiguring_a_region_preserves_its_irq_route() {
+    let mut m = machine();
+    m.phys_write_u32(reg(plregs::IRQ_ROUTE), 3).unwrap(); // PRR0 -> line 3
+    let (src, len) = load_bitstream(&mut m, CoreKind::Qam { bits_per_symbol: 2 }, 0x100_0000);
+    assert_eq!(pcap(&mut m, src, len, 0), pcap_status::DONE);
+    let pl: &Pl = m.peripheral::<Pl>().unwrap();
+    assert_eq!(
+        pl.route_of(0),
+        Some(IrqNum::pl(3)),
+        "routing is controller state, not PRR contents"
+    );
+    // But the freshly configured PRR must have clean registers...
+    assert_eq!(
+        m.phys_read_u32(Pl::prr_page(0) + 4 * regs::SRC_ADDR as u64).unwrap(),
+        0
+    );
+    // ...while its irq_line wiring reflects the route.
+    let pl: &Pl = m.peripheral::<Pl>().unwrap();
+    assert_eq!(pl.prr(0).irq_line, Some(IrqNum::pl(3)));
+}
+
+#[test]
+fn fabric_capacity_report_covers_all_cores() {
+    let fabric = FabricConfig::paper_fabric();
+    // Every paper core fits somewhere; the FIR extension fits everywhere.
+    for core in mnv_fpga::bitstream::paper_task_set() {
+        assert!(!fabric.compatible_prrs(core).is_empty(), "{}", core.name());
+    }
+    assert_eq!(
+        fabric.compatible_prrs(CoreKind::Fir { taps: 8 }),
+        vec![0, 1, 2, 3]
+    );
+    // A hypothetical monster core fits nowhere.
+    let monster = CoreKind::Fir { taps: 64 };
+    let needed = monster.resources();
+    assert!(needed.slices < 3200, "FIR-64 still fits the large regions");
+}

@@ -1,0 +1,312 @@
+//! The Mini-NOVA hypercall ABI — the guest↔hypervisor vocabulary.
+//!
+//! §V-B of the paper: "A total number of 25 hypercalls are provided to
+//! paravirtualized operating systems", of which the uC/OS-II port uses 17
+//! (§V-A: "Mini-NOVA provides dedicated hypercalls (a total number of 17)
+//! for the guest uCOS-II"). The numbers below define the complete provided
+//! set; the paravirtualized port's patch marks the subset it uses, and both
+//! counts are asserted by tests.
+//!
+//! Calling convention (mirrors the SVC path on the real system): the guest
+//! executes `SVC #nr` with up to four arguments in r0–r3; the result comes
+//! back in r0, with r1 carrying an error code when r0 is the failure
+//! sentinel.
+
+use core::fmt;
+
+/// Hypercall numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Hypercall {
+    /// Voluntarily yield the rest of the time quantum.
+    Yield = 0,
+    /// Query VM identity and layout: returns VM id; a1 selects field
+    /// (0 = id, 1 = data-section base, 2 = data-section size).
+    VmInfo = 1,
+    /// Clean+invalidate the whole cache hierarchy (privileged maintenance).
+    CacheFlushAll = 2,
+    /// Invalidate a single line by virtual address (a0 = VA).
+    CacheFlushLine = 3,
+    /// Invalidate the guest's TLB entries (its ASID only).
+    TlbFlush = 4,
+    /// Invalidate one TLB entry by virtual address (a0 = VA).
+    TlbFlushMva = 5,
+    /// Enable a virtual IRQ in the VM's vGIC list (a0 = IRQ number).
+    IrqEnable = 6,
+    /// Disable a virtual IRQ (a0 = IRQ number).
+    IrqDisable = 7,
+    /// Signal end-of-interrupt for a vIRQ (a0 = IRQ number).
+    IrqEoi = 8,
+    /// Register the VM's IRQ entry point (a0 = entry VA) in the vGIC.
+    IrqSetEntry = 9,
+    /// Program the VM's virtual timer for a periodic tick (a0 = period in
+    /// microseconds).
+    TimerProgram = 10,
+    /// Stop the virtual timer.
+    TimerStop = 11,
+    /// Insert a mapping into the guest's page table (a0 = VA, a1 = offset
+    /// into the VM's memory allocation, a2 = flags).
+    MapInsert = 12,
+    /// Remove a mapping (a0 = VA).
+    MapRemove = 13,
+    /// Create a second-level guest page table covering a0's 1 MB section.
+    PtCreate = 14,
+    /// Read an emulated privileged register (a0 = register id).
+    RegRead = 15,
+    /// Write an emulated privileged register (a0 = id, a1 = value).
+    RegWrite = 16,
+    /// Request a hardware task (a0 = task id, a1 = VA to map the task
+    /// interface at, a2 = VA of the hardware-task data section). The
+    /// Fig. 7 hypercall.
+    HwTaskRequest = 17,
+    /// Release a hardware task back to the manager (a0 = task id).
+    HwTaskRelease = 18,
+    /// Query a hardware task's state (a0 = task id): returns a
+    /// [`HwTaskState`] discriminant.
+    HwTaskQuery = 19,
+    /// Poll the PCAP for completion of the VM's pending reconfiguration.
+    PcapPoll = 20,
+    /// Send an inter-VM message (a0 = destination VM, a1..a3 payload).
+    IpcSend = 21,
+    /// Receive a pending inter-VM message; returns sender VM id or the
+    /// empty sentinel, payload via the VM's message buffer.
+    IpcRecv = 22,
+    /// Write a byte to the supervised shared UART (a0 = byte).
+    ConsoleWrite = 23,
+    /// Read a block from the supervised shared SD card (a0 = block number,
+    /// a1 = destination VA).
+    SdRead = 24,
+}
+
+/// Total number of hypercalls provided — the paper's 25.
+pub const HYPERCALL_COUNT: usize = 25;
+
+impl Hypercall {
+    /// All hypercalls in numeric order.
+    pub const ALL: [Hypercall; HYPERCALL_COUNT] = [
+        Hypercall::Yield,
+        Hypercall::VmInfo,
+        Hypercall::CacheFlushAll,
+        Hypercall::CacheFlushLine,
+        Hypercall::TlbFlush,
+        Hypercall::TlbFlushMva,
+        Hypercall::IrqEnable,
+        Hypercall::IrqDisable,
+        Hypercall::IrqEoi,
+        Hypercall::IrqSetEntry,
+        Hypercall::TimerProgram,
+        Hypercall::TimerStop,
+        Hypercall::MapInsert,
+        Hypercall::MapRemove,
+        Hypercall::PtCreate,
+        Hypercall::RegRead,
+        Hypercall::RegWrite,
+        Hypercall::HwTaskRequest,
+        Hypercall::HwTaskRelease,
+        Hypercall::HwTaskQuery,
+        Hypercall::PcapPoll,
+        Hypercall::IpcSend,
+        Hypercall::IpcRecv,
+        Hypercall::ConsoleWrite,
+        Hypercall::SdRead,
+    ];
+
+    /// Decode from the SVC immediate.
+    pub fn from_nr(nr: u8) -> Option<Self> {
+        Self::ALL.get(nr as usize).copied()
+    }
+
+    /// The SVC immediate encoding.
+    pub fn nr(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Hypercall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hc:{self:?}")
+    }
+}
+
+/// A hypercall invocation: number + the four argument registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HypercallArgs {
+    /// Which call.
+    pub nr: Hypercall,
+    /// r0.
+    pub a0: u32,
+    /// r1.
+    pub a1: u32,
+    /// r2.
+    pub a2: u32,
+    /// r3.
+    pub a3: u32,
+}
+
+impl HypercallArgs {
+    /// Build with all arguments zero.
+    pub fn new(nr: Hypercall) -> Self {
+        HypercallArgs {
+            nr,
+            a0: 0,
+            a1: 0,
+            a2: 0,
+            a3: 0,
+        }
+    }
+
+    /// Builder: set a0.
+    pub fn a0(mut self, v: u32) -> Self {
+        self.a0 = v;
+        self
+    }
+
+    /// Builder: set a1.
+    pub fn a1(mut self, v: u32) -> Self {
+        self.a1 = v;
+        self
+    }
+
+    /// Builder: set a2.
+    pub fn a2(mut self, v: u32) -> Self {
+        self.a2 = v;
+        self
+    }
+
+    /// Builder: set a3.
+    pub fn a3(mut self, v: u32) -> Self {
+        self.a3 = v;
+        self
+    }
+}
+
+/// Hypercall error codes (returned in r1 with the failure sentinel in r0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HcError {
+    /// The call number is outside the provided set.
+    BadCall,
+    /// An argument was invalid (address, id, flag…).
+    BadArg,
+    /// The caller lacks the capability for this operation.
+    Denied,
+    /// The referenced object does not exist.
+    NotFound,
+    /// Resource temporarily unavailable — the Busy status of Fig. 7
+    /// stage 2 ("if no idle PRR is available, the manager service would
+    /// return to the applicant guest OS with a Busy status").
+    Busy,
+    /// Out of kernel resources (ASIDs, IRQ lines, table slots…).
+    NoResource,
+}
+
+/// Status values returned by [`Hypercall::HwTaskRequest`] (§IV-E stage 6:
+/// "If a PCAP reconfiguration is made, a reconfig. flag is returned,
+/// otherwise a success flag is returned").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum HwTaskStatus {
+    /// Task already resident: ready for use immediately.
+    Success = 0,
+    /// Task dispatched; a PCAP reconfiguration is in flight — poll or take
+    /// the completion IRQ before use.
+    Reconfiguring = 1,
+}
+
+impl HwTaskStatus {
+    /// Decode from a hypercall return value.
+    pub fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            0 => Some(HwTaskStatus::Success),
+            1 => Some(HwTaskStatus::Reconfiguring),
+            _ => None,
+        }
+    }
+}
+
+/// Consistency states of a dispatched hardware task, kept in the reserved
+/// structure at the head of the hardware-task data section (Fig. 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum HwTaskState {
+    /// Never dispatched to this VM.
+    Unknown = 0,
+    /// Dispatched and exclusively owned by this VM; interface mapped.
+    Consistent = 1,
+    /// Was owned, but reclaimed for another VM: register contents were
+    /// saved to the data section and the interface was demapped.
+    Inconsistent = 2,
+}
+
+impl HwTaskState {
+    /// Decode from a hypercall return value.
+    pub fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            0 => Some(HwTaskState::Unknown),
+            1 => Some(HwTaskState::Consistent),
+            2 => Some(HwTaskState::Inconsistent),
+            _ => None,
+        }
+    }
+}
+
+/// Layout of the reserved consistency structure at the head of every
+/// hardware-task data section (Fig. 5: "we allocate a reserved data
+/// structure to hold the state of a hardware task, the state flag and the
+/// hardware task interface registers").
+pub mod data_section {
+    /// Offset of the state flag word ([`super::HwTaskState`]).
+    pub const STATE_FLAG: u64 = 0x00;
+    /// Offset of the saved task id.
+    pub const SAVED_TASK: u64 = 0x04;
+    /// Offset of the 16 saved interface registers.
+    pub const SAVED_REGS: u64 = 0x08;
+    /// Size of the reserved structure (flag + id + 16 registers).
+    pub const RESERVED_LEN: u64 = 0x48;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_25_hypercalls() {
+        assert_eq!(HYPERCALL_COUNT, 25);
+        assert_eq!(Hypercall::ALL.len(), 25);
+    }
+
+    #[test]
+    fn numbering_is_dense_and_round_trips() {
+        for (i, hc) in Hypercall::ALL.iter().enumerate() {
+            assert_eq!(hc.nr() as usize, i);
+            assert_eq!(Hypercall::from_nr(i as u8), Some(*hc));
+        }
+        assert_eq!(Hypercall::from_nr(25), None);
+        assert_eq!(Hypercall::from_nr(255), None);
+    }
+
+    #[test]
+    fn args_builder() {
+        let a = HypercallArgs::new(Hypercall::HwTaskRequest)
+            .a0(3)
+            .a1(0x4000_0000)
+            .a2(0x0080_0000)
+            .a3(7);
+        assert_eq!(a.nr, Hypercall::HwTaskRequest);
+        assert_eq!((a.a0, a.a1, a.a2, a.a3), (3, 0x4000_0000, 0x0080_0000, 7));
+    }
+
+    #[test]
+    fn status_decoding() {
+        assert_eq!(HwTaskStatus::from_u32(0), Some(HwTaskStatus::Success));
+        assert_eq!(HwTaskStatus::from_u32(1), Some(HwTaskStatus::Reconfiguring));
+        assert_eq!(HwTaskStatus::from_u32(2), None);
+        assert_eq!(HwTaskState::from_u32(2), Some(HwTaskState::Inconsistent));
+        assert_eq!(HwTaskState::from_u32(9), None);
+    }
+
+    #[test]
+    fn reserved_structure_fits_16_registers() {
+        use data_section::*;
+        assert_eq!(RESERVED_LEN, SAVED_REGS + 16 * 4);
+    }
+}

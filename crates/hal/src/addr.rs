@@ -1,0 +1,216 @@
+//! Physical and virtual address newtypes plus ARMv7 short-descriptor
+//! page/section geometry.
+//!
+//! The ARMv7-A short-descriptor translation scheme used by the Cortex-A9 (and
+//! therefore by Mini-NOVA) has two granularities this reproduction cares
+//! about: 4 KB small pages (second-level descriptors) and 1 MB sections
+//! (first-level descriptors). Both constants live here because the MMU model,
+//! the kernel page-table editor and the PRR-interface mapper all reason about
+//! them.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Log2 of the small-page size (4 KB pages).
+pub const PAGE_SHIFT: u32 = 12;
+/// ARMv7 small-page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Log2 of the section size (1 MB sections).
+pub const SECTION_SHIFT: u32 = 20;
+/// ARMv7 first-level section size in bytes.
+pub const SECTION_SIZE: u64 = 1 << SECTION_SHIFT;
+
+macro_rules! addr_common {
+    ($name:ident) => {
+        impl $name {
+            /// Construct from a raw 32-bit-style address (stored as u64 so
+            /// arithmetic never wraps silently).
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The zero address.
+            pub const ZERO: Self = Self(0);
+
+            /// Raw numeric value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Usize view, for indexing simulated memory backings.
+            #[inline]
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Round down to the containing 4 KB page boundary.
+            #[inline]
+            pub const fn page_base(self) -> Self {
+                Self(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// Round down to the containing 1 MB section boundary.
+            #[inline]
+            pub const fn section_base(self) -> Self {
+                Self(self.0 & !(SECTION_SIZE - 1))
+            }
+
+            /// Byte offset within the 4 KB page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// Byte offset within the 1 MB section.
+            #[inline]
+            pub const fn section_offset(self) -> u64 {
+                self.0 & (SECTION_SIZE - 1)
+            }
+
+            /// True if aligned to a 4 KB page boundary.
+            #[inline]
+            pub const fn is_page_aligned(self) -> bool {
+                self.0 & (PAGE_SIZE - 1) == 0
+            }
+
+            /// True if aligned to a 1 MB section boundary.
+            #[inline]
+            pub const fn is_section_aligned(self) -> bool {
+                self.0 & (SECTION_SIZE - 1) == 0
+            }
+
+            /// Round up to the next page boundary (identity when aligned).
+            #[inline]
+            pub const fn page_align_up(self) -> Self {
+                Self((self.0 + PAGE_SIZE - 1) & !(PAGE_SIZE - 1))
+            }
+
+            /// Checked addition of a byte offset.
+            #[inline]
+            pub fn checked_add(self, rhs: u64) -> Option<Self> {
+                self.0.checked_add(rhs).map(Self)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            #[inline]
+            fn sub(self, rhs: Self) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#010x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#010x}", self.0)
+            }
+        }
+    };
+}
+
+/// A physical address on the simulated Zynq-7000 memory map.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+addr_common!(PhysAddr);
+
+/// A virtual address as seen by software running under the MMU.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+addr_common!(VirtAddr);
+
+impl VirtAddr {
+    /// Index into the first-level translation table (bits \[31:20\]).
+    #[inline]
+    pub const fn l1_index(self) -> usize {
+        ((self.0 >> SECTION_SHIFT) & 0xFFF) as usize
+    }
+
+    /// Index into a second-level table (bits \[19:12\]).
+    #[inline]
+    pub const fn l2_index(self) -> usize {
+        ((self.0 >> PAGE_SHIFT) & 0xFF) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_geometry() {
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(SECTION_SIZE, 1 << 20);
+        let a = VirtAddr::new(0x1234_5678);
+        assert_eq!(a.page_base().raw(), 0x1234_5000);
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.section_base().raw(), 0x1230_0000);
+        assert_eq!(a.section_offset(), 0x4_5678);
+    }
+
+    #[test]
+    fn l1_l2_indices() {
+        let a = VirtAddr::new(0x8010_3abc);
+        assert_eq!(a.l1_index(), 0x801);
+        assert_eq!(a.l2_index(), 0x03);
+        let top = VirtAddr::new(0xFFFF_FFFF);
+        assert_eq!(top.l1_index(), 0xFFF);
+        assert_eq!(top.l2_index(), 0xFF);
+    }
+
+    #[test]
+    fn alignment_predicates() {
+        assert!(PhysAddr::new(0x2000).is_page_aligned());
+        assert!(!PhysAddr::new(0x2004).is_page_aligned());
+        assert!(PhysAddr::new(0x10_0000).is_section_aligned());
+        assert!(!PhysAddr::new(0x10_1000).is_section_aligned());
+    }
+
+    #[test]
+    fn align_up() {
+        assert_eq!(PhysAddr::new(0x1001).page_align_up().raw(), 0x2000);
+        assert_eq!(PhysAddr::new(0x2000).page_align_up().raw(), 0x2000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = PhysAddr::new(0x1000);
+        assert_eq!((a + 0x10).raw(), 0x1010);
+        assert_eq!((a + 0x10) - a, 0x10);
+        let mut b = a;
+        b += 4;
+        assert_eq!(b.raw(), 0x1004);
+        assert!(PhysAddr::new(u64::MAX).checked_add(1).is_none());
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(format!("{}", PhysAddr::new(0xE000_1000)), "0xe0001000");
+        assert_eq!(
+            format!("{:?}", VirtAddr::new(0x10)),
+            "VirtAddr(0x00000010)"
+        );
+    }
+}

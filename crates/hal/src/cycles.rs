@@ -1,0 +1,174 @@
+//! Cycle accounting on the simulated 660 MHz Cortex-A9 clock.
+//!
+//! Every timed statement in the paper (Table III, Fig. 9) is reported in
+//! microseconds measured on a 660 MHz part; the whole reproduction therefore
+//! counts CPU cycles and converts at the edges. [`Cycles`] is an additive
+//! monoid newtype so cycle bookkeeping cannot be accidentally mixed with
+//! other integers.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Clock frequency of the evaluated Cortex-A9 (cycles per second).
+pub const CPU_HZ: u64 = 660_000_000;
+
+/// A count of CPU cycles on the simulated clock.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Self = Self(0);
+
+    /// Construct from a raw count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Self(n)
+    }
+
+    /// Raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Convert to microseconds at 660 MHz.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 as f64 * 1e6 / CPU_HZ as f64
+    }
+
+    /// Convert to nanoseconds at 660 MHz.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 as f64 * 1e9 / CPU_HZ as f64
+    }
+
+    /// Convert to milliseconds at 660 MHz.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 * 1e3 / CPU_HZ as f64
+    }
+
+    /// Cycles corresponding to `us` microseconds of 660 MHz time.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self((us * CPU_HZ as f64 / 1e6).round() as u64)
+    }
+
+    /// Cycles corresponding to `ms` milliseconds of 660 MHz time.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_micros(ms * 1e3)
+    }
+
+    /// Saturating subtraction, used by quantum accounting.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True if this is the zero count.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= CPU_HZ / 1000 {
+            write!(f, "{:.3}ms", self.as_millis())
+        } else {
+            write!(f, "{:.3}us", self.as_micros())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_round_trip() {
+        // Round-trip is exact to within half a cycle (1/660 us).
+        let c = Cycles::from_micros(15.01);
+        let us = c.as_micros();
+        assert!((us - 15.01).abs() < 0.5 / 660.0 * 1e6 / 1e6, "got {us}");
+    }
+
+    #[test]
+    fn one_microsecond_is_660_cycles() {
+        assert_eq!(Cycles::from_micros(1.0).raw(), 660);
+        assert!((Cycles::new(660).as_micros() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_slice_of_paper() {
+        // The paper gives each guest a 33 ms slice.
+        assert_eq!(Cycles::from_millis(33.0).raw(), 21_780_000);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Cycles = [Cycles::new(1), Cycles::new(2), Cycles::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Cycles::new(6));
+        let mut a = Cycles::new(10);
+        a += Cycles::new(5);
+        a -= Cycles::new(3);
+        assert_eq!(a.raw(), 12);
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(5)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Cycles::new(660)), "1.000us");
+        assert_eq!(format!("{}", Cycles::from_millis(33.0)), "33.000ms");
+        assert_eq!(format!("{:?}", Cycles::new(7)), "7cy");
+    }
+}

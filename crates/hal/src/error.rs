@@ -1,0 +1,71 @@
+//! Common error type for hardware-model operations.
+
+use crate::addr::{PhysAddr, VirtAddr};
+use core::fmt;
+
+/// Errors surfaced by the hardware models (bus, MMU, devices).
+///
+/// Architectural *faults* (translation fault, permission fault, …) are not
+/// errors in this sense — they are modelled values delivered through the
+/// exception machinery. `HalError` covers model-level misuse: accesses to
+/// unmapped physical memory, malformed device programming, resource
+/// exhaustion inside a simulator component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HalError {
+    /// A physical access fell outside every RAM region and MMIO window.
+    UnmappedPhysical(PhysAddr),
+    /// A physical access straddled the end of its backing region.
+    OutOfBounds { addr: PhysAddr, len: usize },
+    /// An MMIO device rejected the access (wrong size, reserved register…).
+    DeviceRejected { addr: PhysAddr, reason: &'static str },
+    /// A virtual address could not be handled by a model helper that
+    /// required a valid mapping (distinct from an architectural fault).
+    UnmappedVirtual(VirtAddr),
+    /// A simulator resource pool ran dry (TLB entries, IRQ lines, ASIDs…).
+    ResourceExhausted(&'static str),
+    /// Generic invalid-argument error with a static description.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for HalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HalError::UnmappedPhysical(a) => write!(f, "unmapped physical address {a}"),
+            HalError::OutOfBounds { addr, len } => {
+                write!(f, "access of {len} bytes at {addr} crosses region end")
+            }
+            HalError::DeviceRejected { addr, reason } => {
+                write!(f, "device rejected access at {addr}: {reason}")
+            }
+            HalError::UnmappedVirtual(a) => write!(f, "unmapped virtual address {a}"),
+            HalError::ResourceExhausted(what) => write!(f, "resource exhausted: {what}"),
+            HalError::Invalid(what) => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HalError {}
+
+/// Result alias used across the hardware models.
+pub type HalResult<T> = Result<T, HalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HalError::UnmappedPhysical(PhysAddr::new(0xdead_0000));
+        assert_eq!(e.to_string(), "unmapped physical address 0xdead0000");
+        let e = HalError::ResourceExhausted("PL IRQ lines");
+        assert_eq!(e.to_string(), "resource exhausted: PL IRQ lines");
+        let e = HalError::OutOfBounds { addr: PhysAddr::new(0x10), len: 8 };
+        assert!(e.to_string().contains("8 bytes"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&HalError::Invalid("x"));
+    }
+}

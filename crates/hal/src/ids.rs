@@ -1,0 +1,185 @@
+//! Identifier newtypes shared across the processing-system simulator, the
+//! programmable-logic simulator and the microkernel.
+
+use core::fmt;
+
+/// Identifier of a virtual machine / protection domain.
+///
+/// VM 0 is reserved by convention for the microkernel's own service domain
+/// container (Dom0 in Fig. 1 of the paper); guest OSes get ids from 1.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VmId(pub u16);
+
+impl VmId {
+    /// The microkernel service domain (hosts the Hardware Task Manager).
+    pub const DOM0: Self = Self(0);
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Identifier of a hardware task (an entry in the Hardware Task Manager's
+/// lookup table, §IV-B of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HwTaskId(pub u16);
+
+impl fmt::Display for HwTaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Index of a partially reconfigurable region in the PL fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PrrId(pub u8);
+
+impl fmt::Display for PrrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PRR{}", self.0)
+    }
+}
+
+/// A physical interrupt line number at the GIC distributor.
+///
+/// The numbering mirrors the Zynq-7000 layout closely enough for the
+/// reproduction: software-generated interrupts occupy 0..16, private
+/// peripheral interrupts 16..32, and shared peripheral interrupts from 32.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IrqNum(pub u16);
+
+impl IrqNum {
+    /// Private CPU timer interrupt (PPI), as on the real part.
+    pub const PRIVATE_TIMER: Self = Self(29);
+    /// Device-configuration / PCAP transfer-done interrupt.
+    pub const PCAP_DONE: Self = Self(40);
+    /// First of the 16 PL-to-PS fabric interrupt lines (§IV-D).
+    pub const PL_BASE: Self = Self(61);
+    /// Number of PL fabric interrupt lines reserved for hardware tasks.
+    pub const PL_COUNT: u16 = 16;
+
+    /// The `i`-th PL fabric interrupt line (panics if out of range).
+    pub fn pl(i: u16) -> Self {
+        assert!(i < Self::PL_COUNT, "PL IRQ index {i} out of range");
+        Self(Self::PL_BASE.0 + i)
+    }
+
+    /// If this is a PL fabric line, its index in 0..16.
+    pub fn pl_index(self) -> Option<u16> {
+        let off = self.0.checked_sub(Self::PL_BASE.0)?;
+        (off < Self::PL_COUNT).then_some(off)
+    }
+}
+
+impl fmt::Display for IrqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "irq{}", self.0)
+    }
+}
+
+/// An ARMv7 address-space identifier (8 bits, held in CONTEXTIDR).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Asid(pub u8);
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid{}", self.0)
+    }
+}
+
+/// One of the 16 MMU domains controlled by the DACR (§III-C, Table II).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Domain(pub u8);
+
+impl Domain {
+    /// Domain holding microkernel mappings.
+    pub const KERNEL: Self = Self(0);
+    /// Domain holding guest-kernel mappings.
+    pub const GUEST_KERNEL: Self = Self(1);
+    /// Domain holding guest-user mappings.
+    pub const GUEST_USER: Self = Self(2);
+    /// Domain holding device/PRR-interface mappings.
+    pub const DEVICE: Self = Self(3);
+
+    /// Construct, checking the 0..16 range.
+    pub fn checked(n: u8) -> Option<Self> {
+        (n < 16).then_some(Self(n))
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Scheduling priority of a protection domain. Higher value = higher
+/// priority, matching Fig. 3 of the paper (guests at 1, services at 2,
+/// idle/bootloader at 0).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Idle / background (the bootloader in Fig. 3).
+    pub const IDLE: Self = Self(0);
+    /// Default guest-OS priority.
+    pub const GUEST: Self = Self(1);
+    /// Microkernel user services, e.g. the Hardware Task Manager (§IV-E:
+    /// "created with a higher priority level than general guests").
+    pub const SERVICE: Self = Self(2);
+    /// Number of distinct priority levels the scheduler supports.
+    pub const LEVELS: usize = 8;
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pl_irq_mapping_round_trips() {
+        for i in 0..IrqNum::PL_COUNT {
+            let irq = IrqNum::pl(i);
+            assert_eq!(irq.pl_index(), Some(i));
+        }
+        assert_eq!(IrqNum::PRIVATE_TIMER.pl_index(), None);
+        assert_eq!(IrqNum(61 + 16).pl_index(), None);
+        assert_eq!(IrqNum(60).pl_index(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pl_irq_out_of_range_panics() {
+        let _ = IrqNum::pl(16);
+    }
+
+    #[test]
+    fn domain_range_check() {
+        assert_eq!(Domain::checked(15), Some(Domain(15)));
+        assert_eq!(Domain::checked(16), None);
+    }
+
+    #[test]
+    fn priority_ordering_matches_fig3() {
+        assert!(Priority::SERVICE > Priority::GUEST);
+        assert!(Priority::GUEST > Priority::IDLE);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VmId(3).to_string(), "vm3");
+        assert_eq!(HwTaskId(1).to_string(), "T1");
+        assert_eq!(PrrId(2).to_string(), "PRR2");
+        assert_eq!(IrqNum::pl(0).to_string(), "irq61");
+        assert_eq!(Asid(7).to_string(), "asid7");
+        assert_eq!(Domain::GUEST_USER.to_string(), "D2");
+        assert_eq!(Priority::SERVICE.to_string(), "P2");
+    }
+}

@@ -1,0 +1,23 @@
+//! # mnv-hal — shared low-level types for the Mini-NOVA reproduction
+//!
+//! Every crate in the workspace speaks in terms of the vocabulary defined
+//! here: physical and virtual addresses, cycle counts on the simulated
+//! 660 MHz Cortex-A9 clock, the identifier newtypes (VMs, hardware tasks,
+//! partially-reconfigurable regions, interrupt lines, address-space ids,
+//! MMU domains) and the common error type.
+//!
+//! The crate is dependency-free on purpose: it sits at the bottom of the
+//! workspace dependency DAG so that the ARM processing-system simulator and
+//! the FPGA programmable-logic simulator can share types without depending
+//! on each other.
+
+pub mod abi;
+pub mod addr;
+pub mod cycles;
+pub mod error;
+pub mod ids;
+
+pub use addr::{PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE, SECTION_SHIFT, SECTION_SIZE};
+pub use cycles::{Cycles, CPU_HZ};
+pub use error::{HalError, HalResult};
+pub use ids::{Asid, Domain, HwTaskId, IrqNum, Priority, PrrId, VmId};

@@ -1,0 +1,250 @@
+//! The guest execution environment abstraction.
+//!
+//! A guest OS never touches hardware directly: it sees memory through
+//! whatever translation regime its host imposes and reaches sensitive
+//! operations through [`GuestEnv::hypercall`]. Under Mini-NOVA the
+//! implementation is the VM environment (deprivileged accesses through the
+//! simulated MMU, hypercalls via the SVC trap path); for the paper's native
+//! baseline it is a privileged direct environment whose "hypercalls" are
+//! plain function calls into the same services. The guest code is identical
+//! in both cases — which is what makes the native-vs-virtualized comparison
+//! of Table III an apples-to-apples one.
+
+use mnv_hal::abi::{HcError, HypercallArgs};
+use mnv_hal::{Cycles, VirtAddr, VmId};
+use std::collections::HashMap;
+
+/// A memory fault observed by guest code (the guest-visible projection of
+/// an ARM data abort).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GuestFault {
+    /// Faulting guest virtual address.
+    pub va: VirtAddr,
+    /// True if the faulting access was a write.
+    pub write: bool,
+}
+
+/// Host environment a guest runs in.
+pub trait GuestEnv {
+    /// The VM this environment belongs to (native mode uses `VmId::DOM0`).
+    fn vm_id(&self) -> VmId;
+
+    /// Current time on the platform clock.
+    fn now(&self) -> Cycles;
+
+    /// Burn `cycles` of pure computation.
+    fn compute(&mut self, cycles: u64);
+
+    /// Read a guest-virtual word.
+    fn read_u32(&mut self, va: VirtAddr) -> Result<u32, GuestFault>;
+
+    /// Write a guest-virtual word.
+    fn write_u32(&mut self, va: VirtAddr, val: u32) -> Result<(), GuestFault>;
+
+    /// Block read.
+    fn read_block(&mut self, va: VirtAddr, out: &mut [u8]) -> Result<(), GuestFault>;
+
+    /// Block write.
+    fn write_block(&mut self, va: VirtAddr, data: &[u8]) -> Result<(), GuestFault>;
+
+    /// Issue a hypercall (SVC under paravirtualization; a direct service
+    /// call in the native baseline).
+    fn hypercall(&mut self, args: HypercallArgs) -> Result<u32, HcError>;
+
+    /// Remaining execution budget in cycles; the RTOS scheduler returns to
+    /// the hypervisor when this reaches zero (quantum exhausted).
+    fn budget_left(&self) -> i64;
+
+    /// Poll for a virtual IRQ deliverable to this guest *right now*. Under
+    /// Mini-NOVA this is where the vGIC injection path runs (GIC ack, EOI,
+    /// routing, cost accounting); the guest calls it at every scheduling
+    /// pass — the modelled equivalent of having interrupts enabled.
+    fn poll_virq(&mut self) -> Option<u16> {
+        None
+    }
+
+    /// True when running bare-metal (the paper's native baseline): device
+    /// registers are reached at their physical addresses instead of
+    /// through manager-installed mappings.
+    fn is_native(&self) -> bool {
+        false
+    }
+}
+
+/// A self-contained test environment: flat memory, scripted hypercall
+/// results, simple cycle accounting. Lets the RTOS be unit-tested without
+/// the machine or the microkernel.
+pub struct MockEnv {
+    /// Flat guest memory.
+    pub mem: HashMap<u64, u8>,
+    /// Cycle clock.
+    pub clock: u64,
+    /// Quantum budget.
+    pub budget: i64,
+    /// Recorded hypercalls, in order.
+    pub calls: Vec<HypercallArgs>,
+    /// Scripted responses by hypercall number (default: Ok(0)).
+    pub responses: HashMap<u8, Result<u32, HcError>>,
+    /// Addresses that fault on access (for abort-path tests).
+    pub poison: Vec<(u64, u64)>,
+    /// Queued virtual IRQs delivered through [`GuestEnv::poll_virq`].
+    pub virq_queue: std::collections::VecDeque<u16>,
+}
+
+impl Default for MockEnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MockEnv {
+    /// Fresh mock with a large budget.
+    pub fn new() -> Self {
+        MockEnv {
+            mem: HashMap::new(),
+            clock: 0,
+            budget: i64::MAX,
+            calls: Vec::new(),
+            responses: HashMap::new(),
+            poison: Vec::new(),
+            virq_queue: Default::default(),
+        }
+    }
+
+    fn poisoned(&self, va: u64, len: u64) -> bool {
+        self.poison
+            .iter()
+            .any(|&(b, l)| va < b + l && b < va + len)
+    }
+
+    /// Script the result of a hypercall number.
+    pub fn respond(&mut self, nr: mnv_hal::abi::Hypercall, result: Result<u32, HcError>) {
+        self.responses.insert(nr.nr(), result);
+    }
+}
+
+impl GuestEnv for MockEnv {
+    fn vm_id(&self) -> VmId {
+        VmId(1)
+    }
+
+    fn now(&self) -> Cycles {
+        Cycles::new(self.clock)
+    }
+
+    fn compute(&mut self, cycles: u64) {
+        self.clock += cycles;
+        self.budget -= cycles as i64;
+    }
+
+    fn read_u32(&mut self, va: VirtAddr) -> Result<u32, GuestFault> {
+        if self.poisoned(va.raw(), 4) {
+            return Err(GuestFault { va, write: false });
+        }
+        self.clock += 1;
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= (*self.mem.get(&(va.raw() + i)).unwrap_or(&0) as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn write_u32(&mut self, va: VirtAddr, val: u32) -> Result<(), GuestFault> {
+        if self.poisoned(va.raw(), 4) {
+            return Err(GuestFault { va, write: true });
+        }
+        self.clock += 1;
+        for (i, b) in val.to_le_bytes().iter().enumerate() {
+            self.mem.insert(va.raw() + i as u64, *b);
+        }
+        Ok(())
+    }
+
+    fn read_block(&mut self, va: VirtAddr, out: &mut [u8]) -> Result<(), GuestFault> {
+        if self.poisoned(va.raw(), out.len() as u64) {
+            return Err(GuestFault { va, write: false });
+        }
+        self.clock += out.len() as u64 / 16 + 1;
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = *self.mem.get(&(va.raw() + i as u64)).unwrap_or(&0);
+        }
+        Ok(())
+    }
+
+    fn write_block(&mut self, va: VirtAddr, data: &[u8]) -> Result<(), GuestFault> {
+        if self.poisoned(va.raw(), data.len() as u64) {
+            return Err(GuestFault { va, write: true });
+        }
+        self.clock += data.len() as u64 / 16 + 1;
+        for (i, b) in data.iter().enumerate() {
+            self.mem.insert(va.raw() + i as u64, *b);
+        }
+        Ok(())
+    }
+
+    fn hypercall(&mut self, args: HypercallArgs) -> Result<u32, HcError> {
+        self.clock += 100; // a nominal trap cost
+        self.budget -= 100;
+        self.calls.push(args);
+        self.responses
+            .get(&args.nr.nr())
+            .copied()
+            .unwrap_or(Ok(0))
+    }
+
+    fn budget_left(&self) -> i64 {
+        self.budget
+    }
+
+    fn poll_virq(&mut self) -> Option<u16> {
+        self.virq_queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnv_hal::abi::Hypercall;
+
+    #[test]
+    fn mock_memory_round_trip() {
+        let mut env = MockEnv::new();
+        env.write_u32(VirtAddr::new(0x100), 0xAABB_CCDD).unwrap();
+        assert_eq!(env.read_u32(VirtAddr::new(0x100)).unwrap(), 0xAABB_CCDD);
+        let mut buf = [0u8; 4];
+        env.read_block(VirtAddr::new(0x100), &mut buf).unwrap();
+        assert_eq!(buf, [0xDD, 0xCC, 0xBB, 0xAA]);
+    }
+
+    #[test]
+    fn poisoned_region_faults() {
+        let mut env = MockEnv::new();
+        env.poison.push((0x2000, 0x1000));
+        let f = env.read_u32(VirtAddr::new(0x2800)).unwrap_err();
+        assert_eq!(f.va, VirtAddr::new(0x2800));
+        assert!(!f.write);
+        assert!(env.write_u32(VirtAddr::new(0x2FFF), 0).is_err());
+        assert!(env.write_u32(VirtAddr::new(0x3000), 0).is_ok());
+    }
+
+    #[test]
+    fn hypercalls_recorded_and_scripted() {
+        let mut env = MockEnv::new();
+        env.respond(Hypercall::HwTaskRequest, Err(HcError::Busy));
+        let r = env.hypercall(HypercallArgs::new(Hypercall::HwTaskRequest).a0(3));
+        assert_eq!(r, Err(HcError::Busy));
+        assert_eq!(env.calls.len(), 1);
+        assert_eq!(env.calls[0].a0, 3);
+        // Unscripted default.
+        assert_eq!(env.hypercall(HypercallArgs::new(Hypercall::Yield)), Ok(0));
+    }
+
+    #[test]
+    fn compute_burns_budget() {
+        let mut env = MockEnv::new();
+        env.budget = 1000;
+        env.compute(400);
+        assert_eq!(env.budget_left(), 600);
+        assert_eq!(env.now().raw(), 400);
+    }
+}

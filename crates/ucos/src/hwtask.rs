@@ -1,0 +1,291 @@
+//! Guest-side hardware-task client driver.
+//!
+//! Once the Hardware Task Manager has mapped a PRR's register group at the
+//! VM's requested interface VA (Fig. 7 stage 3), the guest drives the
+//! accelerator exactly like a memory-mapped device: it writes DMA addresses
+//! and control bits through that page and watches the status register or
+//! waits for the completion vIRQ. This module also implements the
+//! data-section consistency protocol of Fig. 5: before each use the client
+//! checks the reserved state flag, detecting that the task was reclaimed by
+//! another VM.
+
+use mnv_hal::abi::{data_section, HcError, HwTaskState, HwTaskStatus};
+use mnv_hal::{HwTaskId, VirtAddr};
+use mnv_fpga::prr::{ctrl, regs, status};
+
+use crate::env::{GuestEnv, GuestFault};
+use crate::port;
+
+/// Errors the client can observe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HwClientError {
+    /// The manager refused the request (Busy, Denied…).
+    Request(HcError),
+    /// The interface page faulted — it has been demapped, i.e. the task was
+    /// reclaimed (the second acknowledgement method of §IV-E).
+    InterfaceDemapped(VirtAddr),
+    /// The data-section state flag says the task is inconsistent (the first
+    /// acknowledgement method).
+    Inconsistent,
+    /// The device reported an error status.
+    Device(u32),
+}
+
+impl From<GuestFault> for HwClientError {
+    fn from(f: GuestFault) -> Self {
+        HwClientError::InterfaceDemapped(f.va)
+    }
+}
+
+/// A dispatched hardware task as seen from inside the guest.
+pub struct HwTaskClient {
+    /// The task id.
+    pub task: HwTaskId,
+    /// VA where the interface (PRR register group) is mapped.
+    pub iface: VirtAddr,
+    /// VA of the hardware-task data section.
+    pub data: VirtAddr,
+    /// Physical base of the data section (for DMA programming).
+    pub data_phys: u32,
+    /// The PL IRQ line the manager allocated for this task's completion
+    /// interrupts (§IV-D), as a GIC line number; `None` when unassigned.
+    pub irq: Option<mnv_hal::IrqNum>,
+}
+
+impl HwTaskClient {
+    /// Request `task` from the manager and build a client on success.
+    /// Returns the dispatch status (immediate or reconfiguring) alongside.
+    pub fn request(
+        env: &mut dyn GuestEnv,
+        task: HwTaskId,
+        iface: VirtAddr,
+        data: VirtAddr,
+    ) -> Result<(Self, HwTaskStatus), HwClientError> {
+        let (st, prr, line) =
+            port::hw_task_request(env, task, iface, data).map_err(HwClientError::Request)?;
+        // VmInfo field 1 yields the VM's region physical base; the data
+        // section sits at the region-offset identity of its VA.
+        let data_phys = port::hwdata_phys_base(env).wrapping_add(data.raw() as u32);
+        // Native clients address the register group at its physical page
+        // (unified memory space); virtualized clients use the VA the
+        // manager just mapped.
+        let iface = if env.is_native() {
+            VirtAddr::new(mnv_fpga::pl::Pl::prr_page(prr).raw())
+        } else {
+            iface
+        };
+        let irq = (line != 0xFF).then(|| mnv_hal::IrqNum::pl(line as u16));
+        Ok((
+            HwTaskClient {
+                task,
+                iface,
+                data,
+                data_phys,
+                irq,
+            },
+            st,
+        ))
+    }
+
+    /// Wait until a pending reconfiguration completes (poll method; the IRQ
+    /// method binds [`mnv_hal::IrqNum::PCAP_DONE`] instead). Returns the
+    /// polls it took.
+    pub fn wait_configured(&self, env: &mut dyn GuestEnv, max_polls: u32) -> Result<u32, HwClientError> {
+        for i in 0..max_polls {
+            if port::pcap_poll(env) {
+                return Ok(i);
+            }
+            env.compute(2_000); // guest busy-wait granularity
+        }
+        Err(HwClientError::Device(u32::MAX))
+    }
+
+    /// Check the Fig. 5 consistency flag in the data section.
+    pub fn check_consistent(&self, env: &mut dyn GuestEnv) -> Result<(), HwClientError> {
+        let flag = env
+            .read_u32(self.data + data_section::STATE_FLAG)
+            .map_err(HwClientError::from)?;
+        match HwTaskState::from_u32(flag) {
+            Some(HwTaskState::Inconsistent) => Err(HwClientError::Inconsistent),
+            _ => Ok(()),
+        }
+    }
+
+    fn reg(&self, idx: usize) -> VirtAddr {
+        self.iface + (idx * 4) as u64
+    }
+
+    /// Program a run: input at `src_off` within the data section
+    /// (`src_len` bytes), results at `dst_off` (capacity `dst_len`).
+    pub fn configure(
+        &self,
+        env: &mut dyn GuestEnv,
+        src_off: u32,
+        src_len: u32,
+        dst_off: u32,
+        dst_len: u32,
+    ) -> Result<(), HwClientError> {
+        env.write_u32(self.reg(regs::SRC_ADDR), self.data_phys + src_off)?;
+        env.write_u32(self.reg(regs::SRC_LEN), src_len)?;
+        env.write_u32(self.reg(regs::DST_ADDR), self.data_phys + dst_off)?;
+        env.write_u32(self.reg(regs::DST_LEN), dst_len)?;
+        Ok(())
+    }
+
+    /// Kick the run, optionally with the completion IRQ enabled.
+    pub fn start(&self, env: &mut dyn GuestEnv, irq: bool) -> Result<(), HwClientError> {
+        let bits = ctrl::START | if irq { ctrl::IRQ_EN } else { 0 };
+        env.write_u32(self.reg(regs::CTRL), bits)?;
+        Ok(())
+    }
+
+    /// Read the device status register.
+    pub fn status(&self, env: &mut dyn GuestEnv) -> Result<u32, HwClientError> {
+        Ok(env.read_u32(self.reg(regs::STATUS))?)
+    }
+
+    /// Busy-poll until DONE (or ERROR). Returns the result length.
+    pub fn wait_done(&self, env: &mut dyn GuestEnv, max_polls: u32) -> Result<u32, HwClientError> {
+        for _ in 0..max_polls {
+            match self.status(env)? {
+                status::DONE => {
+                    return Ok(env.read_u32(self.reg(regs::RESULT_LEN))?);
+                }
+                status::ERROR => {
+                    let code = env.read_u32(self.reg(regs::PARAM0))?;
+                    return Err(HwClientError::Device(code));
+                }
+                _ => env.compute(1_000),
+            }
+        }
+        Err(HwClientError::Device(u32::MAX))
+    }
+
+    /// Write input bytes into the data section at `off`.
+    pub fn write_input(
+        &self,
+        env: &mut dyn GuestEnv,
+        off: u32,
+        data: &[u8],
+    ) -> Result<(), HwClientError> {
+        env.write_block(self.data + off as u64, data)?;
+        Ok(())
+    }
+
+    /// Read output bytes from the data section at `off`.
+    pub fn read_output(
+        &self,
+        env: &mut dyn GuestEnv,
+        off: u32,
+        out: &mut [u8],
+    ) -> Result<(), HwClientError> {
+        env.read_block(self.data + off as u64, out)?;
+        Ok(())
+    }
+
+    /// Release the task back to the manager.
+    pub fn release(self, env: &mut dyn GuestEnv) {
+        let _ = port::hw_task_release(env, self.task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MockEnv;
+    use mnv_hal::abi::Hypercall;
+
+    fn client(env: &mut MockEnv) -> HwTaskClient {
+        env.respond(Hypercall::HwTaskRequest, Ok(0));
+        env.respond(Hypercall::VmInfo, Ok(0x0200_0000));
+        let (c, st) = match HwTaskClient::request(
+            env,
+            HwTaskId(2),
+            VirtAddr::new(0xF0_0000),
+            VirtAddr::new(0x80_0000),
+        ) {
+            Ok(v) => v,
+            Err(e) => panic!("request failed: {e:?}"),
+        };
+        assert_eq!(st, HwTaskStatus::Success);
+        c
+    }
+
+    #[test]
+    fn configure_programs_physical_dma_addresses() {
+        let mut env = MockEnv::new();
+        let c = client(&mut env);
+        c.configure(&mut env, 0x100, 64, 0x1000, 512).unwrap();
+        // SRC_ADDR register (index 2) must hold phys base + offset.
+        let v = env
+            .read_u32(VirtAddr::new(0xF0_0000 + 4 * regs::SRC_ADDR as u64))
+            .unwrap();
+        assert_eq!(v, 0x0200_0000 + 0x80_0000 + 0x100);
+    }
+
+    #[test]
+    fn demapped_interface_faults_into_client_error() {
+        let mut env = MockEnv::new();
+        let c = client(&mut env);
+        env.poison.push((0xF0_0000, 0x1000)); // the manager demapped it
+        let e = c.start(&mut env, false).unwrap_err();
+        assert!(matches!(e, HwClientError::InterfaceDemapped(_)));
+    }
+
+    #[test]
+    fn consistency_flag_detected() {
+        let mut env = MockEnv::new();
+        let c = client(&mut env);
+        c.check_consistent(&mut env).unwrap();
+        env.write_u32(
+            VirtAddr::new(0x80_0000 + data_section::STATE_FLAG),
+            HwTaskState::Inconsistent as u32,
+        )
+        .unwrap();
+        assert_eq!(
+            c.check_consistent(&mut env).unwrap_err(),
+            HwClientError::Inconsistent
+        );
+    }
+
+    #[test]
+    fn wait_done_reads_result_len() {
+        let mut env = MockEnv::new();
+        let c = client(&mut env);
+        env.write_u32(VirtAddr::new(0xF0_0000 + 4 * regs::STATUS as u64), status::DONE)
+            .unwrap();
+        env.write_u32(
+            VirtAddr::new(0xF0_0000 + 4 * regs::RESULT_LEN as u64),
+            512,
+        )
+        .unwrap();
+        assert_eq!(c.wait_done(&mut env, 10).unwrap(), 512);
+    }
+
+    #[test]
+    fn device_error_surfaces_code() {
+        let mut env = MockEnv::new();
+        let c = client(&mut env);
+        env.write_u32(VirtAddr::new(0xF0_0000 + 4 * regs::STATUS as u64), status::ERROR)
+            .unwrap();
+        env.write_u32(VirtAddr::new(0xF0_0000 + 4 * regs::PARAM0 as u64), 2)
+            .unwrap();
+        assert_eq!(c.wait_done(&mut env, 10).unwrap_err(), HwClientError::Device(2));
+    }
+
+    #[test]
+    fn busy_request_propagates() {
+        let mut env = MockEnv::new();
+        env.respond(Hypercall::HwTaskRequest, Err(HcError::Busy));
+        let e = match HwTaskClient::request(
+            &mut env,
+            HwTaskId(1),
+            VirtAddr::new(0xF0_0000),
+            VirtAddr::new(0x80_0000),
+        ) {
+            Ok(_) => panic!("expected busy"),
+            Err(e) => e,
+        };
+        assert_eq!(e, HwClientError::Request(HcError::Busy));
+    }
+}

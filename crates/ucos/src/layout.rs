@@ -1,0 +1,90 @@
+//! Guest virtual-address-space layout convention.
+//!
+//! Every uC/OS-II guest sees the same 16 MB virtual window. Mini-NOVA's VM
+//! loader builds each VM's page table to back this layout with the VM's
+//! private physical allocation; only the *hardware-task interface area* is
+//! special — its 4 KB pages are mapped/demapped dynamically by the Hardware
+//! Task Manager (Fig. 5) and point at PRR register pages, not RAM.
+
+use mnv_hal::VirtAddr;
+
+/// Total guest virtual window (16 MB).
+pub const GUEST_SPACE: u64 = 0x0100_0000;
+
+/// Guest code (MIR programs, if the guest runs interpreted tasks).
+pub const CODE_BASE: VirtAddr = VirtAddr::new(0x0001_0000);
+
+/// uC/OS-II kernel data structures (TCBs, ready lists, event blocks). The
+/// RTOS touches this region on every scheduling decision, producing the
+/// cache footprint the paper's Table III analysis attributes guest cost to.
+pub const KDATA_BASE: VirtAddr = VirtAddr::new(0x0010_0000);
+/// Size reserved for kernel data.
+pub const KDATA_LEN: u64 = 0x4_0000;
+
+/// Workload working buffers (PCM frames, encoded bitstreams…).
+pub const WORK_BASE: VirtAddr = VirtAddr::new(0x0020_0000);
+/// Size reserved for workload buffers.
+pub const WORK_LEN: u64 = 0x20_0000;
+
+/// The hardware-task data section (§IV-B: "each guest OS can define its own
+/// hardware task data section within its own memory space"). Starts with
+/// the reserved consistency structure of `mnv_hal::abi::data_section`.
+pub const HWDATA_BASE: VirtAddr = VirtAddr::new(0x0080_0000);
+/// Data-section length (128 KB: input staging + up to 64 KB of results).
+pub const HWDATA_LEN: u64 = 0x2_0000;
+
+/// Base of the hardware-task interface mapping area: the VA where the VM
+/// asks the manager to map PRR register pages (one 4 KB page per request).
+pub const HWIFACE_BASE: VirtAddr = VirtAddr::new(0x00F0_0000);
+/// Number of interface page slots.
+pub const HWIFACE_SLOTS: u64 = 16;
+
+/// The guest-kernel/guest-user split inside the guest window: addresses
+/// below this belong to the guest kernel (DACR-protected from guest user
+/// code per Table II).
+pub const GUEST_USER_BASE: VirtAddr = VirtAddr::new(0x0040_0000);
+
+/// Virtual IRQ number the guest's virtual timer is delivered on (matches
+/// the physical private-timer line so vGIC bookkeeping is 1:1).
+pub const TIMER_VIRQ: u16 = 29;
+
+/// VA of the `i`-th hardware-task interface page slot.
+pub fn hwiface_slot(i: u64) -> VirtAddr {
+    assert!(i < HWIFACE_SLOTS);
+    VirtAddr::new(HWIFACE_BASE.raw() + i * 0x1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_inside_the_window() {
+        let regions = [
+            (CODE_BASE.raw(), 0x1_0000),
+            (KDATA_BASE.raw(), KDATA_LEN),
+            (WORK_BASE.raw(), WORK_LEN),
+            (HWDATA_BASE.raw(), HWDATA_LEN),
+            (HWIFACE_BASE.raw(), HWIFACE_SLOTS * 0x1000),
+        ];
+        for (i, &(b1, l1)) in regions.iter().enumerate() {
+            assert!(b1 + l1 <= GUEST_SPACE, "region {i} outside window");
+            for &(b2, l2) in &regions[i + 1..] {
+                assert!(b1 + l1 <= b2 || b2 + l2 <= b1, "regions overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn iface_slots_are_page_aligned() {
+        for i in 0..HWIFACE_SLOTS {
+            assert!(hwiface_slot(i).is_page_aligned());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn slot_out_of_range_panics() {
+        let _ = hwiface_slot(HWIFACE_SLOTS);
+    }
+}

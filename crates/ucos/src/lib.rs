@@ -1,0 +1,30 @@
+//! # mnv-ucos — a uC/OS-II-like guest RTOS
+//!
+//! The paper paravirtualizes the uC/OS-II real-time kernel as its guest OS
+//! (§V-A). This crate reproduces that guest: a priority-based preemptive
+//! RTOS with the classic uC/OS-II ready-list bitmap (`OSRdyGrp`/`OSRdyTbl`),
+//! one task per priority, semaphores/mailboxes, a tick-driven time service —
+//! plus the **paravirtualization patch**: hypercall wrappers, virtual-timer
+//! registration, a local virtual-IRQ state table and hardware-task client
+//! APIs, mirroring the ~200-LoC patch the paper describes.
+//!
+//! The same kernel runs **native** (baseline) or **paravirtualized**: the
+//! difference is entirely in which [`env::GuestEnv`] implementation hosts
+//! it — a privileged direct-access environment, or Mini-NOVA's deprivileged
+//! VM environment where every sensitive operation is a hypercall. That is
+//! exactly the comparison Table III of the paper draws.
+
+pub mod env;
+pub mod hwtask;
+pub mod kernel;
+pub mod layout;
+pub mod port;
+pub mod sync;
+pub mod task;
+pub mod tasks;
+
+pub use env::{GuestEnv, GuestFault, MockEnv};
+pub use hwtask::HwTaskClient;
+pub use kernel::{RunExit, Ucos, UcosConfig};
+pub use sync::{MboxId, OsServices, SemId};
+pub use task::{GuestTask, TaskAction, TaskCtx};

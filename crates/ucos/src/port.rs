@@ -1,0 +1,189 @@
+//! The paravirtualization porting patch.
+//!
+//! §V-A: "all paravirtualization porting codes are organized as a patch
+//! package, including additional functions and hypercalls. The size of
+//! patch counts to around 200 lines of code." This module is that patch:
+//! thin wrappers that replace uC/OS-II's sensitive operations with
+//! hypercalls, plus the list of the **17** hypercalls the guest actually
+//! uses (out of Mini-NOVA's 25) — both numbers are asserted in tests.
+
+use mnv_hal::abi::{HcError, HwTaskState, HwTaskStatus, Hypercall, HypercallArgs};
+use mnv_hal::{HwTaskId, VirtAddr};
+
+use crate::env::GuestEnv;
+
+/// The subset of Mini-NOVA's hypercalls the uC/OS-II port uses.
+pub const HYPERCALLS_USED: [Hypercall; 17] = [
+    Hypercall::Yield,
+    Hypercall::VmInfo,
+    Hypercall::CacheFlushAll,
+    Hypercall::TlbFlush,
+    Hypercall::IrqEnable,
+    Hypercall::IrqDisable,
+    Hypercall::IrqEoi,
+    Hypercall::IrqSetEntry,
+    Hypercall::TimerProgram,
+    Hypercall::TimerStop,
+    Hypercall::MapInsert,
+    Hypercall::MapRemove,
+    Hypercall::HwTaskRequest,
+    Hypercall::HwTaskRelease,
+    Hypercall::HwTaskQuery,
+    Hypercall::PcapPoll,
+    Hypercall::ConsoleWrite,
+];
+
+/// OSSchedYield → `Yield`.
+pub fn yield_now(env: &mut dyn GuestEnv) {
+    let _ = env.hypercall(HypercallArgs::new(Hypercall::Yield));
+}
+
+/// Query this VM's id.
+pub fn vm_id(env: &mut dyn GuestEnv) -> u32 {
+    env.hypercall(HypercallArgs::new(Hypercall::VmInfo).a1(0))
+        .unwrap_or(0)
+}
+
+/// Physical base of this VM's hardware-task data section (needed to
+/// program DMA addresses into the task interface, like a `dma_addr_t`).
+pub fn hwdata_phys_base(env: &mut dyn GuestEnv) -> u32 {
+    env.hypercall(HypercallArgs::new(Hypercall::VmInfo).a1(1))
+        .unwrap_or(0)
+}
+
+/// Replacement for uC/OS-II's direct cache maintenance.
+pub fn cache_flush(env: &mut dyn GuestEnv) {
+    let _ = env.hypercall(HypercallArgs::new(Hypercall::CacheFlushAll));
+}
+
+/// Replacement for direct TLB maintenance.
+pub fn tlb_flush(env: &mut dyn GuestEnv) {
+    let _ = env.hypercall(HypercallArgs::new(Hypercall::TlbFlush));
+}
+
+/// Stop the virtual timer (OSTimeTickDisable analogue).
+pub fn timer_stop(env: &mut dyn GuestEnv) {
+    let _ = env.hypercall(HypercallArgs::new(Hypercall::TimerStop));
+}
+
+/// Supervised console output (the shared UART of §V-A).
+pub fn console_write(env: &mut dyn GuestEnv, text: &str) {
+    for b in text.bytes() {
+        let _ = env.hypercall(HypercallArgs::new(Hypercall::ConsoleWrite).a0(b as u32));
+    }
+}
+
+/// Request a hardware task: the Fig. 7 hypercall with its three arguments
+/// (task id, interface VA, data-section VA).
+/// Returns the dispatch status, the PRR the task landed in (bits 15:8 of
+/// the result — a native client needs it to address the register group
+/// directly), and the allocated PL IRQ line index (bits 23:16; 0xFF when
+/// none was assigned).
+pub fn hw_task_request(
+    env: &mut dyn GuestEnv,
+    task: HwTaskId,
+    iface_va: VirtAddr,
+    data_va: VirtAddr,
+) -> Result<(HwTaskStatus, u8, u8), HcError> {
+    let r = env.hypercall(
+        HypercallArgs::new(Hypercall::HwTaskRequest)
+            .a0(task.0 as u32)
+            .a1(iface_va.raw() as u32)
+            .a2(data_va.raw() as u32),
+    )?;
+    let status = HwTaskStatus::from_u32(r & 0xFF).ok_or(HcError::BadArg)?;
+    Ok((status, ((r >> 8) & 0xFF) as u8, ((r >> 16) & 0xFF) as u8))
+}
+
+/// Release a hardware task back to the manager.
+pub fn hw_task_release(env: &mut dyn GuestEnv, task: HwTaskId) -> Result<(), HcError> {
+    env.hypercall(HypercallArgs::new(Hypercall::HwTaskRelease).a0(task.0 as u32))
+        .map(|_| ())
+}
+
+/// Query a task's consistency state.
+pub fn hw_task_query(env: &mut dyn GuestEnv, task: HwTaskId) -> Result<HwTaskState, HcError> {
+    let r = env.hypercall(HypercallArgs::new(Hypercall::HwTaskQuery).a0(task.0 as u32))?;
+    HwTaskState::from_u32(r).ok_or(HcError::BadArg)
+}
+
+/// Poll whether the VM's pending PCAP reconfiguration completed
+/// (1 = complete, 0 = still transferring).
+pub fn pcap_poll(env: &mut dyn GuestEnv) -> bool {
+    env.hypercall(HypercallArgs::new(Hypercall::PcapPoll))
+        .map(|v| v != 0)
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::MockEnv;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_17_hypercalls_used() {
+        // The paper's §V-A: 17 dedicated hypercalls for the guest uCOS-II.
+        assert_eq!(HYPERCALLS_USED.len(), 17);
+        let set: HashSet<_> = HYPERCALLS_USED.iter().collect();
+        assert_eq!(set.len(), 17, "no duplicates");
+    }
+
+    #[test]
+    fn used_subset_of_provided_25() {
+        for hc in HYPERCALLS_USED {
+            assert!(Hypercall::ALL.contains(&hc));
+        }
+        assert!(HYPERCALLS_USED.len() < mnv_hal::abi::HYPERCALL_COUNT);
+    }
+
+    #[test]
+    fn request_wrapper_marshals_arguments() {
+        let mut env = MockEnv::new();
+        env.respond(Hypercall::HwTaskRequest, Ok(1));
+        let (st, prr, _line) = hw_task_request(
+            &mut env,
+            HwTaskId(5),
+            VirtAddr::new(0xF0_0000),
+            VirtAddr::new(0x80_0000),
+        )
+        .unwrap();
+        assert_eq!(st, HwTaskStatus::Reconfiguring);
+        assert_eq!(prr, 0);
+        let c = &env.calls[0];
+        assert_eq!(c.nr, Hypercall::HwTaskRequest);
+        assert_eq!((c.a0, c.a1, c.a2), (5, 0xF0_0000, 0x80_0000));
+    }
+
+    #[test]
+    fn busy_propagates() {
+        let mut env = MockEnv::new();
+        env.respond(Hypercall::HwTaskRequest, Err(HcError::Busy));
+        let e = hw_task_request(
+            &mut env,
+            HwTaskId(1),
+            VirtAddr::new(0),
+            VirtAddr::new(0),
+        )
+        .unwrap_err();
+        assert_eq!(e, HcError::Busy);
+    }
+
+    #[test]
+    fn console_write_one_call_per_byte() {
+        let mut env = MockEnv::new();
+        console_write(&mut env, "ok");
+        assert_eq!(env.calls.len(), 2);
+        assert_eq!(env.calls[0].a0, b'o' as u32);
+    }
+
+    #[test]
+    fn query_decodes_states() {
+        let mut env = MockEnv::new();
+        env.respond(Hypercall::HwTaskQuery, Ok(2));
+        assert_eq!(
+            hw_task_query(&mut env, HwTaskId(1)).unwrap(),
+            HwTaskState::Inconsistent
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! uC/OS-II event services: semaphores and mailboxes.
+//!
+//! Faithful to the original's shape: event control blocks hold a wait list
+//! keyed by task priority; posting readies the highest-priority waiter.
+//! Posts issued from inside a running task are deferred into a pending
+//! queue and applied by the kernel right after the task step returns —
+//! which matches uC/OS-II's behaviour of running the scheduler at the end
+//! of a service call.
+
+/// Semaphore handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SemId(pub usize);
+
+/// Mailbox handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MboxId(pub usize);
+
+/// A counting semaphore with a priority-ordered wait list.
+#[derive(Debug, Default)]
+pub struct Sem {
+    /// Current count.
+    pub count: u32,
+    /// Bitmap of waiting task priorities (bit *p* = priority *p* waits).
+    pub waiters: u64,
+}
+
+/// A one-slot mailbox.
+#[derive(Debug, Default)]
+pub struct Mbox {
+    /// The message, if present.
+    pub msg: Option<u32>,
+    /// Bitmap of waiting task priorities.
+    pub waiters: u64,
+}
+
+/// Deferred operations a task issued during its step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingOp {
+    /// Post a semaphore.
+    SemPost(SemId),
+    /// Post a message to a mailbox.
+    MboxPost(MboxId, u32),
+}
+
+/// Aggregate RTOS statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UcosStats {
+    /// Task step invocations.
+    pub steps: u64,
+    /// Context switches (a different task got the CPU).
+    pub context_switches: u64,
+    /// Tick-handler runs.
+    pub ticks: u64,
+    /// Virtual IRQs handled.
+    pub virqs_handled: u64,
+    /// Semaphore posts applied.
+    pub sem_posts: u64,
+}
+
+/// OS services accessible from inside a task step (everything except the
+/// scheduler's own structures, which the kernel holds).
+#[derive(Default)]
+pub struct OsServices {
+    /// Semaphores.
+    pub sems: Vec<Sem>,
+    /// Mailboxes.
+    pub mboxes: Vec<Mbox>,
+    /// Operations deferred to the post-step scheduler pass.
+    pub pending: Vec<PendingOp>,
+    /// Tick counter (OSTime).
+    pub time: u64,
+    /// Statistics.
+    pub stats: UcosStats,
+}
+
+impl OsServices {
+    /// Create a semaphore with an initial count.
+    pub fn sem_create(&mut self, initial: u32) -> SemId {
+        self.sems.push(Sem {
+            count: initial,
+            waiters: 0,
+        });
+        SemId(self.sems.len() - 1)
+    }
+
+    /// Create an empty mailbox.
+    pub fn mbox_create(&mut self) -> MboxId {
+        self.mboxes.push(Mbox::default());
+        MboxId(self.mboxes.len() - 1)
+    }
+
+    /// Post a semaphore from task context (deferred).
+    pub fn sem_post(&mut self, id: SemId) {
+        self.pending.push(PendingOp::SemPost(id));
+    }
+
+    /// Post a mailbox message from task context (deferred).
+    pub fn mbox_post(&mut self, id: MboxId, msg: u32) {
+        self.pending.push(PendingOp::MboxPost(id, msg));
+    }
+
+    /// Non-blocking semaphore take ("accept" in uC/OS-II terms).
+    pub fn sem_try(&mut self, id: SemId) -> bool {
+        let s = &mut self.sems[id.0];
+        if s.count > 0 {
+            s.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Non-blocking mailbox read.
+    pub fn mbox_try(&mut self, id: MboxId) -> Option<u32> {
+        self.mboxes[id.0].msg.take()
+    }
+
+    /// Current tick count.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sem_try_counts_down() {
+        let mut svc = OsServices::default();
+        let s = svc.sem_create(2);
+        assert!(svc.sem_try(s));
+        assert!(svc.sem_try(s));
+        assert!(!svc.sem_try(s));
+    }
+
+    #[test]
+    fn posts_are_deferred() {
+        let mut svc = OsServices::default();
+        let s = svc.sem_create(0);
+        svc.sem_post(s);
+        assert_eq!(svc.sems[s.0].count, 0, "not applied until kernel pass");
+        assert_eq!(svc.pending, vec![PendingOp::SemPost(s)]);
+    }
+
+    #[test]
+    fn mbox_try_takes_message() {
+        let mut svc = OsServices::default();
+        let m = svc.mbox_create();
+        assert_eq!(svc.mbox_try(m), None);
+        svc.mboxes[m.0].msg = Some(42);
+        assert_eq!(svc.mbox_try(m), Some(42));
+        assert_eq!(svc.mbox_try(m), None);
+    }
+}

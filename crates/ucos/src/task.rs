@@ -1,0 +1,178 @@
+//! Tasks: the guest-side unit of execution.
+//!
+//! uC/OS-II tasks are cooperative state machines in this reproduction: each
+//! [`GuestTask::step`] performs a bounded chunk of work against the guest
+//! environment and returns a [`TaskAction`] telling the RTOS what to do
+//! next. Preemption is modelled by the RTOS checking the environment's
+//! remaining quantum between steps — matching how the hypervisor slices
+//! time at VM granularity while uC/OS-II schedules within the VM.
+
+use crate::env::GuestEnv;
+use crate::sync::{OsServices, SemId};
+
+/// What a task asks of the OS after a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskAction {
+    /// Keep running (the scheduler may still preempt between steps).
+    Continue,
+    /// Round-robin yield to same-priority work (uC/OS-II has one task per
+    /// priority, so this behaves like Continue but counts a reschedule).
+    Yield,
+    /// OSTimeDly: sleep for `ticks` timer ticks.
+    Delay(u32),
+    /// Pend on a semaphore (blocks until posted).
+    SemPend(SemId),
+    /// Pend with a timeout in ticks.
+    SemPendTimeout(SemId, u32),
+    /// Task is finished; it never runs again (dormant).
+    Done,
+}
+
+/// Context handed to a task step: the environment plus OS services.
+pub struct TaskCtx<'a> {
+    /// Guest execution environment (memory, hypercalls, time).
+    pub env: &'a mut dyn GuestEnv,
+    /// Event services (semaphores, mailboxes) with deferred posting.
+    pub svc: &'a mut OsServices,
+}
+
+/// A guest task body.
+pub trait GuestTask {
+    /// Task name, for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Execute one bounded chunk of work.
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction;
+}
+
+/// Task states (mirrors uC/OS-II's TCB state field).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskState {
+    /// Ready to run.
+    Ready,
+    /// Delayed for N more ticks.
+    Delayed(u32),
+    /// Waiting on a semaphore (with optional remaining-tick timeout).
+    Pending(SemId, Option<u32>),
+    /// Finished; never scheduled again.
+    Dormant,
+}
+
+/// A task control block.
+pub struct Tcb {
+    /// Task priority (0 = highest, uC/OS-II convention).
+    pub prio: u8,
+    /// Current state.
+    pub state: TaskState,
+    /// The task body (taken out while stepping).
+    pub task: Option<Box<dyn GuestTask>>,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+impl Tcb {
+    /// A fresh, ready TCB.
+    pub fn new(prio: u8, task: Box<dyn GuestTask>) -> Self {
+        Tcb {
+            prio,
+            state: TaskState::Ready,
+            task: Some(task),
+            steps: 0,
+        }
+    }
+}
+
+/// The classic uC/OS-II ready-list bitmap: a group byte (`OSRdyGrp`) with
+/// one bit per row of eight priorities, and a per-row byte (`OSRdyTbl`).
+/// Finding the highest-priority ready task is two table lookups in the
+/// original; two trailing-zero counts here.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrioBitmap {
+    grp: u8,
+    tbl: [u8; 8],
+}
+
+impl PrioBitmap {
+    /// Mark priority `p` ready.
+    pub fn set(&mut self, p: u8) {
+        debug_assert!(p < 64);
+        self.grp |= 1 << (p >> 3);
+        self.tbl[(p >> 3) as usize] |= 1 << (p & 7);
+    }
+
+    /// Clear priority `p`.
+    pub fn clear(&mut self, p: u8) {
+        debug_assert!(p < 64);
+        let row = (p >> 3) as usize;
+        self.tbl[row] &= !(1 << (p & 7));
+        if self.tbl[row] == 0 {
+            self.grp &= !(1 << row);
+        }
+    }
+
+    /// Is priority `p` set?
+    pub fn is_set(&self, p: u8) -> bool {
+        self.tbl[(p >> 3) as usize] & (1 << (p & 7)) != 0
+    }
+
+    /// Highest-priority (numerically lowest) ready entry.
+    pub fn highest(&self) -> Option<u8> {
+        if self.grp == 0 {
+            return None;
+        }
+        let row = self.grp.trailing_zeros() as u8;
+        let col = self.tbl[row as usize].trailing_zeros() as u8;
+        Some((row << 3) | col)
+    }
+
+    /// True when no priority is ready.
+    pub fn is_empty(&self) -> bool {
+        self.grp == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_clear_highest() {
+        let mut b = PrioBitmap::default();
+        assert_eq!(b.highest(), None);
+        b.set(17);
+        b.set(5);
+        b.set(63);
+        assert_eq!(b.highest(), Some(5));
+        assert!(b.is_set(17));
+        b.clear(5);
+        assert_eq!(b.highest(), Some(17));
+        b.clear(17);
+        assert_eq!(b.highest(), Some(63));
+        b.clear(63);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bitmap_group_byte_tracks_rows() {
+        let mut b = PrioBitmap::default();
+        b.set(8);
+        b.set(9);
+        b.clear(8);
+        assert_eq!(b.highest(), Some(9), "row must stay set while 9 is ready");
+        b.clear(9);
+        assert_eq!(b.highest(), None);
+    }
+
+    #[test]
+    fn bitmap_full_sweep() {
+        let mut b = PrioBitmap::default();
+        for p in 0..64u8 {
+            b.set(p);
+        }
+        for p in 0..64u8 {
+            assert_eq!(b.highest(), Some(p));
+            b.clear(p);
+        }
+        assert!(b.is_empty());
+    }
+}

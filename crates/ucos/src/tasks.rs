@@ -1,0 +1,507 @@
+//! Ready-made guest tasks: the paper's evaluation workload mix.
+//!
+//! §V-B: "Each VM is assigned with a virtualized uC/OS-II, which is
+//! executing heavy workload tasks, for example, GSM encoding, or Adaptive
+//! differential pulse-code modulation (ADPCM) compression … and
+//! particularly a special task (T_hw) programmed to invoke hardware task
+//! requests. … Each time it executes, it randomly selects a hardware task
+//! from the hardware task set and generates a hardware task hypercall."
+//!
+//! Each task couples a *functional* computation (from `mnv-workloads`) with
+//! a *cost model*: cycles charged per unit of work plus genuine guest-
+//! memory traffic, so running more VMs really does pollute the simulated
+//! caches — the causal mechanism behind the paper's Table III trends.
+
+use mnv_hal::abi::HwTaskStatus;
+use mnv_hal::{HwTaskId, VirtAddr};
+use mnv_workloads::adpcm::{adpcm_encode, AdpcmState};
+use mnv_workloads::gsm::{GsmEncoder, GSM_FRAME_BYTES, GSM_FRAME_SAMPLES};
+use mnv_workloads::signal::{Lcg, Signal};
+
+use crate::hwtask::{HwClientError, HwTaskClient};
+use crate::layout;
+use crate::task::{GuestTask, TaskAction, TaskCtx};
+
+/// Modelled cost of encoding one GSM frame on the A9 (≈90 µs at 660 MHz —
+/// GSM-FR class complexity).
+pub const GSM_CYCLES_PER_FRAME: u64 = 60_000;
+/// Modelled ADPCM cost per sample.
+pub const ADPCM_CYCLES_PER_SAMPLE: u64 = 6;
+
+/// A pure compute-and-touch load generator.
+pub struct ComputeTask {
+    /// Cycles charged per step.
+    pub cycles_per_step: u64,
+    /// Working-set bytes touched per step.
+    pub touch_bytes: u64,
+    cursor: u64,
+}
+
+impl ComputeTask {
+    /// Build with the given per-step cost and working set.
+    pub fn new(cycles_per_step: u64, touch_bytes: u64) -> Self {
+        ComputeTask {
+            cycles_per_step,
+            touch_bytes,
+            cursor: 0,
+        }
+    }
+}
+
+impl GuestTask for ComputeTask {
+    fn name(&self) -> &'static str {
+        "compute"
+    }
+
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        ctx.env.compute(self.cycles_per_step);
+        let mut off = 0;
+        while off < self.touch_bytes {
+            let va = VirtAddr::new(
+                layout::WORK_BASE.raw() + (self.cursor + off) % layout::WORK_LEN,
+            );
+            let _ = ctx.env.read_u32(va);
+            off += 64;
+        }
+        self.cursor = (self.cursor + self.touch_bytes) % layout::WORK_LEN;
+        TaskAction::Continue
+    }
+}
+
+/// GSM encoder task: streams a synthetic utterance through the encoder,
+/// one 160-sample frame per step, reading PCM from and writing the coded
+/// frames into guest memory.
+pub struct GsmTask {
+    enc: GsmEncoder,
+    pcm: Vec<i16>,
+    frame: usize,
+    out_va: VirtAddr,
+    in_va: VirtAddr,
+    initialised: bool,
+    /// Frames encoded (observable by tests).
+    pub frames: u64,
+}
+
+impl GsmTask {
+    /// A task encoding a `seconds`-long looped utterance.
+    pub fn new(seed: u64, seconds: usize) -> Self {
+        GsmTask {
+            enc: GsmEncoder::new(),
+            pcm: Signal::speech_like(8000 * seconds.max(1), seed),
+            frame: 0,
+            in_va: layout::WORK_BASE,
+            out_va: VirtAddr::new(layout::WORK_BASE.raw() + layout::WORK_LEN / 2),
+            initialised: false,
+            frames: 0,
+        }
+    }
+}
+
+impl GuestTask for GsmTask {
+    fn name(&self) -> &'static str {
+        "gsm-enc"
+    }
+
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        if !self.initialised {
+            // Stage the PCM into guest memory (the "capture buffer").
+            let bytes: Vec<u8> = self.pcm.iter().flat_map(|s| s.to_le_bytes()).collect();
+            let n = bytes.len().min((layout::WORK_LEN / 2) as usize);
+            let _ = ctx.env.write_block(self.in_va, &bytes[..n]);
+            self.initialised = true;
+            return TaskAction::Continue;
+        }
+        let frames_in_buf = self.pcm.len() / GSM_FRAME_SAMPLES;
+        let idx = self.frame % frames_in_buf;
+        // Read the frame from guest memory (real traffic)…
+        let mut raw = vec![0u8; GSM_FRAME_SAMPLES * 2];
+        let _ = ctx.env.read_block(
+            self.in_va + (idx * GSM_FRAME_SAMPLES * 2) as u64,
+            &mut raw,
+        );
+        let pcm: Vec<i16> = raw
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        // …encode (host-side compute, charged at the modelled rate)…
+        let coded = self.enc.encode_frame(&pcm);
+        ctx.env.compute(GSM_CYCLES_PER_FRAME);
+        // …and write the frame out.
+        let _ = ctx.env.write_block(
+            self.out_va + (idx * GSM_FRAME_BYTES) as u64,
+            &coded,
+        );
+        self.frame += 1;
+        self.frames += 1;
+        TaskAction::Continue
+    }
+}
+
+/// ADPCM compressor task: one 160-sample block per step.
+pub struct AdpcmTask {
+    state: AdpcmState,
+    pcm: Vec<i16>,
+    block: usize,
+    /// Blocks compressed.
+    pub blocks: u64,
+}
+
+impl AdpcmTask {
+    /// A task compressing a looped synthetic signal.
+    pub fn new(seed: u64) -> Self {
+        AdpcmTask {
+            state: AdpcmState::default(),
+            pcm: Signal::speech_like(16_000, seed),
+            block: 0,
+            blocks: 0,
+        }
+    }
+}
+
+impl GuestTask for AdpcmTask {
+    fn name(&self) -> &'static str {
+        "adpcm"
+    }
+
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        let blocks_in_buf = self.pcm.len() / 160;
+        let idx = self.block % blocks_in_buf;
+        let chunk = &self.pcm[idx * 160..(idx + 1) * 160];
+        let coded = adpcm_encode(&mut self.state, chunk);
+        ctx.env.compute(ADPCM_CYCLES_PER_SAMPLE * 160);
+        let _ = ctx.env.write_block(
+            VirtAddr::new(layout::WORK_BASE.raw() + layout::WORK_LEN / 4 * 3 + (idx * 80) as u64 % 0x1000),
+            &coded,
+        );
+        self.block += 1;
+        self.blocks += 1;
+        // Pace like a real-time audio path: one block per tick.
+        TaskAction::Delay(1)
+    }
+}
+
+/// T_hw phases.
+enum THwPhase {
+    Pick,
+    WaitConfig(HwTaskClient),
+    Run(HwTaskClient),
+    WaitDone(HwTaskClient, u64),
+}
+
+/// Statistics gathered by [`THwTask`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct THwStats {
+    /// Hypercall requests issued.
+    pub requests: u64,
+    /// Requests answered Busy (no idle PRR).
+    pub busy: u64,
+    /// Requests that triggered a PCAP reconfiguration.
+    pub reconfigs: u64,
+    /// Completed accelerator runs.
+    pub completions: u64,
+    /// Times the task was found reclaimed (inconsistent/demapped).
+    pub reclaims_seen: u64,
+    /// Device or protocol errors.
+    pub errors: u64,
+    /// Sum of request→completion latencies (cycles).
+    pub total_latency: u64,
+}
+
+/// The measurement task: randomly requests hardware tasks and drives them
+/// end to end.
+pub struct THwTask {
+    set: Vec<HwTaskId>,
+    rng: Lcg,
+    phase: THwPhase,
+    input: Vec<u8>,
+    /// Observable statistics.
+    pub stats: THwStats,
+    /// Mean pause between runs, in ticks (actual pauses are randomised
+    /// around this to decorrelate requests from scheduling phases).
+    pub cooldown: u32,
+}
+
+impl THwTask {
+    /// Build with the hardware-task id set to draw from.
+    pub fn new(set: Vec<HwTaskId>, seed: u64) -> Self {
+        let mut rng = Lcg::new(seed);
+        let mut input = vec![0u8; 2048];
+        rng.fill_bytes(&mut input);
+        THwTask {
+            set,
+            rng,
+            phase: THwPhase::Pick,
+            input,
+            stats: THwStats::default(),
+            cooldown: 3,
+        }
+    }
+}
+
+/// Offset of the input staging area within the data section (past the
+/// reserved consistency structure).
+pub const THW_SRC_OFF: u32 = 0x100;
+/// Offset of the result area within the data section.
+pub const THW_DST_OFF: u32 = 0x1_0000;
+
+impl THwTask {
+    fn pause(&mut self) -> TaskAction {
+        // 1..=2*cooldown ticks, mean ~cooldown: decorrelates request
+        // arrival from slice boundaries.
+        let t = 1 + self.rng.next_bounded(2 * self.cooldown.max(1) as u64) as u32;
+        TaskAction::Delay(t)
+    }
+}
+
+impl GuestTask for THwTask {
+    fn name(&self) -> &'static str {
+        "t-hw"
+    }
+
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        match std::mem::replace(&mut self.phase, THwPhase::Pick) {
+            THwPhase::Pick => {
+                let task = self.set[self.rng.next_bounded(self.set.len() as u64) as usize];
+                self.stats.requests += 1;
+                let t0 = ctx.env.now().raw();
+                match HwTaskClient::request(
+                    ctx.env,
+                    task,
+                    layout::hwiface_slot(0),
+                    layout::HWDATA_BASE,
+                ) {
+                    Ok((client, HwTaskStatus::Success)) => {
+                        self.phase = THwPhase::Run(client);
+                        self.stats.total_latency = self.stats.total_latency.wrapping_sub(t0);
+                        TaskAction::Continue
+                    }
+                    Ok((client, HwTaskStatus::Reconfiguring)) => {
+                        self.stats.reconfigs += 1;
+                        self.stats.total_latency = self.stats.total_latency.wrapping_sub(t0);
+                        self.phase = THwPhase::WaitConfig(client);
+                        TaskAction::Continue
+                    }
+                    Err(HwClientError::Request(mnv_hal::abi::HcError::Busy)) => {
+                        self.stats.busy += 1;
+                        self.pause()
+                    }
+                    Err(_) => {
+                        self.stats.errors += 1;
+                        self.pause()
+                    }
+                }
+            }
+            THwPhase::WaitConfig(client) => {
+                if crate::port::pcap_poll(ctx.env) {
+                    self.phase = THwPhase::Run(client);
+                } else {
+                    ctx.env.compute(500);
+                    self.phase = THwPhase::WaitConfig(client);
+                }
+                TaskAction::Continue
+            }
+            THwPhase::Run(client) => {
+                // Fig. 5 consistency check before use.
+                if let Err(e) = client.check_consistent(ctx.env) {
+                    if matches!(
+                        e,
+                        HwClientError::Inconsistent | HwClientError::InterfaceDemapped(_)
+                    ) {
+                        self.stats.reclaims_seen += 1;
+                    } else {
+                        self.stats.errors += 1;
+                    }
+                    return self.pause(); // back to Pick next step
+                }
+                let run = (|| -> Result<(), HwClientError> {
+                    client.write_input(ctx.env, THW_SRC_OFF, &self.input)?;
+                    client.configure(
+                        ctx.env,
+                        THW_SRC_OFF,
+                        self.input.len() as u32,
+                        THW_DST_OFF,
+                        (layout::HWDATA_LEN as u32) - THW_DST_OFF,
+                    )?;
+                    client.start(ctx.env, true)?;
+                    Ok(())
+                })();
+                match run {
+                    Ok(()) => {
+                        let t = ctx.env.now().raw();
+                        self.phase = THwPhase::WaitDone(client, t);
+                        TaskAction::Continue
+                    }
+                    Err(HwClientError::InterfaceDemapped(_)) => {
+                        self.stats.reclaims_seen += 1;
+                        self.pause()
+                    }
+                    Err(_) => {
+                        self.stats.errors += 1;
+                        self.pause()
+                    }
+                }
+            }
+            THwPhase::WaitDone(client, t0) => match client.status(ctx.env) {
+                Ok(mnv_fpga::prr::status::DONE) => {
+                    let mut out = vec![0u8; 64];
+                    let _ = client.read_output(ctx.env, THW_DST_OFF, &mut out);
+                    self.stats.completions += 1;
+                    self.stats.total_latency =
+                        self.stats.total_latency.wrapping_add(ctx.env.now().raw());
+                    let _ = t0;
+                    self.pause()
+                }
+                Ok(mnv_fpga::prr::status::ERROR) => {
+                    self.stats.errors += 1;
+                    self.pause()
+                }
+                Ok(_) => {
+                    ctx.env.compute(1_000);
+                    self.phase = THwPhase::WaitDone(client, t0);
+                    TaskAction::Continue
+                }
+                Err(_) => {
+                    self.stats.reclaims_seen += 1;
+                    self.pause()
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{GuestEnv, MockEnv};
+    use crate::sync::OsServices;
+    use mnv_hal::abi::Hypercall;
+
+    fn ctx_parts() -> (MockEnv, OsServices) {
+        (MockEnv::new(), OsServices::default())
+    }
+
+    #[test]
+    fn gsm_task_encodes_into_guest_memory() {
+        let (mut env, mut svc) = ctx_parts();
+        let mut t = GsmTask::new(1, 1);
+        for _ in 0..5 {
+            let mut ctx = TaskCtx {
+                env: &mut env,
+                svc: &mut svc,
+            };
+            t.step(&mut ctx);
+        }
+        assert_eq!(t.frames, 4, "first step initialises, then one frame/step");
+        // The coded output region must be non-zero.
+        let out = t.out_va;
+        let mut buf = [0u8; GSM_FRAME_BYTES];
+        env.read_block(out, &mut buf).unwrap();
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gsm_task_charges_cycles() {
+        let (mut env, mut svc) = ctx_parts();
+        let mut t = GsmTask::new(2, 1);
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        t.step(&mut ctx); // init
+        let before = ctx.env.now().raw();
+        t.step(&mut ctx);
+        assert!(ctx.env.now().raw() - before >= GSM_CYCLES_PER_FRAME);
+    }
+
+    #[test]
+    fn adpcm_task_paces_with_delay() {
+        let (mut env, mut svc) = ctx_parts();
+        let mut t = AdpcmTask::new(3);
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        assert!(matches!(t.step(&mut ctx), TaskAction::Delay(_)));
+        assert_eq!(t.blocks, 1);
+    }
+
+    #[test]
+    fn thw_requests_and_backs_off_on_busy() {
+        let (mut env, mut svc) = ctx_parts();
+        env.respond(Hypercall::HwTaskRequest, Err(mnv_hal::abi::HcError::Busy));
+        let mut t = THwTask::new(vec![HwTaskId(0), HwTaskId(1)], 7);
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        assert!(matches!(t.step(&mut ctx), TaskAction::Delay(_)));
+        assert_eq!(t.stats.requests, 1);
+        assert_eq!(t.stats.busy, 1);
+    }
+
+    #[test]
+    fn thw_full_run_against_mock_device() {
+        let (mut env, mut svc) = ctx_parts();
+        env.respond(Hypercall::HwTaskRequest, Ok(0)); // Success, no reconfig
+        env.respond(Hypercall::VmInfo, Ok(0x0300_0000));
+        let mut t = THwTask::new(vec![HwTaskId(0)], 9);
+        // Step 1: Pick -> Run.
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        t.step(&mut ctx);
+        // Step 2: Run -> configure/start -> WaitDone.
+        t.step(&mut ctx);
+        // Pretend the device finished.
+        env.write_u32(
+            layout::hwiface_slot(0) + 4 * mnv_fpga::prr::regs::STATUS as u64,
+            mnv_fpga::prr::status::DONE,
+        )
+        .unwrap();
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        let act = t.step(&mut ctx);
+        assert!(matches!(act, TaskAction::Delay(_)));
+        assert_eq!(t.stats.completions, 1);
+        // The device registers were programmed with physical addresses.
+        let src = env
+            .read_u32(layout::hwiface_slot(0) + 4 * mnv_fpga::prr::regs::SRC_ADDR as u64)
+            .unwrap();
+        assert_eq!(src, 0x0300_0000 + layout::HWDATA_BASE.raw() as u32 + THW_SRC_OFF);
+    }
+
+    #[test]
+    fn thw_detects_reclaim_via_demap_fault() {
+        let (mut env, mut svc) = ctx_parts();
+        env.respond(Hypercall::HwTaskRequest, Ok(0));
+        let mut t = THwTask::new(vec![HwTaskId(0)], 11);
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        t.step(&mut ctx); // Pick -> Run
+        env.poison.push((layout::hwiface_slot(0).raw(), 0x1000));
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        t.step(&mut ctx); // Run fails at configure
+        assert_eq!(t.stats.reclaims_seen, 1);
+    }
+
+    #[test]
+    fn compute_task_touches_working_set() {
+        let (mut env, mut svc) = ctx_parts();
+        let mut t = ComputeTask::new(1_000, 256);
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        let before = ctx.env.now().raw();
+        assert_eq!(t.step(&mut ctx), TaskAction::Continue);
+        assert!(ctx.env.now().raw() >= before + 1_000);
+    }
+}

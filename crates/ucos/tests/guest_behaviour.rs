@@ -1,0 +1,143 @@
+//! Guest-side behaviour tests over the mock environment: the T_hw state
+//! machine through reconfiguration waits, the hardware-task client's
+//! IRQ-line bookkeeping, and port wrappers under adverse responses.
+
+use mnv_hal::abi::{HcError, HwTaskStatus, Hypercall};
+use mnv_hal::{HwTaskId, VirtAddr};
+use mnv_ucos::env::{GuestEnv, MockEnv};
+use mnv_ucos::sync::OsServices;
+use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
+use mnv_ucos::tasks::THwTask;
+use mnv_ucos::{layout, HwTaskClient};
+
+fn ctx_parts() -> (MockEnv, OsServices) {
+    (MockEnv::new(), OsServices::default())
+}
+
+#[test]
+fn thw_waits_for_reconfiguration_then_runs() {
+    let (mut env, mut svc) = ctx_parts();
+    // Request reports Reconfiguring; PcapPoll reports busy twice, then done.
+    env.respond(Hypercall::HwTaskRequest, Ok(1));
+    env.respond(Hypercall::PcapPoll, Ok(0));
+    env.respond(Hypercall::VmInfo, Ok(0x0400_0000));
+    let mut t = THwTask::new(vec![HwTaskId(2)], 3);
+
+    // Step 1: Pick -> WaitConfig.
+    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    assert_eq!(t.step(&mut c), TaskAction::Continue);
+    assert_eq!(t.stats.reconfigs, 1);
+
+    // Steps 2-3: still transferring.
+    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    t.step(&mut c);
+    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    t.step(&mut c);
+
+    // PCAP completes; next step moves to Run and programs the device.
+    env.respond(Hypercall::PcapPoll, Ok(1));
+    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    t.step(&mut c); // WaitConfig -> Run
+    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    t.step(&mut c); // Run: write/configure/start -> WaitDone
+    let ctrl = env
+        .read_u32(layout::hwiface_slot(0) + 4 * mnv_fpga::prr::regs::CTRL as u64)
+        .unwrap();
+    assert_ne!(ctrl & mnv_fpga::prr::ctrl::START, 0, "device was started");
+}
+
+#[test]
+fn thw_counts_multiple_busy_rejections() {
+    let (mut env, mut svc) = ctx_parts();
+    env.respond(Hypercall::HwTaskRequest, Err(HcError::Busy));
+    let mut t = THwTask::new(vec![HwTaskId(0)], 9);
+    for _ in 0..4 {
+        let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+        assert!(matches!(t.step(&mut c), TaskAction::Delay(_)));
+    }
+    assert_eq!(t.stats.busy, 4);
+    assert_eq!(t.stats.requests, 4);
+    assert_eq!(t.stats.completions, 0);
+}
+
+#[test]
+fn client_records_allocated_irq_line() {
+    let (mut env, _svc) = ctx_parts();
+    // Status Success, PRR 2, PL line 7 (bits 23:16).
+    env.respond(Hypercall::HwTaskRequest, Ok((7 << 16) | (2 << 8)));
+    let (client, st) = HwTaskClient::request(
+        &mut env,
+        HwTaskId(4),
+        VirtAddr::new(0xF0_0000),
+        VirtAddr::new(0x80_0000),
+    )
+    .unwrap();
+    assert_eq!(st, HwTaskStatus::Success);
+    assert_eq!(client.irq, Some(mnv_hal::IrqNum::pl(7)));
+
+    // Line 0xFF means "none".
+    env.respond(Hypercall::HwTaskRequest, Ok((0xFF << 16) | (1 << 8)));
+    let (client, _) = HwTaskClient::request(
+        &mut env,
+        HwTaskId(4),
+        VirtAddr::new(0xF0_0000),
+        VirtAddr::new(0x80_0000),
+    )
+    .unwrap();
+    assert_eq!(client.irq, None);
+}
+
+#[test]
+fn wait_configured_polls_until_done() {
+    let (mut env, _svc) = ctx_parts();
+    env.respond(Hypercall::HwTaskRequest, Ok(1));
+    env.respond(Hypercall::VmInfo, Ok(0));
+    let (client, _) = HwTaskClient::request(
+        &mut env,
+        HwTaskId(1),
+        VirtAddr::new(0xF0_0000),
+        VirtAddr::new(0x80_0000),
+    )
+    .unwrap();
+    env.respond(Hypercall::PcapPoll, Ok(0));
+    // Exhausts the poll budget when never done.
+    assert!(client.wait_configured(&mut env, 3).is_err());
+    env.respond(Hypercall::PcapPoll, Ok(1));
+    assert_eq!(client.wait_configured(&mut env, 3).unwrap(), 0);
+}
+
+#[test]
+fn gsm_task_output_differs_from_input_region() {
+    // Sanity on the staged memory layout: coded frames land in the second
+    // half of the work area, away from the PCM.
+    use mnv_ucos::tasks::GsmTask;
+    let (mut env, mut svc) = ctx_parts();
+    let mut t = GsmTask::new(4, 1);
+    for _ in 0..3 {
+        let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+        t.step(&mut c);
+    }
+    let pcm_word = env.read_u32(layout::WORK_BASE).unwrap();
+    let out_word = env
+        .read_u32(VirtAddr::new(layout::WORK_BASE.raw() + layout::WORK_LEN / 2))
+        .unwrap();
+    assert_ne!(pcm_word, 0, "PCM staged");
+    assert_ne!(out_word, 0, "coded frames written");
+    assert_ne!(pcm_word, out_word);
+}
+
+#[test]
+fn port_wrappers_survive_error_responses() {
+    use mnv_ucos::port;
+    let (mut env, _svc) = ctx_parts();
+    env.respond(Hypercall::PcapPoll, Err(HcError::BadArg));
+    assert!(!port::pcap_poll(&mut env), "errors read as not-done");
+    env.respond(Hypercall::VmInfo, Err(HcError::Denied));
+    assert_eq!(port::vm_id(&mut env), 0, "denied VmInfo defaults to 0");
+    env.respond(Hypercall::HwTaskQuery, Ok(99));
+    assert_eq!(
+        port::hw_task_query(&mut env, HwTaskId(0)).unwrap_err(),
+        HcError::BadArg,
+        "out-of-range state value is a protocol error"
+    );
+}

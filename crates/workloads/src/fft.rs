@@ -1,0 +1,118 @@
+//! Independent software FFT references.
+//!
+//! Two implementations with different structure from the hardware model in
+//! `mnv-fpga` (which is an *iterative* in-place radix-2): a *recursive*
+//! out-of-place radix-2 and an O(n²) naive DFT. The integration tests pit
+//! the hardware core against these; agreement across three independently
+//! written algorithms is strong evidence all are correct.
+
+/// Recursive out-of-place radix-2 decimation-in-time FFT.
+pub fn fft_recursive(input: &[(f32, f32)]) -> Vec<(f32, f32)> {
+    let n = input.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    if n == 1 {
+        return input.to_vec();
+    }
+    let even: Vec<(f32, f32)> = input.iter().step_by(2).copied().collect();
+    let odd: Vec<(f32, f32)> = input.iter().skip(1).step_by(2).copied().collect();
+    let fe = fft_recursive(&even);
+    let fo = fft_recursive(&odd);
+    let mut out = vec![(0.0f32, 0.0f32); n];
+    for k in 0..n / 2 {
+        let ang = -2.0 * std::f32::consts::PI * k as f32 / n as f32;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let (or_, oi) = fo[k];
+        let tr = or_ * wr - oi * wi;
+        let ti = or_ * wi + oi * wr;
+        let (er, ei) = fe[k];
+        out[k] = (er + tr, ei + ti);
+        out[k + n / 2] = (er - tr, ei - ti);
+    }
+    out
+}
+
+/// Naive O(n²) DFT — the unarguable definition, for small sizes in tests.
+pub fn dft_naive(input: &[(f32, f32)]) -> Vec<(f32, f32)> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0f64, 0.0f64);
+            for (i, &(re, im)) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                acc.0 += re as f64 * c - im as f64 * s;
+                acc.1 += re as f64 * s + im as f64 * c;
+            }
+            (acc.0 as f32, acc.1 as f32)
+        })
+        .collect()
+}
+
+/// Inverse FFT via conjugation (utility for round-trip tests).
+pub fn ifft_recursive(input: &[(f32, f32)]) -> Vec<(f32, f32)> {
+    let n = input.len() as f32;
+    let conj: Vec<(f32, f32)> = input.iter().map(|&(r, i)| (r, -i)).collect();
+    fft_recursive(&conj)
+        .into_iter()
+        .map(|(r, i)| (r / n, -i / n))
+        .collect()
+}
+
+/// Root-mean-square difference between two complex vectors.
+pub fn rms_diff(a: &[(f32, f32)], b: &[(f32, f32)]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let sum: f32 = a
+        .iter()
+        .zip(b)
+        .map(|(&(ar, ai), &(br, bi))| (ar - br).powi(2) + (ai - bi).powi(2))
+        .sum();
+    (sum / a.len() as f32).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Signal;
+
+    #[test]
+    fn matches_naive_dft_on_noise() {
+        for n in [8usize, 32, 64] {
+            let x = Signal::complex_noise(n, 77);
+            let a = fft_recursive(&x);
+            let b = dft_naive(&x);
+            assert!(rms_diff(&a, &b) < 1e-3, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let x = Signal::complex_noise(256, 5);
+        let back = ifft_recursive(&fft_recursive(&x));
+        assert!(rms_diff(&x, &back) < 1e-4);
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 512usize;
+        let x = Signal::complex_noise(n, 9);
+        let fx = fft_recursive(&x);
+        let et: f64 = x.iter().map(|&(r, i)| (r * r + i * i) as f64).sum();
+        let ef: f64 = fx.iter().map(|&(r, i)| (r * r + i * i) as f64).sum::<f64>() / n as f64;
+        assert!((et - ef).abs() / et < 1e-4, "time {et} vs freq {ef}");
+    }
+
+    #[test]
+    fn tone_concentrates_in_bin() {
+        let n = 1024;
+        let k = 100;
+        let fx = fft_recursive(&Signal::complex_tone(n, k));
+        let mag = |x: (f32, f32)| (x.0 * x.0 + x.1 * x.1).sqrt();
+        assert!(mag(fx[k]) > 0.95 * n as f32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = fft_recursive(&[(0.0, 0.0); 12]);
+    }
+}

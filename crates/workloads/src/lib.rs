@@ -1,0 +1,29 @@
+//! # mnv-workloads — communication-domain workloads and golden models
+//!
+//! The paper evaluates Mini-NOVA with "communication and data processing
+//! specific software/hardware tasks" (§V-B): guest VMs run **GSM encoding**
+//! and **ADPCM compression** as heavy software load, while the FPGA hosts
+//! **FFT** and **QAM** accelerator cores. This crate provides:
+//!
+//! * a simplified GSM 06.10-style RPE-LTP full-rate speech encoder/decoder,
+//! * a bit-exact IMA ADPCM encoder/decoder,
+//! * *independent* software reference implementations of FFT and QAM used
+//!   as golden models against the `mnv-fpga` IP cores (different algorithm
+//!   structure on purpose — recursive vs. iterative FFT, table-driven vs.
+//!   arithmetic QAM — so agreement is evidence, not tautology),
+//! * deterministic signal/bit-pattern generators for tests and benches.
+//!
+//! Everything is pure computation over plain slices: guests adapt these
+//! functions into simulated tasks (with cycle charging) in `mnv-ucos`.
+
+pub mod adpcm;
+pub mod fft;
+pub mod gsm;
+pub mod qam;
+pub mod signal;
+
+pub use adpcm::{adpcm_decode, adpcm_encode, AdpcmState};
+pub use fft::{dft_naive, fft_recursive};
+pub use gsm::{GsmDecoder, GsmEncoder, GSM_FRAME_BYTES, GSM_FRAME_SAMPLES};
+pub use qam::{qam_demap_ref, qam_map_ref};
+pub use signal::{Lcg, Signal};

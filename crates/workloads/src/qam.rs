@@ -1,0 +1,139 @@
+//! Table-driven QAM golden model.
+//!
+//! Deliberately implemented differently from the `mnv-fpga` QAM core: the
+//! constellation is materialised as an explicit lookup table (symbol value →
+//! point) built by enumerating Gray-coded PAM levels, and demapping is a
+//! brute-force nearest-point search over that table. Slower, simpler,
+//! independently wrong-or-right.
+
+/// Build the constellation table for `bits_per_symbol` ∈ {2, 4, 6}:
+/// `table[symbol]` = (I, Q), normalised to unit average energy.
+pub fn constellation(bits_per_symbol: u8) -> Vec<(f32, f32)> {
+    assert!(matches!(bits_per_symbol, 2 | 4 | 6));
+    let half = bits_per_symbol / 2;
+    let levels = 1usize << half;
+    // Gray-ordered PAM levels: axis_levels[gray_code] = amplitude.
+    let mut axis = vec![0.0f32; levels];
+    for idx in 0..levels {
+        let gray = idx ^ (idx >> 1);
+        axis[gray] = (2 * idx) as f32 - (levels as f32 - 1.0);
+    }
+    let table: Vec<(f32, f32)> = (0..levels * levels)
+        .map(|sym| {
+            let i_bits = sym >> half;
+            let q_bits = sym & (levels - 1);
+            (axis[i_bits], axis[q_bits])
+        })
+        .collect();
+    // Normalise to unit average energy.
+    let e: f32 = table.iter().map(|&(i, q)| i * i + q * q).sum::<f32>() / table.len() as f32;
+    let s = e.sqrt();
+    table.into_iter().map(|(i, q)| (i / s, q / s)).collect()
+}
+
+/// Map packed MSB-first bits onto symbols via the table.
+pub fn qam_map_ref(data: &[u8], bits_per_symbol: u8) -> Vec<(f32, f32)> {
+    let table = constellation(bits_per_symbol);
+    let mut out = Vec::new();
+    let mut acc = 0u32;
+    let mut nbits = 0u8;
+    for &byte in data {
+        acc = (acc << 8) | byte as u32;
+        nbits += 8;
+        while nbits >= bits_per_symbol {
+            nbits -= bits_per_symbol;
+            let sym = ((acc >> nbits) & ((1 << bits_per_symbol) - 1)) as usize;
+            out.push(table[sym]);
+        }
+    }
+    out
+}
+
+/// Hard-decision demap by nearest constellation point; repack MSB-first,
+/// dropping any trailing partial byte.
+pub fn qam_demap_ref(symbols: &[(f32, f32)], bits_per_symbol: u8) -> Vec<u8> {
+    let table = constellation(bits_per_symbol);
+    let mut bits = Vec::new();
+    for &(i, q) in symbols {
+        let (sym, _) = table
+            .iter()
+            .enumerate()
+            .map(|(s, &(ti, tq))| (s, (i - ti).powi(2) + (q - tq).powi(2)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        for b in (0..bits_per_symbol).rev() {
+            bits.push(((sym >> b) & 1) as u8);
+        }
+    }
+    bits.chunks_exact(8)
+        .map(|c| c.iter().fold(0u8, |a, &b| (a << 1) | b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Lcg;
+
+    #[test]
+    fn unit_energy_all_orders() {
+        for bps in [2u8, 4, 6] {
+            let t = constellation(bps);
+            assert_eq!(t.len(), 1 << bps);
+            let e: f32 = t.iter().map(|&(i, q)| i * i + q * q).sum::<f32>() / t.len() as f32;
+            assert!((e - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn all_points_distinct() {
+        for bps in [2u8, 4, 6] {
+            let t = constellation(bps);
+            for a in 0..t.len() {
+                for b in a + 1..t.len() {
+                    let d = (t[a].0 - t[b].0).powi(2) + (t[a].1 - t[b].1).powi(2);
+                    assert!(d > 1e-6, "bps={bps}: {a} and {b} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_neighbours_differ_in_one_bit_along_axes() {
+        // For 16-QAM, horizontally adjacent constellation points must have
+        // symbol values differing in exactly one bit (the Gray property
+        // that minimises bit errors).
+        let t = constellation(4);
+        // Group symbols by Q value, sort by I, check adjacent pairs.
+        let mut rows: std::collections::BTreeMap<i32, Vec<(f32, usize)>> = Default::default();
+        for (sym, &(i, q)) in t.iter().enumerate() {
+            rows.entry((q * 1000.0) as i32).or_default().push((i, sym));
+        }
+        for row in rows.values_mut() {
+            row.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in row.windows(2) {
+                let diff = w[0].1 ^ w[1].1;
+                assert_eq!(diff.count_ones(), 1, "{:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn map_demap_round_trip() {
+        let mut rng = Lcg::new(21);
+        for bps in [2u8, 4, 6] {
+            let mut data = vec![0u8; 24];
+            rng.fill_bytes(&mut data);
+            let syms = qam_map_ref(&data, bps);
+            assert_eq!(qam_demap_ref(&syms, bps), data, "bps={bps}");
+        }
+    }
+
+    #[test]
+    fn symbol_counts() {
+        let data = vec![0xFFu8; 3]; // 24 bits
+        assert_eq!(qam_map_ref(&data, 2).len(), 12);
+        assert_eq!(qam_map_ref(&data, 4).len(), 6);
+        assert_eq!(qam_map_ref(&data, 6).len(), 4);
+    }
+}

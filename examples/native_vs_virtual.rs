@@ -1,0 +1,61 @@
+//! The paper's headline comparison in one command: the same uC/OS-II
+//! workload (GSM + ADPCM + T_hw) run natively and under Mini-NOVA, with
+//! the Table III overheads printed side by side — a miniature of
+//! `cargo run -p mnv-bench --bin table3`.
+//!
+//! ```sh
+//! cargo run --release --example native_vs_virtual
+//! ```
+
+use mini_nova_repro::prelude::*;
+
+fn add_workload(os: &mut Ucos, tasks: Vec<HwTaskId>, seed: u64) {
+    os.task_create(8, Box::new(THwTask::new(tasks, seed)));
+    os.task_create(12, Box::new(GsmTask::new(seed, 8)));
+    os.task_create(20, Box::new(AdpcmTask::new(seed + 99)));
+}
+
+fn main() {
+    let window = Cycles::from_millis(250.0);
+
+    // ---- native baseline: manager as a uC/OS-II function --------------
+    let mut native = NativeHarness::new(Ucos::new(UcosConfig::default()));
+    let ids = native.register_paper_task_set();
+    add_workload(&mut native.os, ids, 42);
+    native.run(window);
+    let n = native.stats.hwmgr;
+
+    // ---- one virtualized guest -----------------------------------------
+    let mut k = Kernel::new(KernelConfig::default());
+    let ids = k.register_paper_task_set();
+    let mut os = Ucos::new(UcosConfig::default());
+    add_workload(&mut os, ids, 42);
+    k.create_vm(VmSpec {
+        name: "guest",
+        priority: Priority::GUEST,
+        guest: GuestKind::Ucos(Box::new(os)),
+    });
+    k.run(window);
+    let v = k.state.stats.hwmgr;
+
+    println!("same workload, two hostings ({} ms simulated):\n", window.as_millis());
+    println!("{:<26}{:>10}{:>14}", "", "native", "virtualized");
+    let row = |name: &str, a: f64, b: f64| {
+        println!("{name:<26}{a:>9.2}u{b:>13.2}u");
+    };
+    row("HW manager entry", n.entry.mean_us(), v.entry.mean_us());
+    row("HW manager execution", n.exec.mean_us(), v.exec.mean_us());
+    row("HW manager exit", n.exit.mean_us(), v.exit.mean_us());
+    row("PL IRQ entry", n.irq_entry.mean_us(), v.irq_entry.mean_us());
+    row("total response", n.total_mean_us(), v.total_mean_us());
+    println!(
+        "\ninvocations: native {} / virtualized {}",
+        n.invocations, v.invocations
+    );
+    let ratio = v.total_mean_us() / n.total_mean_us();
+    println!(
+        "degradation ratio R_D = {ratio:.3}   (paper: 1.138 for one guest OS)"
+    );
+    assert!(ratio > 1.0, "virtualization cannot be free");
+    assert!(ratio < 1.6, "but its cost must stay modest: {ratio}");
+}

@@ -1,0 +1,30 @@
+//! # mini-nova-repro — reproduction of "Mini-NOVA: A Lightweight ARM-based
+//! Virtualization Microkernel Supporting Dynamic Partial Reconfiguration"
+//! (Xia, Prévotet, Nouvel — IPDPSW 2015)
+//!
+//! This root crate re-exports the workspace's public surface as a prelude
+//! and hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`). See `README.md` for a tour and
+//! `DESIGN.md`/`EXPERIMENTS.md` for the reproduction inventory.
+
+pub use mini_nova as kernel;
+pub use mnv_arm as arm;
+pub use mnv_fpga as fpga;
+pub use mnv_hal as hal;
+pub use mnv_ucos as ucos;
+pub use mnv_workloads as workloads;
+
+/// Commonly used items for examples and downstream experiments.
+pub mod prelude {
+    pub use mini_nova::kernel::{sd_block, GuestKind, Kernel, KernelConfig, VmSpec};
+    pub use mini_nova::mirguest::MirGuest;
+    pub use mini_nova::native::NativeHarness;
+    pub use mnv_fpga::bitstream::CoreKind;
+    pub use mnv_fpga::pl::Pl;
+    pub use mnv_hal::abi::{HwTaskState, HwTaskStatus, Hypercall, HypercallArgs};
+    pub use mnv_hal::{Cycles, HwTaskId, IrqNum, PhysAddr, Priority, VirtAddr, VmId};
+    pub use mnv_ucos::kernel::{RunExit, Ucos, UcosConfig};
+    pub use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
+    pub use mnv_ucos::tasks::{AdpcmTask, ComputeTask, GsmTask, THwTask};
+    pub use mnv_ucos::{layout as guest_layout, HwTaskClient};
+}
