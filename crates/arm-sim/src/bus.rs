@@ -8,6 +8,7 @@
 //! FPGA crate to this one, never backwards.
 
 use mnv_hal::{Cycles, PhysAddr};
+use mnv_trace::Tracer;
 use std::any::Any;
 
 use crate::event::EventLog;
@@ -29,6 +30,8 @@ pub struct PeriphCtx<'a> {
     pub now: Cycles,
     /// Event log for diagnostics.
     pub log: &'a mut EventLog,
+    /// Event tracer shared with the machine (emitting is `&self`).
+    pub tracer: &'a Tracer,
 }
 
 /// A memory-mapped platform device.
@@ -98,11 +101,13 @@ mod tests {
         let mut gic = Gic::new();
         let mut log = EventLog::default();
         let mut d = Dummy { reg: 0 };
+        let tracer = Tracer::disabled();
         let mut ctx = PeriphCtx {
             mem: &mut mem,
             gic: &mut gic,
             now: Cycles::ZERO,
             log: &mut log,
+            tracer: &tracer,
         };
         d.write32(0, 0xAB, &mut ctx);
         assert_eq!(d.read32(0, &mut ctx), 0xAB);

@@ -83,7 +83,10 @@ impl Cache {
     #[inline]
     fn set_and_tag(&self, pa: PhysAddr) -> (usize, u64) {
         let line = pa.raw() >> self.line_shift;
-        ((line as usize) & (self.num_sets - 1), line >> self.num_sets.trailing_zeros())
+        (
+            (line as usize) & (self.num_sets - 1),
+            line >> self.num_sets.trailing_zeros(),
+        )
     }
 
     /// Look up `pa`; on miss, fill (LRU eviction). Returns `true` on hit.
@@ -223,7 +226,8 @@ impl CacheHierarchy {
     /// This is the expensive operation §III-C's physically-tagged design
     /// avoids on VM switches.
     pub fn flush_all(&mut self) -> u64 {
-        let lines = self.l1i.invalidate_all() + self.l1d.invalidate_all() + self.l2.invalidate_all();
+        let lines =
+            self.l1i.invalidate_all() + self.l1d.invalidate_all() + self.l2.invalidate_all();
         lines as u64 * timing::CACHE_MAINT_PER_LINE
     }
 

@@ -267,10 +267,17 @@ mod tests {
         c.set_domain_access(Domain::GUEST_KERNEL, DomainAccess::NoAccess);
         c.set_domain_access(Domain(15), DomainAccess::Manager);
         assert_eq!(c.domain_access(Domain::KERNEL), DomainAccess::Client);
-        assert_eq!(c.domain_access(Domain::GUEST_KERNEL), DomainAccess::NoAccess);
+        assert_eq!(
+            c.domain_access(Domain::GUEST_KERNEL),
+            DomainAccess::NoAccess
+        );
         assert_eq!(c.domain_access(Domain(15)), DomainAccess::Manager);
         // Field encodings round-trip.
-        for a in [DomainAccess::NoAccess, DomainAccess::Client, DomainAccess::Manager] {
+        for a in [
+            DomainAccess::NoAccess,
+            DomainAccess::Client,
+            DomainAccess::Manager,
+        ] {
             assert_eq!(DomainAccess::from_bits(a.bits()), a);
         }
         // Reserved encoding decodes to NoAccess.

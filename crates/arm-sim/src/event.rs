@@ -21,7 +21,11 @@ pub enum SimEvent {
     /// A device raised an interrupt line.
     IrqRaised(IrqNum),
     /// MMIO write (address window name, offset, value) — coarse, for tests.
-    MmioWrite { dev: &'static str, off: u64, val: u32 },
+    MmioWrite {
+        dev: &'static str,
+        off: u64,
+        val: u32,
+    },
     /// A custom marker emitted by software models.
     Marker(&'static str),
 }

@@ -286,7 +286,7 @@ mod tests {
     fn mmio_enable_ack_eoi_path() {
         let mut gic = Gic::new();
         let irq = IrqNum::pl(2); // id 63
-        // ISENABLER1 covers irqs 32..64 at offset 0x104.
+                                 // ISENABLER1 covers irqs 32..64 at offset 0x104.
         gic.mmio_write(0x104, 1 << (63 - 32));
         assert!(gic.is_enabled(irq));
         gic.raise(irq);

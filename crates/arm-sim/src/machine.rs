@@ -8,6 +8,7 @@
 //! really do get evicted by the other guests' traffic.
 
 use mnv_hal::{Cycles, HalResult, PhysAddr, VirtAddr};
+use mnv_trace::{TraceEvent, Tracer, TrapKind};
 
 use crate::bus::{PeriphCtx, Peripheral};
 use crate::cache::{CacheHierarchy, MemAccessKind};
@@ -110,6 +111,8 @@ pub struct Machine {
     pub gtimer: GlobalTimer,
     /// Event log.
     pub log: EventLog,
+    /// Event tracer (disabled by default; the kernel installs a shared one).
+    pub tracer: Tracer,
     /// Cause of the most recent undefined-instruction exception.
     pub last_und: Option<UndCause>,
     /// Immediate of the most recent SVC.
@@ -144,6 +147,7 @@ impl Machine {
             ptimer: PrivateTimer::new(),
             gtimer: GlobalTimer::default(),
             log: EventLog::new(cfg.log_capacity),
+            tracer: Tracer::disabled(),
             last_und: None,
             last_svc: None,
             last_fault: None,
@@ -188,6 +192,7 @@ impl Machine {
             ref mut mem,
             ref mut gic,
             ref mut log,
+            ref tracer,
             clock,
             ..
         } = *self;
@@ -196,6 +201,7 @@ impl Machine {
             gic,
             now: clock,
             log,
+            tracer,
         };
         for p in periphs.iter_mut() {
             p.advance(dt, &mut ctx);
@@ -288,6 +294,7 @@ impl Machine {
                 ref mut mem,
                 ref mut gic,
                 ref mut log,
+                ref tracer,
                 clock,
                 ..
             } = *self;
@@ -297,6 +304,7 @@ impl Machine {
                 gic,
                 now: clock,
                 log,
+                tracer,
             };
             return Ok(periphs[i].read32(pa - base, &mut ctx));
         }
@@ -330,6 +338,7 @@ impl Machine {
                 ref mut mem,
                 ref mut gic,
                 ref mut log,
+                ref tracer,
                 clock,
                 ..
             } = *self;
@@ -339,6 +348,7 @@ impl Machine {
                 gic,
                 now: clock,
                 log,
+                tracer,
             };
             periphs[i].write32(pa - base, val, &mut ctx);
             return Ok(());
@@ -449,18 +459,21 @@ impl Machine {
     /// TLBIALL with its issue cost.
     pub fn tlb_flush_all(&mut self) {
         self.charge(timing::TLB_MAINT);
+        self.tracer.emit(self.clock, TraceEvent::TlbFlush);
         self.tlb.flush_all();
     }
 
     /// TLBIASID.
     pub fn tlb_flush_asid(&mut self, asid: mnv_hal::Asid) {
         self.charge(timing::TLB_MAINT);
+        self.tracer.emit(self.clock, TraceEvent::TlbFlush);
         self.tlb.flush_asid(asid);
     }
 
     /// TLBIMVA.
     pub fn tlb_flush_mva(&mut self, va: VirtAddr, asid: mnv_hal::Asid) {
         self.charge(timing::TLB_MAINT);
+        self.tracer.emit(self.clock, TraceEvent::TlbFlush);
         self.tlb.flush_mva(va, asid);
     }
 
@@ -475,6 +488,12 @@ impl Machine {
     /// Deliver an exception: architectural entry + cycle cost + logging.
     pub fn deliver_exception(&mut self, kind: ExceptionKind, return_pc: u32) {
         self.charge(timing::EXC_ENTRY);
+        self.tracer.emit(
+            self.clock,
+            TraceEvent::TrapEnter {
+                kind: trap_kind(kind),
+            },
+        );
         let pc = VirtAddr::new(self.cpu.pc as u64);
         self.cpu
             .take_exception(kind, return_pc, self.cp15.read(Cp15Reg::Vbar));
@@ -490,9 +509,14 @@ impl Machine {
     /// Return from the current exception to `pc`.
     pub fn exception_return(&mut self, pc: u32) {
         self.charge(timing::EXC_RETURN);
+        self.tracer.emit(self.clock, TraceEvent::TrapExit);
         self.cpu.exception_return(pc);
-        self.log
-            .push(self.clock, SimEvent::ExceptionReturn { pc: VirtAddr::new(pc as u64) });
+        self.log.push(
+            self.clock,
+            SimEvent::ExceptionReturn {
+                pc: VirtAddr::new(pc as u64),
+            },
+        );
     }
 
     // -- program loading --------------------------------------------------------
@@ -747,6 +771,18 @@ impl Machine {
     }
 }
 
+fn trap_kind(k: ExceptionKind) -> TrapKind {
+    match k {
+        ExceptionKind::Reset => TrapKind::Reset,
+        ExceptionKind::Undefined => TrapKind::Undefined,
+        ExceptionKind::Svc => TrapKind::Svc,
+        ExceptionKind::PrefetchAbort => TrapKind::PrefetchAbort,
+        ExceptionKind::DataAbort => TrapKind::DataAbort,
+        ExceptionKind::Irq => TrapKind::Irq,
+        ExceptionKind::Fiq => TrapKind::Fiq,
+    }
+}
+
 fn map_cp15(r: MirCp15) -> Cp15Reg {
     match r {
         MirCp15::Sctlr => Cp15Reg::Sctlr,
@@ -993,7 +1029,10 @@ mod tests {
         m.gic.enable(IrqNum::PRIVATE_TIMER);
         m.ptimer.program_periodic(Cycles::new(500));
         let waited = m.wait_for_irq(Cycles::new(10_000));
-        assert!(waited.raw() >= 500 - 64 && waited.raw() <= 600, "{waited:?}");
+        assert!(
+            waited.raw() >= 500 - 64 && waited.raw() <= 600,
+            "{waited:?}"
+        );
         assert!(m.gic.highest_pending().is_some());
     }
 

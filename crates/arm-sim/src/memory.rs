@@ -284,7 +284,8 @@ mod tests {
         let mut mem = PhysMemory::new();
         mem.write_u32(PhysAddr::new(0), 1).unwrap();
         assert_eq!(mem.resident_bytes(), CHUNK_SIZE);
-        mem.write_u32(PhysAddr::new(10 * CHUNK_SIZE as u64), 1).unwrap();
+        mem.write_u32(PhysAddr::new(10 * CHUNK_SIZE as u64), 1)
+            .unwrap();
         assert_eq!(mem.resident_bytes(), 2 * CHUNK_SIZE);
     }
 }

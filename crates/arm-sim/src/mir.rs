@@ -490,22 +490,57 @@ mod tests {
     fn encode_decode_round_trip() {
         let cases = [
             Instr::Halt,
-            Instr::MovImm { rd: 3, imm: 0xDEAD_BEEF },
-            Instr::Alu { op: AluOp::Mul, rd: 1, rn: 2, rm: 3 },
-            Instr::AluImm { op: AluOp::Cmp, rd: 0, rn: 4, imm: 77 },
-            Instr::Ldr { rd: 5, rn: 6, imm: 0x40 },
-            Instr::Str { rs: 7, rn: 8, imm: 0x44 },
-            Instr::B { cond: Cond::Ne, target: 0x8010 },
+            Instr::MovImm {
+                rd: 3,
+                imm: 0xDEAD_BEEF,
+            },
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: 1,
+                rn: 2,
+                rm: 3,
+            },
+            Instr::AluImm {
+                op: AluOp::Cmp,
+                rd: 0,
+                rn: 4,
+                imm: 77,
+            },
+            Instr::Ldr {
+                rd: 5,
+                rn: 6,
+                imm: 0x40,
+            },
+            Instr::Str {
+                rs: 7,
+                rn: 8,
+                imm: 0x44,
+            },
+            Instr::B {
+                cond: Cond::Ne,
+                target: 0x8010,
+            },
             Instr::Bl { target: 0x9000 },
             Instr::Ret,
             Instr::Svc { imm: 17 },
-            Instr::Mrc { rd: 1, reg: MirCp15::Dacr },
-            Instr::Mcr { reg: MirCp15::Ttbr0, rs: 2 },
+            Instr::Mrc {
+                rd: 1,
+                reg: MirCp15::Dacr,
+            },
+            Instr::Mcr {
+                reg: MirCp15::Ttbr0,
+                rs: 2,
+            },
             Instr::MrsCpsr { rd: 9 },
             Instr::MsrCpsr { rs: 10 },
             Instr::Wfi,
             Instr::Compute { cycles: 12345 },
-            Instr::VfpOp { op: 1, rd: 0, rn: 1, rm: 2 },
+            Instr::VfpOp {
+                op: 1,
+                rd: 0,
+                rn: 1,
+                rm: 2,
+            },
         ];
         for c in cases {
             assert_eq!(Instr::decode(c.encode()), Some(c), "{c:?}");
@@ -518,7 +553,13 @@ mod tests {
         b[0] = 0xFF;
         assert_eq!(Instr::decode(b), None);
         // Invalid ALU sub-code.
-        let mut b = Instr::Alu { op: AluOp::Add, rd: 0, rn: 0, rm: 0 }.encode();
+        let mut b = Instr::Alu {
+            op: AluOp::Add,
+            rd: 0,
+            rn: 0,
+            rm: 0,
+        }
+        .encode();
         b[4] = 99;
         assert_eq!(Instr::decode(b), None);
     }

@@ -201,7 +201,11 @@ impl Mmu {
 
         let asid = cp15.asid();
         if let Some(entry) = tlb.lookup(va, asid) {
-            let level = if entry.kind == PageKind::Section { 1 } else { 2 };
+            let level = if entry.kind == PageKind::Section {
+                1
+            } else {
+                2
+            };
             self.check(&entry, va, access, privileged, cp15, level)?;
             return Ok(TranslationResult {
                 pa: PhysAddr::new(entry.translate(va)),
@@ -271,7 +275,11 @@ impl Mmu {
             }
         };
 
-        let level = if entry.kind == PageKind::Section { 1 } else { 2 };
+        let level = if entry.kind == PageKind::Section {
+            1
+        } else {
+            2
+        };
         self.check(&entry, va, access, privileged, cp15, level)?;
         tlb.insert(entry);
         Ok(TranslationResult {
@@ -372,9 +380,13 @@ mod tests {
             ),
         )
         .unwrap();
-        mem.write_u32(l1 + 0, l1_table_desc(l2, Domain::GUEST_USER)).unwrap();
-        mem.write_u32(l2 + 4, l2_small_desc(PhysAddr::new(0x0060_0000), Ap::Full, false, true))
+        mem.write_u32(l1 + 0, l1_table_desc(l2, Domain::GUEST_USER))
             .unwrap();
+        mem.write_u32(
+            l2 + 4,
+            l2_small_desc(PhysAddr::new(0x0060_0000), Ap::Full, false, true),
+        )
+        .unwrap();
         mem.write_u32(
             l2 + 2 * 4,
             l2_small_desc(PhysAddr::new(0x0060_1000), Ap::PrivOnly, false, true),
@@ -402,7 +414,15 @@ mod tests {
         privileged: bool,
     ) -> Result<TranslationResult, Fault> {
         let (mem, cp15, tlb, caches, mmu) = parts;
-        mmu.translate(VirtAddr::new(va), access, privileged, cp15, tlb, mem, caches)
+        mmu.translate(
+            VirtAddr::new(va),
+            access,
+            privileged,
+            cp15,
+            tlb,
+            mem,
+            caches,
+        )
     }
 
     #[test]
@@ -468,7 +488,9 @@ mod tests {
         // Reads still fine.
         assert!(xlate(&mut parts, 0x0000_3000, AccessKind::Read, false).is_ok());
         // Manager domain: AP ignored, XN still enforced.
-        parts.1.set_domain_access(Domain::GUEST_USER, DomainAccess::Manager);
+        parts
+            .1
+            .set_domain_access(Domain::GUEST_USER, DomainAccess::Manager);
         parts.2.flush_all();
         let f = xlate(&mut parts, 0x0000_3000, AccessKind::Execute, true).unwrap_err();
         assert_eq!(f.kind, FaultKind::Permission);
@@ -480,19 +502,25 @@ mod tests {
         // DACR must take effect immediately, *without* a TLB flush.
         let mut parts = fixture();
         assert!(xlate(&mut parts, 0x0000_1000, AccessKind::Read, false).is_ok());
-        parts.1.set_domain_access(Domain::GUEST_USER, DomainAccess::NoAccess);
+        parts
+            .1
+            .set_domain_access(Domain::GUEST_USER, DomainAccess::NoAccess);
         let f = xlate(&mut parts, 0x0000_1000, AccessKind::Read, false).unwrap_err();
         assert_eq!(f.kind, FaultKind::Domain);
         assert_eq!(f.fsr() & 0b1111, 0b1011 & 0b1111);
         // Flip back: access works again, still no flush needed.
-        parts.1.set_domain_access(Domain::GUEST_USER, DomainAccess::Client);
+        parts
+            .1
+            .set_domain_access(Domain::GUEST_USER, DomainAccess::Client);
         assert!(xlate(&mut parts, 0x0000_1000, AccessKind::Read, false).is_ok());
     }
 
     #[test]
     fn manager_domain_ignores_ap() {
         let mut parts = fixture();
-        parts.1.set_domain_access(Domain::GUEST_USER, DomainAccess::Manager);
+        parts
+            .1
+            .set_domain_access(Domain::GUEST_USER, DomainAccess::Manager);
         // PrivOnly page readable from user mode under a manager domain.
         assert!(xlate(&mut parts, 0x0000_2000, AccessKind::Read, false).is_ok());
     }
@@ -532,7 +560,13 @@ mod tests {
 
     #[test]
     fn ap_encode_decode_round_trip() {
-        for ap in [Ap::None, Ap::PrivOnly, Ap::PrivRwUserRo, Ap::Full, Ap::ReadOnly] {
+        for ap in [
+            Ap::None,
+            Ap::PrivOnly,
+            Ap::PrivRwUserRo,
+            Ap::Full,
+            Ap::ReadOnly,
+        ] {
             let (apx, ap10) = encode_ap(ap);
             assert_eq!(decode_ap(apx, ap10), ap);
         }

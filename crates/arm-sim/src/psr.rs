@@ -182,7 +182,14 @@ mod tests {
     fn privilege_split_matches_paper() {
         // PL0: USR only. PL1: SVC, IRQ, FIQ, UND, ABT (and SYS).
         assert!(!Mode::Usr.is_privileged());
-        for m in [Mode::Svc, Mode::Irq, Mode::Fiq, Mode::Und, Mode::Abt, Mode::Sys] {
+        for m in [
+            Mode::Svc,
+            Mode::Irq,
+            Mode::Fiq,
+            Mode::Und,
+            Mode::Abt,
+            Mode::Sys,
+        ] {
             assert!(m.is_privileged(), "{m} must be PL1");
         }
     }

@@ -247,9 +247,18 @@ mod tests {
     #[test]
     fn hit_after_insert_and_offset_translation() {
         let mut tlb = Tlb::new(8);
-        tlb.insert(entry(0x1000, 0x8000_1000 & !0xFFF, 3, false, PageKind::Small));
+        tlb.insert(entry(
+            0x1000,
+            0x8000_1000 & !0xFFF,
+            3,
+            false,
+            PageKind::Small,
+        ));
         let e = tlb.lookup(VirtAddr::new(0x1abc), Asid(3)).unwrap();
-        assert_eq!(e.translate(VirtAddr::new(0x1abc)), 0x8000_1abc & !0xFFF | 0xabc);
+        assert_eq!(
+            e.translate(VirtAddr::new(0x1abc)),
+            0x8000_1abc & !0xFFF | 0xabc
+        );
         assert_eq!(tlb.stats().hits, 1);
     }
 

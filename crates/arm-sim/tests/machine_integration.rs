@@ -62,7 +62,8 @@ fn dummy(base: u64, len: u64) -> Box<Dummy> {
 fn peripheral_read_write_and_typed_access() {
     let mut m = Machine::default();
     m.add_peripheral(dummy(0x5000_0000, 0x1000));
-    m.phys_write_u32(PhysAddr::new(0x5000_0000), 0x1234).unwrap();
+    m.phys_write_u32(PhysAddr::new(0x5000_0000), 0x1234)
+        .unwrap();
     assert_eq!(m.phys_read_u32(PhysAddr::new(0x5000_0000)).unwrap(), 0x1234);
     assert_eq!(m.phys_read_u32(PhysAddr::new(0x5000_0004)).unwrap(), 0xDEAD);
     let d: &Dummy = m.peripheral::<Dummy>().unwrap();
@@ -118,7 +119,8 @@ fn block_transfers_round_trip_and_cost_scales() {
     m.phys_write_block(PhysAddr::new(0x10_0000), &data).unwrap();
     let write_cost = (m.now() - t0).raw();
     let mut back = vec![0u8; 4096];
-    m.phys_read_block(PhysAddr::new(0x10_0000), &mut back).unwrap();
+    m.phys_read_block(PhysAddr::new(0x10_0000), &mut back)
+        .unwrap();
     assert_eq!(back, data);
     // A 4 KB cold write sweeps 128 lines of DDR: cost must reflect that.
     assert!(write_cost >= 128, "cost {write_cost}");
@@ -167,14 +169,16 @@ fn exceptions_and_irqs_are_logged() {
 fn gic_mmio_window_via_machine_access() {
     let mut m = Machine::default();
     // Enable IRQ 33 through ISENABLER1 at +0x104.
-    m.phys_write_u32(PhysAddr::new(GIC_BASE + 0x104), 1 << 1).unwrap();
+    m.phys_write_u32(PhysAddr::new(GIC_BASE + 0x104), 1 << 1)
+        .unwrap();
     assert!(m.gic.is_enabled(IrqNum(33)));
     m.gic.raise(IrqNum(33));
     // Ack via ICCIAR at +0x200C.
     let id = m.phys_read_u32(PhysAddr::new(GIC_BASE + 0x200C)).unwrap();
     assert_eq!(id, 33);
     // EOI via ICCEOIR.
-    m.phys_write_u32(PhysAddr::new(GIC_BASE + 0x2010), 33).unwrap();
+    m.phys_write_u32(PhysAddr::new(GIC_BASE + 0x2010), 33)
+        .unwrap();
     assert!(!m.gic.is_active(IrqNum(33)));
 }
 
@@ -182,7 +186,8 @@ fn gic_mmio_window_via_machine_access() {
 fn private_timer_mmio_window_via_machine_access() {
     let mut m = Machine::default();
     m.phys_write_u32(PhysAddr::new(PTIMER_BASE), 1_000).unwrap(); // load
-    m.phys_write_u32(PhysAddr::new(PTIMER_BASE + 8), 0b111).unwrap(); // ctrl
+    m.phys_write_u32(PhysAddr::new(PTIMER_BASE + 8), 0b111)
+        .unwrap(); // ctrl
     m.gic.enable(IrqNum::PRIVATE_TIMER);
     m.charge(1_500);
     m.sync_devices();

@@ -1,74 +1,120 @@
 //! Property tests on the simulator's encodings and models.
+//!
+//! Randomised with a small local LCG instead of an external property-test
+//! crate so the workspace builds with zero external dependencies; each
+//! property sweeps a fixed seed range, so failures are reproducible.
 
 use mnv_arm::cache::{Cache, CacheHierarchy, MemAccessKind};
 use mnv_arm::mir::Instr;
 use mnv_arm::psr::{Mode, Psr};
 use mnv_arm::timer::PrivateTimer;
 use mnv_hal::{Cycles, PhysAddr};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Minimal 64-bit LCG (Knuth MMIX constants) for deterministic fuzzing.
+struct Lcg(u64);
 
-    /// decode(encode(i)) == i for every instruction the decoder accepts,
-    /// and decode is total (never panics) on arbitrary bytes.
-    #[test]
-    fn mir_decode_is_total_and_round_trips(bytes in prop::array::uniform8(any::<u8>())) {
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 1
+    }
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 16) as u32
+    }
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// decode(encode(i)) == i for every instruction the decoder accepts, and
+/// decode is total (never panics) on arbitrary bytes.
+#[test]
+fn mir_decode_is_total_and_round_trips() {
+    let mut rng = Lcg::new(0xA11CE);
+    for _ in 0..4096 {
+        let mut bytes = [0u8; 8];
+        for b in &mut bytes {
+            *b = rng.next_u64() as u8;
+        }
         if let Some(i) = Instr::decode(bytes) {
             let re = i.encode();
-            prop_assert_eq!(Instr::decode(re), Some(i));
+            assert_eq!(Instr::decode(re), Some(i), "bytes {bytes:02X?}");
         }
     }
+}
 
-    /// PSR bit packing round-trips for all valid mode encodings.
-    #[test]
-    fn psr_bits_round_trip(bits in any::<u32>()) {
+/// PSR bit packing round-trips for all valid mode encodings.
+#[test]
+fn psr_bits_round_trip() {
+    let mut rng = Lcg::new(0xB0B);
+    for _ in 0..4096 {
+        let bits = rng.next_u32();
         if let Some(p) = Psr::from_bits(bits) {
             // Only the modelled fields survive, and they survive exactly.
             let p2 = Psr::from_bits(p.to_bits()).unwrap();
-            prop_assert_eq!(p, p2);
+            assert_eq!(p, p2);
         }
         // Reserved mode encodings are rejected, never mangled.
         if Mode::from_bits(bits).is_none() {
-            prop_assert!(Psr::from_bits(bits).is_none());
+            assert!(Psr::from_bits(bits).is_none());
         }
     }
+}
 
-    /// A cache access is a hit iff a probe immediately before said so; an
-    /// access always leaves the line resident.
-    #[test]
-    fn cache_access_probe_consistency(addrs in prop::collection::vec(0u64..0x4_0000, 1..200)) {
+/// A cache access is a hit iff a probe immediately before said so; an
+/// access always leaves the line resident.
+#[test]
+fn cache_access_probe_consistency() {
+    for seed in 0..128u64 {
+        let mut rng = Lcg::new(seed);
         let mut c = Cache::new("t", 8 * 1024, 4);
-        for a in addrs {
-            let pa = PhysAddr::new(a & !3);
+        let n = rng.range(1, 200);
+        for _ in 0..n {
+            let pa = PhysAddr::new(rng.range(0, 0x4_0000) & !3);
             let predicted = c.probe(pa);
             let hit = c.access(pa);
-            prop_assert_eq!(hit, predicted);
-            prop_assert!(c.probe(pa), "line resident after access");
+            assert_eq!(hit, predicted);
+            assert!(c.probe(pa), "line resident after access");
         }
     }
+}
 
-    /// Hierarchy cost is always one of the three modelled latencies.
-    #[test]
-    fn hierarchy_costs_are_quantised(addrs in prop::collection::vec(0u64..0x10_0000, 1..100)) {
+/// Hierarchy cost is always one of the three modelled latencies.
+#[test]
+fn hierarchy_costs_are_quantised() {
+    for seed in 0..128u64 {
+        let mut rng = Lcg::new(seed ^ 0xDEAD);
         let mut h = CacheHierarchy::new();
-        for a in addrs {
-            let cost = h.access(PhysAddr::new(a), MemAccessKind::Read, false);
-            prop_assert!(
+        let n = rng.range(1, 100);
+        for _ in 0..n {
+            let cost = h.access(
+                PhysAddr::new(rng.range(0, 0x10_0000)),
+                MemAccessKind::Read,
+                false,
+            );
+            assert!(
                 cost == mnv_arm::timing::L1_HIT
                     || cost == mnv_arm::timing::L2_HIT
                     || cost == mnv_arm::timing::DDR
             );
         }
     }
+}
 
-    /// The private timer fires exactly floor(elapsed/period) times under
-    /// periodic reload, regardless of how the time is sliced.
-    #[test]
-    fn timer_expiry_count_is_slicing_invariant(
-        period in 10u64..1000,
-        slices in prop::collection::vec(1u64..500, 1..50),
-    ) {
+/// The private timer fires exactly floor(elapsed/period) times under
+/// periodic reload, regardless of how the time is sliced.
+#[test]
+fn timer_expiry_count_is_slicing_invariant() {
+    for seed in 0..128u64 {
+        let mut rng = Lcg::new(seed ^ 0x71AE);
+        let period = rng.range(10, 1000);
+        let slices: Vec<u64> = (0..rng.range(1, 50)).map(|_| rng.range(1, 500)).collect();
         let total: u64 = slices.iter().sum();
         let mut a = PrivateTimer::new();
         a.program_periodic(Cycles::new(period));
@@ -79,14 +125,21 @@ proptest! {
         let mut b = PrivateTimer::new();
         b.program_periodic(Cycles::new(period));
         let fired_once = b.advance(Cycles::new(total)) as u64;
-        prop_assert_eq!(fired_sliced, fired_once);
-        prop_assert_eq!(fired_once, total / period);
+        assert_eq!(fired_sliced, fired_once);
+        assert_eq!(fired_once, total / period);
     }
+}
 
-    /// Cycle/microsecond conversions are inverse up to half a cycle.
-    #[test]
-    fn cycles_micros_round_trip(us in 0.0f64..1e6) {
+/// Cycle/microsecond conversions are inverse up to half a cycle.
+#[test]
+fn cycles_micros_round_trip() {
+    let mut rng = Lcg::new(0xC0FFEE);
+    for _ in 0..4096 {
+        let us = rng.next_u64() as f64 / u64::MAX as f64 * 1e6;
         let c = Cycles::from_micros(us);
-        prop_assert!((c.as_micros() - us).abs() <= 0.5e6 / mnv_hal::cycles::CPU_HZ as f64 * 1e6 + 1e-9);
+        assert!(
+            (c.as_micros() - us).abs() <= 0.5e6 / mnv_hal::cycles::CPU_HZ as f64 * 1e6 + 1e-9,
+            "us={us}"
+        );
     }
 }

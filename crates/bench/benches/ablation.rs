@@ -1,28 +1,11 @@
-//! Criterion wrapper for the ablation arms. The paper-facing comparison
+//! Times the ablation arms on the host. The paper-facing comparison
 //! (simulated cycles per arm) comes from `--bin ablation`; here each arm is
-//! timed on the host to keep regeneration cheap.
+//! timed with the plain wall-clock loop to keep regeneration cheap.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mnv_bench::ablation::{hypercall_vs_trap, vfp_lazy_vs_eager};
-use std::hint::black_box;
+use mnv_bench::hostbench::bench;
 
-fn bench_vfp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
-    g.bench_function("vfp_lazy_vs_eager", |b| {
-        b.iter(|| black_box(vfp_lazy_vs_eager()));
-    });
-    g.finish();
+fn main() {
+    bench("ablation/vfp_lazy_vs_eager", vfp_lazy_vs_eager);
+    bench("ablation/hypercall_vs_trap", hypercall_vs_trap);
 }
-
-fn bench_sensitive_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
-    g.bench_function("hypercall_vs_trap", |b| {
-        b.iter(|| black_box(hypercall_vs_trap()));
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_vfp, bench_sensitive_ops);
-criterion_main!(benches);

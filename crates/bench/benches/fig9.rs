@@ -1,29 +1,20 @@
-//! Criterion wrapper for the Fig. 9 derivation: times one scaled-down
-//! end-to-end derivation (measure a 1-guest column plus the native row and
-//! normalise). The paper-facing figure series comes from `--bin fig9`.
+//! Times one scaled-down end-to-end Fig. 9 derivation (measure a 1-guest
+//! column plus the native row and normalise) on the host. The paper-facing
+//! figure series comes from `--bin fig9`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mnv_bench::hostbench::bench;
 use mnv_bench::{fig9_rows, measure_native, measure_virtualized, Table3Config};
-use std::hint::black_box;
 
-fn bench_fig9_tiny(c: &mut Criterion) {
+fn main() {
     let cfg = Table3Config {
         measure_ms_per_guest: 25.0,
         warmup_ms_per_guest: 5.0,
         seeds: vec![11],
         ..Default::default()
     };
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
-    g.bench_function("derive_ratios_one_guest", |b| {
-        b.iter(|| {
-            let native = measure_native(&cfg);
-            let virt = vec![measure_virtualized(1, &cfg)];
-            black_box(fig9_rows(&native, &virt))
-        });
+    bench("fig9/derive_ratios_one_guest", || {
+        let native = measure_native(&cfg);
+        let virt = vec![measure_virtualized(1, &cfg)];
+        fig9_rows(&native, &virt)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig9_tiny);
-criterion_main!(benches);

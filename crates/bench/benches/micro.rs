@@ -1,12 +1,11 @@
 //! Microbenchmarks of the reproduction's hot paths (wall-clock performance
-//! of the simulator itself, via Criterion).
+//! of the simulator itself).
 //!
 //! These guard the *harness*: the paper-facing numbers are simulated-cycle
 //! measurements printed by the `table3`/`fig9`/`recon_delay`/`ablation`
 //! binaries; these benches make sure regenerating them stays fast.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use mnv_bench::hostbench::bench;
 
 use mnv_arm::machine::Machine;
 use mnv_arm::mir::{AluOp, Cond, ProgramBuilder};
@@ -16,90 +15,78 @@ use mnv_hal::{PhysAddr, VirtAddr};
 use mnv_workloads::gsm::GsmEncoder;
 use mnv_workloads::signal::Signal;
 
-fn bench_interpreter(c: &mut Criterion) {
-    c.bench_function("mir_interpreter_1k_instructions", |b| {
-        let mut m = Machine::default();
-        let mut pb = ProgramBuilder::new();
-        pb.mov(0, 250);
-        let top = pb.label();
-        pb.bind(top);
-        pb.alu_imm(AluOp::Sub, 0, 0, 1);
-        pb.alu_imm(AluOp::Cmp, 0, 0, 0);
-        pb.branch(Cond::Ne, top);
-        pb.halt();
-        let p = pb.assemble(0x8000);
-        m.load_program(&p, PhysAddr::new(0x8000)).unwrap();
-        b.iter(|| {
-            m.cpu.pc = 0x8000;
-            m.cpu.cpsr = mnv_arm::psr::Psr::user();
-            black_box(m.run(2_000));
-        });
+fn bench_interpreter() {
+    let mut m = Machine::default();
+    let mut pb = ProgramBuilder::new();
+    pb.mov(0, 250);
+    let top = pb.label();
+    pb.bind(top);
+    pb.alu_imm(AluOp::Sub, 0, 0, 1);
+    pb.alu_imm(AluOp::Cmp, 0, 0, 0);
+    pb.branch(Cond::Ne, top);
+    pb.halt();
+    let p = pb.assemble(0x8000);
+    m.load_program(&p, PhysAddr::new(0x8000)).unwrap();
+    bench("mir_interpreter_1k_instructions", || {
+        m.cpu.pc = 0x8000;
+        m.cpu.cpsr = mnv_arm::psr::Psr::user();
+        m.run(2_000)
     });
 }
 
-fn bench_mmu_translation(c: &mut Criterion) {
-    c.bench_function("mmu_translate_flat_read", |b| {
-        let mut m = Machine::default();
-        m.mem.write_u32(PhysAddr::new(0x9000), 7).unwrap();
-        b.iter(|| black_box(m.virt_read_u32(VirtAddr::new(0x9000), true)));
+fn bench_mmu_translation() {
+    let mut m = Machine::default();
+    m.mem.write_u32(PhysAddr::new(0x9000), 7).unwrap();
+    bench("mmu_translate_flat_read", || {
+        m.virt_read_u32(VirtAddr::new(0x9000), true)
     });
 }
 
-fn bench_fft_core(c: &mut Criterion) {
-    c.bench_function("fpga_fft1024_process", |b| {
-        let core = make_core(CoreKind::Fft { log2_points: 10 });
-        let input: Vec<u8> = Signal::complex_tone(1024, 5)
-            .iter()
-            .flat_map(|&(r, i)| {
-                let mut v = r.to_le_bytes().to_vec();
-                v.extend_from_slice(&i.to_le_bytes());
-                v
-            })
-            .collect();
-        b.iter(|| black_box(core.process(&input)));
+fn bench_fft_core() {
+    let core = make_core(CoreKind::Fft { log2_points: 10 });
+    let input: Vec<u8> = Signal::complex_tone(1024, 5)
+        .iter()
+        .flat_map(|&(r, i)| {
+            let mut v = r.to_le_bytes().to_vec();
+            v.extend_from_slice(&i.to_le_bytes());
+            v
+        })
+        .collect();
+    bench("fpga_fft1024_process", || core.process(&input));
+}
+
+fn bench_qam_core() {
+    let core = make_core(CoreKind::Qam { bits_per_symbol: 4 });
+    let input = vec![0xA5u8; 4096];
+    bench("fpga_qam16_process_4kb", || core.process(&input));
+}
+
+fn bench_gsm_encoder() {
+    let pcm = Signal::speech_like(160, 3);
+    let mut enc = GsmEncoder::new();
+    bench("gsm_encode_frame", || enc.encode_frame(&pcm));
+}
+
+fn bench_cache_model() {
+    let mut h = mnv_arm::cache::CacheHierarchy::new();
+    bench("cache_hierarchy_sweep_1k_lines", || {
+        let mut total = 0u64;
+        for i in 0..1_000u64 {
+            total += h.access(
+                PhysAddr::new((i * 32) % (1 << 20)),
+                mnv_arm::cache::MemAccessKind::Read,
+                false,
+            );
+        }
+        total
     });
 }
 
-fn bench_qam_core(c: &mut Criterion) {
-    c.bench_function("fpga_qam16_process_4kb", |b| {
-        let core = make_core(CoreKind::Qam { bits_per_symbol: 4 });
-        let input = vec![0xA5u8; 4096];
-        b.iter(|| black_box(core.process(&input)));
-    });
+fn main() {
+    bench_interpreter();
+    bench_mmu_translation();
+    bench_fft_core();
+    bench_qam_core();
+    bench_gsm_encoder();
+    bench_cache_model();
 }
-
-fn bench_gsm_encoder(c: &mut Criterion) {
-    c.bench_function("gsm_encode_frame", |b| {
-        let pcm = Signal::speech_like(160, 3);
-        let mut enc = GsmEncoder::new();
-        b.iter(|| black_box(enc.encode_frame(&pcm)));
-    });
-}
-
-fn bench_cache_model(c: &mut Criterion) {
-    c.bench_function("cache_hierarchy_sweep_1k_lines", |b| {
-        let mut h = mnv_arm::cache::CacheHierarchy::new();
-        b.iter(|| {
-            let mut total = 0u64;
-            for i in 0..1_000u64 {
-                total += h.access(
-                    PhysAddr::new((i * 32) % (1 << 20)),
-                    mnv_arm::cache::MemAccessKind::Read,
-                    false,
-                );
-            }
-            black_box(total)
-        });
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_interpreter,
-    bench_mmu_translation,
-    bench_fft_core,
-    bench_qam_core,
-    bench_gsm_encoder,
-    bench_cache_model
-);
-criterion_main!(benches);

@@ -1,10 +1,9 @@
-//! Criterion wrapper around the Table III harness: times how long
-//! regenerating one (scaled-down) column takes on the host. The
+//! Times how long regenerating one (scaled-down) Table III column takes on
+//! the host, via the plain wall-clock loop in `mnv_bench::hostbench`. The
 //! paper-facing table itself comes from `--bin table3`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mnv_bench::hostbench::bench;
 use mnv_bench::{measure_native, measure_virtualized, Table3Config};
-use std::hint::black_box;
 
 fn tiny_config() -> Table3Config {
     Table3Config {
@@ -15,25 +14,10 @@ fn tiny_config() -> Table3Config {
     }
 }
 
-fn bench_native_column(c: &mut Criterion) {
+fn main() {
     let cfg = tiny_config();
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10);
-    g.bench_function("native_column_25ms_sim", |b| {
-        b.iter(|| black_box(measure_native(&cfg)));
+    bench("table3/native_column_25ms_sim", || measure_native(&cfg));
+    bench("table3/two_guest_column_50ms_sim", || {
+        measure_virtualized(2, &cfg)
     });
-    g.finish();
 }
-
-fn bench_two_guest_column(c: &mut Criterion) {
-    let cfg = tiny_config();
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10);
-    g.bench_function("two_guest_column_50ms_sim", |b| {
-        b.iter(|| black_box(measure_virtualized(2, &cfg)));
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_native_column, bench_two_guest_column);
-criterion_main!(benches);

@@ -10,16 +10,16 @@
 //! * **Manager priority** (§IV-E): hardware-task response latency with the
 //!   manager above guest priority vs deferred to slice boundaries.
 
-use mnv_arm::mir::{AluOp, Cond, Instr, MirCp15, ProgramBuilder};
-use mnv_hal::{Cycles, Priority};
-use mnv_ucos::kernel::{Ucos, UcosConfig};
-use mnv_ucos::tasks::{ComputeTask, GsmTask, THwTask};
 use mini_nova::kernel::{GuestKind, Kernel, KernelConfig, VmSpec};
 use mini_nova::mirguest::MirGuest;
-use serde::Serialize;
+use mnv_arm::mir::{AluOp, Cond, Instr, MirCp15, ProgramBuilder};
+use mnv_hal::{Cycles, Priority};
+use mnv_trace::json::Json;
+use mnv_ucos::kernel::{Ucos, UcosConfig};
+use mnv_ucos::tasks::{ComputeTask, GsmTask, THwTask};
 
 /// Result of one ablation arm.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationResult {
     /// Experiment name.
     pub experiment: String,
@@ -29,6 +29,18 @@ pub struct AblationResult {
     pub value: f64,
     /// Metric unit.
     pub unit: String,
+}
+
+impl AblationResult {
+    /// JSON record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("experiment", Json::str(self.experiment.clone())),
+            ("arm", Json::str(self.arm.clone())),
+            ("value", Json::num(self.value)),
+            ("unit", Json::str(self.unit.clone())),
+        ])
+    }
 }
 
 /// Lazy vs eager VFP: one floating-point guest sharing the core with an
@@ -47,7 +59,12 @@ pub fn vfp_lazy_vs_eager() -> Vec<AblationResult> {
         let mut b = ProgramBuilder::new();
         let top = b.label();
         b.bind(top);
-        b.push(Instr::VfpOp { op: 0, rd: 0, rn: 1, rm: 2 });
+        b.push(Instr::VfpOp {
+            op: 0,
+            rd: 0,
+            rn: 1,
+            rm: 2,
+        });
         for _ in 0..40 {
             b.compute(50);
         }

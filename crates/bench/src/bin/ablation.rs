@@ -4,10 +4,11 @@
 //!
 //! Usage: `cargo run --release -p mnv-bench --bin ablation [vfp|asid|hypercall|mgrprio]`
 
-use mnv_bench::write_json;
 use mnv_bench::ablation::{
     asid_vs_flush, hypercall_vs_trap, manager_priority, run_all, vfp_lazy_vs_eager,
 };
+use mnv_bench::write_json;
+use mnv_trace::json::Json;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_default();
@@ -27,5 +28,8 @@ fn main() {
             r.experiment, r.arm, r.value, r.unit
         );
     }
-    write_json("ablation", &results);
+    write_json(
+        "ablation",
+        &Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+    );
 }

@@ -1,14 +1,19 @@
 //! Regenerates Fig. 9: the performance degradation ratios of the Hardware
 //! Task Manager, R_D = t_virtualized / t_reference, for 1–4 parallel guest
-//! OSes.
+//! OSes. Also captures an event timeline of the 4-guest configuration
+//! (`target/experiments/fig9.trace.json`).
 //!
-//! Usage: `cargo run --release -p mnv-bench --bin fig9 [--quick]`
+//! Usage: `cargo run --release -p mnv-bench --bin fig9 [--quick] [--no-trace]`
 
-use mnv_bench::{fig9_rows, measure_native, measure_virtualized, write_json, Table3Config};
+use mnv_bench::{
+    fig9_rows, measure_native, measure_virtualized, traced_run, write_artifact, write_json,
+    Table3Config,
+};
+use mnv_trace::json::Json;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--quick") {
         mnv_bench::table3::quick_config()
     } else {
         Table3Config::default()
@@ -38,5 +43,14 @@ fn main() {
     println!("  execution  1.032  1.056  1.075  1.085");
     println!("  total      1.138  1.191  1.223  1.227");
 
-    write_json("fig9", &rows);
+    write_json(
+        "fig9",
+        &Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+    );
+
+    if !args.iter().any(|a| a == "--no-trace") {
+        let tracer = traced_run(4, &cfg, 30.0);
+        write_artifact("fig9.trace.json", &tracer.export_chrome());
+        eprintln!("(load target/experiments/fig9.trace.json in Perfetto / chrome://tracing)");
+    }
 }

@@ -6,6 +6,7 @@
 //! Usage: `cargo run --release -p mnv-bench --bin recon_delay`
 
 use mnv_bench::{recon_delay, write_json};
+use mnv_trace::json::Json;
 
 fn main() {
     let rows = recon_delay();
@@ -16,5 +17,8 @@ fn main() {
     }
     println!("\n(companion paper reports partial bitstreams of 75-750 KB");
     println!(" reconfiguring in roughly 0.5-5 ms on the same PCAP path)");
-    write_json("recon_delay", &rows);
+    write_json(
+        "recon_delay",
+        &Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+    );
 }

@@ -1,9 +1,16 @@
 //! Regenerates Table III: overhead of hardware task management (µs) for
-//! native execution and 1–4 parallel guest OSes.
+//! native execution and 1–4 parallel guest OSes, with p99/max sub-rows
+//! from the pooled latency histograms. Also captures a Perfetto-loadable
+//! event timeline of the 2-guest configuration
+//! (`target/experiments/table3.trace.json`).
 //!
-//! Usage: `cargo run --release -p mnv-bench --bin table3 [--quick] [--footprint]`
+//! Usage: `cargo run --release -p mnv-bench --bin table3 [--quick] [--footprint] [--no-trace]`
 
-use mnv_bench::{measure_native, measure_virtualized, table3::format_table3, write_json, Table3Config};
+use mnv_bench::{
+    measure_native, measure_virtualized, table3::format_table3, traced_run, write_artifact,
+    write_json, Table3Config,
+};
+use mnv_trace::json::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -33,25 +40,31 @@ fn main() {
     }
 
     println!("{}", format_table3(&native, &virt));
-    println!("Paper's Table III for comparison (us):");
+    println!("Paper's Table III for comparison (us, means):");
     println!("  entry     0.00  0.87  1.11  1.26  1.29");
     println!("  exit      0.00  0.72  0.91  0.96  0.99");
     println!("  PL IRQ    0.00  0.23  0.46  0.50  0.51");
     println!("  exec     15.01 15.46 15.83 16.11 16.31");
     println!("  total    15.01 17.06 17.84 18.33 18.57");
 
-    #[derive(serde::Serialize)]
-    struct Out {
-        native: mnv_bench::Row,
-        virtualized: Vec<mnv_bench::Row>,
-    }
     write_json(
         "table3",
-        &Out {
-            native,
-            virtualized: virt,
-        },
+        &Json::obj([
+            ("native", native.to_json()),
+            (
+                "virtualized",
+                Json::Arr(virt.iter().map(|r| r.to_json()).collect()),
+            ),
+        ]),
     );
+
+    if !args.iter().any(|a| a == "--no-trace") {
+        let tracer = traced_run(2, &cfg, 30.0);
+        write_artifact("table3.trace.json", &tracer.export_chrome());
+        println!("\nTrace summary of the 2-guest timeline (30 ms simulated):\n");
+        println!("{}", tracer.summary(12));
+        println!("(load target/experiments/table3.trace.json in Perfetto / chrome://tracing)");
+    }
 }
 
 /// The §V-B footprint paragraph: kernel size, hypercall counts, patch size.
@@ -60,9 +73,7 @@ fn print_footprint() {
     use mnv_ucos::port::HYPERCALLS_USED;
 
     println!("Mini-NOVA footprint (paper §V-B vs this reproduction)");
-    println!(
-        "  hypercalls provided: {HYPERCALL_COUNT}   (paper: 25)"
-    );
+    println!("  hypercalls provided: {HYPERCALL_COUNT}   (paper: 25)");
     println!(
         "  hypercalls used by uC/OS-II port: {}   (paper: 17)",
         HYPERCALLS_USED.len()

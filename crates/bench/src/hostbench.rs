@@ -1,0 +1,81 @@
+//! A minimal wall-clock benchmarking loop for the `benches/` targets.
+//!
+//! The workspace is dependency-free, so instead of Criterion the bench
+//! harnesses (`harness = false`) call [`bench`] directly: warm up, size the
+//! iteration count to a fixed time budget, run a few batches and report the
+//! best batch mean (least-noise estimator, same idea Criterion uses).
+//!
+//! These numbers guard the *harness* — how fast the simulator regenerates
+//! the paper's tables on the host — not the paper-facing simulated-cycle
+//! results, which come from the `src/bin/` binaries.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall-clock time per measurement batch.
+const BATCH_BUDGET_SECS: f64 = 0.2;
+/// Measurement batches; the best (fastest mean) is reported.
+const BATCHES: usize = 3;
+
+/// Time `f`, print a `name ... ns/iter` line, and return the best batch
+/// mean in nanoseconds per iteration.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> f64 {
+    // Warm-up run that also sizes the batches: aim for BATCH_BUDGET_SECS
+    // per batch, clamped so even multi-second workloads run at least once.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((BATCH_BUDGET_SECS / once) as usize).clamp(1, 10_000);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+        best = best.min(per_iter);
+    }
+    let ns = best * 1e9;
+    println!(
+        "{name:<40} {:>14} ns/iter   ({iters} iters/batch)",
+        group(ns)
+    );
+    ns
+}
+
+/// Format a nanosecond count with thousands separators for readability.
+fn group(ns: f64) -> String {
+    let raw = format!("{:.0}", ns);
+    let mut out = String::new();
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i) % 3 == 0 {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_positive_time() {
+        let ns = bench("spin_1k", || {
+            let mut x = 0u64;
+            for i in 0..1_000u64 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn groups_digits() {
+        assert_eq!(group(1234567.0), "1_234_567");
+        assert_eq!(group(999.0), "999");
+    }
+}

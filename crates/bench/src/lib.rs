@@ -14,30 +14,40 @@
 //!   trap-and-emulate) ([`ablation`]).
 //!
 //! Binaries print the tables in the paper's layout and emit JSON records
-//! next to them; Criterion benches cover the harness's own hot paths.
+//! next to them, plus Perfetto-loadable `.trace.json` timelines captured
+//! through `mnv-trace`. The `benches/` harnesses time the hot paths with
+//! plain wall-clock loops (no external benchmarking crate).
 
 pub mod ablation;
+pub mod hostbench;
 pub mod table3;
 
-pub use table3::{fig9_rows, measure_native, measure_virtualized, recon_delay, Row, Table3Config};
+pub use table3::{
+    fig9_rows, measure_native, measure_virtualized, recon_delay, traced_run, Metric, Row,
+    Table3Config,
+};
 
-/// Write a serialisable record to `target/experiments/<name>.json`
-/// (best-effort: failures only warn, results are always printed anyway).
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+use mnv_trace::json::Json;
+
+/// Write a JSON value to `target/experiments/<name>.json` (best-effort:
+/// failures only warn, results are always printed anyway).
+pub fn write_json(name: &str, value: &Json) {
+    write_artifact(&format!("{name}.json"), &value.to_string());
+}
+
+/// Write raw text to `target/experiments/<file>` (best-effort, same policy
+/// as [`write_json`]); used for the Chrome trace artefacts, whose JSON is
+/// already rendered by the exporter.
+pub fn write_artifact(file: &str, content: &str) {
     let dir = std::path::Path::new("target/experiments");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warn: cannot create {}: {e}", dir.display());
         return;
     }
-    let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warn: cannot write {}: {e}", path.display());
-            } else {
-                eprintln!("(wrote {})", path.display());
-            }
-        }
-        Err(e) => eprintln!("warn: serialisation failed: {e}"),
+    let path = dir.join(file);
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warn: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("(wrote {})", path.display());
     }
 }

@@ -8,31 +8,97 @@
 //! time can be calculated." Four PRRs host the FFT (256–8192) and QAM
 //! (4/16/64) task sets; the native baseline implements the manager as a
 //! uC/OS-II function on the bare machine.
+//!
+//! Beyond the paper's means, every row carries p99 and max from the
+//! log-bucketed histograms in `mini_nova::stats` — seeds are merged sample
+//! by sample (`HwMgrStats::merge`), so the percentiles are computed over
+//! the pooled distribution rather than averaged per run.
 
-use mnv_hal::{Cycles, HwTaskId, Priority};
-use mnv_ucos::kernel::{Ucos, UcosConfig};
-use mnv_ucos::tasks::{AdpcmTask, GsmTask, THwTask};
 use mini_nova::kernel::{GuestKind, Kernel, KernelConfig, VmSpec};
 use mini_nova::native::NativeHarness;
-use serde::Serialize;
+use mini_nova::stats::{Acc, HwMgrStats};
+use mnv_hal::{Cycles, HwTaskId, Priority};
+use mnv_trace::json::Json;
+use mnv_trace::Tracer;
+use mnv_ucos::kernel::{Ucos, UcosConfig};
+use mnv_ucos::tasks::{AdpcmTask, GsmTask, THwTask};
+
+/// Mean/p99/max summary of one measured latency (µs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Metric {
+    /// Arithmetic mean (the paper's reported figure).
+    pub mean_us: f64,
+    /// 99th percentile (histogram estimate over the pooled samples).
+    pub p99_us: f64,
+    /// Worst single sample.
+    pub max_us: f64,
+}
+
+impl Metric {
+    /// Summarise an accumulator.
+    pub fn from_acc(a: &Acc) -> Metric {
+        Metric {
+            mean_us: a.mean_us(),
+            p99_us: a.p99_us(),
+            max_us: a.max_us(),
+        }
+    }
+
+    /// JSON record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("mean_us", Json::num(self.mean_us)),
+            ("p99_us", Json::num(self.p99_us)),
+            ("max_us", Json::num(self.max_us)),
+        ])
+    }
+}
 
 /// One measured row-set (one column of Table III).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Row {
-    /// Configuration label ("Native", "1", …).
+    /// Configuration label (0 = native, 1.. = guest count).
     pub guests: u32,
-    /// HW Manager entry (µs).
-    pub entry_us: f64,
-    /// HW Manager exit (µs).
-    pub exit_us: f64,
-    /// PL IRQ entry (µs).
-    pub irq_entry_us: f64,
-    /// HW Manager execution (µs).
-    pub exec_us: f64,
-    /// Total overhead (entry + execution + exit, µs).
-    pub total_us: f64,
+    /// HW Manager entry.
+    pub entry: Metric,
+    /// HW Manager exit.
+    pub exit: Metric,
+    /// PL IRQ entry.
+    pub irq_entry: Metric,
+    /// HW Manager execution.
+    pub exec: Metric,
+    /// End-to-end overhead (entry + execution + exit per invocation).
+    pub total: Metric,
     /// Manager invocations measured.
     pub samples: u64,
+}
+
+impl Row {
+    /// Build from merged manager statistics.
+    pub fn from_stats(guests: u32, h: &HwMgrStats) -> Row {
+        Row {
+            guests,
+            entry: Metric::from_acc(&h.entry),
+            exit: Metric::from_acc(&h.exit),
+            irq_entry: Metric::from_acc(&h.irq_entry),
+            exec: Metric::from_acc(&h.exec),
+            total: Metric::from_acc(&h.total),
+            samples: h.entry.samples,
+        }
+    }
+
+    /// JSON record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("guests", Json::num(self.guests as f64)),
+            ("entry", self.entry.to_json()),
+            ("exit", self.exit.to_json()),
+            ("irq_entry", self.irq_entry.to_json()),
+            ("exec", self.exec.to_json()),
+            ("total", self.total.to_json()),
+            ("samples", Json::num(self.samples as f64)),
+        ])
+    }
 }
 
 /// Harness configuration.
@@ -47,7 +113,7 @@ pub struct Table3Config {
     pub measure_ms_per_guest: f64,
     /// Warm-up simulated time per guest (excluded from the averages).
     pub warmup_ms_per_guest: f64,
-    /// Workload seeds averaged over (each seed is an independent run).
+    /// Workload seeds pooled together (each seed is an independent run).
     pub seeds: Vec<u64>,
 }
 
@@ -81,50 +147,49 @@ fn workload_guest(seed: u64, task_set: Vec<HwTaskId>) -> GuestKind {
     GuestKind::Ucos(Box::new(os))
 }
 
+fn build_kernel(n: usize, seed: u64, cfg: &Table3Config) -> Kernel {
+    let mut k = Kernel::new(KernelConfig {
+        quantum: cfg.quantum,
+        ..Default::default()
+    });
+    let ids = k.register_paper_task_set();
+    for i in 0..n {
+        k.create_vm(VmSpec {
+            name: "guest",
+            priority: Priority::GUEST,
+            guest: workload_guest(seed + i as u64 * 7919, ids.clone()),
+        });
+    }
+    k
+}
+
 /// Measure one virtualized configuration with `n` parallel guest OSes.
 pub fn measure_virtualized(n: usize, cfg: &Table3Config) -> Row {
-    let mut acc = [0.0f64; 4];
-    let mut samples = 0u64;
+    let mut agg = HwMgrStats::default();
     for &seed in &cfg.seeds {
-        let mut k = Kernel::new(KernelConfig {
-            quantum: cfg.quantum,
-            ..Default::default()
-        });
-        let ids = k.register_paper_task_set();
-        for i in 0..n {
-            k.create_vm(VmSpec {
-                name: "guest",
-                priority: Priority::GUEST,
-                guest: workload_guest(seed + i as u64 * 7919, ids.clone()),
-            });
-        }
+        let mut k = build_kernel(n, seed, cfg);
         k.run(Cycles::from_millis(cfg.warmup_ms_per_guest * n as f64));
         k.state.stats.reset_hwmgr();
         k.run(Cycles::from_millis(cfg.measure_ms_per_guest * n as f64));
-        let h = &k.state.stats.hwmgr;
-        acc[0] += h.entry.mean_us();
-        acc[1] += h.exit.mean_us();
-        acc[2] += h.irq_entry.mean_us();
-        acc[3] += h.exec.mean_us();
-        samples += h.entry.samples;
+        agg.merge(&k.state.stats.hwmgr);
     }
-    let s = cfg.seeds.len() as f64;
-    let (entry, exit, irq, exec) = (acc[0] / s, acc[1] / s, acc[2] / s, acc[3] / s);
-    Row {
-        guests: n as u32,
-        entry_us: entry,
-        exit_us: exit,
-        irq_entry_us: irq,
-        exec_us: exec,
-        total_us: entry + exec + exit,
-        samples,
-    }
+    Row::from_stats(n as u32, &agg)
+}
+
+/// Run one virtualized configuration with event tracing enabled and return
+/// the tracer, whose ring then feeds the Chrome-JSON exporter and the
+/// plain-text summary. Kept short — the point is a readable timeline, not
+/// statistics.
+pub fn traced_run(n: usize, cfg: &Table3Config, trace_ms: f64) -> Tracer {
+    let mut k = build_kernel(n, cfg.seeds.first().copied().unwrap_or(11), cfg);
+    let tracer = k.enable_tracing(1 << 20);
+    k.run(Cycles::from_millis(trace_ms));
+    tracer
 }
 
 /// Measure the native baseline (manager as a uC/OS-II function).
 pub fn measure_native(cfg: &Table3Config) -> Row {
-    let mut exec = 0.0f64;
-    let mut samples = 0u64;
+    let mut agg = HwMgrStats::default();
     for &seed in &cfg.seeds {
         let os = Ucos::new(UcosConfig::default());
         let mut h = NativeHarness::new(os);
@@ -135,25 +200,21 @@ pub fn measure_native(cfg: &Table3Config) -> Row {
         h.run(Cycles::from_millis(cfg.warmup_ms_per_guest));
         h.stats.reset_hwmgr();
         h.run(Cycles::from_millis(cfg.measure_ms_per_guest));
-        exec += h.stats.hwmgr.exec.mean_us();
-        samples += h.stats.hwmgr.exec.samples;
+        agg.merge(&h.stats.hwmgr);
     }
-    let exec = exec / cfg.seeds.len() as f64;
-    Row {
-        guests: 0,
-        entry_us: 0.0,
-        exit_us: 0.0,
-        irq_entry_us: 0.0,
-        exec_us: exec,
-        total_us: exec,
-        samples,
-    }
+    // Natively only execution exists (no trap, no vGIC): the end-to-end
+    // delay is the execution time itself.
+    let mut row = Row::from_stats(0, &agg);
+    row.total = row.exec;
+    row.samples = agg.exec.samples;
+    row
 }
 
 /// One Fig. 9 series point: the degradation ratios R_D = t_virt / t_ref.
 /// As in the paper, entry/exit/IRQ-entry (zero natively) are normalised to
-/// the 1-OS case; execution and total to the native case.
-#[derive(Clone, Copy, Debug, Serialize)]
+/// the 1-OS case; execution and total to the native case. Ratios are over
+/// the means, matching the paper's definition.
+#[derive(Clone, Copy, Debug)]
 pub struct Fig9Row {
     /// Number of parallel guest OSes.
     pub guests: u32,
@@ -169,24 +230,38 @@ pub struct Fig9Row {
     pub total: f64,
 }
 
+impl Fig9Row {
+    /// JSON record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("guests", Json::num(self.guests as f64)),
+            ("entry", Json::num(self.entry)),
+            ("exit", Json::num(self.exit)),
+            ("irq_entry", Json::num(self.irq_entry)),
+            ("execution", Json::num(self.execution)),
+            ("total", Json::num(self.total)),
+        ])
+    }
+}
+
 /// Derive the Fig. 9 ratios from a native row plus 1..=N virtualized rows.
 pub fn fig9_rows(native: &Row, virt: &[Row]) -> Vec<Fig9Row> {
     let base = &virt[0];
     virt.iter()
         .map(|r| Fig9Row {
             guests: r.guests,
-            entry: r.entry_us / base.entry_us,
-            exit: r.exit_us / base.exit_us,
-            irq_entry: r.irq_entry_us / base.irq_entry_us,
-            execution: r.exec_us / native.exec_us,
-            total: r.total_us / native.total_us,
+            entry: r.entry.mean_us / base.entry.mean_us,
+            exit: r.exit.mean_us / base.exit.mean_us,
+            irq_entry: r.irq_entry.mean_us / base.irq_entry.mean_us,
+            execution: r.exec.mean_us / native.exec.mean_us,
+            total: r.total.mean_us / native.total.mean_us,
         })
         .collect()
 }
 
 /// One reconfiguration-delay row (the companion-paper table the evaluation
 /// setup references for bitstream sizes and latencies).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ReconRow {
     /// Task name (FFT-256 … QAM-64).
     pub task: String,
@@ -194,6 +269,17 @@ pub struct ReconRow {
     pub bitstream_kb: f64,
     /// Measured PCAP reconfiguration delay (ms of simulated time).
     pub delay_ms: f64,
+}
+
+impl ReconRow {
+    /// JSON record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("task", Json::str(self.task.clone())),
+            ("bitstream_kb", Json::num(self.bitstream_kb)),
+            ("delay_ms", Json::num(self.delay_ms)),
+        ])
+    }
 }
 
 /// Measure the PCAP reconfiguration delay of every paper task by timing a
@@ -214,9 +300,12 @@ pub fn recon_delay() -> Vec<ReconRow> {
         let bytes = bs.encode();
         m.load_bytes(PhysAddr::new(0x0100_0000), &bytes).unwrap();
         let reg = |off| PhysAddr::new(PL_GP_BASE + off);
-        m.phys_write_u32(reg(plregs::PCAP_SRC), 0x0100_0000).unwrap();
-        m.phys_write_u32(reg(plregs::PCAP_LEN), bytes.len() as u32).unwrap();
-        m.phys_write_u32(reg(plregs::PCAP_TARGET), compat[0] as u32).unwrap();
+        m.phys_write_u32(reg(plregs::PCAP_SRC), 0x0100_0000)
+            .unwrap();
+        m.phys_write_u32(reg(plregs::PCAP_LEN), bytes.len() as u32)
+            .unwrap();
+        m.phys_write_u32(reg(plregs::PCAP_TARGET), compat[0] as u32)
+            .unwrap();
         let t0 = m.now();
         m.phys_write_u32(reg(plregs::PCAP_CTRL), 1).unwrap();
         loop {
@@ -238,27 +327,34 @@ pub fn recon_delay() -> Vec<ReconRow> {
     rows
 }
 
-/// Render rows in the paper's Table III layout.
+/// Render rows in the paper's Table III layout, extended with p99/max
+/// sub-rows from the pooled histograms.
 pub fn format_table3(native: &Row, virt: &[Row]) -> String {
     let mut out = String::new();
     out.push_str("TABLE III. OVERHEAD OF HARDWARE TASK MANAGEMENT (US)\n\n");
     out.push_str(&format!(
-        "{:<24}{:>9}{:>9}{:>9}{:>9}{:>9}\n",
+        "{:<26}{:>9}{:>9}{:>9}{:>9}{:>9}\n",
         "Guest OS number", "Native", "1", "2", "3", "4"
     ));
     let line = |name: &str, f: &dyn Fn(&Row) -> f64| {
-        let mut s = format!("{:<24}{:>9.2}", name, f(native));
+        let mut s = format!("{:<26}{:>9.2}", name, f(native));
         for r in virt {
             s.push_str(&format!("{:>9.2}", f(r)));
         }
         s.push('\n');
         s
     };
-    out.push_str(&line("HW Manager entry", &|r| r.entry_us));
-    out.push_str(&line("HW Manager exit", &|r| r.exit_us));
-    out.push_str(&line("PL IRQ entry", &|r| r.irq_entry_us));
-    out.push_str(&line("HW Manager execution", &|r| r.exec_us));
-    out.push_str(&line("Total overhead", &|r| r.total_us));
+    let block = |name: &'static str, m: &'static dyn Fn(&Row) -> Metric| {
+        let mut s = line(name, &|r| m(r).mean_us);
+        s.push_str(&line("  p99", &|r| m(r).p99_us));
+        s.push_str(&line("  max", &|r| m(r).max_us));
+        s
+    };
+    out.push_str(&block("HW Manager entry", &|r| r.entry));
+    out.push_str(&block("HW Manager exit", &|r| r.exit));
+    out.push_str(&block("PL IRQ entry", &|r| r.irq_entry));
+    out.push_str(&block("HW Manager execution", &|r| r.exec));
+    out.push_str(&block("Total overhead", &|r| r.total));
     out
 }
 
@@ -278,20 +374,44 @@ mod tests {
         assert!(fft8192.delay_ms > 0.5 && fft8192.delay_ms < 20.0);
     }
 
+    fn m(mean: f64) -> Metric {
+        Metric {
+            mean_us: mean,
+            p99_us: mean,
+            max_us: mean,
+        }
+    }
+
     #[test]
     fn fig9_normalisation() {
         let native = Row {
             guests: 0,
-            entry_us: 0.0,
-            exit_us: 0.0,
-            irq_entry_us: 0.0,
-            exec_us: 15.0,
-            total_us: 15.0,
+            entry: m(0.0),
+            exit: m(0.0),
+            irq_entry: m(0.0),
+            exec: m(15.0),
+            total: m(15.0),
             samples: 10,
         };
         let virt = vec![
-            Row { guests: 1, entry_us: 1.0, exit_us: 0.5, irq_entry_us: 0.2, exec_us: 15.5, total_us: 17.0, samples: 10 },
-            Row { guests: 2, entry_us: 1.5, exit_us: 0.75, irq_entry_us: 0.4, exec_us: 16.0, total_us: 18.25, samples: 10 },
+            Row {
+                guests: 1,
+                entry: m(1.0),
+                exit: m(0.5),
+                irq_entry: m(0.2),
+                exec: m(15.5),
+                total: m(17.0),
+                samples: 10,
+            },
+            Row {
+                guests: 2,
+                entry: m(1.5),
+                exit: m(0.75),
+                irq_entry: m(0.4),
+                exec: m(16.0),
+                total: m(18.25),
+                samples: 10,
+            },
         ];
         let f = fig9_rows(&native, &virt);
         assert_eq!(f[0].entry, 1.0);
@@ -303,7 +423,41 @@ mod tests {
     fn quick_native_row_is_sane() {
         let row = measure_native(&quick_config());
         assert!(row.samples > 3);
-        assert_eq!(row.entry_us, 0.0);
-        assert!(row.exec_us > 5.0 && row.exec_us < 30.0, "{row:?}");
+        assert_eq!(row.entry.mean_us, 0.0);
+        assert!(row.exec.mean_us > 5.0 && row.exec.mean_us < 30.0, "{row:?}");
+        // Percentiles come from real samples: p99 ≥ mean-ish, max ≥ p99.
+        assert!(row.exec.max_us >= row.exec.p99_us * 0.99, "{row:?}");
+    }
+
+    #[test]
+    fn percentiles_ordered_in_virtualized_row() {
+        let row = measure_virtualized(1, &quick_config());
+        for metric in [row.entry, row.exit, row.exec, row.total] {
+            assert!(metric.mean_us > 0.0, "{row:?}");
+            assert!(metric.max_us >= metric.p99_us * 0.99, "{row:?}");
+        }
+        // Per-invocation total must be at least entry+exec+exit means.
+        let sum = row.entry.mean_us + row.exec.mean_us + row.exit.mean_us;
+        assert!(
+            row.total.mean_us >= 0.9 * sum,
+            "total {} vs phase sum {sum}",
+            row.total.mean_us
+        );
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_run_captures_manager_activity() {
+        let tracer = traced_run(2, &quick_config(), 30.0);
+        assert!(tracer.is_enabled());
+        let events = tracer.snapshot();
+        assert!(!events.is_empty());
+        let mut kinds: Vec<&'static str> = events.iter().map(|(_, e)| e.kind_name()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert!(kinds.len() >= 5, "only {kinds:?}");
+        assert!(kinds.contains(&"VmSwitch"), "{kinds:?}");
+        assert!(kinds.contains(&"Hypercall"), "{kinds:?}");
+        assert!(kinds.contains(&"HwMgrPhase"), "{kinds:?}");
     }
 }

@@ -173,10 +173,7 @@ impl HwMgr {
             }
             // Revoke the IRQ route.
             if let Some(line) = self.irqs.free_prr(prr) {
-                let _ = m.phys_write_u32(
-                    ctrl_reg(plregs::IRQ_ROUTE),
-                    ((prr as u32) << 8) | 0xFF,
-                );
+                let _ = m.phys_write_u32(ctrl_reg(plregs::IRQ_ROUTE), ((prr as u32) << 8) | 0xFF);
                 old.vgic.remove(line);
                 m.gic.disable(line);
             }
@@ -279,12 +276,12 @@ impl HwMgr {
         // §IV-D: allocate a PL IRQ line and register it in the vGIC. The
         // line index is reported back to the guest (bits 23:16 of the
         // result) so it can wire its local IRQ handling to it.
-        let line = self.irqs.alloc(caller, prr).map_err(|_| HcError::NoResource)?;
+        let line = self
+            .irqs
+            .alloc(caller, prr)
+            .map_err(|_| HcError::NoResource)?;
         let line_idx = line.pl_index().expect("pl line") as u32;
-        let _ = m.phys_write_u32(
-            ctrl_reg(plregs::IRQ_ROUTE),
-            ((prr as u32) << 8) | line_idx,
-        );
+        let _ = m.phys_write_u32(ctrl_reg(plregs::IRQ_ROUTE), ((prr as u32) << 8) | line_idx);
         if let Some(pd) = pds.get_mut(&caller) {
             pd.vgic.enable(line);
         }
@@ -292,7 +289,10 @@ impl HwMgr {
 
         // Initialise the consistency structure: the task now belongs to
         // this client.
-        let _ = m.phys_write_u32(ds.pa + data_section::STATE_FLAG, HwTaskState::Consistent as u32);
+        let _ = m.phys_write_u32(
+            ds.pa + data_section::STATE_FLAG,
+            HwTaskState::Consistent as u32,
+        );
         let _ = m.phys_write_u32(ds.pa + data_section::SAVED_TASK, task.0 as u32);
 
         // Update the PRR table.
@@ -318,9 +318,7 @@ impl HwMgr {
             }
             // Stage 6: return immediately with the reconfig flag — the
             // manager "does not check the completion of the PCAP transfer".
-            return Ok(HwTaskStatus::Reconfiguring as u32
-                | ((prr as u32) << 8)
-                | (line_idx << 16));
+            return Ok(HwTaskStatus::Reconfiguring as u32 | ((prr as u32) << 8) | (line_idx << 16));
         }
         Ok(HwTaskStatus::Success as u32 | ((prr as u32) << 8) | (line_idx << 16))
     }
@@ -381,9 +379,13 @@ impl HwMgr {
         }
         let pd = pds.get(&caller).ok_or(HcError::BadArg)?;
         if let Some(ds) = pd.data_section {
-            let saved = m.phys_read_u32(ds.pa + data_section::SAVED_TASK).unwrap_or(0);
+            let saved = m
+                .phys_read_u32(ds.pa + data_section::SAVED_TASK)
+                .unwrap_or(0);
             if saved == task.0 as u32 {
-                let flag = m.phys_read_u32(ds.pa + data_section::STATE_FLAG).unwrap_or(0);
+                let flag = m
+                    .phys_read_u32(ds.pa + data_section::STATE_FLAG)
+                    .unwrap_or(0);
                 return Ok(flag);
             }
         }

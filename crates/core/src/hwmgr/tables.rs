@@ -194,9 +194,23 @@ mod tests {
     #[test]
     fn recon_latency_scales_with_size() {
         let mut t = HwTaskTable::new();
-        t.register(HwTaskId(0), CoreKind::Qam { bits_per_symbol: 2 }, PhysAddr::new(0), 50_000, vec![0]);
-        t.register(HwTaskId(1), CoreKind::Fft { log2_points: 13 }, PhysAddr::new(0), 500_000, vec![0]);
-        assert!(t.get(HwTaskId(1)).unwrap().recon_latency > t.get(HwTaskId(0)).unwrap().recon_latency);
+        t.register(
+            HwTaskId(0),
+            CoreKind::Qam { bits_per_symbol: 2 },
+            PhysAddr::new(0),
+            50_000,
+            vec![0],
+        );
+        t.register(
+            HwTaskId(1),
+            CoreKind::Fft { log2_points: 13 },
+            PhysAddr::new(0),
+            500_000,
+            vec![0],
+        );
+        assert!(
+            t.get(HwTaskId(1)).unwrap().recon_latency > t.get(HwTaskId(0)).unwrap().recon_latency
+        );
     }
 
     #[test]
@@ -218,6 +232,12 @@ mod tests {
     #[should_panic(expected = "at least one PRR")]
     fn empty_prr_list_rejected() {
         let mut t = HwTaskTable::new();
-        t.register(HwTaskId(0), CoreKind::Fir { taps: 4 }, PhysAddr::new(0), 1, vec![]);
+        t.register(
+            HwTaskId(0),
+            CoreKind::Fir { taps: 4 },
+            PhysAddr::new(0),
+            1,
+            vec![],
+        );
     }
 }

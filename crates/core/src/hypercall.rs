@@ -13,6 +13,7 @@ use mnv_arm::cp15::Cp15Reg;
 use mnv_arm::machine::Machine;
 use mnv_hal::abi::{HcError, Hypercall, HypercallArgs};
 use mnv_hal::{Cycles, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
+use mnv_trace::{MgrPhase, TraceEvent, TrapKind};
 
 use crate::ipc;
 use crate::kernel::{sd_block, KernelState};
@@ -42,10 +43,17 @@ pub fn hypercall(
     args: HypercallArgs,
 ) -> Result<u32, HcError> {
     // SVC trap entry: exception + hypercall entry code + PD/portal lookup.
+    ks.tracer.emit(
+        m.now(),
+        TraceEvent::TrapEnter {
+            kind: TrapKind::Svc,
+        },
+    );
     m.charge(mnv_arm::timing::EXC_ENTRY);
     let r = hypercall_from_trap(m, ks, caller, args);
     // Exception return to the guest.
     m.charge(mnv_arm::timing::EXC_RETURN);
+    ks.tracer.emit(m.now(), TraceEvent::TrapExit);
     r
 }
 
@@ -67,6 +75,8 @@ pub fn hypercall_from_trap(
     }
     ks.stats.hypercalls[args.nr.nr() as usize] += 1;
     ks.stats.hypercalls_total += 1;
+    ks.tracer
+        .emit(m.now(), TraceEvent::Hypercall { nr: args.nr.nr() });
     dispatch(m, ks, caller, args)
 }
 
@@ -237,8 +247,7 @@ fn dispatch(
             Ok(0)
         }
         HwTaskRequest => with_manager(m, ks, caller, |m, ks| {
-            let (hwmgr, pds, pt, stats) =
-                (&mut ks.hwmgr, &mut ks.pds, &mut ks.pt, &mut ks.stats);
+            let (hwmgr, pds, pt, stats) = (&mut ks.hwmgr, &mut ks.pds, &mut ks.pt, &mut ks.stats);
             hwmgr.handle_request(
                 m,
                 pds,
@@ -254,10 +263,9 @@ fn dispatch(
             let (hwmgr, pds) = (&mut ks.hwmgr, &mut ks.pds);
             hwmgr.handle_release(m, pds, caller, HwTaskId(args.a0 as u16))
         }),
-        HwTaskQuery => {
-            ks.hwmgr
-                .handle_query(m, &ks.pds, caller, HwTaskId(args.a0 as u16))
-        }
+        HwTaskQuery => ks
+            .hwmgr
+            .handle_query(m, &ks.pds, caller, HwTaskId(args.a0 as u16)),
         PcapPoll => {
             let (hwmgr, pds) = (&mut ks.hwmgr, &mut ks.pds);
             hwmgr.handle_pcap_poll(m, pds, caller)
@@ -282,7 +290,8 @@ fn dispatch(
                 .ok_or(HcError::BadArg)?;
             let block = sd_block(args.a0);
             m.charge(2_000); // SD controller DMA latency
-            m.phys_write_block(pa, &block).map_err(|_| HcError::BadArg)?;
+            m.phys_write_block(pa, &block)
+                .map_err(|_| HcError::BadArg)?;
             Ok(0)
         }
     }
@@ -322,6 +331,13 @@ fn with_manager(
 ) -> Result<u32, HcError> {
     // ---- entry: save the caller, enter the manager's memory space ----
     let t0 = m.now();
+    ks.tracer.emit(
+        t0,
+        TraceEvent::HwMgrPhase {
+            phase: MgrPhase::Entry,
+            end: false,
+        },
+    );
     if ks.defer_manager {
         // Ablation: a manager at guest priority cannot preempt — the
         // request waits, on average, half the remaining slice of the
@@ -345,18 +361,47 @@ fn with_manager(
     }
     // Manager memory space: kernel table, ASID 0, host DACR.
     m.charge(mnv_arm::timing::CP15_ACCESS * 3);
-    m.cp15.write(Cp15Reg::Dacr, dacr::dacr_for(GuestContext::HostKernel));
+    m.cp15
+        .write(Cp15Reg::Dacr, dacr::dacr_for(GuestContext::HostKernel));
     m.cp15.set_asid(mnv_hal::Asid(0));
     ks.stats.vm_switches += 1;
     let t1 = m.now();
     ks.stats.hwmgr.entry.push(Cycles::new((t1 - t0).raw()));
+    ks.tracer.emit(
+        t1,
+        TraceEvent::HwMgrPhase {
+            phase: MgrPhase::Entry,
+            end: true,
+        },
+    );
 
     // ---- execution ----
+    ks.tracer.emit(
+        t1,
+        TraceEvent::HwMgrPhase {
+            phase: MgrPhase::Exec,
+            end: false,
+        },
+    );
     let result = body(m, ks);
     let t2 = m.now();
     ks.stats.hwmgr.exec.push(Cycles::new((t2 - t1).raw()));
+    ks.tracer.emit(
+        t2,
+        TraceEvent::HwMgrPhase {
+            phase: MgrPhase::Exec,
+            end: true,
+        },
+    );
 
     // ---- exit: resume the interrupted guest ----
+    ks.tracer.emit(
+        t2,
+        TraceEvent::HwMgrPhase {
+            phase: MgrPhase::Exit,
+            end: false,
+        },
+    );
     m.charge(280);
     touch_ktext(m, ktext::MGR_EXIT, 12);
     {
@@ -370,5 +415,13 @@ fn with_manager(
     ks.stats.vm_switches += 1;
     let t3 = m.now();
     ks.stats.hwmgr.exit.push(Cycles::new((t3 - t2).raw()));
+    ks.stats.hwmgr.total.push(Cycles::new((t3 - t0).raw()));
+    ks.tracer.emit(
+        t3,
+        TraceEvent::HwMgrPhase {
+            phase: MgrPhase::Exit,
+            end: true,
+        },
+    );
     result
 }

@@ -48,7 +48,8 @@ pub fn recv(
     for (i, w) in msg.payload.iter().enumerate() {
         bytes[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
     }
-    m.phys_write_block(pa, &bytes).map_err(|_| HcError::BadArg)?;
+    m.phys_write_block(pa, &bytes)
+        .map_err(|_| HcError::BadArg)?;
     Ok(msg.from.0 as u32 + 1)
 }
 
@@ -103,8 +104,14 @@ mod tests {
     #[test]
     fn send_to_self_or_missing_rejected() {
         let mut pds = two_pds();
-        assert_eq!(send(&mut pds, VmId(1), VmId(1), [0; 3]), Err(HcError::BadArg));
-        assert_eq!(send(&mut pds, VmId(1), VmId(9), [0; 3]), Err(HcError::NotFound));
+        assert_eq!(
+            send(&mut pds, VmId(1), VmId(1), [0; 3]),
+            Err(HcError::BadArg)
+        );
+        assert_eq!(
+            send(&mut pds, VmId(1), VmId(9), [0; 3]),
+            Err(HcError::NotFound)
+        );
     }
 
     #[test]

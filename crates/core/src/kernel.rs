@@ -8,6 +8,7 @@ use mnv_fpga::bitstream::{Bitstream, CoreKind};
 use mnv_fpga::fabric::FabricConfig;
 use mnv_fpga::pl::{Pl, PlConfig};
 use mnv_hal::{Cycles, Domain, HwTaskId, PhysAddr, Priority, VirtAddr, VmId};
+use mnv_trace::{TraceEvent, Tracer};
 use mnv_ucos::kernel::{RunExit, Ucos};
 use std::collections::BTreeMap;
 
@@ -104,6 +105,9 @@ pub struct KernelState {
     pub defer_manager: bool,
     /// Quantum (needed by the deferred-manager wait model).
     pub quantum: Cycles,
+    /// Event tracer (disabled unless [`Kernel::enable_tracing`] is called;
+    /// shares its ring with [`Machine::tracer`]).
+    pub tracer: Tracer,
 }
 
 /// The composed kernel.
@@ -154,6 +158,7 @@ impl Kernel {
             flush_tlb_on_switch: cfg.flush_tlb_on_switch,
             defer_manager: cfg.defer_manager,
             quantum: cfg.quantum,
+            tracer: Tracer::disabled(),
         };
         Kernel {
             machine,
@@ -162,6 +167,16 @@ impl Kernel {
             next_vm: 1,
             bitstream_cursor: layout::BITSTREAM_BASE.raw(),
         }
+    }
+
+    /// Turn on event tracing with a ring retaining `cap` events. The kernel
+    /// and the machine (and through it the PL peripheral) share one ring,
+    /// producing a single merged timeline. Returns a handle for export.
+    pub fn enable_tracing(&mut self, cap: usize) -> Tracer {
+        let t = Tracer::enabled(cap);
+        self.state.tracer = t.clone();
+        self.machine.tracer = t.clone();
+        t
     }
 
     /// Register a hardware task: encode its bitstream into the store and
@@ -358,6 +373,10 @@ impl Kernel {
     fn switch_in(&mut self, vm: VmId) -> Vec<(mnv_hal::IrqNum, u32)> {
         self.touch_ktext(ktext::WORLD_SWITCH, 16);
         self.state.stats.vm_switches += 1;
+        self.state.tracer.emit(
+            self.machine.now(),
+            TraceEvent::VmSwitch { from: 0, to: vm.0 },
+        );
         {
             let pd = self.state.pds.get_mut(&vm).expect("vm exists");
             pd.stats.activations += 1;
@@ -410,6 +429,10 @@ impl Kernel {
     /// Switch out of `vm`: save the active set and mask its lines.
     fn switch_out(&mut self, vm: VmId) {
         self.touch_ktext(ktext::WORLD_SWITCH, 12);
+        self.state.tracer.emit(
+            self.machine.now(),
+            TraceEvent::VmSwitch { from: vm.0, to: 0 },
+        );
         let pd = self.state.pds.get_mut(&vm).expect("vm exists");
         pd.vcpu.save_active(&mut self.machine, vm);
         for line in pd.vgic.all_lines() {
@@ -453,6 +476,9 @@ impl Kernel {
             // any higher-priority VM (the physical timer interrupt through
             // which the kernel preempts, §III-D).
             self.state.sched.stats.dispatches += 1;
+            self.state
+                .tracer
+                .emit(self.machine.now(), TraceEvent::SchedPick { vm: vm.0 });
             let left = self.state.pds[&vm].quantum_left;
             let full = if left.is_zero() {
                 self.state.sched.quantum
@@ -464,9 +490,7 @@ impl Kernel {
                 .state
                 .pds
                 .values()
-                .filter(|p| {
-                    p.state == PdState::Runnable && p.priority > my_prio && p.vm != vm
-                })
+                .filter(|p| p.state == PdState::Runnable && p.priority > my_prio && p.vm != vm)
                 .map(|p| p.wake_at)
                 .min()
                 .unwrap_or(u64::MAX);
@@ -475,8 +499,7 @@ impl Kernel {
             // Only a higher-priority wake-up is a *preemption*; truncation
             // by the run() deadline is a harness artifact and counts as
             // ordinary expiry (rotate as usual).
-            let preempt_truncated =
-                preempt_at.saturating_sub(now) < full.raw() && grant < full;
+            let preempt_truncated = preempt_at.saturating_sub(now) < full.raw() && grant < full;
 
             let (used, exit) = self.run_vm(vm, grant);
             let reason = match exit {

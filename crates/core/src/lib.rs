@@ -32,8 +32,8 @@
 //! benchmark harness can reproduce the paper's Table III and Fig. 9 from
 //! first principles rather than from hard-coded delays.
 
-pub mod hypercall;
 pub mod hwmgr;
+pub mod hypercall;
 pub mod ipc;
 pub mod kernel;
 pub mod kobj;

@@ -71,11 +71,17 @@ mod tests {
 
         apply(&mut cp15, GuestContext::GuestKernel);
         assert_eq!(cp15.domain_access(Domain::GUEST_USER), DomainAccess::Client);
-        assert_eq!(cp15.domain_access(Domain::GUEST_KERNEL), DomainAccess::Client);
+        assert_eq!(
+            cp15.domain_access(Domain::GUEST_KERNEL),
+            DomainAccess::Client
+        );
 
         apply(&mut cp15, GuestContext::HostKernel);
         assert_eq!(cp15.domain_access(Domain::GUEST_USER), DomainAccess::Client);
-        assert_eq!(cp15.domain_access(Domain::GUEST_KERNEL), DomainAccess::Client);
+        assert_eq!(
+            cp15.domain_access(Domain::GUEST_KERNEL),
+            DomainAccess::Client
+        );
         assert_eq!(cp15.domain_access(Domain::KERNEL), DomainAccess::Client);
     }
 

@@ -132,12 +132,7 @@ pub fn map_page(
 
 /// Remove a 4 KB mapping and invalidate the TLB entry (the demap operation
 /// of the reclaim path, Fig. 5). Returns true if a mapping was present.
-pub fn unmap_page(
-    m: &mut Machine,
-    l1: PhysAddr,
-    va: VirtAddr,
-    asid: Asid,
-) -> HalResult<bool> {
+pub fn unmap_page(m: &mut Machine, l1: PhysAddr, va: VirtAddr, asid: Asid) -> HalResult<bool> {
     let slot = l1_slot(l1, va);
     let cur = m.phys_read_u32(slot)?;
     if cur & 0b11 != 0b01 {
@@ -156,7 +151,9 @@ pub fn unmap_page(
 pub fn walk(m: &mut Machine, l1: PhysAddr, va: VirtAddr) -> Option<PhysAddr> {
     let d = m.phys_read_u32(l1_slot(l1, va)).ok()?;
     match d & 0b11 {
-        0b10 => Some(PhysAddr::new(((d & 0xFFF0_0000) as u64) | va.section_offset())),
+        0b10 => Some(PhysAddr::new(
+            ((d & 0xFFF0_0000) as u64) | va.section_offset(),
+        )),
         0b01 => {
             let l2 = PhysAddr::new((d & 0xFFFF_FC00) as u64);
             let p = m.phys_read_u32(l2 + (va.l2_index() as u64) * 4).ok()?;
@@ -212,7 +209,10 @@ mod tests {
             .translate(VirtAddr::new(0x0012_3456), AccessKind::Read, false)
             .unwrap();
         assert_eq!(pa.raw(), 0x0452_3456);
-        assert_eq!(walk(&mut m, l1, VirtAddr::new(0x0012_3456)).unwrap().raw(), 0x0452_3456);
+        assert_eq!(
+            walk(&mut m, l1, VirtAddr::new(0x0012_3456)).unwrap().raw(),
+            0x0452_3456
+        );
     }
 
     #[test]
@@ -302,7 +302,13 @@ mod tests {
             true,
         )
         .unwrap();
-        let e = ensure_l2(&mut m, l1, VirtAddr::new(0x0010_0000), Domain::KERNEL, &mut a);
+        let e = ensure_l2(
+            &mut m,
+            l1,
+            VirtAddr::new(0x0010_0000),
+            Domain::KERNEL,
+            &mut a,
+        );
         assert!(e.is_err());
     }
 
@@ -329,14 +335,42 @@ mod tests {
         let (mut m, l1a, mut a) = machine_with_table();
         let l1b = a.alloc_l1(&mut m).unwrap();
         let va = VirtAddr::new(0x0001_0000);
-        map_page(&mut m, l1a, va, PhysAddr::new(0x0400_0000), Domain::GUEST_USER, Ap::Full, false, false, &mut a).unwrap();
-        map_page(&mut m, l1b, va, PhysAddr::new(0x0500_0000), Domain::GUEST_USER, Ap::Full, false, false, &mut a).unwrap();
+        map_page(
+            &mut m,
+            l1a,
+            va,
+            PhysAddr::new(0x0400_0000),
+            Domain::GUEST_USER,
+            Ap::Full,
+            false,
+            false,
+            &mut a,
+        )
+        .unwrap();
+        map_page(
+            &mut m,
+            l1b,
+            va,
+            PhysAddr::new(0x0500_0000),
+            Domain::GUEST_USER,
+            Ap::Full,
+            false,
+            false,
+            &mut a,
+        )
+        .unwrap();
         enable_mmu(&mut m, l1a, 1);
-        assert_eq!(m.translate(va, AccessKind::Read, false).unwrap().raw(), 0x0400_0000);
+        assert_eq!(
+            m.translate(va, AccessKind::Read, false).unwrap().raw(),
+            0x0400_0000
+        );
         // Switch VM: TTBR + ASID reload only.
         m.cp15.ttbr0 = l1b.raw() as u32;
         m.cp15.set_asid(Asid(2));
-        assert_eq!(m.translate(va, AccessKind::Read, false).unwrap().raw(), 0x0500_0000);
+        assert_eq!(
+            m.translate(va, AccessKind::Read, false).unwrap().raw(),
+            0x0500_0000
+        );
         // Switch back: the first VM's entry is still cached (hit, no walk).
         m.cp15.ttbr0 = l1a.raw() as u32;
         m.cp15.set_asid(Asid(1));

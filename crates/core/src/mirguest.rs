@@ -182,9 +182,7 @@ impl MirGuest {
                         let pc = cause.expect("cause present").pc.raw() as u32;
                         let pd = ks.pds.get(&vm);
                         let val = match (reg, pd) {
-                            (mnv_arm::mir::MirCp15::Contextidr, Some(p)) => {
-                                p.vcpu.contextidr
-                            }
+                            (mnv_arm::mir::MirCp15::Contextidr, Some(p)) => p.vcpu.contextidr,
                             (mnv_arm::mir::MirCp15::Dacr, Some(p)) => p.vcpu.dacr,
                             _ => 0,
                         };
@@ -209,6 +207,8 @@ impl MirGuest {
                 // Forward to the guest's abort handler if registered (the
                 // §IV-E page-fault acknowledgement path); else kill.
                 ks.stats.faults_forwarded += 1;
+                ks.tracer
+                    .emit(m.now(), mnv_trace::TraceEvent::FaultForwarded { vm: vm.0 });
                 if self.abort_handler != 0 {
                     self.faults_taken += 1;
                     if let Some(pd) = ks.pds.get_mut(&vm) {

@@ -290,7 +290,9 @@ impl GuestEnv for NativeEnv<'_> {
                 Ok(0)
             }
             // IRQ table management is local state in native mode.
-            Hypercall::IrqEnable | Hypercall::IrqDisable | Hypercall::IrqEoi
+            Hypercall::IrqEnable
+            | Hypercall::IrqDisable
+            | Hypercall::IrqEoi
             | Hypercall::IrqSetEntry => Ok(0),
             Hypercall::ConsoleWrite => {
                 self.m.charge(mnv_arm::timing::MMIO);
@@ -379,8 +381,7 @@ mod tests {
         let os = Ucos::new(UcosConfig::default());
         let mut h = NativeHarness::new(os);
         let ids = h.register_paper_task_set();
-        h.os
-            .task_create(8, Box::new(THwTask::new(vec![ids[6]], 7))); // QAM-4
+        h.os.task_create(8, Box::new(THwTask::new(vec![ids[6]], 7))); // QAM-4
         h.run(Cycles::from_millis(60.0));
         let pl: &Pl = h.machine.peripheral::<Pl>().unwrap();
         let runs: u64 = (0..pl.num_prrs()).map(|p| pl.prr(p as u8).runs).sum();

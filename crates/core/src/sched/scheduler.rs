@@ -128,7 +128,12 @@ mod tests {
         let mut s = Scheduler::new(Cycles::new(1000));
         s.add(VmId(1), Priority::GUEST);
         // Preempted after 400 cycles: 600 remain.
-        let left = s.stopped(VmId(1), Cycles::new(1000), Cycles::new(400), StopReason::Preempted);
+        let left = s.stopped(
+            VmId(1),
+            Cycles::new(1000),
+            Cycles::new(400),
+            StopReason::Preempted,
+        );
         assert_eq!(left, Cycles::new(600));
         let (_, grant) = s.pick(|_| left).unwrap();
         assert_eq!(grant, Cycles::new(600), "total slice stays constant");
@@ -139,7 +144,12 @@ mod tests {
         let mut s = Scheduler::new(Cycles::new(1000));
         s.add(VmId(1), Priority::GUEST);
         s.add(VmId(2), Priority::GUEST);
-        let left = s.stopped(VmId(1), Cycles::new(1000), Cycles::new(1000), StopReason::QuantumExpired);
+        let left = s.stopped(
+            VmId(1),
+            Cycles::new(1000),
+            Cycles::new(1000),
+            StopReason::QuantumExpired,
+        );
         assert_eq!(left, Cycles::ZERO);
         let (vm, grant) = s.pick(|_| Cycles::ZERO).unwrap();
         assert_eq!(vm, VmId(2));
@@ -158,7 +168,12 @@ mod tests {
         let mut s = Scheduler::new(Cycles::new(1000));
         s.add(VmId(1), Priority::GUEST);
         s.add(VmId(2), Priority::GUEST);
-        let left = s.stopped(VmId(1), Cycles::new(1000), Cycles::new(100), StopReason::Idled);
+        let left = s.stopped(
+            VmId(1),
+            Cycles::new(1000),
+            Cycles::new(100),
+            StopReason::Idled,
+        );
         assert_eq!(left, Cycles::new(900));
         assert_eq!(s.queue.current(), Some(VmId(2)));
     }

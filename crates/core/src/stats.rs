@@ -10,11 +10,17 @@
 //! * **HW Manager exit**: from manager completion back into the guest;
 //! * **PL IRQ entry**: "from the exception vector table … until the vGIC
 //!   injects the virtual interrupt to the VM".
+//!
+//! Each [`Acc`] carries a log-bucketed [`Hist`] alongside the running
+//! mean/min/max, so every Table III row can report p50/p90/p99 as well as
+//! the paper's mean.
 
 use mnv_hal::abi::HYPERCALL_COUNT;
 use mnv_hal::Cycles;
+use mnv_trace::Hist;
 
-/// A mean accumulator over cycle samples.
+/// A latency accumulator over cycle samples: mean, min, max and a
+/// log-bucketed histogram for percentiles.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Acc {
     /// Sum of samples in cycles.
@@ -23,14 +29,25 @@ pub struct Acc {
     pub samples: u64,
     /// Largest single sample.
     pub max: u64,
+    /// Smallest single sample (0 when empty).
+    pub min: u64,
+    /// Log-bucketed sample distribution.
+    pub hist: Hist,
 }
 
 impl Acc {
     /// Record one sample.
     pub fn push(&mut self, c: Cycles) {
-        self.total += c.raw();
+        let v = c.raw();
+        self.total += v;
+        if self.samples == 0 {
+            self.min = v;
+        } else {
+            self.min = self.min.min(v);
+        }
         self.samples += 1;
-        self.max = self.max.max(c.raw());
+        self.max = self.max.max(v);
+        self.hist.record(v);
     }
 
     /// Mean in cycles (0 when empty).
@@ -46,6 +63,43 @@ impl Acc {
     pub fn mean_us(&self) -> f64 {
         self.mean_cycles() * 1e6 / mnv_hal::cycles::CPU_HZ as f64
     }
+
+    /// Largest sample in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max as f64 * 1e6 / mnv_hal::cycles::CPU_HZ as f64
+    }
+
+    /// Smallest sample in microseconds.
+    pub fn min_us(&self) -> f64 {
+        self.min as f64 * 1e6 / mnv_hal::cycles::CPU_HZ as f64
+    }
+
+    /// 99th-percentile sample in microseconds (histogram estimate).
+    pub fn p99_us(&self) -> f64 {
+        self.hist.p99_us()
+    }
+
+    /// Median sample in microseconds (histogram estimate).
+    pub fn p50_us(&self) -> f64 {
+        self.hist.p50_us()
+    }
+
+    /// Fold another accumulator into this one (used to aggregate runs
+    /// across seeds without averaging percentiles).
+    pub fn merge(&mut self, other: &Acc) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            *self = *other;
+            return;
+        }
+        self.total += other.total;
+        self.samples += other.samples;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+        self.hist.merge(&other.hist);
+    }
 }
 
 /// Hardware Task Manager measurements (the rows of Table III).
@@ -59,6 +113,9 @@ pub struct HwMgrStats {
     pub exec: Acc,
     /// PL IRQ entry (vGIC injection) overhead.
     pub irq_entry: Acc,
+    /// End-to-end manager response delay (entry + execution + exit measured
+    /// per invocation, so its percentiles are real, not sums of means).
+    pub total: Acc,
     /// Manager invocations.
     pub invocations: u64,
     /// Requests answered Busy.
@@ -74,6 +131,19 @@ impl HwMgrStats {
     /// "Total overhead" row.
     pub fn total_mean_us(&self) -> f64 {
         self.entry.mean_us() + self.exec.mean_us() + self.exit.mean_us()
+    }
+
+    /// Fold another run's measurements into this one.
+    pub fn merge(&mut self, other: &HwMgrStats) {
+        self.entry.merge(&other.entry);
+        self.exit.merge(&other.exit);
+        self.exec.merge(&other.exec);
+        self.irq_entry.merge(&other.irq_entry);
+        self.total.merge(&other.total);
+        self.invocations += other.invocations;
+        self.busy += other.busy;
+        self.reconfigs += other.reconfigs;
+        self.reclaims += other.reclaims;
     }
 }
 
@@ -128,12 +198,60 @@ mod tests {
     }
 
     #[test]
+    fn acc_min_max_us() {
+        let mut a = Acc::default();
+        a.push(Cycles::new(1320));
+        a.push(Cycles::new(660));
+        a.push(Cycles::new(6600));
+        assert_eq!(a.min, 660);
+        assert_eq!(a.max, 6600);
+        assert!((a.min_us() - 1.0).abs() < 1e-9);
+        assert!((a.max_us() - 10.0).abs() < 1e-9);
+        // Percentiles come from the histogram and stay within [min, max].
+        assert!(a.p99_us() >= a.min_us() && a.p99_us() <= a.max_us());
+    }
+
+    #[test]
+    fn acc_merge_aggregates_runs() {
+        let mut a = Acc::default();
+        let mut b = Acc::default();
+        a.push(Cycles::new(100));
+        b.push(Cycles::new(50));
+        b.push(Cycles::new(450));
+        a.merge(&b);
+        assert_eq!(a.samples, 3);
+        assert_eq!(a.total, 600);
+        assert_eq!(a.min, 50);
+        assert_eq!(a.max, 450);
+        assert_eq!(a.hist.count(), 3);
+        // Merging into an empty Acc copies.
+        let mut c = Acc::default();
+        c.merge(&a);
+        assert_eq!(c.samples, 3);
+    }
+
+    #[test]
     fn total_is_sum_of_phases() {
         let mut h = HwMgrStats::default();
         h.entry.push(Cycles::new(660));
         h.exec.push(Cycles::new(6600));
         h.exit.push(Cycles::new(660));
         assert!((h.total_mean_us() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hwmgr_merge_combines_counters() {
+        let mut a = HwMgrStats::default();
+        let mut b = HwMgrStats::default();
+        a.invocations = 2;
+        a.entry.push(Cycles::new(660));
+        b.invocations = 3;
+        b.reconfigs = 1;
+        b.entry.push(Cycles::new(1320));
+        a.merge(&b);
+        assert_eq!(a.invocations, 5);
+        assert_eq!(a.reconfigs, 1);
+        assert_eq!(a.entry.samples, 2);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use mnv_arm::machine::Machine;
 use mnv_hal::abi::{HcError, HypercallArgs};
 use mnv_hal::{Cycles, IrqNum, VirtAddr, VmId};
+use mnv_trace::{TraceEvent, TrapKind};
 use mnv_ucos::env::{GuestEnv, GuestFault};
 
 use crate::hypercall::{self, touch_ktext};
@@ -55,11 +56,20 @@ impl<'a> VmEnv<'a> {
         self.m.sync_devices();
         let pending = self.m.gic.highest_pending()?;
         let t0 = self.m.now();
+        self.ks.tracer.emit(
+            t0,
+            TraceEvent::TrapEnter {
+                kind: TrapKind::Irq,
+            },
+        );
         // Exception entry + IRQ dispatch path + GIC ack.
         self.m.charge(mnv_arm::timing::EXC_ENTRY);
         touch_ktext(self.m, ktext::IRQ_ENTRY, 8);
         self.m.charge(mnv_arm::timing::MMIO); // ICCIAR read
-        let irq = self.m.gic.ack()?;
+        let Some(irq) = self.m.gic.ack() else {
+            self.ks.tracer.emit(self.m.now(), TraceEvent::TrapExit);
+            return None;
+        };
         debug_assert_eq!(irq, pending);
         // §III-B: "Mini-NOVA writes an End of Interrupt (EOI) value to the
         // GIC interface, then uses the vGIC to inject".
@@ -78,23 +88,32 @@ impl<'a> VmEnv<'a> {
         };
 
         let is_pl = irq.pl_index().is_some();
-        match owner {
-            Some(vm) if vm == self.vm => {
-                let pd = self.ks.pds.get_mut(&self.vm)?;
-                if !pd.vgic.is_enabled(irq) && irq != IrqNum::PCAP_DONE {
+        let result = match owner {
+            Some(vm) if vm == self.vm => match self.ks.pds.get_mut(&self.vm) {
+                None => None,
+                Some(pd) if !pd.vgic.is_enabled(irq) && irq != IrqNum::PCAP_DONE => {
                     pd.vgic.buffer(irq);
-                    return None;
+                    None
                 }
-                pd.vgic.note_injected(irq);
-                self.ks.stats.virqs_injected += 1;
-                // Charge the forced jump to the VM's IRQ entry.
-                self.m.charge(mnv_arm::timing::EXC_RETURN);
-                if is_pl {
-                    let dt = self.m.now() - t0;
-                    self.ks.stats.hwmgr.irq_entry.push(Cycles::new(dt.raw()));
+                Some(pd) => {
+                    pd.vgic.note_injected(irq);
+                    self.ks.stats.virqs_injected += 1;
+                    // Charge the forced jump to the VM's IRQ entry.
+                    self.m.charge(mnv_arm::timing::EXC_RETURN);
+                    if is_pl {
+                        let dt = self.m.now() - t0;
+                        self.ks.stats.hwmgr.irq_entry.push(Cycles::new(dt.raw()));
+                    }
+                    self.ks.tracer.emit(
+                        self.m.now(),
+                        TraceEvent::VirqInject {
+                            vm: self.vm.0,
+                            irq: irq.0,
+                        },
+                    );
+                    Some(irq.0)
                 }
-                Some(irq.0)
-            }
+            },
             Some(other) => {
                 // Owned by an inactive VM: buffer it; it is delivered when
                 // that VM is next scheduled (§IV-D). The delivery also
@@ -108,7 +127,9 @@ impl<'a> VmEnv<'a> {
                 None
             }
             None => None,
-        }
+        };
+        self.ks.tracer.emit(self.m.now(), TraceEvent::TrapExit);
+        result
     }
 }
 
@@ -219,7 +240,15 @@ impl GuestEnv for VmEnv<'_> {
             if pd.vtimer.poll(now).is_some() {
                 pd.vgic.note_injected(IrqNum(mnv_ucos::layout::TIMER_VIRQ));
                 self.ks.stats.virqs_injected += 1;
-                self.m.charge(mnv_arm::timing::EXC_ENTRY + mnv_arm::timing::EXC_RETURN);
+                self.m
+                    .charge(mnv_arm::timing::EXC_ENTRY + mnv_arm::timing::EXC_RETURN);
+                self.ks.tracer.emit(
+                    self.m.now(),
+                    TraceEvent::VirqInject {
+                        vm: self.vm.0,
+                        irq: mnv_ucos::layout::TIMER_VIRQ,
+                    },
+                );
                 return Some(mnv_ucos::layout::TIMER_VIRQ);
             }
         }

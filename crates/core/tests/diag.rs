@@ -1,8 +1,8 @@
 //! Diagnostic (temporary): entry-cost decomposition vs guest count.
+use mini_nova::{GuestKind, Kernel, KernelConfig, VmSpec};
 use mnv_hal::{Cycles, HwTaskId, Priority};
 use mnv_ucos::kernel::{Ucos, UcosConfig};
 use mnv_ucos::tasks::{AdpcmTask, GsmTask, THwTask};
-use mini_nova::{GuestKind, Kernel, KernelConfig, VmSpec};
 
 fn workload_guest(seed: u64, task_set: Vec<HwTaskId>) -> GuestKind {
     let mut os = Ucos::new(UcosConfig::default());
@@ -25,16 +25,29 @@ fn diag_entry_vs_guests() {
             let ids = k.register_paper_task_set();
             let qam: Vec<HwTaskId> = ids[6..].to_vec();
             for i in 0..n {
-                k.create_vm(VmSpec { name: "g", priority: Priority::GUEST, guest: workload_guest(seed + i as u64, qam.clone()) });
+                k.create_vm(VmSpec {
+                    name: "g",
+                    priority: Priority::GUEST,
+                    guest: workload_guest(seed + i as u64, qam.clone()),
+                });
             }
             k.run(Cycles::from_millis(40.0 * n as f64));
             k.state.stats.reset_hwmgr();
             k.run(Cycles::from_millis(400.0 * n as f64));
             let h = &k.state.stats.hwmgr;
-            te += h.entry.mean_us(); tx += h.exec.mean_us(); tq += h.exit.mean_us(); ti += h.irq_entry.mean_us();
+            te += h.entry.mean_us();
+            tx += h.exec.mean_us();
+            tq += h.exit.mean_us();
+            ti += h.irq_entry.mean_us();
             inv += h.invocations;
         }
-        println!("n={n}: inv={} entry={:.3}us exec={:.3}us exit={:.3}us irq={:.3}us",
-            inv, te/3.0, tx/3.0, tq/3.0, ti/3.0);
+        println!(
+            "n={n}: inv={} entry={:.3}us exec={:.3}us exit={:.3}us irq={:.3}us",
+            inv,
+            te / 3.0,
+            tx / 3.0,
+            tq / 3.0,
+            ti / 3.0
+        );
     }
 }

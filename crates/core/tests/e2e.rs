@@ -1,11 +1,11 @@
 //! End-to-end tests: paravirtualized uC/OS-II guests driving the full
 //! Mini-NOVA + PL stack.
 
+use mini_nova::{GuestKind, Kernel, KernelConfig, VmSpec};
 use mnv_fpga::pl::Pl;
 use mnv_hal::{Cycles, HwTaskId, Priority, VmId};
 use mnv_ucos::kernel::{Ucos, UcosConfig};
 use mnv_ucos::tasks::{AdpcmTask, GsmTask, THwTask};
-use mini_nova::{GuestKind, Kernel, KernelConfig, VmSpec};
 
 /// Build a kernel with the paper's task set registered.
 fn kernel() -> (Kernel, Vec<HwTaskId>) {
@@ -159,7 +159,13 @@ fn isolation_guest_cannot_read_other_vm_memory() {
         }
         fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
             // VA beyond the 16 MB guest window: must fault, not read VM2.
-            if ctx.env.read_u32(mnv_hal::VirtAddr::new(0x0110_0000)).is_err() { self.faults.set(self.faults.get() + 1) }
+            if ctx
+                .env
+                .read_u32(mnv_hal::VirtAddr::new(0x0110_0000))
+                .is_err()
+            {
+                self.faults.set(self.faults.get() + 1)
+            }
             TaskAction::Done
         }
     }
@@ -211,8 +217,8 @@ fn console_hypercall_reaches_pd_buffer() {
 
 #[test]
 fn ipc_between_two_guests() {
-    use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
     use mnv_hal::abi::{Hypercall, HypercallArgs};
+    use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
     use std::cell::Cell;
     use std::rc::Rc;
 
@@ -259,10 +265,7 @@ fn ipc_between_two_guests() {
     let mut os1 = Ucos::new(UcosConfig::default());
     os1.task_create(10, Box::new(Sender));
     let mut os2 = Ucos::new(UcosConfig::default());
-    os2.task_create(
-        10,
-        Box::new(Receiver { got: got.clone() }),
-    );
+    os2.task_create(10, Box::new(Receiver { got: got.clone() }));
     k.create_vm(VmSpec {
         name: "tx",
         priority: Priority::GUEST,

@@ -150,8 +150,11 @@ mod tests {
         let b: Vec<(f32, f32)> = (0..n).map(|i| ((i as f32 * 0.7).cos(), 0.0)).collect();
         let mut fa = a.clone();
         let mut fb = b.clone();
-        let mut fab: Vec<(f32, f32)> =
-            a.iter().zip(&b).map(|(x, y)| (x.0 + y.0, x.1 + y.1)).collect();
+        let mut fab: Vec<(f32, f32)> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x.0 + y.0, x.1 + y.1))
+            .collect();
         fft_inplace(&mut fa);
         fft_inplace(&mut fb);
         fft_inplace(&mut fab);

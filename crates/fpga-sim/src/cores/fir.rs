@@ -123,7 +123,9 @@ mod tests {
     #[test]
     fn attenuates_nyquist() {
         let core = FirCore::new(32);
-        let alt: Vec<f32> = (0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f32> = (0..256)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let out = fir_apply(core.kernel(), &alt);
         let tail_energy: f32 = out[64..].iter().map(|v| v * v).sum();
         assert!(tail_energy < 0.1, "Nyquist leakage {tail_energy}");

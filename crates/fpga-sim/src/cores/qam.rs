@@ -143,8 +143,7 @@ mod tests {
         for bps in [2u8, 4, 6] {
             let data: Vec<u8> = (0..=255).collect();
             let syms = qam_map(&data, bps);
-            let e: f32 =
-                syms.iter().map(|&(i, q)| i * i + q * q).sum::<f32>() / syms.len() as f32;
+            let e: f32 = syms.iter().map(|&(i, q)| i * i + q * q).sum::<f32>() / syms.len() as f32;
             assert!((e - 1.0).abs() < 0.05, "QAM-{}: E={e}", 1 << bps);
         }
     }
@@ -153,7 +152,9 @@ mod tests {
     fn map_demap_round_trip() {
         for bps in [2u8, 4, 6] {
             // Use a length divisible by 3 so QAM-64 packs whole bytes.
-            let data: Vec<u8> = (0..24u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+            let data: Vec<u8> = (0..24u8)
+                .map(|i| i.wrapping_mul(37).wrapping_add(11))
+                .collect();
             let syms = qam_map(&data, bps);
             let back = qam_demap(&syms, bps);
             assert_eq!(back, data, "QAM-{}", 1 << bps);

@@ -57,10 +57,22 @@ impl FabricConfig {
         };
         FabricConfig {
             prrs: vec![
-                PrrGeometry { id: 0, resources: large },
-                PrrGeometry { id: 1, resources: large },
-                PrrGeometry { id: 2, resources: small },
-                PrrGeometry { id: 3, resources: small },
+                PrrGeometry {
+                    id: 0,
+                    resources: large,
+                },
+                PrrGeometry {
+                    id: 1,
+                    resources: large,
+                },
+                PrrGeometry {
+                    id: 2,
+                    resources: small,
+                },
+                PrrGeometry {
+                    id: 3,
+                    resources: small,
+                },
             ],
         }
     }
@@ -103,10 +115,30 @@ mod tests {
 
     #[test]
     fn fits_is_componentwise() {
-        let cap = PrrResources { slices: 100, bram: 10, dsp: 5 };
-        assert!(cap.fits(&PrrResources { slices: 100, bram: 10, dsp: 5 }));
-        assert!(!cap.fits(&PrrResources { slices: 101, bram: 1, dsp: 1 }));
-        assert!(!cap.fits(&PrrResources { slices: 1, bram: 11, dsp: 1 }));
-        assert!(!cap.fits(&PrrResources { slices: 1, bram: 1, dsp: 6 }));
+        let cap = PrrResources {
+            slices: 100,
+            bram: 10,
+            dsp: 5,
+        };
+        assert!(cap.fits(&PrrResources {
+            slices: 100,
+            bram: 10,
+            dsp: 5
+        }));
+        assert!(!cap.fits(&PrrResources {
+            slices: 101,
+            bram: 1,
+            dsp: 1
+        }));
+        assert!(!cap.fits(&PrrResources {
+            slices: 1,
+            bram: 11,
+            dsp: 1
+        }));
+        assert!(!cap.fits(&PrrResources {
+            slices: 1,
+            bram: 1,
+            dsp: 6
+        }));
     }
 }

@@ -20,6 +20,7 @@ use std::any::Any;
 
 use mnv_arm::bus::{PeriphCtx, Peripheral};
 use mnv_arm::event::SimEvent;
+use mnv_trace::TraceEvent;
 
 use crate::bitstream::Bitstream;
 use crate::cores::make_core;
@@ -196,7 +197,7 @@ impl Pl {
         self.routes[prr as usize].map(IrqNum::pl)
     }
 
-    fn start_pcap(&mut self) {
+    fn start_pcap(&mut self, ctx: &mut PeriphCtx<'_>) {
         if self.pcap.status == pcap_status::BUSY {
             return;
         }
@@ -208,6 +209,13 @@ impl Pl {
         self.pcap.status = pcap_status::BUSY;
         self.pcap.err = 0;
         self.pcap.remaining = pcap_transfer_cycles(self.pcap.len as u64);
+        ctx.tracer.emit(
+            ctx.now,
+            TraceEvent::PcapDma {
+                bytes: self.pcap.len,
+                end: false,
+            },
+        );
     }
 
     fn finish_pcap(&mut self, ctx: &mut PeriphCtx<'_>) {
@@ -245,12 +253,27 @@ impl Pl {
                 self.pcap.status = pcap_status::DONE;
                 self.pcap.transfers += 1;
                 ctx.log.push(ctx.now, SimEvent::Marker("pcap-reconfigured"));
+                ctx.tracer.emit(
+                    ctx.now,
+                    TraceEvent::PrrReconfig {
+                        prr: target,
+                        task: bs.core.encode(),
+                    },
+                );
                 if self.pcap.irq_en {
                     ctx.gic.raise(IrqNum::PCAP_DONE);
-                    ctx.log.push(ctx.now, SimEvent::IrqRaised(IrqNum::PCAP_DONE));
+                    ctx.log
+                        .push(ctx.now, SimEvent::IrqRaised(IrqNum::PCAP_DONE));
                 }
             }
         }
+        ctx.tracer.emit(
+            ctx.now,
+            TraceEvent::PcapDma {
+                bytes: self.pcap.len,
+                end: true,
+            },
+        );
     }
 
     fn ctrl_read(&mut self, off: u64) -> u32 {
@@ -281,9 +304,9 @@ impl Pl {
         }
     }
 
-    fn ctrl_write(&mut self, off: u64, val: u32) {
+    fn ctrl_write(&mut self, off: u64, val: u32, ctx: &mut PeriphCtx<'_>) {
         match off {
-            plregs::PCAP_CTRL if val & 1 != 0 => self.start_pcap(),
+            plregs::PCAP_CTRL if val & 1 != 0 => self.start_pcap(ctx),
             plregs::PCAP_SRC => self.pcap.src = val,
             plregs::PCAP_LEN => self.pcap.len = val,
             plregs::PCAP_TARGET => self.pcap.target = val,
@@ -305,8 +328,11 @@ impl Pl {
                     if val == 0 {
                         self.hwmmu.clear_window(prr);
                     } else {
-                        self.hwmmu
-                            .load_window(prr, PhysAddr::new(self.base_latch as u64), val as u64);
+                        self.hwmmu.load_window(
+                            prr,
+                            PhysAddr::new(self.base_latch as u64),
+                            val as u64,
+                        );
                     }
                 }
             }
@@ -344,7 +370,7 @@ impl Peripheral for Pl {
     fn write32(&mut self, off: u64, val: u32, ctx: &mut PeriphCtx<'_>) {
         let page = off / PAGE;
         if page == 0 {
-            self.ctrl_write(off, val);
+            self.ctrl_write(off, val, ctx);
             ctx.log.push(
                 ctx.now,
                 SimEvent::MmioWrite {
@@ -422,9 +448,11 @@ mod tests {
     }
 
     fn pcap_load(m: &mut Machine, src: PhysAddr, len: u32, target: u8) {
-        m.phys_write_u32(reg(plregs::PCAP_SRC), src.raw() as u32).unwrap();
+        m.phys_write_u32(reg(plregs::PCAP_SRC), src.raw() as u32)
+            .unwrap();
         m.phys_write_u32(reg(plregs::PCAP_LEN), len).unwrap();
-        m.phys_write_u32(reg(plregs::PCAP_TARGET), target as u32).unwrap();
+        m.phys_write_u32(reg(plregs::PCAP_TARGET), target as u32)
+            .unwrap();
         m.phys_write_u32(reg(plregs::PCAP_CTRL), 1).unwrap();
     }
 
@@ -459,7 +487,10 @@ mod tests {
     fn pcap_latency_scales_with_bitstream_size() {
         let (mut m, lib) = machine_with_pl();
         let (_, src_big, len_big) = lib[5]; // FFT-8192
-        let qam = lib.iter().find(|(c, _, _)| matches!(c, CoreKind::Qam { bits_per_symbol: 2 })).unwrap();
+        let qam = lib
+            .iter()
+            .find(|(c, _, _)| matches!(c, CoreKind::Qam { bits_per_symbol: 2 }))
+            .unwrap();
         let t0 = m.now();
         pcap_load(&mut m, src_big, len_big, 0);
         pcap_wait(&mut m);
@@ -531,11 +562,13 @@ mod tests {
         // Program the hwMMU window for PRR1 (data section at 0x80_0000).
         let section = PhysAddr::new(0x80_0000);
         m.phys_write_u32(reg(plregs::HWMMU_SEL), 1).unwrap();
-        m.phys_write_u32(reg(plregs::HWMMU_BASE), section.raw() as u32).unwrap();
+        m.phys_write_u32(reg(plregs::HWMMU_BASE), section.raw() as u32)
+            .unwrap();
         m.phys_write_u32(reg(plregs::HWMMU_LEN), 0x10000).unwrap();
 
         // Route PRR1's IRQ to PL line 2 and enable at the GIC.
-        m.phys_write_u32(reg(plregs::IRQ_ROUTE), (1 << 8) | 2).unwrap();
+        m.phys_write_u32(reg(plregs::IRQ_ROUTE), (1 << 8) | 2)
+            .unwrap();
         m.gic.enable(IrqNum::pl(2));
 
         // Input data inside the section.
@@ -544,11 +577,19 @@ mod tests {
 
         // Program the PRR register group through its own page.
         let page = Pl::prr_page(1);
-        m.phys_write_u32(page + 4 * regs::SRC_ADDR as u64, section.raw() as u32).unwrap();
-        m.phys_write_u32(page + 4 * regs::SRC_LEN as u64, 32).unwrap();
-        m.phys_write_u32(page + 4 * regs::DST_ADDR as u64, (section.raw() + 0x1000) as u32).unwrap();
-        m.phys_write_u32(page + 4 * regs::DST_LEN as u64, 0x1000).unwrap();
-        m.phys_write_u32(page + 4 * regs::CTRL as u64, ctrl::START | ctrl::IRQ_EN).unwrap();
+        m.phys_write_u32(page + 4 * regs::SRC_ADDR as u64, section.raw() as u32)
+            .unwrap();
+        m.phys_write_u32(page + 4 * regs::SRC_LEN as u64, 32)
+            .unwrap();
+        m.phys_write_u32(
+            page + 4 * regs::DST_ADDR as u64,
+            (section.raw() + 0x1000) as u32,
+        )
+        .unwrap();
+        m.phys_write_u32(page + 4 * regs::DST_LEN as u64, 0x1000)
+            .unwrap();
+        m.phys_write_u32(page + 4 * regs::CTRL as u64, ctrl::START | ctrl::IRQ_EN)
+            .unwrap();
 
         // Let it run.
         for _ in 0..1000 {
@@ -576,14 +617,13 @@ mod tests {
     #[test]
     fn irq_route_readback_and_clear() {
         let (mut m, _) = machine_with_pl();
-        m.phys_write_u32(reg(plregs::IRQ_ROUTE), (2 << 8) | 7).unwrap();
-        assert_eq!(
-            m.phys_read_u32(reg(plregs::IRQ_ROUTE_RD + 8)).unwrap(),
-            7
-        );
+        m.phys_write_u32(reg(plregs::IRQ_ROUTE), (2 << 8) | 7)
+            .unwrap();
+        assert_eq!(m.phys_read_u32(reg(plregs::IRQ_ROUTE_RD + 8)).unwrap(), 7);
         let pl: &Pl = m.peripheral::<Pl>().unwrap();
         assert_eq!(pl.route_of(2), Some(IrqNum::pl(7)));
-        m.phys_write_u32(reg(plregs::IRQ_ROUTE), (2 << 8) | 0xFF).unwrap();
+        m.phys_write_u32(reg(plregs::IRQ_ROUTE), (2 << 8) | 0xFF)
+            .unwrap();
         assert_eq!(
             m.phys_read_u32(reg(plregs::IRQ_ROUTE_RD + 8)).unwrap(),
             0xFF
@@ -601,11 +641,16 @@ mod tests {
         pcap_wait(&mut m);
         // No hwMMU window programmed: starting must violate.
         let page = Pl::prr_page(0);
-        m.phys_write_u32(page + 4 * regs::SRC_ADDR as u64, 0x10_0000).unwrap();
-        m.phys_write_u32(page + 4 * regs::SRC_LEN as u64, 16).unwrap();
-        m.phys_write_u32(page + 4 * regs::DST_ADDR as u64, 0x10_1000).unwrap();
-        m.phys_write_u32(page + 4 * regs::DST_LEN as u64, 4096).unwrap();
-        m.phys_write_u32(page + 4 * regs::CTRL as u64, ctrl::START).unwrap();
+        m.phys_write_u32(page + 4 * regs::SRC_ADDR as u64, 0x10_0000)
+            .unwrap();
+        m.phys_write_u32(page + 4 * regs::SRC_LEN as u64, 16)
+            .unwrap();
+        m.phys_write_u32(page + 4 * regs::DST_ADDR as u64, 0x10_1000)
+            .unwrap();
+        m.phys_write_u32(page + 4 * regs::DST_LEN as u64, 4096)
+            .unwrap();
+        m.phys_write_u32(page + 4 * regs::CTRL as u64, ctrl::START)
+            .unwrap();
         assert_eq!(
             m.phys_read_u32(page + 4 * regs::STATUS as u64).unwrap(),
             status::ERROR

@@ -16,10 +16,10 @@
 
 use mnv_hal::{IrqNum, PhysAddr};
 
-use mnv_arm::bus::PeriphCtx;
 use crate::cores::IpCore;
 use crate::fabric::PrrGeometry;
 use crate::hwmmu::HwMmu;
+use mnv_arm::bus::PeriphCtx;
 
 /// Number of 32-bit registers in a PRR register group.
 pub const REG_COUNT: usize = 16;
@@ -370,6 +370,7 @@ mod tests {
     fn run_to_completion(prr: &mut Prr, mem: &mut PhysMemory) -> u64 {
         let mut gic = Gic::new();
         let mut log = EventLog::default();
+        let tracer = mnv_trace::Tracer::disabled();
         let mut cycles = 0u64;
         for _ in 0..1_000_000 {
             let mut ctx = PeriphCtx {
@@ -377,6 +378,7 @@ mod tests {
                 gic: &mut gic,
                 now: Cycles::new(cycles),
                 log: &mut log,
+                tracer: &tracer,
             };
             cycles += 100;
             if prr.advance(100, &mut ctx) {
@@ -414,14 +416,18 @@ mod tests {
         prr.reg_write(regs::SRC_LEN as u64 * 4, 16, &mut hwmmu);
         prr.reg_write(regs::DST_ADDR as u64 * 4, 0x10_1000, &mut hwmmu);
         prr.reg_write(regs::DST_LEN as u64 * 4, 4096, &mut hwmmu);
-        prr.reg_write(regs::CTRL as u64 * 4, ctrl::START | ctrl::IRQ_EN, &mut hwmmu);
+        prr.reg_write(
+            regs::CTRL as u64 * 4,
+            ctrl::START | ctrl::IRQ_EN,
+            &mut hwmmu,
+        );
         assert_eq!(prr.reg_read(regs::STATUS as u64 * 4), status::BUSY);
 
         run_to_completion(&mut prr, &mut mem);
         assert_eq!(prr.reg_read(regs::STATUS as u64 * 4), status::DONE);
         let result_len = prr.reg_read(regs::RESULT_LEN as u64 * 4) as usize;
         assert_eq!(result_len, 64 * 8); // 16 bytes -> 64 QPSK symbols
-        // Verify against the functional model directly.
+                                        // Verify against the functional model directly.
         let expected = crate::cores::qam::qam_map(&input, 2);
         let mut got = vec![0u8; result_len];
         mem.read(PhysAddr::new(0x10_1000), &mut got).unwrap();
@@ -434,7 +440,8 @@ mod tests {
         let mut prr = Prr::new(geometry());
         prr.load_core(make_core(CoreKind::Qam { bits_per_symbol: 2 }));
         let mut mem = PhysMemory::new();
-        mem.write_u32(PhysAddr::new(0x20_0000), 0x5555_5555).unwrap();
+        mem.write_u32(PhysAddr::new(0x20_0000), 0x5555_5555)
+            .unwrap();
 
         let mut hwmmu = HwMmu::new(1);
         hwmmu.load_window(0, PhysAddr::new(0x10_0000), 0x1000);
@@ -488,10 +495,7 @@ mod tests {
         prr.reg_write(regs::SRC_ADDR as u64 * 4, 0xDEAD, &mut hwmmu);
         prr.load_core(make_core(CoreKind::Fft { log2_points: 8 }));
         assert_eq!(prr.reg_read(regs::SRC_ADDR as u64 * 4), 0);
-        assert_eq!(
-            prr.loaded_kind(),
-            Some(CoreKind::Fft { log2_points: 8 })
-        );
+        assert_eq!(prr.loaded_kind(), Some(CoreKind::Fft { log2_points: 8 }));
         assert_eq!(
             prr.reg_read(regs::CORE_KIND as u64 * 4),
             CoreKind::Fft { log2_points: 8 }.encode()

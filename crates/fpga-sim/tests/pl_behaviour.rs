@@ -27,9 +27,11 @@ fn load_bitstream(m: &mut Machine, core: CoreKind, at: u64) -> (PhysAddr, u32) {
 }
 
 fn pcap(m: &mut Machine, src: PhysAddr, len: u32, target: u8) -> u32 {
-    m.phys_write_u32(reg(plregs::PCAP_SRC), src.raw() as u32).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_SRC), src.raw() as u32)
+        .unwrap();
     m.phys_write_u32(reg(plregs::PCAP_LEN), len).unwrap();
-    m.phys_write_u32(reg(plregs::PCAP_TARGET), target as u32).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_TARGET), target as u32)
+        .unwrap();
     m.phys_write_u32(reg(plregs::PCAP_CTRL), 1).unwrap();
     for _ in 0..100_000 {
         let s = m.phys_read_u32(reg(plregs::PCAP_STATUS)).unwrap();
@@ -46,7 +48,11 @@ fn pcap(m: &mut Machine, src: PhysAddr, len: u32, target: u8) -> u32 {
 fn fir_core_loads_and_filters() {
     let mut m = machine();
     let (src, len) = load_bitstream(&mut m, CoreKind::Fir { taps: 8 }, 0x100_0000);
-    assert_eq!(pcap(&mut m, src, len, 2), pcap_status::DONE, "FIR fits a small PRR");
+    assert_eq!(
+        pcap(&mut m, src, len, 2),
+        pcap_status::DONE,
+        "FIR fits a small PRR"
+    );
 
     // Run it on a DC signal; the output must settle at the same level
     // (unit DC gain).
@@ -56,14 +62,23 @@ fn fir_core_loads_and_filters() {
     let data = PhysAddr::new(0x20_0000);
     m.load_bytes(data, &samples).unwrap();
     m.phys_write_u32(reg(plregs::HWMMU_SEL), 2).unwrap();
-    m.phys_write_u32(reg(plregs::HWMMU_BASE), data.raw() as u32).unwrap();
+    m.phys_write_u32(reg(plregs::HWMMU_BASE), data.raw() as u32)
+        .unwrap();
     m.phys_write_u32(reg(plregs::HWMMU_LEN), 0x10000).unwrap();
     let page = Pl::prr_page(2);
-    m.phys_write_u32(page + 4 * regs::SRC_ADDR as u64, data.raw() as u32).unwrap();
-    m.phys_write_u32(page + 4 * regs::SRC_LEN as u64, samples.len() as u32).unwrap();
-    m.phys_write_u32(page + 4 * regs::DST_ADDR as u64, (data.raw() + 0x1000) as u32).unwrap();
-    m.phys_write_u32(page + 4 * regs::DST_LEN as u64, 0x1000).unwrap();
-    m.phys_write_u32(page + 4 * regs::CTRL as u64, ctrl::START).unwrap();
+    m.phys_write_u32(page + 4 * regs::SRC_ADDR as u64, data.raw() as u32)
+        .unwrap();
+    m.phys_write_u32(page + 4 * regs::SRC_LEN as u64, samples.len() as u32)
+        .unwrap();
+    m.phys_write_u32(
+        page + 4 * regs::DST_ADDR as u64,
+        (data.raw() + 0x1000) as u32,
+    )
+    .unwrap();
+    m.phys_write_u32(page + 4 * regs::DST_LEN as u64, 0x1000)
+        .unwrap();
+    m.phys_write_u32(page + 4 * regs::CTRL as u64, ctrl::START)
+        .unwrap();
     for _ in 0..10_000 {
         if m.phys_read_u32(page + 4 * regs::STATUS as u64).unwrap() == status::DONE {
             break;
@@ -87,7 +102,11 @@ fn bitstream_larger_than_prr_is_rejected() {
         fabric: FabricConfig {
             prrs: vec![PrrGeometry {
                 id: 0,
-                resources: PrrResources { slices: 10, bram: 1, dsp: 1 },
+                resources: PrrResources {
+                    slices: 10,
+                    bram: 1,
+                    dsp: 1,
+                },
             }],
         },
     })));
@@ -106,7 +125,8 @@ fn bitstream_larger_than_prr_is_rejected() {
 fn pcap_start_while_busy_is_ignored() {
     let mut m = machine();
     let (src, len) = load_bitstream(&mut m, CoreKind::Fft { log2_points: 13 }, 0x100_0000);
-    m.phys_write_u32(reg(plregs::PCAP_SRC), src.raw() as u32).unwrap();
+    m.phys_write_u32(reg(plregs::PCAP_SRC), src.raw() as u32)
+        .unwrap();
     m.phys_write_u32(reg(plregs::PCAP_LEN), len).unwrap();
     m.phys_write_u32(reg(plregs::PCAP_TARGET), 0).unwrap();
     m.phys_write_u32(reg(plregs::PCAP_CTRL), 1).unwrap();
@@ -142,7 +162,8 @@ fn reconfiguring_a_region_preserves_its_irq_route() {
     );
     // But the freshly configured PRR must have clean registers...
     assert_eq!(
-        m.phys_read_u32(Pl::prr_page(0) + 4 * regs::SRC_ADDR as u64).unwrap(),
+        m.phys_read_u32(Pl::prr_page(0) + 4 * regs::SRC_ADDR as u64)
+            .unwrap(),
         0
     );
     // ...while its irq_line wiring reflects the route.

@@ -208,9 +208,6 @@ mod tests {
     #[test]
     fn display_formats_hex() {
         assert_eq!(format!("{}", PhysAddr::new(0xE000_1000)), "0xe0001000");
-        assert_eq!(
-            format!("{:?}", VirtAddr::new(0x10)),
-            "VirtAddr(0x00000010)"
-        );
+        assert_eq!(format!("{:?}", VirtAddr::new(0x10)), "VirtAddr(0x00000010)");
     }
 }

@@ -17,7 +17,10 @@ pub enum HalError {
     /// A physical access straddled the end of its backing region.
     OutOfBounds { addr: PhysAddr, len: usize },
     /// An MMIO device rejected the access (wrong size, reserved register…).
-    DeviceRejected { addr: PhysAddr, reason: &'static str },
+    DeviceRejected {
+        addr: PhysAddr,
+        reason: &'static str,
+    },
     /// A virtual address could not be handled by a model helper that
     /// required a valid mapping (distinct from an architectural fault).
     UnmappedVirtual(VirtAddr),
@@ -59,7 +62,10 @@ mod tests {
         assert_eq!(e.to_string(), "unmapped physical address 0xdead0000");
         let e = HalError::ResourceExhausted("PL IRQ lines");
         assert_eq!(e.to_string(), "resource exhausted: PL IRQ lines");
-        let e = HalError::OutOfBounds { addr: PhysAddr::new(0x10), len: 8 };
+        let e = HalError::OutOfBounds {
+            addr: PhysAddr::new(0x10),
+            len: 8,
+        };
         assert!(e.to_string().contains("8 bytes"));
     }
 

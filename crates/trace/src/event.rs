@@ -1,0 +1,165 @@
+//! The trace event taxonomy.
+//!
+//! One variant per kernel mechanism the paper's evaluation measures: traps,
+//! hypercalls, world switches, scheduler decisions, virtual-interrupt
+//! injection, the Hardware Task Manager's three phases, PCAP transfers and
+//! PRR reconfigurations, TLB maintenance and fault forwarding.
+//!
+//! Events are `Copy` and carry no owned data — recording one is a couple of
+//! stores into a preallocated ring, never an allocation or a format.
+
+use core::fmt;
+
+/// Exception classes as seen by the tracer (mirrors the simulator's
+/// `ExceptionKind` without depending on it — the dependency arrow points
+/// from the simulator to this crate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// Reset entry.
+    Reset,
+    /// Undefined instruction (trap-and-emulate, lazy VFP).
+    Undefined,
+    /// Supervisor call — the hypercall trap.
+    Svc,
+    /// Prefetch abort.
+    PrefetchAbort,
+    /// Data abort.
+    DataAbort,
+    /// Physical interrupt.
+    Irq,
+    /// Fast interrupt.
+    Fiq,
+}
+
+impl TrapKind {
+    /// Short label used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrapKind::Reset => "trap:reset",
+            TrapKind::Undefined => "trap:und",
+            TrapKind::Svc => "trap:svc",
+            TrapKind::PrefetchAbort => "trap:pabt",
+            TrapKind::DataAbort => "trap:dabt",
+            TrapKind::Irq => "trap:irq",
+            TrapKind::Fiq => "trap:fiq",
+        }
+    }
+}
+
+/// The three measured phases of the Hardware Task Manager invocation
+/// protocol (the Table III rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MgrPhase {
+    /// Caller save + switch into the manager's memory space.
+    Entry,
+    /// The manager's own request handling.
+    Exec,
+    /// Switch back into the interrupted guest.
+    Exit,
+}
+
+impl MgrPhase {
+    /// Short label used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            MgrPhase::Entry => "mgr:entry",
+            MgrPhase::Exec => "mgr:exec",
+            MgrPhase::Exit => "mgr:exit",
+        }
+    }
+}
+
+/// One trace event. VM ids are raw `u16`s (0 means "the kernel itself").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An exception was taken (span begin on the kernel track).
+    TrapEnter {
+        /// Exception class.
+        kind: TrapKind,
+    },
+    /// Return from the innermost open trap (span end, paired by the
+    /// exporters with the most recent unmatched [`TraceEvent::TrapEnter`]).
+    TrapExit,
+    /// A hypercall was dispatched.
+    Hypercall {
+        /// The SVC immediate (see `mnv_hal::abi::Hypercall`).
+        nr: u8,
+    },
+    /// World switch. `from`/`to` of 0 denote the kernel, so a switch into a
+    /// VM is `{from: 0, to: vm}` and a switch out is `{from: vm, to: 0}`.
+    VmSwitch {
+        /// Previous owner of the CPU.
+        from: u16,
+        /// New owner of the CPU.
+        to: u16,
+    },
+    /// The scheduler picked a VM to dispatch.
+    SchedPick {
+        /// The chosen VM.
+        vm: u16,
+    },
+    /// The vGIC injected a virtual interrupt.
+    VirqInject {
+        /// Receiving VM.
+        vm: u16,
+        /// Interrupt number.
+        irq: u16,
+    },
+    /// A Hardware-Task-Manager phase boundary. Each phase emits a begin
+    /// (`end: false`) and an end (`end: true`) event.
+    HwMgrPhase {
+        /// Which phase.
+        phase: MgrPhase,
+        /// False at the phase start, true at its completion.
+        end: bool,
+    },
+    /// A PCAP bitstream transfer started (`end: false`) or completed
+    /// (`end: true`).
+    PcapDma {
+        /// Transfer length in bytes.
+        bytes: u32,
+        /// False at launch, true at completion.
+        end: bool,
+    },
+    /// A PRR was reconfigured with a new core.
+    PrrReconfig {
+        /// The region.
+        prr: u8,
+        /// Compact core code: `0x100 | log2(points)` for FFT cores,
+        /// `0x200 | bits_per_symbol` for QAM cores.
+        task: u32,
+    },
+    /// TLB maintenance was issued (any of TLBIALL/TLBIASID/TLBIMVA).
+    TlbFlush,
+    /// A guest fault was forwarded to the guest's handler (or killed it).
+    FaultForwarded {
+        /// The faulting VM.
+        vm: u16,
+    },
+}
+
+impl TraceEvent {
+    /// Stable name of the event's *kind* (ignoring payload), used by the
+    /// summary exporter and by tests counting distinct event types.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::TrapEnter { .. } => "TrapEnter",
+            TraceEvent::TrapExit => "TrapExit",
+            TraceEvent::Hypercall { .. } => "Hypercall",
+            TraceEvent::VmSwitch { .. } => "VmSwitch",
+            TraceEvent::SchedPick { .. } => "SchedPick",
+            TraceEvent::VirqInject { .. } => "VirqInject",
+            TraceEvent::HwMgrPhase { .. } => "HwMgrPhase",
+            TraceEvent::PcapDma { .. } => "PcapDma",
+            TraceEvent::PrrReconfig { .. } => "PrrReconfig",
+            TraceEvent::TlbFlush => "TlbFlush",
+            TraceEvent::FaultForwarded { .. } => "FaultForwarded",
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}

@@ -1,0 +1,285 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Sixty-four power-of-two buckets cover the full `u64` range: a sample `v`
+//! lands in bucket `⌈log2(v+1)⌉`, so bucket `b` holds `[2^(b-1), 2^b)`.
+//! Recording is one increment; percentiles interpolate linearly inside the
+//! winning bucket and are clamped to the observed `[min, max]`, which keeps
+//! p50/p90/p99 honest even for tight distributions.
+
+use mnv_hal::cycles::CPU_HZ;
+
+/// Number of buckets (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size log-bucketed histogram of cycle samples.
+#[derive(Clone, Copy, Debug)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Lower bound (inclusive) of bucket `b`.
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Upper bound (exclusive, saturating) of bucket `b`.
+fn bucket_hi(b: usize) -> u64 {
+    if b >= 63 {
+        u64::MAX
+    } else {
+        1u64 << b
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) estimated by linear interpolation
+    /// inside the winning log bucket, clamped to the observed range.
+    /// Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                let lo = bucket_lo(b) as f64;
+                let hi = bucket_hi(b) as f64;
+                let frac = (target - cum) as f64 / n as f64;
+                let est = lo + (hi - lo) * frac;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            cum += n;
+        }
+        self.max as f64
+    }
+
+    /// Median in cycles.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile in cycles.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile in cycles.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 50th percentile in microseconds at 660 MHz.
+    pub fn p50_us(&self) -> f64 {
+        self.p50() * 1e6 / CPU_HZ as f64
+    }
+
+    /// 90th percentile in microseconds.
+    pub fn p90_us(&self) -> f64 {
+        self.p90() * 1e6 / CPU_HZ as f64
+    }
+
+    /// 99th percentile in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.p99() * 1e6 / CPU_HZ as f64
+    }
+
+    /// Maximum in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max as f64 * 1e6 / CPU_HZ as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn empty_hist_is_zero() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Hist::new();
+        h.record(1000);
+        assert_eq!(h.p50(), 1000.0);
+        assert_eq!(h.p99(), 1000.0);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn percentiles_order_and_bounds() {
+        let mut h = Hist::new();
+        // 99 fast samples and one huge outlier.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // The p50/p90 sit with the bulk; the p99 reaches toward the tail.
+        assert!(p50 <= 128.0, "{p50}");
+        assert!(p99 >= 100.0);
+        assert!(p99 <= 1_000_000.0);
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - (99.0 * 100.0 + 1e6) / 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_distribution_p50_is_midrange() {
+        let mut h = Hist::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        // Log-bucketed estimate: must land within a factor-2 band of 512.
+        assert!((256.0..=1024.0).contains(&p50), "{p50}");
+        let p99 = h.p99();
+        assert!((900.0..=1024.0).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for v in [10u64, 20, 30] {
+            a.record(v);
+        }
+        for v in [5u64, 4000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 4000);
+        assert_eq!(a.sum(), 10 + 20 + 30 + 5 + 4000);
+        // Merging into an empty hist copies.
+        let mut c = Hist::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 5);
+    }
+
+    #[test]
+    fn us_conversion() {
+        let mut h = Hist::new();
+        h.record(660); // one microsecond at 660 MHz
+        assert!((h.p99_us() - 1.0).abs() < 1e-9);
+        assert!((h.max_us() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Track assignment and span begin/end pairing.
+//!
+//! Both exporters see the same view of a trace: events are placed on tracks
+//! (kernel, HW Manager, PCAP, one per VM), begin/end pairs are matched with
+//! a per-track stack, unmatched ends are dropped and unclosed begins are
+//! closed at the trace's final timestamp — so a ring that wrapped mid-span
+//! still renders as a well-formed timeline.
+
+use crate::event::TraceEvent;
+use mnv_hal::Cycles;
+
+/// Logical track (maps to a Chrome-trace "thread").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// Kernel entry/exit paths, scheduler, TLB maintenance.
+    Kernel,
+    /// The Hardware Task Manager service.
+    HwMgr,
+    /// The PCAP reconfiguration port.
+    Pcap,
+    /// One guest VM.
+    Vm(u16),
+}
+
+impl Track {
+    /// Chrome-trace thread id.
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Kernel => 1,
+            Track::HwMgr => 2,
+            Track::Pcap => 3,
+            Track::Vm(v) => 10 + v as u32,
+        }
+    }
+
+    /// Human-readable thread name.
+    pub fn name(self) -> String {
+        match self {
+            Track::Kernel => "kernel".into(),
+            Track::HwMgr => "hw-manager".into(),
+            Track::Pcap => "pcap".into(),
+            Track::Vm(v) => format!("vm{v}"),
+        }
+    }
+}
+
+/// A completed (paired) span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Track the span lives on.
+    pub track: Track,
+    /// Span name.
+    pub name: String,
+    /// Begin timestamp.
+    pub start: Cycles,
+    /// End timestamp.
+    pub end: Cycles,
+}
+
+impl Span {
+    /// Span duration in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end.raw().saturating_sub(self.start.raw())
+    }
+}
+
+/// An instantaneous event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instant {
+    /// Track the marker lives on.
+    pub track: Track,
+    /// Marker name.
+    pub name: String,
+    /// Timestamp.
+    pub ts: Cycles,
+}
+
+/// The paired view of a trace.
+#[derive(Clone, Debug, Default)]
+pub struct PairedTrace {
+    /// Completed spans (begin/end matched, unclosed begins force-closed at
+    /// the trace end, unmatched ends dropped).
+    pub spans: Vec<Span>,
+    /// Instant markers.
+    pub instants: Vec<Instant>,
+}
+
+struct Open {
+    track: Track,
+    name: String,
+    start: Cycles,
+}
+
+/// Pair a raw oldest-first event stream into spans and instants.
+pub fn pair(events: &[(Cycles, TraceEvent)]) -> PairedTrace {
+    let mut out = PairedTrace::default();
+    // Per-track begin stacks; tracks are few, a linear scan is fine.
+    let mut open: Vec<Open> = Vec::new();
+    let mut last_ts = Cycles::ZERO;
+    // The VM whose "running" span is currently open (VmSwitch pairing).
+    let mut running: Option<u16> = None;
+
+    let begin = |open: &mut Vec<Open>, track: Track, name: String, ts: Cycles| {
+        open.push(Open {
+            track,
+            name,
+            start: ts,
+        });
+    };
+    let end = |open: &mut Vec<Open>, out: &mut PairedTrace, track: Track, ts: Cycles| {
+        // Innermost unmatched begin on this track.
+        if let Some(i) = open.iter().rposition(|o| o.track == track) {
+            let o = open.remove(i);
+            out.spans.push(Span {
+                track: o.track,
+                name: o.name,
+                start: o.start,
+                end: ts,
+            });
+        }
+        // No matching begin: the begin was lost to wraparound — drop.
+    };
+
+    for &(ts, ev) in events {
+        last_ts = last_ts.max(ts);
+        match ev {
+            TraceEvent::TrapEnter { kind } => {
+                begin(&mut open, Track::Kernel, kind.name().to_string(), ts)
+            }
+            TraceEvent::TrapExit => end(&mut open, &mut out, Track::Kernel, ts),
+            TraceEvent::Hypercall { nr } => out.instants.push(Instant {
+                track: Track::Kernel,
+                name: hypercall_name(nr),
+                ts,
+            }),
+            TraceEvent::VmSwitch { from, to } => {
+                out.instants.push(Instant {
+                    track: Track::Kernel,
+                    name: format!("switch {from}->{to}"),
+                    ts,
+                });
+                if let Some(v) = running.take().filter(|&v| v == from && v != 0) {
+                    end(&mut open, &mut out, Track::Vm(v), ts);
+                }
+                if to != 0 {
+                    begin(&mut open, Track::Vm(to), "running".into(), ts);
+                    running = Some(to);
+                }
+            }
+            TraceEvent::SchedPick { vm } => out.instants.push(Instant {
+                track: Track::Kernel,
+                name: format!("pick vm{vm}"),
+                ts,
+            }),
+            TraceEvent::VirqInject { vm, irq } => out.instants.push(Instant {
+                track: Track::Vm(vm),
+                name: format!("virq {irq}"),
+                ts,
+            }),
+            TraceEvent::HwMgrPhase { phase, end: e } => {
+                if e {
+                    end(&mut open, &mut out, Track::HwMgr, ts);
+                } else {
+                    begin(&mut open, Track::HwMgr, phase.name().to_string(), ts);
+                }
+            }
+            TraceEvent::PcapDma { bytes, end: e } => {
+                if e {
+                    end(&mut open, &mut out, Track::Pcap, ts);
+                } else {
+                    begin(&mut open, Track::Pcap, format!("pcap-dma {bytes}B"), ts);
+                }
+            }
+            TraceEvent::PrrReconfig { prr, task } => out.instants.push(Instant {
+                track: Track::Pcap,
+                name: format!("reconfig prr{prr} core:{task:#x}"),
+                ts,
+            }),
+            TraceEvent::TlbFlush => out.instants.push(Instant {
+                track: Track::Kernel,
+                name: "tlb-flush".into(),
+                ts,
+            }),
+            TraceEvent::FaultForwarded { vm } => out.instants.push(Instant {
+                track: Track::Vm(vm),
+                name: "fault-forwarded".into(),
+                ts,
+            }),
+        }
+    }
+
+    // Close whatever is still open (ring wrapped past the end events, or
+    // the trace was snapshotted mid-span).
+    for o in open {
+        out.spans.push(Span {
+            track: o.track,
+            name: o.name,
+            start: o.start,
+            end: last_ts.max(o.start),
+        });
+    }
+    out
+}
+
+/// The exporter-facing hypercall label.
+fn hypercall_name(nr: u8) -> String {
+    match mnv_hal::abi::Hypercall::from_nr(nr) {
+        Some(hc) => format!("hc:{hc:?}"),
+        None => format!("hc:#{nr}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MgrPhase, TraceEvent as E, TrapKind};
+
+    #[test]
+    fn trap_spans_nest_and_pair() {
+        let events = vec![
+            (
+                Cycles::new(10),
+                E::TrapEnter {
+                    kind: TrapKind::Svc,
+                },
+            ),
+            (
+                Cycles::new(20),
+                E::TrapEnter {
+                    kind: TrapKind::Irq,
+                },
+            ),
+            (Cycles::new(30), E::TrapExit),
+            (Cycles::new(40), E::TrapExit),
+        ];
+        let p = pair(&events);
+        assert_eq!(p.spans.len(), 2);
+        // Inner IRQ span closes first.
+        assert_eq!(p.spans[0].name, "trap:irq");
+        assert_eq!(p.spans[0].cycles(), 10);
+        assert_eq!(p.spans[1].name, "trap:svc");
+        assert_eq!(p.spans[1].cycles(), 30);
+    }
+
+    #[test]
+    fn unmatched_end_dropped_unclosed_begin_closed() {
+        let events = vec![
+            // An end whose begin was lost to wraparound.
+            (Cycles::new(5), E::TrapExit),
+            // A begin that never ends.
+            (
+                Cycles::new(10),
+                E::HwMgrPhase {
+                    phase: MgrPhase::Exec,
+                    end: false,
+                },
+            ),
+            (Cycles::new(90), E::TlbFlush),
+        ];
+        let p = pair(&events);
+        assert_eq!(p.spans.len(), 1);
+        assert_eq!(p.spans[0].name, "mgr:exec");
+        assert_eq!(p.spans[0].end, Cycles::new(90), "closed at trace end");
+        assert_eq!(p.instants.len(), 1);
+    }
+
+    #[test]
+    fn vm_switch_derives_running_spans() {
+        let events = vec![
+            (Cycles::new(0), E::VmSwitch { from: 0, to: 1 }),
+            (Cycles::new(100), E::VmSwitch { from: 1, to: 0 }),
+            (Cycles::new(110), E::VmSwitch { from: 0, to: 2 }),
+            (Cycles::new(200), E::VmSwitch { from: 2, to: 0 }),
+        ];
+        let p = pair(&events);
+        let running: Vec<_> = p.spans.iter().filter(|s| s.name == "running").collect();
+        assert_eq!(running.len(), 2);
+        assert_eq!(running[0].track, Track::Vm(1));
+        assert_eq!(running[0].cycles(), 100);
+        assert_eq!(running[1].track, Track::Vm(2));
+        assert_eq!(running[1].cycles(), 90);
+    }
+
+    #[test]
+    fn hypercall_names_resolve() {
+        assert_eq!(hypercall_name(0), "hc:Yield");
+        assert_eq!(hypercall_name(17), "hc:HwTaskRequest");
+        assert_eq!(hypercall_name(200), "hc:#200");
+    }
+}

@@ -1,0 +1,100 @@
+//! Plain-text trace summary: per-span-name latency table plus marker counts.
+
+use crate::event::TraceEvent;
+use crate::hist::Hist;
+use crate::span::pair;
+use mnv_hal::Cycles;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render a top-`n` text summary of an oldest-first event stream.
+///
+/// Span names are ranked by total time spent; each row reports count, mean,
+/// p50, p99 and max in microseconds. Instant markers follow, ranked by
+/// count.
+pub fn summarize(events: &[(Cycles, TraceEvent)], n: usize) -> String {
+    let paired = pair(events);
+
+    let mut spans: BTreeMap<String, Hist> = BTreeMap::new();
+    for s in &paired.spans {
+        spans.entry(s.name.clone()).or_default().record(s.cycles());
+    }
+    let mut markers: BTreeMap<String, u64> = BTreeMap::new();
+    for i in &paired.instants {
+        *markers.entry(i.name.clone()).or_insert(0) += 1;
+    }
+
+    let mut ranked: Vec<(&String, &Hist)> = spans.iter().collect();
+    ranked.sort_by(|a, b| b.1.sum().cmp(&a.1.sum()).then(a.0.cmp(b.0)));
+    ranked.truncate(n);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "trace summary ({} events)", events.len());
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "span", "count", "mean_us", "p50_us", "p99_us", "max_us"
+    );
+    for (name, h) in &ranked {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            name,
+            h.count(),
+            h.mean() * 1e6 / mnv_hal::cycles::CPU_HZ as f64,
+            h.p50_us(),
+            h.p99_us(),
+            h.max_us(),
+        );
+    }
+
+    let mut marker_ranked: Vec<(&String, &u64)> = markers.iter().collect();
+    marker_ranked.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    marker_ranked.truncate(n);
+    if !marker_ranked.is_empty() {
+        let _ = writeln!(out, "{:<22} {:>8}", "marker", "count");
+        for (name, count) in marker_ranked {
+            let _ = writeln!(out, "{name:<22} {count:>8}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceEvent as E, TrapKind};
+
+    #[test]
+    fn summary_ranks_and_formats() {
+        let mut events = Vec::new();
+        for i in 0..10u64 {
+            let t0 = i * 10_000;
+            events.push((
+                Cycles::new(t0),
+                E::TrapEnter {
+                    kind: TrapKind::Svc,
+                },
+            ));
+            events.push((Cycles::new(t0 + 660), E::TrapExit));
+            events.push((Cycles::new(t0 + 700), E::TlbFlush));
+        }
+        let text = summarize(&events, 5);
+        assert!(text.contains("trap:svc"), "{text}");
+        assert!(text.contains("tlb-flush"), "{text}");
+        // 660-cycle spans are exactly 1 us.
+        assert!(text.contains("1.000"), "{text}");
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let mut events = Vec::new();
+        for kind in [TrapKind::Svc, TrapKind::Irq, TrapKind::DataAbort] {
+            events.push((Cycles::new(0), E::TrapEnter { kind }));
+            events.push((Cycles::new(100), E::TrapExit));
+        }
+        let text = summarize(&events, 1);
+        let rows = text.lines().filter(|l| l.starts_with("trap:")).count();
+        assert_eq!(rows, 1, "{text}");
+    }
+}

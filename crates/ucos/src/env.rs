@@ -112,9 +112,7 @@ impl MockEnv {
     }
 
     fn poisoned(&self, va: u64, len: u64) -> bool {
-        self.poison
-            .iter()
-            .any(|&(b, l)| va < b + l && b < va + len)
+        self.poison.iter().any(|&(b, l)| va < b + l && b < va + len)
     }
 
     /// Script the result of a hypercall number.
@@ -186,10 +184,7 @@ impl GuestEnv for MockEnv {
         self.clock += 100; // a nominal trap cost
         self.budget -= 100;
         self.calls.push(args);
-        self.responses
-            .get(&args.nr.nr())
-            .copied()
-            .unwrap_or(Ok(0))
+        self.responses.get(&args.nr.nr()).copied().unwrap_or(Ok(0))
     }
 
     fn budget_left(&self) -> i64 {

@@ -9,9 +9,9 @@
 //! checks the reserved state flag, detecting that the task was reclaimed by
 //! another VM.
 
+use mnv_fpga::prr::{ctrl, regs, status};
 use mnv_hal::abi::{data_section, HcError, HwTaskState, HwTaskStatus};
 use mnv_hal::{HwTaskId, VirtAddr};
-use mnv_fpga::prr::{ctrl, regs, status};
 
 use crate::env::{GuestEnv, GuestFault};
 use crate::port;
@@ -90,7 +90,11 @@ impl HwTaskClient {
     /// Wait until a pending reconfiguration completes (poll method; the IRQ
     /// method binds [`mnv_hal::IrqNum::PCAP_DONE`] instead). Returns the
     /// polls it took.
-    pub fn wait_configured(&self, env: &mut dyn GuestEnv, max_polls: u32) -> Result<u32, HwClientError> {
+    pub fn wait_configured(
+        &self,
+        env: &mut dyn GuestEnv,
+        max_polls: u32,
+    ) -> Result<u32, HwClientError> {
         for i in 0..max_polls {
             if port::pcap_poll(env) {
                 return Ok(i);
@@ -252,13 +256,13 @@ mod tests {
     fn wait_done_reads_result_len() {
         let mut env = MockEnv::new();
         let c = client(&mut env);
-        env.write_u32(VirtAddr::new(0xF0_0000 + 4 * regs::STATUS as u64), status::DONE)
-            .unwrap();
         env.write_u32(
-            VirtAddr::new(0xF0_0000 + 4 * regs::RESULT_LEN as u64),
-            512,
+            VirtAddr::new(0xF0_0000 + 4 * regs::STATUS as u64),
+            status::DONE,
         )
         .unwrap();
+        env.write_u32(VirtAddr::new(0xF0_0000 + 4 * regs::RESULT_LEN as u64), 512)
+            .unwrap();
         assert_eq!(c.wait_done(&mut env, 10).unwrap(), 512);
     }
 
@@ -266,11 +270,17 @@ mod tests {
     fn device_error_surfaces_code() {
         let mut env = MockEnv::new();
         let c = client(&mut env);
-        env.write_u32(VirtAddr::new(0xF0_0000 + 4 * regs::STATUS as u64), status::ERROR)
-            .unwrap();
+        env.write_u32(
+            VirtAddr::new(0xF0_0000 + 4 * regs::STATUS as u64),
+            status::ERROR,
+        )
+        .unwrap();
         env.write_u32(VirtAddr::new(0xF0_0000 + 4 * regs::PARAM0 as u64), 2)
             .unwrap();
-        assert_eq!(c.wait_done(&mut env, 10).unwrap_err(), HwClientError::Device(2));
+        assert_eq!(
+            c.wait_done(&mut env, 10).unwrap_err(),
+            HwClientError::Device(2)
+        );
     }
 
     #[test]

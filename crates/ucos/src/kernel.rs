@@ -122,9 +122,8 @@ impl Ucos {
             HypercallArgs::new(Hypercall::IrqSetEntry).a0(layout::CODE_BASE.raw() as u32),
         );
         if self.cfg.tick_period_us > 0 {
-            let _ = env.hypercall(
-                HypercallArgs::new(Hypercall::TimerProgram).a0(self.cfg.tick_period_us),
-            );
+            let _ = env
+                .hypercall(HypercallArgs::new(Hypercall::TimerProgram).a0(self.cfg.tick_period_us));
             self.virq_enable(env, layout::TIMER_VIRQ);
         }
     }
@@ -438,7 +437,10 @@ mod tests {
         os.virq_enable(&mut env, 61);
         os.task_create(10, counter(1, TaskAction::SemPend(sem)));
         assert_eq!(os.run(&mut env), RunExit::Idle);
-        assert!(matches!(os.task_state(10), Some(TaskState::Pending(_, None))));
+        assert!(matches!(
+            os.task_state(10),
+            Some(TaskState::Pending(_, None))
+        ));
         // A PL vIRQ posts the bound semaphore and wakes the task.
         os.inject_virq(&mut env, 61);
         assert_eq!(os.run(&mut env), RunExit::Idle);

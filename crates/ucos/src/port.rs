@@ -159,13 +159,8 @@ mod tests {
     fn busy_propagates() {
         let mut env = MockEnv::new();
         env.respond(Hypercall::HwTaskRequest, Err(HcError::Busy));
-        let e = hw_task_request(
-            &mut env,
-            HwTaskId(1),
-            VirtAddr::new(0),
-            VirtAddr::new(0),
-        )
-        .unwrap_err();
+        let e =
+            hw_task_request(&mut env, HwTaskId(1), VirtAddr::new(0), VirtAddr::new(0)).unwrap_err();
         assert_eq!(e, HcError::Busy);
     }
 

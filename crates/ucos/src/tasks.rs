@@ -57,9 +57,8 @@ impl GuestTask for ComputeTask {
         ctx.env.compute(self.cycles_per_step);
         let mut off = 0;
         while off < self.touch_bytes {
-            let va = VirtAddr::new(
-                layout::WORK_BASE.raw() + (self.cursor + off) % layout::WORK_LEN,
-            );
+            let va =
+                VirtAddr::new(layout::WORK_BASE.raw() + (self.cursor + off) % layout::WORK_LEN);
             let _ = ctx.env.read_u32(va);
             off += 64;
         }
@@ -115,10 +114,9 @@ impl GuestTask for GsmTask {
         let idx = self.frame % frames_in_buf;
         // Read the frame from guest memory (real traffic)…
         let mut raw = vec![0u8; GSM_FRAME_SAMPLES * 2];
-        let _ = ctx.env.read_block(
-            self.in_va + (idx * GSM_FRAME_SAMPLES * 2) as u64,
-            &mut raw,
-        );
+        let _ = ctx
+            .env
+            .read_block(self.in_va + (idx * GSM_FRAME_SAMPLES * 2) as u64, &mut raw);
         let pcm: Vec<i16> = raw
             .chunks_exact(2)
             .map(|c| i16::from_le_bytes([c[0], c[1]]))
@@ -127,10 +125,9 @@ impl GuestTask for GsmTask {
         let coded = self.enc.encode_frame(&pcm);
         ctx.env.compute(GSM_CYCLES_PER_FRAME);
         // …and write the frame out.
-        let _ = ctx.env.write_block(
-            self.out_va + (idx * GSM_FRAME_BYTES) as u64,
-            &coded,
-        );
+        let _ = ctx
+            .env
+            .write_block(self.out_va + (idx * GSM_FRAME_BYTES) as u64, &coded);
         self.frame += 1;
         self.frames += 1;
         TaskAction::Continue
@@ -170,7 +167,9 @@ impl GuestTask for AdpcmTask {
         let coded = adpcm_encode(&mut self.state, chunk);
         ctx.env.compute(ADPCM_CYCLES_PER_SAMPLE * 160);
         let _ = ctx.env.write_block(
-            VirtAddr::new(layout::WORK_BASE.raw() + layout::WORK_LEN / 4 * 3 + (idx * 80) as u64 % 0x1000),
+            VirtAddr::new(
+                layout::WORK_BASE.raw() + layout::WORK_LEN / 4 * 3 + (idx * 80) as u64 % 0x1000,
+            ),
             &coded,
         );
         self.block += 1;
@@ -470,7 +469,10 @@ mod tests {
         let src = env
             .read_u32(layout::hwiface_slot(0) + 4 * mnv_fpga::prr::regs::SRC_ADDR as u64)
             .unwrap();
-        assert_eq!(src, 0x0300_0000 + layout::HWDATA_BASE.raw() as u32 + THW_SRC_OFF);
+        assert_eq!(
+            src,
+            0x0300_0000 + layout::HWDATA_BASE.raw() as u32 + THW_SRC_OFF
+        );
     }
 
     #[test]

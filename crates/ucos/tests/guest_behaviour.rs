@@ -24,21 +24,36 @@ fn thw_waits_for_reconfiguration_then_runs() {
     let mut t = THwTask::new(vec![HwTaskId(2)], 3);
 
     // Step 1: Pick -> WaitConfig.
-    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    let mut c = TaskCtx {
+        env: &mut env,
+        svc: &mut svc,
+    };
     assert_eq!(t.step(&mut c), TaskAction::Continue);
     assert_eq!(t.stats.reconfigs, 1);
 
     // Steps 2-3: still transferring.
-    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    let mut c = TaskCtx {
+        env: &mut env,
+        svc: &mut svc,
+    };
     t.step(&mut c);
-    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    let mut c = TaskCtx {
+        env: &mut env,
+        svc: &mut svc,
+    };
     t.step(&mut c);
 
     // PCAP completes; next step moves to Run and programs the device.
     env.respond(Hypercall::PcapPoll, Ok(1));
-    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    let mut c = TaskCtx {
+        env: &mut env,
+        svc: &mut svc,
+    };
     t.step(&mut c); // WaitConfig -> Run
-    let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+    let mut c = TaskCtx {
+        env: &mut env,
+        svc: &mut svc,
+    };
     t.step(&mut c); // Run: write/configure/start -> WaitDone
     let ctrl = env
         .read_u32(layout::hwiface_slot(0) + 4 * mnv_fpga::prr::regs::CTRL as u64)
@@ -52,7 +67,10 @@ fn thw_counts_multiple_busy_rejections() {
     env.respond(Hypercall::HwTaskRequest, Err(HcError::Busy));
     let mut t = THwTask::new(vec![HwTaskId(0)], 9);
     for _ in 0..4 {
-        let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+        let mut c = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
         assert!(matches!(t.step(&mut c), TaskAction::Delay(_)));
     }
     assert_eq!(t.stats.busy, 4);
@@ -114,12 +132,17 @@ fn gsm_task_output_differs_from_input_region() {
     let (mut env, mut svc) = ctx_parts();
     let mut t = GsmTask::new(4, 1);
     for _ in 0..3 {
-        let mut c = TaskCtx { env: &mut env, svc: &mut svc };
+        let mut c = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
         t.step(&mut c);
     }
     let pcm_word = env.read_u32(layout::WORK_BASE).unwrap();
     let out_word = env
-        .read_u32(VirtAddr::new(layout::WORK_BASE.raw() + layout::WORK_LEN / 2))
+        .read_u32(VirtAddr::new(
+            layout::WORK_BASE.raw() + layout::WORK_LEN / 2,
+        ))
         .unwrap();
     assert_ne!(pcm_word, 0, "PCM staged");
     assert_ne!(out_word, 0, "coded frames written");

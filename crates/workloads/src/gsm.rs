@@ -281,9 +281,7 @@ impl GsmEncoder {
             let gain_code = LTP_GAINS
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    (a.1 - gain).abs().partial_cmp(&(b.1 - gain).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.1 - gain).abs().partial_cmp(&(b.1 - gain).abs()).unwrap())
                 .map(|(i, _)| i as u32)
                 .unwrap();
             let gq = LTP_GAINS[gain_code as usize];
@@ -296,12 +294,11 @@ impl GsmEncoder {
             }
 
             // RPE grid selection: offset 0..2, 13 pulses with stride 3.
-            let grid_energy = |off: usize| -> f32 {
-                (0..RPE_PULSES).map(|i| e[off + 3 * i].powi(2)).sum()
-            };
-            let grid = (0..3).max_by(|&x, &y| {
-                grid_energy(x).partial_cmp(&grid_energy(y)).unwrap()
-            }).unwrap();
+            let grid_energy =
+                |off: usize| -> f32 { (0..RPE_PULSES).map(|i| e[off + 3 * i].powi(2)).sum() };
+            let grid = (0..3)
+                .max_by(|&x, &y| grid_energy(x).partial_cmp(&grid_energy(y)).unwrap())
+                .unwrap();
 
             // APCM quantisation of the selected pulses.
             let scale = (0..RPE_PULSES)

@@ -14,7 +14,11 @@ impl Lcg {
     /// Seeded generator. A zero seed is remapped to a fixed non-zero value.
     pub fn new(seed: u64) -> Self {
         Lcg {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

@@ -75,7 +75,10 @@ impl GuestTask for FftOwner {
             ) {
                 Ok((c, status)) => {
                     if status == HwTaskStatus::Reconfiguring {
-                        self.note(ctx.env, format!("{} dispatched, PCAP reconfiguring…", self.task_name));
+                        self.note(
+                            ctx.env,
+                            format!("{} dispatched, PCAP reconfiguring…", self.task_name),
+                        );
                         if c.wait_configured(ctx.env, 100_000).is_err() {
                             return TaskAction::Delay(1);
                         }
@@ -87,9 +90,7 @@ impl GuestTask for FftOwner {
                     }
                     self.client = Some(c);
                 }
-                Err(mnv_ucos::hwtask::HwClientError::Request(
-                    mnv_hal::abi::HcError::Busy,
-                )) => {
+                Err(mnv_ucos::hwtask::HwClientError::Request(mnv_hal::abi::HcError::Busy)) => {
                     self.note(ctx.env, "manager Busy — all suitable PRRs occupied".into());
                     return TaskAction::Delay(2);
                 }
@@ -102,7 +103,8 @@ impl GuestTask for FftOwner {
 
         // Use the task once; discover reclaims via the two §IV-E methods.
         let client = self.client.as_ref().expect("acquired above");
-        if let Err(mnv_ucos::hwtask::HwClientError::Inconsistent) = client.check_consistent(ctx.env) {
+        if let Err(mnv_ucos::hwtask::HwClientError::Inconsistent) = client.check_consistent(ctx.env)
+        {
             self.reclaims_seen += 1;
             self.note(
                 ctx.env,
@@ -125,7 +127,10 @@ impl GuestTask for FftOwner {
                 self.runs += 1;
                 self.note(
                     ctx.env,
-                    format!("{} run #{} complete ({} B out)", self.task_name, self.runs, len),
+                    format!(
+                        "{} run #{} complete ({} B out)",
+                        self.task_name, self.runs, len
+                    ),
                 );
                 TaskAction::Delay(3)
             }
@@ -159,7 +164,10 @@ fn main() {
     let t3 = kernel.register_hw_task(CoreKind::Fft { log2_points: 11 });
 
     let log: EventLog = Rc::new(RefCell::new(Vec::new()));
-    for (vm_tasks, seed) in [(vec![(t1, "FFT-512"), (t2, "FFT-1024")], 0u64), (vec![(t3, "FFT-2048"), (t1, "FFT-512")], 1)] {
+    for (vm_tasks, seed) in [
+        (vec![(t1, "FFT-512"), (t2, "FFT-1024")], 0u64),
+        (vec![(t3, "FFT-2048"), (t1, "FFT-512")], 1),
+    ] {
         let mut os = Ucos::new(UcosConfig::default());
         for (i, (t, name)) in vm_tasks.into_iter().enumerate() {
             os.task_create(
@@ -193,8 +201,16 @@ fn main() {
     // exactly where Fig. 5 puts them.
     for vm in [VmId(1), VmId(2)] {
         if let Some(ds) = kernel.pd(vm).data_section {
-            let flag = kernel.machine.mem.read_u32(ds.pa + data_section::STATE_FLAG).unwrap();
-            let saved_task = kernel.machine.mem.read_u32(ds.pa + data_section::SAVED_TASK).unwrap();
+            let flag = kernel
+                .machine
+                .mem
+                .read_u32(ds.pa + data_section::STATE_FLAG)
+                .unwrap();
+            let saved_task = kernel
+                .machine
+                .mem
+                .read_u32(ds.pa + data_section::SAVED_TASK)
+                .unwrap();
             println!(
                 "  {vm} data section: state flag = {} (task T{saved_task})",
                 match HwTaskState::from_u32(flag) {

@@ -124,7 +124,11 @@ fn main() {
 
     // The RT guest must have completed ~one period per millisecond and the
     // best-effort guests must have shared the remainder about equally.
-    assert!(lat.len() > 250, "control job starved: {} periods", lat.len());
+    assert!(
+        lat.len() > 250,
+        "control job starved: {} periods",
+        lat.len()
+    );
     let (a, b) = (
         kernel.pd(be1).stats.cpu_cycles as f64,
         kernel.pd(be2).stats.cpu_cycles as f64,

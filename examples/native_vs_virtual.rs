@@ -38,7 +38,10 @@ fn main() {
     k.run(window);
     let v = k.state.stats.hwmgr;
 
-    println!("same workload, two hostings ({} ms simulated):\n", window.as_millis());
+    println!(
+        "same workload, two hostings ({} ms simulated):\n",
+        window.as_millis()
+    );
     println!("{:<26}{:>10}{:>14}", "", "native", "virtualized");
     let row = |name: &str, a: f64, b: f64| {
         println!("{name:<26}{a:>9.2}u{b:>13.2}u");
@@ -53,9 +56,7 @@ fn main() {
         n.invocations, v.invocations
     );
     let ratio = v.total_mean_us() / n.total_mean_us();
-    println!(
-        "degradation ratio R_D = {ratio:.3}   (paper: 1.138 for one guest OS)"
-    );
+    println!("degradation ratio R_D = {ratio:.3}   (paper: 1.138 for one guest OS)");
     assert!(ratio > 1.0, "virtualization cannot be free");
     assert!(ratio < 1.6, "but its cost must stay modest: {ratio}");
 }

@@ -10,8 +10,11 @@ use mini_nova_repro::prelude::*;
 
 fn main() {
     // 1. Boot the kernel on the simulated Zynq-7000: dual-purpose DDR,
-    //    four partially reconfigurable regions, PCAP, hwMMU.
+    //    four partially reconfigurable regions, PCAP, hwMMU. Capture the
+    //    whole run as a cycle-timestamped event trace (a no-op handle when
+    //    the `trace` feature is off).
     let mut kernel = Kernel::new(KernelConfig::default());
+    let tracer = kernel.enable_tracing(1 << 16);
 
     // 2. Put the paper's bitstream library on the "SD card": FFT-256 …
     //    FFT-8192 and QAM-4/16/64, each with its predefined PRR list.
@@ -61,7 +64,10 @@ fn main() {
     println!("  mean entry:         {:.2} us", s.hwmgr.entry.mean_us());
     println!("  mean execution:     {:.2} us", s.hwmgr.exec.mean_us());
     println!("  mean exit:          {:.2} us", s.hwmgr.exit.mean_us());
-    println!("  mean PL IRQ entry:  {:.2} us", s.hwmgr.irq_entry.mean_us());
+    println!(
+        "  mean PL IRQ entry:  {:.2} us",
+        s.hwmgr.irq_entry.mean_us()
+    );
 
     let pl: &Pl = kernel.pl();
     println!("\n== programmable logic ==");
@@ -72,7 +78,9 @@ fn main() {
             "  PRR{}: {} runs, now holding {}",
             p,
             prr.runs,
-            prr.loaded_kind().map(|k| k.name()).unwrap_or("nothing".into())
+            prr.loaded_kind()
+                .map(|k| k.name())
+                .unwrap_or("nothing".into())
         );
     }
     println!("  hwMMU violations:   {}", pl.hwmmu().violation_count);
@@ -86,6 +94,21 @@ fn main() {
             Cycles::new(pd.stats.cpu_cycles).as_millis(),
             pd.stats.hypercalls,
             pd.vtimer.ticks_injected
+        );
+    }
+
+    // 6. Export the trace: a Perfetto/chrome://tracing-loadable timeline
+    //    plus a top-N text summary of where the cycles went.
+    if tracer.is_enabled() {
+        let path = std::path::Path::new("target/experiments/quickstart.trace.json");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, tracer.export_chrome()).unwrap();
+        println!("\n{}", tracer.summary(10));
+        println!(
+            "wrote {} ({} events retained, {} recorded) — open in Perfetto or chrome://tracing",
+            path.display(),
+            tracer.len(),
+            tracer.total()
         );
     }
 }

@@ -112,9 +112,7 @@ impl GuestTask for SdrTx {
                 if *frame == FRAMES {
                     // Stage the payload into the data section for DMA.
                     let _ = ctx.env.write_block(
-                        mnv_hal::VirtAddr::new(
-                            guest_layout::HWDATA_BASE.raw() + BITS_OFF as u64,
-                        ),
+                        mnv_hal::VirtAddr::new(guest_layout::HWDATA_BASE.raw() + BITS_OFF as u64),
                         &self.coded,
                     );
                     self.phase = Phase::Modulate;

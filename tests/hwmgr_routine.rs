@@ -2,8 +2,8 @@
 //! step by step via direct hypercall issue, including the Busy path of
 //! stage 2 and the reclaim bookkeeping between stages 2 and 3.
 
-use mini_nova_repro::prelude::*;
 use mini_nova::hypercall::hypercall;
+use mini_nova_repro::prelude::*;
 use mnv_hal::abi::{data_section, HcError};
 
 /// Issue a hypercall from `vm` as if it trapped from that guest.
@@ -76,11 +76,7 @@ fn six_stage_routine_first_dispatch() {
     // Stage 3: the interface page is mapped into VM1's table at the
     // requested VA (checked by walking the real page table).
     let l1 = k.state.pds[&v1].l1;
-    let walked = mini_nova::mem::pagetable::walk(
-        &mut k.machine,
-        l1,
-        guest_layout::hwiface_slot(0),
-    );
+    let walked = mini_nova::mem::pagetable::walk(&mut k.machine, l1, guest_layout::hwiface_slot(0));
     assert_eq!(
         walked,
         Some(mnv_fpga::pl::Pl::prr_page(prr)),
@@ -106,12 +102,18 @@ fn resident_task_fast_path_returns_success() {
     let (mut k, ids, v1, _) = setup();
     let qam = ids[6];
     let r1 = request(&mut k, v1, qam, 0).unwrap();
-    assert_eq!(HwTaskStatus::from_u32(r1 & 0xFF), Some(HwTaskStatus::Reconfiguring));
+    assert_eq!(
+        HwTaskStatus::from_u32(r1 & 0xFF),
+        Some(HwTaskStatus::Reconfiguring)
+    );
     wait_pcap(&mut k, v1);
     // Second request by the same client: no reconfiguration, no new PCAP.
     let transfers = k.pl().pcap_transfers();
     let r2 = request(&mut k, v1, qam, 0).unwrap();
-    assert_eq!(HwTaskStatus::from_u32(r2 & 0xFF), Some(HwTaskStatus::Success));
+    assert_eq!(
+        HwTaskStatus::from_u32(r2 & 0xFF),
+        Some(HwTaskStatus::Success)
+    );
     assert_eq!(k.pl().pcap_transfers(), transfers);
 }
 
@@ -131,13 +133,34 @@ fn busy_when_all_suitable_prrs_are_occupied() {
     let ds = k.pd(v1).data_section.unwrap();
     for &prr in &prrs {
         let page = mnv_fpga::pl::Pl::prr_page(prr);
-        k.machine.phys_write_u32(page + 4 * mnv_fpga::prr::regs::SRC_ADDR as u64, ds.pa.raw() as u32).unwrap();
-        k.machine.phys_write_u32(page + 4 * mnv_fpga::prr::regs::SRC_LEN as u64, 0x10000).unwrap();
-        k.machine.phys_write_u32(page + 4 * mnv_fpga::prr::regs::DST_ADDR as u64, (ds.pa.raw() + 0x10000) as u32).unwrap();
-        k.machine.phys_write_u32(page + 4 * mnv_fpga::prr::regs::DST_LEN as u64, 0x10000).unwrap();
-        k.machine.phys_write_u32(page + 4 * mnv_fpga::prr::regs::CTRL as u64, mnv_fpga::prr::ctrl::START).unwrap();
+        k.machine
+            .phys_write_u32(
+                page + 4 * mnv_fpga::prr::regs::SRC_ADDR as u64,
+                ds.pa.raw() as u32,
+            )
+            .unwrap();
+        k.machine
+            .phys_write_u32(page + 4 * mnv_fpga::prr::regs::SRC_LEN as u64, 0x10000)
+            .unwrap();
+        k.machine
+            .phys_write_u32(
+                page + 4 * mnv_fpga::prr::regs::DST_ADDR as u64,
+                (ds.pa.raw() + 0x10000) as u32,
+            )
+            .unwrap();
+        k.machine
+            .phys_write_u32(page + 4 * mnv_fpga::prr::regs::DST_LEN as u64, 0x10000)
+            .unwrap();
+        k.machine
+            .phys_write_u32(
+                page + 4 * mnv_fpga::prr::regs::CTRL as u64,
+                mnv_fpga::prr::ctrl::START,
+            )
+            .unwrap();
         assert_eq!(
-            k.machine.phys_read_u32(page + 4 * mnv_fpga::prr::regs::STATUS as u64).unwrap(),
+            k.machine
+                .phys_read_u32(page + 4 * mnv_fpga::prr::regs::STATUS as u64)
+                .unwrap(),
             mnv_fpga::prr::status::BUSY
         );
     }
@@ -183,7 +206,11 @@ fn reclaim_saves_registers_demaps_and_flags_inconsistent() {
     // Fig. 5: the victim's data section now holds the saved registers and
     // the inconsistency flag.
     let ds1 = k.pd(v1).data_section.unwrap();
-    let flag = k.machine.mem.read_u32(ds1.pa + data_section::STATE_FLAG).unwrap();
+    let flag = k
+        .machine
+        .mem
+        .read_u32(ds1.pa + data_section::STATE_FLAG)
+        .unwrap();
     assert_eq!(HwTaskState::from_u32(flag), Some(HwTaskState::Inconsistent));
     if victim_prr == prr {
         let saved = k
@@ -255,5 +282,8 @@ fn manager_phases_are_measured_for_every_request() {
     assert_eq!(h.exec.samples, 4);
     assert_eq!(h.exit.samples, 4);
     assert!(h.entry.mean_cycles() > 0.0);
-    assert!(h.exec.mean_cycles() > h.entry.mean_cycles(), "execution dominates");
+    assert!(
+        h.exec.mean_cycles() > h.entry.mean_cycles(),
+        "execution dominates"
+    );
 }

@@ -3,8 +3,8 @@
 //! supervision") plus the remaining hypercall surfaces: emulated register
 //! access, maintenance operations and guest-managed mappings.
 
-use mini_nova_repro::prelude::*;
 use mini_nova::hypercall::hypercall;
+use mini_nova_repro::prelude::*;
 use mnv_hal::abi::HcError;
 
 fn hc(k: &mut Kernel, vm: VmId, args: HypercallArgs) -> Result<u32, HcError> {
@@ -53,9 +53,7 @@ fn sd_read_rejects_out_of_window_destination() {
     let e = hc(
         &mut k,
         vm,
-        HypercallArgs::new(Hypercall::SdRead)
-            .a0(1)
-            .a1(0x2000_0000), // far outside the 16 MB guest window
+        HypercallArgs::new(Hypercall::SdRead).a0(1).a1(0x2000_0000), // far outside the 16 MB guest window
     )
     .unwrap_err();
     assert_eq!(e, HcError::BadArg);
@@ -75,10 +73,20 @@ fn console_bytes_accumulate_per_vm() {
         guest: GuestKind::Ucos(Box::new(Ucos::new(UcosConfig::default()))),
     });
     for b in b"one" {
-        hc(&mut k, v1, HypercallArgs::new(Hypercall::ConsoleWrite).a0(*b as u32)).unwrap();
+        hc(
+            &mut k,
+            v1,
+            HypercallArgs::new(Hypercall::ConsoleWrite).a0(*b as u32),
+        )
+        .unwrap();
     }
     for b in b"two" {
-        hc(&mut k, v2, HypercallArgs::new(Hypercall::ConsoleWrite).a0(*b as u32)).unwrap();
+        hc(
+            &mut k,
+            v2,
+            HypercallArgs::new(Hypercall::ConsoleWrite).a0(*b as u32),
+        )
+        .unwrap();
     }
     assert_eq!(k.pd(v1).console, b"one");
     assert_eq!(k.pd(v2).console, b"two", "supervision keeps streams apart");
@@ -97,8 +105,18 @@ fn emulated_registers_are_per_vm_and_bounded() {
         priority: Priority::GUEST,
         guest: GuestKind::Ucos(Box::new(Ucos::new(UcosConfig::default()))),
     });
-    hc(&mut k, v1, HypercallArgs::new(Hypercall::RegWrite).a0(3).a1(0xAAAA)).unwrap();
-    hc(&mut k, v2, HypercallArgs::new(Hypercall::RegWrite).a0(3).a1(0xBBBB)).unwrap();
+    hc(
+        &mut k,
+        v1,
+        HypercallArgs::new(Hypercall::RegWrite).a0(3).a1(0xAAAA),
+    )
+    .unwrap();
+    hc(
+        &mut k,
+        v2,
+        HypercallArgs::new(Hypercall::RegWrite).a0(3).a1(0xBBBB),
+    )
+    .unwrap();
     assert_eq!(
         hc(&mut k, v1, HypercallArgs::new(Hypercall::RegRead).a0(3)).unwrap(),
         0xAAAA
@@ -153,8 +171,8 @@ fn guest_managed_mappings_via_map_insert_remove() {
     let (mut k, vm) = one_vm_kernel();
     // The guest re-maps a page of its own region at a fresh VA.
     let va = 0x00E0_0000u32; // inside the window, in an already-mapped section
-    // That section is section-mapped; MapInsert needs an L2 — use the
-    // interface megabyte (0x00F0_0000) which is left unmapped for pages.
+                             // That section is section-mapped; MapInsert needs an L2 — use the
+                             // interface megabyte (0x00F0_0000) which is left unmapped for pages.
     let va = va + 0x0010_1000 - 0x00E0_0000; // 0x00F0_1000: slot 1 area
     let _ = va;
     let page_va = 0x00F0_8000u32; // past the 16 interface slots, same MB
@@ -168,8 +186,7 @@ fn guest_managed_mappings_via_map_insert_remove() {
     )
     .unwrap();
     let l1 = k.pd(vm).l1;
-    let walked =
-        mini_nova::mem::pagetable::walk(&mut k.machine, l1, VirtAddr::new(page_va as u64));
+    let walked = mini_nova::mem::pagetable::walk(&mut k.machine, l1, VirtAddr::new(page_va as u64));
     assert_eq!(walked, Some(k.pd(vm).region + 0x0020_0000));
 
     hc(
@@ -178,15 +195,19 @@ fn guest_managed_mappings_via_map_insert_remove() {
         HypercallArgs::new(Hypercall::MapRemove).a0(page_va),
     )
     .unwrap();
-    let walked =
-        mini_nova::mem::pagetable::walk(&mut k.machine, l1, VirtAddr::new(page_va as u64));
+    let walked = mini_nova::mem::pagetable::walk(&mut k.machine, l1, VirtAddr::new(page_va as u64));
     assert_eq!(walked, None);
 }
 
 #[test]
 fn timer_program_and_stop_round_trip() {
     let (mut k, vm) = one_vm_kernel();
-    hc(&mut k, vm, HypercallArgs::new(Hypercall::TimerProgram).a0(500)).unwrap();
+    hc(
+        &mut k,
+        vm,
+        HypercallArgs::new(Hypercall::TimerProgram).a0(500),
+    )
+    .unwrap();
     assert!(k.pd(vm).vtimer.running());
     let period = k.pd(vm).vtimer.period;
     assert_eq!(period, 500 * 660, "500 us at 660 MHz");
@@ -194,7 +215,12 @@ fn timer_program_and_stop_round_trip() {
     assert!(!k.pd(vm).vtimer.running());
     // Zero period is rejected.
     assert_eq!(
-        hc(&mut k, vm, HypercallArgs::new(Hypercall::TimerProgram).a0(0)).unwrap_err(),
+        hc(
+            &mut k,
+            vm,
+            HypercallArgs::new(Hypercall::TimerProgram).a0(0)
+        )
+        .unwrap_err(),
         HcError::BadArg
     );
 }

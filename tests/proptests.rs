@@ -1,14 +1,18 @@
 //! Property-based tests on the cross-crate invariants: page-table/TLB
 //! coherence through random map/unmap/flush sequences, hwMMU window
 //! soundness, scheduler conservation, and bitstream robustness.
+//!
+//! Randomised input sequences come from the workspace's own
+//! `mnv_workloads::signal::Lcg` over fixed seed ranges, so every run is
+//! deterministic and the suite needs no external property-test crate.
 
+use mini_nova::mem::pagetable::{self, PtAlloc};
 use mini_nova_repro::prelude::*;
 use mnv_arm::cp15::{DomainAccess, SCTLR_C, SCTLR_M};
 use mnv_arm::machine::Machine;
 use mnv_arm::mmu::AccessKind;
 use mnv_arm::tlb::Ap;
-use mini_nova::mem::pagetable::{self, PtAlloc};
-use proptest::prelude::*;
+use mnv_workloads::signal::Lcg;
 use std::collections::HashMap;
 
 /// Random page-table operation.
@@ -21,24 +25,33 @@ enum PtOp {
     Probe { slot: u8 },
 }
 
-fn pt_op() -> impl Strategy<Value = PtOp> {
-    prop_oneof![
-        (0u8..32, 0u8..64).prop_map(|(slot, frame)| PtOp::Map { slot, frame }),
-        (0u8..32).prop_map(|slot| PtOp::Unmap { slot }),
-        Just(PtOp::FlushAll),
-        Just(PtOp::FlushAsid),
-        (0u8..32).prop_map(|slot| PtOp::Probe { slot }),
-    ]
+fn pt_op(rng: &mut Lcg) -> PtOp {
+    match rng.next_u64() % 5 {
+        0 => PtOp::Map {
+            slot: (rng.next_u64() % 32) as u8,
+            frame: (rng.next_u64() % 64) as u8,
+        },
+        1 => PtOp::Unmap {
+            slot: (rng.next_u64() % 32) as u8,
+        },
+        2 => PtOp::FlushAll,
+        3 => PtOp::FlushAsid,
+        _ => PtOp::Probe {
+            slot: (rng.next_u64() % 32) as u8,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Whatever sequence of maps/unmaps/flushes runs, a translation succeeds
+/// iff the shadow model says the slot is mapped, and the physical target
+/// always matches the shadow.
+#[test]
+fn pagetable_tlb_coherence() {
+    for case in 0..48u64 {
+        let mut rng = Lcg::new(0x9A9E + case);
+        let n_ops = 1 + rng.next_u64() % 59;
+        let ops: Vec<PtOp> = (0..n_ops).map(|_| pt_op(&mut rng)).collect();
 
-    /// Whatever sequence of maps/unmaps/flushes runs, a translation
-    /// succeeds iff the shadow model says the slot is mapped, and the
-    /// physical target always matches the shadow.
-    #[test]
-    fn pagetable_tlb_coherence(ops in prop::collection::vec(pt_op(), 1..60)) {
         let mut m = Machine::default();
         let mut alloc = PtAlloc::new();
         let l1 = alloc.alloc_l1(&mut m).unwrap();
@@ -46,7 +59,8 @@ proptest! {
         m.cp15.sctlr = SCTLR_M | SCTLR_C;
         m.cp15.ttbr0 = l1.raw() as u32;
         m.cp15.set_asid(asid);
-        m.cp15.set_domain_access(mnv_hal::Domain::GUEST_USER, DomainAccess::Client);
+        m.cp15
+            .set_domain_access(mnv_hal::Domain::GUEST_USER, DomainAccess::Client);
 
         let base_va = 0x0070_0000u64; // one section's worth of 4 KB slots
         let frame_pa = 0x0500_0000u64;
@@ -58,10 +72,17 @@ proptest! {
                     let va = VirtAddr::new(base_va + slot as u64 * 0x1000);
                     let pa = PhysAddr::new(frame_pa + frame as u64 * 0x1000);
                     pagetable::map_page(
-                        &mut m, l1, va, pa,
-                        mnv_hal::Domain::GUEST_USER, Ap::Full, false, false,
+                        &mut m,
+                        l1,
+                        va,
+                        pa,
+                        mnv_hal::Domain::GUEST_USER,
+                        Ap::Full,
+                        false,
+                        false,
                         &mut alloc,
-                    ).unwrap();
+                    )
+                    .unwrap();
                     // A remap must invalidate the stale TLB entry itself.
                     m.tlb_flush_mva(va, asid);
                     shadow.insert(slot, frame);
@@ -79,12 +100,9 @@ proptest! {
                     match shadow.get(&slot) {
                         Some(&frame) => {
                             let pa = r.expect("mapped slot must translate");
-                            prop_assert_eq!(
-                                pa.raw(),
-                                frame_pa + frame as u64 * 0x1000 + 0x40
-                            );
+                            assert_eq!(pa.raw(), frame_pa + frame as u64 * 0x1000 + 0x40);
                         }
-                        None => prop_assert!(r.is_err(), "unmapped slot must fault"),
+                        None => assert!(r.is_err(), "unmapped slot must fault"),
                     }
                 }
             }
@@ -94,60 +112,77 @@ proptest! {
             let va = VirtAddr::new(base_va + slot as u64 * 0x1000);
             let r = m.translate(va, AccessKind::Read, false);
             match shadow.get(&slot) {
-                Some(&frame) => prop_assert_eq!(
-                    r.expect("mapped").raw(),
-                    frame_pa + frame as u64 * 0x1000
-                ),
-                None => prop_assert!(r.is_err()),
+                Some(&frame) => {
+                    assert_eq!(r.expect("mapped").raw(), frame_pa + frame as u64 * 0x1000)
+                }
+                None => assert!(r.is_err()),
             }
         }
     }
+}
 
-    /// The hwMMU permits exactly the transactions inside the loaded window.
-    #[test]
-    fn hwmmu_window_soundness(
-        base in 0u64..0x100_0000,
-        len in 1u64..0x2_0000,
-        addr in 0u64..0x120_0000,
-        tlen in 1u64..0x1000,
-    ) {
+/// The hwMMU permits exactly the transactions inside the loaded window.
+#[test]
+fn hwmmu_window_soundness() {
+    let mut rng = Lcg::new(0x44);
+    for _ in 0..512 {
+        let base = (rng.next_u64() % 0x100_0000) & !0xFFF;
+        let len = 1 + rng.next_u64() % (0x2_0000 - 1);
+        let addr = rng.next_u64() % 0x120_0000;
+        let tlen = 1 + rng.next_u64() % 0xFFF;
         let mut h = mnv_fpga::hwmmu::HwMmu::new(1);
-        let base = base & !0xFFF;
         h.load_window(0, PhysAddr::new(base), len);
         let inside = addr >= base && addr + tlen <= base + len;
-        prop_assert_eq!(h.check(0, PhysAddr::new(addr), tlen, false), inside);
+        assert_eq!(
+            h.check(0, PhysAddr::new(addr), tlen, false),
+            inside,
+            "base={base:#x} len={len:#x} addr={addr:#x} tlen={tlen:#x}"
+        );
     }
+}
 
-    /// Corrupting any single header byte of a bitstream makes the PCAP
-    /// reject it (magic, kind, compat and checksum all participate).
-    #[test]
-    fn bitstream_header_corruption_detected(byte in 0usize..24, flip in 1u8..=255) {
-        use mnv_fpga::bitstream::Bitstream;
-        let bs = Bitstream::for_core(CoreKind::Fft { log2_points: 9 }, &[0, 1]);
-        let mut bytes = bs.encode();
-        bytes[byte] ^= flip;
-        let parsed = Bitstream::parse_header(&bytes);
-        // Either rejected, or (for reserved-word bytes 8..12 that the
-        // checksum does not cover) parsed back identical to the original.
-        if let Ok(p) = parsed {
-            prop_assert_eq!(p, bs, "accepted header must decode identically");
-        }
-    }
-
-    /// CPU-time conservation: with N spinning guests, total guest CPU plus
-    /// kernel overhead accounts for the whole run — nothing is created or
-    /// lost by the scheduler.
-    #[test]
-    fn scheduler_conserves_cpu_time(n in 1usize..5) {
-        use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
-        struct Spin;
-        impl GuestTask for Spin {
-            fn name(&self) -> &'static str { "spin" }
-            fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
-                ctx.env.compute(10_000);
-                TaskAction::Continue
+/// Corrupting any single header byte of a bitstream makes the PCAP reject
+/// it (magic, kind, compat and checksum all participate). Exhaustive over
+/// every byte position and flip pattern.
+#[test]
+fn bitstream_header_corruption_detected() {
+    use mnv_fpga::bitstream::Bitstream;
+    let bs = Bitstream::for_core(CoreKind::Fft { log2_points: 9 }, &[0, 1]);
+    let encoded = bs.encode();
+    for byte in 0..24usize {
+        for flip in 1u8..=255 {
+            let mut bytes = encoded.clone();
+            bytes[byte] ^= flip;
+            let parsed = Bitstream::parse_header(&bytes);
+            // Either rejected, or (for reserved-word bytes 8..12 that the
+            // checksum does not cover) parsed back identical to the original.
+            if let Ok(p) = parsed {
+                assert_eq!(
+                    p, bs,
+                    "byte {byte} flip {flip:#04x}: accepted header must decode identically"
+                );
             }
         }
+    }
+}
+
+/// CPU-time conservation: with N spinning guests, total guest CPU plus
+/// kernel overhead accounts for the whole run — nothing is created or
+/// lost by the scheduler.
+#[test]
+fn scheduler_conserves_cpu_time() {
+    use mnv_ucos::task::{GuestTask, TaskAction, TaskCtx};
+    struct Spin;
+    impl GuestTask for Spin {
+        fn name(&self) -> &'static str {
+            "spin"
+        }
+        fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+            ctx.env.compute(10_000);
+            TaskAction::Continue
+        }
+    }
+    for n in 1usize..5 {
         let mut k = Kernel::new(KernelConfig {
             quantum: Cycles::from_millis(1.0),
             ..Default::default()
@@ -165,24 +200,26 @@ proptest! {
         let t0 = k.machine.now();
         k.run(span);
         let elapsed = (k.machine.now() - t0).raw();
-        let guest_total: u64 = (1..=n as u16)
-            .map(|v| k.pd(VmId(v)).stats.cpu_cycles)
-            .sum();
-        prop_assert!(guest_total <= elapsed);
-        prop_assert!(
+        let guest_total: u64 = (1..=n as u16).map(|v| k.pd(VmId(v)).stats.cpu_cycles).sum();
+        assert!(guest_total <= elapsed);
+        assert!(
             guest_total as f64 > 0.90 * elapsed as f64,
-            "kernel overhead must stay under 10%: {} of {}",
-            guest_total, elapsed
+            "kernel overhead must stay under 10%: {guest_total} of {elapsed} (n={n})"
         );
     }
+}
 
-    /// SD-card blocks are deterministic and distinct across block numbers.
-    #[test]
-    fn sd_blocks_deterministic(a in 0u32..1000, b in 0u32..1000) {
+/// SD-card blocks are deterministic and distinct across block numbers.
+#[test]
+fn sd_blocks_deterministic() {
+    let mut rng = Lcg::new(0x5D);
+    for _ in 0..256 {
+        let a = (rng.next_u64() % 1000) as u32;
+        let b = (rng.next_u64() % 1000) as u32;
         let (ba, bb) = (sd_block(a), sd_block(b));
-        prop_assert_eq!(ba, sd_block(a));
+        assert_eq!(ba, sd_block(a));
         if a != b {
-            prop_assert_ne!(&ba[..], &bb[..]);
+            assert_ne!(&ba[..], &bb[..]);
         }
     }
 }

@@ -214,7 +214,12 @@ fn guest_yield_ends_the_slice_early() {
     });
     let yields = Rc::new(Cell::new(0));
     let mut os = Ucos::new(UcosConfig::default());
-    os.task_create(10, Box::new(Yielder { yields: yields.clone() }));
+    os.task_create(
+        10,
+        Box::new(Yielder {
+            yields: yields.clone(),
+        }),
+    );
     k.create_vm(VmSpec {
         name: "yielder",
         priority: Priority::GUEST,

@@ -74,10 +74,7 @@ fn rogue_mir_guest_cannot_raise_privilege_via_msr() {
     let _ = vm;
     assert_eq!(k.state.stats.vms_killed, 0, "MSR must not be fatal");
     assert!(
-        mnv_arm::cpu::exceptions_taken(
-            &k.machine.cpu,
-            mnv_arm::cpu::ExceptionKind::Undefined
-        ) >= 1,
+        mnv_arm::cpu::exceptions_taken(&k.machine.cpu, mnv_arm::cpu::ExceptionKind::Undefined) >= 1,
         "the MRC after the failed escalation must still trap"
     );
 }

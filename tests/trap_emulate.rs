@@ -76,7 +76,12 @@ fn lazy_vfp_switch_preserves_both_vms_banks() {
         b.mov(5, 200); // iterations
         let top = b.label();
         b.bind(top);
-        b.push(Instr::VfpOp { op: 0, rd: 0, rn: 0, rm: 1 }); // d0 += d1
+        b.push(Instr::VfpOp {
+            op: 0,
+            rd: 0,
+            rn: 0,
+            rm: 1,
+        }); // d0 += d1
         b.compute(300);
         b.alu_imm(AluOp::Sub, 5, 5, 1);
         b.alu_imm(AluOp::Cmp, 5, 5, 0);
@@ -122,15 +127,14 @@ fn guest_fault_is_forwarded_to_registered_abort_handler() {
     b.mov(2, guest_layout::HWIFACE_BASE.raw() as u32);
     b.ldr(3, 2, 0); // faults
     b.halt(); // skipped: the handler runs instead
-    // Handler at a known label: store DFAR to the result buffer, halt.
+              // Handler at a known label: store DFAR to the result buffer, halt.
     let handler = b.label();
     b.bind(handler);
     b.mov(6, 0x0030_0000);
     b.str(0, 6, 0); // DFAR
     b.str(1, 6, 4); // DFSR
     b.halt();
-    let handler_va =
-        guest_layout::CODE_BASE.raw() as u32 + 3 * mnv_arm::mir::INSTR_SIZE as u32;
+    let handler_va = guest_layout::CODE_BASE.raw() as u32 + 3 * mnv_arm::mir::INSTR_SIZE as u32;
 
     let prog = b.assemble(guest_layout::CODE_BASE.raw());
     let mut mir = MirGuest::new(prog);
