@@ -7,7 +7,8 @@
 //! kernel's entry paths get slower with more VMs because their cache lines
 //! really do get evicted by the other guests' traffic.
 
-use mnv_hal::{Cycles, HalResult, PhysAddr, VirtAddr};
+use mnv_fault::{FaultPlane, FaultSite};
+use mnv_hal::{Cycles, HalResult, IrqNum, PhysAddr, VirtAddr};
 use mnv_trace::{TraceEvent, Tracer, TrapKind};
 
 use crate::bus::{PeriphCtx, Peripheral};
@@ -113,6 +114,10 @@ pub struct Machine {
     pub log: EventLog,
     /// Event tracer (disabled by default; the kernel installs a shared one).
     pub tracer: Tracer,
+    /// Fault-injection plane (disabled by default; the kernel arms a shared
+    /// one). The machine consults it for AXI bus errors on peripheral
+    /// windows, spurious/storming PL interrupts and memory bit flips.
+    pub fault: FaultPlane,
     /// Cause of the most recent undefined-instruction exception.
     pub last_und: Option<UndCause>,
     /// Immediate of the most recent SVC.
@@ -148,6 +153,7 @@ impl Machine {
             gtimer: GlobalTimer::default(),
             log: EventLog::new(cfg.log_capacity),
             tracer: Tracer::disabled(),
+            fault: FaultPlane::disabled(),
             last_und: None,
             last_svc: None,
             last_fault: None,
@@ -180,6 +186,7 @@ impl Machine {
             return;
         }
         self.last_sync = self.clock;
+        self.inject_time_faults();
         self.gtimer.advance(dt);
         let fired = self.ptimer.advance(dt);
         for _ in 0..fired {
@@ -205,6 +212,64 @@ impl Machine {
         };
         for p in periphs.iter_mut() {
             p.advance(dt, &mut ctx);
+        }
+    }
+
+    /// Inject the time-driven fault classes (spurious interrupts, interrupt
+    /// storms, memory bit flips) whose deadlines have passed. A no-op when
+    /// the plane is disarmed.
+    fn inject_time_faults(&mut self) {
+        if !self.fault.is_armed() {
+            return;
+        }
+        let now = self.clock;
+        if self.fault.due(FaultSite::IrqSpurious, now) {
+            let line =
+                self.fault
+                    .pick(FaultSite::IrqSpurious, IrqNum::PL_COUNT as u64) as u16;
+            let irq = IrqNum::pl(line);
+            self.gic.raise(irq);
+            self.log.push(now, SimEvent::IrqRaised(irq));
+            self.tracer.emit(
+                now,
+                TraceEvent::FaultInjected {
+                    site: FaultSite::IrqSpurious as u8,
+                },
+            );
+        }
+        if self.fault.due(FaultSite::IrqStorm, now) {
+            // A storm asserts every fabric line at once — the worst case
+            // the kernel's vGIC routing has to absorb.
+            for line in 0..IrqNum::PL_COUNT {
+                self.gic.raise(IrqNum::pl(line));
+            }
+            self.log.push(now, SimEvent::Marker("irq-storm"));
+            self.tracer.emit(
+                now,
+                TraceEvent::FaultInjected {
+                    site: FaultSite::IrqStorm as u8,
+                },
+            );
+        }
+        if self.fault.due(FaultSite::MemFlip, now) {
+            let window = self.fault.plan().map(|p| p.mem_flip_window);
+            if let Some((base, len)) = window {
+                if len >= 4 {
+                    let word = self.fault.pick(FaultSite::MemFlip, len / 4) * 4;
+                    let bit = self.fault.pick(FaultSite::MemFlip, 32) as u32;
+                    let pa = PhysAddr::new(base + word);
+                    if let Ok(v) = self.mem.read_u32(pa) {
+                        let _ = self.mem.write_u32(pa, v ^ (1 << bit));
+                        self.log.push(now, SimEvent::Marker("mem-flip"));
+                        self.tracer.emit(
+                            now,
+                            TraceEvent::FaultInjected {
+                                site: FaultSite::MemFlip as u8,
+                            },
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -289,6 +354,18 @@ impl Machine {
         if let Some(i) = self.mmio_lookup(pa) {
             self.charge(timing::MMIO);
             self.sync_devices();
+            if self.fault.trip(FaultSite::AxiReadError, self.clock, a) {
+                // AXI DECERR: the interconnect answers with the error
+                // pattern instead of reaching the device.
+                self.log.push(self.clock, SimEvent::Marker("axi-read-err"));
+                self.tracer.emit(
+                    self.clock,
+                    TraceEvent::FaultInjected {
+                        site: FaultSite::AxiReadError as u8,
+                    },
+                );
+                return Ok(0xFFFF_FFFF);
+            }
             let Machine {
                 ref mut periphs,
                 ref mut mem,
@@ -333,6 +410,18 @@ impl Machine {
         if let Some(i) = self.mmio_lookup(pa) {
             self.charge(timing::MMIO);
             self.sync_devices();
+            if self.fault.trip(FaultSite::AxiWriteError, self.clock, a) {
+                // The interconnect drops the write (SLVERR on the response
+                // channel; the store itself never reaches the device).
+                self.log.push(self.clock, SimEvent::Marker("axi-write-err"));
+                self.tracer.emit(
+                    self.clock,
+                    TraceEvent::FaultInjected {
+                        site: FaultSite::AxiWriteError as u8,
+                    },
+                );
+                return Ok(());
+            }
             let Machine {
                 ref mut periphs,
                 ref mut mem,

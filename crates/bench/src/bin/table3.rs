@@ -4,7 +4,7 @@
 //! event timeline of the 2-guest configuration
 //! (`target/experiments/table3.trace.json`).
 //!
-//! Usage: `cargo run --release -p mnv-bench --bin table3 [--quick] [--footprint] [--no-trace]`
+//! Usage: `cargo run --release -p mnv-bench --bin table3 [--quick] [--chaos] [--footprint] [--no-trace]`
 
 use mnv_bench::{
     measure_native, measure_virtualized, table3::format_table3, traced_run, write_artifact,
@@ -14,11 +14,18 @@ use mnv_trace::json::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let cfg = if args.iter().any(|a| a == "--quick") {
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
         mnv_bench::table3::quick_config()
     } else {
         Table3Config::default()
     };
+    if args.iter().any(|a| a == "--chaos") {
+        // Arm the chaos fault preset: the resilience counter rows then show
+        // retries/quarantines/fallbacks and the latency rows what graceful
+        // degradation costs. Native runs have no fault plane and stay clean.
+        cfg.chaos_seed = Some(0xC0A5);
+        eprintln!("chaos fault plane armed (seed base 0xC0A5)");
+    }
 
     if args.iter().any(|a| a == "--footprint") {
         print_footprint();

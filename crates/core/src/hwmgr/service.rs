@@ -10,22 +10,89 @@
 
 use mnv_arm::machine::Machine;
 use mnv_arm::tlb::Ap;
-use mnv_fpga::pl::{pcap_status, plregs, Pl, PAGE, PL_GP_BASE};
+use mnv_fpga::bitstream::CoreKind;
+use mnv_fpga::cores::make_core;
+use mnv_fpga::pl::{pcap_status, pcap_transfer_cycles, plregs, Pl, PAGE, PL_GP_BASE};
+use mnv_fpga::prr::ctrl as prr_ctrl;
+use mnv_fpga::prr::errcode as prr_errcode;
 use mnv_fpga::prr::regs as prr_regs;
 use mnv_fpga::prr::status as prr_status;
-use mnv_hal::abi::{data_section, HcError, HwTaskState, HwTaskStatus};
-use mnv_hal::{Domain, HwTaskId, PhysAddr, VirtAddr, VmId};
+use mnv_hal::abi::{data_section, hw_task_result, HcError, HwTaskState, HwTaskStatus};
+use mnv_hal::{Domain, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
+use mnv_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
 use super::irqalloc::PlIrqAllocator;
 use super::tables::{HwTaskTable, PrrTable};
 use crate::kobj::pd::{DataSection, Pd};
-use crate::mem::layout::ktext;
+use crate::mem::layout::{self, ktext};
 use crate::mem::pagetable::{self, PtAlloc};
 use crate::stats::KernelStats;
 
 /// Fixed hardware-task data-section length (the guests' convention).
 pub const DATA_SECTION_LEN: u64 = 0x2_0000;
+
+/// Software-fallback slowdown: a CPU implementation of an accelerated
+/// workload is charged this many times the fabric core's compute cycles
+/// (the degraded-but-correct operating point).
+pub const SW_SLOWDOWN: u64 = 8;
+
+/// Default watchdog timeout for a continuously-BUSY region, in cycles —
+/// generously above the longest legitimate run (full-data-section DMA plus
+/// the slowest core's compute is well under 5 M cycles).
+pub const DEFAULT_WATCHDOG_TIMEOUT: u64 = 20_000_000;
+
+/// Default bound on PCAP relaunch attempts per reconfiguration.
+pub const DEFAULT_MAX_PCAP_RETRIES: u8 = 3;
+
+/// An in-flight PCAP reconfiguration — everything the retry path needs to
+/// relaunch the transfer after a CRC reject or a watchdog abort.
+#[derive(Clone, Copy, Debug)]
+pub struct PcapJob {
+    /// VM waiting on the reconfiguration.
+    pub vm: VmId,
+    /// The task being configured.
+    pub task: HwTaskId,
+    /// Target region.
+    pub prr: u8,
+    /// Bitstream source address in the store.
+    pub bit_addr: PhysAddr,
+    /// Bitstream length.
+    pub bit_len: u32,
+    /// Relaunches performed so far.
+    pub attempts: u8,
+    /// Cycle time of the current launch (stall-watchdog reference).
+    pub started_at: u64,
+}
+
+impl PcapJob {
+    /// Cycle deadline after which the transfer is considered stalled (4×
+    /// the nominal PCAP duration plus slack — a healthy transfer is long
+    /// done by then).
+    pub fn stall_deadline(&self) -> u64 {
+        self.started_at + 4 * pcap_transfer_cycles(self.bit_len as u64) + 100_000
+    }
+}
+
+/// A software-fallback dispatch: the client's interface VA is backed by a
+/// kernel-owned RAM page (the "shadow register group") which the kernel
+/// services in software instead of fabric.
+#[derive(Clone, Copy, Debug)]
+pub struct SwShadow {
+    /// Owning VM.
+    pub vm: VmId,
+    /// The degraded task.
+    pub task: HwTaskId,
+    /// Functional model to run on the CPU.
+    pub core: CoreKind,
+    /// Physical page holding the shadow register group.
+    pub page: PhysAddr,
+    /// The client's data section (DMA-window equivalent for validation).
+    pub ds: DataSection,
+    /// Completion IRQ line, when the dispatch inherited one from a
+    /// quarantined region (pure-software dispatches poll).
+    pub line: Option<IrqNum>,
+}
 
 /// The manager service state.
 pub struct HwMgr {
@@ -39,6 +106,19 @@ pub struct HwMgr {
     /// IRQ "is always connected to the VM which launches the current
     /// transfer" — §IV-D).
     pub pcap_owner: Option<VmId>,
+    /// The in-flight PCAP reconfiguration (retry/watchdog bookkeeping).
+    pub pcap_job: Option<PcapJob>,
+    /// Per-PRR cycle time at which the region was first observed BUSY
+    /// (`None` = not busy); the hang watchdog's reference point.
+    pub busy_since: Vec<Option<u64>>,
+    /// Active software-fallback dispatches.
+    pub shadows: Vec<SwShadow>,
+    /// Bump cursor into the shadow-page pool.
+    shadow_cursor: u64,
+    /// Quarantine a region after this many cycles of continuous BUSY.
+    pub watchdog_timeout: u64,
+    /// Bound on PCAP relaunch attempts per reconfiguration.
+    pub max_pcap_retries: u8,
     /// Native-baseline mode: unified memory space, so the page-table
     /// update stages are skipped (§V-B: "in native uCOS-II, the hardware
     /// task manager service does not need to update the page tables").
@@ -57,8 +137,26 @@ impl HwMgr {
             prrs: PrrTable::new(num_prrs),
             irqs: PlIrqAllocator::new(),
             pcap_owner: None,
+            pcap_job: None,
+            busy_since: vec![None; num_prrs],
+            shadows: Vec::new(),
+            shadow_cursor: 0,
+            watchdog_timeout: DEFAULT_WATCHDOG_TIMEOUT,
+            max_pcap_retries: DEFAULT_MAX_PCAP_RETRIES,
             native,
         }
+    }
+
+    /// Carve one zeroed 4 KB shadow page from the pool.
+    fn alloc_shadow_page(&mut self, m: &mut Machine) -> Option<PhysAddr> {
+        if self.shadow_cursor + mnv_hal::PAGE_SIZE > layout::SHADOW_LEN {
+            return None;
+        }
+        let pa = layout::SHADOW_BASE + self.shadow_cursor;
+        self.shadow_cursor += mnv_hal::PAGE_SIZE;
+        m.phys_write_block(pa, &[0u8; mnv_hal::PAGE_SIZE as usize])
+            .ok()?;
+        Some(pa)
     }
 
     /// Touch the manager's code path (instruction-fetch traffic).
@@ -100,6 +198,9 @@ impl HwMgr {
         let mut reclaim = None;
         for &p in entry_prrs {
             self.prrs.touch(m, p);
+            if self.prrs.entry(p).quarantined {
+                continue; // out of service — the watchdog retired it
+            }
             let status = self.prr_status(m, p);
             if status == prr_status::BUSY {
                 continue;
@@ -184,7 +285,9 @@ impl HwMgr {
     }
 
     /// The HwTaskRequest hypercall body — stages 1..6 of Fig. 7. Returns
-    /// the status value for the guest (Success / Reconfiguring).
+    /// the status value for the guest (Success / Reconfiguring), with the
+    /// PRR in bits 15:8, the IRQ line in bits 23:16 and the degraded flag
+    /// in bit 24 (see `mnv_hal::abi::hw_task_result`).
     #[allow(clippy::too_many_arguments)]
     pub fn handle_request(
         &mut self,
@@ -192,6 +295,7 @@ impl HwMgr {
         pds: &mut BTreeMap<VmId, Pd>,
         pt: &mut PtAlloc,
         stats: &mut KernelStats,
+        tracer: &Tracer,
         caller: VmId,
         task: HwTaskId,
         iface_va: VirtAddr,
@@ -202,15 +306,18 @@ impl HwMgr {
         self.charge_allocation_work(m);
 
         // Stage 1–2: look the task up and select a region.
-        let (entry_prrs, bit_addr, bit_len) = {
+        let (entry_prrs, bit_addr, bit_len, core) = {
             let e = self.tasks.lookup(m, task).ok_or(HcError::NotFound)?;
-            (e.prrs.clone(), e.bit_addr, e.bit_len)
+            (e.prrs.clone(), e.bit_addr, e.bit_len, e.core)
         };
 
         // Register (or refresh) the caller's data section.
         let ds = {
             let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
-            if !iface_va.is_page_aligned() {
+            // The interface page must be page-aligned and inside the
+            // caller's guest window — a VA beyond it would let the guest
+            // graft device mappings over foreign address space.
+            if !iface_va.is_page_aligned() || iface_va.raw() >= pd.region_len {
                 return Err(HcError::BadArg);
             }
             let pa = pd.guest_pa(data_va).ok_or(HcError::BadArg)?;
@@ -225,6 +332,23 @@ impl HwMgr {
 
         // Fast path: the caller already holds this task.
         if let Some(prr) = self.prrs.find_dispatch(caller, task) {
+            if self.prrs.entry(prr).quarantined {
+                // Migrated to the software fallback when its region was
+                // quarantined: refresh the data section and re-report the
+                // degraded dispatch — the interface mapping already points
+                // at the shadow page.
+                if let Some(s) = self
+                    .shadows
+                    .iter_mut()
+                    .find(|s| s.vm == caller && s.task == task)
+                {
+                    s.ds = ds;
+                }
+                return Ok(HwTaskStatus::Success as u32
+                    | ((prr as u32) << 8)
+                    | (hw_task_result::NO_LINE << 16)
+                    | hw_task_result::DEGRADED);
+            }
             self.program_hwmmu(m, prr, ds);
             let line = self
                 .irqs
@@ -235,7 +359,29 @@ impl HwMgr {
             return Ok(HwTaskStatus::Success as u32 | ((prr as u32) << 8) | (line << 16));
         }
 
+        // A pure-software dispatch (made when every compatible region was
+        // quarantined) has no PRR-table entry; it lives in the shadow list.
+        if let Some(s) = self
+            .shadows
+            .iter_mut()
+            .find(|s| s.vm == caller && s.task == task)
+        {
+            s.ds = ds;
+            return Ok(HwTaskStatus::Success as u32
+                | (hw_task_result::NO_PRR << 8)
+                | (hw_task_result::NO_LINE << 16)
+                | hw_task_result::DEGRADED);
+        }
+
         let Some(prr) = self.select_prr(m, &entry_prrs, task) else {
+            if !entry_prrs.is_empty() && entry_prrs.iter().all(|&p| self.prrs.entry(p).quarantined)
+            {
+                // Every region this task fits is out of service: degrade
+                // to a pure-software dispatch instead of failing forever.
+                return self.dispatch_software(
+                    m, pds, pt, stats, tracer, caller, task, core, iface_va, ds,
+                );
+            }
             // Fig. 7 stage 2: "if no idle PRR is available, the manager
             // service would return to the applicant guest OS with a Busy
             // status".
@@ -280,7 +426,9 @@ impl HwMgr {
             .irqs
             .alloc(caller, prr)
             .map_err(|_| HcError::NoResource)?;
-        let line_idx = line.pl_index().expect("pl line") as u32;
+        // The allocator only hands out PL lines, but never trust that with
+        // a panic on a guest-reachable path.
+        let line_idx = line.pl_index().ok_or(HcError::NoResource)? as u32;
         let _ = m.phys_write_u32(ctrl_reg(plregs::IRQ_ROUTE), ((prr as u32) << 8) | line_idx);
         if let Some(pd) = pds.get_mut(&caller) {
             pd.vgic.enable(line);
@@ -313,6 +461,15 @@ impl HwMgr {
             let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_IRQ_EN), 1);
             let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_CTRL), 1);
             self.pcap_owner = Some(caller);
+            self.pcap_job = Some(PcapJob {
+                vm: caller,
+                task,
+                prr,
+                bit_addr,
+                bit_len,
+                attempts: 0,
+                started_at: m.now().raw(),
+            });
             if let Some(pd) = pds.get_mut(&caller) {
                 pd.pcap_pending = Some(task);
             }
@@ -339,10 +496,12 @@ impl HwMgr {
         task: HwTaskId,
     ) -> Result<u32, HcError> {
         self.touch_code(m, 8);
-        let prr = self
-            .prrs
-            .find_dispatch(caller, task)
-            .ok_or(HcError::NotFound)?;
+        let Some(prr) = self.prrs.find_dispatch(caller, task) else {
+            return self.release_shadow(m, pds, caller, task);
+        };
+        // A quarantined region's client was migrated to a shadow page;
+        // dropping the dispatch drops the shadow too.
+        self.shadows.retain(|s| !(s.vm == caller && s.task == task));
         let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
         if !self.native {
             if let Some(&(va, _)) = pd.iface_maps.get(&task) {
@@ -363,6 +522,341 @@ impl HwMgr {
         e.client = None;
         e.iface_va = None;
         Ok(0)
+    }
+
+    /// Release a pure-software dispatch (no PRR-table entry backs it).
+    fn release_shadow(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        caller: VmId,
+        task: HwTaskId,
+    ) -> Result<u32, HcError> {
+        let idx = self
+            .shadows
+            .iter()
+            .position(|s| s.vm == caller && s.task == task)
+            .ok_or(HcError::NotFound)?;
+        self.shadows.remove(idx);
+        let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+        if !self.native {
+            if let Some(&(va, _)) = pd.iface_maps.get(&task) {
+                let _ = pagetable::unmap_page(m, pd.l1, va, pd.asid);
+            }
+        }
+        pd.iface_maps.remove(&task);
+        Ok(0)
+    }
+
+    /// Dispatch a task in software only: map the client's interface VA to
+    /// a fresh shadow register page and register the dispatch for the
+    /// kernel's service loop. Used when every compatible region has been
+    /// quarantined — degraded, but the guest's workload still completes.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_software(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        caller: VmId,
+        task: HwTaskId,
+        core: CoreKind,
+        iface_va: VirtAddr,
+        ds: DataSection,
+    ) -> Result<u32, HcError> {
+        let page = self.alloc_shadow_page(m).ok_or(HcError::NoResource)?;
+        let _ = m.phys_write_u32(page + 4 * prr_regs::STATUS as u64, prr_status::IDLE);
+        let _ = m.phys_write_u32(page + 4 * prr_regs::CORE_KIND as u64, core.encode());
+
+        if !self.native {
+            let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+            pagetable::map_page(
+                m,
+                pd.l1,
+                iface_va,
+                page,
+                Domain::DEVICE,
+                Ap::Full,
+                true,
+                false,
+                pt,
+            )
+            .map_err(|_| HcError::NoResource)?;
+            pd.iface_maps
+                .insert(task, (iface_va, hw_task_result::NO_PRR as u8));
+        } else if let Some(pd) = pds.get_mut(&caller) {
+            pd.iface_maps
+                .insert(task, (iface_va, hw_task_result::NO_PRR as u8));
+        }
+
+        let _ = m.phys_write_u32(
+            ds.pa + data_section::STATE_FLAG,
+            HwTaskState::Consistent as u32,
+        );
+        let _ = m.phys_write_u32(ds.pa + data_section::SAVED_TASK, task.0 as u32);
+
+        self.shadows.push(SwShadow {
+            vm: caller,
+            task,
+            core,
+            page,
+            ds,
+            line: None,
+        });
+        stats.hwmgr.sw_fallbacks += 1;
+        tracer.emit(
+            m.now(),
+            TraceEvent::SwFallback {
+                vm: caller.0,
+                task: task.0 as u32,
+            },
+        );
+        Ok(HwTaskStatus::Success as u32
+            | (hw_task_result::NO_PRR << 8)
+            | (hw_task_result::NO_LINE << 16)
+            | hw_task_result::DEGRADED)
+    }
+
+    /// The reconfiguration watchdog and software-fallback service pass.
+    /// Called from the kernel's main loop between scheduling slices; the
+    /// kernel has the CPU, so everything here is charged kernel time.
+    ///
+    /// Three duties:
+    /// 1. abort a PCAP transfer that has been BUSY past its deadline (the
+    ///    guest's next PcapPoll then takes the retry path);
+    /// 2. quarantine a region whose STATUS has been BUSY for longer than
+    ///    [`HwMgr::watchdog_timeout`], migrating its client to a shadow
+    ///    page and completing the wedged run in software;
+    /// 3. serve start requests the guests wrote into shadow pages.
+    pub fn watchdog(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+    ) {
+        let now = m.now().raw();
+
+        // 1. PCAP stall abort.
+        if let Some(job) = self.pcap_job {
+            let status = m.phys_read_u32(ctrl_reg(plregs::PCAP_STATUS)).unwrap_or(0);
+            if status == pcap_status::BUSY && now > job.stall_deadline() {
+                let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_CTRL), 0b10);
+            }
+        }
+
+        // 2. Hang detection.
+        for prr in 0..self.prrs.len() as u8 {
+            if self.prrs.entry(prr).quarantined {
+                continue;
+            }
+            let status = self.prr_status(m, prr);
+            if status != prr_status::BUSY {
+                self.busy_since[prr as usize] = None;
+                continue;
+            }
+            let since = *self.busy_since[prr as usize].get_or_insert(now);
+            if now.saturating_sub(since) > self.watchdog_timeout {
+                self.quarantine(m, pds, pt, stats, tracer, prr);
+            }
+        }
+
+        // 3. Shadow service.
+        self.serve_shadows(m, pds, stats, tracer);
+    }
+
+    /// Take a hung region out of service and migrate its client to a
+    /// shadow page, completing the wedged run in software (bit-identical
+    /// output — the shadow runs the same functional model as the fabric).
+    fn quarantine(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        prr: u8,
+    ) {
+        stats.hwmgr.quarantines += 1;
+        tracer.emit(m.now(), TraceEvent::PrrQuarantine { prr });
+        self.busy_since[prr as usize] = None;
+        self.prrs.entry_mut(m, prr).quarantined = true;
+
+        // A wedged region must not keep DMA rights.
+        let _ = m.phys_write_u32(ctrl_reg(plregs::HWMMU_SEL), prr as u32);
+        let _ = m.phys_write_u32(ctrl_reg(plregs::HWMMU_LEN), 0);
+
+        let (client, task, iface_va) = {
+            let e = self.prrs.entry(prr);
+            (e.client, e.task, e.iface_va)
+        };
+        let (Some(vm), Some(task), Some(iface_va)) = (client, task, iface_va) else {
+            return; // nobody was using it — just retired
+        };
+        let Some(core) = self.tasks.get(task).map(|e| e.core) else {
+            return;
+        };
+        let Some(ds) = pds.get(&vm).and_then(|pd| pd.data_section) else {
+            return;
+        };
+        let Some(page) = self.alloc_shadow_page(m) else {
+            return; // pool exhausted: region stays retired, no migration
+        };
+
+        // Copy the register group so the client's programming survives the
+        // migration, then swing its interface mapping onto the shadow.
+        let dev = Pl::prr_page(prr);
+        let mut regs = [0u32; 16];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = m.phys_read_u32(dev + (i as u64) * 4).unwrap_or(0);
+            let _ = m.phys_write_u32(page + (i as u64) * 4, *r);
+        }
+        if !self.native {
+            if let Some(pd) = pds.get_mut(&vm) {
+                let _ = pagetable::unmap_page(m, pd.l1, VirtAddr::new(iface_va), pd.asid);
+                // The shadow keeps the interface VA alive; a map failure
+                // leaves the VA unmapped and the guest takes a fault, which
+                // is still contained.
+                let _ = pagetable::map_page(
+                    m,
+                    pd.l1,
+                    VirtAddr::new(iface_va),
+                    page,
+                    Domain::DEVICE,
+                    Ap::Full,
+                    true,
+                    false,
+                    pt,
+                );
+            }
+        }
+        let line = self.irqs.alloc(vm, prr).ok();
+        let shadow = SwShadow {
+            vm,
+            task,
+            core,
+            page,
+            ds,
+            line,
+        };
+
+        // The wedged run: the guest is polling STATUS (or waiting on the
+        // completion IRQ) — finish it on the CPU now.
+        if regs[prr_regs::STATUS] == prr_status::BUSY {
+            self.serve_one(m, pds, stats, tracer, &shadow, regs[prr_regs::CTRL]);
+        }
+        self.shadows.push(shadow);
+    }
+
+    /// Serve pending start requests written into shadow register pages.
+    fn serve_shadows(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+    ) {
+        let shadows = std::mem::take(&mut self.shadows);
+        for s in &shadows {
+            let ctrl = m
+                .phys_read_u32(s.page + 4 * prr_regs::CTRL as u64)
+                .unwrap_or(0);
+            if ctrl & prr_ctrl::START != 0 {
+                self.serve_one(m, pds, stats, tracer, s, ctrl);
+            }
+        }
+        // serve_one never touches self.shadows; restore (plus anything a
+        // re-entrant path might have pushed, defensively).
+        let mut restored = shadows;
+        restored.append(&mut self.shadows);
+        self.shadows = restored;
+    }
+
+    /// Run one software-fallback request to completion: validate the DMA
+    /// windows like the hwMMU would, run the functional model, publish the
+    /// results into the shadow register group and deliver the completion.
+    fn serve_one(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        s: &SwShadow,
+        ctrl: u32,
+    ) {
+        let reg = |m: &mut Machine, idx: usize| {
+            m.phys_read_u32(s.page + 4 * idx as u64).unwrap_or(0) as u64
+        };
+        let src = reg(m, prr_regs::SRC_ADDR);
+        let src_len = reg(m, prr_regs::SRC_LEN);
+        let dst = reg(m, prr_regs::DST_ADDR);
+        let dst_cap = reg(m, prr_regs::DST_LEN);
+
+        let in_window = |a: u64, l: u64| {
+            a >= s.ds.pa.raw()
+                && a.checked_add(l)
+                    .is_some_and(|e| e <= s.ds.pa.raw() + s.ds.len)
+        };
+        let core = make_core(s.core);
+        let out_len = core.output_len(src_len as usize) as u64;
+
+        let fail = |m: &mut Machine, code: u32| {
+            let _ = m.phys_write_u32(s.page + 4 * prr_regs::STATUS as u64, prr_status::ERROR);
+            let _ = m.phys_write_u32(s.page + 4 * prr_regs::PARAM0 as u64, code);
+        };
+        // Clear the START pulse either way (IRQ_EN is a level setting).
+        let _ = m.phys_write_u32(s.page + 4 * prr_regs::CTRL as u64, ctrl & prr_ctrl::IRQ_EN);
+        if !in_window(src, src_len) || !in_window(dst, out_len) {
+            fail(m, prr_errcode::HWMMU_VIOLATION);
+            return;
+        }
+        if out_len > dst_cap {
+            fail(m, prr_errcode::DST_OVERFLOW);
+            return;
+        }
+
+        let mut input = vec![0u8; src_len as usize];
+        if m.phys_read_block(PhysAddr::new(src), &mut input).is_err() {
+            fail(m, prr_errcode::HWMMU_VIOLATION);
+            return;
+        }
+        // The same functional model the fabric runs — the output bytes are
+        // bit-identical; only the time cost differs.
+        let output = core.process(&input);
+        let sw_cycles = core.compute_cycles(src_len as usize) * SW_SLOWDOWN;
+        m.charge(sw_cycles);
+        if m.phys_write_block(PhysAddr::new(dst), &output).is_err() {
+            fail(m, prr_errcode::HWMMU_VIOLATION);
+            return;
+        }
+        let _ = m.phys_write_u32(
+            s.page + 4 * prr_regs::RESULT_LEN as u64,
+            output.len() as u32,
+        );
+        let _ = m.phys_write_u32(s.page + 4 * prr_regs::PERF_CYCLES as u64, sw_cycles as u32);
+        let _ = m.phys_write_u32(s.page + 4 * prr_regs::STATUS as u64, prr_status::DONE);
+
+        stats.hwmgr.sw_fallbacks += 1;
+        tracer.emit(
+            m.now(),
+            TraceEvent::SwFallback {
+                vm: s.vm.0,
+                task: s.task.0 as u32,
+            },
+        );
+        // Completion delivery: buffer the vIRQ like the vGIC routing path
+        // does for an inactive owner, and wake the VM.
+        if ctrl & prr_ctrl::IRQ_EN != 0 {
+            if let (Some(line), Some(pd)) = (s.line, pds.get_mut(&s.vm)) {
+                pd.vgic.buffer(line);
+                if pd.vgic.is_enabled(line) {
+                    pd.wake_at = 0;
+                }
+            }
+        }
     }
 
     /// HwTaskQuery: consistency state of `task` as seen by `caller`.
@@ -393,24 +887,78 @@ impl HwMgr {
     }
 
     /// PcapPoll: 1 when the caller's pending reconfiguration completed.
+    ///
+    /// A failed transfer (CRC reject, malformed header, watchdog abort) is
+    /// relaunched with backoff up to [`HwMgr::max_pcap_retries`] times;
+    /// past that the target region is quarantined and the client degrades
+    /// to the software fallback — the poll still reports completion.
     pub fn handle_pcap_poll(
         &mut self,
         m: &mut Machine,
         pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
         caller: VmId,
     ) -> Result<u32, HcError> {
-        let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
-        if pd.pcap_pending.is_none() {
+        if pds
+            .get(&caller)
+            .ok_or(HcError::BadArg)?
+            .pcap_pending
+            .is_none()
+        {
             return Ok(1);
         }
         let status = m.phys_read_u32(ctrl_reg(plregs::PCAP_STATUS)).unwrap_or(0);
         if self.pcap_owner == Some(caller) && status == pcap_status::DONE {
-            pd.pcap_pending = None;
+            if let Some(pd) = pds.get_mut(&caller) {
+                pd.pcap_pending = None;
+            }
             self.pcap_owner = None;
+            self.pcap_job = None;
             return Ok(1);
         }
         if status == pcap_status::ERROR {
-            pd.pcap_pending = None;
+            if self.pcap_owner == Some(caller) {
+                if let Some(mut job) = self.pcap_job {
+                    if job.attempts < self.max_pcap_retries {
+                        job.attempts += 1;
+                        stats.hwmgr.pcap_retries += 1;
+                        tracer.emit(
+                            m.now(),
+                            TraceEvent::PcapRetry {
+                                prr: job.prr,
+                                attempt: job.attempts,
+                            },
+                        );
+                        // Exponential backoff, then relaunch the transfer.
+                        m.charge(10_000u64 << job.attempts);
+                        let _ =
+                            m.phys_write_u32(ctrl_reg(plregs::PCAP_SRC), job.bit_addr.raw() as u32);
+                        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_LEN), job.bit_len);
+                        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_TARGET), job.prr as u32);
+                        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_IRQ_EN), 1);
+                        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_CTRL), 1);
+                        job.started_at = m.now().raw();
+                        self.pcap_job = Some(job);
+                        return Ok(0);
+                    }
+                    // Retries exhausted: the transfer path to this region
+                    // is persistently failing (e.g. a damaged bitstream
+                    // store). Quarantine it and serve the client on the
+                    // CPU — the reconfiguration completes, degraded.
+                    self.pcap_job = None;
+                    self.pcap_owner = None;
+                    if let Some(pd) = pds.get_mut(&caller) {
+                        pd.pcap_pending = None;
+                    }
+                    self.quarantine(m, pds, pt, stats, tracer, job.prr);
+                    return Ok(1);
+                }
+            }
+            if let Some(pd) = pds.get_mut(&caller) {
+                pd.pcap_pending = None;
+            }
             self.pcap_owner = None;
             return Err(HcError::BadArg);
         }

@@ -116,6 +116,10 @@ pub struct PrrEntry {
     pub iface_va: Option<u64>,
     /// Completed dispatches through this region.
     pub dispatches: u64,
+    /// Region taken out of service by the reconfiguration watchdog (a hung
+    /// PRR never comes back by itself — only a fabric power-cycle would
+    /// clear it, which the simulated board cannot do).
+    pub quarantined: bool,
 }
 
 /// The PRR state table.

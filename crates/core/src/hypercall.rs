@@ -247,12 +247,20 @@ fn dispatch(
             Ok(0)
         }
         HwTaskRequest => with_manager(m, ks, caller, |m, ks| {
-            let (hwmgr, pds, pt, stats) = (&mut ks.hwmgr, &mut ks.pds, &mut ks.pt, &mut ks.stats);
+            let crate::kernel::KernelState {
+                hwmgr,
+                pds,
+                pt,
+                stats,
+                tracer,
+                ..
+            } = ks;
             hwmgr.handle_request(
                 m,
                 pds,
                 pt,
                 stats,
+                tracer,
                 caller,
                 HwTaskId(args.a0 as u16),
                 VirtAddr::new(args.a1 as u64),
@@ -267,8 +275,15 @@ fn dispatch(
             .hwmgr
             .handle_query(m, &ks.pds, caller, HwTaskId(args.a0 as u16)),
         PcapPoll => {
-            let (hwmgr, pds) = (&mut ks.hwmgr, &mut ks.pds);
-            hwmgr.handle_pcap_poll(m, pds, caller)
+            let crate::kernel::KernelState {
+                hwmgr,
+                pds,
+                pt,
+                stats,
+                tracer,
+                ..
+            } = ks;
+            hwmgr.handle_pcap_poll(m, pds, pt, stats, tracer, caller)
         }
         IpcSend => ipc::send(
             &mut ks.pds,
@@ -405,11 +420,14 @@ fn with_manager(
     m.charge(280);
     touch_ktext(m, ktext::MGR_EXIT, 12);
     {
-        let pd = ks.pds.get_mut(&caller).expect("checked above");
-        pd.vcpu.restore_active(m, caller);
-        for line in pd.vgic.enabled_lines() {
-            m.charge(mnv_arm::timing::MMIO);
-            m.gic.enable(line);
+        // The caller was checked at entry, but the body may have destroyed
+        // or restructured PDs — never panic on the exit path.
+        if let Some(pd) = ks.pds.get_mut(&caller) {
+            pd.vcpu.restore_active(m, caller);
+            for line in pd.vgic.enabled_lines() {
+                m.charge(mnv_arm::timing::MMIO);
+                m.gic.enable(line);
+            }
         }
     }
     ks.stats.vm_switches += 1;

@@ -4,6 +4,7 @@
 use mnv_arm::cp15::Cp15Reg;
 use mnv_arm::machine::{Machine, MachineConfig};
 use mnv_arm::tlb::Ap;
+use mnv_fault::{FaultPlan, FaultPlane};
 use mnv_fpga::bitstream::{Bitstream, CoreKind};
 use mnv_fpga::fabric::FabricConfig;
 use mnv_fpga::pl::{Pl, PlConfig};
@@ -179,6 +180,38 @@ impl Kernel {
         t
     }
 
+    /// Arm deterministic fault injection over the whole substrate: one
+    /// seeded [`FaultPlane`] is shared by the machine (AXI errors, spurious
+    /// IRQs, memory flips) and the PL peripheral (PCAP corruption/stalls,
+    /// PRR hangs). Returns a handle for replay assertions — the same plan
+    /// against the same workload yields an identical fault record.
+    pub fn enable_faults(&mut self, mut plan: FaultPlan) -> FaultPlane {
+        if plan.mem_flip_window == (0, 0) {
+            // Default the flip window to the bitstream store: persistent
+            // corruption there is what the CRC/retry/quarantine paths are
+            // built to survive.
+            plan.mem_flip_window = (layout::BITSTREAM_BASE.raw(), layout::BITSTREAM_LEN);
+        }
+        let plane = FaultPlane::armed(plan);
+        self.machine.fault = plane.clone();
+        self.machine
+            .peripheral_mut::<Pl>()
+            .expect("PL attached")
+            .set_fault_plane(plane.clone());
+        plane
+    }
+
+    /// Kill a VM on an unrecoverable fault: the errant guest is destroyed
+    /// (its hardware tasks released, IRQ routes closed) while every other
+    /// VM keeps running — the containment boundary of §III-B.
+    pub fn kill_vm(&mut self, vm: VmId) {
+        self.state
+            .tracer
+            .emit(self.machine.now(), TraceEvent::VmKilled { vm: vm.0 });
+        self.state.stats.vms_killed += 1;
+        self.destroy_vm(vm);
+    }
+
     /// Register a hardware task: encode its bitstream into the store and
     /// enter it into the manager's lookup table. Returns the task id.
     pub fn register_hw_task(&mut self, core: CoreKind) -> HwTaskId {
@@ -346,6 +379,15 @@ impl Kernel {
             let KernelState { hwmgr, pds, .. } = &mut self.state;
             let _ = hwmgr.handle_release(&mut self.machine, pds, vm, t);
         }
+        // An in-flight reconfiguration owned by the dead VM would otherwise
+        // linger (nobody left to poll it): drop the ownership so the next
+        // request can relaunch cleanly.
+        if self.state.hwmgr.pcap_owner == Some(vm) {
+            self.state.hwmgr.pcap_owner = None;
+        }
+        if self.state.hwmgr.pcap_job.map(|j| j.vm) == Some(vm) {
+            self.state.hwmgr.pcap_job = None;
+        }
         if let Some(pd) = self.state.pds.remove(&vm) {
             self.state.asids.free(pd.asid);
         }
@@ -453,6 +495,20 @@ impl Kernel {
     pub fn run(&mut self, duration: Cycles) {
         let deadline = self.machine.now() + duration;
         while self.machine.now() < deadline {
+            // Reconfiguration watchdog: abort stalled PCAP transfers,
+            // quarantine PRRs stuck BUSY past the timeout and serve any
+            // software-fallback shadow interfaces.
+            {
+                let KernelState {
+                    hwmgr,
+                    pds,
+                    pt,
+                    stats,
+                    tracer,
+                    ..
+                } = &mut self.state;
+                hwmgr.watchdog(&mut self.machine, pds, pt, stats, tracer);
+            }
             let now = self.machine.now().raw();
             let Some(vm) = self.pick_awake(now) else {
                 // Everyone is asleep (WFI): fast-forward to the earliest

@@ -58,6 +58,14 @@ pub const HWMGR_BASE: PhysAddr = PhysAddr::new(0x0300_0000);
 /// Manager region size.
 pub const HWMGR_LEN: u64 = 0x0010_0000;
 
+/// Shadow interface pages for software-fallback hardware tasks: when the
+/// watchdog quarantines a hung PRR, the client's interface VA is remapped
+/// to a kernel-owned RAM page carved from here, and the kernel services the
+/// "register group" in software.
+pub const SHADOW_BASE: PhysAddr = PhysAddr::new(0x0318_0000);
+/// Shadow pool size (512 KB — 128 shadow pages).
+pub const SHADOW_LEN: u64 = 0x0008_0000;
+
 /// First guest VM physical region.
 pub const VM_REGION_BASE: PhysAddr = PhysAddr::new(0x0400_0000);
 /// Bytes of private physical memory per VM (matches the 16 MB guest
@@ -91,6 +99,7 @@ mod tests {
             (BITSTREAM_BASE.raw(), BITSTREAM_LEN),
             (PT_POOL_BASE.raw(), PT_POOL_LEN),
             (HWMGR_BASE.raw(), HWMGR_LEN),
+            (SHADOW_BASE.raw(), SHADOW_LEN),
         ];
         for i in 1..=MAX_VMS as u16 {
             regions.push((vm_region(VmId(i)).raw(), VM_REGION_LEN));

@@ -247,6 +247,7 @@ impl GuestEnv for NativeEnv<'_> {
                     self.pds,
                     self.pt,
                     self.stats,
+                    &mnv_trace::Tracer::disabled(),
                     NATIVE_VM,
                     HwTaskId(args.a0 as u16),
                     VirtAddr::new(args.a1 as u64),
@@ -264,7 +265,14 @@ impl GuestEnv for NativeEnv<'_> {
                 self.hwmgr
                     .handle_query(self.m, self.pds, NATIVE_VM, HwTaskId(args.a0 as u16))
             }
-            Hypercall::PcapPoll => self.hwmgr.handle_pcap_poll(self.m, self.pds, NATIVE_VM),
+            Hypercall::PcapPoll => self.hwmgr.handle_pcap_poll(
+                self.m,
+                self.pds,
+                self.pt,
+                self.stats,
+                &mnv_trace::Tracer::disabled(),
+                NATIVE_VM,
+            ),
             Hypercall::VmInfo => match args.a1 {
                 0 => Ok(NATIVE_VM.0 as u32),
                 1 => Ok(layout::vm_region(NATIVE_VM).raw() as u32),

@@ -124,6 +124,12 @@ pub struct HwMgrStats {
     pub reconfigs: u64,
     /// Hardware tasks reclaimed from a previous client.
     pub reclaims: u64,
+    /// Failed PCAP transfers relaunched by the retry path.
+    pub pcap_retries: u64,
+    /// PRRs quarantined by the reconfiguration watchdog.
+    pub quarantines: u64,
+    /// Hardware-task runs served by the software fallback.
+    pub sw_fallbacks: u64,
 }
 
 impl HwMgrStats {
@@ -144,6 +150,9 @@ impl HwMgrStats {
         self.busy += other.busy;
         self.reconfigs += other.reconfigs;
         self.reclaims += other.reclaims;
+        self.pcap_retries += other.pcap_retries;
+        self.quarantines += other.quarantines;
+        self.sw_fallbacks += other.sw_fallbacks;
     }
 }
 

@@ -13,8 +13,24 @@ use mnv_hal::{HalError, HalResult};
 /// Magic marking a Mini-NOVA simulated bitstream.
 pub const BITSTREAM_MAGIC: u32 = 0x4D4E_5642; // "MNVB"
 
-/// Header length in bytes (magic, kind, param, compat, payload_len, crc).
+/// Header length in bytes (magic, kind, payload CRC, compat, payload_len,
+/// header checksum).
 pub const HEADER_LEN: usize = 24;
+
+/// Bitwise CRC-32 (IEEE 802.3 polynomial, reflected). Table-free: the
+/// payloads are hundreds of KB at most and verification happens once per
+/// PCAP transfer, so simplicity wins over a lookup table.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// The IP core a bitstream configures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -104,6 +120,9 @@ pub struct Bitstream {
     pub prr_compat: u32,
     /// Configuration payload length in bytes (drives PCAP latency).
     pub payload_len: u32,
+    /// CRC-32 of the payload, verified by the PCAP on ingest so transfer
+    /// corruption or in-memory damage cannot configure a region.
+    pub payload_crc: u32,
 }
 
 impl Bitstream {
@@ -116,10 +135,12 @@ impl Bitstream {
         for &id in prr_ids {
             mask |= 1 << id;
         }
+        let payload_len = 110 * core.resources().slices;
         Bitstream {
             core,
             prr_compat: mask,
-            payload_len: 110 * core.resources().slices,
+            payload_len,
+            payload_crc: crc32(&payload_pattern(payload_len)),
         }
     }
 
@@ -134,18 +155,17 @@ impl Bitstream {
     }
 
     /// Encode to the on-DDR byte format. The payload is a deterministic
-    /// pattern (cheap, and lets the PCAP model verify a simple checksum).
+    /// pattern (cheap, and lets the PCAP model verify the payload CRC).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.total_len());
         out.extend_from_slice(&BITSTREAM_MAGIC.to_le_bytes());
         out.extend_from_slice(&self.core.encode().to_le_bytes());
-        out.extend_from_slice(&0u32.to_le_bytes()); // reserved (param folded in kind)
+        out.extend_from_slice(&self.payload_crc.to_le_bytes());
         out.extend_from_slice(&self.prr_compat.to_le_bytes());
         out.extend_from_slice(&self.payload_len.to_le_bytes());
         let crc = self.checksum();
         out.extend_from_slice(&crc.to_le_bytes());
-        // Deterministic payload pattern.
-        out.extend((0..self.payload_len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(7)));
+        out.extend(payload_pattern(self.payload_len));
         out
     }
 
@@ -164,11 +184,17 @@ impl Bitstream {
             core,
             prr_compat: word(3),
             payload_len: word(4),
+            payload_crc: word(2),
         };
         if word(5) != bs.checksum() {
             return Err(HalError::Invalid("bitstream checksum mismatch"));
         }
         Ok(bs)
+    }
+
+    /// True when `payload` matches the CRC recorded in the header.
+    pub fn verify_payload(&self, payload: &[u8]) -> bool {
+        payload.len() == self.payload_len as usize && crc32(payload) == self.payload_crc
     }
 
     fn checksum(&self) -> u32 {
@@ -177,7 +203,15 @@ impl Bitstream {
             .wrapping_mul(0x9E37_79B9)
             .wrapping_add(self.prr_compat)
             .wrapping_add(self.payload_len.rotate_left(13))
+            .wrapping_add(self.payload_crc.rotate_left(7))
     }
+}
+
+/// The deterministic configuration payload for a bitstream of `len` bytes.
+fn payload_pattern(len: u32) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(7))
+        .collect()
 }
 
 /// The paper's evaluation task sets (§V-B): FFT from 256 to 8192 points and
@@ -243,6 +277,39 @@ mod tests {
         bytes2[12] ^= 0x01; // compat field -> checksum mismatch
         assert!(Bitstream::parse_header(&bytes2).is_err());
         assert!(Bitstream::parse_header(&bytes2[..10]).is_err());
+    }
+
+    #[test]
+    fn payload_crc_verifies_and_rejects_damage() {
+        let bs = Bitstream::for_core(CoreKind::Qam { bits_per_symbol: 4 }, &[0, 1]);
+        let bytes = bs.encode();
+        let payload = &bytes[HEADER_LEN..];
+        assert!(bs.verify_payload(payload), "pristine payload must verify");
+        // A single damaged byte anywhere in the payload must be caught.
+        let mut damaged = payload.to_vec();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0x40;
+        assert!(!bs.verify_payload(&damaged));
+        // So must truncation.
+        assert!(!bs.verify_payload(&payload[..payload.len() - 1]));
+    }
+
+    #[test]
+    fn payload_crc_is_covered_by_header_checksum() {
+        // Flipping the recorded CRC (word 2) must invalidate the header,
+        // so an attacker cannot pair a damaged payload with a fixed-up CRC
+        // without also forging the checksum.
+        let bs = Bitstream::for_core(CoreKind::Qam { bits_per_symbol: 2 }, &[0]);
+        let mut bytes = bs.encode();
+        bytes[8] ^= 0x01;
+        assert!(Bitstream::parse_header(&bytes).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

@@ -20,13 +20,14 @@ use std::any::Any;
 
 use mnv_arm::bus::{PeriphCtx, Peripheral};
 use mnv_arm::event::SimEvent;
+use mnv_fault::{FaultPlane, FaultSite};
 use mnv_trace::TraceEvent;
 
 use crate::bitstream::Bitstream;
 use crate::cores::make_core;
 use crate::fabric::FabricConfig;
 use crate::hwmmu::HwMmu;
-use crate::prr::{ctrl, Prr};
+use crate::prr::{ctrl, regs, status, Prr};
 
 /// Base physical address of the PL register window (AXI GP0 segment).
 pub const PL_GP_BASE: u64 = 0x4000_0000;
@@ -36,7 +37,7 @@ pub const PAGE: u64 = 0x1000;
 
 /// Controller-page register offsets.
 pub mod plregs {
-    /// PCAP control (bit0: start transfer).
+    /// PCAP control (bit0: start transfer, bit1: abort an in-flight one).
     pub const PCAP_CTRL: u64 = 0x00;
     /// PCAP status: see [`super::pcap_status`].
     pub const PCAP_STATUS: u64 = 0x04;
@@ -86,6 +87,10 @@ pub mod pcap_err {
     pub const TOO_LARGE: u32 = 3;
     /// Target PRR id out of range.
     pub const BAD_TARGET: u32 = 4;
+    /// Payload CRC check failed — the image was damaged in transfer.
+    pub const CRC_MISMATCH: u32 = 5;
+    /// The transfer was aborted through PCAP_CTRL bit 1.
+    pub const ABORTED: u32 = 6;
 }
 
 /// PCAP throughput: cycles per byte on the 660 MHz clock, as a ratio
@@ -122,6 +127,8 @@ struct PcapEngine {
     target: u32,
     irq_en: bool,
     remaining: u64,
+    /// Injected stall: the transfer never completes until aborted.
+    stalled: bool,
     /// Transfers completed (diagnostics / reconfiguration counting).
     transfers: u64,
 }
@@ -136,6 +143,8 @@ pub struct Pl {
     /// hwMMU programming latch.
     sel: u32,
     base_latch: u32,
+    /// Fault-injection plane (disabled by default; see `mnv-fault`).
+    fault: FaultPlane,
 }
 
 impl Pl {
@@ -154,12 +163,22 @@ impl Pl {
                 target: 0,
                 irq_en: false,
                 remaining: 0,
+                stalled: false,
                 transfers: 0,
             },
             routes: vec![None; n],
             sel: 0,
             base_latch: 0,
+            fault: FaultPlane::disabled(),
         }
+    }
+
+    /// Attach a fault-injection plane. The plane is a shared handle: the
+    /// embedder typically arms one plane and clones it into both the
+    /// machine (bus/IRQ/memory faults) and the PL (PCAP/PRR faults) so a
+    /// single seed drives the whole schedule.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.fault = plane;
     }
 
     /// Number of PRRs.
@@ -175,6 +194,17 @@ impl Pl {
     /// Mutable view of a PRR.
     pub fn prr_mut(&mut self, id: u8) -> &mut Prr {
         &mut self.prrs[id as usize]
+    }
+
+    /// Bounds-checked view of a PRR — use this on ids that came from a
+    /// guest or the wire instead of [`Pl::prr`], which panics.
+    pub fn try_prr(&self, id: u8) -> Option<&Prr> {
+        self.prrs.get(id as usize)
+    }
+
+    /// Bounds-checked mutable view of a PRR.
+    pub fn try_prr_mut(&mut self, id: u8) -> Option<&mut Prr> {
+        self.prrs.get_mut(id as usize)
     }
 
     /// The hwMMU (tests assert on violations through this).
@@ -209,6 +239,21 @@ impl Pl {
         self.pcap.status = pcap_status::BUSY;
         self.pcap.err = 0;
         self.pcap.remaining = pcap_transfer_cycles(self.pcap.len as u64);
+        self.pcap.stalled = false;
+        if self
+            .fault
+            .trip(FaultSite::PcapStall, ctx.now, self.pcap.target as u64)
+        {
+            // The transfer wedges: status stays BUSY until a CTRL abort.
+            self.pcap.stalled = true;
+            ctx.log.push(ctx.now, SimEvent::Marker("pcap-stall"));
+            ctx.tracer.emit(
+                ctx.now,
+                TraceEvent::FaultInjected {
+                    site: FaultSite::PcapStall as u8,
+                },
+            );
+        }
         ctx.tracer.emit(
             ctx.now,
             TraceEvent::PcapDma {
@@ -216,6 +261,59 @@ impl Pl {
                 end: false,
             },
         );
+    }
+
+    /// CTRL bit 1: abort an in-flight (possibly stalled) transfer.
+    fn abort_pcap(&mut self, ctx: &mut PeriphCtx<'_>) {
+        if self.pcap.status != pcap_status::BUSY {
+            return;
+        }
+        self.pcap.status = pcap_status::ERROR;
+        self.pcap.err = pcap_err::ABORTED;
+        self.pcap.remaining = 0;
+        self.pcap.stalled = false;
+        ctx.log.push(ctx.now, SimEvent::Marker("pcap-abort"));
+        ctx.tracer.emit(
+            ctx.now,
+            TraceEvent::PcapDma {
+                bytes: self.pcap.len,
+                end: true,
+            },
+        );
+    }
+
+    /// Stream the payload out of DDR, applying any injected transfer
+    /// corruption. `Err(())` means the length field or source address do
+    /// not describe readable memory.
+    fn fetch_payload(&mut self, bs: &Bitstream, ctx: &mut PeriphCtx<'_>) -> Result<Vec<u8>, ()> {
+        let plen = bs.payload_len as usize;
+        if crate::bitstream::HEADER_LEN + plen > self.pcap.len as usize {
+            return Err(()); // length field exceeds the programmed transfer
+        }
+        let mut payload = vec![0u8; plen];
+        ctx.mem
+            .read(
+                PhysAddr::new(self.pcap.src as u64 + crate::bitstream::HEADER_LEN as u64),
+                &mut payload,
+            )
+            .map_err(|_| ())?;
+        if plen > 0
+            && self
+                .fault
+                .trip(FaultSite::PcapCorrupt, ctx.now, self.pcap.target as u64)
+        {
+            let byte = self.fault.pick(FaultSite::PcapCorrupt, plen as u64) as usize;
+            let bit = self.fault.pick(FaultSite::PcapCorrupt, 8) as u32;
+            payload[byte] ^= 1u8 << bit;
+            ctx.log.push(ctx.now, SimEvent::Marker("pcap-corrupt"));
+            ctx.tracer.emit(
+                ctx.now,
+                TraceEvent::FaultInjected {
+                    site: FaultSite::PcapCorrupt as u8,
+                },
+            );
+        }
+        Ok(payload)
     }
 
     fn finish_pcap(&mut self, ctx: &mut PeriphCtx<'_>) {
@@ -230,6 +328,13 @@ impl Pl {
             Err(mnv_hal::HalError::Invalid("unreadable bitstream"))
         };
         let target = self.pcap.target as u8;
+        // start_pcap validated the target, but the register is writable
+        // mid-transfer — never index on a stale check.
+        if target as usize >= self.prrs.len() {
+            self.pcap.status = pcap_status::ERROR;
+            self.pcap.err = pcap_err::BAD_TARGET;
+            return;
+        }
         match parsed {
             Err(_) => {
                 self.pcap.status = pcap_status::ERROR;
@@ -248,24 +353,35 @@ impl Pl {
                 self.pcap.status = pcap_status::ERROR;
                 self.pcap.err = pcap_err::TOO_LARGE;
             }
-            Ok(bs) => {
-                self.prrs[target as usize].load_core(make_core(bs.core));
-                self.pcap.status = pcap_status::DONE;
-                self.pcap.transfers += 1;
-                ctx.log.push(ctx.now, SimEvent::Marker("pcap-reconfigured"));
-                ctx.tracer.emit(
-                    ctx.now,
-                    TraceEvent::PrrReconfig {
-                        prr: target,
-                        task: bs.core.encode(),
-                    },
-                );
-                if self.pcap.irq_en {
-                    ctx.gic.raise(IrqNum::PCAP_DONE);
-                    ctx.log
-                        .push(ctx.now, SimEvent::IrqRaised(IrqNum::PCAP_DONE));
+            Ok(bs) => match self.fetch_payload(&bs, ctx) {
+                Ok(payload) if bs.verify_payload(&payload) => {
+                    self.prrs[target as usize].load_core(make_core(bs.core));
+                    self.pcap.status = pcap_status::DONE;
+                    self.pcap.transfers += 1;
+                    ctx.log.push(ctx.now, SimEvent::Marker("pcap-reconfigured"));
+                    ctx.tracer.emit(
+                        ctx.now,
+                        TraceEvent::PrrReconfig {
+                            prr: target,
+                            task: bs.core.encode(),
+                        },
+                    );
+                    if self.pcap.irq_en {
+                        ctx.gic.raise(IrqNum::PCAP_DONE);
+                        ctx.log
+                            .push(ctx.now, SimEvent::IrqRaised(IrqNum::PCAP_DONE));
+                    }
                 }
-            }
+                Ok(_) => {
+                    self.pcap.status = pcap_status::ERROR;
+                    self.pcap.err = pcap_err::CRC_MISMATCH;
+                    ctx.log.push(ctx.now, SimEvent::Marker("pcap-crc-mismatch"));
+                }
+                Err(()) => {
+                    self.pcap.status = pcap_status::ERROR;
+                    self.pcap.err = pcap_err::BAD_BITSTREAM;
+                }
+            },
         }
         ctx.tracer.emit(
             ctx.now,
@@ -306,7 +422,13 @@ impl Pl {
 
     fn ctrl_write(&mut self, off: u64, val: u32, ctx: &mut PeriphCtx<'_>) {
         match off {
-            plregs::PCAP_CTRL if val & 1 != 0 => self.start_pcap(ctx),
+            plregs::PCAP_CTRL => {
+                if val & 0b10 != 0 {
+                    self.abort_pcap(ctx);
+                } else if val & 1 != 0 {
+                    self.start_pcap(ctx);
+                }
+            }
             plregs::PCAP_SRC => self.pcap.src = val,
             plregs::PCAP_LEN => self.pcap.len = val,
             plregs::PCAP_TARGET => self.pcap.target = val,
@@ -382,14 +504,30 @@ impl Peripheral for Pl {
         } else {
             let prr = (page - 1) as usize;
             if prr < self.prrs.len() {
-                self.prrs[prr].reg_write(off % PAGE, val, &mut self.hwmmu);
+                let reg_off = off % PAGE;
+                self.prrs[prr].reg_write(reg_off, val, &mut self.hwmmu);
+                // A start that actually engaged the engine may wedge it.
+                if reg_off == 4 * regs::CTRL as u64
+                    && val & ctrl::START != 0
+                    && self.prrs[prr].reg_read(4 * regs::STATUS as u64) == status::BUSY
+                    && self.fault.trip(FaultSite::PrrHang, ctx.now, prr as u64)
+                {
+                    self.prrs[prr].hang();
+                    ctx.log.push(ctx.now, SimEvent::Marker("prr-hang"));
+                    ctx.tracer.emit(
+                        ctx.now,
+                        TraceEvent::FaultInjected {
+                            site: FaultSite::PrrHang as u8,
+                        },
+                    );
+                }
             }
         }
     }
 
     fn advance(&mut self, dt: Cycles, ctx: &mut PeriphCtx<'_>) {
-        // PCAP progress.
-        if self.pcap.status == pcap_status::BUSY {
+        // PCAP progress (a stalled transfer holds BUSY until aborted).
+        if self.pcap.status == pcap_status::BUSY && !self.pcap.stalled {
             if self.pcap.remaining > dt.raw() {
                 self.pcap.remaining -= dt.raw();
             } else {
@@ -612,6 +750,135 @@ mod tests {
         m.mem.read(section + 0x1000, &mut got).unwrap();
         let expected = crate::cores::qam::qam_map(&input, 4);
         assert_eq!(crate::cores::bytes_to_complex(&got), expected);
+    }
+
+    /// Like [`machine_with_pl`] but with an armed fault plane cloned into
+    /// the PL (the way the kernel shares one plane with the machine).
+    fn machine_with_faulty_pl(
+        plan: mnv_fault::FaultPlan,
+    ) -> (
+        Machine,
+        Vec<(CoreKind, PhysAddr, u32)>,
+        mnv_fault::FaultPlane,
+    ) {
+        let (mut m, lib) = machine_with_pl();
+        let plane = mnv_fault::FaultPlane::armed(plan);
+        let pl: &mut Pl = m.peripheral_mut::<Pl>().unwrap();
+        pl.set_fault_plane(plane.clone());
+        (m, lib, plane)
+    }
+
+    #[test]
+    fn pcap_rejects_corrupted_payload_with_crc_mismatch() {
+        let (mut m, lib) = machine_with_pl();
+        let (_, src, len) = lib[0];
+        // Damage one payload byte in DDR — the header stays pristine, so
+        // only the payload CRC can catch this.
+        let addr = src + crate::bitstream::HEADER_LEN as u64 + 101;
+        let mut b = [0u8; 1];
+        m.mem.read(addr, &mut b).unwrap();
+        m.mem.write(addr, &[b[0] ^ 0x20]).unwrap();
+        pcap_load(&mut m, src, len, 0);
+        assert_eq!(pcap_wait(&mut m), pcap_status::ERROR);
+        assert_eq!(
+            m.phys_read_u32(reg(plregs::PCAP_ERR)).unwrap(),
+            pcap_err::CRC_MISMATCH
+        );
+        let pl: &Pl = m.peripheral::<Pl>().unwrap();
+        assert_eq!(pl.prr(0).loaded_kind(), None, "no core may load");
+    }
+
+    #[test]
+    fn injected_pcap_corruption_is_caught_by_crc() {
+        let mut plan = mnv_fault::FaultPlan::none(11);
+        plan.pcap_corrupt = mnv_fault::SiteCfg::new(1_000_000, 1);
+        let (mut m, lib, plane) = machine_with_faulty_pl(plan);
+        let (_, src, len) = lib[0];
+        pcap_load(&mut m, src, len, 0);
+        assert_eq!(pcap_wait(&mut m), pcap_status::ERROR);
+        assert_eq!(
+            m.phys_read_u32(reg(plregs::PCAP_ERR)).unwrap(),
+            pcap_err::CRC_MISMATCH
+        );
+        assert_eq!(plane.count(mnv_fault::FaultSite::PcapCorrupt), 1);
+        // The cap is spent: a retry goes through clean.
+        pcap_load(&mut m, src, len, 0);
+        assert_eq!(pcap_wait(&mut m), pcap_status::DONE);
+    }
+
+    #[test]
+    fn stalled_pcap_holds_busy_until_aborted() {
+        let mut plan = mnv_fault::FaultPlan::none(3);
+        plan.pcap_stall = mnv_fault::SiteCfg::new(1_000_000, 1);
+        let (mut m, lib, _plane) = machine_with_faulty_pl(plan);
+        let (_, src, len) = lib[0];
+        pcap_load(&mut m, src, len, 0);
+        // Far past any legitimate transfer time, still BUSY.
+        for _ in 0..100 {
+            m.charge(100_000);
+            m.sync_devices();
+        }
+        assert_eq!(
+            m.phys_read_u32(reg(plregs::PCAP_STATUS)).unwrap(),
+            pcap_status::BUSY
+        );
+        // Abort recovers the port.
+        m.phys_write_u32(reg(plregs::PCAP_CTRL), 0b10).unwrap();
+        assert_eq!(
+            m.phys_read_u32(reg(plregs::PCAP_STATUS)).unwrap(),
+            pcap_status::ERROR
+        );
+        assert_eq!(
+            m.phys_read_u32(reg(plregs::PCAP_ERR)).unwrap(),
+            pcap_err::ABORTED
+        );
+        // And the next transfer (stall cap spent) completes.
+        pcap_load(&mut m, src, len, 0);
+        assert_eq!(pcap_wait(&mut m), pcap_status::DONE);
+    }
+
+    #[test]
+    fn injected_prr_hang_wedges_engine_forever() {
+        let mut plan = mnv_fault::FaultPlan::none(5);
+        plan.prr_hang = mnv_fault::SiteCfg::new(1_000_000, 1);
+        let (mut m, lib, _plane) = machine_with_faulty_pl(plan);
+        let qam = lib
+            .iter()
+            .find(|(c, _, _)| matches!(c, CoreKind::Qam { bits_per_symbol: 2 }))
+            .unwrap();
+        pcap_load(&mut m, qam.1, qam.2, 0);
+        assert_eq!(pcap_wait(&mut m), pcap_status::DONE);
+        let section = PhysAddr::new(0x80_0000);
+        m.phys_write_u32(reg(plregs::HWMMU_SEL), 0).unwrap();
+        m.phys_write_u32(reg(plregs::HWMMU_BASE), section.raw() as u32)
+            .unwrap();
+        m.phys_write_u32(reg(plregs::HWMMU_LEN), 0x10000).unwrap();
+        m.load_bytes(section, &[7u8; 16]).unwrap();
+        let page = Pl::prr_page(0);
+        m.phys_write_u32(page + 4 * regs::SRC_ADDR as u64, section.raw() as u32)
+            .unwrap();
+        m.phys_write_u32(page + 4 * regs::SRC_LEN as u64, 16)
+            .unwrap();
+        m.phys_write_u32(
+            page + 4 * regs::DST_ADDR as u64,
+            (section.raw() + 0x1000) as u32,
+        )
+        .unwrap();
+        m.phys_write_u32(page + 4 * regs::DST_LEN as u64, 0x1000)
+            .unwrap();
+        m.phys_write_u32(page + 4 * regs::CTRL as u64, ctrl::START)
+            .unwrap();
+        for _ in 0..100 {
+            m.charge(100_000);
+            m.sync_devices();
+        }
+        assert_eq!(
+            m.phys_read_u32(page + 4 * regs::STATUS as u64).unwrap(),
+            status::BUSY,
+            "hung engine must hold BUSY"
+        );
+        let pl: &Pl = m.peripheral::<Pl>().unwrap();
+        assert!(pl.prr(0).is_hung());
     }
 
     #[test]

@@ -124,6 +124,11 @@ pub enum ExecState {
     Done,
     /// Aborted, status ERROR published.
     Error,
+    /// Wedged mid-run: the region accepted a start and will never make
+    /// progress again (a latched-up reconfigurable fabric). STATUS stays
+    /// BUSY forever — only the kernel's watchdog can take the region out
+    /// of service.
+    Hung,
 }
 
 /// AXI HP port model: bytes moved per CPU cycle during DMA bursts.
@@ -220,6 +225,19 @@ impl Prr {
             i if i < REG_COUNT => self.regs.r[i] = val,
             _ => {}
         }
+    }
+
+    /// Wedge the engine mid-run (fault injection): STATUS stays BUSY and
+    /// [`Prr::advance`] never progresses again.
+    pub fn hang(&mut self) {
+        self.state = ExecState::Hung;
+        self.regs.r[regs::STATUS] = status::BUSY;
+        self.staged_output = None;
+    }
+
+    /// True when the engine is wedged.
+    pub fn is_hung(&self) -> bool {
+        self.state == ExecState::Hung
     }
 
     fn fail(&mut self, code: u32) {

@@ -223,6 +223,20 @@ impl HwTaskStatus {
     }
 }
 
+/// Field layout of the [`Hypercall::HwTaskRequest`] result word: the
+/// [`HwTaskStatus`] in bits 7:0, the dispatched PRR in bits 15:8, the
+/// allocated PL IRQ line index in bits 23:16 and the degraded flag in
+/// bit 24 (set when the kernel serves the task in software because no
+/// healthy fabric region is available).
+pub mod hw_task_result {
+    /// The dispatch is served by the kernel's software fallback.
+    pub const DEGRADED: u32 = 1 << 24;
+    /// PRR field value when no fabric region backs the dispatch.
+    pub const NO_PRR: u32 = 0xFF;
+    /// Line field value when no PL IRQ line is allocated.
+    pub const NO_LINE: u32 = 0xFF;
+}
+
 /// Consistency states of a dispatched hardware task, kept in the reserved
 /// structure at the head of the hardware-task data section (Fig. 5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -136,6 +136,36 @@ pub enum TraceEvent {
         /// The faulting VM.
         vm: u16,
     },
+    /// The fault plane injected a hardware fault.
+    FaultInjected {
+        /// `mnv_fault::FaultSite` discriminant (kept as a raw `u8` so the
+        /// dependency arrow stays pointing at this crate).
+        site: u8,
+    },
+    /// The kernel relaunched a failed PCAP transfer.
+    PcapRetry {
+        /// Target PRR.
+        prr: u8,
+        /// Retry attempt number (1 = first relaunch).
+        attempt: u8,
+    },
+    /// The reconfiguration watchdog quarantined a PRR.
+    PrrQuarantine {
+        /// The region taken out of service.
+        prr: u8,
+    },
+    /// A hardware task was served by the software fallback implementation.
+    SwFallback {
+        /// Owning VM.
+        vm: u16,
+        /// The degraded task.
+        task: u32,
+    },
+    /// The kernel killed a VM on an unrecoverable fault.
+    VmKilled {
+        /// The terminated VM.
+        vm: u16,
+    },
 }
 
 impl TraceEvent {
@@ -154,6 +184,11 @@ impl TraceEvent {
             TraceEvent::PrrReconfig { .. } => "PrrReconfig",
             TraceEvent::TlbFlush => "TlbFlush",
             TraceEvent::FaultForwarded { .. } => "FaultForwarded",
+            TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::PcapRetry { .. } => "PcapRetry",
+            TraceEvent::PrrQuarantine { .. } => "PrrQuarantine",
+            TraceEvent::SwFallback { .. } => "SwFallback",
+            TraceEvent::VmKilled { .. } => "VmKilled",
         }
     }
 }

@@ -186,6 +186,31 @@ pub fn pair(events: &[(Cycles, TraceEvent)]) -> PairedTrace {
                 name: "fault-forwarded".into(),
                 ts,
             }),
+            TraceEvent::FaultInjected { site } => out.instants.push(Instant {
+                track: Track::Kernel,
+                name: format!("fault-injected site:{site}"),
+                ts,
+            }),
+            TraceEvent::PcapRetry { prr, attempt } => out.instants.push(Instant {
+                track: Track::Pcap,
+                name: format!("pcap-retry prr{prr} #{attempt}"),
+                ts,
+            }),
+            TraceEvent::PrrQuarantine { prr } => out.instants.push(Instant {
+                track: Track::Pcap,
+                name: format!("quarantine prr{prr}"),
+                ts,
+            }),
+            TraceEvent::SwFallback { vm, task } => out.instants.push(Instant {
+                track: Track::Vm(vm),
+                name: format!("sw-fallback task:{task}"),
+                ts,
+            }),
+            TraceEvent::VmKilled { vm } => out.instants.push(Instant {
+                track: Track::Vm(vm),
+                name: "vm-killed".into(),
+                ts,
+            }),
         }
     }
 

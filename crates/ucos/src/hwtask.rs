@@ -50,6 +50,10 @@ pub struct HwTaskClient {
     /// The PL IRQ line the manager allocated for this task's completion
     /// interrupts (§IV-D), as a GIC line number; `None` when unassigned.
     pub irq: Option<mnv_hal::IrqNum>,
+    /// Set when the kernel is serving this task in software (a quarantined
+    /// or unavailable fabric): the interface is a shadow RAM page and the
+    /// results are bit-identical but slower.
+    pub degraded: bool,
 }
 
 impl HwTaskClient {
@@ -61,15 +65,16 @@ impl HwTaskClient {
         iface: VirtAddr,
         data: VirtAddr,
     ) -> Result<(Self, HwTaskStatus), HwClientError> {
-        let (st, prr, line) =
+        let (st, prr, line, degraded) =
             port::hw_task_request(env, task, iface, data).map_err(HwClientError::Request)?;
         // VmInfo field 1 yields the VM's region physical base; the data
         // section sits at the region-offset identity of its VA.
         let data_phys = port::hwdata_phys_base(env).wrapping_add(data.raw() as u32);
         // Native clients address the register group at its physical page
         // (unified memory space); virtualized clients use the VA the
-        // manager just mapped.
-        let iface = if env.is_native() {
+        // manager just mapped. A degraded dispatch has no PRR page — the
+        // manager already mapped a shadow page at the interface VA.
+        let iface = if env.is_native() && !degraded {
             VirtAddr::new(mnv_fpga::pl::Pl::prr_page(prr).raw())
         } else {
             iface
@@ -82,6 +87,7 @@ impl HwTaskClient {
                 data,
                 data_phys,
                 irq,
+                degraded,
             },
             st,
         ))
@@ -137,7 +143,15 @@ impl HwTaskClient {
     }
 
     /// Kick the run, optionally with the completion IRQ enabled.
+    ///
+    /// STATUS is pre-written to BUSY before the START pulse: the real
+    /// device ignores the write (STATUS is read-only), but when the kernel
+    /// has transparently remapped the interface to a shadow RAM page it
+    /// keeps the poll loop honest until the software service publishes
+    /// DONE — without it a stale DONE from the previous run could be read
+    /// back before the kernel ever sees the start.
     pub fn start(&self, env: &mut dyn GuestEnv, irq: bool) -> Result<(), HwClientError> {
+        env.write_u32(self.reg(regs::STATUS), status::BUSY)?;
         let bits = ctrl::START | if irq { ctrl::IRQ_EN } else { 0 };
         env.write_u32(self.reg(regs::CTRL), bits)?;
         Ok(())

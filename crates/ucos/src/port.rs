@@ -77,14 +77,15 @@ pub fn console_write(env: &mut dyn GuestEnv, text: &str) {
 /// (task id, interface VA, data-section VA).
 /// Returns the dispatch status, the PRR the task landed in (bits 15:8 of
 /// the result — a native client needs it to address the register group
-/// directly), and the allocated PL IRQ line index (bits 23:16; 0xFF when
-/// none was assigned).
+/// directly), the allocated PL IRQ line index (bits 23:16; 0xFF when none
+/// was assigned) and the degraded flag (bit 24: the kernel is serving the
+/// task in software because no healthy fabric region is available).
 pub fn hw_task_request(
     env: &mut dyn GuestEnv,
     task: HwTaskId,
     iface_va: VirtAddr,
     data_va: VirtAddr,
-) -> Result<(HwTaskStatus, u8, u8), HcError> {
+) -> Result<(HwTaskStatus, u8, u8, bool), HcError> {
     let r = env.hypercall(
         HypercallArgs::new(Hypercall::HwTaskRequest)
             .a0(task.0 as u32)
@@ -92,7 +93,12 @@ pub fn hw_task_request(
             .a2(data_va.raw() as u32),
     )?;
     let status = HwTaskStatus::from_u32(r & 0xFF).ok_or(HcError::BadArg)?;
-    Ok((status, ((r >> 8) & 0xFF) as u8, ((r >> 16) & 0xFF) as u8))
+    Ok((
+        status,
+        ((r >> 8) & 0xFF) as u8,
+        ((r >> 16) & 0xFF) as u8,
+        r & mnv_hal::abi::hw_task_result::DEGRADED != 0,
+    ))
 }
 
 /// Release a hardware task back to the manager.
@@ -141,7 +147,7 @@ mod tests {
     fn request_wrapper_marshals_arguments() {
         let mut env = MockEnv::new();
         env.respond(Hypercall::HwTaskRequest, Ok(1));
-        let (st, prr, _line) = hw_task_request(
+        let (st, prr, _line, degraded) = hw_task_request(
             &mut env,
             HwTaskId(5),
             VirtAddr::new(0xF0_0000),
@@ -150,6 +156,7 @@ mod tests {
         .unwrap();
         assert_eq!(st, HwTaskStatus::Reconfiguring);
         assert_eq!(prr, 0);
+        assert!(!degraded);
         let c = &env.calls[0];
         assert_eq!(c.nr, Hypercall::HwTaskRequest);
         assert_eq!((c.a0, c.a1, c.a2), (5, 0xF0_0000, 0x80_0000));

@@ -202,6 +202,9 @@ pub struct THwStats {
     pub reclaims_seen: u64,
     /// Device or protocol errors.
     pub errors: u64,
+    /// Completions served by the kernel's software fallback (degraded
+    /// dispatches — bit-identical results, no fabric).
+    pub degraded_runs: u64,
     /// Sum of request→completion latencies (cycles).
     pub total_latency: u64,
 }
@@ -345,6 +348,9 @@ impl GuestTask for THwTask {
                     let mut out = vec![0u8; 64];
                     let _ = client.read_output(ctx.env, THW_DST_OFF, &mut out);
                     self.stats.completions += 1;
+                    if client.degraded {
+                        self.stats.degraded_runs += 1;
+                    }
                     self.stats.total_latency =
                         self.stats.total_latency.wrapping_add(ctx.env.now().raw());
                     let _ = t0;
