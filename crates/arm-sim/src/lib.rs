@@ -29,6 +29,7 @@ pub mod machine;
 pub mod memory;
 pub mod mir;
 pub mod mmu;
+pub mod pmu;
 pub mod psr;
 pub mod timer;
 pub mod timing;
@@ -45,6 +46,7 @@ pub use machine::{Machine, MachineConfig};
 pub use memory::PhysMemory;
 pub use mir::{AluOp, Cond, Instr, Program, ProgramBuilder};
 pub use mmu::{AccessKind, Fault, FaultKind, Mmu, TranslationResult};
+pub use pmu::{Pmu, PmuInputs, PmuReg, PmuState};
 pub use psr::{Mode, Psr};
 pub use timer::{GlobalTimer, PrivateTimer};
 pub use tlb::{Tlb, TlbStats};

@@ -20,6 +20,7 @@ use crate::gic::Gic;
 use crate::memory::PhysMemory;
 use crate::mir::{AluOp, Cond, Instr, MirCp15, Program, INSTR_SIZE};
 use crate::mmu::{AccessKind, Fault, Mmu};
+use crate::pmu::{Pmu, PmuInputs};
 use crate::psr::Psr;
 use crate::timer::{GlobalTimer, PrivateTimer};
 use crate::timing;
@@ -126,6 +127,13 @@ pub struct Machine {
     pub last_fault: Option<Fault>,
     /// Retired MIR instruction count.
     pub instructions_retired: u64,
+    /// Hardware page-table walks performed (TLB-miss translations).
+    pub pt_walks: u64,
+    /// Exceptions taken (all kinds, including injected IRQs).
+    pub exceptions_taken: u64,
+    /// Performance monitoring unit (CP15 c9 group, delta-sampled from the
+    /// counters above — see [`crate::pmu`]).
+    pub pmu: Pmu,
     clock: Cycles,
     last_sync: Cycles,
     periphs: Vec<Box<dyn Peripheral>>,
@@ -158,6 +166,9 @@ impl Machine {
             last_svc: None,
             last_fault: None,
             instructions_retired: 0,
+            pt_walks: 0,
+            exceptions_taken: 0,
+            pmu: Pmu::default(),
             clock: Cycles::ZERO,
             last_sync: Cycles::ZERO,
             periphs: Vec::new(),
@@ -516,6 +527,9 @@ impl Machine {
         match mmu.translate(va, access, privileged, cp15, tlb, mem, caches) {
             Ok(r) => {
                 self.charge(r.cost);
+                if r.walked {
+                    self.pt_walks += 1;
+                }
                 Ok(r.pa)
             }
             Err(f) => {
@@ -576,6 +590,7 @@ impl Machine {
 
     /// Deliver an exception: architectural entry + cycle cost + logging.
     pub fn deliver_exception(&mut self, kind: ExceptionKind, return_pc: u32) {
+        self.exceptions_taken += 1;
         self.charge(timing::EXC_ENTRY);
         self.tracer.emit(
             self.clock,
@@ -606,6 +621,29 @@ impl Machine {
                 pc: VirtAddr::new(pc as u64),
             },
         );
+    }
+
+    // -- performance monitoring --------------------------------------------------
+
+    /// Assemble the cumulative raw event totals the PMU (and the kernel's
+    /// per-VM accounting) samples: everything comes from the timing models
+    /// that already run on every access, so gathering them costs nothing
+    /// on the hot paths.
+    pub fn pmu_inputs(&self) -> PmuInputs {
+        let l1i = self.caches.l1i.stats();
+        let l1d = self.caches.l1d.stats();
+        let tlb = self.tlb.stats();
+        PmuInputs {
+            cycles: self.clock.raw(),
+            instr_retired: self.instructions_retired,
+            l1i_access: l1i.accesses(),
+            l1i_refill: l1i.misses,
+            l1d_access: l1d.accesses(),
+            l1d_refill: l1d.misses,
+            tlb_refill: tlb.misses,
+            pt_walks: self.pt_walks,
+            exc_taken: self.exceptions_taken,
+        }
     }
 
     // -- program loading --------------------------------------------------------
@@ -744,20 +782,45 @@ impl Machine {
                 return CpuEvent::Exception(ExceptionKind::Svc);
             }
             Instr::Mrc { rd, reg } => {
-                if !privileged && !reg.pl0_readable() {
-                    return self.und(pc, UndKind::Cp15Read { rd, reg });
+                if let Some(preg) = reg.pmu_reg() {
+                    // PMU access at PL0 is gated dynamically by PMUSERENR,
+                    // not by the static whitelist.
+                    if !privileged && !self.pmu.pl0_allowed(preg) {
+                        return self.und(pc, UndKind::Cp15Read { rd, reg });
+                    }
+                    self.charge(timing::CP15_ACCESS);
+                    let now = self.pmu_inputs();
+                    let v = self.pmu.read(preg, now);
+                    self.cpu.set_reg(rd, v);
+                } else {
+                    if !privileged && !reg.pl0_readable() {
+                        return self.und(pc, UndKind::Cp15Read { rd, reg });
+                    }
+                    self.charge(timing::CP15_ACCESS);
+                    let v = self.cp15.read(map_cp15(reg));
+                    self.cpu.set_reg(rd, v);
                 }
-                self.charge(timing::CP15_ACCESS);
-                let v = self.cp15.read(map_cp15(reg));
-                self.cpu.set_reg(rd, v);
             }
             Instr::Mcr { reg, rs } => {
                 let value = self.cpu.reg(rs);
-                if !privileged {
-                    return self.und(pc, UndKind::Cp15Write { reg, value });
+                if let Some(preg) = reg.pmu_reg() {
+                    // PMUSERENR.EN opens PL0 writes to the counter
+                    // registers; PMUSERENR itself stays PL1-only.
+                    let pl0_ok =
+                        preg != crate::pmu::PmuReg::Pmuserenr && self.pmu.pl0_allowed(preg);
+                    if !privileged && !pl0_ok {
+                        return self.und(pc, UndKind::Cp15Write { reg, value });
+                    }
+                    self.charge(timing::CP15_ACCESS);
+                    let now = self.pmu_inputs();
+                    self.pmu.write(preg, value, now);
+                } else {
+                    if !privileged {
+                        return self.und(pc, UndKind::Cp15Write { reg, value });
+                    }
+                    self.charge(timing::CP15_ACCESS);
+                    self.cp15.write(map_cp15(reg), value);
                 }
-                self.charge(timing::CP15_ACCESS);
-                self.cp15.write(map_cp15(reg), value);
             }
             Instr::MrsCpsr { rd } => {
                 let v = self.cpu.cpsr.to_bits();
@@ -881,6 +944,9 @@ fn map_cp15(r: MirCp15) -> Cp15Reg {
         MirCp15::Dfar => Cp15Reg::Dfar,
         MirCp15::Dfsr => Cp15Reg::Dfsr,
         MirCp15::Tpidruro => Cp15Reg::Tpidruro,
+        // The c9 performance-monitor group is dispatched to the PMU before
+        // this mapping is consulted (see the Mrc/Mcr arms in `execute`).
+        _ => unreachable!("PMU registers are handled by Machine::execute"),
     }
 }
 

@@ -135,6 +135,26 @@ pub enum MirCp15 {
     /// TPIDRURO — readable from PL0 by architecture; used to show that
     /// *unprivileged* CP15 reads do not trap.
     Tpidruro,
+    /// PMCR — performance monitor control (c9 group).
+    Pmcr,
+    /// PMCNTENSET — counter-enable set.
+    Pmcntenset,
+    /// PMCNTENCLR — counter-enable clear.
+    Pmcntenclr,
+    /// PMSELR — event-counter selector.
+    Pmselr,
+    /// PMXEVTYPER — event type of the selected counter.
+    Pmxevtyper,
+    /// PMXEVCNTR — value of the selected counter.
+    Pmxevcntr,
+    /// PMCCNTR — cycle counter.
+    Pmccntr,
+    /// PMOVSR — overflow flag status.
+    Pmovsr,
+    /// PMUSERENR — user-enable; its EN bit gates PL0 access to the rest of
+    /// the PMU *dynamically* (unlike [`MirCp15::pl0_readable`], which is
+    /// the static architectural whitelist).
+    Pmuserenr,
 }
 
 impl MirCp15 {
@@ -147,6 +167,15 @@ impl MirCp15 {
             MirCp15::Dfar => 4,
             MirCp15::Dfsr => 5,
             MirCp15::Tpidruro => 6,
+            MirCp15::Pmcr => 7,
+            MirCp15::Pmcntenset => 8,
+            MirCp15::Pmcntenclr => 9,
+            MirCp15::Pmselr => 10,
+            MirCp15::Pmxevtyper => 11,
+            MirCp15::Pmxevcntr => 12,
+            MirCp15::Pmccntr => 13,
+            MirCp15::Pmovsr => 14,
+            MirCp15::Pmuserenr => 15,
         }
     }
 
@@ -159,13 +188,42 @@ impl MirCp15 {
             4 => MirCp15::Dfar,
             5 => MirCp15::Dfsr,
             6 => MirCp15::Tpidruro,
+            7 => MirCp15::Pmcr,
+            8 => MirCp15::Pmcntenset,
+            9 => MirCp15::Pmcntenclr,
+            10 => MirCp15::Pmselr,
+            11 => MirCp15::Pmxevtyper,
+            12 => MirCp15::Pmxevcntr,
+            13 => MirCp15::Pmccntr,
+            14 => MirCp15::Pmovsr,
+            15 => MirCp15::Pmuserenr,
             _ => return None,
         })
     }
 
-    /// True for the registers PL0 may read without trapping.
+    /// True for the registers PL0 may read without trapping regardless of
+    /// configuration. PMU registers are *not* listed: their PL0 access is
+    /// decided at execution time by PMUSERENR ([`MirCp15::pmu_reg`]).
     pub fn pl0_readable(self) -> bool {
         matches!(self, MirCp15::Tpidruro)
+    }
+
+    /// The PMU register this name addresses, if it is part of the c9
+    /// performance-monitor group.
+    pub fn pmu_reg(self) -> Option<crate::pmu::PmuReg> {
+        use crate::pmu::PmuReg;
+        Some(match self {
+            MirCp15::Pmcr => PmuReg::Pmcr,
+            MirCp15::Pmcntenset => PmuReg::Pmcntenset,
+            MirCp15::Pmcntenclr => PmuReg::Pmcntenclr,
+            MirCp15::Pmselr => PmuReg::Pmselr,
+            MirCp15::Pmxevtyper => PmuReg::Pmxevtyper,
+            MirCp15::Pmxevcntr => PmuReg::Pmxevcntr,
+            MirCp15::Pmccntr => PmuReg::Pmccntr,
+            MirCp15::Pmovsr => PmuReg::Pmovsr,
+            MirCp15::Pmuserenr => PmuReg::Pmuserenr,
+            _ => return None,
+        })
     }
 }
 
@@ -531,6 +589,14 @@ mod tests {
                 reg: MirCp15::Ttbr0,
                 rs: 2,
             },
+            Instr::Mrc {
+                rd: 4,
+                reg: MirCp15::Pmccntr,
+            },
+            Instr::Mcr {
+                reg: MirCp15::Pmcr,
+                rs: 5,
+            },
             Instr::MrsCpsr { rd: 9 },
             Instr::MsrCpsr { rs: 10 },
             Instr::Wfi,
@@ -600,6 +666,10 @@ mod tests {
         assert!(MirCp15::Tpidruro.pl0_readable());
         assert!(!MirCp15::Dacr.pl0_readable());
         assert!(!MirCp15::Sctlr.pl0_readable());
+        // PMU registers are dynamically gated, never statically readable.
+        assert!(!MirCp15::Pmccntr.pl0_readable());
+        assert!(MirCp15::Pmccntr.pmu_reg().is_some());
+        assert!(MirCp15::Sctlr.pmu_reg().is_none());
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //! kernel never needs to flush on a VM switch, and the benchmark harness can
 //! measure how much that saves (ablation `asid`).
 //!
-//! Geometry: one unified 128-entry main TLB with LRU replacement, matching
-//! the Cortex-A9's main TLB size. Entries carry the decoded descriptor
-//! attributes so a hit skips the page-table walk entirely.
+//! Geometry: one unified 128-entry, 2-way set-associative main TLB with
+//! per-set LRU replacement, matching the Cortex-A9's main TLB
+//! organisation. Small pages index by VA bits above the page offset,
+//! sections by bits above the section offset; a lookup probes both
+//! candidate sets (the hardware resolves this in the micro-TLBs).
+//! Entries carry the decoded descriptor attributes so a hit skips the
+//! page-table walk entirely.
 
 use mnv_hal::{Asid, Domain, VirtAddr, PAGE_SHIFT, SECTION_SHIFT};
 
@@ -105,10 +109,14 @@ impl TlbStats {
     }
 }
 
+/// Associativity of the main TLB (the A9's main TLB is 2-way).
+pub const TLB_WAYS: usize = 2;
+
 /// The unified main TLB.
 pub struct Tlb {
     entries: Vec<Option<TlbEntry>>,
     stamps: Vec<u64>,
+    sets: usize,
     tick: u64,
     stats: TlbStats,
 }
@@ -120,26 +128,37 @@ impl Default for Tlb {
 }
 
 impl Tlb {
-    /// Build a TLB with `capacity` entries (128 on the A9).
+    /// Build a TLB with `capacity` entries (128 on the A9), organised as
+    /// `capacity / 2` sets of [`TLB_WAYS`] ways.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0);
+        assert!(capacity >= TLB_WAYS && capacity.is_multiple_of(TLB_WAYS));
         Tlb {
             entries: vec![None; capacity],
             stamps: vec![0; capacity],
+            sets: capacity / TLB_WAYS,
             tick: 0,
             stats: TlbStats::default(),
         }
     }
 
-    /// Look up a translation; counts a hit or a miss.
+    /// Slot range of the set a VA indexes under the given granularity.
+    fn set_slots(&self, va_base: u64, kind: PageKind) -> std::ops::Range<usize> {
+        let set = (va_base >> kind.shift()) as usize % self.sets;
+        set * TLB_WAYS..(set + 1) * TLB_WAYS
+    }
+
+    /// Look up a translation; counts a hit or a miss. Probes the candidate
+    /// set under both granularities (small-page and section indexing).
     pub fn lookup(&mut self, va: VirtAddr, asid: Asid) -> Option<TlbEntry> {
         self.tick += 1;
-        for (i, slot) in self.entries.iter().enumerate() {
-            if let Some(e) = slot {
+        let small = self.set_slots(va.raw(), PageKind::Small);
+        let sect = self.set_slots(va.raw(), PageKind::Section);
+        for i in small.chain(sect) {
+            if let Some(e) = self.entries[i] {
                 if e.matches(va, asid) {
                     self.stamps[i] = self.tick;
                     self.stats.hits += 1;
-                    return Some(*e);
+                    return Some(e);
                 }
             }
         }
@@ -147,34 +166,30 @@ impl Tlb {
         None
     }
 
-    /// Insert a translation after a walk (LRU replacement; duplicates of the
-    /// same va/asid are overwritten in place).
+    /// Insert a translation after a walk (per-set LRU replacement;
+    /// duplicates of the same va/asid are overwritten in place).
     pub fn insert(&mut self, entry: TlbEntry) {
         self.tick += 1;
+        let slots = self.set_slots(entry.va_base, entry.kind);
         // Overwrite a matching entry if present (walk after explicit
         // invalidate-by-MVA, or permission upgrade).
-        for (i, slot) in self.entries.iter_mut().enumerate() {
-            if let Some(e) = slot {
+        for i in slots.clone() {
+            if let Some(e) = self.entries[i] {
                 if e.va_base == entry.va_base
                     && e.kind == entry.kind
                     && (e.global == entry.global && (e.global || e.asid == entry.asid))
                 {
-                    *slot = Some(entry);
+                    self.entries[i] = Some(entry);
                     self.stamps[i] = self.tick;
                     return;
                 }
             }
         }
-        // Free slot, else LRU victim.
-        let victim = self
-            .entries
-            .iter()
-            .position(|s| s.is_none())
-            .unwrap_or_else(|| {
-                (0..self.entries.len())
-                    .min_by_key(|&i| self.stamps[i])
-                    .expect("capacity > 0")
-            });
+        // Free way in the set, else the set's LRU victim.
+        let victim = slots
+            .clone()
+            .find(|&i| self.entries[i].is_none())
+            .unwrap_or_else(|| slots.min_by_key(|&i| self.stamps[i]).expect("TLB_WAYS > 0"));
         self.entries[victim] = Some(entry);
         self.stamps[victim] = self.tick;
     }

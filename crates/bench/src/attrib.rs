@@ -1,0 +1,298 @@
+//! Per-VM attribution: the measured form of the paper's §V-B pollution
+//! argument.
+//!
+//! Fig. 9's explanation — "the related cache and TLB list of the Hardware
+//! Task Manager hypercall and entry code can be easily flushed when
+//! multiple OSes exist" — is causal, not just observed latency. This
+//! harness runs the Table III scenario under the metrics registry and
+//! reports *event counts* per VM: D-cache and TLB refills, instructions,
+//! cycles, traps and fabric usage, attributed by the kernel's world-switch
+//! epoch accounting. With more multiplexed VMs each VM's refill counts
+//! rise, which is the mechanism behind the latency growth.
+//!
+//! Everything here works (and returns zeros) without the `metrics`
+//! feature; the binaries warn when the registry is inert.
+
+use mini_nova::kernel::Kernel;
+use mnv_hal::Cycles;
+use mnv_metrics::{Label, Snapshot};
+use mnv_trace::json::Json;
+
+use crate::table3::{build_kernel, Table3Config};
+
+/// One attribution row: the event counts one label (VM or host) accrued
+/// over the measurement window.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AttribRow {
+    /// Attributed label (`None` = the microkernel / host context).
+    pub vm: Option<u8>,
+    /// Machine cycles elapsed while this label ran.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instr: u64,
+    /// D-cache accesses.
+    pub dcache_access: u64,
+    /// D-cache refills (misses).
+    pub dcache_refill: u64,
+    /// I-cache refills.
+    pub icache_refill: u64,
+    /// TLB refills.
+    pub tlb_refill: u64,
+    /// Hypercalls issued (0 for the host row).
+    pub hypercalls: u64,
+    /// Virtual IRQs injected (0 for the host row).
+    pub virqs: u64,
+    /// Hardware Task Manager invocations (0 for the host row).
+    pub hwmgr: u64,
+}
+
+impl AttribRow {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instr as f64 / self.cycles as f64
+    }
+
+    /// D-cache miss rate in percent.
+    pub fn dmiss_pct(&self) -> f64 {
+        if self.dcache_access == 0 {
+            return 0.0;
+        }
+        100.0 * self.dcache_refill as f64 / self.dcache_access as f64
+    }
+
+    fn from_snapshot(s: &Snapshot, label: Label) -> AttribRow {
+        AttribRow {
+            vm: match label {
+                Label::Vm(v) => Some(v),
+                _ => None,
+            },
+            cycles: s.get("pmu_cycles", label),
+            instr: s.get("instr_retired", label),
+            dcache_access: s.get("dcache_access", label),
+            dcache_refill: s.get("dcache_refill", label),
+            icache_refill: s.get("icache_refill", label),
+            tlb_refill: s.get("tlb_refill", label),
+            hypercalls: s.get("hypercalls", label),
+            virqs: s.get("virqs_injected", label),
+            hwmgr: s.get("hwmgr_invocations", label),
+        }
+    }
+
+    /// JSON record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "label",
+                Json::str(match self.vm {
+                    Some(v) => format!("vm{v}"),
+                    None => "host".to_string(),
+                }),
+            ),
+            ("cycles", Json::num(self.cycles as f64)),
+            ("instr", Json::num(self.instr as f64)),
+            ("ipc", Json::num(self.ipc())),
+            ("dcache_access", Json::num(self.dcache_access as f64)),
+            ("dcache_refill", Json::num(self.dcache_refill as f64)),
+            ("icache_refill", Json::num(self.icache_refill as f64)),
+            ("tlb_refill", Json::num(self.tlb_refill as f64)),
+            ("hypercalls", Json::num(self.hypercalls as f64)),
+            ("virqs", Json::num(self.virqs as f64)),
+            ("hwmgr_invocations", Json::num(self.hwmgr as f64)),
+        ])
+    }
+}
+
+/// The attribution report of one configuration: per-VM rows, the host row
+/// and the window's raw snapshot delta (for totals cross-checks).
+#[derive(Clone, Debug)]
+pub struct AttribReport {
+    /// Number of multiplexed guest OSes.
+    pub guests: u32,
+    /// One row per VM, in VM-id order.
+    pub vms: Vec<AttribRow>,
+    /// The microkernel's own share (world switches, scheduler, idle).
+    pub host: AttribRow,
+    /// Full snapshot delta over the measurement window.
+    pub window: Snapshot,
+}
+
+impl AttribReport {
+    /// Sum of a metric across the per-VM rows plus the host row — by the
+    /// epoch-accounting invariant this equals the machine-wide delta.
+    pub fn label_sum(&self, f: impl Fn(&AttribRow) -> u64) -> u64 {
+        self.vms.iter().map(&f).sum::<u64>() + f(&self.host)
+    }
+
+    /// Mean per-VM value of a metric.
+    pub fn vm_mean(&self, f: impl Fn(&AttribRow) -> u64) -> f64 {
+        if self.vms.is_empty() {
+            return 0.0;
+        }
+        self.vms.iter().map(&f).sum::<u64>() as f64 / self.vms.len() as f64
+    }
+
+    /// JSON record.
+    pub fn to_json(&self) -> Json {
+        let mut rows: Vec<Json> = self.vms.iter().map(|r| r.to_json()).collect();
+        rows.push(self.host.to_json());
+        Json::obj([
+            ("guests", Json::num(self.guests as f64)),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+}
+
+/// Run the Table III scenario with `n` guests under the metrics registry
+/// and return the per-VM attribution of the measurement window. Returns
+/// zeros when the `metrics` feature is off (the registry is inert).
+pub fn measure_attrib(n: usize, cfg: &Table3Config) -> AttribReport {
+    let seed = cfg.seeds.first().copied().unwrap_or(11);
+    let mut k = build_kernel(n, seed, cfg);
+    let reg = k.enable_metrics();
+    k.run(Cycles::from_millis(cfg.warmup_ms_per_guest * n as f64));
+    let before = reg.snapshot();
+    k.run(Cycles::from_millis(cfg.measure_ms_per_guest * n as f64));
+    let window = reg.snapshot().delta(&before);
+    report_from(n as u32, &k, window)
+}
+
+fn report_from(guests: u32, k: &Kernel, window: Snapshot) -> AttribReport {
+    let mut vms: Vec<AttribRow> = Vec::new();
+    for label in window.labels_of("pmu_cycles") {
+        if let Label::Vm(_) = label {
+            vms.push(AttribRow::from_snapshot(&window, label));
+        }
+    }
+    vms.sort_by_key(|r| r.vm);
+    // Fold non-PMU series that only exist per VM into the rows even when a
+    // VM accrued no pmu_cycles sample (ultra-short windows).
+    if vms.is_empty() {
+        for id in k.state.pds.keys() {
+            vms.push(AttribRow::from_snapshot(&window, Label::Vm(id.0 as u8)));
+        }
+    }
+    let host = AttribRow::from_snapshot(&window, Label::Host);
+    AttribReport {
+        guests,
+        vms,
+        host,
+        window,
+    }
+}
+
+/// Render the attribution reports (one per guest count) as the pollution
+/// table: per-VM mean refill counts, which must grow with the number of
+/// multiplexed VMs.
+pub fn format_attrib(reports: &[AttribReport]) -> String {
+    let mut out = String::new();
+    out.push_str("CACHE/TLB POLLUTION ATTRIBUTION (per-VM means over the window)\n\n");
+    out.push_str(&format!(
+        "{:<10}{:>14}{:>14}{:>14}{:>12}{:>10}{:>10}\n",
+        "guests", "dcache miss", "icache miss", "tlb refill", "dmiss %", "IPC", "hwmgr"
+    ));
+    for r in reports {
+        let mean_cycles = r.vm_mean(|v| v.cycles);
+        let mean_instr = r.vm_mean(|v| v.instr);
+        let ipc = if mean_cycles > 0.0 {
+            mean_instr / mean_cycles
+        } else {
+            0.0
+        };
+        let mean_acc = r.vm_mean(|v| v.dcache_access);
+        let mean_ref = r.vm_mean(|v| v.dcache_refill);
+        let dmiss = if mean_acc > 0.0 {
+            100.0 * mean_ref / mean_acc
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<10}{:>14.0}{:>14.0}{:>14.0}{:>12.2}{:>10.3}{:>10.0}\n",
+            r.guests,
+            mean_ref,
+            r.vm_mean(|v| v.icache_refill),
+            r.vm_mean(|v| v.tlb_refill),
+            dmiss,
+            ipc,
+            r.vm_mean(|v| v.hwmgr),
+        ));
+    }
+    out.push_str("\nPer-label sums vs machine totals (accounting invariant):\n");
+    for r in reports {
+        let sum = r.label_sum(|v| v.cycles);
+        let total = r.window.total("pmu_cycles") - r.window.get("pmu_cycles", Label::Machine);
+        out.push_str(&format!(
+            "  {} guest(s): label-sum {} cycles, machine {} cycles {}\n",
+            r.guests,
+            sum,
+            total,
+            if sum == total {
+                "(exact)"
+            } else {
+                "(MISMATCH)"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table3::quick_config;
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn attrib_per_vm_refills_grow_with_vm_count() {
+        let cfg = quick_config();
+        let r1 = measure_attrib(1, &cfg);
+        let r3 = measure_attrib(3, &cfg);
+        assert_eq!(r1.vms.len(), 1);
+        assert_eq!(r3.vms.len(), 3);
+        // The pollution mechanism: with more multiplexed VMs each VM's
+        // working set is evicted by the others, so per-VM mean refill
+        // counts rise (per-guest simulated time is held constant).
+        assert!(
+            r3.vm_mean(|v| v.dcache_refill) > r1.vm_mean(|v| v.dcache_refill),
+            "dcache: 1 VM {} vs 3 VMs {}",
+            r1.vm_mean(|v| v.dcache_refill),
+            r3.vm_mean(|v| v.dcache_refill)
+        );
+        assert!(
+            r3.vm_mean(|v| v.tlb_refill) > r1.vm_mean(|v| v.tlb_refill),
+            "tlb: 1 VM {} vs 3 VMs {}",
+            r1.vm_mean(|v| v.tlb_refill),
+            r3.vm_mean(|v| v.tlb_refill)
+        );
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn attrib_rows_have_activity() {
+        let r = measure_attrib(2, &quick_config());
+        for v in &r.vms {
+            assert!(v.cycles > 0, "{v:?}");
+            assert!(v.instr > 0, "{v:?}");
+            assert!(v.hypercalls > 0, "{v:?}");
+            let ipc = v.ipc();
+            assert!(ipc > 0.0 && ipc < 4.0, "implausible IPC {ipc}");
+        }
+        assert!(r.host.cycles > 0, "host epoch never accounted");
+    }
+
+    #[test]
+    fn attrib_without_metrics_is_empty_not_broken() {
+        // With the registry compiled out it is inert; the harness must
+        // still return a well-formed (all-zero) report. Probe liveness at
+        // runtime — mnv-metrics' feature can be unified on independently
+        // of this crate's `metrics` flag in workspace builds.
+        let r = measure_attrib(1, &quick_config());
+        if !mnv_metrics::Registry::enabled().is_enabled() {
+            assert_eq!(r.window.entries.len(), 0);
+            assert_eq!(r.label_sum(|v| v.cycles), 0);
+        }
+        let _ = format_attrib(&[r]);
+    }
+}

@@ -3,8 +3,14 @@
 //! OSes. Also captures an event timeline of the 4-guest configuration
 //! (`target/experiments/fig9.trace.json`).
 //!
-//! Usage: `cargo run --release -p mnv-bench --bin fig9 [--quick] [--no-trace]`
+//! With `--attrib` (requires `--features metrics`) it additionally prints
+//! the cache/TLB-pollution attribution table — per-VM D-cache/TLB refill
+//! counts for 1–4 multiplexed VMs — turning the figure's explanation into
+//! measured data, and folds the counts into `BENCH_pr4.json`.
+//!
+//! Usage: `cargo run --release -p mnv-bench --bin fig9 [--quick] [--no-trace] [--attrib]`
 
+use mnv_bench::attrib::{format_attrib, measure_attrib};
 use mnv_bench::{
     fig9_rows, measure_native, measure_virtualized, traced_run, write_artifact, write_json,
     Table3Config,
@@ -47,6 +53,33 @@ fn main() {
         "fig9",
         &Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
     );
+
+    // The perf-trajectory artefact: per-row mean/p99 plus headline
+    // counters, extended with per-VM attribution when measured.
+    let mut bench = vec![
+        (
+            "fig9",
+            Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        ),
+        ("native", native.to_json()),
+        (
+            "virtualized",
+            Json::Arr(virt.iter().map(|r| r.to_json()).collect()),
+        ),
+    ];
+
+    if args.iter().any(|a| a == "--attrib") {
+        let reports: Vec<_> = (1..=4).map(|n| measure_attrib(n, &cfg)).collect();
+        if reports[0].window.entries.is_empty() {
+            eprintln!("warning: metrics registry is inert — rerun with `--features metrics`");
+        }
+        println!("\n{}", format_attrib(&reports));
+        bench.push((
+            "attrib",
+            Json::Arr(reports.iter().map(|r| r.to_json()).collect()),
+        ));
+    }
+    write_json("BENCH_pr4", &Json::obj(bench));
 
     if !args.iter().any(|a| a == "--no-trace") {
         let tracer = traced_run(4, &cfg, 30.0);

@@ -1,0 +1,150 @@
+//! `mnvtop` — a live, top-style per-VM view of the running simulation.
+//!
+//! Runs the Table III scenario under the metrics registry and renders one
+//! frame per simulated interval: per-VM cycles, IPC, cache/TLB miss rates,
+//! traps and fabric usage, plus the host (microkernel) share and machine-
+//! wide fabric counters. Every column is a snapshot *delta* over the
+//! frame's window, so the display shows rates, not lifetime totals.
+//!
+//! Usage:
+//!   cargo run --release -p mnv-bench --features metrics --bin mnvtop -- \
+//!     [--guests N] [--frames N] [--interval-ms F] [--plain]
+//!
+//! `--plain` disables the ANSI clear-screen between frames (the default
+//! when stdout is not a terminal), so output can be piped to a file.
+
+use std::io::IsTerminal;
+
+use mnv_bench::attrib::AttribRow;
+use mnv_bench::table3::{build_kernel, quick_config};
+use mnv_hal::Cycles;
+use mnv_metrics::{Label, Snapshot};
+
+fn arg_val(args: &[String], name: &str) -> Option<f64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let guests = arg_val(&args, "--guests").unwrap_or(3.0) as usize;
+    let frames = arg_val(&args, "--frames").unwrap_or(8.0) as usize;
+    let interval_ms = arg_val(&args, "--interval-ms").unwrap_or(20.0);
+    let clear = !args.iter().any(|a| a == "--plain") && std::io::stdout().is_terminal();
+
+    let cfg = quick_config();
+    let mut k = build_kernel(guests.clamp(1, 8), 11, &cfg);
+    let reg = k.enable_metrics();
+    if !reg.is_enabled() {
+        eprintln!("warning: metrics registry is inert — rebuild with `--features metrics`");
+        eprintln!("         (frames below will show zeros)");
+    }
+
+    // Short warm-up so caches/TLBs and the scheduler reach steady state.
+    k.run(Cycles::from_millis(5.0 * guests as f64));
+    let mut prev = reg.snapshot();
+
+    for frame in 0..frames {
+        k.run(Cycles::from_millis(interval_ms));
+        let snap = reg.snapshot();
+        let d = snap.delta(&prev);
+        prev = snap;
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        render(frame, interval_ms, &d, &k.state.metrics.snapshot());
+    }
+}
+
+fn row_of(d: &Snapshot, label: Label) -> AttribRow {
+    AttribRow {
+        vm: match label {
+            Label::Vm(v) => Some(v),
+            _ => None,
+        },
+        cycles: d.get("pmu_cycles", label),
+        instr: d.get("instr_retired", label),
+        dcache_access: d.get("dcache_access", label),
+        dcache_refill: d.get("dcache_refill", label),
+        icache_refill: d.get("icache_refill", label),
+        tlb_refill: d.get("tlb_refill", label),
+        hypercalls: d.get("hypercalls", label),
+        virqs: d.get("virqs_injected", label),
+        hwmgr: d.get("hwmgr_invocations", label),
+    }
+}
+
+fn render(frame: usize, interval_ms: f64, d: &Snapshot, lifetime: &Snapshot) {
+    let vms = {
+        let mut v: Vec<u8> = d
+            .labels_of("pmu_cycles")
+            .into_iter()
+            .filter_map(|l| match l {
+                Label::Vm(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    println!(
+        "mnvtop — frame {frame} — {interval_ms} ms simulated window — {} VM(s)",
+        vms.len()
+    );
+    println!(
+        "{:<6}{:>12}{:>7}{:>10}{:>9}{:>10}{:>8}{:>8}{:>7}",
+        "vm", "cycles", "IPC", "d$miss", "d$miss%", "tlb-ref", "traps", "virq", "hwmgr"
+    );
+    let print_row = |name: String, r: &AttribRow| {
+        println!(
+            "{:<6}{:>12}{:>7.3}{:>10}{:>9.2}{:>10}{:>8}{:>8}{:>7}",
+            name,
+            r.cycles,
+            r.ipc(),
+            r.dcache_refill,
+            r.dmiss_pct(),
+            r.tlb_refill,
+            r.hypercalls,
+            r.virqs,
+            r.hwmgr,
+        );
+    };
+    for id in &vms {
+        let r = row_of(d, Label::Vm(*id));
+        print_row(format!("vm{id}"), &r);
+    }
+    print_row("host".to_string(), &row_of(d, Label::Host));
+
+    // Fabric / machine-wide counters over the same window.
+    println!(
+        "fabric: pcap {} B / {} xfer / {} stall   axi-gp0 {} rd / {} wr   hp0 {} B",
+        d.get("pcap_bytes", Label::Machine),
+        d.get("pcap_transfers", Label::Machine),
+        d.get("pcap_stalls", Label::Machine),
+        d.get("axi_reads", Label::Iface("m-gp0")),
+        d.get("axi_writes", Label::Iface("m-gp0")),
+        d.get("axi_hp_bytes", Label::Iface("s-hp0")),
+    );
+    let mut prr_line = String::from("prrs:  ");
+    for p in 0..8u8 {
+        let occ = d.get("prr_occupancy_cycles", Label::Prr(p));
+        if occ == 0 && lifetime.get("prr_occupancy_cycles", Label::Prr(p)) == 0 {
+            continue;
+        }
+        let busy = lifetime.get("prr_busy", Label::Prr(p));
+        let pct = 100.0 * occ as f64 / (interval_ms * mnv_hal::cycles::CPU_HZ as f64 / 1000.0);
+        prr_line.push_str(&format!(
+            "[{p}]{}{pct:.0}%  ",
+            if busy != 0 { "*" } else { " " }
+        ));
+    }
+    println!("{prr_line}");
+    println!(
+        "world switches: {}   vms killed: {}",
+        d.total("world_switches"),
+        lifetime.get("vms_killed", Label::Machine),
+    );
+    println!();
+}

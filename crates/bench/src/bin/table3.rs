@@ -64,6 +64,18 @@ fn main() {
             ),
         ]),
     );
+    // Perf-trajectory artefact (same shape fig9 writes, minus the ratio
+    // rows): per-row mean/p99/max plus the headline resilience counters.
+    write_json(
+        "BENCH_pr4",
+        &Json::obj([
+            ("native", native.to_json()),
+            (
+                "virtualized",
+                Json::Arr(virt.iter().map(|r| r.to_json()).collect()),
+            ),
+        ]),
+    );
 
     if !args.iter().any(|a| a == "--no-trace") {
         let tracer = traced_run(2, &cfg, 30.0);

@@ -1,7 +1,7 @@
 //! A minimal wall-clock benchmarking loop for the `benches/` targets.
 //!
 //! The workspace is dependency-free, so instead of Criterion the bench
-//! harnesses (`harness = false`) call [`bench`] directly: warm up, size the
+//! harnesses (`harness = false`) call [`bench()`] directly: warm up, size the
 //! iteration count to a fixed time budget, run a few batches and report the
 //! best batch mean (least-noise estimator, same idea Criterion uses).
 //!

@@ -19,6 +19,7 @@
 //! plain wall-clock loops (no external benchmarking crate).
 
 pub mod ablation;
+pub mod attrib;
 pub mod hostbench;
 pub mod table3;
 

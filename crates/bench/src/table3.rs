@@ -160,12 +160,15 @@ pub fn quick_config() -> Table3Config {
 fn workload_guest(seed: u64, task_set: Vec<HwTaskId>) -> GuestKind {
     let mut os = Ucos::new(UcosConfig::default());
     os.task_create(8, Box::new(THwTask::new(task_set, seed)));
-    os.task_create(12, Box::new(GsmTask::new(seed, 8)));
+    os.task_create(12, Box::new(GsmTask::new(seed, 1)));
     os.task_create(20, Box::new(AdpcmTask::new(seed + 99)));
     GuestKind::Ucos(Box::new(os))
 }
 
-fn build_kernel(n: usize, seed: u64, cfg: &Table3Config) -> Kernel {
+/// Build the paper's virtualized scenario: `n` guest OSes, each running
+/// T_hw + GSM + ADPCM over the paper task set. Shared by the Table III
+/// harness, the attribution harness ([`crate::attrib`]) and `mnvtop`.
+pub fn build_kernel(n: usize, seed: u64, cfg: &Table3Config) -> Kernel {
     let mut k = Kernel::new(KernelConfig {
         quantum: cfg.quantum,
         ..Default::default()
@@ -217,7 +220,7 @@ pub fn measure_native(cfg: &Table3Config) -> Row {
         let mut h = NativeHarness::new(os);
         let ids = h.register_paper_task_set();
         h.os.task_create(8, Box::new(THwTask::new(ids, seed)));
-        h.os.task_create(12, Box::new(GsmTask::new(seed, 8)));
+        h.os.task_create(12, Box::new(GsmTask::new(seed, 1)));
         h.os.task_create(20, Box::new(AdpcmTask::new(seed + 99)));
         h.run(Cycles::from_millis(cfg.warmup_ms_per_guest));
         h.stats.reset_hwmgr();

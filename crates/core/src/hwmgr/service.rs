@@ -19,6 +19,7 @@ use mnv_fpga::prr::regs as prr_regs;
 use mnv_fpga::prr::status as prr_status;
 use mnv_hal::abi::{data_section, hw_task_result, HcError, HwTaskState, HwTaskStatus};
 use mnv_hal::{Domain, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
+use mnv_metrics::{Label, Registry};
 use mnv_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
@@ -123,6 +124,10 @@ pub struct HwMgr {
     /// update stages are skipped (§V-B: "in native uCOS-II, the hardware
     /// task manager service does not need to update the page tables").
     pub native: bool,
+    /// Metrics registry handle (a disabled no-op unless the kernel's
+    /// `enable_metrics` installed a live clone); mirrors the fault-path
+    /// counters so harnesses can cross-check them against `KernelStats`.
+    pub metrics: Registry,
 }
 
 fn ctrl_reg(off: u64) -> PhysAddr {
@@ -144,6 +149,7 @@ impl HwMgr {
             watchdog_timeout: DEFAULT_WATCHDOG_TIMEOUT,
             max_pcap_retries: DEFAULT_MAX_PCAP_RETRIES,
             native,
+            metrics: Registry::disabled(),
         }
     }
 
@@ -234,6 +240,7 @@ impl HwMgr {
         };
         let Some(old_vm) = old_vm else { return };
         stats.hwmgr.reclaims += 1;
+        self.metrics.inc("hwmgr_reclaims", Label::Machine);
 
         // Save the 16 interface registers (charged MMIO reads).
         let page = Pl::prr_page(prr);
@@ -386,6 +393,7 @@ impl HwMgr {
             // service would return to the applicant guest OS with a Busy
             // status".
             stats.hwmgr.busy += 1;
+            self.metrics.inc("hwmgr_busy", Label::Machine);
             return Err(HcError::Busy);
         };
 
@@ -455,6 +463,7 @@ impl HwMgr {
         // Stage 5: launch the PCAP download if the task is not resident.
         if needs_reconfig {
             stats.hwmgr.reconfigs += 1;
+            self.metrics.inc("hwmgr_reconfigs", Label::Machine);
             let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_SRC), bit_addr.raw() as u32);
             let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_LEN), bit_len);
             let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_TARGET), prr as u32);
@@ -606,6 +615,7 @@ impl HwMgr {
             line: None,
         });
         stats.hwmgr.sw_fallbacks += 1;
+        self.metrics.inc("sw_fallbacks", Label::Machine);
         tracer.emit(
             m.now(),
             TraceEvent::SwFallback {
@@ -681,6 +691,7 @@ impl HwMgr {
         prr: u8,
     ) {
         stats.hwmgr.quarantines += 1;
+        self.metrics.inc("quarantines", Label::Machine);
         tracer.emit(m.now(), TraceEvent::PrrQuarantine { prr });
         self.busy_since[prr as usize] = None;
         self.prrs.entry_mut(m, prr).quarantined = true;
@@ -840,6 +851,7 @@ impl HwMgr {
         let _ = m.phys_write_u32(s.page + 4 * prr_regs::STATUS as u64, prr_status::DONE);
 
         stats.hwmgr.sw_fallbacks += 1;
+        self.metrics.inc("sw_fallbacks", Label::Machine);
         tracer.emit(
             m.now(),
             TraceEvent::SwFallback {
@@ -924,6 +936,7 @@ impl HwMgr {
                     if job.attempts < self.max_pcap_retries {
                         job.attempts += 1;
                         stats.hwmgr.pcap_retries += 1;
+                        self.metrics.inc("pcap_retries", Label::Machine);
                         tracer.emit(
                             m.now(),
                             TraceEvent::PcapRetry {

@@ -1,5 +1,6 @@
-//! The hypercall layer: trap cost, portal check and dispatch of all 25
-//! calls (§III-A).
+//! The hypercall layer: trap cost, portal check and dispatch of the
+//! paper's 25 calls (§III-A) plus the reproduction's read-only
+//! [`Hypercall::VmStats`] accounting extension.
 //!
 //! For the hardware-task calls the dispatcher also performs the *manager
 //! invocation protocol* of §IV-E: the caller's vCPU is saved, the machine
@@ -11,8 +12,9 @@
 
 use mnv_arm::cp15::Cp15Reg;
 use mnv_arm::machine::Machine;
-use mnv_hal::abi::{HcError, Hypercall, HypercallArgs};
+use mnv_hal::abi::{vm_stats, HcError, Hypercall, HypercallArgs};
 use mnv_hal::{Cycles, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
+use mnv_metrics::Label;
 use mnv_trace::{MgrPhase, TraceEvent, TrapKind};
 
 use crate::ipc;
@@ -71,10 +73,13 @@ pub fn hypercall_from_trap(
         pd.stats.hypercalls += 1;
         pd.portals.check(args.nr).inspect_err(|_| {
             ks.stats.hypercalls_denied += 1;
+            ks.metrics
+                .inc("hypercalls_denied", Label::Vm(caller.0 as u8));
         })?;
     }
     ks.stats.hypercalls[args.nr.nr() as usize] += 1;
     ks.stats.hypercalls_total += 1;
+    ks.metrics.inc("hypercalls", Label::Vm(caller.0 as u8));
     ks.tracer
         .emit(m.now(), TraceEvent::Hypercall { nr: args.nr.nr() });
     dispatch(m, ks, caller, args)
@@ -98,6 +103,31 @@ fn dispatch(
                 0 => Ok(caller.0 as u32),
                 1 => Ok(pd.region.raw() as u32),
                 2 => Ok(pd.region_len as u32),
+                _ => Err(HcError::BadArg),
+            }
+        }
+        VmStats => {
+            // Reading the accounting block is one emulated register access.
+            m.charge(mnv_arm::timing::CP15_ACCESS);
+            let pd = ks.pds.get(&caller).ok_or(HcError::BadArg)?;
+            let s = &pd.stats;
+            match args.a0 {
+                vm_stats::CPU_CYCLES_LO => Ok(s.cpu_cycles as u32),
+                vm_stats::CPU_CYCLES_HI => Ok((s.cpu_cycles >> 32) as u32),
+                vm_stats::HYPERCALLS => Ok(s.hypercalls as u32),
+                vm_stats::ACTIVATIONS => Ok(s.activations as u32),
+                vm_stats::PREEMPTIONS => Ok(s.preemptions as u32),
+                vm_stats::VIRQS => Ok(s.virqs_injected as u32),
+                vm_stats::FAULTS_FORWARDED => Ok(s.faults_forwarded as u32),
+                vm_stats::DCACHE_ACCESS => Ok(s.pmu.l1d_access as u32),
+                vm_stats::DCACHE_REFILL => Ok(s.pmu.l1d_refill as u32),
+                vm_stats::TLB_REFILL => Ok(s.pmu.tlb_refill as u32),
+                vm_stats::ICACHE_REFILL => Ok(s.pmu.l1i_refill as u32),
+                vm_stats::PT_WALKS => Ok(s.pmu.pt_walks as u32),
+                vm_stats::EXC_TAKEN => Ok(s.pmu.exc_taken as u32),
+                vm_stats::PMU_CYCLES_LO => Ok(s.pmu.cycles as u32),
+                vm_stats::PMU_CYCLES_HI => Ok((s.pmu.cycles >> 32) as u32),
+                vm_stats::INSTR_RETIRED => Ok(s.pmu.instr_retired as u32),
                 _ => Err(HcError::BadArg),
             }
         }
@@ -382,6 +412,10 @@ fn with_manager(
     ks.stats.vm_switches += 1;
     let t1 = m.now();
     ks.stats.hwmgr.entry.push(Cycles::new((t1 - t0).raw()));
+    let vm_label = Label::Vm(caller.0 as u8);
+    ks.metrics.inc("hwmgr_invocations", vm_label);
+    ks.metrics
+        .add("hwmgr_entry_cycles", vm_label, (t1 - t0).raw());
     ks.tracer.emit(
         t1,
         TraceEvent::HwMgrPhase {
@@ -401,6 +435,8 @@ fn with_manager(
     let result = body(m, ks);
     let t2 = m.now();
     ks.stats.hwmgr.exec.push(Cycles::new((t2 - t1).raw()));
+    ks.metrics
+        .add("hwmgr_exec_cycles", vm_label, (t2 - t1).raw());
     ks.tracer.emit(
         t2,
         TraceEvent::HwMgrPhase {
@@ -434,6 +470,8 @@ fn with_manager(
     let t3 = m.now();
     ks.stats.hwmgr.exit.push(Cycles::new((t3 - t2).raw()));
     ks.stats.hwmgr.total.push(Cycles::new((t3 - t0).raw()));
+    ks.metrics
+        .add("hwmgr_exit_cycles", vm_label, (t3 - t2).raw());
     ks.tracer.emit(
         t3,
         TraceEvent::HwMgrPhase {

@@ -4,11 +4,13 @@
 use mnv_arm::cp15::Cp15Reg;
 use mnv_arm::machine::{Machine, MachineConfig};
 use mnv_arm::tlb::Ap;
+use mnv_arm::PmuInputs;
 use mnv_fault::{FaultPlan, FaultPlane};
 use mnv_fpga::bitstream::{Bitstream, CoreKind};
 use mnv_fpga::fabric::FabricConfig;
 use mnv_fpga::pl::{Pl, PlConfig};
 use mnv_hal::{Cycles, Domain, HwTaskId, PhysAddr, Priority, VirtAddr, VmId};
+use mnv_metrics::{Label, Registry};
 use mnv_trace::{TraceEvent, Tracer};
 use mnv_ucos::kernel::{RunExit, Ucos};
 use std::collections::BTreeMap;
@@ -109,6 +111,13 @@ pub struct KernelState {
     /// Event tracer (disabled unless [`Kernel::enable_tracing`] is called;
     /// shares its ring with [`Machine::tracer`]).
     pub tracer: Tracer,
+    /// Metrics registry (disabled unless [`Kernel::enable_metrics`] is
+    /// called; shared with the Hardware Task Manager and the PL).
+    pub metrics: Registry,
+    /// PMU-input sample at the last attribution boundary: the epoch
+    /// accounting charges `machine.pmu_inputs() - meter_base` to whichever
+    /// world ran since (the VM on switch-out, the host otherwise).
+    pub meter_base: PmuInputs,
 }
 
 /// The composed kernel.
@@ -160,6 +169,8 @@ impl Kernel {
             defer_manager: cfg.defer_manager,
             quantum: cfg.quantum,
             tracer: Tracer::disabled(),
+            metrics: Registry::disabled(),
+            meter_base: PmuInputs::default(),
         };
         Kernel {
             machine,
@@ -178,6 +189,26 @@ impl Kernel {
         self.state.tracer = t.clone();
         self.machine.tracer = t.clone();
         t
+    }
+
+    /// Turn on the per-VM metrics registry: the kernel, the Hardware Task
+    /// Manager and the PL peripheral share one registry (clones share
+    /// state, like the tracer's ring). Returns a handle for snapshots and
+    /// export. Without the `metrics` feature this returns an inert handle
+    /// and every probe stays an empty inline function.
+    pub fn enable_metrics(&mut self) -> Registry {
+        let r = Registry::enabled();
+        self.state.metrics = r.clone();
+        self.state.hwmgr.metrics = r.clone();
+        self.machine
+            .peripheral_mut::<Pl>()
+            .expect("PL attached")
+            .set_metrics(r.clone());
+        // Epoch accounting starts here: whatever ran before enablement is
+        // outside the measurement window.
+        self.state.meter_base = self.machine.pmu_inputs();
+        r.set("vm_count", Label::Machine, self.guests.len() as u64);
+        r
     }
 
     /// Arm deterministic fault injection over the whole substrate: one
@@ -209,6 +240,7 @@ impl Kernel {
             .tracer
             .emit(self.machine.now(), TraceEvent::VmKilled { vm: vm.0 });
         self.state.stats.vms_killed += 1;
+        self.state.metrics.inc("vms_killed", Label::Machine);
         self.destroy_vm(vm);
     }
 
@@ -247,8 +279,9 @@ impl Kernel {
     }
 
     /// Create a VM: allocates identity, ASID, region and page table; builds
-    /// the guest-window mappings (sections for RAM, leaving the interface
-    /// megabyte to on-demand 4 KB pages); enqueues it runnable.
+    /// the guest-window mappings (sections for RAM, 4 KB pages for the
+    /// first work megabyte, leaving the interface megabyte to on-demand
+    /// 4 KB pages); enqueues it runnable.
     pub fn create_vm(&mut self, spec: VmSpec) -> VmId {
         let vm = VmId(self.next_vm);
         self.next_vm += 1;
@@ -265,10 +298,11 @@ impl Kernel {
         // (holding layout slots for PRR register pages) stays unmapped at
         // section level — the manager inserts 4 KB pages there.
         let iface_mb = mnv_ucos::layout::HWIFACE_BASE.section_base().raw();
+        let work_mb = mnv_ucos::layout::WORK_BASE.section_base().raw();
         let gu_base = mnv_ucos::layout::GUEST_USER_BASE.raw();
         let mut va = 0u64;
         while va < mnv_ucos::layout::GUEST_SPACE {
-            if va != iface_mb {
+            if va != iface_mb && va != work_mb {
                 let domain = if va < gu_base {
                     Domain::GUEST_KERNEL
                 } else {
@@ -286,6 +320,26 @@ impl Kernel {
                 .expect("section map");
             }
             va += mnv_hal::SECTION_SIZE;
+        }
+        // The first work megabyte is mapped at 4 KB granularity, like a
+        // real OS maps its heap/working buffers. Guest data traffic through
+        // it therefore exercises the TLB page-by-page, which is what makes
+        // per-VM TLB pressure measurable under multiplexing (§V-B).
+        let mut off = 0u64;
+        while off < mnv_hal::SECTION_SIZE {
+            pagetable::map_page(
+                &mut self.machine,
+                l1,
+                VirtAddr::new(work_mb + off),
+                region + work_mb + off,
+                Domain::GUEST_KERNEL,
+                Ap::Full,
+                false,
+                false,
+                &mut self.state.pt,
+            )
+            .expect("work-megabyte page map");
+            off += mnv_hal::PAGE_SIZE;
         }
 
         let entry = mnv_ucos::layout::CODE_BASE.raw() as u32;
@@ -314,6 +368,9 @@ impl Kernel {
         self.state.sched.add(vm, spec.priority);
         self.state.pds.insert(vm, pd);
         self.guests.insert(vm, spec.guest);
+        self.state
+            .metrics
+            .set("vm_count", Label::Machine, self.guests.len() as u64);
         vm
     }
 
@@ -394,9 +451,45 @@ impl Kernel {
         if self.state.current == Some(vm) {
             self.state.current = None;
         }
+        self.state
+            .metrics
+            .set("vm_count", Label::Machine, self.guests.len() as u64);
     }
 
     // -- world switch ---------------------------------------------------------
+
+    /// Close the current attribution epoch: everything the machine counted
+    /// since the last boundary (cycles, instructions, cache/TLB refills,
+    /// walks, exceptions) is charged to `vm` — or to the host (kernel,
+    /// world-switch code, idle loop) when `vm` is `None`. The per-PD
+    /// accounting is unconditional (it backs the VmStats hypercall); the
+    /// registry mirror is one `is_enabled` branch when metrics are off.
+    fn account_epoch(&mut self, vm: Option<VmId>) {
+        let now = self.machine.pmu_inputs();
+        let d = now.delta(&self.state.meter_base);
+        self.state.meter_base = now;
+        if let Some(vm) = vm {
+            if let Some(pd) = self.state.pds.get_mut(&vm) {
+                pd.stats.pmu.accumulate(&d);
+            }
+        }
+        let r = &self.state.metrics;
+        if r.is_enabled() {
+            let label = match vm {
+                Some(v) => Label::Vm(v.0 as u8),
+                None => Label::Host,
+            };
+            r.add("pmu_cycles", label, d.cycles);
+            r.add("instr_retired", label, d.instr_retired);
+            r.add("icache_access", label, d.l1i_access);
+            r.add("icache_refill", label, d.l1i_refill);
+            r.add("dcache_access", label, d.l1d_access);
+            r.add("dcache_refill", label, d.l1d_refill);
+            r.add("tlb_refill", label, d.tlb_refill);
+            r.add("pt_walks", label, d.pt_walks);
+            r.add("exc_taken", label, d.exc_taken);
+        }
+    }
 
     fn touch_ktext(&mut self, base: PhysAddr, lines: u64) {
         for i in 0..lines {
@@ -413,8 +506,14 @@ impl Kernel {
     /// reprogram the GIC per the vGIC lists, reload TTBR/ASID/DACR. Returns
     /// buffered vIRQs to inject.
     fn switch_in(&mut self, vm: VmId) -> Vec<(mnv_hal::IrqNum, u32)> {
+        // Everything since the last boundary was host work (scheduler,
+        // watchdog, idle fast-forward); the epoch opening here is the VM's.
+        self.account_epoch(None);
         self.touch_ktext(ktext::WORLD_SWITCH, 16);
         self.state.stats.vm_switches += 1;
+        self.state
+            .metrics
+            .inc("world_switches", Label::Vm(vm.0 as u8));
         self.state.tracer.emit(
             self.machine.now(),
             TraceEvent::VmSwitch { from: 0, to: vm.0 },
@@ -470,6 +569,9 @@ impl Kernel {
 
     /// Switch out of `vm`: save the active set and mask its lines.
     fn switch_out(&mut self, vm: VmId) {
+        // The epoch since switch-in — guest execution plus the traps and
+        // manager phases it caused — is the VM's.
+        self.account_epoch(Some(vm));
         self.touch_ktext(ktext::WORLD_SWITCH, 12);
         self.state.tracer.emit(
             self.machine.now(),
@@ -567,6 +669,9 @@ impl Kernel {
             // (§III-D: "its total execution time slice is constant").
             let left = self.state.sched.stopped(vm, full, used, reason);
             let end = self.machine.now().raw();
+            self.state
+                .metrics
+                .add("cpu_cycles", Label::Vm(vm.0 as u8), used.raw());
             let pd = self.state.pds.get_mut(&vm).expect("vm exists");
             pd.quantum_left = left;
             pd.stats.cpu_cycles += used.raw();

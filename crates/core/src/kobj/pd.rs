@@ -3,6 +3,7 @@
 //! microkernel. It holds the state of a virtual machine (the ID number,
 //! the priority level, etc)."
 
+use mnv_arm::PmuInputs;
 use mnv_hal::{Asid, Cycles, HwTaskId, PhysAddr, Priority, VirtAddr, VmId};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -57,6 +58,14 @@ pub struct PdStats {
     pub preemptions: u64,
     /// Page faults forwarded to the guest.
     pub faults_forwarded: u64,
+    /// Virtual IRQs injected into this VM.
+    pub virqs_injected: u64,
+    /// Machine events attributed to this VM by the kernel's epoch
+    /// accounting: everything the PMU saw between this VM's switch-in and
+    /// switch-out (cycles, instructions, cache/TLB refills…). Always
+    /// maintained — this is what the VmStats hypercall serves — while the
+    /// `metrics` registry mirrors it per label when enabled.
+    pub pmu: PmuInputs,
 }
 
 /// A protection domain.
@@ -106,6 +115,9 @@ pub struct Pd {
     /// Cursor into the guest's code working set (instruction-fetch traffic
     /// model — see `VmEnv::compute`).
     pub text_cursor: u64,
+    /// LCG state of the guest's data-side traffic model (skewed-reuse
+    /// sweep over the page-mapped work megabyte — see `VmEnv::compute`).
+    pub data_rng: u64,
     /// Absolute cycle time of this VM's next wake-up event (0 = awake now).
     /// Set when the guest idles; cleared when a vIRQ is buffered for it.
     pub wake_at: u64,
@@ -150,6 +162,7 @@ impl Pd {
             console: Vec::new(),
             emulated_regs: [0; 8],
             text_cursor: 0,
+            data_rng: 0x243F_6A88_85A3_08D3 ^ ((vm.0 as u64) << 32),
             wake_at: 0,
             stats: PdStats::default(),
         }

@@ -41,7 +41,7 @@ pub fn portal_of(hc: Hypercall) -> PortalClass {
             PortalClass::Device
         }
         IpcSend | IpcRecv => PortalClass::Ipc,
-        Yield | VmInfo | TimerProgram | TimerStop => PortalClass::Sched,
+        Yield | VmInfo | VmStats | TimerProgram | TimerStop => PortalClass::Sched,
     }
 }
 
@@ -52,7 +52,7 @@ pub struct PortalTable {
 }
 
 impl PortalTable {
-    /// Full guest capability set (all 25 calls).
+    /// Full guest capability set (every provided call).
     pub fn guest_default() -> Self {
         PortalTable {
             mask: (1u32 << HYPERCALL_COUNT) - 1,

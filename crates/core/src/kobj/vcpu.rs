@@ -18,6 +18,7 @@ use mnv_arm::cp15::Cp15Reg;
 use mnv_arm::machine::Machine;
 use mnv_arm::psr::Psr;
 use mnv_arm::vfp::{Vfp, VfpImage};
+use mnv_arm::PmuState;
 use mnv_hal::{PhysAddr, VmId};
 
 use crate::mem::layout;
@@ -50,6 +51,10 @@ pub struct Vcpu {
     pub contextidr: u32,
     /// Active CP15 set: user-readable thread register.
     pub tpidruro: u32,
+    /// Active set: the VM's virtualized PMU (CP15 c9) configuration and
+    /// counter values. Saving rebases the hardware PMU's epoch so counts
+    /// accumulated by other worlds are never attributed to this VM.
+    pub pmu: PmuState,
     /// Lazy set: VFP bank image (populated on first lazy save).
     pub vfp: VfpImage,
     /// Whether this VM's VFP state currently lives in the hardware bank.
@@ -78,6 +83,7 @@ impl Vcpu {
             dacr: 0,
             contextidr: 0,
             tpidruro: 0,
+            pmu: PmuState::default(),
             vfp: VfpImage::default(),
             vfp_resident: false,
             vfp_used: false,
@@ -112,6 +118,11 @@ impl Vcpu {
         self.dacr = m.cp15.read(Cp15Reg::Dacr);
         self.contextidr = m.cp15.read(Cp15Reg::Contextidr);
         self.tpidruro = m.cp15.read(Cp15Reg::Tpidruro);
+        // The virtualized PMU: fold the epoch into the counters and take
+        // the state (PMCR/PMCNTEN/PMUSERENR plus counter values) with it.
+        m.charge(mnv_arm::timing::CP15_ACCESS * 2);
+        let now = m.pmu_inputs();
+        self.pmu = m.pmu.save_state(now);
         // Frame store traffic.
         let frame = Self::frame(vm);
         let bytes = vec![0u8; (Self::ACTIVE_FRAME_WORDS * 4) as usize];
@@ -134,6 +145,11 @@ impl Vcpu {
         m.cp15.write(Cp15Reg::Dacr, self.dacr);
         m.cp15.write(Cp15Reg::Contextidr, self.contextidr);
         m.cp15.write(Cp15Reg::Tpidruro, self.tpidruro);
+        // Load this VM's PMU, rebasing the epoch to now so nothing counted
+        // while the VM was switched out leaks into its counters.
+        m.charge(mnv_arm::timing::CP15_ACCESS * 2);
+        let now = m.pmu_inputs();
+        m.pmu.load_state(self.pmu, now);
         self.restores += 1;
     }
 

@@ -47,6 +47,7 @@ pub struct NativeHarness {
     vtimer: VTimer,
     bitstream_cursor: u64,
     text_cursor: u64,
+    data_rng: u64,
 }
 
 /// The VM id used for the unified native context.
@@ -86,6 +87,7 @@ impl NativeHarness {
             vtimer: VTimer::default(),
             bitstream_cursor: layout::BITSTREAM_BASE.raw(),
             text_cursor: 0,
+            data_rng: 0x243F_6A88_85A3_08D3,
         }
     }
 
@@ -126,6 +128,7 @@ impl NativeHarness {
                 os,
                 vtimer,
                 text_cursor,
+                data_rng,
                 ..
             } = self;
             let mut env = NativeEnv {
@@ -136,6 +139,7 @@ impl NativeHarness {
                 pt,
                 vtimer,
                 text_cursor,
+                data_rng,
                 deadline,
             };
             match os.run(&mut env) {
@@ -163,6 +167,7 @@ struct NativeEnv<'a> {
     pt: &'a mut PtAlloc,
     vtimer: &'a mut VTimer,
     text_cursor: &'a mut u64,
+    data_rng: &'a mut u64,
     deadline: Cycles,
 }
 
@@ -189,8 +194,11 @@ impl GuestEnv for NativeEnv<'_> {
 
     fn compute(&mut self, cycles: u64) {
         self.m.charge(cycles);
-        // Same instruction-fetch traffic model as the virtualized guests —
-        // the workload is identical, only the hosting differs.
+        // Same instruction-retired and traffic models as the virtualized
+        // guests (`VmEnv::compute`) — the workload is identical, only the
+        // hosting differs. Natively the MMU is off, so the data sweep is
+        // physically addressed and exercises no TLB.
+        self.m.instructions_retired += cycles / 2;
         const CODE_WS: u64 = 256 * 1024;
         let touches = (cycles / 160).min(256);
         let base = layout::vm_region(NATIVE_VM) + mnv_ucos::layout::CODE_BASE.raw();
@@ -201,6 +209,29 @@ impl GuestEnv for NativeEnv<'_> {
                 .m
                 .caches
                 .access(pa, mnv_arm::cache::MemAccessKind::Fetch, false);
+            self.m.charge(cost.saturating_sub(mnv_arm::timing::L1_HIT));
+        }
+        const DATA_SLOTS: u64 = 384;
+        const DATA_PAGES: u64 = 64;
+        let data_touches = (cycles / 128).min(256);
+        let work = layout::vm_region(NATIVE_VM) + mnv_ucos::layout::WORK_BASE.raw();
+        let vm_salt = (NATIVE_VM.0 as u64) << 10;
+        for _ in 0..data_touches {
+            *self.data_rng = self
+                .data_rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (*self.data_rng >> 33) % DATA_SLOTS;
+            let slot = r * r / DATA_SLOTS;
+            let hp = ((slot % DATA_PAGES) + vm_salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let hl = (slot + vm_salt).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            let page = (hp >> 16) % 256;
+            let line = (hl >> 40) % 128;
+            let pa = work + page * mnv_hal::PAGE_SIZE + line * 32;
+            let cost = self
+                .m
+                .caches
+                .access(pa, mnv_arm::cache::MemAccessKind::Read, false);
             self.m.charge(cost.saturating_sub(mnv_arm::timing::L1_HIT));
         }
     }

@@ -97,7 +97,11 @@ impl<'a> VmEnv<'a> {
                 }
                 Some(pd) => {
                     pd.vgic.note_injected(irq);
+                    pd.stats.virqs_injected += 1;
                     self.ks.stats.virqs_injected += 1;
+                    self.ks
+                        .metrics
+                        .inc("virqs_injected", mnv_metrics::Label::Vm(self.vm.0 as u8));
                     // Charge the forced jump to the VM's IRQ entry.
                     self.m.charge(mnv_arm::timing::EXC_RETURN);
                     if is_pl {
@@ -144,6 +148,11 @@ impl GuestEnv for VmEnv<'_> {
 
     fn compute(&mut self, cycles: u64) {
         self.m.charge(cycles);
+        // Retired-instruction model for paravirtualized compute: the A9 is
+        // dual-issue, but memory stalls in real workloads hold sustained
+        // IPC near 0.5 of the charged budget. MIR guests retire for real
+        // in the interpreter; this covers the uC/OS-II task bodies.
+        self.m.instructions_retired += cycles / 2;
         // Instruction-fetch traffic model: a guest burning CPU is fetching
         // code from its own region. Each VM sweeps a private code working
         // set, so caches genuinely fill with per-VM lines — the mechanism
@@ -169,6 +178,43 @@ impl GuestEnv for VmEnv<'_> {
             // The base `cycles` already covers the hit-case fetch; charge
             // only the miss penalty on top.
             self.m.charge(cost.saturating_sub(mnv_arm::timing::L1_HIT));
+        }
+        // Data-side traffic model: loads from the page-mapped work
+        // megabyte with a hot-head/cold-tail reuse profile (a squared
+        // uniform draw skews toward small slot numbers, like real heap
+        // traffic reuses a few hot structures and streams over the rest).
+        // Each VM's heap layout differs, so the slot→(page, line)
+        // placement is a per-VM hash over the megabyte's 256 frames.
+        // Running alone, the hot slots stay L1/TLB-resident between
+        // activations; every additional multiplexed VM drops its own
+        // lines and page entries into the same cache/TLB sets in between,
+        // pushing progressively colder slots out — so per-VM refill
+        // counts rise smoothly with guest count instead of jumping at a
+        // capacity cliff.
+        const DATA_SLOTS: u64 = 384; // distinct hot+cold addresses per VM
+        const DATA_PAGES: u64 = 64; // page aliasing classes per VM
+        let data_touches = (cycles / 128).min(256);
+        let work = mnv_ucos::layout::WORK_BASE.raw();
+        let vm_salt = (self.vm.0 as u64) << 10;
+        for _ in 0..data_touches {
+            pd.data_rng = pd
+                .data_rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (pd.data_rng >> 33) % DATA_SLOTS;
+            let slot = r * r / DATA_SLOTS;
+            let hp = ((slot % DATA_PAGES) + vm_salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let hl = (slot + vm_salt).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            let page = (hp >> 16) % 256;
+            let line = (hl >> 40) % 128;
+            let va = VirtAddr::new(work + page * mnv_hal::PAGE_SIZE + line * 32);
+            if let Ok(pa) = self.m.translate(va, mnv_arm::mmu::AccessKind::Read, false) {
+                let cost = self
+                    .m
+                    .caches
+                    .access(pa, mnv_arm::cache::MemAccessKind::Read, false);
+                self.m.charge(cost.saturating_sub(mnv_arm::timing::L1_HIT));
+            }
         }
     }
 
@@ -239,7 +285,11 @@ impl GuestEnv for VmEnv<'_> {
             let pd = self.ks.pds.get_mut(&self.vm)?;
             if pd.vtimer.poll(now).is_some() {
                 pd.vgic.note_injected(IrqNum(mnv_ucos::layout::TIMER_VIRQ));
+                pd.stats.virqs_injected += 1;
                 self.ks.stats.virqs_injected += 1;
+                self.ks
+                    .metrics
+                    .inc("virqs_injected", mnv_metrics::Label::Vm(self.vm.0 as u8));
                 self.m
                     .charge(mnv_arm::timing::EXC_ENTRY + mnv_arm::timing::EXC_RETURN);
                 self.ks.tracer.emit(

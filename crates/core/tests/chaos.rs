@@ -273,3 +273,50 @@ fn fault_trace_events_reach_the_tracer() {
     assert!(has("SwFallback"), "fallback event missing");
     assert!(has("FaultInjected"), "injection event missing");
 }
+
+#[test]
+fn fault_plane_counters_mirror_the_metrics_registry() {
+    // The degradation counters are exported on the metrics plane too: under
+    // a seeded chaos run the registry's machine-wide series must agree
+    // exactly with the kernel's own fault-plane accounting. (When the
+    // registry is compiled out it is inert and reads back zeros; gate on
+    // the handle, not this crate's feature, so the test holds under any
+    // workspace feature unification.)
+    use mnv_metrics::Label;
+
+    let (mut k, ids) = kernel();
+    let qam: Vec<HwTaskId> = ids[6..].to_vec();
+    k.create_vm(VmSpec {
+        name: "g1",
+        priority: Priority::GUEST,
+        guest: workload_guest(3, qam),
+    });
+    let reg = k.enable_metrics();
+    k.enable_faults(FaultPlan::chaos(0xFA17));
+    k.state.hwmgr.watchdog_timeout = 1_000_000;
+    k.run(Cycles::from_millis(120.0));
+
+    let h = &k.state.stats.hwmgr;
+    let snap = reg.snapshot();
+    let series = [
+        ("pcap_retries", h.pcap_retries),
+        ("quarantines", h.quarantines),
+        ("sw_fallbacks", h.sw_fallbacks),
+        ("hwmgr_reclaims", h.reclaims),
+        ("hwmgr_reconfigs", h.reconfigs),
+    ];
+    for (name, stat) in series {
+        let metered = snap.get(name, Label::Machine);
+        if reg.is_enabled() {
+            assert_eq!(metered, stat, "registry series {name} diverged");
+        } else {
+            assert_eq!(metered, 0, "inert registry must read zero for {name}");
+        }
+    }
+    if reg.is_enabled() {
+        assert!(
+            snap.get("pcap_retries", Label::Machine) > 0,
+            "chaos preset must exercise the retry path"
+        );
+    }
+}

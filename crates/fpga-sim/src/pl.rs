@@ -21,6 +21,7 @@ use std::any::Any;
 use mnv_arm::bus::{PeriphCtx, Peripheral};
 use mnv_arm::event::SimEvent;
 use mnv_fault::{FaultPlane, FaultSite};
+use mnv_metrics::{Label, Registry};
 use mnv_trace::TraceEvent;
 
 use crate::bitstream::Bitstream;
@@ -145,6 +146,12 @@ pub struct Pl {
     base_latch: u32,
     /// Fault-injection plane (disabled by default; see `mnv-fault`).
     fault: FaultPlane,
+    /// Metrics registry handle (disabled no-op by default; the embedder
+    /// clones a live registry in via [`Pl::set_metrics`], mirroring the
+    /// fault-plane pattern). Feeds fabric-side series: PCAP byte/transfer
+    /// counts, AXI GP transaction counts, HP burst bytes and per-PRR
+    /// occupancy cycles.
+    metrics: Registry,
 }
 
 impl Pl {
@@ -170,6 +177,7 @@ impl Pl {
             sel: 0,
             base_latch: 0,
             fault: FaultPlane::disabled(),
+            metrics: Registry::disabled(),
         }
     }
 
@@ -179,6 +187,11 @@ impl Pl {
     /// single seed drives the whole schedule.
     pub fn set_fault_plane(&mut self, plane: FaultPlane) {
         self.fault = plane;
+    }
+
+    /// Attach a metrics registry (a shared handle, like the fault plane).
+    pub fn set_metrics(&mut self, registry: Registry) {
+        self.metrics = registry;
     }
 
     /// Number of PRRs.
@@ -246,6 +259,7 @@ impl Pl {
         {
             // The transfer wedges: status stays BUSY until a CTRL abort.
             self.pcap.stalled = true;
+            self.metrics.inc("pcap_stalls", Label::Machine);
             ctx.log.push(ctx.now, SimEvent::Marker("pcap-stall"));
             ctx.tracer.emit(
                 ctx.now,
@@ -358,6 +372,9 @@ impl Pl {
                     self.prrs[target as usize].load_core(make_core(bs.core));
                     self.pcap.status = pcap_status::DONE;
                     self.pcap.transfers += 1;
+                    self.metrics.inc("pcap_transfers", Label::Machine);
+                    self.metrics
+                        .add("pcap_bytes", Label::Machine, self.pcap.len as u64);
                     ctx.log.push(ctx.now, SimEvent::Marker("pcap-reconfigured"));
                     ctx.tracer.emit(
                         ctx.now,
@@ -476,6 +493,8 @@ impl Peripheral for Pl {
     }
 
     fn read32(&mut self, off: u64, _ctx: &mut PeriphCtx<'_>) -> u32 {
+        // Every register access is one AXI GP0 transaction (Fig. 4).
+        self.metrics.inc("axi_reads", Label::Iface("m-gp0"));
         let page = off / PAGE;
         if page == 0 {
             self.ctrl_read(off)
@@ -490,6 +509,7 @@ impl Peripheral for Pl {
     }
 
     fn write32(&mut self, off: u64, val: u32, ctx: &mut PeriphCtx<'_>) {
+        self.metrics.inc("axi_writes", Label::Iface("m-gp0"));
         let page = off / PAGE;
         if page == 0 {
             self.ctrl_write(off, val, ctx);
@@ -536,9 +556,31 @@ impl Peripheral for Pl {
             }
         }
         // PRR engines.
-        for prr in &mut self.prrs {
+        let meter = self.metrics.is_enabled();
+        for (i, prr) in self.prrs.iter_mut().enumerate() {
             let irq_en = prr.regs.r[crate::prr::regs::CTRL] & ctrl::IRQ_EN != 0;
-            if prr.advance(dt.raw(), ctx) && irq_en {
+            let busy_before = prr.busy_cycles;
+            let completed = prr.advance(dt.raw(), ctx);
+            if meter {
+                let occupied = prr.busy_cycles - busy_before;
+                if occupied > 0 {
+                    self.metrics
+                        .add("prr_occupancy_cycles", Label::Prr(i as u8), occupied);
+                }
+                self.metrics.set(
+                    "prr_busy",
+                    Label::Prr(i as u8),
+                    (prr.regs.r[regs::STATUS] == status::BUSY) as u64,
+                );
+                if completed {
+                    // One HP-port burst in (source) and one out (result).
+                    let bytes =
+                        prr.regs.r[regs::SRC_LEN] as u64 + prr.regs.r[regs::RESULT_LEN] as u64;
+                    self.metrics
+                        .add("axi_hp_bytes", Label::Iface("s-hp0"), bytes);
+                }
+            }
+            if completed && irq_en {
                 if let Some(line) = prr.irq_line {
                     ctx.gic.raise(line);
                     ctx.log.push(ctx.now, SimEvent::IrqRaised(line));

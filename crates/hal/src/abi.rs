@@ -7,6 +7,12 @@
 //! set; the paravirtualized port's patch marks the subset it uses, and both
 //! counts are asserted by tests.
 //!
+//! This reproduction adds one call beyond the paper's 25: a read-only
+//! [`Hypercall::VmStats`] through which a guest can query its own
+//! performance accounting (cycles, instructions, cache/TLB refills charged
+//! to it by the kernel's per-VM PMU attribution — see the `vm_stats`
+//! selector module).
+//!
 //! Calling convention (mirrors the SVC path on the real system): the guest
 //! executes `SVC #nr` with up to four arguments in r0–r3; the result comes
 //! back in r0, with r1 carrying an error code when r0 is the failure
@@ -76,10 +82,16 @@ pub enum Hypercall {
     /// Read a block from the supervised shared SD card (a0 = block number,
     /// a1 = destination VA).
     SdRead = 24,
+    /// Read one field of the caller's performance accounting (a0 = a
+    /// [`vm_stats`] selector). Read-only: a guest can observe what the
+    /// kernel charged it, never another VM's counters. A reproduction
+    /// extension beyond the paper's 25 calls.
+    VmStats = 25,
 }
 
-/// Total number of hypercalls provided — the paper's 25.
-pub const HYPERCALL_COUNT: usize = 25;
+/// Total number of hypercalls provided — the paper's 25 plus the
+/// reproduction's read-only [`Hypercall::VmStats`].
+pub const HYPERCALL_COUNT: usize = 26;
 
 impl Hypercall {
     /// All hypercalls in numeric order.
@@ -109,6 +121,7 @@ impl Hypercall {
         Hypercall::IpcRecv,
         Hypercall::ConsoleWrite,
         Hypercall::SdRead,
+        Hypercall::VmStats,
     ];
 
     /// Decode from the SVC immediate.
@@ -263,6 +276,46 @@ impl HwTaskState {
     }
 }
 
+/// Selectors for [`Hypercall::VmStats`] (passed in a0). 64-bit quantities
+/// are exposed as LO/HI halves; everything is a point-in-time read of the
+/// caller's own accounting.
+pub mod vm_stats {
+    /// CPU cycles charged by the scheduler, low half.
+    pub const CPU_CYCLES_LO: u32 = 0;
+    /// CPU cycles charged by the scheduler, high half.
+    pub const CPU_CYCLES_HI: u32 = 1;
+    /// Hypercalls issued.
+    pub const HYPERCALLS: u32 = 2;
+    /// Times scheduled in.
+    pub const ACTIVATIONS: u32 = 3;
+    /// Times preempted with quantum remaining.
+    pub const PREEMPTIONS: u32 = 4;
+    /// Virtual IRQs injected into this VM.
+    pub const VIRQS: u32 = 5;
+    /// Page faults forwarded to the guest.
+    pub const FAULTS_FORWARDED: u32 = 6;
+    /// D-cache accesses attributed by the PMU epoch accounting.
+    pub const DCACHE_ACCESS: u32 = 7;
+    /// D-cache refills (misses) attributed.
+    pub const DCACHE_REFILL: u32 = 8;
+    /// TLB refills attributed.
+    pub const TLB_REFILL: u32 = 9;
+    /// I-cache refills attributed.
+    pub const ICACHE_REFILL: u32 = 10;
+    /// Page-table walks attributed.
+    pub const PT_WALKS: u32 = 11;
+    /// Exceptions taken while this VM held the CPU.
+    pub const EXC_TAKEN: u32 = 12;
+    /// PMU-attributed cycles, low half.
+    pub const PMU_CYCLES_LO: u32 = 13;
+    /// PMU-attributed cycles, high half.
+    pub const PMU_CYCLES_HI: u32 = 14;
+    /// Instructions retired while this VM held the CPU.
+    pub const INSTR_RETIRED: u32 = 15;
+    /// Number of valid selectors (larger values return `BadArg`).
+    pub const SELECTOR_COUNT: u32 = 16;
+}
+
 /// Layout of the reserved consistency structure at the head of every
 /// hardware-task data section (Fig. 5: "we allocate a reserved data
 /// structure to hold the state of a hardware task, the state flag and the
@@ -283,9 +336,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn exactly_25_hypercalls() {
-        assert_eq!(HYPERCALL_COUNT, 25);
-        assert_eq!(Hypercall::ALL.len(), 25);
+    fn paper_hypercalls_plus_vm_stats() {
+        // The paper's 25 plus the reproduction's read-only VmStats.
+        assert_eq!(HYPERCALL_COUNT, 26);
+        assert_eq!(Hypercall::ALL.len(), 26);
+        assert_eq!(Hypercall::VmStats.nr(), 25);
+        assert_eq!(Hypercall::SdRead.nr(), 24, "the paper set stays 0..=24");
     }
 
     #[test]
@@ -294,7 +350,7 @@ mod tests {
             assert_eq!(hc.nr() as usize, i);
             assert_eq!(Hypercall::from_nr(i as u8), Some(*hc));
         }
-        assert_eq!(Hypercall::from_nr(25), None);
+        assert_eq!(Hypercall::from_nr(HYPERCALL_COUNT as u8), None);
         assert_eq!(Hypercall::from_nr(255), None);
     }
 

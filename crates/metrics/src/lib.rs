@@ -1,0 +1,440 @@
+//! # mnv-metrics — the counter plane of the Mini-NOVA reproduction
+//!
+//! PR 1 gave the stack latency *spans* (`mnv-trace`); this crate gives it
+//! event *counts*: a registry of typed counters and gauges, labelled per
+//! VM / per PRR / per AXI interface, that the kernel and the programmable-
+//! logic simulator charge as they run. Where the tracer answers "how long
+//! did the Hardware Task Manager entry take", the registry answers "how
+//! many D-cache refills did VM 2 cause while it ran" — the measured form
+//! of the paper's §V-B pollution argument.
+//!
+//! Design rules, matching the `trace`/`fault` planes:
+//!
+//! * **Zero-cost when disabled.** Everything is behind the `metrics`
+//!   feature; without it `Registry` is a unit-sized inert handle and every
+//!   probe is an empty `#[inline]` function. Call sites never need a
+//!   `cfg`.
+//! * **No allocation after init.** A counter allocates its slot on first
+//!   touch; every subsequent `add`/`set` is a `BTreeMap` index lookup plus
+//!   an integer add. Hot paths therefore settle into a fixed heap
+//!   footprint after the first scheduling round.
+//! * **Snapshot/delta arithmetic.** [`Registry::snapshot`] captures the
+//!   whole registry; [`Snapshot::delta`] subtracts an earlier capture so
+//!   harnesses can meter a measurement window exactly (counters subtract,
+//!   gauges keep their latest value).
+//! * **Two exporters.** Prometheus text exposition
+//!   ([`Snapshot::prometheus`], every sample line `name{labels} value`)
+//!   and `mnv_trace::json` ([`Snapshot::to_json`]) for machine-readable
+//!   artefacts.
+
+use mnv_trace::json::Json;
+
+#[cfg(feature = "metrics")]
+use std::cell::RefCell;
+#[cfg(feature = "metrics")]
+use std::collections::BTreeMap;
+#[cfg(feature = "metrics")]
+use std::rc::Rc;
+
+/// What a metric is attributed to. Labels render into the Prometheus label
+/// set; `Machine` is the unlabelled machine-wide scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Label {
+    /// Machine-wide, no attribution.
+    Machine,
+    /// The microkernel itself (world-switch code, scheduler, idle loop).
+    Host,
+    /// A guest VM.
+    Vm(u8),
+    /// A partially reconfigurable region.
+    Prr(u8),
+    /// An AXI interface by name (e.g. `"m-gp0"`, `"s-hp0"`).
+    Iface(&'static str),
+}
+
+impl Label {
+    /// Prometheus label-set rendering (empty string for [`Label::Machine`]).
+    pub fn render(&self) -> String {
+        match self {
+            Label::Machine => String::new(),
+            Label::Host => "{ctx=\"host\"}".to_string(),
+            Label::Vm(v) => format!("{{vm=\"{v}\"}}"),
+            Label::Prr(p) => format!("{{prr=\"{p}\"}}"),
+            Label::Iface(i) => format!("{{iface=\"{i}\"}}"),
+        }
+    }
+
+    fn json_key(&self) -> String {
+        match self {
+            Label::Machine => "machine".to_string(),
+            Label::Host => "host".to_string(),
+            Label::Vm(v) => format!("vm{v}"),
+            Label::Prr(p) => format!("prr{p}"),
+            Label::Iface(i) => format!("iface:{i}"),
+        }
+    }
+}
+
+/// Metric type: counters only go up, gauges hold a level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Kind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Instantaneous level (set, not accumulated).
+    Gauge,
+}
+
+/// One exported sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Metric name (static, snake_case, unprefixed).
+    pub name: &'static str,
+    /// Attribution label.
+    pub label: Label,
+    /// Counter or gauge.
+    pub kind: Kind,
+    /// Current value.
+    pub value: u64,
+}
+
+/// A point-in-time capture of the whole registry. Plain data — usable (and
+/// empty) even when the `metrics` feature is off, so harness code needs no
+/// feature gates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Samples in (name, label) order.
+    pub entries: Vec<Entry>,
+}
+
+impl Snapshot {
+    /// Value of one sample (0 when absent).
+    pub fn get(&self, name: &str, label: Label) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.name == name && e.label == label)
+            .map(|e| e.value)
+            .unwrap_or(0)
+    }
+
+    /// Sum of a metric across all labels.
+    pub fn total(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.value)
+            .sum()
+    }
+
+    /// All labels a metric is recorded under.
+    pub fn labels_of(&self, name: &str) -> Vec<Label> {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.label)
+            .collect()
+    }
+
+    /// Measurement-window arithmetic: counters subtract the earlier
+    /// capture (saturating, so a reset upstream cannot underflow); gauges
+    /// keep their latest value. Samples missing from `earlier` pass
+    /// through unchanged.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| match e.kind {
+                Kind::Counter => Entry {
+                    value: e.value.saturating_sub(earlier.get(e.name, e.label)),
+                    ..*e
+                },
+                Kind::Gauge => *e,
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Prometheus text exposition: `# TYPE` headers plus one
+    /// `mnv_name{labels} value` line per sample.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last: Option<&'static str> = None;
+        for e in &self.entries {
+            if last != Some(e.name) {
+                let t = match e.kind {
+                    Kind::Counter => "counter",
+                    Kind::Gauge => "gauge",
+                };
+                out.push_str(&format!("# TYPE mnv_{} {t}\n", e.name));
+                last = Some(e.name);
+            }
+            out.push_str(&format!("mnv_{}{} {}\n", e.name, e.label.render(), e.value));
+        }
+        out
+    }
+
+    /// JSON export: `{name: {label: value, ...}, ...}`.
+    pub fn to_json(&self) -> Json {
+        let mut metrics: std::collections::BTreeMap<String, Json> = Default::default();
+        for e in &self.entries {
+            let slot = metrics
+                .entry(e.name.to_string())
+                .or_insert_with(|| Json::Obj(Default::default()));
+            if let Json::Obj(map) = slot {
+                map.insert(e.label.json_key(), Json::num(e.value as f64));
+            }
+        }
+        Json::Obj(metrics.into_iter().collect())
+    }
+}
+
+#[cfg(feature = "metrics")]
+#[derive(Default)]
+struct State {
+    /// Slot storage; values mutate in place, slots are never removed.
+    slots: Vec<Entry>,
+    /// (name, label) → slot index; allocation happens only on first touch.
+    index: BTreeMap<(&'static str, Label), usize>,
+}
+
+#[cfg(feature = "metrics")]
+impl State {
+    fn slot(&mut self, name: &'static str, label: Label, kind: Kind) -> &mut Entry {
+        let idx = *self.index.entry((name, label)).or_insert_with(|| {
+            self.slots.push(Entry {
+                name,
+                label,
+                kind,
+                value: 0,
+            });
+            self.slots.len() - 1
+        });
+        &mut self.slots[idx]
+    }
+}
+
+/// Shared handle to the counter registry. Clones share state, exactly like
+/// `Tracer` and `FaultPlane`: the kernel creates one with
+/// [`Registry::enabled`] and hands clones to the machine layers.
+#[derive(Clone, Default)]
+pub struct Registry {
+    #[cfg(feature = "metrics")]
+    inner: Option<Rc<RefCell<State>>>,
+}
+
+impl Registry {
+    /// An inert registry: every probe is a no-op, every query empty.
+    pub fn disabled() -> Self {
+        Registry::default()
+    }
+
+    /// A live registry (inert without the `metrics` feature, so call sites
+    /// need no gates).
+    pub fn enabled() -> Self {
+        #[cfg(feature = "metrics")]
+        {
+            Registry {
+                inner: Some(Rc::new(RefCell::new(State::default()))),
+            }
+        }
+        #[cfg(not(feature = "metrics"))]
+        Registry::default()
+    }
+
+    /// True when this handle records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "metrics")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "metrics"))]
+        false
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn add(&self, name: &'static str, label: Label, n: u64) {
+        #[cfg(feature = "metrics")]
+        if let Some(inner) = &self.inner {
+            let mut s = inner.borrow_mut();
+            s.slot(name, label, Kind::Counter).value += n;
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (name, label, n);
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&self, name: &'static str, label: Label) {
+        self.add(name, label, 1);
+    }
+
+    /// Set a gauge to `v`.
+    #[inline]
+    pub fn set(&self, name: &'static str, label: Label, v: u64) {
+        #[cfg(feature = "metrics")]
+        if let Some(inner) = &self.inner {
+            let mut s = inner.borrow_mut();
+            s.slot(name, label, Kind::Gauge).value = v;
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (name, label, v);
+    }
+
+    /// Current value of one sample (0 when absent or disabled).
+    pub fn get(&self, name: &'static str, label: Label) -> u64 {
+        #[cfg(feature = "metrics")]
+        if let Some(inner) = &self.inner {
+            let s = inner.borrow();
+            return s
+                .index
+                .get(&(name, label))
+                .map(|&i| s.slots[i].value)
+                .unwrap_or(0);
+        }
+        let _ = (name, label);
+        0
+    }
+
+    /// Capture everything, sorted by (name, label). Empty when disabled.
+    pub fn snapshot(&self) -> Snapshot {
+        #[cfg(feature = "metrics")]
+        if let Some(inner) = &self.inner {
+            let s = inner.borrow();
+            let mut entries: Vec<Entry> = s.index.iter().map(|(&(_, _), &i)| s.slots[i]).collect();
+            entries.sort_by(|a, b| (a.name, a.label).cmp(&(b.name, b.label)));
+            return Snapshot { entries };
+        }
+        Snapshot::default()
+    }
+
+    /// Prometheus text of the current state (empty when disabled).
+    pub fn prometheus(&self) -> String {
+        self.snapshot().prometheus()
+    }
+
+    /// JSON export of the current state.
+    pub fn to_json(&self) -> Json {
+        self.snapshot().to_json()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let r = Registry::disabled();
+        r.add("x", Label::Machine, 5);
+        r.set("g", Label::Vm(1), 7);
+        assert!(!r.is_enabled());
+        assert_eq!(r.get("x", Label::Machine), 0);
+        assert!(r.snapshot().entries.is_empty());
+        assert!(r.prometheus().is_empty());
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn counters_accumulate_and_clones_share_state() {
+        let r = Registry::enabled();
+        let r2 = r.clone();
+        r.add("hypercalls", Label::Vm(1), 3);
+        r2.inc("hypercalls", Label::Vm(1));
+        r2.add("hypercalls", Label::Vm(2), 10);
+        assert_eq!(r.get("hypercalls", Label::Vm(1)), 4);
+        assert_eq!(r.snapshot().total("hypercalls"), 14);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn gauges_set_not_accumulate() {
+        let r = Registry::enabled();
+        r.set("vm_count", Label::Machine, 2);
+        r.set("vm_count", Label::Machine, 3);
+        assert_eq!(r.get("vm_count", Label::Machine), 3);
+        let s = r.snapshot();
+        assert_eq!(s.entries[0].kind, Kind::Gauge);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn snapshot_delta_subtracts_counters_keeps_gauges() {
+        let r = Registry::enabled();
+        r.add("c", Label::Vm(0), 10);
+        r.set("g", Label::Machine, 5);
+        let before = r.snapshot();
+        r.add("c", Label::Vm(0), 7);
+        r.set("g", Label::Machine, 9);
+        let d = r.snapshot().delta(&before);
+        assert_eq!(d.get("c", Label::Vm(0)), 7);
+        assert_eq!(d.get("g", Label::Machine), 9);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn prometheus_lines_are_name_labels_value() {
+        let r = Registry::enabled();
+        r.add("dcache_refill", Label::Vm(1), 42);
+        r.add("dcache_refill", Label::Host, 7);
+        r.add("pcap_bytes", Label::Machine, 1024);
+        r.set("prr_busy", Label::Prr(2), 1);
+        r.add("axi_reads", Label::Iface("m-gp0"), 3);
+        let text = r.prometheus();
+        assert!(text.contains("mnv_dcache_refill{vm=\"1\"} 42"), "{text}");
+        assert!(text.contains("mnv_dcache_refill{ctx=\"host\"} 7"), "{text}");
+        assert!(text.contains("mnv_pcap_bytes 1024"), "{text}");
+        assert!(text.contains("mnv_prr_busy{prr=\"2\"} 1"), "{text}");
+        assert!(text.contains("mnv_axi_reads{iface=\"m-gp0\"} 3"), "{text}");
+        // Every non-comment line must parse as `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(value.parse::<u64>().is_ok(), "{line}");
+            assert!(series.starts_with("mnv_"), "{line}");
+            if let Some(open) = series.find('{') {
+                assert!(series.ends_with('}'), "{line}");
+                assert!(series[open..].contains('='), "{line}");
+            }
+        }
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn json_export_groups_by_metric_then_label() {
+        let r = Registry::enabled();
+        r.add("tlb_refill", Label::Vm(1), 5);
+        r.add("tlb_refill", Label::Vm(2), 6);
+        let j = r.to_json();
+        let m = j.get("tlb_refill").expect("metric present");
+        assert_eq!(m.get("vm1").and_then(Json::as_num), Some(5.0));
+        assert_eq!(m.get("vm2").and_then(Json::as_num), Some(6.0));
+        // Round-trips through the parser.
+        let parsed = mnv_trace::json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed.to_string(), j.to_string());
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn no_alloc_after_first_touch() {
+        let r = Registry::enabled();
+        r.add("c", Label::Vm(1), 1);
+        #[cfg(feature = "metrics")]
+        {
+            let before = r.inner.as_ref().unwrap().borrow().slots.capacity();
+            for _ in 0..1000 {
+                r.add("c", Label::Vm(1), 1);
+            }
+            let after = r.inner.as_ref().unwrap().borrow().slots.capacity();
+            assert_eq!(before, after, "steady-state adds must not grow storage");
+        }
+        assert_eq!(r.get("c", Label::Vm(1)), 1001);
+    }
+}

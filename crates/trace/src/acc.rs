@@ -1,0 +1,146 @@
+//! Latency accumulator: exact mean/min/max over cycle samples plus a
+//! log-bucketed [`Hist`] for percentiles.
+//!
+//! This is the single latency-summary implementation of the workspace: the
+//! kernel's Table III measurement points (`mini_nova::stats`) and the trace
+//! summariser ([`crate::summary`]) both accumulate into `Acc`, so the
+//! mean/min/max/percentile arithmetic exists exactly once.
+
+use crate::hist::Hist;
+use mnv_hal::Cycles;
+
+/// A latency accumulator over cycle samples: mean, min, max and a
+/// log-bucketed histogram for percentiles.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Acc {
+    /// Sum of samples in cycles.
+    pub total: u64,
+    /// Number of samples.
+    pub samples: u64,
+    /// Largest single sample.
+    pub max: u64,
+    /// Smallest single sample (0 when empty).
+    pub min: u64,
+    /// Log-bucketed sample distribution.
+    pub hist: Hist,
+}
+
+impl Acc {
+    /// Record one sample.
+    pub fn push(&mut self, c: Cycles) {
+        let v = c.raw();
+        self.total += v;
+        if self.samples == 0 {
+            self.min = v;
+        } else {
+            self.min = self.min.min(v);
+        }
+        self.samples += 1;
+        self.max = self.max.max(v);
+        self.hist.record(v);
+    }
+
+    /// Mean in cycles (0 when empty).
+    pub fn mean_cycles(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.samples as f64
+        }
+    }
+
+    /// Mean in microseconds at 660 MHz.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_cycles() * 1e6 / mnv_hal::cycles::CPU_HZ as f64
+    }
+
+    /// Largest sample in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max as f64 * 1e6 / mnv_hal::cycles::CPU_HZ as f64
+    }
+
+    /// Smallest sample in microseconds.
+    pub fn min_us(&self) -> f64 {
+        self.min as f64 * 1e6 / mnv_hal::cycles::CPU_HZ as f64
+    }
+
+    /// 99th-percentile sample in microseconds (histogram estimate).
+    pub fn p99_us(&self) -> f64 {
+        self.hist.p99_us()
+    }
+
+    /// Median sample in microseconds (histogram estimate).
+    pub fn p50_us(&self) -> f64 {
+        self.hist.p50_us()
+    }
+
+    /// Fold another accumulator into this one (used to aggregate runs
+    /// across seeds without averaging percentiles).
+    pub fn merge(&mut self, other: &Acc) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            *self = *other;
+            return;
+        }
+        self.total += other.total;
+        self.samples += other.samples;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+        self.hist.merge(&other.hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_mean() {
+        let mut a = Acc::default();
+        assert_eq!(a.mean_cycles(), 0.0);
+        a.push(Cycles::new(100));
+        a.push(Cycles::new(300));
+        assert_eq!(a.mean_cycles(), 200.0);
+        assert_eq!(a.max, 300);
+        // 660 cycles = 1 us.
+        let mut b = Acc::default();
+        // One microsecond at 660 MHz.
+        b.push(Cycles::new(660));
+        assert!((b.mean_us() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acc_min_max_us() {
+        let mut a = Acc::default();
+        a.push(Cycles::new(1320));
+        a.push(Cycles::new(660));
+        a.push(Cycles::new(6600));
+        assert_eq!(a.min, 660);
+        assert_eq!(a.max, 6600);
+        assert!((a.min_us() - 1.0).abs() < 1e-9);
+        assert!((a.max_us() - 10.0).abs() < 1e-9);
+        // Percentiles come from the histogram and stay within [min, max].
+        assert!(a.p99_us() >= a.min_us() && a.p99_us() <= a.max_us());
+    }
+
+    #[test]
+    fn acc_merge_aggregates_runs() {
+        let mut a = Acc::default();
+        let mut b = Acc::default();
+        a.push(Cycles::new(100));
+        b.push(Cycles::new(50));
+        b.push(Cycles::new(450));
+        a.merge(&b);
+        assert_eq!(a.samples, 3);
+        assert_eq!(a.total, 600);
+        assert_eq!(a.min, 50);
+        assert_eq!(a.max, 450);
+        assert_eq!(a.hist.count(), 3);
+        // Merging into an empty Acc copies.
+        let mut c = Acc::default();
+        c.merge(&a);
+        assert_eq!(c.samples, 3);
+    }
+}

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod acc;
 pub mod chrome;
 pub mod event;
 pub mod hist;
@@ -32,6 +33,7 @@ pub mod ring;
 pub mod span;
 pub mod summary;
 
+pub use acc::Acc;
 pub use event::{MgrPhase, TraceEvent, TrapKind};
 pub use hist::Hist;
 pub use ring::TraceRing;

@@ -1,7 +1,7 @@
 //! Plain-text trace summary: per-span-name latency table plus marker counts.
 
+use crate::acc::Acc;
 use crate::event::TraceEvent;
-use crate::hist::Hist;
 use crate::span::pair;
 use mnv_hal::Cycles;
 use std::collections::BTreeMap;
@@ -15,17 +15,20 @@ use std::fmt::Write as _;
 pub fn summarize(events: &[(Cycles, TraceEvent)], n: usize) -> String {
     let paired = pair(events);
 
-    let mut spans: BTreeMap<String, Hist> = BTreeMap::new();
+    let mut spans: BTreeMap<String, Acc> = BTreeMap::new();
     for s in &paired.spans {
-        spans.entry(s.name.clone()).or_default().record(s.cycles());
+        spans
+            .entry(s.name.clone())
+            .or_default()
+            .push(Cycles::new(s.cycles()));
     }
     let mut markers: BTreeMap<String, u64> = BTreeMap::new();
     for i in &paired.instants {
         *markers.entry(i.name.clone()).or_insert(0) += 1;
     }
 
-    let mut ranked: Vec<(&String, &Hist)> = spans.iter().collect();
-    ranked.sort_by(|a, b| b.1.sum().cmp(&a.1.sum()).then(a.0.cmp(b.0)));
+    let mut ranked: Vec<(&String, &Acc)> = spans.iter().collect();
+    ranked.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(b.0)));
     ranked.truncate(n);
 
     let mut out = String::new();
@@ -35,16 +38,16 @@ pub fn summarize(events: &[(Cycles, TraceEvent)], n: usize) -> String {
         "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10}",
         "span", "count", "mean_us", "p50_us", "p99_us", "max_us"
     );
-    for (name, h) in &ranked {
+    for (name, a) in &ranked {
         let _ = writeln!(
             out,
             "{:<22} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
             name,
-            h.count(),
-            h.mean() * 1e6 / mnv_hal::cycles::CPU_HZ as f64,
-            h.p50_us(),
-            h.p99_us(),
-            h.max_us(),
+            a.samples,
+            a.mean_us(),
+            a.p50_us(),
+            a.p99_us(),
+            a.max_us(),
         );
     }
 

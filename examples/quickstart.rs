@@ -15,6 +15,10 @@ fn main() {
     //    the `trace` feature is off).
     let mut kernel = Kernel::new(KernelConfig::default());
     let tracer = kernel.enable_tracing(1 << 16);
+    // Per-VM counter plane (an inert handle unless built with
+    // `--features metrics`): every cache/TLB/cycle event charged to the
+    // VM — or the kernel itself — that caused it.
+    let metrics = kernel.enable_metrics();
 
     // 2. Put the paper's bitstream library on the "SD card": FFT-256 …
     //    FFT-8192 and QAM-4/16/64, each with its predefined PRR list.
@@ -95,6 +99,16 @@ fn main() {
             pd.stats.hypercalls,
             pd.vtimer.ticks_injected
         );
+        // Epoch accounting (always on — it backs the VmStats hypercall):
+        // what the emulated PMU attributed to this VM's world.
+        let pmu = &pd.stats.pmu;
+        println!(
+            "  attributed: {:.1} ms, IPC {:.2}, d$ refills {}, TLB refills {}",
+            Cycles::new(pmu.cycles).as_millis(),
+            pmu.instr_retired as f64 / pmu.cycles.max(1) as f64,
+            pmu.l1d_refill,
+            pmu.tlb_refill
+        );
     }
 
     // 6. Export the trace: a Perfetto/chrome://tracing-loadable timeline
@@ -109,6 +123,18 @@ fn main() {
             path.display(),
             tracer.len(),
             tracer.total()
+        );
+    }
+
+    // 7. Export the counter plane: the registry mnvtop renders live, as
+    //    Prometheus text exposition (`mnv_<series>{vm="1"} value`).
+    if metrics.is_enabled() {
+        let path = std::path::Path::new("target/experiments/quickstart.prom");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, metrics.prometheus()).unwrap();
+        println!(
+            "wrote {} — per-VM counters in Prometheus text format",
+            path.display()
         );
     }
 }
