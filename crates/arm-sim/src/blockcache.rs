@@ -1,0 +1,465 @@
+//! Decoded basic-block cache for the MIR interpreter.
+//!
+//! Fast ARM virtual platforms get their speed from two techniques the
+//! per-instruction interpreter leaves on the table: *translation caching*
+//! (decode a straight-line run once, replay the decoded form) and
+//! *quantum-based device sync* (compute the next point at which a device can
+//! change observable state instead of ticking every model on every
+//! instruction). This module provides the first; `Machine::run_slice` pairs
+//! it with the second.
+//!
+//! Blocks are keyed by **(ASID, starting virtual PC)** and hold the decoded
+//! [`Instr`] run together with the physical address each instruction was
+//! fetched from. The ASID key keeps per-VM translations alive across world
+//! switches (the same §III-C argument that motivates the ASID-tagged TLB);
+//! the recorded physical addresses make replay self-checking — every
+//! replayed instruction still runs a live MMU translation of its PC, and a
+//! mismatch against the recorded address (remap, MMU toggle, ASID games)
+//! aborts the replay and falls back to a fresh fetch+decode.
+//!
+//! A block ends *after* a control transfer (`B`/`Bl`/`Ret`/`Svc`/`Wfi`/
+//! `Halt`), at [`MAX_BLOCK_LEN`] instructions, or at a virtual page
+//! boundary (so a block's physical footprint stays within one page and its
+//! invalidation range stays tight).
+//!
+//! Invalidation sources, all funnelled through two cheap integer checks:
+//!
+//! * **Stores to cached pages** — every write path into [`PhysMemory`]
+//!   (guest stores, DMA from the PL, PCAP/bitstream ingest, boot loads,
+//!   fault-plane memory flips) marks dirtied 64 KB code chunks;
+//!   the executor drains them at block boundaries.
+//! * **TLB maintenance** — `TLBIALL`/`TLBIASID`/`TLBIMVA` invalidate the
+//!   affected (ASID, VA) blocks.
+//! * **Cache maintenance** — a full clean+invalidate drops everything.
+//!
+//! [`PhysMemory`]: crate::memory::PhysMemory
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::mir::{FastClass, Instr, INSTR_SIZE};
+use crate::timing;
+
+/// Maximum instructions per cached block.
+pub const MAX_BLOCK_LEN: usize = 64;
+
+/// Minimum length at which a stretch of pure instructions is worth planning
+/// as a [`PureRun`] (below this the per-instruction replay path is cheaper
+/// than the run's verification overhead).
+pub const MIN_RUN_LEN: usize = 2;
+
+/// Maximum resident blocks; on overflow the cache is simply dropped and
+/// rebuilt (the same policy small JIT translation caches use).
+pub const MAX_BLOCKS: usize = 8192;
+
+/// Counters for the block cache (host-side observability only — none of
+/// these feed the PMU or the cycle accounting, which must stay bit-identical
+/// to the per-instruction path).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Block lookups that found a cached block.
+    pub hits: u64,
+    /// Block lookups that missed and started a recording.
+    pub misses: u64,
+    /// Instructions replayed from cached blocks (decode + bus read skipped).
+    pub replayed_instrs: u64,
+    /// Blocks dropped because a store dirtied their backing chunk.
+    pub store_invalidations: u64,
+    /// Blocks dropped by TLB/cache maintenance operations.
+    pub maint_invalidations: u64,
+    /// Replays aborted because a live translation disagreed with the
+    /// recorded physical address (remap/MMU-state change).
+    pub replay_aborts: u64,
+}
+
+impl BlockCacheStats {
+    /// Hit ratio over all block lookups (0.0 when none happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A maximal stretch of *pure* (register-only, non-control-transfer,
+/// physically contiguous) instructions inside a cached block, planned once
+/// at commit time so the executor can replay the whole stretch in one step.
+///
+/// Pure instructions cannot trap, touch memory or devices, change privilege,
+/// the ASID, DACR or any mapping — so a single up-front verification (TLB
+/// entry covers the page and translates to the recorded addresses, every
+/// I-cache line resident) holds for every fetch in the run, every fetch is a
+/// plain L1I + TLB hit, and every cycle charge is statically known. The
+/// executor then defers the (exactly reproduced) TLB/L1I bookkeeping to one
+/// bulk update after the run.
+#[derive(Clone, Debug)]
+pub struct PureRun {
+    /// Index of the run's first instruction within the block.
+    pub start: u32,
+    /// Number of instructions in the run.
+    pub len: u32,
+    /// Simulated cycles accrued strictly before the boundary check of the
+    /// run's *last* instruction (fetch + static execute charges of the first
+    /// `len - 1`): the reference interpreter executes the whole run without
+    /// an intervening sync iff `clock + cost_before_last` is still below
+    /// the next deadline.
+    pub cost_before_last: u64,
+    /// Distinct I-cache lines the run fetches through, in fetch order, as
+    /// `(pa of first fetch in the line, 1-based index of the last fetch in
+    /// the line)` — enough to replay the per-line LRU stamps exactly.
+    pub lines: Vec<(u64, u64)>,
+}
+
+/// Static cycles `Machine::execute` charges for a pure instruction on top of
+/// the fetch (`L1_HIT + INSTR_BASE`). Must mirror the interpreter's charges;
+/// the lockstep differential suite pins the two together.
+fn static_execute_cycles(i: Instr) -> u64 {
+    use crate::mir::AluOp;
+    match i {
+        Instr::Compute { cycles } => cycles as u64,
+        Instr::Alu { op: AluOp::Mul, .. } | Instr::AluImm { op: AluOp::Mul, .. } => {
+            timing::MUL - timing::INSTR_BASE
+        }
+        _ => 0,
+    }
+}
+
+/// True when the instruction can be folded into a [`PureRun`]: register-only
+/// and never the end of a block.
+fn batchable(i: Instr) -> bool {
+    i.fast_class() == FastClass::Pure && !i.is_control_transfer()
+}
+
+/// Plan the pure runs of a decoded block (see [`PureRun`]). `line_shift` is
+/// log2 of the I-cache line size.
+fn plan_runs(instrs: &[(u64, Instr)], line_shift: u32) -> Vec<PureRun> {
+    let fetch = timing::L1_HIT + timing::INSTR_BASE;
+    let mut runs = Vec::new();
+    let mut i = 0usize;
+    while i < instrs.len() {
+        let (first_pa, ins) = instrs[i];
+        if !batchable(ins) {
+            i += 1;
+            continue;
+        }
+        // Extend while pure and physically contiguous (a mid-recording
+        // remap can leave a block with a split physical footprint; such a
+        // seam ends the run so the batch's single-page verification holds).
+        let mut j = i + 1;
+        while j < instrs.len()
+            && batchable(instrs[j].1)
+            && instrs[j].0 == first_pa + (j - i) as u64 * INSTR_SIZE
+        {
+            j += 1;
+        }
+        if j - i >= MIN_RUN_LEN {
+            let cost_before_last: u64 = instrs[i..j - 1]
+                .iter()
+                .map(|&(_, ins)| fetch + static_execute_cycles(ins))
+                .sum();
+            let mut lines: Vec<(u64, u64)> = Vec::new();
+            for (k, &(pa, _)) in instrs[i..j].iter().enumerate() {
+                let ord = (k + 1) as u64;
+                match lines.last_mut() {
+                    Some(l) if l.0 >> line_shift == pa >> line_shift => l.1 = ord,
+                    _ => lines.push((pa, ord)),
+                }
+            }
+            runs.push(PureRun {
+                start: i as u32,
+                len: (j - i) as u32,
+                cost_before_last,
+                lines,
+            });
+        }
+        i = j;
+    }
+    runs
+}
+
+/// One decoded basic block.
+#[derive(Clone, Debug)]
+pub struct CachedBlock {
+    /// Decoded run: (physical fetch address, instruction) per slot. Behind
+    /// an `Rc` so the executor can hold the run it is replaying without
+    /// cloning it and without borrowing the cache (which invalidation
+    /// mutates mid-replay).
+    pub instrs: Rc<Vec<(u64, Instr)>>,
+    /// Pure runs planned at commit time (see [`PureRun`]), shared with the
+    /// executor the same way `instrs` is.
+    pub runs: Rc<Vec<PureRun>>,
+    /// Starting virtual PC (also part of the key; kept for VA-targeted
+    /// invalidation).
+    pub va: u32,
+    /// Lowest physical byte covered by any instruction in the block.
+    pub lo_pa: u64,
+    /// Highest physical byte covered (inclusive).
+    pub hi_pa: u64,
+}
+
+impl CachedBlock {
+    /// Build a block from a non-empty recording: computes the physical
+    /// footprint and plans the pure runs. `line_shift` is log2 of the
+    /// I-cache line size (the run plans carry per-line LRU ordinals).
+    pub fn new(instrs: Vec<(u64, Instr)>, va: u32, line_shift: u32) -> CachedBlock {
+        assert!(!instrs.is_empty());
+        let lo_pa = instrs.iter().map(|&(pa, _)| pa).min().unwrap();
+        let hi_pa = instrs.iter().map(|&(pa, _)| pa).max().unwrap() + INSTR_SIZE - 1;
+        let runs = plan_runs(&instrs, line_shift);
+        CachedBlock {
+            instrs: Rc::new(instrs),
+            runs: Rc::new(runs),
+            va,
+            lo_pa,
+            hi_pa,
+        }
+    }
+}
+
+/// The decoded-block cache. Lives on the [`Machine`](crate::Machine); the
+/// `enabled` flag is a runtime switch (the lockstep harness and the
+/// throughput bench compare both executors in one build), while the
+/// `block-cache` cargo feature removes the fast path at compile time.
+pub struct BlockCache {
+    /// Runtime switch; `false` makes `Machine::run_slice` take the
+    /// per-instruction reference path.
+    pub enabled: bool,
+    /// Counters.
+    pub stats: BlockCacheStats,
+    blocks: HashMap<(u8, u32), CachedBlock>,
+    /// High-water mark of `PhysMemory::code_gen` already drained.
+    seen_gen: u64,
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        BlockCache {
+            enabled: true,
+            stats: BlockCacheStats::default(),
+            blocks: HashMap::new(),
+            seen_gen: 0,
+        }
+    }
+}
+
+impl BlockCache {
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Look up the block starting at `(asid, va)`, counting the outcome.
+    pub fn lookup(&mut self, asid: u8, va: u32) -> Option<&CachedBlock> {
+        match self.blocks.get(&(asid, va)) {
+            Some(b) => {
+                self.stats.hits += 1;
+                Some(b)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The generation of store-dirtied code chunks already processed.
+    pub fn seen_gen(&self) -> u64 {
+        self.seen_gen
+    }
+
+    /// Insert a finished block. On capacity overflow the whole cache is
+    /// dropped first — simpler and cheaper than an eviction policy at this
+    /// size, and correctness never depends on residency.
+    pub fn insert(&mut self, asid: u8, block: CachedBlock) {
+        if self.blocks.len() >= MAX_BLOCKS {
+            self.blocks.clear();
+        }
+        self.blocks.insert((asid, block.va), block);
+    }
+
+    /// Remove one block (replay found it stale).
+    pub fn remove(&mut self, asid: u8, va: u32) {
+        self.blocks.remove(&(asid, va));
+    }
+
+    /// Drop blocks whose physical footprint intersects any of the dirtied
+    /// 64 KB chunks (chunk base addresses from
+    /// `PhysMemory::take_dirty_code`), and advance the drained generation.
+    pub fn invalidate_chunks(&mut self, chunks: &[u64], chunk_size: u64, gen: u64) {
+        self.seen_gen = gen;
+        if chunks.is_empty() || self.blocks.is_empty() {
+            return;
+        }
+        let before = self.blocks.len();
+        self.blocks.retain(|_, b| {
+            !chunks
+                .iter()
+                .any(|&c| b.hi_pa >= c && b.lo_pa < c + chunk_size)
+        });
+        self.stats.store_invalidations += (before - self.blocks.len()) as u64;
+    }
+
+    /// Drop everything (cache-maintenance ops, TLBIALL).
+    pub fn invalidate_all(&mut self) {
+        self.stats.maint_invalidations += self.blocks.len() as u64;
+        self.blocks.clear();
+    }
+
+    /// Drop all blocks recorded under `asid` (TLBIASID).
+    pub fn invalidate_asid(&mut self, asid: u8) {
+        let before = self.blocks.len();
+        self.blocks.retain(|&(a, _), _| a != asid);
+        self.stats.maint_invalidations += (before - self.blocks.len()) as u64;
+    }
+
+    /// Drop `asid`-tagged blocks whose VA run intersects the page holding
+    /// `va` (TLBIMVA).
+    pub fn invalidate_mva(&mut self, asid: u8, va: u32, page_size: u64) {
+        let page = va as u64 & !(page_size - 1);
+        let before = self.blocks.len();
+        self.blocks.retain(|&(a, _), b| {
+            if a != asid {
+                return true;
+            }
+            let lo = b.va as u64;
+            let hi = lo + (b.instrs.len() as u64) * crate::mir::INSTR_SIZE;
+            hi <= page || lo >= page + page_size
+        });
+        self.stats.maint_invalidations += (before - self.blocks.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(va: u32, lo: u64, n: usize) -> CachedBlock {
+        let instrs = (0..n as u64).map(|i| (lo + i * 8, Instr::Ret)).collect();
+        CachedBlock::new(instrs, va, 5)
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut c = BlockCache::default();
+        assert!(c.lookup(1, 0x8000).is_none());
+        c.insert(1, block(0x8000, 0x8000, 4));
+        assert!(c.lookup(1, 0x8000).is_some());
+        assert!(c.lookup(2, 0x8000).is_none(), "ASID is part of the key");
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 2);
+        assert!((c.stats.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chunk_invalidation_is_range_based() {
+        let mut c = BlockCache::default();
+        c.insert(1, block(0x8000, 0x8000, 4));
+        c.insert(1, block(0x2_0000, 0x2_0000, 4));
+        c.invalidate_chunks(&[0x0], 0x1_0000, 7);
+        assert_eq!(c.seen_gen(), 7);
+        assert!(c.lookup(1, 0x8000).is_none(), "chunk 0 block dropped");
+        assert!(c.lookup(1, 0x2_0000).is_some(), "other chunk survives");
+        assert_eq!(c.stats.store_invalidations, 1);
+    }
+
+    #[test]
+    fn asid_and_mva_invalidation() {
+        let mut c = BlockCache::default();
+        c.insert(1, block(0x8000, 0x8000, 4));
+        c.insert(2, block(0x8000, 0x18000, 4));
+        c.invalidate_asid(1);
+        assert!(c.lookup(1, 0x8000).is_none());
+        assert!(c.lookup(2, 0x8000).is_some());
+        c.invalidate_mva(2, 0x8010, 4096);
+        assert!(c.lookup(2, 0x8000).is_none(), "same page, same ASID");
+        assert_eq!(c.stats.maint_invalidations, 2);
+    }
+
+    #[test]
+    fn run_plan_covers_pure_stretches_only() {
+        use crate::mir::AluOp;
+        // [alu, alu, alu, str, alu, mul, b] at contiguous pa from 0x8000.
+        let seq = [
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: 0,
+                rn: 0,
+                rm: 1,
+            },
+            Instr::AluImm {
+                op: AluOp::Eor,
+                rd: 0,
+                rn: 0,
+                imm: 3,
+            },
+            Instr::MovImm { rd: 2, imm: 7 },
+            Instr::Str {
+                rs: 0,
+                rn: 4,
+                imm: 0,
+            },
+            Instr::Compute { cycles: 11 },
+            Instr::AluImm {
+                op: AluOp::Mul,
+                rd: 0,
+                rn: 0,
+                imm: 3,
+            },
+            Instr::B {
+                cond: crate::mir::Cond::Al,
+                target: 0x8000,
+            },
+        ];
+        let instrs: Vec<(u64, Instr)> = seq
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (0x8000 + i as u64 * 8, s))
+            .collect();
+        let b = CachedBlock::new(instrs, 0x8000, 5);
+        assert_eq!(b.runs.len(), 2, "two pure stretches, branch excluded");
+        let fetch = timing::L1_HIT + timing::INSTR_BASE;
+        assert_eq!((b.runs[0].start, b.runs[0].len), (0, 3));
+        assert_eq!(b.runs[0].cost_before_last, 2 * fetch);
+        // Second run: compute(11) + mul; cost before last = fetch + 11.
+        assert_eq!((b.runs[1].start, b.runs[1].len), (4, 2));
+        assert_eq!(b.runs[1].cost_before_last, fetch + 11);
+        // 0x8000..0x8018 is one 32-byte line, 0x8020 starts the next.
+        assert_eq!(b.runs[0].lines, vec![(0x8000, 3)]);
+        assert_eq!(b.runs[1].lines, vec![(0x8020, 2)]);
+    }
+
+    #[test]
+    fn run_plan_splits_on_physical_seams() {
+        // Contiguity break between index 1 and 2 ends the first candidate
+        // run; the remainder is long enough to stand alone.
+        let instrs = vec![
+            (0x8000, Instr::MovImm { rd: 0, imm: 1 }),
+            (0x8008, Instr::MovImm { rd: 1, imm: 2 }),
+            (0x9000, Instr::MovImm { rd: 2, imm: 3 }),
+            (0x9008, Instr::MovImm { rd: 3, imm: 4 }),
+        ];
+        let b = CachedBlock::new(instrs, 0x8000, 5);
+        assert_eq!(b.runs.len(), 2);
+        assert_eq!((b.runs[0].start, b.runs[0].len), (0, 2));
+        assert_eq!((b.runs[1].start, b.runs[1].len), (2, 2));
+    }
+
+    #[test]
+    fn capacity_overflow_flushes() {
+        let mut c = BlockCache::default();
+        for i in 0..MAX_BLOCKS {
+            c.insert(0, block(i as u32 * 8, i as u64 * 8, 1));
+        }
+        assert_eq!(c.len(), MAX_BLOCKS);
+        c.insert(0, block(0xFFFF_0000, 0x100, 1));
+        assert_eq!(c.len(), 1, "overflow drops the cache then inserts");
+    }
+}

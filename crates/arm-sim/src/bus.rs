@@ -51,6 +51,17 @@ pub trait Peripheral: Any {
     /// Advance device-internal time by `dt` (DMA engines, transfer ports…).
     fn advance(&mut self, _dt: Cycles, _ctx: &mut PeriphCtx<'_>) {}
 
+    /// Cycles until this device next changes externally observable state on
+    /// its own (completes a DMA, raises an interrupt…), or `None` when it
+    /// is quiescent. The machine uses the minimum over all devices as the
+    /// per-block sync deadline, so a conservative (too early) answer costs
+    /// only extra syncs while a late one would delay an interrupt — the
+    /// default of `Some(0)` therefore forces per-instruction sync for
+    /// peripherals that do not implement the query.
+    fn next_event(&self, _now: Cycles) -> Option<u64> {
+        Some(0)
+    }
+
     /// Downcasting support for typed test/introspection access.
     fn as_any(&self) -> &dyn Any;
 

@@ -118,6 +118,46 @@ impl Cache {
         (0..self.ways).any(|w| self.tags[base + w] == tag)
     }
 
+    /// Slot index (`set * ways + way`) currently holding `pa`'s line, if
+    /// resident. No fill, no stats — the decoded-block executor resolves
+    /// slots up front and credits the hits via [`Cache::replay_hit`] /
+    /// [`Cache::replay_hits`].
+    pub fn probe_slot(&self, pa: PhysAddr) -> Option<usize> {
+        let (set, tag) = self.set_and_tag(pa);
+        let base = set * self.ways;
+        (0..self.ways)
+            .find(|&w| self.tags[base + w] == tag)
+            .map(|w| base + w)
+    }
+
+    /// Credit one hit on `slot`: exactly the bookkeeping a hitting
+    /// [`Cache::access`] performs.
+    #[inline]
+    pub fn replay_hit(&mut self, slot: usize) {
+        self.tick += 1;
+        self.stamps[slot] = self.tick;
+        self.stats.hits += 1;
+    }
+
+    /// Credit `n` hits whose per-line LRU order is known: each `(slot, ord)`
+    /// stamps `slot` as if its line's last access had been the `ord`-th
+    /// (1-based) of the `n` — the exact final state `n` interleaved hitting
+    /// accesses would leave.
+    pub fn replay_hits(&mut self, n: u64, stamped: &[(usize, u64)]) {
+        let t0 = self.tick;
+        self.tick += n;
+        self.stats.hits += n;
+        for &(slot, ord) in stamped {
+            self.stamps[slot] = t0 + ord;
+        }
+    }
+
+    /// log2 of the line size.
+    #[inline]
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
+    }
+
     /// Invalidate everything; returns the number of lines that were valid
     /// (maintenance loops cost cycles per line).
     pub fn invalidate_all(&mut self) -> usize {

@@ -34,6 +34,11 @@ pub struct Gic {
     pub raised: u64,
     /// Statistics: acknowledged interrupt count.
     pub acked: u64,
+    /// Number of `pending` bits currently set; lets [`Gic::highest_pending`]
+    /// answer the common "nothing pending" case without scanning all 96
+    /// lines (the per-instruction IRQ poll is the interpreter's hottest
+    /// device-side check).
+    pending_count: u32,
 }
 
 impl Default for Gic {
@@ -54,6 +59,19 @@ impl Gic {
             dist_enabled: true,
             raised: 0,
             acked: 0,
+            pending_count: 0,
+        }
+    }
+
+    #[inline]
+    fn set_pending(&mut self, i: usize, val: bool) {
+        if self.pending[i] != val {
+            self.pending[i] = val;
+            if val {
+                self.pending_count += 1;
+            } else {
+                self.pending_count -= 1;
+            }
         }
     }
 
@@ -65,7 +83,7 @@ impl Gic {
 
     /// A device asserts its interrupt line.
     pub fn raise(&mut self, irq: IrqNum) {
-        self.pending[Self::idx(irq)] = true;
+        self.set_pending(Self::idx(irq), true);
         self.raised += 1;
     }
 
@@ -93,7 +111,7 @@ impl Gic {
 
     /// Clear a pending line without delivering it (ICPENDR).
     pub fn clear_pending(&mut self, irq: IrqNum) {
-        self.pending[Self::idx(irq)] = false;
+        self.set_pending(Self::idx(irq), false);
     }
 
     /// Set a line's priority (IPRIORITYR); lower value = more urgent.
@@ -104,7 +122,7 @@ impl Gic {
     /// The highest-priority pending+enabled line, if any — i.e. whether the
     /// nIRQ signal to the core is asserted.
     pub fn highest_pending(&self) -> Option<IrqNum> {
-        if !self.dist_enabled {
+        if !self.dist_enabled || self.pending_count == 0 {
             return None;
         }
         (0..NUM_IRQS)
@@ -118,7 +136,7 @@ impl Gic {
     pub fn ack(&mut self) -> Option<IrqNum> {
         let irq = self.highest_pending()?;
         let i = Self::idx(irq);
-        self.pending[i] = false;
+        self.set_pending(i, false);
         self.active[i] = true;
         self.acked += 1;
         Some(irq)
@@ -174,7 +192,7 @@ impl Gic {
                 let base = ((off / 4) * 32 - (0x280 / 4) * 32) as usize;
                 for b in 0..32 {
                     if val & (1 << b) != 0 && base + b < NUM_IRQS {
-                        self.pending[base + b] = false;
+                        self.set_pending(base + b, false);
                     }
                 }
             }

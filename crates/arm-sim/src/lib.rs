@@ -19,6 +19,7 @@
 //! Nothing here depends on the microkernel: the machine is a blank Zynq PS
 //! onto which `mini-nova` (the paper's contribution) is "loaded".
 
+pub mod blockcache;
 pub mod bus;
 pub mod cache;
 pub mod cp15;
@@ -36,6 +37,7 @@ pub mod timing;
 pub mod tlb;
 pub mod vfp;
 
+pub use blockcache::{BlockCache, BlockCacheStats, CachedBlock};
 pub use bus::{PeriphCtx, Peripheral};
 pub use cache::{Cache, CacheHierarchy, CacheStats};
 pub use cp15::Cp15;

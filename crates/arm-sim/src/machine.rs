@@ -11,6 +11,9 @@ use mnv_fault::{FaultPlane, FaultSite};
 use mnv_hal::{Cycles, HalResult, IrqNum, PhysAddr, VirtAddr};
 use mnv_trace::{TraceEvent, Tracer, TrapKind};
 
+use crate::blockcache::BlockCache;
+#[cfg(feature = "block-cache")]
+use crate::blockcache::{CachedBlock, PureRun, MAX_BLOCK_LEN};
 use crate::bus::{PeriphCtx, Peripheral};
 use crate::cache::{CacheHierarchy, MemAccessKind};
 use crate::cp15::{Cp15, Cp15Reg};
@@ -18,6 +21,8 @@ use crate::cpu::{Cpu, CpuEvent, ExceptionKind};
 use crate::event::{EventLog, SimEvent};
 use crate::gic::Gic;
 use crate::memory::PhysMemory;
+#[cfg(feature = "block-cache")]
+use crate::mir::FastClass;
 use crate::mir::{AluOp, Cond, Instr, MirCp15, Program, INSTR_SIZE};
 use crate::mmu::{AccessKind, Fault, Mmu};
 use crate::pmu::{Pmu, PmuInputs};
@@ -25,6 +30,8 @@ use crate::psr::Psr;
 use crate::timer::{GlobalTimer, PrivateTimer};
 use crate::timing;
 use crate::tlb::Tlb;
+#[cfg(feature = "block-cache")]
+use crate::tlb::{PageKind, TlbEntry};
 use crate::vfp::Vfp;
 
 /// MMIO window of the GIC (distributor + CPU interface).
@@ -134,6 +141,10 @@ pub struct Machine {
     /// Performance monitoring unit (CP15 c9 group, delta-sampled from the
     /// counters above — see [`crate::pmu`]).
     pub pmu: Pmu,
+    /// Decoded basic-block cache used by [`Machine::run_slice`]. Runtime
+    /// switch in `bcache.enabled`; the fast path additionally requires the
+    /// `block-cache` cargo feature.
+    pub bcache: BlockCache,
     clock: Cycles,
     last_sync: Cycles,
     periphs: Vec<Box<dyn Peripheral>>,
@@ -169,6 +180,7 @@ impl Machine {
             pt_walks: 0,
             exceptions_taken: 0,
             pmu: Pmu::default(),
+            bcache: BlockCache::default(),
             clock: Cycles::ZERO,
             last_sync: Cycles::ZERO,
             periphs: Vec::new(),
@@ -559,11 +571,14 @@ impl Machine {
 
     // -- maintenance wrappers (what the kernel's CP15 ops do) ------------------
 
-    /// TLBIALL with its issue cost.
+    /// TLBIALL with its issue cost. Also drops every decoded block: the
+    /// mappings the blocks' recorded physical addresses came from may be
+    /// stale after the flush.
     pub fn tlb_flush_all(&mut self) {
         self.charge(timing::TLB_MAINT);
         self.tracer.emit(self.clock, TraceEvent::TlbFlush);
         self.tlb.flush_all();
+        self.bcache.invalidate_all();
     }
 
     /// TLBIASID.
@@ -571,6 +586,7 @@ impl Machine {
         self.charge(timing::TLB_MAINT);
         self.tracer.emit(self.clock, TraceEvent::TlbFlush);
         self.tlb.flush_asid(asid);
+        self.bcache.invalidate_asid(asid.0);
     }
 
     /// TLBIMVA.
@@ -578,12 +594,17 @@ impl Machine {
         self.charge(timing::TLB_MAINT);
         self.tracer.emit(self.clock, TraceEvent::TlbFlush);
         self.tlb.flush_mva(va, asid);
+        self.bcache
+            .invalidate_mva(asid.0, va.raw() as u32, mnv_hal::PAGE_SIZE);
     }
 
-    /// Full cache clean+invalidate, charged per resident line.
+    /// Full cache clean+invalidate, charged per resident line. Decoded
+    /// blocks go with it — I-cache maintenance is how architectural code
+    /// modification is published.
     pub fn cache_flush_all(&mut self) {
         let cost = self.caches.flush_all();
         self.charge(cost);
+        self.bcache.invalidate_all();
     }
 
     // -- exceptions ------------------------------------------------------------
@@ -689,15 +710,18 @@ impl Machine {
                 return CpuEvent::Exception(ExceptionKind::PrefetchAbort);
             }
         };
-        let cost = self
-            .caches
-            .access(pa, MemAccessKind::Fetch, self.mem.is_ocm(pa));
-        self.charge(cost + timing::INSTR_BASE);
+        // Bus check first: a fetch that aborts on the bus never occupies the
+        // I-cache or charges fetch cost (it dies on the AXI response, not in
+        // the cache pipeline).
         let mut bytes = [0u8; 8];
         if self.mem.read(pa, &mut bytes).is_err() {
             self.deliver_exception(ExceptionKind::PrefetchAbort, pc);
             return CpuEvent::Exception(ExceptionKind::PrefetchAbort);
         }
+        let cost = self
+            .caches
+            .access(pa, MemAccessKind::Fetch, self.mem.is_ocm(pa));
+        self.charge(cost + timing::INSTR_BASE);
 
         let instr = match Instr::decode(bytes) {
             Some(i) => i,
@@ -712,6 +736,556 @@ impl Machine {
         };
 
         self.execute(instr, pc, privileged)
+    }
+
+    // -- the block executor ------------------------------------------------------
+
+    /// Cycles timestamp at which a device can next change externally
+    /// observable state on its own: the private timer's exact expiry, the
+    /// earliest peripheral event, or *now* when the fault plane is armed
+    /// (fault deadlines are evaluated inside `sync_devices`, so an armed
+    /// plane pins the executor to per-instruction sync). Returns
+    /// `Cycles::new(u64::MAX)` when everything is quiescent. Only valid
+    /// right after a sync (`last_sync == clock`).
+    #[cfg(feature = "block-cache")]
+    fn device_deadline(&self) -> Cycles {
+        if self.fault.is_armed() {
+            return self.clock;
+        }
+        let mut d = u64::MAX;
+        if let Some(t) = self.ptimer.next_expiry_in() {
+            d = d.min(t);
+        }
+        for p in &self.periphs {
+            if let Some(t) = p.next_event(self.clock) {
+                d = d.min(t);
+            }
+        }
+        if d == u64::MAX {
+            Cycles::new(u64::MAX)
+        } else {
+            self.last_sync + Cycles::new(d)
+        }
+    }
+
+    /// Commit a recorded straight-line run as a cached block. Discards the
+    /// recording if any store landed while it was open (the dirty-chunk
+    /// drain only protects blocks that are already resident).
+    #[cfg(feature = "block-cache")]
+    fn bcache_commit(&mut self, key: (u8, u32), rec: &mut Vec<(u64, Instr)>, rec_gen: u64) {
+        if rec.is_empty() {
+            return;
+        }
+        if self.mem.code_gen() != rec_gen {
+            rec.clear();
+            return;
+        }
+        let instrs = std::mem::take(rec);
+        let block = CachedBlock::new(instrs, key.1, self.caches.l1i.line_shift());
+        self.bcache.insert(key.0, block);
+    }
+
+    /// Run until the clock reaches `deadline` or a non-`Retired` event
+    /// occurs. Architecturally **bit-identical** to the reference loop
+    ///
+    /// ```ignore
+    /// while m.now() < deadline {
+    ///     match m.step() { CpuEvent::Retired => {}, ev => return ev }
+    /// }
+    /// ```
+    ///
+    /// (the lockstep differential suite enforces this), but when the
+    /// `block-cache` feature is compiled in and `bcache.enabled` is set it
+    /// replays decoded basic blocks and syncs the device models only at
+    /// computed deadlines instead of every instruction.
+    pub fn run_slice(&mut self, deadline: Cycles) -> CpuEvent {
+        #[cfg(feature = "block-cache")]
+        if self.bcache.enabled {
+            return self.run_slice_fast(deadline);
+        }
+        while self.clock < deadline {
+            match self.step() {
+                CpuEvent::Retired => {}
+                ev => return ev,
+            }
+        }
+        CpuEvent::Retired
+    }
+
+    /// Fetch translation during replay, bit-identical to what the reference
+    /// path's `translate(va, Execute, ..)` does, but without the TLB set
+    /// scan in the common case: the replay carries a `(slot, entry)` hint,
+    /// and while the hinted slot still holds the hinted entry a hit is
+    /// credited directly ([`Tlb::replay_hits`]) followed by the same live
+    /// DACR/AP re-check a hitting `Mmu::translate` performs. The hint cannot
+    /// go stale silently — an entry matching this VA can only be displaced
+    /// by an insert, and inserts for a VA the TLB already translates never
+    /// happen (the lookup would have hit) — but it is still verified by a
+    /// direct slot compare every time. With the MMU off the reference
+    /// translation is a free identity with no TLB traffic, reproduced here
+    /// as exactly that.
+    #[cfg(feature = "block-cache")]
+    fn replay_translate(
+        &mut self,
+        va: VirtAddr,
+        privileged: bool,
+        hint: &mut Option<(usize, TlbEntry)>,
+    ) -> Result<PhysAddr, Fault> {
+        if !self.cp15.mmu_enabled() {
+            return Ok(PhysAddr::new(va.raw()));
+        }
+        let asid = self.cp15.asid();
+        if let Some((slot, e)) = *hint {
+            if self.tlb.entry_at(slot) == Some(e) && e.matches(va, asid) {
+                self.tlb.replay_hits(slot, 1);
+                let level = if e.kind == PageKind::Section { 1 } else { 2 };
+                return match self.mmu.check(
+                    &e,
+                    va,
+                    AccessKind::Execute,
+                    privileged,
+                    &self.cp15,
+                    level,
+                ) {
+                    Ok(()) => Ok(PhysAddr::new(e.translate(va))),
+                    Err(f) => {
+                        self.record_fault(f);
+                        Err(f)
+                    }
+                };
+            }
+            *hint = None;
+        }
+        let pa = self.translate(va, AccessKind::Execute, privileged)?;
+        *hint = self.tlb.probe_slot(va, asid);
+        Ok(pa)
+    }
+
+    /// I-cache cost of a replayed fetch, bit-identical to
+    /// `caches.access(pa, Fetch, ..)`. The hint is the line (and L1I slot)
+    /// of the previous replayed fetch; a fetch from the same line is a
+    /// guaranteed hit — nothing but instruction fetches touches L1I tags
+    /// inside a slice, and a hit never evicts — credited without the way
+    /// scan. Line changes, misses and disabled caches take the full model
+    /// (which refreshes the hint, keeping the invariant that the hint
+    /// always describes the most recent fill state of its slot).
+    #[cfg(feature = "block-cache")]
+    fn replay_fetch_cost(&mut self, pa: PhysAddr, hint: &mut Option<(u64, usize)>) -> u64 {
+        if self.caches.enabled {
+            let line = pa.raw() >> self.caches.l1i.line_shift();
+            if let Some((hl, slot)) = *hint {
+                if hl == line {
+                    self.caches.l1i.replay_hit(slot);
+                    return timing::L1_HIT;
+                }
+            }
+            let cost = self
+                .caches
+                .access(pa, MemAccessKind::Fetch, self.mem.is_ocm(pa));
+            *hint = self.caches.l1i.probe_slot(pa).map(|s| (line, s));
+            cost
+        } else {
+            self.caches
+                .access(pa, MemAccessKind::Fetch, self.mem.is_ocm(pa))
+        }
+    }
+
+    /// The decoded-block fast path. Whole pure runs (see
+    /// [`PureRun`](crate::blockcache::PureRun)) are replayed in one step:
+    /// translation and L1I residency are verified once up front, the
+    /// statically-known cycles are charged, the instructions execute
+    /// back-to-back, and the TLB/L1I hit bookkeeping the reference path
+    /// would have done per fetch is settled in one exact bulk update.
+    /// Everything else replays per instruction through hint-verified fetch
+    /// paths, and recording/uncached execution keeps the reference path's
+    /// full fetch pipeline. Device models sync only at computed deadlines;
+    /// loads/stores re-arm the deadline only when they actually reached
+    /// MMIO (detectable as `last_sync` having caught up to the clock,
+    /// because every MMIO access syncs internally), while CP15/CPSR writes
+    /// conservatively force a sync + poll at the next boundary.
+    #[cfg(feature = "block-cache")]
+    fn run_slice_fast(&mut self, deadline: Cycles) -> CpuEvent {
+        use std::rc::Rc;
+
+        /// Replay cursor: the block being replayed plus the fetch hints.
+        struct Replay {
+            key: (u8, u32),
+            instrs: Rc<Vec<(u64, Instr)>>,
+            runs: Rc<Vec<PureRun>>,
+            idx: usize,
+            /// Cursor into `runs` (runs are met in order; entering a run
+            /// mid-way — after a deadline split — skips its batch).
+            next_run: usize,
+            /// Fetch-translation hint: TLB slot + entry of the last
+            /// replayed fetch.
+            tlb_hint: Option<(usize, TlbEntry)>,
+            /// I-cache hint: (line number, L1I slot) of the last replayed
+            /// fetch.
+            line_hint: Option<(u64, usize)>,
+        }
+
+        // Starts at `clock` so the first iteration syncs + polls exactly
+        // like the first reference `step()`.
+        let mut dev_deadline = self.clock;
+
+        let mut replay: Option<Replay> = None;
+
+        // Open recording (absent while replaying).
+        let mut rec: Vec<(u64, Instr)> = Vec::new();
+        let mut rec_key: Option<(u8, u32)> = None;
+        let mut rec_gen = 0u64;
+
+        // Scratch for batch line slots (reused across batches).
+        let mut line_slots: Vec<(usize, u64)> = Vec::new();
+
+        'slice: loop {
+            if self.clock >= deadline {
+                // Slice exhausted: an open recording is still a valid
+                // straight-line prefix — keep it.
+                if let Some(k) = rec_key.take() {
+                    self.bcache_commit(k, &mut rec, rec_gen);
+                }
+                return CpuEvent::Retired;
+            }
+            if self.clock >= dev_deadline {
+                if let Some(ev) = self.poll_irq() {
+                    if let Some(k) = rec_key.take() {
+                        self.bcache_commit(k, &mut rec, rec_gen);
+                    }
+                    return ev;
+                }
+                dev_deadline = self.device_deadline();
+                // The sync may have DMA'd over code or flipped a bit in it
+                // (fault plane): stop trusting the run being replayed; the
+                // boundary drain below reconciles the cache itself.
+                if replay.is_some() && self.mem.code_gen() != self.bcache.seen_gen() {
+                    replay = None;
+                }
+            }
+
+            // Block boundary: finished (or abandoned) a replay and no
+            // recording is open — reconcile invalidations, then look up the
+            // next block.
+            if matches!(replay, Some(ref r) if r.idx >= r.instrs.len()) {
+                replay = None;
+            }
+            if replay.is_none() && rec_key.is_none() {
+                if self.mem.code_gen() != self.bcache.seen_gen() {
+                    let gen = self.mem.code_gen();
+                    let dirty = self.mem.take_dirty_code();
+                    self.bcache
+                        .invalidate_chunks(&dirty, PhysMemory::code_chunk_size(), gen);
+                }
+                let asid = self.cp15.asid().0;
+                let pc = self.cpu.pc;
+                match self.bcache.lookup(asid, pc) {
+                    Some(b) => {
+                        replay = Some(Replay {
+                            key: (asid, pc),
+                            instrs: Rc::clone(&b.instrs),
+                            runs: Rc::clone(&b.runs),
+                            idx: 0,
+                            next_run: 0,
+                            tlb_hint: None,
+                            line_hint: None,
+                        })
+                    }
+                    None => {
+                        rec_key = Some((asid, pc));
+                        rec_gen = self.mem.code_gen();
+                        rec.clear();
+                    }
+                }
+            }
+
+            let pc = self.cpu.pc;
+            let privileged = self.cpu.cpsr.mode.is_privileged();
+            let va = VirtAddr::new(pc as u64);
+
+            // -- whole-run batch ------------------------------------------
+            // If the replay cursor sits at the start of a planned pure run
+            // and every boundary inside it falls strictly before the next
+            // sync/poll point, verify the run's translation and L1I
+            // residency once and execute it in one step. Any failed
+            // precondition falls through to the per-instruction path, which
+            // reproduces the reference behaviour (including fault delivery)
+            // exactly.
+            'batch: {
+                let Some(r) = replay.as_mut() else {
+                    break 'batch;
+                };
+                while r.next_run < r.runs.len() && (r.runs[r.next_run].start as usize) < r.idx {
+                    r.next_run += 1;
+                }
+                let runs = Rc::clone(&r.runs);
+                let Some(run) = runs.get(r.next_run) else {
+                    break 'batch;
+                };
+                if run.start as usize != r.idx {
+                    break 'batch;
+                }
+                let dl = if deadline < dev_deadline {
+                    deadline
+                } else {
+                    dev_deadline
+                };
+                if self.clock + Cycles::new(run.cost_before_last) >= dl {
+                    break 'batch;
+                }
+                if !self.caches.enabled {
+                    break 'batch;
+                }
+                let len = run.len as usize;
+                let first_pa = r.instrs[r.idx].0;
+                // One translation check covers every fetch in the run:
+                // nothing inside a pure run can change the mapping, the
+                // ASID, DACR, the privilege level or the TLB itself, and
+                // the run is physically contiguous within one page.
+                let tlb_slot = if self.cp15.mmu_enabled() {
+                    let asid = self.cp15.asid();
+                    let hit = match r.tlb_hint {
+                        Some((slot, e))
+                            if self.tlb.entry_at(slot) == Some(e) && e.matches(va, asid) =>
+                        {
+                            Some((slot, e))
+                        }
+                        _ => self.tlb.probe_slot(va, asid),
+                    };
+                    let Some((slot, entry)) = hit else {
+                        break 'batch;
+                    };
+                    let level = if entry.kind == PageKind::Section {
+                        1
+                    } else {
+                        2
+                    };
+                    if self
+                        .mmu
+                        .check(
+                            &entry,
+                            va,
+                            AccessKind::Execute,
+                            privileged,
+                            &self.cp15,
+                            level,
+                        )
+                        .is_err()
+                    {
+                        break 'batch;
+                    }
+                    if entry.translate(va) != first_pa {
+                        break 'batch;
+                    }
+                    r.tlb_hint = Some((slot, entry));
+                    Some(slot)
+                } else {
+                    if pc as u64 != first_pa {
+                        break 'batch;
+                    }
+                    None
+                };
+                // Every line resident ⇒ every fetch is a plain L1I hit
+                // (a hit never evicts, and only these fetches touch L1I).
+                line_slots.clear();
+                for &(lpa, ord) in run.lines.iter() {
+                    match self.caches.l1i.probe_slot(PhysAddr::new(lpa)) {
+                        Some(s) => line_slots.push((s, ord)),
+                        None => break 'batch,
+                    }
+                }
+                // Committed. Charge the fetch cycles up front (`execute`
+                // charges its own static extras; nothing in a pure run
+                // observes the clock, so only the final value matters),
+                // execute, then settle the deferred hit bookkeeping.
+                let instrs = Rc::clone(&r.instrs);
+                let start = r.idx;
+                r.idx += len;
+                r.next_run += 1;
+                let shift = self.caches.l1i.line_shift();
+                r.line_hint = run
+                    .lines
+                    .last()
+                    .zip(line_slots.last())
+                    .map(|(&(lpa, _), &(slot, _))| (lpa >> shift, slot));
+                self.charge(len as u64 * (timing::L1_HIT + timing::INSTR_BASE));
+                for &(_, instr) in &instrs[start..start + len] {
+                    let ipc = self.cpu.pc;
+                    let ev = self.execute(instr, ipc, privileged);
+                    debug_assert!(
+                        matches!(ev, CpuEvent::Retired),
+                        "pure instructions cannot trap"
+                    );
+                }
+                if let Some(slot) = tlb_slot {
+                    self.tlb.replay_hits(slot, len as u64);
+                }
+                self.caches.l1i.replay_hits(len as u64, &line_slots);
+                self.bcache.stats.replayed_instrs += len as u64;
+                continue 'slice;
+            }
+
+            // -- per-instruction ------------------------------------------
+            let instr = 'fetch: {
+                if let Some(r) = replay.as_mut() {
+                    let (blk_pa, instr) = r.instrs[r.idx];
+                    let key = r.key;
+                    let pa = match self.replay_translate(va, privileged, &mut r.tlb_hint) {
+                        Ok(pa) => pa,
+                        Err(_) => {
+                            self.deliver_exception(ExceptionKind::PrefetchAbort, pc);
+                            return CpuEvent::Exception(ExceptionKind::PrefetchAbort);
+                        }
+                    };
+                    if pa.raw() == blk_pa {
+                        // Replay: the bytes at `pa` are unchanged (chunk
+                        // tracking) and map-checked (live translation
+                        // above) — skip the bus read and the decode, keep
+                        // the charges.
+                        r.idx += 1;
+                        self.bcache.stats.replayed_instrs += 1;
+                        let cost = self.replay_fetch_cost(pa, &mut r.line_hint);
+                        self.charge(cost + timing::INSTR_BASE);
+                        break 'fetch instr;
+                    }
+                    // The mapping moved under the block (remap without TLB
+                    // maintenance — MIR can do it): drop the block and fetch
+                    // this instruction the slow way, without recording.
+                    self.bcache.stats.replay_aborts += 1;
+                    self.bcache.remove(key.0, key.1);
+                    replay = None;
+                    match self.fetch_slow(pc, pa, &mut rec, &mut rec_key, rec_gen) {
+                        Ok(i) => break 'fetch i,
+                        Err(ev) => return ev,
+                    }
+                }
+                // Recording/uncached: translate the fetch exactly as the
+                // reference path does — same TLB evolution, same walk
+                // charges, same prefetch aborts — then bus-read + decode.
+                let pa = match self.translate(va, AccessKind::Execute, privileged) {
+                    Ok(pa) => pa,
+                    Err(_) => {
+                        if let Some(k) = rec_key.take() {
+                            self.bcache_commit(k, &mut rec, rec_gen);
+                        }
+                        self.deliver_exception(ExceptionKind::PrefetchAbort, pc);
+                        return CpuEvent::Exception(ExceptionKind::PrefetchAbort);
+                    }
+                };
+                match self.fetch_slow(pc, pa, &mut rec, &mut rec_key, rec_gen) {
+                    Ok(i) => i,
+                    Err(ev) => return ev,
+                }
+            };
+
+            match self.execute(instr, pc, privileged) {
+                CpuEvent::Retired => {}
+                ev => {
+                    // Halt/SVC/WFI/exception: the recorded run up to and
+                    // including this instruction is a valid block.
+                    if let Some(k) = rec_key.take() {
+                        self.bcache_commit(k, &mut rec, rec_gen);
+                    }
+                    return ev;
+                }
+            }
+
+            match instr.fast_class() {
+                FastClass::Pure => {}
+                _ if replay.is_some() => match instr {
+                    Instr::Ldr { .. } | Instr::Str { .. } => {
+                        // A RAM access cannot move a device deadline or
+                        // raise an IRQ. An MMIO access synced internally —
+                        // observable as `last_sync` having caught up to the
+                        // clock (every other path leaves charges after the
+                        // last sync) — and only then can the deadline have
+                        // moved or a GIC write have raised something
+                        // deliverable at the next boundary.
+                        if self.last_sync == self.clock {
+                            dev_deadline = self.device_deadline();
+                            if !self.cpu.cpsr.irq_masked && self.gic.highest_pending().is_some() {
+                                dev_deadline = self.clock;
+                            }
+                        }
+                        // A store over cached code must stop the replay
+                        // before the next (now stale) instruction.
+                        if matches!(instr, Instr::Str { .. })
+                            && self.mem.code_gen() != self.bcache.seen_gen()
+                        {
+                            replay = None;
+                        }
+                    }
+                    // Register-file only: cannot touch devices, masks or
+                    // mappings (a disabled-VFP trap exits above).
+                    Instr::VfpOp { .. } => {}
+                    // CP15/CPSR writes can unmask IRQs, remap, retune
+                    // devices: re-sync and re-poll at the next boundary.
+                    _ => dev_deadline = self.clock,
+                },
+                _ => {
+                    // Recording: keep the reference path's conservative
+                    // per-boundary sync after any sideband instruction.
+                    dev_deadline = self.clock;
+                }
+            }
+
+            if rec_key.is_some() {
+                let page_end = (pc as u64 + INSTR_SIZE).is_multiple_of(mnv_hal::PAGE_SIZE);
+                if instr.is_control_transfer() || rec.len() >= MAX_BLOCK_LEN || page_end {
+                    let k = rec_key.take().unwrap();
+                    self.bcache_commit(k, &mut rec, rec_gen);
+                }
+            }
+        }
+    }
+
+    /// Slow fetch for the block executor: bus read + decode with the same
+    /// ordering and event delivery as [`Machine::step`], appending to the
+    /// open recording when there is one. On an event the caller gets it
+    /// after any open recording has been committed.
+    #[cfg(feature = "block-cache")]
+    fn fetch_slow(
+        &mut self,
+        pc: u32,
+        pa: PhysAddr,
+        rec: &mut Vec<(u64, Instr)>,
+        rec_key: &mut Option<(u8, u32)>,
+        rec_gen: u64,
+    ) -> Result<Instr, CpuEvent> {
+        let mut bytes = [0u8; 8];
+        if self.mem.read(pa, &mut bytes).is_err() {
+            if let Some(k) = rec_key.take() {
+                self.bcache_commit(k, rec, rec_gen);
+            }
+            self.deliver_exception(ExceptionKind::PrefetchAbort, pc);
+            return Err(CpuEvent::Exception(ExceptionKind::PrefetchAbort));
+        }
+        let cost = self
+            .caches
+            .access(pa, MemAccessKind::Fetch, self.mem.is_ocm(pa));
+        self.charge(cost + timing::INSTR_BASE);
+        let instr = match Instr::decode(bytes) {
+            Some(i) => i,
+            None => {
+                // Invalid encodings are never recorded.
+                if let Some(k) = rec_key.take() {
+                    self.bcache_commit(k, rec, rec_gen);
+                }
+                self.last_und = Some(UndCause {
+                    pc: VirtAddr::new(pc as u64),
+                    kind: UndKind::InvalidInstr,
+                });
+                self.deliver_exception(ExceptionKind::Undefined, pc.wrapping_add(8));
+                return Err(CpuEvent::Exception(ExceptionKind::Undefined));
+            }
+        };
+        if rec_key.is_some() {
+            rec.push((pa.raw(), instr));
+            // Mark the backing chunk now, not at commit: a store landing
+            // between this push and the commit must bump the generation the
+            // commit checks.
+            self.mem.note_code(pa, INSTR_SIZE as usize);
+        }
+        Ok(instr)
     }
 
     fn und(&mut self, pc: u32, kind: UndKind) -> CpuEvent {
@@ -1249,5 +1823,169 @@ mod tests {
         m.run(100);
         let warm = m.now() - t1;
         assert!(warm < cold, "warm {warm:?} must be < cold {cold:?}");
+    }
+
+    #[test]
+    fn failed_fetch_charges_nothing() {
+        // Regression: a fetch that dies on the bus (unmapped physical
+        // address) used to occupy the I-cache and charge fetch cost before
+        // the abort was noticed. The AXI error happens before the line ever
+        // reaches the cache pipeline, so a failed fetch must charge nothing.
+        let mut m = bare_machine();
+        m.cpu.cpsr = Psr::reset();
+        m.cpu.pc = 0x8000_0000; // hole between DDR top and OCM: no backing
+        let t0 = m.now();
+        assert_eq!(m.step(), CpuEvent::Exception(ExceptionKind::PrefetchAbort));
+        assert_eq!(
+            m.caches.l1i.stats().accesses(),
+            0,
+            "bus-failed fetch must not touch the I-cache"
+        );
+        assert_eq!(
+            m.now() - t0,
+            Cycles::new(timing::EXC_ENTRY),
+            "only exception entry is charged, no fetch cost"
+        );
+    }
+
+    /// Shared program for the fast/slow differential tests: a loop mixing
+    /// pure ALU work, memory traffic and flag-setting compares.
+    fn diff_program(b: &mut ProgramBuilder) {
+        b.mov(0, 0); // acc
+        b.mov(2, 50); // iterations
+                      // Scratch lives in a different 64 KiB code-tracking chunk than the
+                      // program at 0x8000, as real guests lay out code vs. data — stores
+                      // into the code chunk would (correctly, conservatively) invalidate
+                      // the block under test.
+        b.mov(4, 0x2_0000);
+        let top = b.label();
+        b.bind(top);
+        b.alu_imm(AluOp::Add, 0, 0, 3);
+        b.str(0, 4, 0);
+        b.ldr(3, 4, 0);
+        b.alu(AluOp::Add, 0, 0, 3);
+        b.alu_imm(AluOp::Sub, 2, 2, 1);
+        b.alu_imm(AluOp::Cmp, 2, 2, 0);
+        b.branch(Cond::Ne, top);
+        b.halt();
+    }
+
+    #[cfg(feature = "block-cache")]
+    #[test]
+    fn run_slice_matches_reference_interpreter() {
+        // The block executor must be *bit-identical* to the per-instruction
+        // path: same final registers, same retired count, same clock, same
+        // timer expiries — with a periodic timer forcing device activity
+        // mid-run.
+        let mut fast = with_program(diff_program);
+        let mut slow = with_program(diff_program);
+        slow.bcache.enabled = false;
+        for m in [&mut fast, &mut slow] {
+            m.ptimer.program_periodic(Cycles::new(700));
+            m.cpu.cpsr.irq_masked = true; // observe, don't deliver
+        }
+        let run = |m: &mut Machine| loop {
+            let deadline = m.now() + Cycles::new(100_000);
+            match m.run_slice(deadline) {
+                CpuEvent::Retired => {}
+                ev => break ev,
+            }
+        };
+        assert_eq!(run(&mut fast), CpuEvent::Halted);
+        assert_eq!(run(&mut slow), CpuEvent::Halted);
+        assert_eq!(fast.cpu.reg(0), slow.cpu.reg(0));
+        assert_eq!(fast.cpu.reg(2), slow.cpu.reg(2));
+        assert_eq!(fast.instructions_retired, slow.instructions_retired);
+        assert_eq!(fast.now(), slow.now(), "charged cycles must be identical");
+        assert_eq!(fast.ptimer.expiries, slow.ptimer.expiries);
+        assert_eq!(
+            fast.gic.is_pending(IrqNum::PRIVATE_TIMER),
+            slow.gic.is_pending(IrqNum::PRIVATE_TIMER)
+        );
+        assert!(
+            fast.bcache.stats.hits > 0,
+            "the loop body must actually replay from the cache"
+        );
+    }
+
+    #[cfg(feature = "block-cache")]
+    #[test]
+    fn irq_delivery_point_is_identical() {
+        // IRQ delivery must land on the same instruction boundary (same
+        // clock, same PC) whether devices are synced per instruction or
+        // only at block-cache deadlines.
+        fn spin(b: &mut ProgramBuilder) {
+            b.mov(0, 0);
+            let top = b.label();
+            b.bind(top);
+            b.alu_imm(AluOp::Add, 0, 0, 1);
+            b.branch(Cond::Al, top);
+        }
+        let mut fast = with_program(spin);
+        let mut slow = with_program(spin);
+        slow.bcache.enabled = false;
+        for m in [&mut fast, &mut slow] {
+            m.gic.enable(IrqNum::PRIVATE_TIMER);
+            m.ptimer.program_periodic(Cycles::new(1234));
+            m.cpu.cpsr.irq_masked = false;
+        }
+        let ev_f = fast.run_slice(fast.now() + Cycles::new(100_000));
+        let ev_s = slow.run_slice(slow.now() + Cycles::new(100_000));
+        assert_eq!(ev_f, CpuEvent::Exception(ExceptionKind::Irq));
+        assert_eq!(ev_s, ev_f);
+        assert_eq!(fast.now(), slow.now(), "same delivery cycle");
+        assert_eq!(fast.cpu.pc, slow.cpu.pc, "same delivery PC");
+        assert_eq!(fast.instructions_retired, slow.instructions_retired);
+        assert_eq!(fast.cpu.reg(0), slow.cpu.reg(0));
+    }
+
+    #[cfg(feature = "block-cache")]
+    #[test]
+    fn stores_invalidate_cached_blocks() {
+        let prog = |v: u32| {
+            let mut b = ProgramBuilder::new();
+            b.mov(0, v);
+            b.halt();
+            b.assemble(0x8000)
+        };
+        let mut m = bare_machine();
+        m.load_program(&prog(1), PhysAddr::new(0x8000)).unwrap();
+        m.cpu.pc = 0x8000;
+        m.cpu.cpsr = Psr::user();
+        let slice = Cycles::new(1_000_000);
+        assert_eq!(m.run_slice(m.now() + slice), CpuEvent::Halted);
+        assert_eq!(m.cpu.reg(0), 1);
+        // Re-run unmodified: served from the decoded-block cache.
+        m.cpu.pc = 0x8000;
+        assert_eq!(m.run_slice(m.now() + slice), CpuEvent::Halted);
+        assert!(m.bcache.stats.hits >= 1);
+        assert!(m.bcache.stats.replayed_instrs >= 2);
+        // Overwrite the code (the same PhysMemory::write funnel DMA and
+        // PCAP land in): the stale decoded block must not survive.
+        m.load_program(&prog(2), PhysAddr::new(0x8000)).unwrap();
+        m.cpu.pc = 0x8000;
+        assert_eq!(m.run_slice(m.now() + slice), CpuEvent::Halted);
+        assert_eq!(m.cpu.reg(0), 2, "stale decoded block executed after store");
+        assert!(m.bcache.stats.store_invalidations >= 1);
+    }
+
+    #[cfg(feature = "block-cache")]
+    #[test]
+    fn tlb_maintenance_drops_decoded_blocks() {
+        let mut m = with_program(|b| {
+            b.mov(0, 7);
+            b.halt();
+        });
+        assert_eq!(
+            m.run_slice(m.now() + Cycles::new(1_000_000)),
+            CpuEvent::Halted
+        );
+        assert!(!m.bcache.is_empty(), "halt must commit the open block");
+        m.tlb_flush_all();
+        assert!(
+            m.bcache.is_empty(),
+            "TLB maintenance must drop decoded blocks (mapping may change)"
+        );
+        assert!(m.bcache.stats.maint_invalidations >= 1);
     }
 }

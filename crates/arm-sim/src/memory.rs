@@ -33,6 +33,12 @@ struct Region {
     base: u64,
     size: u64,
     chunks: Vec<Option<Box<[u8; CHUNK_SIZE]>>>,
+    /// Chunks known to back decoded code blocks (set by
+    /// [`PhysMemory::note_code`]); a store into a flagged chunk clears the
+    /// flag and reports the chunk as dirty so the block cache can
+    /// invalidate. One bool per chunk keeps the store fast path at two
+    /// array indexes.
+    code: Vec<bool>,
 }
 
 impl Region {
@@ -42,6 +48,7 @@ impl Region {
             base,
             size,
             chunks: (0..size >> CHUNK_SHIFT).map(|_| None).collect(),
+            code: vec![false; (size >> CHUNK_SHIFT) as usize],
         }
     }
 
@@ -71,12 +78,17 @@ impl Region {
         }
     }
 
-    fn write(&mut self, off: u64, data: &[u8]) {
+    fn write(&mut self, off: u64, data: &[u8], dirty: &mut Vec<u64>) {
         let mut off = off;
         let mut data = data;
         while !data.is_empty() {
             let in_chunk = (off & (CHUNK_SIZE as u64 - 1)) as usize;
             let take = data.len().min(CHUNK_SIZE - in_chunk);
+            let idx = (off >> CHUNK_SHIFT) as usize;
+            if self.code[idx] {
+                self.code[idx] = false;
+                dirty.push(self.base + ((idx as u64) << CHUNK_SHIFT));
+            }
             let chunk = self.chunk_mut(off);
             chunk[in_chunk..in_chunk + take].copy_from_slice(&data[..take]);
             data = &data[take..];
@@ -94,6 +106,15 @@ impl Region {
 pub struct PhysMemory {
     ddr: Region,
     ocm: Region,
+    /// Chunk base addresses whose code flag was cleared by a store since
+    /// the last [`PhysMemory::take_dirty_code`]. Every write path funnels
+    /// through [`PhysMemory::write`] — guest stores, DMA, boot loads,
+    /// fault-plane bit flips — so this is the single choke point the
+    /// decoded-block cache watches for self-modifying code.
+    dirty_code: Vec<u64>,
+    /// Monotonic count of code-chunk invalidation events; lets the block
+    /// cache detect "something was dirtied" with one integer compare.
+    code_gen: u64,
 }
 
 impl Default for PhysMemory {
@@ -108,6 +129,8 @@ impl PhysMemory {
         PhysMemory {
             ddr: Region::new(DDR_BASE, DDR_SIZE),
             ocm: Region::new(OCM_BASE, OCM_SIZE),
+            dirty_code: Vec::new(),
+            code_gen: 0,
         }
     }
 
@@ -154,10 +177,55 @@ impl PhysMemory {
             let r = self.region_for(addr.raw(), data.len())?;
             r.base
         };
-        let r = self.region_for_mut(addr.raw(), data.len())?;
+        let before = self.dirty_code.len();
+        let dirty = &mut self.dirty_code;
+        let r = if self.ddr.contains(addr.raw(), data.len()) {
+            &mut self.ddr
+        } else {
+            &mut self.ocm
+        };
         debug_assert_eq!(r.base, base);
-        r.write(addr.raw() - base, data);
+        r.write(addr.raw() - base, data, dirty);
+        if self.dirty_code.len() != before {
+            self.code_gen += 1;
+        }
         Ok(())
+    }
+
+    // -- code-chunk tracking (decoded-block cache support) --------------------
+
+    /// Flag the chunks covering `addr..addr+len` as backing decoded code.
+    /// A later store into any of them clears the flag and records the chunk
+    /// in the dirty list (see [`PhysMemory::take_dirty_code`]).
+    pub fn note_code(&mut self, addr: PhysAddr, len: usize) {
+        let Ok(r) = self.region_for_mut(addr.raw(), len.max(1)) else {
+            return;
+        };
+        let first = (addr.raw() - r.base) >> CHUNK_SHIFT;
+        let last = (addr.raw() + len.max(1) as u64 - 1 - r.base) >> CHUNK_SHIFT;
+        for idx in first..=last {
+            r.code[idx as usize] = true;
+        }
+    }
+
+    /// Monotonic counter bumped whenever a store hits a code-flagged chunk.
+    /// The block cache compares this against its own high-water mark to
+    /// decide whether [`PhysMemory::take_dirty_code`] needs draining.
+    #[inline]
+    pub fn code_gen(&self) -> u64 {
+        self.code_gen
+    }
+
+    /// Drain the list of dirtied code chunks (base address of each 64 KB
+    /// chunk whose code flag was cleared by a store).
+    pub fn take_dirty_code(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.dirty_code)
+    }
+
+    /// Size of a dirty-tracking chunk in bytes (one entry of
+    /// [`PhysMemory::take_dirty_code`] covers this much).
+    pub const fn code_chunk_size() -> u64 {
+        CHUNK_SIZE as u64
     }
 
     /// Read a little-endian u32.
@@ -277,6 +345,52 @@ mod tests {
         mem.fill(PhysAddr::new(0x3000), 8192, 0).unwrap();
         assert_eq!(mem.read_u32(PhysAddr::new(0x3000)).unwrap(), 0);
         assert_eq!(mem.read_u32(PhysAddr::new(0x4ffc)).unwrap(), 0);
+    }
+
+    #[test]
+    fn code_chunk_dirty_tracking() {
+        let mut mem = PhysMemory::new();
+        let code = PhysAddr::new(2 * CHUNK_SIZE as u64 + 0x100);
+        mem.note_code(code, 64);
+        let gen0 = mem.code_gen();
+
+        // Stores to unflagged chunks are invisible to the tracker.
+        mem.write_u32(PhysAddr::new(0x10), 1).unwrap();
+        assert_eq!(mem.code_gen(), gen0);
+
+        // A store into the flagged chunk bumps the generation and reports
+        // the chunk base exactly once.
+        mem.write_u32(code + 8, 0xAB).unwrap();
+        assert_eq!(mem.code_gen(), gen0 + 1);
+        assert_eq!(mem.take_dirty_code(), vec![2 * CHUNK_SIZE as u64]);
+
+        // The flag was consumed: a second store to the same chunk is quiet
+        // until note_code flags it again.
+        mem.write_u32(code, 0xCD).unwrap();
+        assert_eq!(mem.code_gen(), gen0 + 1);
+        assert!(mem.take_dirty_code().is_empty());
+        mem.note_code(code, 64);
+        mem.write_u32(code, 0xEF).unwrap();
+        assert_eq!(mem.code_gen(), gen0 + 2);
+    }
+
+    #[test]
+    fn note_code_spanning_chunks_flags_both() {
+        let mut mem = PhysMemory::new();
+        let last8 = PhysAddr::new(CHUNK_SIZE as u64 - 4);
+        mem.note_code(last8, 8); // straddles chunk 0 and chunk 1
+        mem.write_u32(PhysAddr::new(4), 1).unwrap();
+        mem.write_u32(PhysAddr::new(CHUNK_SIZE as u64 + 4), 1)
+            .unwrap();
+        let dirty = mem.take_dirty_code();
+        assert_eq!(dirty, vec![0, CHUNK_SIZE as u64]);
+    }
+
+    #[test]
+    fn note_code_outside_ram_is_ignored() {
+        let mut mem = PhysMemory::new();
+        mem.note_code(PhysAddr::new(0x8000_0000), 8);
+        assert_eq!(mem.code_gen(), 0);
     }
 
     #[test]

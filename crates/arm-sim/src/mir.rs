@@ -271,7 +271,67 @@ pub enum Instr {
 /// Encoded size of every instruction, in bytes.
 pub const INSTR_SIZE: u64 = 8;
 
+/// How the decoded-block executor may treat an instruction (see
+/// [`crate::blockcache`]). The split is about *observability*, not about
+/// whether the instruction can be cached — everything decodable is cached:
+///
+/// * [`FastClass::Pure`] touches only core registers and the clock. Nothing
+///   it does can raise an interrupt, change the IRQ mask, fault, or write
+///   memory, so a run of them needs no device sync / IRQ poll between
+///   instructions (the per-block device deadline covers timer expiry).
+/// * [`FastClass::Sideband`] may access memory/MMIO, trap, or rewrite the
+///   CPSR: after executing one, the fast path must re-sync devices and
+///   re-poll exactly as the per-instruction path would.
+/// * [`FastClass::Exit`] always leaves the interpreter loop (event or
+///   exception), ending the block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FastClass {
+    /// Register-only: ALU, moves, flag reads, taken/untaken branches,
+    /// abstract compute bursts.
+    Pure,
+    /// Memory, CP15, VFP or CPSR-writing: forces a device sync + IRQ poll
+    /// at the next instruction boundary, like the per-instruction path.
+    Sideband,
+    /// Halt/Svc/Wfi: returns a non-`Retired` event unconditionally.
+    Exit,
+}
+
 impl Instr {
+    /// Classification used by the decoded basic-block cache.
+    pub fn fast_class(self) -> FastClass {
+        match self {
+            Instr::MovImm { .. }
+            | Instr::Alu { .. }
+            | Instr::AluImm { .. }
+            | Instr::MrsCpsr { .. }
+            | Instr::Compute { .. }
+            | Instr::B { .. }
+            | Instr::Bl { .. }
+            | Instr::Ret => FastClass::Pure,
+            Instr::Ldr { .. }
+            | Instr::Str { .. }
+            | Instr::Mrc { .. }
+            | Instr::Mcr { .. }
+            | Instr::MsrCpsr { .. }
+            | Instr::VfpOp { .. } => FastClass::Sideband,
+            Instr::Halt | Instr::Svc { .. } | Instr::Wfi => FastClass::Exit,
+        }
+    }
+
+    /// True for control transfers: a basic block ends *after* one of these
+    /// (the instruction itself is still part of the block).
+    pub fn is_control_transfer(self) -> bool {
+        matches!(
+            self,
+            Instr::B { .. }
+                | Instr::Bl { .. }
+                | Instr::Ret
+                | Instr::Halt
+                | Instr::Svc { .. }
+                | Instr::Wfi
+        )
+    }
+
     /// Encode to the fixed 8-byte format.
     pub fn encode(self) -> [u8; 8] {
         let (op, a, b, c, imm): (u8, u8, u8, u8, u32) = match self {

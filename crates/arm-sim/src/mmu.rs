@@ -293,8 +293,9 @@ impl Mmu {
     /// Domain + permission check against the *current* DACR. Note the check
     /// happens on TLB hits too — this is what makes Mini-NOVA's DACR trick
     /// (Table II) work without TLB flushes when switching between guest
-    /// kernel and guest user.
-    fn check(
+    /// kernel and guest user. Crate-visible so the decoded-block executor
+    /// can reproduce the per-hit check without a full `translate`.
+    pub(crate) fn check(
         &self,
         entry: &TlbEntry,
         va: VirtAddr,

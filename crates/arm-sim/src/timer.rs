@@ -106,6 +106,23 @@ impl PrivateTimer {
         }
     }
 
+    /// Cycles of [`PrivateTimer::advance`] needed until the next expiry
+    /// that would pulse the interrupt line; `None` when the timer is
+    /// stopped or its IRQ output is disabled. Exact, not an estimate:
+    /// `advance(next_expiry_in() - 1)` never fires, `advance(next_expiry_in())`
+    /// does — which is what lets the block executor run decoded blocks
+    /// without syncing devices every instruction and still deliver the
+    /// tick at the identical instruction boundary.
+    pub fn next_expiry_in(&self) -> Option<u64> {
+        if !self.enabled || !self.irq_enable {
+            return None;
+        }
+        let per = self.prescale as u64 + 1;
+        // A zero counter fires on the very next tick (see `advance`).
+        let ticks = (self.counter as u64).max(1);
+        Some(ticks * per - self.residual)
+    }
+
     /// The interrupt line this timer drives.
     pub fn irq(&self) -> IrqNum {
         IrqNum::PRIVATE_TIMER
@@ -237,6 +254,23 @@ mod tests {
         assert_eq!(t.mmio_read(0x0C), 1);
         t.mmio_write(0x0C, 1);
         assert_eq!(t.mmio_read(0x0C), 0);
+    }
+
+    #[test]
+    fn next_expiry_is_exact() {
+        // The block executor relies on this being exact: advancing one
+        // cycle less than the reported deadline must never fire.
+        let mut t = PrivateTimer::new();
+        assert_eq!(t.next_expiry_in(), None, "stopped timer has no deadline");
+        t.program_periodic(Cycles::new(50));
+        t.prescale = 2; // one tick per 3 cycles
+        for _ in 0..5 {
+            let d = t.next_expiry_in().unwrap();
+            assert_eq!(t.advance(Cycles::new(d - 1)), 0, "early by one: silent");
+            assert_eq!(t.advance(Cycles::new(1)), 1, "exact: fires");
+        }
+        t.irq_enable = false;
+        assert_eq!(t.next_expiry_in(), None, "no IRQ output, no deadline");
     }
 
     #[test]

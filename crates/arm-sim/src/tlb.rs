@@ -74,7 +74,8 @@ pub struct TlbEntry {
 }
 
 impl TlbEntry {
-    fn matches(&self, va: VirtAddr, asid: Asid) -> bool {
+    /// True when this entry translates `va` under `asid`.
+    pub fn matches(&self, va: VirtAddr, asid: Asid) -> bool {
         let mask = !((1u64 << self.kind.shift()) - 1);
         (va.raw() & mask) == self.va_base && (self.global || self.asid == asid)
     }
@@ -164,6 +165,39 @@ impl Tlb {
         }
         self.stats.misses += 1;
         None
+    }
+
+    /// Probe for the slot a [`Tlb::lookup`] of `(va, asid)` would hit,
+    /// without counting or re-stamping: the same sets in the same order.
+    /// The decoded-block executor resolves the slot once and then credits
+    /// hits in bulk via [`Tlb::replay_hits`].
+    pub fn probe_slot(&self, va: VirtAddr, asid: Asid) -> Option<(usize, TlbEntry)> {
+        let small = self.set_slots(va.raw(), PageKind::Small);
+        let sect = self.set_slots(va.raw(), PageKind::Section);
+        for i in small.chain(sect) {
+            if let Some(e) = self.entries[i] {
+                if e.matches(va, asid) {
+                    return Some((i, e));
+                }
+            }
+        }
+        None
+    }
+
+    /// Entry currently held by `slot` (replay-hint verification).
+    #[inline]
+    pub fn entry_at(&self, slot: usize) -> Option<TlbEntry> {
+        self.entries[slot]
+    }
+
+    /// Credit `n` back-to-back hits on `slot`: exactly the bookkeeping `n`
+    /// consecutive [`Tlb::lookup`] calls hitting that slot perform (each
+    /// ticks once and re-stamps the slot, so only the final stamp survives).
+    #[inline]
+    pub fn replay_hits(&mut self, slot: usize, n: u64) {
+        self.tick += n;
+        self.stamps[slot] = self.tick;
+        self.stats.hits += n;
     }
 
     /// Insert a translation after a walk (per-set LRU replacement;

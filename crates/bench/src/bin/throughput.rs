@@ -1,0 +1,199 @@
+//! Host-throughput benchmark for the decoded basic-block cache (PR 5).
+//!
+//! Runs the Fig. 9-shaped 4-guest scenario — four MIR guests under full
+//! trap-and-emulate, interleaved by the scheduler with periodic timer
+//! traffic — for a fixed amount of *simulated* time, once with the block
+//! cache disabled (the per-instruction reference interpreter) and once
+//! enabled, and reports host MIPS (millions of simulated instructions
+//! retired per wall-clock second) for both. The simulated results are
+//! bit-identical by construction (see `tests/block_cache_lockstep.rs`);
+//! this binary measures only how fast the host gets them.
+//!
+//! Emits `target/experiments/BENCH_pr5.json`.
+//!
+//! Usage: `cargo run --release -p mnv-bench --bin throughput [--quick] [--check]`
+//!
+//! `--check` validates the emitted record (schema + block-cache hit ratio
+//! above 0.9 on this workload) and exits non-zero on violation — the CI
+//! perf-smoke entry point.
+
+use mini_nova::kernel::{GuestKind, Kernel, KernelConfig, VmSpec};
+use mini_nova::mirguest::MirGuest;
+use mnv_arm::mir::{AluOp, Cond, ProgramBuilder};
+use mnv_bench::write_json;
+use mnv_hal::{Cycles, Priority};
+use mnv_trace::json::Json;
+use mnv_ucos::layout as guest_layout;
+use std::time::Instant;
+
+/// One guest: a long-lived loop of ALU work with periodic memory traffic,
+/// the instruction mix the per-instruction interpreter spends its time on
+/// in the Fig. 9 runs. Sized to outlive any simulated horizon we use.
+fn worker(salt: u32) -> GuestKind {
+    let mut b = ProgramBuilder::new();
+    b.mov(0, salt);
+    b.mov(2, 0x3FFF_FFFF); // outer countdown: effectively infinite
+    b.mov(4, guest_layout::WORK_BASE.raw() as u32);
+    let top = b.label();
+    b.bind(top);
+    for i in 0..6 {
+        b.alu_imm(AluOp::Add, 0, 0, 13 + i);
+        b.alu(AluOp::Eor, 0, 0, 3);
+        b.alu_imm(AluOp::Lsr, 3, 0, 3);
+    }
+    b.str(0, 4, 8);
+    b.ldr(3, 4, 8);
+    b.alu_imm(AluOp::Sub, 2, 2, 1);
+    b.alu_imm(AluOp::Cmp, 2, 2, 0);
+    b.branch(Cond::Ne, top);
+    b.halt();
+    GuestKind::Mir(Box::new(MirGuest::new(
+        b.assemble(guest_layout::CODE_BASE.raw()),
+    )))
+}
+
+struct Measurement {
+    wall_s: f64,
+    instrs: u64,
+    mips: f64,
+    hits: u64,
+    misses: u64,
+    hit_ratio: f64,
+}
+
+fn measure(cache_on: bool, sim_ms: f64) -> Measurement {
+    let mut k = Kernel::new(KernelConfig {
+        quantum: Cycles::from_millis(1.0), // dense interleaving, like Fig. 9
+        ..KernelConfig::default()
+    });
+    k.machine.bcache.enabled = cache_on;
+    for i in 0..4u32 {
+        k.create_vm(VmSpec {
+            name: "fig9-guest",
+            priority: Priority::GUEST,
+            guest: worker(0x5EED + i),
+        });
+    }
+    let t0 = Instant::now();
+    k.run(Cycles::from_millis(sim_ms));
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    let instrs = k.machine.instructions_retired;
+    let s = &k.machine.bcache.stats;
+    Measurement {
+        wall_s,
+        instrs,
+        mips: instrs as f64 / wall_s / 1e6,
+        hits: s.hits,
+        misses: s.misses,
+        hit_ratio: s.hit_ratio(),
+    }
+}
+
+fn to_json(m: &Measurement) -> Json {
+    Json::obj([
+        ("wall_s", Json::Num(m.wall_s)),
+        ("instructions", Json::Num(m.instrs as f64)),
+        ("mips", Json::Num(m.mips)),
+        ("bcache_hits", Json::Num(m.hits as f64)),
+        ("bcache_misses", Json::Num(m.misses as f64)),
+        ("bcache_hit_ratio", Json::Num(m.hit_ratio)),
+    ])
+}
+
+/// Schema + invariant check over the emitted record; returns the failures.
+fn check(record: &Json, on: &Measurement, off: &Measurement) -> Vec<String> {
+    let mut errs = Vec::new();
+    let obj = match record.as_obj() {
+        Some(o) => o,
+        None => return vec!["BENCH_pr5 record is not an object".into()],
+    };
+    for key in ["workload", "sim_ms", "off", "on", "speedup"] {
+        if !obj.contains_key(key) {
+            errs.push(format!("missing key {key:?}"));
+        }
+    }
+    for side in ["off", "on"] {
+        let Some(m) = obj.get(side).and_then(|v| v.as_obj()) else {
+            errs.push(format!("{side:?} is not an object"));
+            continue;
+        };
+        for key in [
+            "wall_s",
+            "instructions",
+            "mips",
+            "bcache_hits",
+            "bcache_misses",
+            "bcache_hit_ratio",
+        ] {
+            if m.get(key).and_then(|v| v.as_num()).is_none() {
+                errs.push(format!("{side}.{key} missing or not a number"));
+            }
+        }
+    }
+    if off.hits + off.misses != 0 {
+        errs.push("reference run consulted the block cache".into());
+    }
+    if on.hits + on.misses == 0 {
+        errs.push("cached run never consulted the block cache".into());
+    } else if on.hit_ratio <= 0.9 {
+        errs.push(format!(
+            "block-cache hit ratio {:.3} ≤ 0.9 on the fig9 workload",
+            on.hit_ratio
+        ));
+    }
+    if on.instrs == 0 || off.instrs == 0 {
+        errs.push("a run retired zero instructions".into());
+    }
+    errs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sim_ms = if quick { 30.0 } else { 200.0 };
+
+    println!("SIMULATOR THROUGHPUT: decoded-block cache off vs on");
+    println!("(4 MIR guests, 1 ms slices, {sim_ms} ms simulated)\n");
+    let off = measure(false, sim_ms);
+    let on = measure(true, sim_ms);
+    assert_eq!(
+        on.instrs, off.instrs,
+        "the two executors must retire identical instruction counts"
+    );
+
+    println!(
+        "{:<22}{:>12}{:>14}{:>12}",
+        "executor", "wall s", "instrs", "MIPS"
+    );
+    for (name, m) in [("per-instruction", &off), ("block-cache", &on)] {
+        println!(
+            "{:<22}{:>12.3}{:>14}{:>12.2}",
+            name, m.wall_s, m.instrs, m.mips
+        );
+    }
+    let speedup = on.mips / off.mips;
+    println!(
+        "\nspeedup: {speedup:.2}x   hit ratio: {:.4} ({} hits / {} misses)",
+        on.hit_ratio, on.hits, on.misses
+    );
+
+    let record = Json::obj([
+        ("workload", Json::str("fig9-4guest-mir")),
+        ("sim_ms", Json::Num(sim_ms)),
+        ("off", to_json(&off)),
+        ("on", to_json(&on)),
+        ("speedup", Json::Num(speedup)),
+    ]);
+    write_json("BENCH_pr5", &record);
+
+    if args.iter().any(|a| a == "--check") {
+        let errs = check(&record, &on, &off);
+        if !errs.is_empty() {
+            for e in &errs {
+                eprintln!("CHECK FAILED: {e}");
+            }
+            std::process::exit(1);
+        }
+        println!("check: schema valid, hit ratio {:.4} > 0.9", on.hit_ratio);
+    }
+}

@@ -488,6 +488,26 @@ impl Kernel {
             r.add("tlb_refill", label, d.tlb_refill);
             r.add("pt_walks", label, d.pt_walks);
             r.add("exc_taken", label, d.exc_taken);
+            // Decoded-block cache counters are machine-global (blocks are
+            // keyed by ASID, not owned by the scheduled VM), so they mirror
+            // as gauges rather than per-label deltas.
+            #[cfg(feature = "block-cache")]
+            {
+                let s = &self.machine.bcache.stats;
+                r.set("bcache_hits", Label::Machine, s.hits);
+                r.set("bcache_misses", Label::Machine, s.misses);
+                r.set("bcache_replayed_instrs", Label::Machine, s.replayed_instrs);
+                r.set(
+                    "bcache_store_invalidations",
+                    Label::Machine,
+                    s.store_invalidations,
+                );
+                r.set(
+                    "bcache_maint_invalidations",
+                    Label::Machine,
+                    s.maint_invalidations,
+                );
+            }
         }
     }
 

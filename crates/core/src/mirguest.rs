@@ -75,7 +75,10 @@ impl MirGuest {
         let deadline = m.now() + grant;
         let start_retired = m.instructions_retired;
         while m.now() < deadline {
-            match m.step() {
+            // run_slice executes decoded basic blocks with event-driven
+            // device sync when the block cache is enabled; `Retired` means
+            // the slice deadline was reached with nothing to handle.
+            match m.run_slice(deadline) {
                 CpuEvent::Retired => continue,
                 CpuEvent::Halted => {
                     self.halted = true;

@@ -30,9 +30,15 @@ impl RunQueue {
     }
 
     /// Insert a PD into the run queue at its priority (tail of the circle).
+    /// Idempotent: enqueueing a VM that is already queued at this level is a
+    /// no-op, so racing wake-up paths (resume after an IRQ that the
+    /// dispatcher also observed) cannot create a duplicate entry — which in
+    /// a release build would let one VM occupy two round-robin slots.
     pub fn enqueue(&mut self, vm: VmId, prio: Priority) {
         let lvl = &mut self.levels[prio.0 as usize];
-        debug_assert!(!lvl.contains(&vm), "{vm} already queued");
+        if lvl.contains(&vm) {
+            return;
+        }
         lvl.push_back(vm);
     }
 
@@ -146,6 +152,32 @@ mod tests {
         q.resume(VmId(5), Priority::SERVICE);
         assert!(!q.is_suspended(VmId(5)));
         assert_eq!(q.current(), Some(VmId(5)));
+    }
+
+    #[test]
+    fn double_enqueue_is_idempotent() {
+        // Regression: this used to be a debug_assert only, so a release
+        // build would queue the VM twice and give it two round-robin slots.
+        let mut q = RunQueue::new();
+        q.enqueue(VmId(1), Priority::GUEST);
+        q.enqueue(VmId(2), Priority::GUEST);
+        q.enqueue(VmId(1), Priority::GUEST);
+        assert_eq!(q.runnable_count(), 2);
+        // Rotation still visits each VM exactly once per round.
+        assert_eq!(q.current(), Some(VmId(1)));
+        q.rotate(VmId(1));
+        assert_eq!(q.current(), Some(VmId(2)));
+        q.rotate(VmId(2));
+        assert_eq!(q.current(), Some(VmId(1)));
+    }
+
+    #[test]
+    fn resume_of_queued_vm_does_not_duplicate() {
+        let mut q = RunQueue::new();
+        q.enqueue(VmId(1), Priority::GUEST);
+        // A resume that races with the VM already being runnable.
+        q.resume(VmId(1), Priority::GUEST);
+        assert_eq!(q.runnable_count(), 1);
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub struct SchedStats {
     pub expirations: u64,
     /// Preemptions.
     pub preemptions: u64,
+    /// Voluntary idles (WFI / all tasks blocked).
+    pub idles: u64,
 }
 
 /// The scheduler: queues + quanta.
@@ -91,10 +93,18 @@ impl Scheduler {
                 granted.saturating_sub(used)
             }
             StopReason::Idled => {
-                // An idling VM keeps the slice remainder but yields the
-                // head so siblings can run.
+                // A voluntary yield ends the slice: rotate and *refill*.
+                // §III-D preserves the remainder only "at the preemption
+                // point"; treating idle like preemption would shrink a
+                // cooperative VM's grants monotonically (each WFI returns a
+                // smaller remainder, and nothing ever refills it short of
+                // running the sliver to expiry) — punishing exactly the
+                // guests that yield. Forfeiting the remainder keeps the
+                // §III-D invariant — "its total execution time slice is
+                // constant" — on every activation.
+                self.stats.idles += 1;
                 self.queue.rotate(vm);
-                granted.saturating_sub(used)
+                Cycles::ZERO
             }
         }
     }
@@ -164,7 +174,7 @@ mod tests {
     }
 
     #[test]
-    fn idle_keeps_remainder_but_rotates() {
+    fn idle_forfeits_remainder_and_rotates() {
         let mut s = Scheduler::new(Cycles::new(1000));
         s.add(VmId(1), Priority::GUEST);
         s.add(VmId(2), Priority::GUEST);
@@ -174,7 +184,24 @@ mod tests {
             Cycles::new(100),
             StopReason::Idled,
         );
-        assert_eq!(left, Cycles::new(900));
+        assert_eq!(left, Cycles::ZERO, "voluntary yield ends the slice");
         assert_eq!(s.queue.current(), Some(VmId(2)));
+        assert_eq!(s.stats.idles, 1);
+    }
+
+    #[test]
+    fn repeated_idling_does_not_shrink_grants() {
+        // Regression: idle used to preserve the remainder like preemption,
+        // so a VM that woke briefly and re-idled got monotonically smaller
+        // grants with no refill path. Every activation after an idle must
+        // grant the full slice again.
+        let mut s = Scheduler::new(Cycles::new(1000));
+        s.add(VmId(1), Priority::GUEST);
+        let mut left = Cycles::ZERO;
+        for _ in 0..5 {
+            let (_, grant) = s.pick(|_| left).unwrap();
+            assert_eq!(grant, Cycles::new(1000), "full slice on every activation");
+            left = s.stopped(VmId(1), grant, Cycles::new(50), StopReason::Idled);
+        }
     }
 }

@@ -28,7 +28,7 @@ use crate::bitstream::Bitstream;
 use crate::cores::make_core;
 use crate::fabric::FabricConfig;
 use crate::hwmmu::HwMmu;
-use crate::prr::{ctrl, regs, status, Prr};
+use crate::prr::{ctrl, regs, status, ExecState, Prr};
 
 /// Base physical address of the PL register window (AXI GP0 segment).
 pub const PL_GP_BASE: u64 = 0x4000_0000;
@@ -587,6 +587,29 @@ impl Peripheral for Pl {
                 }
             }
         }
+    }
+
+    fn next_event(&self, _now: Cycles) -> Option<u64> {
+        // Report the earliest *phase boundary*, not the full completion:
+        // each engine's later phase lengths are only computed when the
+        // previous phase ends, so the machine re-queries at every boundary
+        // and still lands the completion IRQ on the exact cycle. A stalled
+        // PCAP or a hung PRR holds its state until software intervenes and
+        // contributes no deadline.
+        let mut d: Option<u64> = None;
+        let mut merge = |v: u64| d = Some(d.map_or(v, |cur: u64| cur.min(v)));
+        if self.pcap.status == pcap_status::BUSY && !self.pcap.stalled {
+            merge(self.pcap.remaining);
+        }
+        for prr in &self.prrs {
+            match prr.state {
+                ExecState::Fetching { remaining }
+                | ExecState::Computing { remaining }
+                | ExecState::Writing { remaining } => merge(remaining),
+                _ => {}
+            }
+        }
+        d
     }
 
     fn as_any(&self) -> &dyn Any {
