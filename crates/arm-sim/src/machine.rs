@@ -9,6 +9,7 @@
 
 use mnv_fault::{FaultPlane, FaultSite};
 use mnv_hal::{Cycles, HalResult, IrqNum, PhysAddr, VirtAddr};
+use mnv_profile::Profiler;
 use mnv_trace::{TraceEvent, Tracer, TrapKind};
 
 use crate::blockcache::BlockCache;
@@ -145,6 +146,10 @@ pub struct Machine {
     /// switch in `bcache.enabled`; the fast path additionally requires the
     /// `block-cache` cargo feature.
     pub bcache: BlockCache,
+    /// Sampling profiler + flight recorder handle (disabled by default;
+    /// the kernel installs a shared one). Consulted at instruction
+    /// boundaries only — see [`Machine::profile_poll`].
+    pub profiler: Profiler,
     clock: Cycles,
     last_sync: Cycles,
     periphs: Vec<Box<dyn Peripheral>>,
@@ -181,6 +186,7 @@ impl Machine {
             exceptions_taken: 0,
             pmu: Pmu::default(),
             bcache: BlockCache::default(),
+            profiler: Profiler::disabled(),
             clock: Cycles::ZERO,
             last_sync: Cycles::ZERO,
             periphs: Vec::new(),
@@ -259,6 +265,12 @@ impl Machine {
                     site: FaultSite::IrqSpurious as u8,
                 },
             );
+            self.profiler.record_event(
+                now,
+                TraceEvent::FaultInjected {
+                    site: FaultSite::IrqSpurious as u8,
+                },
+            );
         }
         if self.fault.due(FaultSite::IrqStorm, now) {
             // A storm asserts every fabric line at once — the worst case
@@ -268,6 +280,12 @@ impl Machine {
             }
             self.log.push(now, SimEvent::Marker("irq-storm"));
             self.tracer.emit(
+                now,
+                TraceEvent::FaultInjected {
+                    site: FaultSite::IrqStorm as u8,
+                },
+            );
+            self.profiler.record_event(
                 now,
                 TraceEvent::FaultInjected {
                     site: FaultSite::IrqStorm as u8,
@@ -290,6 +308,12 @@ impl Machine {
                                 site: FaultSite::MemFlip as u8,
                             },
                         );
+                        self.profiler.record_event(
+                            now,
+                            TraceEvent::FaultInjected {
+                                site: FaultSite::MemFlip as u8,
+                            },
+                        );
                     }
                 }
             }
@@ -307,6 +331,7 @@ impl Machine {
             let step = (deadline - self.clock).raw().min(64);
             self.charge(step);
             self.sync_devices();
+            self.profile_poll();
         }
         self.clock - start
     }
@@ -387,6 +412,12 @@ impl Machine {
                         site: FaultSite::AxiReadError as u8,
                     },
                 );
+                self.profiler.record_event(
+                    self.clock,
+                    TraceEvent::FaultInjected {
+                        site: FaultSite::AxiReadError as u8,
+                    },
+                );
                 return Ok(0xFFFF_FFFF);
             }
             let Machine {
@@ -438,6 +469,12 @@ impl Machine {
                 // channel; the store itself never reaches the device).
                 self.log.push(self.clock, SimEvent::Marker("axi-write-err"));
                 self.tracer.emit(
+                    self.clock,
+                    TraceEvent::FaultInjected {
+                        site: FaultSite::AxiWriteError as u8,
+                    },
+                );
+                self.profiler.record_event(
                     self.clock,
                     TraceEvent::FaultInjected {
                         site: FaultSite::AxiWriteError as u8,
@@ -667,6 +704,27 @@ impl Machine {
         }
     }
 
+    /// Take a profile sample if the clock has reached the profiler's next
+    /// sample deadline. Pure observation — it reads the PC, ASID and mode
+    /// and never charges cycles, syncs devices or touches cache/TLB state
+    /// — so a profiled run is bit-identical to an unprofiled one. Both
+    /// executors call this at instruction boundaries (the block executor
+    /// additionally folds the sample deadline into its batch bound so a
+    /// decoded run never strides over a sample point), which makes the
+    /// fast and reference paths sample at identical boundaries.
+    #[inline]
+    pub fn profile_poll(&self) {
+        if self.clock.raw() < self.profiler.next_deadline() {
+            return;
+        }
+        self.profiler.poll(
+            self.clock,
+            self.cpu.pc,
+            self.cp15.asid().0,
+            self.cpu.cpsr.mode.is_privileged(),
+        );
+    }
+
     // -- program loading --------------------------------------------------------
 
     /// Load an assembled MIR program at its base address *physically* (the
@@ -804,6 +862,7 @@ impl Machine {
             return self.run_slice_fast(deadline);
         }
         while self.clock < deadline {
+            self.profile_poll();
             match self.step() {
                 CpuEvent::Retired => {}
                 ev => return ev,
@@ -947,6 +1006,9 @@ impl Machine {
                 }
                 return CpuEvent::Retired;
             }
+            // Sample before the boundary's IRQ poll, exactly where the
+            // reference path samples (before `step()`'s `poll_irq`).
+            self.profile_poll();
             if self.clock >= dev_deadline {
                 if let Some(ev) = self.poll_irq() {
                     if let Some(k) = rec_key.take() {
@@ -1024,11 +1086,18 @@ impl Machine {
                 if run.start as usize != r.idx {
                     break 'batch;
                 }
-                let dl = if deadline < dev_deadline {
+                let mut dl = if deadline < dev_deadline {
                     deadline
                 } else {
                     dev_deadline
                 };
+                // A pure run may not stride over a sample deadline: the
+                // reference path checks it at every instruction boundary,
+                // so the batch must end there too.
+                let sample_dl = Cycles::new(self.profiler.next_deadline());
+                if sample_dl < dl {
+                    dl = sample_dl;
+                }
                 if self.clock + Cycles::new(run.cost_before_last) >= dl {
                     break 'batch;
                 }

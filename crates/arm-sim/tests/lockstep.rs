@@ -14,235 +14,12 @@
 
 #![cfg(feature = "block-cache")]
 
-use mnv_arm::cpu::{CpuEvent, ExceptionKind};
-use mnv_arm::machine::{bare_machine, Machine, UndKind};
-use mnv_arm::mir::{AluOp, Cond, Instr, MirCp15, Program, ProgramBuilder, INSTR_SIZE};
+mod common;
+
+use common::{advance, assert_same, gen_program, service, Lcg, CODE_BASE};
+use mnv_arm::machine::bare_machine;
 use mnv_arm::psr::Psr;
 use mnv_hal::{Cycles, IrqNum, PhysAddr};
-
-/// Minimal 64-bit LCG (Knuth MMIX constants) for deterministic fuzzing.
-struct Lcg(u64);
-
-impl Lcg {
-    fn new(seed: u64) -> Self {
-        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 1
-    }
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 16) as u32
-    }
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next_u64() % (hi - lo)
-    }
-}
-
-const CODE_BASE: u64 = 0x8000;
-/// Data traffic targets a different 64 KiB code-tracking chunk than the
-/// program, like a real guest's layout (stores into the code chunk are
-/// legal too — they just conservatively invalidate, which the fault-flip
-/// test exercises on purpose).
-const DATA_BASE: u32 = 0x2_0000;
-
-const ALU_OPS: [AluOp; 8] = [
-    AluOp::Add,
-    AluOp::Sub,
-    AluOp::And,
-    AluOp::Orr,
-    AluOp::Eor,
-    AluOp::Mul,
-    AluOp::Lsl,
-    AluOp::Lsr,
-];
-
-/// Generate a random program: r0–r5 data, r6 the data pointer, r8–r11 loop
-/// counters. Backward branches are guarded by a compare-and-skip on a
-/// dedicated counter so every program terminates (modulo the explicit
-/// instruction budget enforced by the harness deadline).
-fn gen_program(rng: &mut Lcg) -> Program {
-    let mut b = ProgramBuilder::new();
-    for r in 0..6u8 {
-        b.mov(r, rng.next_u32() & 0xFFFF);
-    }
-    b.mov(6, DATA_BASE + rng.range(0, 64) as u32 * 8);
-    let counters = [8u8, 9, 10, 11];
-    for &c in &counters {
-        b.mov(c, 2 + rng.range(0, 6) as u32);
-    }
-    let mut bound = Vec::new();
-    let nblocks = rng.range(3, 7);
-    for bi in 0..nblocks {
-        let l = b.label();
-        b.bind(l);
-        bound.push(l);
-        for _ in 0..rng.range(3, 12) {
-            let rd = rng.range(0, 6) as u8;
-            let rn = rng.range(0, 6) as u8;
-            let rm = rng.range(0, 6) as u8;
-            match rng.range(0, 16) {
-                0..=3 => {
-                    b.alu(ALU_OPS[rng.range(0, 8) as usize], rd, rn, rm);
-                }
-                4..=6 => {
-                    b.alu_imm(
-                        ALU_OPS[rng.range(0, 8) as usize],
-                        rd,
-                        rn,
-                        rng.next_u32() & 0xFF,
-                    );
-                }
-                7 => {
-                    b.mov(rd, rng.next_u32());
-                }
-                8..=9 => {
-                    b.str(rd, 6, rng.range(0, 32) as u32 * 4);
-                }
-                10..=11 => {
-                    b.ldr(rd, 6, rng.range(0, 32) as u32 * 4);
-                }
-                12 => {
-                    b.compute(1 + rng.range(0, 60) as u32);
-                }
-                13 => {
-                    b.push(Instr::MrsCpsr { rd });
-                }
-                14 => {
-                    // PL0-readable CP15: executes without trapping.
-                    b.push(Instr::Mrc {
-                        rd,
-                        reg: MirCp15::Tpidruro,
-                    });
-                }
-                15 => match rng.range(0, 4) {
-                    0 => {
-                        b.svc(rng.next_u32() as u8);
-                    }
-                    1 => {
-                        // USR-mode MSR: silently updates flags only.
-                        b.push(Instr::MsrCpsr { rs: rn });
-                    }
-                    2 => {
-                        // Privileged CP15 write from USR: traps Undefined.
-                        b.push(Instr::Mcr {
-                            reg: MirCp15::Dacr,
-                            rs: rn,
-                        });
-                    }
-                    _ => {
-                        // First use traps UndKind::VfpAccess (lazy switch).
-                        b.push(Instr::VfpOp {
-                            op: rng.range(0, 2) as u8,
-                            rd: rd & 3,
-                            rn: rn & 3,
-                            rm: rm & 3,
-                        });
-                    }
-                },
-                _ => unreachable!(),
-            }
-        }
-        // Guarded backward branch: `if ctr != 0 { ctr -= 1; goto earlier }`.
-        // The compare-first shape cannot wrap the counter, so each counter
-        // bounds the total number of jumps across every site sharing it.
-        if bi > 0 && rng.range(0, 100) < 60 {
-            let c = counters[(bi - 1) as usize % counters.len()];
-            let target = bound[rng.range(0, bound.len() as u64 - 1) as usize];
-            let skip = b.label();
-            b.alu_imm(AluOp::Cmp, c, c, 0);
-            b.branch(Cond::Eq, skip);
-            b.alu_imm(AluOp::Sub, c, c, 1);
-            b.branch(Cond::Al, target);
-            b.bind(skip);
-        }
-    }
-    b.halt();
-    b.assemble(CODE_BASE)
-}
-
-/// Full architectural-state comparison. Anything observable by a guest or
-/// by the kernel's accounting must match exactly.
-fn assert_same(seed: u64, at: &str, fast: &Machine, slow: &Machine) {
-    assert_eq!(fast.now(), slow.now(), "seed {seed} @ {at}: clock");
-    assert_eq!(
-        fast.instructions_retired, slow.instructions_retired,
-        "seed {seed} @ {at}: retired"
-    );
-    assert_eq!(fast.cpu.pc, slow.cpu.pc, "seed {seed} @ {at}: pc");
-    assert_eq!(fast.cpu.cpsr, slow.cpu.cpsr, "seed {seed} @ {at}: cpsr");
-    for r in 0..15u8 {
-        assert_eq!(fast.cpu.reg(r), slow.cpu.reg(r), "seed {seed} @ {at}: r{r}");
-    }
-    assert_eq!(
-        fast.pmu_inputs(),
-        slow.pmu_inputs(),
-        "seed {seed} @ {at}: PMU inputs"
-    );
-    assert_eq!(
-        fast.ptimer.expiries, slow.ptimer.expiries,
-        "seed {seed} @ {at}: timer expiries"
-    );
-    assert_eq!(
-        fast.gic.is_pending(IrqNum::PRIVATE_TIMER),
-        slow.gic.is_pending(IrqNum::PRIVATE_TIMER),
-        "seed {seed} @ {at}: timer IRQ pending"
-    );
-}
-
-/// Run until `deadline` or the first non-Retired event.
-fn advance(m: &mut Machine, deadline: Cycles) -> Option<CpuEvent> {
-    while m.now() < deadline {
-        match m.run_slice(deadline) {
-            CpuEvent::Retired => {}
-            ev => return Some(ev),
-        }
-    }
-    None
-}
-
-/// Minimal trap servicing, mirroring what `MirGuest::handle_exception`
-/// does: IRQs are acked, SVCs return, Undefined is emulated or skipped.
-/// Returns false when the program is over (halt/WFI/abort).
-fn service(m: &mut Machine, ev: CpuEvent) -> bool {
-    match ev {
-        CpuEvent::Halted | CpuEvent::Wfi => false,
-        CpuEvent::Exception(ExceptionKind::Irq) => {
-            if let Some(irq) = m.gic.ack() {
-                m.gic.eoi(irq);
-            }
-            let ret = m.cpu.reg(14);
-            m.exception_return(ret);
-            true
-        }
-        CpuEvent::Exception(ExceptionKind::Svc) => {
-            let _ = m.last_svc.take();
-            let ret = m.cpu.reg(14);
-            m.exception_return(ret);
-            true
-        }
-        CpuEvent::Exception(ExceptionKind::Undefined) => {
-            let cause = m.last_und.take().expect("UND without cause");
-            let pc = cause.pc.raw() as u32;
-            match cause.kind {
-                UndKind::VfpAccess => {
-                    m.vfp.enabled = true;
-                    m.exception_return(pc); // retry with VFP on
-                }
-                _ => m.exception_return(pc.wrapping_add(INSTR_SIZE as u32)),
-            }
-            true
-        }
-        // A fault-flipped branch target can point into unmapped space;
-        // both machines must get there identically, then we stop.
-        CpuEvent::Exception(ExceptionKind::PrefetchAbort)
-        | CpuEvent::Exception(ExceptionKind::DataAbort) => false,
-        ev => panic!("unexpected event {ev:?}"),
-    }
-}
 
 /// Build the machine pair, run them over an identical slice schedule, and
 /// assert state identity at every slice boundary and every event.

@@ -6,14 +6,21 @@
 //! With `--attrib` (requires `--features metrics`) it additionally prints
 //! the cache/TLB-pollution attribution table — per-VM D-cache/TLB refill
 //! counts for 1–4 multiplexed VMs — turning the figure's explanation into
-//! measured data, and folds the counts into `BENCH_pr4.json`.
+//! measured data, and folds the counts into `BENCH_pr4.json`. With the
+//! `profile` feature on, the attribution gains a "where" breakdown: sampled
+//! cycles per (VM, hypercall/DPR-stage) context.
 //!
-//! Usage: `cargo run --release -p mnv-bench --bin fig9 [--quick] [--no-trace] [--attrib]`
+//! With `--profile` (requires `--features profile`) it runs the 4-guest
+//! workload under the 10 µs PC sampler and writes the flame-graph input
+//! (`fig9.collapsed.txt`) plus Perfetto sample-rate counter tracks
+//! (`fig9.profile.trace.json`). Same seed ⇒ byte-identical profile.
+//!
+//! Usage: `cargo run --release -p mnv-bench --bin fig9 [--quick] [--no-trace] [--attrib] [--profile]`
 
 use mnv_bench::attrib::{format_attrib, measure_attrib};
 use mnv_bench::{
-    fig9_rows, measure_native, measure_virtualized, traced_run, write_artifact, write_json,
-    Table3Config,
+    fig9_rows, measure_native, measure_virtualized, profiled_run, traced_run, write_artifact,
+    write_json, Table3Config,
 };
 use mnv_trace::json::Json;
 
@@ -78,11 +85,49 @@ fn main() {
             "attrib",
             Json::Arr(reports.iter().map(|r| r.to_json()).collect()),
         ));
+
+        // The "where" next to the attribution's "who": sampled cycles per
+        // (VM, hypercall/DPR-stage) kernel context over the 4-guest run.
+        let profiler = profiled_run(4, &cfg, 30.0);
+        if profiler.is_enabled() {
+            println!("WHERE (PC samples per VM and kernel context, 4 guests, 30 ms):");
+            for (frame, n) in profiler.hot_contexts().into_iter().take(12) {
+                println!("  {n:>8}  {frame}");
+            }
+            println!();
+        } else {
+            eprintln!("warning: profiler is inert — rerun with `--features profile` for the context breakdown");
+        }
+    }
+
+    if args.iter().any(|a| a == "--profile") {
+        let profiler = profiled_run(4, &cfg, 30.0);
+        if profiler.is_enabled() {
+            write_artifact("fig9.collapsed.txt", &profiler.collapsed());
+            write_artifact("fig9.profile.trace.json", &profiler.perfetto_counters());
+            println!(
+                "\nPROFILE (10 us PC sampling, 4 guests, 30 ms simulated): {} samples, {:.1}% attributed",
+                profiler.total_samples(),
+                100.0 * profiler.attributed_fraction()
+            );
+            for (stack, n) in profiler.top_k(10) {
+                println!("  {n:>8}  {stack}");
+            }
+            println!("(feed target/experiments/fig9.collapsed.txt to any flame-graph renderer)");
+        } else {
+            eprintln!("warning: profiler is inert — rerun with `--features profile`");
+        }
     }
     write_json("BENCH_pr4", &Json::obj(bench));
 
     if !args.iter().any(|a| a == "--no-trace") {
         let tracer = traced_run(4, &cfg, 30.0);
+        if tracer.dropped() > 0 {
+            eprintln!(
+                "warning: trace ring wrapped — {} earlier events missing from fig9.trace.json",
+                tracer.dropped()
+            );
+        }
         write_artifact("fig9.trace.json", &tracer.export_chrome());
         eprintln!("(load target/experiments/fig9.trace.json in Perfetto / chrome://tracing)");
     }

@@ -6,19 +6,25 @@
 //! wide fabric counters. Every column is a snapshot *delta* over the
 //! frame's window, so the display shows rates, not lifetime totals.
 //!
+//! With the `profile` feature on, each frame adds a hot-spot pane: the
+//! hottest sampled PCs (with VM and kernel-context annotations) and the
+//! sampled-cycle share per (VM, hypercall/DPR-stage) context.
+//!
 //! Usage:
-//!   cargo run --release -p mnv-bench --features metrics --bin mnvtop -- \
+//!   cargo run --release -p mnv-bench --features metrics,profile --bin mnvtop -- \
 //!     [--guests N] [--frames N] [--interval-ms F] [--plain]
 //!
 //! `--plain` disables the ANSI clear-screen between frames (the default
 //! when stdout is not a terminal), so output can be piped to a file.
 
+use std::collections::BTreeMap;
 use std::io::IsTerminal;
 
 use mnv_bench::attrib::AttribRow;
 use mnv_bench::table3::{build_kernel, quick_config};
 use mnv_hal::Cycles;
 use mnv_metrics::{Label, Snapshot};
+use mnv_profile::Profiler;
 
 fn arg_val(args: &[String], name: &str) -> Option<f64> {
     args.iter()
@@ -41,10 +47,18 @@ fn main() {
         eprintln!("warning: metrics registry is inert — rebuild with `--features metrics`");
         eprintln!("         (frames below will show zeros)");
     }
+    let profiler = k.enable_profiling(mnv_profile::DEFAULT_PERIOD);
+    if !profiler.is_enabled() {
+        eprintln!(
+            "note: profiler is inert — add `profile` to the feature list for the hot-spot pane"
+        );
+    }
 
     // Short warm-up so caches/TLBs and the scheduler reach steady state.
     k.run(Cycles::from_millis(5.0 * guests as f64));
     let mut prev = reg.snapshot();
+    let mut prev_pcs = counts_map(&profiler.top_k(usize::MAX));
+    let mut prev_ctxs = counts_map(&profiler.hot_contexts());
 
     for frame in 0..frames {
         k.run(Cycles::from_millis(interval_ms));
@@ -55,7 +69,49 @@ fn main() {
             print!("\x1b[2J\x1b[H");
         }
         render(frame, interval_ms, &d, &k.state.metrics.snapshot());
+        if profiler.is_enabled() {
+            render_hot(&profiler, &mut prev_pcs, &mut prev_ctxs);
+        }
     }
+}
+
+fn counts_map(cur: &[(String, u64)]) -> BTreeMap<String, u64> {
+    cur.iter().map(|(k, n)| (k.clone(), *n)).collect()
+}
+
+/// Per-frame delta of a cumulative (bucket, samples) list, hottest first.
+fn delta_counts(cur: &[(String, u64)], prev: &mut BTreeMap<String, u64>) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = cur
+        .iter()
+        .map(|(k, n)| (k.clone(), n - prev.get(k).copied().unwrap_or(0)))
+        .filter(|(_, n)| *n > 0)
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    *prev = counts_map(cur);
+    out
+}
+
+/// The hot-spot pane: the frame's hottest sampled PCs and its sampled-cycle
+/// share per (VM, hypercall/DPR-stage) kernel context.
+fn render_hot(
+    profiler: &Profiler,
+    prev_pcs: &mut BTreeMap<String, u64>,
+    prev_ctxs: &mut BTreeMap<String, u64>,
+) {
+    let pcs = delta_counts(&profiler.top_k(usize::MAX), prev_pcs);
+    let ctxs = delta_counts(&profiler.hot_contexts(), prev_ctxs);
+    let frame_total: u64 = ctxs.iter().map(|(_, n)| n).sum();
+    println!("hot PCs (10 us samples this frame):");
+    for (stack, n) in pcs.iter().take(5) {
+        println!("  {n:>6}  {stack}");
+    }
+    let mut ctx_line = String::from("hot contexts:  ");
+    for (frame, n) in ctxs.iter().take(6) {
+        let pct = 100.0 * *n as f64 / frame_total.max(1) as f64;
+        ctx_line.push_str(&format!("{frame} {pct:.0}%  "));
+    }
+    println!("{ctx_line}");
+    println!();
 }
 
 fn row_of(d: &Snapshot, label: Label) -> AttribRow {

@@ -79,6 +79,12 @@ fn main() {
 
     if !args.iter().any(|a| a == "--no-trace") {
         let tracer = traced_run(2, &cfg, 30.0);
+        if tracer.dropped() > 0 {
+            eprintln!(
+                "warning: trace ring wrapped — {} earlier events missing from table3.trace.json",
+                tracer.dropped()
+            );
+        }
         write_artifact("table3.trace.json", &tracer.export_chrome());
         println!("\nTrace summary of the 2-guest timeline (30 ms simulated):\n");
         println!("{}", tracer.summary(12));

@@ -24,8 +24,8 @@ pub mod hostbench;
 pub mod table3;
 
 pub use table3::{
-    fig9_rows, measure_native, measure_virtualized, recon_delay, traced_run, Metric, Row,
-    Table3Config,
+    fig9_rows, measure_native, measure_virtualized, profiled_run, recon_delay, traced_run, Metric,
+    Row, Table3Config,
 };
 
 use mnv_trace::json::Json;

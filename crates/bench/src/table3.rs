@@ -18,6 +18,7 @@ use mini_nova::kernel::{GuestKind, Kernel, KernelConfig, VmSpec};
 use mini_nova::native::NativeHarness;
 use mini_nova::stats::{Acc, HwMgrStats};
 use mnv_hal::{Cycles, HwTaskId, Priority};
+use mnv_profile::Profiler;
 use mnv_trace::json::Json;
 use mnv_trace::Tracer;
 use mnv_ucos::kernel::{Ucos, UcosConfig};
@@ -210,6 +211,18 @@ pub fn traced_run(n: usize, cfg: &Table3Config, trace_ms: f64) -> Tracer {
     let tracer = k.enable_tracing(1 << 20);
     k.run(Cycles::from_millis(trace_ms));
     tracer
+}
+
+/// Run one virtualized configuration with the sampling profiler enabled
+/// and return the profiler handle. Sampling is pure observation, so the
+/// run is bit-identical to an unprofiled one; same `n`/`cfg`/duration
+/// means a byte-identical collapsed profile. Inert (but still safe to
+/// query) without the `profile` feature.
+pub fn profiled_run(n: usize, cfg: &Table3Config, profile_ms: f64) -> Profiler {
+    let mut k = build_kernel(n, cfg.seeds.first().copied().unwrap_or(11), cfg);
+    let profiler = k.enable_profiling(mnv_profile::DEFAULT_PERIOD);
+    k.run(Cycles::from_millis(profile_ms));
+    profiler
 }
 
 /// Measure the native baseline (manager as a uC/OS-II function).

@@ -20,6 +20,7 @@ use mnv_fpga::prr::status as prr_status;
 use mnv_hal::abi::{data_section, hw_task_result, HcError, HwTaskState, HwTaskStatus};
 use mnv_hal::{Domain, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
 use mnv_metrics::{Label, Registry};
+use mnv_profile::{Profiler, SampleCtx};
 use mnv_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
@@ -128,6 +129,11 @@ pub struct HwMgr {
     /// `enable_metrics` installed a live clone); mirrors the fault-path
     /// counters so harnesses can cross-check them against `KernelStats`.
     pub metrics: Registry,
+    /// Profiler handle (a disabled no-op unless the kernel's
+    /// `enable_profiling` installed a live clone): samples taken inside
+    /// the allocation routine attribute to the active Fig. 7 stage, and
+    /// quarantine / watchdog aborts trigger post-mortem dumps.
+    pub profiler: Profiler,
 }
 
 fn ctrl_reg(off: u64) -> PhysAddr {
@@ -150,6 +156,7 @@ impl HwMgr {
             max_pcap_retries: DEFAULT_MAX_PCAP_RETRIES,
             native,
             metrics: Registry::disabled(),
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -174,6 +181,15 @@ impl HwMgr {
                 .access(pa, mnv_arm::cache::MemAccessKind::Fetch, false);
             m.charge(cost);
         }
+    }
+
+    /// Mark entry into stage `stage` (1-6 of Fig. 7): samples taken until
+    /// the next marker attribute to it, and the transition is logged in
+    /// the flight-recorder ring.
+    fn stage(&self, m: &Machine, stage: u8) {
+        self.profiler.swap_ctx(SampleCtx::DprStage(stage));
+        self.profiler
+            .record_event(m.now(), TraceEvent::DprStage { stage });
     }
 
     /// The manager's allocation algorithm: request validation, policy
@@ -308,6 +324,30 @@ impl HwMgr {
         iface_va: VirtAddr,
         data_va: VirtAddr,
     ) -> Result<u32, HcError> {
+        // Stage attribution brackets the whole allocation routine; the
+        // caller's context (the HwTaskRequest hypercall) is restored on
+        // every exit path, early returns included.
+        let outer = self.profiler.swap_ctx(SampleCtx::DprStage(1));
+        self.profiler
+            .record_event(m.now(), TraceEvent::DprStage { stage: 1 });
+        let r = self.request_inner(m, pds, pt, stats, tracer, caller, task, iface_va, data_va);
+        self.profiler.swap_ctx(outer);
+        r
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn request_inner(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        caller: VmId,
+        task: HwTaskId,
+        iface_va: VirtAddr,
+        data_va: VirtAddr,
+    ) -> Result<u32, HcError> {
         self.touch_code(m, 24);
         stats.hwmgr.invocations += 1;
         self.charge_allocation_work(m);
@@ -380,6 +420,7 @@ impl HwMgr {
                 | hw_task_result::DEGRADED);
         }
 
+        self.stage(m, 2);
         let Some(prr) = self.select_prr(m, &entry_prrs, task) else {
             if !entry_prrs.is_empty() && entry_prrs.iter().all(|&p| self.prrs.entry(p).quarantined)
             {
@@ -405,6 +446,7 @@ impl HwMgr {
         }
 
         // Stage 3: map the interface page into the caller.
+        self.stage(m, 3);
         if !self.native {
             let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
             pagetable::map_page(
@@ -425,6 +467,7 @@ impl HwMgr {
         }
 
         // Stage 4: load the hwMMU with the client's data section.
+        self.stage(m, 4);
         self.program_hwmmu(m, prr, ds);
 
         // §IV-D: allocate a PL IRQ line and register it in the vGIC. The
@@ -462,6 +505,7 @@ impl HwMgr {
 
         // Stage 5: launch the PCAP download if the task is not resident.
         if needs_reconfig {
+            self.stage(m, 5);
             stats.hwmgr.reconfigs += 1;
             self.metrics.inc("hwmgr_reconfigs", Label::Machine);
             let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_SRC), bit_addr.raw() as u32);
@@ -484,8 +528,10 @@ impl HwMgr {
             }
             // Stage 6: return immediately with the reconfig flag — the
             // manager "does not check the completion of the PCAP transfer".
+            self.stage(m, 6);
             return Ok(HwTaskStatus::Reconfiguring as u32 | ((prr as u32) << 8) | (line_idx << 16));
         }
+        self.stage(m, 6);
         Ok(HwTaskStatus::Success as u32 | ((prr as u32) << 8) | (line_idx << 16))
     }
 
@@ -655,6 +701,11 @@ impl HwMgr {
             let status = m.phys_read_u32(ctrl_reg(plregs::PCAP_STATUS)).unwrap_or(0);
             if status == pcap_status::BUSY && now > job.stall_deadline() {
                 let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_CTRL), 0b10);
+                if self.profiler.is_enabled() {
+                    let ctx = crate::postmortem::context(m, pds, Some(job.vm), &self.metrics);
+                    self.profiler
+                        .trigger_dump("pcap-watchdog-abort", m.now(), ctx);
+                }
             }
         }
 
@@ -693,6 +744,13 @@ impl HwMgr {
         stats.hwmgr.quarantines += 1;
         self.metrics.inc("quarantines", Label::Machine);
         tracer.emit(m.now(), TraceEvent::PrrQuarantine { prr });
+        self.profiler
+            .record_event(m.now(), TraceEvent::PrrQuarantine { prr });
+        if self.profiler.is_enabled() {
+            let vm = self.prrs.entry(prr).client;
+            let ctx = crate::postmortem::context(m, pds, vm, &self.metrics);
+            self.profiler.trigger_dump("prr-quarantine", m.now(), ctx);
+        }
         self.busy_since[prr as usize] = None;
         self.prrs.entry_mut(m, prr).quarantined = true;
 
@@ -938,6 +996,13 @@ impl HwMgr {
                         stats.hwmgr.pcap_retries += 1;
                         self.metrics.inc("pcap_retries", Label::Machine);
                         tracer.emit(
+                            m.now(),
+                            TraceEvent::PcapRetry {
+                                prr: job.prr,
+                                attempt: job.attempts,
+                            },
+                        );
+                        self.profiler.record_event(
                             m.now(),
                             TraceEvent::PcapRetry {
                                 prr: job.prr,

@@ -15,6 +15,7 @@ use mnv_arm::machine::Machine;
 use mnv_hal::abi::{vm_stats, HcError, Hypercall, HypercallArgs};
 use mnv_hal::{Cycles, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
 use mnv_metrics::Label;
+use mnv_profile::SampleCtx;
 use mnv_trace::{MgrPhase, TraceEvent, TrapKind};
 
 use crate::ipc;
@@ -82,7 +83,14 @@ pub fn hypercall_from_trap(
     ks.metrics.inc("hypercalls", Label::Vm(caller.0 as u8));
     ks.tracer
         .emit(m.now(), TraceEvent::Hypercall { nr: args.nr.nr() });
-    dispatch(m, ks, caller, args)
+    ks.profiler
+        .record_event(m.now(), TraceEvent::Hypercall { nr: args.nr.nr() });
+    // Samples taken while the dispatcher runs attribute to this hypercall
+    // (nested contexts restore on the way out, e.g. a DPR stage inside).
+    let outer = ks.profiler.swap_ctx(SampleCtx::Hypercall(args.nr.nr()));
+    let r = dispatch(m, ks, caller, args);
+    ks.profiler.swap_ctx(outer);
+    r
 }
 
 fn dispatch(

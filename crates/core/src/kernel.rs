@@ -11,6 +11,7 @@ use mnv_fpga::fabric::FabricConfig;
 use mnv_fpga::pl::{Pl, PlConfig};
 use mnv_hal::{Cycles, Domain, HwTaskId, PhysAddr, Priority, VirtAddr, VmId};
 use mnv_metrics::{Label, Registry};
+use mnv_profile::Profiler;
 use mnv_trace::{TraceEvent, Tracer};
 use mnv_ucos::kernel::{RunExit, Ucos};
 use std::collections::BTreeMap;
@@ -118,6 +119,10 @@ pub struct KernelState {
     /// accounting charges `machine.pmu_inputs() - meter_base` to whichever
     /// world ran since (the VM on switch-out, the host otherwise).
     pub meter_base: PmuInputs,
+    /// Sampling profiler + flight recorder (disabled unless
+    /// [`Kernel::enable_profiling`] is called; shared with the machine,
+    /// the Hardware Task Manager and the PL peripheral).
+    pub profiler: Profiler,
 }
 
 /// The composed kernel.
@@ -171,6 +176,7 @@ impl Kernel {
             tracer: Tracer::disabled(),
             metrics: Registry::disabled(),
             meter_base: PmuInputs::default(),
+            profiler: Profiler::disabled(),
         };
         Kernel {
             machine,
@@ -211,6 +217,27 @@ impl Kernel {
         r
     }
 
+    /// Turn on the cycle-driven sampling profiler and the flight recorder:
+    /// the kernel, the machine and the Hardware Task Manager (and through
+    /// them the PL peripheral) share one profiler, so samples carry the
+    /// (VM, hypercall/DPR-stage) annotations and diagnostic events land in
+    /// one last-N ring. `period` is the sampling period in cycles
+    /// ([`mnv_profile::DEFAULT_PERIOD`] is 10 us of simulated time).
+    /// Sampling is pure observation — a profiled run is bit-identical to
+    /// an unprofiled one. Without the `profile` feature this returns an
+    /// inert handle and every probe stays an empty inline function.
+    pub fn enable_profiling(&mut self, period: u64) -> Profiler {
+        let p = Profiler::enabled(period, self.machine.now(), mnv_profile::DEFAULT_FLIGHT_CAP);
+        self.state.profiler = p.clone();
+        self.state.hwmgr.profiler = p.clone();
+        self.machine.profiler = p.clone();
+        self.machine
+            .peripheral_mut::<Pl>()
+            .expect("PL attached")
+            .set_profiler(p.clone());
+        p
+    }
+
     /// Arm deterministic fault injection over the whole substrate: one
     /// seeded [`FaultPlane`] is shared by the machine (AXI errors, spurious
     /// IRQs, memory flips) and the PL peripheral (PCAP corruption/stalls,
@@ -239,6 +266,20 @@ impl Kernel {
         self.state
             .tracer
             .emit(self.machine.now(), TraceEvent::VmKilled { vm: vm.0 });
+        self.state
+            .profiler
+            .record_event(self.machine.now(), TraceEvent::VmKilled { vm: vm.0 });
+        if self.state.profiler.is_enabled() {
+            let ctx = crate::postmortem::context(
+                &self.machine,
+                &self.state.pds,
+                Some(vm),
+                &self.state.metrics,
+            );
+            self.state
+                .profiler
+                .trigger_dump("vm-killed", self.machine.now(), ctx);
+        }
         self.state.stats.vms_killed += 1;
         self.state.metrics.inc("vms_killed", Label::Machine);
         self.destroy_vm(vm);
@@ -538,6 +579,11 @@ impl Kernel {
             self.machine.now(),
             TraceEvent::VmSwitch { from: 0, to: vm.0 },
         );
+        self.state.profiler.set_vm(vm.0 as u8);
+        self.state.profiler.record_event(
+            self.machine.now(),
+            TraceEvent::VmSwitch { from: 0, to: vm.0 },
+        );
         {
             let pd = self.state.pds.get_mut(&vm).expect("vm exists");
             pd.stats.activations += 1;
@@ -597,6 +643,11 @@ impl Kernel {
             self.machine.now(),
             TraceEvent::VmSwitch { from: vm.0, to: 0 },
         );
+        self.state.profiler.set_vm(0);
+        self.state.profiler.record_event(
+            self.machine.now(),
+            TraceEvent::VmSwitch { from: vm.0, to: 0 },
+        );
         let pd = self.state.pds.get_mut(&vm).expect("vm exists");
         pd.vcpu.save_active(&mut self.machine, vm);
         for line in pd.vgic.all_lines() {
@@ -646,6 +697,7 @@ impl Kernel {
                     .clamp(now + 1, deadline.raw().max(now + 1));
                 self.machine.charge(next - now);
                 self.machine.sync_devices();
+                self.machine.profile_poll();
                 continue;
             };
 

@@ -40,6 +40,7 @@ pub mod kobj;
 pub mod mem;
 pub mod mirguest;
 pub mod native;
+pub mod postmortem;
 pub mod sched;
 pub mod stats;
 pub mod vgic;

@@ -115,6 +115,13 @@ impl<'a> VmEnv<'a> {
                             irq: irq.0,
                         },
                     );
+                    self.ks.profiler.record_event(
+                        self.m.now(),
+                        TraceEvent::VirqInject {
+                            vm: self.vm.0,
+                            irq: irq.0,
+                        },
+                    );
                     Some(irq.0)
                 }
             },
@@ -148,6 +155,10 @@ impl GuestEnv for VmEnv<'_> {
 
     fn compute(&mut self, cycles: u64) {
         self.m.charge(cycles);
+        // Paravirtualized guests never execute guest PCs on the
+        // interpreter, so their compute charges are the sample points —
+        // attribution rides on the kernel's VM/context annotations.
+        self.m.profile_poll();
         // Retired-instruction model for paravirtualized compute: the A9 is
         // dual-issue, but memory stalls in real workloads hold sustained
         // IPC near 0.5 of the charged budget. MIR guests retire for real
@@ -293,6 +304,13 @@ impl GuestEnv for VmEnv<'_> {
                 self.m
                     .charge(mnv_arm::timing::EXC_ENTRY + mnv_arm::timing::EXC_RETURN);
                 self.ks.tracer.emit(
+                    self.m.now(),
+                    TraceEvent::VirqInject {
+                        vm: self.vm.0,
+                        irq: mnv_ucos::layout::TIMER_VIRQ,
+                    },
+                );
+                self.ks.profiler.record_event(
                     self.m.now(),
                     TraceEvent::VirqInject {
                         vm: self.vm.0,

@@ -52,6 +52,23 @@ pub enum Label {
     Iface(&'static str),
 }
 
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote and line feed become `\\`, `\"` and `\n`.
+/// Numeric labels never need it, but [`Label::Iface`] carries arbitrary
+/// text and a hostile interface name must not break the line format.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl Label {
     /// Prometheus label-set rendering (empty string for [`Label::Machine`]).
     pub fn render(&self) -> String {
@@ -60,7 +77,7 @@ impl Label {
             Label::Host => "{ctx=\"host\"}".to_string(),
             Label::Vm(v) => format!("{{vm=\"{v}\"}}"),
             Label::Prr(p) => format!("{{prr=\"{p}\"}}"),
-            Label::Iface(i) => format!("{{iface=\"{i}\"}}"),
+            Label::Iface(i) => format!("{{iface=\"{}\"}}", escape_label_value(i)),
         }
     }
 
@@ -153,8 +170,9 @@ impl Snapshot {
         Snapshot { entries }
     }
 
-    /// Prometheus text exposition: `# TYPE` headers plus one
-    /// `mnv_name{labels} value` line per sample.
+    /// Prometheus text exposition: `# HELP` and `# TYPE` headers plus one
+    /// `mnv_name{labels} value` line per sample. Label values are escaped
+    /// per the format (see [`escape_label_value`]).
     pub fn prometheus(&self) -> String {
         let mut out = String::new();
         let mut last: Option<&'static str> = None;
@@ -164,6 +182,16 @@ impl Snapshot {
                     Kind::Counter => "counter",
                     Kind::Gauge => "gauge",
                 };
+                out.push_str(&format!(
+                    "# HELP mnv_{} Mini-NOVA {} `{}` ({}).\n",
+                    e.name,
+                    t,
+                    e.name,
+                    match e.kind {
+                        Kind::Counter => "cumulative since boot",
+                        Kind::Gauge => "instantaneous level",
+                    }
+                ));
                 out.push_str(&format!("# TYPE mnv_{} {t}\n", e.name));
                 last = Some(e.name);
             }
@@ -403,6 +431,50 @@ mod tests {
                 assert!(series.ends_with('}'), "{line}");
                 assert!(series[open..].contains('='), "{line}");
             }
+        }
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn prometheus_emits_help_before_type() {
+        let r = Registry::enabled();
+        r.add("hypercalls", Label::Vm(1), 3);
+        r.set("vm_count", Label::Machine, 2);
+        let text = r.prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let help = lines
+            .iter()
+            .position(|l| l.starts_with("# HELP mnv_hypercalls "))
+            .expect("HELP line present");
+        assert_eq!(
+            lines[help + 1],
+            "# TYPE mnv_hypercalls counter",
+            "TYPE follows its HELP"
+        );
+        assert!(text.contains("# HELP mnv_vm_count "), "{text}");
+        assert!(text.contains("# TYPE mnv_vm_count gauge"), "{text}");
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn hostile_label_values_are_escaped() {
+        assert_eq!(escape_label_value("m-gp0"), "m-gp0");
+        assert_eq!(
+            escape_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd",
+            "backslash, quote and newline escape"
+        );
+        let r = Registry::enabled();
+        r.add("axi_reads", Label::Iface("evil\"}\nmnv_fake 1\\"), 3);
+        let text = r.prometheus();
+        // The hostile value must stay inside one quoted label value: no
+        // sample line may be forged by the embedded newline/quote.
+        assert!(
+            text.contains("mnv_axi_reads{iface=\"evil\\\"}\\nmnv_fake 1\\\\\"} 3"),
+            "{text}"
+        );
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.starts_with("mnv_axi_reads"), "forged line: {line}");
         }
     }
 

@@ -1,0 +1,143 @@
+//! Sample identity and folding: what a profile sample *is* and how the
+//! fold map renders into exchange formats.
+//!
+//! A sample is not stored individually — it folds straight into a
+//! `BTreeMap<SampleKey, u64>` so a multi-second profiled run costs memory
+//! proportional to the number of *distinct* (scope, context, PC) buckets,
+//! not to the number of samples, and every export iterates the map in its
+//! deterministic key order.
+
+use mnv_hal::abi::Hypercall;
+
+/// What the kernel was doing when the sample fired — the "where" half of
+/// the attribution next to the "who" (VM) half.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SampleCtx {
+    /// Plain guest (or idle host) execution.
+    #[default]
+    None,
+    /// Inside the dispatcher for hypercall `nr`.
+    Hypercall(u8),
+    /// Inside stage 1–6 of the Hardware Task Manager's six-stage DPR
+    /// allocation routine (Fig. 7).
+    DprStage(u8),
+}
+
+impl SampleCtx {
+    /// Collapsed-stack frame for this context (`None` has no frame).
+    pub fn frame(&self) -> Option<String> {
+        match self {
+            SampleCtx::None => None,
+            SampleCtx::Hypercall(nr) => Some(match Hypercall::from_nr(*nr) {
+                Some(hc) => format!("hc:{hc:?}"),
+                None => format!("hc:#{nr}"),
+            }),
+            SampleCtx::DprStage(s) => Some(format!("dpr:stage{s}")),
+        }
+    }
+}
+
+/// Processor mode class at the sample point.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SampleMode {
+    /// PL0 (guest user execution).
+    #[default]
+    User,
+    /// Any privileged mode (kernel, exception handlers).
+    Privileged,
+}
+
+/// The fold key: one bucket of the profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SampleKey {
+    /// Owning VM (0 = host/idle), as annotated by the kernel at world
+    /// switches.
+    pub vm: u8,
+    /// Address-space identifier live at the sample point.
+    pub asid: u8,
+    /// Active kernel context (hypercall / DPR stage).
+    pub ctx: SampleCtx,
+    /// Guest program counter.
+    pub pc: u32,
+    /// Mode class.
+    pub mode: SampleMode,
+}
+
+impl SampleKey {
+    /// True when the sample lands in an attributable (VM, DPR
+    /// stage/hypercall) bucket rather than anonymous host time.
+    pub fn is_attributed(&self) -> bool {
+        self.vm != 0 || self.ctx != SampleCtx::None
+    }
+
+    /// Render as one collapsed-stack line prefix (`scope;ctx;pc` frames,
+    /// `;`-joined, without the trailing count).
+    pub fn collapsed_frames(&self) -> String {
+        let scope = if self.vm == 0 {
+            "host".to_string()
+        } else {
+            format!("vm{}", self.vm)
+        };
+        let pc = match self.mode {
+            SampleMode::User => format!("0x{:08x}", self.pc),
+            SampleMode::Privileged => format!("0x{:08x}~svc", self.pc),
+        };
+        match self.ctx.frame() {
+            Some(f) => format!("{scope};{f};{pc}"),
+            None => format!("{scope};{pc}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_render_scope_ctx_pc() {
+        let k = SampleKey {
+            vm: 1,
+            asid: 1,
+            ctx: SampleCtx::Hypercall(17),
+            pc: 0x8040,
+            mode: SampleMode::Privileged,
+        };
+        assert_eq!(k.collapsed_frames(), "vm1;hc:HwTaskRequest;0x00008040~svc");
+        let k2 = SampleKey {
+            vm: 0,
+            asid: 0,
+            ctx: SampleCtx::None,
+            pc: 0,
+            mode: SampleMode::User,
+        };
+        assert_eq!(k2.collapsed_frames(), "host;0x00000000");
+        assert!(!k2.is_attributed());
+        assert!(k.is_attributed());
+    }
+
+    #[test]
+    fn dpr_stage_frames_and_unknown_hypercalls() {
+        assert_eq!(SampleCtx::DprStage(4).frame().unwrap(), "dpr:stage4");
+        assert_eq!(SampleCtx::Hypercall(200).frame().unwrap(), "hc:#200");
+        assert!(SampleCtx::None.frame().is_none());
+    }
+
+    #[test]
+    fn key_order_is_vm_major() {
+        let a = SampleKey {
+            vm: 1,
+            asid: 1,
+            ctx: SampleCtx::None,
+            pc: 0xFFFF_0000,
+            mode: SampleMode::User,
+        };
+        let b = SampleKey {
+            vm: 2,
+            asid: 2,
+            ctx: SampleCtx::None,
+            pc: 0,
+            mode: SampleMode::User,
+        };
+        assert!(a < b, "profiles group per VM first");
+    }
+}

@@ -45,6 +45,13 @@ fn meta_sort_index(track: Track) -> Json {
 /// Render an oldest-first event stream as a Chrome trace-event JSON
 /// document string.
 pub fn export(events: &[(Cycles, TraceEvent)]) -> String {
+    export_with_drops(events, 0)
+}
+
+/// Like [`export`], recording in the document metadata how many events
+/// the source ring lost to wraparound before this snapshot — a consumer
+/// reading the timeline can tell a complete capture from a truncated one.
+pub fn export_with_drops(events: &[(Cycles, TraceEvent)], dropped: u64) -> String {
     let paired = pair(events);
     let mut tracks: BTreeSet<Track> = [Track::Kernel, Track::HwMgr, Track::Pcap].into();
     for s in &paired.spans {
@@ -96,6 +103,7 @@ pub fn export(events: &[(Cycles, TraceEvent)]) -> String {
             "otherData",
             Json::obj([
                 ("clock", Json::str("simulated 660 MHz cycle counter")),
+                ("events_dropped", Json::num(dropped as f64)),
                 ("source", Json::str("mnv-trace")),
             ]),
         ),

@@ -166,6 +166,13 @@ pub enum TraceEvent {
         /// The terminated VM.
         vm: u16,
     },
+    /// The Hardware Task Manager entered stage `stage` (1-6 of Fig. 7) of
+    /// the DPR allocation routine. Recorded by the flight recorder so a
+    /// post-mortem shows *where* in the allocation a failure hit.
+    DprStage {
+        /// Stage number, 1..=6.
+        stage: u8,
+    },
 }
 
 impl TraceEvent {
@@ -189,6 +196,7 @@ impl TraceEvent {
             TraceEvent::PrrQuarantine { .. } => "PrrQuarantine",
             TraceEvent::SwFallback { .. } => "SwFallback",
             TraceEvent::VmKilled { .. } => "VmKilled",
+            TraceEvent::DprStage { .. } => "DprStage",
         }
     }
 }

@@ -105,6 +105,16 @@ impl Tracer {
         }
     }
 
+    /// Events lost to ring wraparound (0 when disabled): everything ever
+    /// emitted beyond what the ring still retains.
+    pub fn dropped(&self) -> u64 {
+        #[cfg(feature = "trace")]
+        if let Some(sink) = &self.sink {
+            return sink.borrow().dropped();
+        }
+        0
+    }
+
     /// Number of retained events (0 when disabled).
     pub fn len(&self) -> usize {
         #[cfg(feature = "trace")]
@@ -159,12 +169,12 @@ impl Tracer {
 
     /// Export the retained events as Chrome trace-event JSON.
     pub fn export_chrome(&self) -> String {
-        chrome::export(&self.snapshot())
+        chrome::export_with_drops(&self.snapshot(), self.dropped())
     }
 
     /// Render a top-`n` text summary of the retained events.
     pub fn summary(&self, n: usize) -> String {
-        summary::summarize(&self.snapshot(), n)
+        summary::summarize_with_drops(&self.snapshot(), n, self.dropped())
     }
 }
 
@@ -236,6 +246,32 @@ mod tests {
         // The wrapped-out pair is gone; three clean 50-cycle spans remain.
         assert_eq!(paired.spans.len(), 3);
         assert!(paired.spans.iter().all(|s| s.cycles() == 50));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn dropped_events_surface_in_both_exporters() {
+        let t = Tracer::enabled(2);
+        for i in 0..5u64 {
+            t.emit(Cycles::new(i * 100), TraceEvent::TlbFlush);
+        }
+        assert_eq!(t.dropped(), 3);
+        let text = t.summary(10);
+        assert!(
+            text.contains("3 earlier events lost to ring wraparound"),
+            "{text}"
+        );
+        let doc = json::parse(&t.export_chrome()).expect("valid JSON");
+        let meta = doc.get("otherData").expect("metadata object");
+        assert_eq!(
+            meta.get("events_dropped").and_then(json::Json::as_num),
+            Some(3.0)
+        );
+        // A ring that never wrapped reports a clean capture.
+        let clean = Tracer::enabled(8);
+        clean.emit(Cycles::new(0), TraceEvent::TlbFlush);
+        assert_eq!(clean.dropped(), 0);
+        assert!(!clean.summary(10).contains("wraparound"));
     }
 
     #[cfg(feature = "trace")]

@@ -211,6 +211,11 @@ pub fn pair(events: &[(Cycles, TraceEvent)]) -> PairedTrace {
                 name: "vm-killed".into(),
                 ts,
             }),
+            TraceEvent::DprStage { stage } => out.instants.push(Instant {
+                track: Track::HwMgr,
+                name: format!("dpr:stage{stage}"),
+                ts,
+            }),
         }
     }
 

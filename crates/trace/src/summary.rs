@@ -13,6 +13,12 @@ use std::fmt::Write as _;
 /// p50, p99 and max in microseconds. Instant markers follow, ranked by
 /// count.
 pub fn summarize(events: &[(Cycles, TraceEvent)], n: usize) -> String {
+    summarize_with_drops(events, n, 0)
+}
+
+/// Like [`summarize`], noting in the header how many events the source
+/// ring lost to wraparound before this snapshot.
+pub fn summarize_with_drops(events: &[(Cycles, TraceEvent)], n: usize, dropped: u64) -> String {
     let paired = pair(events);
 
     let mut spans: BTreeMap<String, Acc> = BTreeMap::new();
@@ -33,6 +39,12 @@ pub fn summarize(events: &[(Cycles, TraceEvent)], n: usize) -> String {
 
     let mut out = String::new();
     let _ = writeln!(out, "trace summary ({} events)", events.len());
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "  (incomplete: {dropped} earlier events lost to ring wraparound)"
+        );
+    }
     let _ = writeln!(
         out,
         "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10}",
