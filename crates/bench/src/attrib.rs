@@ -44,6 +44,10 @@ pub struct AttribRow {
     pub virqs: u64,
     /// Hardware Task Manager invocations (0 for the host row).
     pub hwmgr: u64,
+    /// Supervisor relaunches of this VM after a kill.
+    pub restarts: u64,
+    /// Degraded dispatches of this VM promoted back onto fabric hardware.
+    pub repromotions: u64,
 }
 
 impl AttribRow {
@@ -78,6 +82,8 @@ impl AttribRow {
             hypercalls: s.get("hypercalls", label),
             virqs: s.get("virqs_injected", label),
             hwmgr: s.get("hwmgr_invocations", label),
+            restarts: s.get("vm_restarts", label),
+            repromotions: s.get("vm_repromotions", label),
         }
     }
 
@@ -101,6 +107,8 @@ impl AttribRow {
             ("hypercalls", Json::num(self.hypercalls as f64)),
             ("virqs", Json::num(self.virqs as f64)),
             ("hwmgr_invocations", Json::num(self.hwmgr as f64)),
+            ("vm_restarts", Json::num(self.restarts as f64)),
+            ("vm_repromotions", Json::num(self.repromotions as f64)),
         ])
     }
 }
@@ -190,8 +198,16 @@ pub fn format_attrib(reports: &[AttribReport]) -> String {
     let mut out = String::new();
     out.push_str("CACHE/TLB POLLUTION ATTRIBUTION (per-VM means over the window)\n\n");
     out.push_str(&format!(
-        "{:<10}{:>14}{:>14}{:>14}{:>12}{:>10}{:>10}\n",
-        "guests", "dcache miss", "icache miss", "tlb refill", "dmiss %", "IPC", "hwmgr"
+        "{:<10}{:>14}{:>14}{:>14}{:>12}{:>10}{:>10}{:>10}{:>10}\n",
+        "guests",
+        "dcache miss",
+        "icache miss",
+        "tlb refill",
+        "dmiss %",
+        "IPC",
+        "hwmgr",
+        "restarts",
+        "reprom"
     ));
     for r in reports {
         let mean_cycles = r.vm_mean(|v| v.cycles);
@@ -209,7 +225,7 @@ pub fn format_attrib(reports: &[AttribReport]) -> String {
             0.0
         };
         out.push_str(&format!(
-            "{:<10}{:>14.0}{:>14.0}{:>14.0}{:>12.2}{:>10.3}{:>10.0}\n",
+            "{:<10}{:>14.0}{:>14.0}{:>14.0}{:>12.2}{:>10.3}{:>10.0}{:>10}{:>10}\n",
             r.guests,
             mean_ref,
             r.vm_mean(|v| v.icache_refill),
@@ -217,6 +233,8 @@ pub fn format_attrib(reports: &[AttribReport]) -> String {
             dmiss,
             ipc,
             r.vm_mean(|v| v.hwmgr),
+            r.label_sum(|v| v.restarts),
+            r.label_sum(|v| v.repromotions),
         ));
     }
     out.push_str("\nPer-label sums vs machine totals (accounting invariant):\n");

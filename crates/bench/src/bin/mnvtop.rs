@@ -129,6 +129,8 @@ fn row_of(d: &Snapshot, label: Label) -> AttribRow {
         hypercalls: d.get("hypercalls", label),
         virqs: d.get("virqs_injected", label),
         hwmgr: d.get("hwmgr_invocations", label),
+        restarts: d.get("vm_restarts", label),
+        repromotions: d.get("vm_repromotions", label),
     }
 }
 
@@ -201,6 +203,22 @@ fn render(frame: usize, interval_ms: f64, d: &Snapshot, lifetime: &Snapshot) {
         "world switches: {}   vms killed: {}",
         d.total("world_switches"),
         lifetime.get("vms_killed", Label::Machine),
+    );
+    // Lifetime recovery counters: the supervision plane's visible trail.
+    println!(
+        "recovery: {} restarts / {} liveness-kills / {} crash-loops   \
+         ladder {}r/{}m/{}f/{}e   scrubs {} ({} fail) reinstates {} repromotions {}",
+        lifetime.total("vm_restarts"),
+        lifetime.get("liveness_kills", Label::Machine),
+        lifetime.get("crash_loop_kills", Label::Machine),
+        lifetime.get("ladder_retries", Label::Machine),
+        lifetime.get("ladder_relocations", Label::Machine),
+        lifetime.get("ladder_fallbacks", Label::Machine),
+        lifetime.get("ladder_errors", Label::Machine),
+        lifetime.get("prr_scrubs", Label::Machine),
+        lifetime.get("prr_scrub_fails", Label::Machine),
+        lifetime.get("prr_reinstates", Label::Machine),
+        lifetime.get("repromotions", Label::Machine),
     );
     println!();
 }

@@ -77,6 +77,13 @@ fn main() {
         ]),
     );
 
+    if cfg.chaos_seed.is_some() {
+        // The self-healing demonstration: arm a boosted chaos plan against
+        // a supervised three-guest run, disarm it at half-time and show the
+        // drain back to convergence (recovery counters + both gates).
+        println!("\n{}", mnv_bench::table3::chaos_heal(0xC0A5));
+    }
+
     if !args.iter().any(|a| a == "--no-trace") {
         let tracer = traced_run(2, &cfg, 30.0);
         if tracer.dropped() > 0 {

@@ -78,6 +78,18 @@ pub struct Row {
     pub quarantines: u64,
     /// Hardware-task runs served by the software fallback.
     pub sw_fallbacks: u64,
+    /// Escalation-ladder rung 1: hung runs restarted in place.
+    pub ladder_retries: u64,
+    /// Escalation-ladder rung 2: hung runs relocated to another PRR.
+    pub ladder_relocations: u64,
+    /// Background test-bitstream scrubs of quarantined regions.
+    pub scrubs: u64,
+    /// Quarantined regions reinstated after consecutive clean scrubs.
+    pub reinstates: u64,
+    /// Degraded shadow clients promoted back onto fabric hardware.
+    pub repromotions: u64,
+    /// Supervised VMs relaunched after a kill (0 unless guests crash).
+    pub vm_restarts: u64,
 }
 
 impl Row {
@@ -94,6 +106,12 @@ impl Row {
             pcap_retries: h.pcap_retries,
             quarantines: h.quarantines,
             sw_fallbacks: h.sw_fallbacks,
+            ladder_retries: h.ladder_retries,
+            ladder_relocations: h.ladder_relocations,
+            scrubs: h.scrubs,
+            reinstates: h.reinstates,
+            repromotions: h.repromotions,
+            vm_restarts: 0,
         }
     }
 
@@ -110,6 +128,15 @@ impl Row {
             ("pcap_retries", Json::num(self.pcap_retries as f64)),
             ("quarantines", Json::num(self.quarantines as f64)),
             ("sw_fallbacks", Json::num(self.sw_fallbacks as f64)),
+            ("ladder_retries", Json::num(self.ladder_retries as f64)),
+            (
+                "ladder_relocations",
+                Json::num(self.ladder_relocations as f64),
+            ),
+            ("scrubs", Json::num(self.scrubs as f64)),
+            ("reinstates", Json::num(self.reinstates as f64)),
+            ("repromotions", Json::num(self.repromotions as f64)),
+            ("vm_restarts", Json::num(self.vm_restarts as f64)),
         ])
     }
 }
@@ -188,6 +215,7 @@ pub fn build_kernel(n: usize, seed: u64, cfg: &Table3Config) -> Kernel {
 /// Measure one virtualized configuration with `n` parallel guest OSes.
 pub fn measure_virtualized(n: usize, cfg: &Table3Config) -> Row {
     let mut agg = HwMgrStats::default();
+    let mut restarts = 0u64;
     for &seed in &cfg.seeds {
         let mut k = build_kernel(n, seed, cfg);
         if let Some(base) = cfg.chaos_seed {
@@ -196,10 +224,14 @@ pub fn measure_virtualized(n: usize, cfg: &Table3Config) -> Row {
         }
         k.run(Cycles::from_millis(cfg.warmup_ms_per_guest * n as f64));
         k.state.stats.reset_hwmgr();
+        let restarts_before = k.state.stats.vm_restarts;
         k.run(Cycles::from_millis(cfg.measure_ms_per_guest * n as f64));
         agg.merge(&k.state.stats.hwmgr);
+        restarts += k.state.stats.vm_restarts - restarts_before;
     }
-    Row::from_stats(n as u32, &agg)
+    let mut row = Row::from_stats(n as u32, &agg);
+    row.vm_restarts = restarts;
+    row
 }
 
 /// Run one virtualized configuration with event tracing enabled and return
@@ -407,6 +439,129 @@ pub fn format_table3(native: &Row, virt: &[Row]) -> String {
     out.push_str(&count("PCAP retries", &|r| r.pcap_retries));
     out.push_str(&count("PRR quarantines", &|r| r.quarantines));
     out.push_str(&count("SW fallback runs", &|r| r.sw_fallbacks));
+    out.push_str(&count("Ladder retries", &|r| r.ladder_retries));
+    out.push_str(&count("Ladder relocations", &|r| r.ladder_relocations));
+    out.push_str(&count("PRR scrubs", &|r| r.scrubs));
+    out.push_str(&count("PRR reinstates", &|r| r.reinstates));
+    out.push_str(&count("Re-promotions", &|r| r.repromotions));
+    out.push_str(&count("VM restarts", &|r| r.vm_restarts));
+    out
+}
+
+/// The `--chaos` heal demonstration: a supervised three-guest run is armed
+/// with a boosted chaos plan for the first half of the window, the plane is
+/// disarmed at half-time, and the second half must drain the fabric back to
+/// convergence — every recovery mechanism (liveness restart, escalation
+/// ladder, scrub/reinstate, re-promotion) leaves its counter trail in the
+/// returned report.
+pub fn chaos_heal(seed: u64) -> String {
+    use mnv_fault::{FaultPlan, SiteCfg};
+    use mnv_ucos::{GuestTask, TaskAction, TaskCtx};
+
+    /// A guest task that spins in no-progress hypercalls: the modelled
+    /// transient boot wedge the liveness watchdog must catch.
+    struct SpinTask;
+    impl GuestTask for SpinTask {
+        fn name(&self) -> &'static str {
+            "spin"
+        }
+        fn step(&mut self, ctx: &mut TaskCtx) -> TaskAction {
+            use mnv_hal::abi::{Hypercall, HypercallArgs};
+            for _ in 0..8 {
+                let _ = ctx.env.hypercall(HypercallArgs::new(Hypercall::VmInfo));
+            }
+            TaskAction::Continue
+        }
+    }
+
+    // A 2 ms quantum (vs the 33 ms default) multiplexes the three guests
+    // fast enough that both halves of the demo see real fabric traffic.
+    let mut k = Kernel::new(KernelConfig {
+        quantum: Cycles::from_millis(2.0),
+        ..Default::default()
+    });
+    let ids = k.register_paper_task_set();
+    k.create_vm(VmSpec {
+        name: "g1",
+        priority: Priority::GUEST,
+        guest: workload_guest(seed, ids[6..].to_vec()),
+    });
+    k.create_vm(VmSpec {
+        name: "g2",
+        priority: Priority::GUEST,
+        guest: workload_guest(seed ^ 0x5DEECE66D, ids[..6].to_vec()),
+    });
+    // A supervised guest whose first boot wedges (spin loop) and whose
+    // relaunch is healthy: exercises the liveness-kill + restart path.
+    let mut boots = 0u32;
+    let flaky = k.create_supervised_vm(
+        "flaky",
+        Priority::GUEST,
+        Box::new(move || {
+            boots += 1;
+            let mut os = Ucos::new(UcosConfig::default());
+            if boots == 1 {
+                os.task_create(8, Box::new(SpinTask));
+            } else {
+                os.task_create(20, Box::new(AdpcmTask::new(7)));
+            }
+            GuestKind::Ucos(Box::new(os))
+        }),
+    );
+    k.watch_liveness(flaky, 300_000);
+
+    let mut plan = FaultPlan::chaos(seed);
+    // A hang storm on top of the preset: every accelerator start wedges
+    // until the budget is spent, deep enough to walk the whole ladder into
+    // quarantine so the disarmed half shows scrub → reinstate → re-promote.
+    plan.prr_hang = SiteCfg::new(1_000_000, 8);
+    let plane = k.enable_faults(plan);
+    // Compressed supervision timers (same ratios as the defaults) so both
+    // the degradation and the full heal fit the demo window.
+    k.state.hwmgr.watchdog_timeout = 1_000_000;
+    k.state.hwmgr.scrub_interval = 1_000_000;
+
+    k.run(Cycles::from_millis(40.0));
+    let armed = k.state.stats.clone();
+    plane.disarm();
+    k.run(Cycles::from_millis(80.0));
+
+    let s = &k.state.stats;
+    let h = &s.hwmgr;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "CHAOS HEAL (seed {seed:#x}): 40 ms armed, disarmed, 80 ms drain\n\n"
+    ));
+    out.push_str(&format!(
+        "  armed half:  {} faults injected, {} quarantines, {} sw-fallback runs\n",
+        plane.records().len(),
+        armed.hwmgr.quarantines,
+        armed.hwmgr.sw_fallbacks,
+    ));
+    out.push_str(&format!(
+        "  supervision: {} liveness kills, {} VM restarts, {} crash-loop kills\n",
+        s.liveness_kills, s.vm_restarts, s.crash_loop_kills
+    ));
+    out.push_str(&format!(
+        "  ladder:      {} retries, {} relocations, {} fallbacks, {} errors\n",
+        h.ladder_retries, h.ladder_relocations, h.ladder_fallbacks, h.ladder_errors
+    ));
+    out.push_str(&format!(
+        "  fabric heal: {} scrubs ({} failed), {} reinstates, {} retired, {} re-promotions\n",
+        h.scrubs, h.scrub_fails, h.reinstates, h.prrs_retired, h.repromotions
+    ));
+    let verdict = |r: Result<(), String>| match r {
+        Ok(()) => "OK".to_string(),
+        Err(e) => format!("FAILED — {e}"),
+    };
+    out.push_str(&format!(
+        "  convergence: {}\n",
+        verdict(k.state.hwmgr.check_converged())
+    ));
+    out.push_str(&format!(
+        "  invariants:  {}\n",
+        verdict(k.check_recovery_invariants())
+    ));
     out
 }
 
@@ -446,6 +601,12 @@ mod tests {
             pcap_retries: 0,
             quarantines: 0,
             sw_fallbacks: 0,
+            ladder_retries: 0,
+            ladder_relocations: 0,
+            scrubs: 0,
+            reinstates: 0,
+            repromotions: 0,
+            vm_restarts: 0,
         }
     }
 
@@ -495,9 +656,24 @@ mod tests {
         v.pcap_retries = 3;
         v.quarantines = 1;
         v.sw_fallbacks = 7;
+        v.ladder_retries = 2;
+        v.scrubs = 5;
+        v.reinstates = 1;
+        v.repromotions = 1;
+        v.vm_restarts = 1;
         let s = format_table3(&native, &[v]);
         assert!(s.contains("Resilience counters"), "{s}");
-        for line in ["PCAP retries", "PRR quarantines", "SW fallback runs"] {
+        for line in [
+            "PCAP retries",
+            "PRR quarantines",
+            "SW fallback runs",
+            "Ladder retries",
+            "Ladder relocations",
+            "PRR scrubs",
+            "PRR reinstates",
+            "Re-promotions",
+            "VM restarts",
+        ] {
             assert!(s.contains(line), "missing {line:?} in:\n{s}");
         }
         let retries_line = s.lines().find(|l| l.starts_with("PCAP retries")).unwrap();
@@ -521,6 +697,21 @@ mod tests {
         assert!(
             r.pcap_retries + r.quarantines + r.sw_fallbacks > 0,
             "chaos preset never exercised a degradation path: {r:?}"
+        );
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn chaos_heal_demo_converges() {
+        // The bin's --chaos heal section: armed half degrades, disarmed
+        // half drains back — the report must say both gates passed and
+        // show the supervision counters moving.
+        let s = chaos_heal(0xC0A5);
+        assert!(s.contains("convergence: OK"), "{s}");
+        assert!(s.contains("invariants:  OK"), "{s}");
+        assert!(
+            s.contains("1 VM restarts"),
+            "flaky guest not relaunched:\n{s}"
         );
     }
 

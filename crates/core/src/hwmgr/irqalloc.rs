@@ -54,6 +54,21 @@ impl PlIrqAllocator {
         Some(IrqNum::pl(i as u16))
     }
 
+    /// Re-key the line a PRR holds onto another region, preserving the
+    /// owner VM and the line number. Used when a client is migrated
+    /// between regions (escalation-ladder relocation, shadow-fallback
+    /// re-promotion): the guest keeps receiving completions on the line it
+    /// was originally assigned. Returns the moved line, if one existed.
+    pub fn retarget_prr(&mut self, from: u8, to: u8) -> Option<IrqNum> {
+        let i = self
+            .lines
+            .iter()
+            .position(|l| matches!(l, Some((_, p)) if *p == from))?;
+        let (vm, _) = self.lines[i]?;
+        self.lines[i] = Some((vm, to));
+        Some(IrqNum::pl(i as u16))
+    }
+
     /// The owner of a PL line.
     pub fn owner(&self, irq: IrqNum) -> Option<(VmId, u8)> {
         let i = irq.pl_index()? as usize;
@@ -109,6 +124,17 @@ mod tests {
         assert_eq!(a.free_prr(3), None);
         // Line is reusable.
         assert_eq!(a.alloc(VmId(2), 5).unwrap(), l);
+    }
+
+    #[test]
+    fn retarget_keeps_line_and_owner() {
+        let mut a = PlIrqAllocator::new();
+        let l = a.alloc(VmId(1), 2).unwrap();
+        assert_eq!(a.retarget_prr(2, 5), Some(l));
+        assert_eq!(a.owner(l), Some((VmId(1), 5)));
+        // The old region holds nothing any more.
+        assert_eq!(a.free_prr(2), None);
+        assert_eq!(a.retarget_prr(7, 3), None);
     }
 
     #[test]

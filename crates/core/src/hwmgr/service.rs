@@ -30,6 +30,7 @@ use crate::kobj::pd::{DataSection, Pd};
 use crate::mem::layout::{self, ktext};
 use crate::mem::pagetable::{self, PtAlloc};
 use crate::stats::KernelStats;
+use crate::supervisor::{timing, FabricJob, Ladder, PrrHealth};
 
 /// Fixed hardware-task data-section length (the guests' convention).
 pub const DATA_SECTION_LEN: u64 = 0x2_0000;
@@ -46,6 +47,13 @@ pub const DEFAULT_WATCHDOG_TIMEOUT: u64 = 20_000_000;
 
 /// Default bound on PCAP relaunch attempts per reconfiguration.
 pub const DEFAULT_MAX_PCAP_RETRIES: u8 = 3;
+
+/// Pseudo-region namespace for completion lines parked by a quarantine
+/// migration: the line stays allocated to the client (so the shadow service
+/// keeps delivering on it) but is re-keyed to `SHADOW_LINE_KEY | line_idx`,
+/// leaving the real region key free for reinstatement and reuse. Real PRR
+/// indices are tiny (≤15), so the namespaces cannot collide.
+pub(crate) const SHADOW_LINE_KEY: u8 = 0x80;
 
 /// An in-flight PCAP reconfiguration — everything the retry path needs to
 /// relaunch the transfer after a CRC reject or a watchdog abort.
@@ -72,7 +80,7 @@ impl PcapJob {
     /// the nominal PCAP duration plus slack — a healthy transfer is long
     /// done by then).
     pub fn stall_deadline(&self) -> u64 {
-        self.started_at + 4 * pcap_transfer_cycles(self.bit_len as u64) + 100_000
+        self.started_at + 4 * pcap_transfer_cycles(self.bit_len as u64) + timing::PCAP_STALL_SLACK
     }
 }
 
@@ -94,6 +102,13 @@ pub struct SwShadow {
     /// Completion IRQ line, when the dispatch inherited one from a
     /// quarantined region (pure-software dispatches poll).
     pub line: Option<IrqNum>,
+    /// The region this dispatch was migrated off (None for pure-software
+    /// dispatches that never had hardware).
+    pub from_prr: Option<u8>,
+    /// Set by the supervisor when a healthy region has been reserved and
+    /// programmed for this client: the next START is transplanted onto it
+    /// instead of being served in software.
+    pub promote_to: Option<u8>,
 }
 
 /// The manager service state.
@@ -117,10 +132,33 @@ pub struct HwMgr {
     pub shadows: Vec<SwShadow>,
     /// Bump cursor into the shadow-page pool.
     shadow_cursor: u64,
-    /// Quarantine a region after this many cycles of continuous BUSY.
+    /// Shadow pages returned by released/promoted dispatches, reused before
+    /// the cursor advances.
+    shadow_free: Vec<PhysAddr>,
+    /// Escalate a hung region's run after this many cycles of continuous
+    /// BUSY (ladder rung 1; regions with no client go straight to
+    /// quarantine).
     pub watchdog_timeout: u64,
     /// Bound on PCAP relaunch attempts per reconfiguration.
     pub max_pcap_retries: u8,
+    /// The in-flight kernel-initiated PCAP transfer (scrub, re-promotion
+    /// or relocation load), if any.
+    pub fabric_job: Option<FabricJob>,
+    /// Per-PRR scrub health (consecutive pass/fail counts, next due time).
+    pub health: Vec<PrrHealth>,
+    /// Open escalation ladders, keyed by hung region.
+    pub ladders: BTreeMap<u8, Ladder>,
+    /// Relocation hops consumed by a dispatch's current no-completion
+    /// streak (bounds the ladder's rung 2; see
+    /// [`crate::supervisor::MAX_RELOCATION_HOPS`]). Reset by a fresh
+    /// request or a completed software round trip.
+    pub relocations: BTreeMap<(VmId, HwTaskId), u8>,
+    /// Ladder rung-1 timeout (retry on the same region).
+    pub ladder_retry_timeout: u64,
+    /// Ladder rung-2 timeout (relocation to a compatible region).
+    pub ladder_relocate_timeout: u64,
+    /// Interval between background scrubs of one quarantined region.
+    pub scrub_interval: u64,
     /// Native-baseline mode: unified memory space, so the page-table
     /// update stages are skipped (§V-B: "in native uCOS-II, the hardware
     /// task manager service does not need to update the page tables").
@@ -136,7 +174,7 @@ pub struct HwMgr {
     pub profiler: Profiler,
 }
 
-fn ctrl_reg(off: u64) -> PhysAddr {
+pub(crate) fn ctrl_reg(off: u64) -> PhysAddr {
     PhysAddr::new(PL_GP_BASE + off)
 }
 
@@ -152,24 +190,63 @@ impl HwMgr {
             busy_since: vec![None; num_prrs],
             shadows: Vec::new(),
             shadow_cursor: 0,
+            shadow_free: Vec::new(),
             watchdog_timeout: DEFAULT_WATCHDOG_TIMEOUT,
             max_pcap_retries: DEFAULT_MAX_PCAP_RETRIES,
+            fabric_job: None,
+            health: vec![PrrHealth::default(); num_prrs],
+            ladders: BTreeMap::new(),
+            relocations: BTreeMap::new(),
+            ladder_retry_timeout: timing::LADDER_RETRY_TIMEOUT,
+            ladder_relocate_timeout: timing::LADDER_RELOCATE_TIMEOUT,
+            scrub_interval: timing::SCRUB_INTERVAL,
             native,
             metrics: Registry::disabled(),
             profiler: Profiler::disabled(),
         }
     }
 
-    /// Carve one zeroed 4 KB shadow page from the pool.
+    /// Carve (or recycle) one zeroed 4 KB shadow page from the pool.
     fn alloc_shadow_page(&mut self, m: &mut Machine) -> Option<PhysAddr> {
-        if self.shadow_cursor + mnv_hal::PAGE_SIZE > layout::SHADOW_LEN {
+        let pa = match self.shadow_free.pop() {
+            Some(pa) => pa,
+            None => {
+                if self.shadow_cursor + mnv_hal::PAGE_SIZE > layout::SHADOW_LEN {
+                    return None;
+                }
+                let pa = layout::SHADOW_BASE + self.shadow_cursor;
+                self.shadow_cursor += mnv_hal::PAGE_SIZE;
+                pa
+            }
+        };
+        if m.phys_write_block(pa, &[0u8; mnv_hal::PAGE_SIZE as usize])
+            .is_err()
+        {
+            self.shadow_free.push(pa);
             return None;
         }
-        let pa = layout::SHADOW_BASE + self.shadow_cursor;
-        self.shadow_cursor += mnv_hal::PAGE_SIZE;
-        m.phys_write_block(pa, &[0u8; mnv_hal::PAGE_SIZE as usize])
-            .ok()?;
         Some(pa)
+    }
+
+    /// Return a shadow page to the free pool.
+    pub(crate) fn free_shadow_page(&mut self, pa: PhysAddr) {
+        self.shadow_free.push(pa);
+    }
+
+    /// Shadow pages currently backing live dispatches.
+    pub fn shadow_pages_live(&self) -> usize {
+        self.shadows.len()
+    }
+
+    /// Shadow pages sitting in the free pool.
+    pub fn shadow_pages_free(&self) -> usize {
+        self.shadow_free.len()
+    }
+
+    /// Shadow pages ever carved from the pool (live + free when nothing
+    /// leaks — the invariant checker's conservation law).
+    pub fn shadow_pages_carved(&self) -> usize {
+        (self.shadow_cursor / mnv_hal::PAGE_SIZE) as usize
     }
 
     /// Touch the manager's code path (instruction-fetch traffic).
@@ -206,7 +283,7 @@ impl HwMgr {
     }
 
     /// PRR device status via the controller (charged MMIO).
-    fn prr_status(&self, m: &mut Machine, prr: u8) -> u32 {
+    pub(crate) fn prr_status(&self, m: &mut Machine, prr: u8) -> u32 {
         let page = Pl::prr_page(prr);
         m.phys_read_u32(page + 4 * prr_regs::STATUS as u64)
             .unwrap_or(prr_status::ERROR)
@@ -222,6 +299,12 @@ impl HwMgr {
             self.prrs.touch(m, p);
             if self.prrs.entry(p).quarantined {
                 continue; // out of service — the watchdog retired it
+            }
+            if self.fabric_job.as_ref().is_some_and(|j| j.prr == p) {
+                continue; // a kernel-initiated load holds the region
+            }
+            if self.shadows.iter().any(|s| s.promote_to == Some(p)) {
+                continue; // reserved as a pending re-promotion target
             }
             let status = self.prr_status(m, p);
             if status == prr_status::BUSY {
@@ -294,6 +377,7 @@ impl HwMgr {
             }
             if let Some(t) = old_task {
                 old.iface_maps.remove(&t);
+                self.relocations.remove(&(old_vm, t));
             }
             // Revoke the IRQ route.
             if let Some(line) = self.irqs.free_prr(prr) {
@@ -351,6 +435,8 @@ impl HwMgr {
         self.touch_code(m, 24);
         stats.hwmgr.invocations += 1;
         self.charge_allocation_work(m);
+        // A fresh request opens a fresh escalation budget.
+        self.relocations.remove(&(caller, task));
 
         // Stage 1–2: look the task up and select a region.
         let (entry_prrs, bit_addr, bit_len, core) = {
@@ -396,6 +482,18 @@ impl HwMgr {
                     | (hw_task_result::NO_LINE << 16)
                     | hw_task_result::DEGRADED);
             }
+            // A pending re-promotion completes here: at request time the
+            // guest is provably not mid-poll on the shadow page, so the
+            // mapping can switch to the reserved region immediately (the
+            // guest programs the run after this returns).
+            if let Some(idx) = self
+                .shadows
+                .iter()
+                .position(|s| s.vm == caller && s.task == task && s.promote_to == Some(prr))
+            {
+                let s = self.shadows.remove(idx);
+                self.transplant(m, pds, pt, stats, tracer, &s, prr, 0);
+            }
             self.program_hwmmu(m, prr, ds);
             let line = self
                 .irqs
@@ -408,16 +506,48 @@ impl HwMgr {
 
         // A pure-software dispatch (made when every compatible region was
         // quarantined) has no PRR-table entry; it lives in the shadow list.
-        if let Some(s) = self
+        // Probe for recovered hardware before settling for the shadow: if a
+        // compatible region has come back into service (reinstated by the
+        // scrubber, or merely reclaimable again), the degraded client is
+        // re-promoted on this very request — the shadow is torn down and
+        // the normal stages below rebuild a real hardware dispatch.
+        if self
             .shadows
-            .iter_mut()
-            .find(|s| s.vm == caller && s.task == task)
+            .iter()
+            .any(|s| s.vm == caller && s.task == task)
         {
-            s.ds = ds;
-            return Ok(HwTaskStatus::Success as u32
-                | (hw_task_result::NO_PRR << 8)
-                | (hw_task_result::NO_LINE << 16)
-                | hw_task_result::DEGRADED);
+            if let Some(prr) = self.select_prr(m, &entry_prrs, task) {
+                self.drop_shadow_of(m, pds, caller, task);
+                if let Some(pd) = pds.get_mut(&caller) {
+                    if !self.native {
+                        if let Some(&(va, _)) = pd.iface_maps.get(&task) {
+                            let _ = pagetable::unmap_page(m, pd.l1, va, pd.asid);
+                        }
+                    }
+                    pd.iface_maps.remove(&task);
+                }
+                stats.hwmgr.repromotions += 1;
+                self.metrics.inc("repromotions", Label::Machine);
+                self.metrics
+                    .inc("vm_repromotions", Label::Vm(caller.0 as u8));
+                let ev = TraceEvent::Repromote {
+                    vm: caller.0,
+                    task: task.0 as u32,
+                    prr,
+                };
+                tracer.emit(m.now(), ev);
+                self.profiler.record_event(m.now(), ev);
+            } else if let Some(s) = self
+                .shadows
+                .iter_mut()
+                .find(|s| s.vm == caller && s.task == task)
+            {
+                s.ds = ds;
+                return Ok(HwTaskStatus::Success as u32
+                    | (hw_task_result::NO_PRR << 8)
+                    | (hw_task_result::NO_LINE << 16)
+                    | hw_task_result::DEGRADED);
+            }
         }
 
         self.stage(m, 2);
@@ -508,6 +638,9 @@ impl HwMgr {
             self.stage(m, 5);
             stats.hwmgr.reconfigs += 1;
             self.metrics.inc("hwmgr_reconfigs", Label::Machine);
+            // Client reconfigurations always win the channel: a background
+            // scrub/relocation load in flight is aborted and rescheduled.
+            self.cancel_fabric_job(m);
             let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_SRC), bit_addr.raw() as u32);
             let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_LEN), bit_len);
             let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_TARGET), prr as u32);
@@ -535,7 +668,7 @@ impl HwMgr {
         Ok(HwTaskStatus::Success as u32 | ((prr as u32) << 8) | (line_idx << 16))
     }
 
-    fn program_hwmmu(&self, m: &mut Machine, prr: u8, ds: DataSection) {
+    pub(crate) fn program_hwmmu(&self, m: &mut Machine, prr: u8, ds: DataSection) {
         let _ = m.phys_write_u32(ctrl_reg(plregs::HWMMU_SEL), prr as u32);
         let _ = m.phys_write_u32(ctrl_reg(plregs::HWMMU_BASE), ds.pa.raw() as u32);
         let _ = m.phys_write_u32(ctrl_reg(plregs::HWMMU_LEN), ds.len as u32);
@@ -555,8 +688,10 @@ impl HwMgr {
             return self.release_shadow(m, pds, caller, task);
         };
         // A quarantined region's client was migrated to a shadow page;
-        // dropping the dispatch drops the shadow too.
-        self.shadows.retain(|s| !(s.vm == caller && s.task == task));
+        // dropping the dispatch drops the shadow too (and frees its page
+        // and parked completion line).
+        self.drop_shadow_of(m, pds, caller, task);
+        self.relocations.remove(&(caller, task));
         let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
         if !self.native {
             if let Some(&(va, _)) = pd.iface_maps.get(&task) {
@@ -579,6 +714,41 @@ impl HwMgr {
         Ok(0)
     }
 
+    /// Tear down the shadow dispatch of (`vm`, `task`), if one exists:
+    /// remove it from the service list, return its page to the pool and
+    /// free its parked completion line. Lines parked under the
+    /// [`SHADOW_LINE_KEY`] pseudo-region are freed here; a line already
+    /// re-keyed back onto a real region (promoted shadow) is left for the
+    /// normal release path, so the vGIC/GIC teardown only runs when the
+    /// pseudo-key actually held it.
+    fn drop_shadow_of(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        vm: VmId,
+        task: HwTaskId,
+    ) {
+        let Some(idx) = self
+            .shadows
+            .iter()
+            .position(|s| s.vm == vm && s.task == task)
+        else {
+            return;
+        };
+        let s = self.shadows.remove(idx);
+        self.free_shadow_page(s.page);
+        if let Some(line) = s.line {
+            if let Some(li) = line.pl_index() {
+                if self.irqs.free_prr(SHADOW_LINE_KEY | li as u8).is_some() {
+                    if let Some(pd) = pds.get_mut(&vm) {
+                        pd.vgic.remove(line);
+                    }
+                    m.gic.disable(line);
+                }
+            }
+        }
+    }
+
     /// Release a pure-software dispatch (no PRR-table entry backs it).
     fn release_shadow(
         &mut self,
@@ -587,12 +757,15 @@ impl HwMgr {
         caller: VmId,
         task: HwTaskId,
     ) -> Result<u32, HcError> {
-        let idx = self
+        if !self
             .shadows
             .iter()
-            .position(|s| s.vm == caller && s.task == task)
-            .ok_or(HcError::NotFound)?;
-        self.shadows.remove(idx);
+            .any(|s| s.vm == caller && s.task == task)
+        {
+            return Err(HcError::NotFound);
+        }
+        self.drop_shadow_of(m, pds, caller, task);
+        self.relocations.remove(&(caller, task));
         let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
         if !self.native {
             if let Some(&(va, _)) = pd.iface_maps.get(&task) {
@@ -659,6 +832,8 @@ impl HwMgr {
             page,
             ds,
             line: None,
+            from_prr: None,
+            promote_to: None,
         });
         stats.hwmgr.sw_fallbacks += 1;
         self.metrics.inc("sw_fallbacks", Label::Machine);
@@ -679,13 +854,17 @@ impl HwMgr {
     /// Called from the kernel's main loop between scheduling slices; the
     /// kernel has the CPU, so everything here is charged kernel time.
     ///
-    /// Three duties:
+    /// Four duties:
     /// 1. abort a PCAP transfer that has been BUSY past its deadline (the
     ///    guest's next PcapPoll then takes the retry path);
-    /// 2. quarantine a region whose STATUS has been BUSY for longer than
-    ///    [`HwMgr::watchdog_timeout`], migrating its client to a shadow
-    ///    page and completing the wedged run in software;
-    /// 3. serve start requests the guests wrote into shadow pages.
+    /// 2. escalate a region whose STATUS has been BUSY for longer than
+    ///    [`HwMgr::watchdog_timeout`] onto the hardware-task escalation
+    ///    ladder (retry → relocate → software fallback → error), and
+    ///    advance any open ladder past its rung deadline;
+    /// 3. serve start requests the guests wrote into shadow pages
+    ///    (transplanting promoted ones back onto fabric);
+    /// 4. drive the supervisor's background fabric work (scrubs,
+    ///    re-promotion and relocation loads).
     pub fn watchdog(
         &mut self,
         m: &mut Machine,
@@ -701,7 +880,7 @@ impl HwMgr {
             let status = m.phys_read_u32(ctrl_reg(plregs::PCAP_STATUS)).unwrap_or(0);
             if status == pcap_status::BUSY && now > job.stall_deadline() {
                 let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_CTRL), 0b10);
-                if self.profiler.is_enabled() {
+                if self.profiler.has_flight_events() {
                     let ctx = crate::postmortem::context(m, pds, Some(job.vm), &self.metrics);
                     self.profiler
                         .trigger_dump("pcap-watchdog-abort", m.now(), ctx);
@@ -709,7 +888,7 @@ impl HwMgr {
             }
         }
 
-        // 2. Hang detection.
+        // 2. Hang detection and ladder advancement.
         for prr in 0..self.prrs.len() as u8 {
             if self.prrs.entry(prr).quarantined {
                 continue;
@@ -717,22 +896,42 @@ impl HwMgr {
             let status = self.prr_status(m, prr);
             if status != prr_status::BUSY {
                 self.busy_since[prr as usize] = None;
+                // The retried (or relocated-away) run resolved; close the
+                // region's ladder.
+                self.ladders.remove(&prr);
                 continue;
             }
             let since = *self.busy_since[prr as usize].get_or_insert(now);
-            if now.saturating_sub(since) > self.watchdog_timeout {
-                self.quarantine(m, pds, pt, stats, tracer, prr);
+            if let Some(l) = self.ladders.get(&prr) {
+                if now > l.deadline {
+                    self.ladder_advance(m, pds, pt, stats, tracer, prr, now);
+                }
+            } else if now.saturating_sub(since) > self.watchdog_timeout {
+                if self.prrs.entry(prr).client.is_some() {
+                    self.ladder_retry(m, stats, tracer, prr, now);
+                } else {
+                    // No client to preserve: skip the ladder.
+                    let _ = self.quarantine(m, pds, pt, stats, tracer, prr);
+                }
             }
         }
 
         // 3. Shadow service.
-        self.serve_shadows(m, pds, stats, tracer);
+        self.serve_shadows(m, pds, pt, stats, tracer);
+
+        // 4. Background fabric maintenance.
+        self.fabric_tick(m, pds, pt, stats, tracer);
     }
 
     /// Take a hung region out of service and migrate its client to a
     /// shadow page, completing the wedged run in software (bit-identical
     /// output — the shadow runs the same functional model as the fabric).
-    fn quarantine(
+    ///
+    /// Returns `true` when the region had no client, or its client was
+    /// migrated successfully; `false` when a client exists but could not
+    /// be migrated (the escalation ladder's final rung then reports the
+    /// error to the guest).
+    pub(crate) fn quarantine(
         &mut self,
         m: &mut Machine,
         pds: &mut BTreeMap<VmId, Pd>,
@@ -740,18 +939,21 @@ impl HwMgr {
         stats: &mut KernelStats,
         tracer: &Tracer,
         prr: u8,
-    ) {
+    ) -> bool {
         stats.hwmgr.quarantines += 1;
         self.metrics.inc("quarantines", Label::Machine);
         tracer.emit(m.now(), TraceEvent::PrrQuarantine { prr });
         self.profiler
             .record_event(m.now(), TraceEvent::PrrQuarantine { prr });
-        if self.profiler.is_enabled() {
+        if self.profiler.has_flight_events() {
             let vm = self.prrs.entry(prr).client;
             let ctx = crate::postmortem::context(m, pds, vm, &self.metrics);
             self.profiler.trigger_dump("prr-quarantine", m.now(), ctx);
         }
         self.busy_since[prr as usize] = None;
+        self.ladders.remove(&prr);
+        // A fresh quarantine starts a fresh scrub cycle (due immediately).
+        self.health[prr as usize] = PrrHealth::default();
         self.prrs.entry_mut(m, prr).quarantined = true;
 
         // A wedged region must not keep DMA rights.
@@ -763,16 +965,16 @@ impl HwMgr {
             (e.client, e.task, e.iface_va)
         };
         let (Some(vm), Some(task), Some(iface_va)) = (client, task, iface_va) else {
-            return; // nobody was using it — just retired
+            return true; // nobody was using it — just retired
         };
         let Some(core) = self.tasks.get(task).map(|e| e.core) else {
-            return;
+            return false;
         };
         let Some(ds) = pds.get(&vm).and_then(|pd| pd.data_section) else {
-            return;
+            return false;
         };
         let Some(page) = self.alloc_shadow_page(m) else {
-            return; // pool exhausted: region stays retired, no migration
+            return false; // pool exhausted: region stays retired, no migration
         };
 
         // Copy the register group so the client's programming survives the
@@ -802,7 +1004,17 @@ impl HwMgr {
                 );
             }
         }
+        // Keep (or take) a completion line for the shadow service, then
+        // park it under the pseudo-region key so the real region key is
+        // free for reinstatement. The fabric route is cleared either way —
+        // a wedged region must not raise completions.
         let line = self.irqs.alloc(vm, prr).ok();
+        if line.is_some() {
+            if let Some(li) = line.and_then(|l| l.pl_index()) {
+                self.irqs.retarget_prr(prr, SHADOW_LINE_KEY | li as u8);
+            }
+        }
+        let _ = m.phys_write_u32(ctrl_reg(plregs::IRQ_ROUTE), ((prr as u32) << 8) | 0xFF);
         let shadow = SwShadow {
             vm,
             task,
@@ -810,6 +1022,8 @@ impl HwMgr {
             page,
             ds,
             line,
+            from_prr: Some(prr),
+            promote_to: None,
         };
 
         // The wedged run: the guest is polling STATUS (or waiting on the
@@ -818,30 +1032,43 @@ impl HwMgr {
             self.serve_one(m, pds, stats, tracer, &shadow, regs[prr_regs::CTRL]);
         }
         self.shadows.push(shadow);
+        true
     }
 
-    /// Serve pending start requests written into shadow register pages.
+    /// Serve pending start requests written into shadow register pages. A
+    /// shadow flagged for re-promotion is transplanted onto its reserved
+    /// region at its next START instead of being served in software.
     fn serve_shadows(
         &mut self,
         m: &mut Machine,
         pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
         stats: &mut KernelStats,
         tracer: &Tracer,
     ) {
         let shadows = std::mem::take(&mut self.shadows);
-        for s in &shadows {
+        let mut kept = Vec::with_capacity(shadows.len());
+        for s in shadows {
             let ctrl = m
                 .phys_read_u32(s.page + 4 * prr_regs::CTRL as u64)
                 .unwrap_or(0);
-            if ctrl & prr_ctrl::START != 0 {
-                self.serve_one(m, pds, stats, tracer, s, ctrl);
+            if ctrl & prr_ctrl::START == 0 {
+                kept.push(s);
+                continue;
+            }
+            if let Some(prr) = s.promote_to {
+                // Promoted: hand the request to the fabric and drop the
+                // shadow — the dispatch is hardware-backed from here on.
+                self.transplant(m, pds, pt, stats, tracer, &s, prr, ctrl);
+            } else {
+                self.serve_one(m, pds, stats, tracer, &s, ctrl);
+                kept.push(s);
             }
         }
-        // serve_one never touches self.shadows; restore (plus anything a
-        // re-entrant path might have pushed, defensively).
-        let mut restored = shadows;
-        restored.append(&mut self.shadows);
-        self.shadows = restored;
+        // serve_one/transplant never re-enter the shadow list, but restore
+        // anything a future path might have pushed, defensively.
+        kept.append(&mut self.shadows);
+        self.shadows = kept;
     }
 
     /// Run one software-fallback request to completion: validate the DMA
@@ -908,6 +1135,8 @@ impl HwMgr {
         let _ = m.phys_write_u32(s.page + 4 * prr_regs::PERF_CYCLES as u64, sw_cycles as u32);
         let _ = m.phys_write_u32(s.page + 4 * prr_regs::STATUS as u64, prr_status::DONE);
 
+        // A completed (software) round trip ends the no-completion streak.
+        self.relocations.remove(&(s.vm, s.task));
         stats.hwmgr.sw_fallbacks += 1;
         self.metrics.inc("sw_fallbacks", Label::Machine);
         tracer.emit(
@@ -1010,7 +1239,7 @@ impl HwMgr {
                             },
                         );
                         // Exponential backoff, then relaunch the transfer.
-                        m.charge(10_000u64 << job.attempts);
+                        m.charge(timing::PCAP_RETRY_BACKOFF_BASE << job.attempts);
                         let _ =
                             m.phys_write_u32(ctrl_reg(plregs::PCAP_SRC), job.bit_addr.raw() as u32);
                         let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_LEN), job.bit_len);
@@ -1030,7 +1259,7 @@ impl HwMgr {
                     if let Some(pd) = pds.get_mut(&caller) {
                         pd.pcap_pending = None;
                     }
-                    self.quarantine(m, pds, pt, stats, tracer, job.prr);
+                    let _ = self.quarantine(m, pds, pt, stats, tracer, job.prr);
                     return Ok(1);
                 }
             }

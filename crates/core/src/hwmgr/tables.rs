@@ -116,10 +116,17 @@ pub struct PrrEntry {
     pub iface_va: Option<u64>,
     /// Completed dispatches through this region.
     pub dispatches: u64,
-    /// Region taken out of service by the reconfiguration watchdog (a hung
-    /// PRR never comes back by itself — only a fabric power-cycle would
-    /// clear it, which the simulated board cannot do).
+    /// Region taken out of service by the reconfiguration watchdog. A hung
+    /// PRR never comes back by itself, but a full reconfiguration resets
+    /// the region's logic: the supervisor's background scrubber
+    /// (test-bitstream PCAP load + CRC readback) reinstates the region
+    /// into the allocator pool after enough consecutive passes.
     pub quarantined: bool,
+    /// Permanently out of service: the scrubber's failure budget was
+    /// exhausted, so the region's fabric (or its configuration path) is
+    /// considered genuinely damaged. `retired` implies `quarantined` and
+    /// is never cleared.
+    pub retired: bool,
 }
 
 /// The PRR state table.

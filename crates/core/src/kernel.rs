@@ -26,6 +26,7 @@ use crate::mirguest::MirGuest;
 use crate::sched::scheduler::{Scheduler, StopReason};
 use crate::sched::DEFAULT_QUANTUM;
 use crate::stats::KernelStats;
+use crate::supervisor::{timing, CrashDecision, Supervisor, VmImage};
 use crate::vmenv::VmEnv;
 
 /// The guest payload of a VM.
@@ -131,6 +132,9 @@ pub struct Kernel {
     pub machine: Machine,
     /// Kernel state.
     pub state: KernelState,
+    /// VM-level supervision: registered restart images, liveness
+    /// watchdogs, pending relaunches and the crash-loop window.
+    pub supervisor: Supervisor,
     guests: BTreeMap<VmId, GuestKind>,
     next_vm: u16,
     bitstream_cursor: u64,
@@ -181,6 +185,7 @@ impl Kernel {
         Kernel {
             machine,
             state,
+            supervisor: Supervisor::new(),
             guests: BTreeMap::new(),
             next_vm: 1,
             bitstream_cursor: layout::BITSTREAM_BASE.raw(),
@@ -269,7 +274,7 @@ impl Kernel {
         self.state
             .profiler
             .record_event(self.machine.now(), TraceEvent::VmKilled { vm: vm.0 });
-        if self.state.profiler.is_enabled() {
+        if self.state.profiler.has_flight_events() {
             let ctx = crate::postmortem::context(
                 &self.machine,
                 &self.state.pds,
@@ -282,6 +287,15 @@ impl Kernel {
         }
         self.state.stats.vms_killed += 1;
         self.state.metrics.inc("vms_killed", Label::Machine);
+        // Supervised VMs get a backed-off relaunch — unless they crashed
+        // too often inside the window, which makes the kill permanent.
+        match self.supervisor.record_crash(vm, self.machine.now().raw()) {
+            CrashDecision::Unsupervised | CrashDecision::Restart { .. } => {}
+            CrashDecision::BudgetExhausted => {
+                self.state.stats.crash_loop_kills += 1;
+                self.state.metrics.inc("crash_loop_kills", Label::Machine);
+            }
+        }
         self.destroy_vm(vm);
     }
 
@@ -326,6 +340,50 @@ impl Kernel {
     pub fn create_vm(&mut self, spec: VmSpec) -> VmId {
         let vm = VmId(self.next_vm);
         self.next_vm += 1;
+        self.install_vm(vm, spec);
+        vm
+    }
+
+    /// Create a VM under supervision: the builder produces the initial
+    /// guest payload and is retained as the restart image — after a
+    /// `kill_vm` the supervisor rebuilds the payload and relaunches the VM
+    /// (same id, same region) under bounded exponential backoff.
+    pub fn create_supervised_vm(
+        &mut self,
+        name: &'static str,
+        priority: Priority,
+        mut build: Box<dyn FnMut() -> GuestKind>,
+    ) -> VmId {
+        let guest = build();
+        let vm = self.create_vm(VmSpec {
+            name,
+            priority,
+            guest,
+        });
+        self.supervisor.register(
+            vm,
+            VmImage {
+                name,
+                priority,
+                build,
+            },
+        );
+        vm
+    }
+
+    /// Arm (or re-arm) the liveness watchdog for `vm`: kill after
+    /// `hang_cycles` on-CPU cycles without retired-instruction progress.
+    /// Works for unsupervised VMs too — the kill is then final.
+    pub fn watch_liveness(&mut self, vm: VmId, hang_cycles: u64) {
+        self.supervisor.watch(vm, hang_cycles);
+    }
+
+    /// Install `vm` with a given identity: the shared tail of first
+    /// creation and supervised relaunch. A relaunch reuses the VM id and
+    /// its statically-carved region but allocates a fresh ASID and L1
+    /// (old page-table pages are not reclaimed — the leak is bounded by
+    /// the crash budget).
+    fn install_vm(&mut self, vm: VmId, spec: VmSpec) {
         let asid = self.state.asids.alloc().expect("ASIDs available");
         let region = layout::vm_region(vm);
         let l1 = self
@@ -412,7 +470,6 @@ impl Kernel {
         self.state
             .metrics
             .set("vm_count", Label::Machine, self.guests.len() as u64);
-        vm
     }
 
     /// Number of guest VMs.
@@ -682,18 +739,31 @@ impl Kernel {
                 } = &mut self.state;
                 hwmgr.watchdog(&mut self.machine, pds, pt, stats, tracer);
             }
+            // VM supervision: liveness kills and due relaunches.
+            self.supervise();
             let now = self.machine.now().raw();
             let Some(vm) = self.pick_awake(now) else {
                 // Everyone is asleep (WFI): fast-forward to the earliest
-                // wake-up event, as a real kernel's idle loop would.
-                let next = self
+                // wake-up event — a runnable VM's wake time or a pending
+                // supervised relaunch — as a real kernel's idle loop would.
+                let wake = self
                     .state
                     .pds
                     .values()
                     .filter(|p| p.state == PdState::Runnable)
                     .map(|p| p.wake_at.max(now + 1))
+                    .min();
+                let restart = self
+                    .supervisor
+                    .pending_restarts()
+                    .iter()
+                    .map(|(_, p)| p.at.max(now + 1))
+                    .min();
+                let next = wake
+                    .into_iter()
+                    .chain(restart)
                     .min()
-                    .unwrap_or(now + 100_000)
+                    .unwrap_or(now + timing::IDLE_RESYNC)
                     .clamp(now + 1, deadline.raw().max(now + 1));
                 self.machine.charge(next - now);
                 self.machine.sync_devices();
@@ -761,7 +831,7 @@ impl Kernel {
                     } else if pd.vtimer.running() {
                         pd.vtimer.deadline
                     } else {
-                        end + 660_000 // 1 ms poll backoff
+                        end + timing::IDLE_POLL_BACKOFF
                     }
                 }
             };
@@ -769,6 +839,44 @@ impl Kernel {
                 self.state.sched.queue.remove(vm);
             }
         }
+    }
+
+    /// One VM-supervision pass, run from the main loop between slices:
+    /// kill guests whose liveness watchdog expired (on-CPU time with no
+    /// retired-instruction progress), then relaunch supervised VMs whose
+    /// restart backoff has elapsed.
+    fn supervise(&mut self) {
+        for vm in self.supervisor.hung_vms(&self.state.pds) {
+            self.state.stats.liveness_kills += 1;
+            self.state.metrics.inc("liveness_kills", Label::Machine);
+            self.kill_vm(vm);
+        }
+        let now = self.machine.now().raw();
+        while let Some((vm, attempt)) = self.supervisor.take_due_restart(now) {
+            let Some((guest, name, priority)) = self.supervisor.build_guest(vm) else {
+                continue;
+            };
+            self.install_vm(
+                vm,
+                VmSpec {
+                    name,
+                    priority,
+                    guest,
+                },
+            );
+            self.state.stats.vm_restarts += 1;
+            self.state.metrics.inc("vm_restarts", Label::Vm(vm.0 as u8));
+            let ev = TraceEvent::VmRestart { vm: vm.0, attempt };
+            self.state.tracer.emit(self.machine.now(), ev);
+            self.state.profiler.record_event(self.machine.now(), ev);
+        }
+    }
+
+    /// Debug invariant check for soak harnesses: no fabric resource may
+    /// reference a dead VM and the shadow-page pool must balance. Cheap
+    /// enough to call every probe interval.
+    pub fn check_recovery_invariants(&self) -> Result<(), String> {
+        self.state.hwmgr.check_invariants(&self.state.pds)
     }
 
     /// Highest-priority runnable VM that is awake at `now`, honouring the

@@ -43,6 +43,7 @@ pub mod native;
 pub mod postmortem;
 pub mod sched;
 pub mod stats;
+pub mod supervisor;
 pub mod vgic;
 pub mod vmenv;
 pub mod vtimer;

@@ -50,6 +50,24 @@ pub struct HwMgrStats {
     pub quarantines: u64,
     /// Hardware-task runs served by the software fallback.
     pub sw_fallbacks: u64,
+    /// Background scrubs of quarantined PRRs that passed readback.
+    pub scrubs: u64,
+    /// Background scrubs that failed readback.
+    pub scrub_fails: u64,
+    /// Quarantined PRRs reinstated into the allocator pool.
+    pub reinstates: u64,
+    /// PRRs retired permanently after repeated scrub failures.
+    pub prrs_retired: u64,
+    /// Degraded shadow clients promoted back onto fabric hardware.
+    pub repromotions: u64,
+    /// Escalation-ladder rung 1: hung task restarted on the same PRR.
+    pub ladder_retries: u64,
+    /// Escalation-ladder rung 2: hung task relocated to a compatible PRR.
+    pub ladder_relocations: u64,
+    /// Escalation-ladder rung 3: hung task degraded to software fallback.
+    pub ladder_fallbacks: u64,
+    /// Escalation-ladder rung 4: hung task failed with an error to the guest.
+    pub ladder_errors: u64,
 }
 
 impl HwMgrStats {
@@ -73,6 +91,15 @@ impl HwMgrStats {
         self.pcap_retries += other.pcap_retries;
         self.quarantines += other.quarantines;
         self.sw_fallbacks += other.sw_fallbacks;
+        self.scrubs += other.scrubs;
+        self.scrub_fails += other.scrub_fails;
+        self.reinstates += other.reinstates;
+        self.prrs_retired += other.prrs_retired;
+        self.repromotions += other.repromotions;
+        self.ladder_retries += other.ladder_retries;
+        self.ladder_relocations += other.ladder_relocations;
+        self.ladder_fallbacks += other.ladder_fallbacks;
+        self.ladder_errors += other.ladder_errors;
     }
 }
 
@@ -97,6 +124,12 @@ pub struct KernelStats {
     pub faults_forwarded: u64,
     /// VMs killed on unrecoverable faults.
     pub vms_killed: u64,
+    /// VMs relaunched by the supervisor after a kill.
+    pub vm_restarts: u64,
+    /// VMs killed by the liveness watchdog (no retired-instruction progress).
+    pub liveness_kills: u64,
+    /// VMs killed permanently after exhausting the crash-loop budget.
+    pub crash_loop_kills: u64,
 }
 
 impl KernelStats {

@@ -1,0 +1,1255 @@
+//! Self-healing supervision — the recovery half of the containment story.
+//!
+//! The degradation paths (PCAP retry, watchdog quarantine, software
+//! fallback, `kill_vm`) are all *terminal* on their own: a killed VM stays
+//! dead, a quarantined PRR never returns to the §III-C allocator pool and a
+//! degraded client runs the 8× shadow path forever. This module adds the
+//! mechanisms that make a long-running fleet converge back to healthy
+//! hardware service once the faults stop:
+//!
+//! * **VM liveness + restart** ([`Supervisor`]): a per-VM progress watchdog
+//!   over the retired-instruction PMU counter detects guests that burn CPU
+//!   without retiring instructions (a wedged hypercall/poll loop) and
+//!   escalates to `kill_vm`; supervised VMs are rebuilt from their
+//!   registered image and relaunched under bounded exponential backoff,
+//!   with a crash-loop budget (more than [`CRASH_BUDGET`] failures inside
+//!   [`timing::CRASH_WINDOW`] ⇒ permanent kill).
+//! * **PRR scrub-and-reinstate** (`impl HwMgr` below): quarantined regions
+//!   get periodic background scrubs — a full test-bitstream PCAP load whose
+//!   CRC-checked ingest doubles as configuration readback. After
+//!   [`SCRUB_PASSES_TO_REINSTATE`] consecutive passes the region returns to
+//!   the first-fit pool and shadow-fallback clients are *re-promoted* onto
+//!   it (the exact reverse of the quarantine migration, bit-identical
+//!   results either way); [`SCRUB_FAILS_TO_RETIRE`] consecutive failures
+//!   retire it permanently.
+//! * **Hardware-task escalation ladder**: a hung region no longer jumps
+//!   straight to quarantine. The rungs are retry-same-PRR →
+//!   relocate-to-compatible-PRR → software fallback → error, each with its
+//!   own timeout, every transition counted, traced and flight-recorded.
+
+use mnv_arm::machine::Machine;
+use mnv_arm::tlb::Ap;
+use mnv_fpga::pl::{pcap_status, pcap_transfer_cycles, plregs, Pl};
+use mnv_fpga::prr::ctrl as prr_ctrl;
+use mnv_fpga::prr::errcode as prr_errcode;
+use mnv_fpga::prr::regs as prr_regs;
+use mnv_fpga::prr::status as prr_status;
+use mnv_fpga::prr::REG_COUNT;
+use mnv_hal::{Domain, HwTaskId, Priority, VmId};
+use mnv_metrics::Label;
+use mnv_trace::{TraceEvent, Tracer};
+use std::collections::BTreeMap;
+
+use crate::hwmgr::service::{ctrl_reg, SwShadow, SHADOW_LINE_KEY};
+use crate::hwmgr::HwMgr;
+use crate::kernel::GuestKind;
+use crate::kobj::pd::Pd;
+use crate::mem::pagetable::{self, PtAlloc};
+use crate::stats::KernelStats;
+
+/// Named cycle constants for every supervision timer (660 cycles = 1 µs at
+/// the platform's 660 MHz). The kernel's idle loop and the Hardware Task
+/// Manager's watchdog use these too, replacing the magic literals they
+/// previously carried inline.
+pub mod timing {
+    /// Idle-VM poll backoff: a guest that went idle with no timer armed is
+    /// re-polled after 1 ms (the kernel's "1 ms poll backoff").
+    pub const IDLE_POLL_BACKOFF: u64 = 660_000;
+
+    /// Idle-loop resync bound when no runnable VM advertises a wake-up
+    /// time: fast-forward at most this far before re-evaluating.
+    pub const IDLE_RESYNC: u64 = 100_000;
+
+    /// Slack added to the nominal PCAP transfer time before the stall
+    /// watchdog aborts it.
+    pub const PCAP_STALL_SLACK: u64 = 100_000;
+
+    /// Base of the PCAP relaunch exponential backoff (doubled per
+    /// attempt).
+    pub const PCAP_RETRY_BACKOFF_BASE: u64 = 10_000;
+
+    /// Liveness watchdog default: a VM that accumulates this much on-CPU
+    /// time without retiring a single instruction is declared hung (idle
+    /// VMs are parked and accumulate nothing, so only genuine no-progress
+    /// spinning — e.g. a wedged hypercall loop — trips this).
+    pub const LIVENESS_HANG_CYCLES: u64 = 50_000_000;
+
+    /// First-restart backoff; doubled per crash inside the window.
+    pub const RESTART_BACKOFF_BASE: u64 = 1_000_000;
+
+    /// Cap on the restart backoff (~100 ms).
+    pub const RESTART_BACKOFF_MAX: u64 = 66_000_000;
+
+    /// Sliding window over which crashes count against the budget (~1 s).
+    pub const CRASH_WINDOW: u64 = 660_000_000;
+
+    /// Interval between background scrubs of one quarantined region.
+    pub const SCRUB_INTERVAL: u64 = 4_000_000;
+
+    /// Escalation ladder rung 1: how long a retried run may stay BUSY
+    /// before the ladder advances.
+    pub const LADDER_RETRY_TIMEOUT: u64 = 2_000_000;
+
+    /// Escalation ladder rung 2: how long a relocation (PCAP load of the
+    /// task onto a compatible region + restart) may take before the ladder
+    /// falls back to software.
+    pub const LADDER_RELOCATE_TIMEOUT: u64 = 4_000_000;
+}
+
+/// Crash-loop budget: more than this many crashes of one VM inside
+/// [`timing::CRASH_WINDOW`] make the kill permanent.
+pub const CRASH_BUDGET: usize = 3;
+
+/// Consecutive scrub passes required to reinstate a quarantined region.
+pub const SCRUB_PASSES_TO_REINSTATE: u8 = 2;
+
+/// Consecutive scrub failures after which a region is retired for good.
+pub const SCRUB_FAILS_TO_RETIRE: u8 = 3;
+
+/// Relocation budget of one dispatch: how many times the escalation ladder
+/// may move a client between regions before its next hang must take the
+/// software rung. Without this bound a persistent fault storm ping-pongs a
+/// client between freshly-scrubbed regions forever — relocation after
+/// relocation, never a completed run. A new request (or a completed
+/// software round trip) resets the streak.
+pub const MAX_RELOCATION_HOPS: u8 = 2;
+
+// ---------------------------------------------------------------------------
+// VM supervision
+// ---------------------------------------------------------------------------
+
+/// A registered VM image: everything needed to rebuild the guest payload
+/// after a kill. The builder is called once per restart and must produce a
+/// freshly-initialised guest (restarts are cold boots, not resumes).
+pub struct VmImage {
+    /// Name for diagnostics (reused by the relaunched PD).
+    pub name: &'static str,
+    /// Scheduling priority of the relaunched VM.
+    pub priority: Priority,
+    /// Factory for the guest payload.
+    pub build: Box<dyn FnMut() -> GuestKind>,
+}
+
+/// Per-VM liveness watchdog state.
+struct Liveness {
+    /// Kill after this many on-CPU cycles without retired-instruction
+    /// progress.
+    hang_cycles: u64,
+    /// Retired-instruction count at the last observed progress.
+    last_instr: u64,
+    /// On-CPU cycle count at the last observed progress.
+    cycles_at_progress: u64,
+}
+
+/// A scheduled relaunch of a supervised VM.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingRestart {
+    /// Cycle time at which the relaunch happens (kill time + backoff).
+    pub at: u64,
+    /// Crash count inside the current window (1 = first restart).
+    pub attempt: u8,
+}
+
+/// What [`Supervisor::record_crash`] decided about a kill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashDecision {
+    /// The VM has no registered image; the kill is final (the pre-existing
+    /// behaviour for unsupervised VMs).
+    Unsupervised,
+    /// A relaunch was scheduled.
+    Restart {
+        /// When the relaunch fires.
+        at: u64,
+        /// Crash count inside the window (drives the backoff exponent).
+        attempt: u8,
+    },
+    /// The crash-loop budget is exhausted; the image was dropped and the
+    /// kill is permanent.
+    BudgetExhausted,
+}
+
+/// The VM-level supervisor: registered images, liveness watchdogs, pending
+/// restarts and the crash-loop sliding window.
+#[derive(Default)]
+pub struct Supervisor {
+    images: BTreeMap<VmId, VmImage>,
+    liveness: BTreeMap<VmId, Liveness>,
+    pending: BTreeMap<VmId, PendingRestart>,
+    crashes: BTreeMap<VmId, Vec<u64>>,
+}
+
+impl Supervisor {
+    /// An empty supervisor (nothing is supervised until registered).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `vm` for supervised restart and arm its liveness watchdog
+    /// with the default threshold.
+    pub fn register(&mut self, vm: VmId, image: VmImage) {
+        self.images.insert(vm, image);
+        self.watch(vm, timing::LIVENESS_HANG_CYCLES);
+    }
+
+    /// Arm (or re-arm) the liveness watchdog for `vm`: kill after
+    /// `hang_cycles` on-CPU cycles without retired-instruction progress.
+    pub fn watch(&mut self, vm: VmId, hang_cycles: u64) {
+        self.liveness.insert(
+            vm,
+            Liveness {
+                hang_cycles,
+                last_instr: 0,
+                cycles_at_progress: 0,
+            },
+        );
+    }
+
+    /// Is `vm` registered for supervised restart?
+    pub fn is_supervised(&self, vm: VmId) -> bool {
+        self.images.contains_key(&vm)
+    }
+
+    /// Restarts currently scheduled (for invariant checks and monitors).
+    pub fn pending_restarts(&self) -> Vec<(VmId, PendingRestart)> {
+        self.pending.iter().map(|(&vm, &p)| (vm, p)).collect()
+    }
+
+    /// Drop all supervision state for `vm` (used by explicit un-supervised
+    /// destruction paths).
+    pub fn forget(&mut self, vm: VmId) {
+        self.images.remove(&vm);
+        self.liveness.remove(&vm);
+        self.pending.remove(&vm);
+        self.crashes.remove(&vm);
+    }
+
+    /// Sweep the liveness watchdogs and return the VMs that exceeded their
+    /// no-progress budget. The caller is expected to `kill_vm` each.
+    pub fn hung_vms(&mut self, pds: &BTreeMap<VmId, Pd>) -> Vec<VmId> {
+        let mut hung = Vec::new();
+        for (&vm, lv) in self.liveness.iter_mut() {
+            let Some(pd) = pds.get(&vm) else { continue };
+            let cycles = pd.stats.pmu.cycles;
+            let instr = pd.stats.pmu.instr_retired;
+            if instr != lv.last_instr || cycles < lv.cycles_at_progress {
+                // Progress — or a restart reset the counters; re-baseline.
+                lv.last_instr = instr;
+                lv.cycles_at_progress = cycles;
+            } else if cycles - lv.cycles_at_progress > lv.hang_cycles {
+                hung.push(vm);
+            }
+        }
+        hung
+    }
+
+    /// Record a kill of `vm` at `now` and decide what happens next:
+    /// schedule a backed-off relaunch, or declare the crash loop dead.
+    pub fn record_crash(&mut self, vm: VmId, now: u64) -> CrashDecision {
+        if !self.images.contains_key(&vm) {
+            return CrashDecision::Unsupervised;
+        }
+        // A killed VM has no liveness to watch until it is relaunched.
+        self.liveness.remove(&vm);
+        let window = self.crashes.entry(vm).or_default();
+        window.retain(|&t| now.saturating_sub(t) <= timing::CRASH_WINDOW);
+        window.push(now);
+        let attempt = window.len();
+        if attempt > CRASH_BUDGET {
+            self.images.remove(&vm);
+            self.pending.remove(&vm);
+            return CrashDecision::BudgetExhausted;
+        }
+        let backoff =
+            (timing::RESTART_BACKOFF_BASE << (attempt as u32 - 1)).min(timing::RESTART_BACKOFF_MAX);
+        let restart = PendingRestart {
+            at: now + backoff,
+            attempt: attempt as u8,
+        };
+        self.pending.insert(vm, restart);
+        CrashDecision::Restart {
+            at: restart.at,
+            attempt: restart.attempt,
+        }
+    }
+
+    /// Pop one restart whose backoff has elapsed, if any.
+    pub fn take_due_restart(&mut self, now: u64) -> Option<(VmId, u8)> {
+        let vm = self
+            .pending
+            .iter()
+            .find(|(_, p)| p.at <= now)
+            .map(|(&vm, _)| vm)?;
+        let p = self.pending.remove(&vm)?;
+        Some((vm, p.attempt))
+    }
+
+    /// Build a fresh guest payload for `vm` from its registered image and
+    /// re-arm its liveness watchdog. Returns the payload plus the spec
+    /// parameters the relaunch should reuse.
+    pub fn build_guest(&mut self, vm: VmId) -> Option<(GuestKind, &'static str, Priority)> {
+        let image = self.images.get_mut(&vm)?;
+        let guest = (image.build)();
+        let (name, priority) = (image.name, image.priority);
+        self.watch(vm, timing::LIVENESS_HANG_CYCLES);
+        Some((guest, name, priority))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fabric recovery: scrub-and-reinstate, escalation ladder, re-promotion
+// ---------------------------------------------------------------------------
+
+/// What a kernel-initiated PCAP transfer is for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricJobKind {
+    /// Background scrub of a quarantined region: a test-bitstream load
+    /// whose CRC-checked ingest doubles as configuration readback.
+    Scrub,
+    /// Load a degraded client's task onto a healthy free region so the
+    /// client can be promoted back to hardware.
+    Repromote {
+        /// The shadow-fallback client being promoted.
+        vm: VmId,
+    },
+    /// Escalation-ladder rung 2: load the hung client's task onto a
+    /// compatible region, then move the client across.
+    Relocate {
+        /// The client being moved.
+        vm: VmId,
+        /// The hung region it is leaving.
+        from: u8,
+    },
+}
+
+/// One in-flight kernel-initiated PCAP transfer. At most one exists, and
+/// only while no guest reconfiguration is pending — client transfers always
+/// win the channel.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricJob {
+    /// Target region.
+    pub prr: u8,
+    /// The task whose bitstream is being loaded.
+    pub task: HwTaskId,
+    /// Bitstream length (stall-deadline input).
+    pub bit_len: u32,
+    /// Launch time.
+    pub started_at: u64,
+    /// Purpose of the transfer.
+    pub kind: FabricJobKind,
+}
+
+impl FabricJob {
+    /// Cycle deadline after which the transfer is considered stalled.
+    pub fn stall_deadline(&self) -> u64 {
+        self.started_at + 4 * pcap_transfer_cycles(self.bit_len as u64) + timing::PCAP_STALL_SLACK
+    }
+}
+
+/// Per-PRR scrub health, driving the reinstate/retire decision.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrrHealth {
+    /// Consecutive scrub passes.
+    pub passes: u8,
+    /// Consecutive scrub failures.
+    pub fails: u8,
+    /// Earliest cycle time of the next scrub attempt (`u64::MAX` marks a
+    /// region with no compatible registered task — unscrubbable).
+    pub next_scrub_at: u64,
+}
+
+/// Escalation-ladder state for one hung region.
+#[derive(Clone, Copy, Debug)]
+pub struct Ladder {
+    /// Current rung: 1 retry, 2 relocate (3 and 4 resolve immediately and
+    /// never persist here).
+    pub rung: u8,
+    /// Deadline after which the next rung is taken.
+    pub deadline: u64,
+    /// Interface register image captured at the first escalation (the
+    /// client's staged run, replayed on retry and relocation).
+    pub saved: [u32; REG_COUNT],
+}
+
+/// The DMA-staging registers replayed across retry/relocation/transplant
+/// (SRC_ADDR, SRC_LEN, DST_ADDR, DST_LEN, PARAM0).
+const STAGING_REGS: [usize; 5] = [
+    prr_regs::SRC_ADDR,
+    prr_regs::SRC_LEN,
+    prr_regs::DST_ADDR,
+    prr_regs::DST_LEN,
+    prr_regs::PARAM0,
+];
+
+impl HwMgr {
+    /// One supervision pass over the fabric, run at the tail of the
+    /// manager's watchdog: poll the in-flight kernel transfer, and when the
+    /// PCAP channel is free launch the next scrub or re-promotion load.
+    pub fn fabric_tick(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+    ) {
+        self.poll_fabric_job(m, pds, pt, stats, tracer);
+        if self.pcap_job.is_none() && self.fabric_job.is_none() {
+            self.launch_next_fabric_job(m, pds);
+        }
+    }
+
+    /// Abort the in-flight kernel transfer (a client reconfiguration needs
+    /// the channel). Not counted as a scrub failure — the scrub is simply
+    /// rescheduled.
+    pub(crate) fn cancel_fabric_job(&mut self, m: &mut Machine) {
+        let Some(job) = self.fabric_job.take() else {
+            return;
+        };
+        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_CTRL), 0b10);
+        let now = m.now().raw();
+        match job.kind {
+            FabricJobKind::Scrub | FabricJobKind::Repromote { .. } => {
+                self.health[job.prr as usize].next_scrub_at = now + self.scrub_interval;
+            }
+            // A cancelled relocation leaves the ladder in place; its
+            // deadline escalates the hung region to the software rung.
+            FabricJobKind::Relocate { .. } => {}
+        }
+    }
+
+    fn poll_fabric_job(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+    ) {
+        let Some(job) = self.fabric_job else { return };
+        let status = m
+            .phys_read_u32(ctrl_reg(plregs::PCAP_STATUS))
+            .unwrap_or(pcap_status::ERROR);
+        match status {
+            pcap_status::DONE => {
+                self.fabric_job = None;
+                match job.kind {
+                    FabricJobKind::Scrub => self.scrub_passed(m, pds, stats, tracer, job),
+                    FabricJobKind::Repromote { vm } => {
+                        // The region now holds the client's core; keep the
+                        // table honest even if the client vanished mid-load.
+                        self.prrs.entry_mut(m, job.prr).task = Some(job.task);
+                        if pds.contains_key(&vm) {
+                            self.repromote_prep(m, pds, job.prr, vm, job.task);
+                        }
+                    }
+                    FabricJobKind::Relocate { vm, from } => {
+                        self.prrs.entry_mut(m, job.prr).task = Some(job.task);
+                        self.finish_relocation(m, pds, pt, stats, tracer, job, vm, from);
+                    }
+                }
+            }
+            pcap_status::ERROR => {
+                self.fabric_job = None;
+                self.fabric_job_failed(m, pds, pt, stats, tracer, job);
+            }
+            _ if m.now().raw() > job.stall_deadline() => {
+                let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_CTRL), 0b10);
+                self.fabric_job = None;
+                self.fabric_job_failed(m, pds, pt, stats, tracer, job);
+            }
+            _ => {}
+        }
+    }
+
+    fn fabric_job_failed(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        job: FabricJob,
+    ) {
+        match job.kind {
+            FabricJobKind::Scrub => self.scrub_failed(m, stats, tracer, job),
+            FabricJobKind::Repromote { .. } => {
+                // The target region stays healthy and free; the promotion
+                // scan will simply try again later.
+                self.health[job.prr as usize].next_scrub_at = m.now().raw() + self.scrub_interval;
+            }
+            FabricJobKind::Relocate { from, .. } => {
+                // Relocation load failed: fall straight through to the
+                // software rung for the hung region.
+                self.ladders.remove(&from);
+                self.ladder_fallback(m, pds, pt, stats, tracer, from);
+            }
+        }
+    }
+
+    /// Pick and launch the next kernel PCAP transfer: a due scrub of a
+    /// quarantined region first, else a re-promotion load for a degraded
+    /// client with a healthy compatible region free.
+    fn launch_next_fabric_job(&mut self, m: &mut Machine, pds: &BTreeMap<VmId, Pd>) {
+        let now = m.now().raw();
+
+        // Scrubs. The scrub bitstream is chosen to be useful: prefer the
+        // task of a degraded client that could use this region, so the
+        // reinstating pass leaves the right core resident and the
+        // subsequent re-promotion needs no extra transfer.
+        for prr in 0..self.prrs.len() as u8 {
+            let e = *self.prrs.entry(prr);
+            if !e.quarantined || e.retired || now < self.health[prr as usize].next_scrub_at {
+                continue;
+            }
+            let preferred = self
+                .shadows
+                .iter()
+                .filter(|s| pds.contains_key(&s.vm))
+                .map(|s| s.task)
+                .find(|&t| self.task_fits(t, prr));
+            let task = preferred.or_else(|| {
+                self.tasks
+                    .ids()
+                    .into_iter()
+                    .find(|&t| self.task_fits(t, prr))
+            });
+            let Some(task) = task else {
+                // No registered task fits this region: it cannot be
+                // scrubbed, so stop considering it (and exempt it from the
+                // "no quarantined-but-scrubbable regions" invariant).
+                self.health[prr as usize].next_scrub_at = u64::MAX;
+                continue;
+            };
+            self.launch_fabric_pcap(m, prr, task, FabricJobKind::Scrub);
+            return;
+        }
+
+        // Re-promotion loads: a degraded client whose task fits a healthy
+        // free region. When the core is already resident no transfer is
+        // needed — promote directly.
+        let candidate = self.shadows.iter().find_map(|s| {
+            if s.promote_to.is_some() || !pds.contains_key(&s.vm) {
+                return None;
+            }
+            let prr = (0..self.prrs.len() as u8).find(|&p| {
+                let e = self.prrs.entry(p);
+                !e.quarantined
+                    && !e.retired
+                    && e.client.is_none()
+                    && !self.ladders.contains_key(&p)
+                    && self.task_fits(s.task, p)
+            })?;
+            Some((s.vm, s.task, prr))
+        });
+        if let Some((vm, task, prr)) = candidate {
+            if self.prr_status(m, prr) == prr_status::BUSY {
+                return;
+            }
+            if self.prrs.entry(prr).task == Some(task) {
+                self.repromote_prep(m, pds, prr, vm, task);
+            } else {
+                self.launch_fabric_pcap(m, prr, task, FabricJobKind::Repromote { vm });
+            }
+        }
+    }
+
+    fn launch_fabric_pcap(
+        &mut self,
+        m: &mut Machine,
+        prr: u8,
+        task: HwTaskId,
+        kind: FabricJobKind,
+    ) {
+        let Some((bit_addr, bit_len)) = self.tasks.get(task).map(|e| (e.bit_addr, e.bit_len))
+        else {
+            return;
+        };
+        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_SRC), bit_addr.raw() as u32);
+        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_LEN), bit_len);
+        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_TARGET), prr as u32);
+        // Kernel transfers complete by poll, not IRQ — the PCAP_DONE line
+        // stays reserved for client reconfigurations.
+        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_IRQ_EN), 0);
+        let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_CTRL), 1);
+        self.fabric_job = Some(FabricJob {
+            prr,
+            task,
+            bit_len,
+            started_at: m.now().raw(),
+            kind,
+        });
+    }
+
+    fn scrub_passed(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        job: FabricJob,
+    ) {
+        let now = m.now().raw();
+        let h = &mut self.health[job.prr as usize];
+        h.passes += 1;
+        h.fails = 0;
+        h.next_scrub_at = now + self.scrub_interval;
+        let passes = h.passes;
+        stats.hwmgr.scrubs += 1;
+        self.metrics.inc("prr_scrubs", Label::Machine);
+        let ev = TraceEvent::PrrScrub {
+            prr: job.prr,
+            pass: true,
+        };
+        tracer.emit(m.now(), ev);
+        self.profiler.record_event(m.now(), ev);
+        if passes < SCRUB_PASSES_TO_REINSTATE {
+            return;
+        }
+
+        // Reinstate: back into the first-fit pool, with the scrub task's
+        // core resident.
+        self.health[job.prr as usize] = PrrHealth {
+            passes: 0,
+            fails: 0,
+            next_scrub_at: u64::MAX, // healthy regions are not scrubbed
+        };
+        self.busy_since[job.prr as usize] = None;
+        {
+            let e = self.prrs.entry_mut(m, job.prr);
+            e.quarantined = false;
+            e.client = None;
+            e.iface_va = None;
+            e.task = Some(job.task);
+        }
+        stats.hwmgr.reinstates += 1;
+        self.metrics.inc("prr_reinstates", Label::Machine);
+        let ev = TraceEvent::PrrReinstate { prr: job.prr };
+        tracer.emit(m.now(), ev);
+        self.profiler.record_event(m.now(), ev);
+
+        // If the scrub bitstream was chosen for a degraded client, promote
+        // that client now — the core is already resident.
+        let client = self
+            .shadows
+            .iter()
+            .find(|s| s.promote_to.is_none() && s.task == job.task && pds.contains_key(&s.vm))
+            .map(|s| s.vm);
+        if let Some(vm) = client {
+            self.repromote_prep(m, pds, job.prr, vm, job.task);
+        }
+    }
+
+    fn scrub_failed(
+        &mut self,
+        m: &mut Machine,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        job: FabricJob,
+    ) {
+        let now = m.now().raw();
+        let h = &mut self.health[job.prr as usize];
+        h.fails += 1;
+        h.passes = 0;
+        h.next_scrub_at = now + self.scrub_interval;
+        let fails = h.fails;
+        stats.hwmgr.scrub_fails += 1;
+        self.metrics.inc("prr_scrub_fails", Label::Machine);
+        let ev = TraceEvent::PrrScrub {
+            prr: job.prr,
+            pass: false,
+        };
+        tracer.emit(m.now(), ev);
+        self.profiler.record_event(m.now(), ev);
+        if fails < SCRUB_FAILS_TO_RETIRE {
+            return;
+        }
+        self.prrs.entry_mut(m, job.prr).retired = true;
+        stats.hwmgr.prrs_retired += 1;
+        self.metrics.inc("prrs_retired", Label::Machine);
+        let ev = TraceEvent::PrrRetire { prr: job.prr };
+        tracer.emit(m.now(), ev);
+        self.profiler.record_event(m.now(), ev);
+    }
+
+    /// Prepare a shadow client's return to hardware: reserve the region,
+    /// reprogram the hwMMU and move the completion IRQ route over, but keep
+    /// the guest's interface mapped to the shadow page. The actual switch
+    /// (the "transplant") happens at the client's next START, so an
+    /// unconsumed shadow completion can never be lost.
+    fn repromote_prep(
+        &mut self,
+        m: &mut Machine,
+        pds: &BTreeMap<VmId, Pd>,
+        prr: u8,
+        vm: VmId,
+        task: HwTaskId,
+    ) {
+        let Some(idx) = self
+            .shadows
+            .iter()
+            .position(|s| s.vm == vm && s.task == task && s.promote_to.is_none())
+        else {
+            return;
+        };
+        let Some(&(iface_va, _)) = pds.get(&vm).and_then(|pd| pd.iface_maps.get(&task)) else {
+            return;
+        };
+        let ds = self.shadows[idx].ds;
+        {
+            let e = self.prrs.entry_mut(m, prr);
+            e.client = Some(vm);
+            e.task = Some(task);
+            e.iface_va = Some(iface_va.raw());
+        }
+        self.program_hwmmu(m, prr, ds);
+        if let Some(line) = self.shadows[idx].line {
+            // The client kept its original line through the quarantine
+            // (parked under the shadow pseudo-key); re-key it onto the new
+            // region and restore the hardware route.
+            if let Some(li) = line.pl_index() {
+                if self
+                    .irqs
+                    .retarget_prr(SHADOW_LINE_KEY | li as u8, prr)
+                    .is_some()
+                {
+                    let _ = m.phys_write_u32(
+                        ctrl_reg(plregs::IRQ_ROUTE),
+                        ((prr as u32) << 8) | li as u32,
+                    );
+                }
+            }
+        }
+        self.shadows[idx].promote_to = Some(prr);
+    }
+
+    /// Complete the transplant at the client's START: stage the run the
+    /// guest just programmed into the real region, swap the interface
+    /// mapping back to the device page and start the hardware run.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn transplant(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        s: &SwShadow,
+        prr: u8,
+        ctrl: u32,
+    ) {
+        let dev = Pl::prr_page(prr);
+        for idx in STAGING_REGS {
+            let v = m.phys_read_u32(s.page + 4 * idx as u64).unwrap_or(0);
+            let _ = m.phys_write_u32(dev + 4 * idx as u64, v);
+        }
+        if !self.native {
+            if let Some(pd) = pds.get_mut(&s.vm) {
+                if let Some(&(va, _)) = pd.iface_maps.get(&s.task) {
+                    let _ = pagetable::unmap_page(m, pd.l1, va, pd.asid);
+                    let _ = pagetable::map_page(
+                        m,
+                        pd.l1,
+                        va,
+                        dev,
+                        Domain::DEVICE,
+                        Ap::Full,
+                        true,
+                        false,
+                        pt,
+                    );
+                }
+            }
+        }
+        if let Some(pd) = pds.get_mut(&s.vm) {
+            if let Some(entry) = pd.iface_maps.get_mut(&s.task) {
+                entry.1 = prr;
+            }
+        }
+        self.prrs.entry_mut(m, prr).dispatches += 1;
+        self.free_shadow_page(s.page);
+        stats.hwmgr.repromotions += 1;
+        self.metrics.inc("repromotions", Label::Machine);
+        self.metrics.inc("vm_repromotions", Label::Vm(s.vm.0 as u8));
+        let ev = TraceEvent::Repromote {
+            vm: s.vm.0,
+            task: s.task.0 as u32,
+            prr,
+        };
+        tracer.emit(m.now(), ev);
+        self.profiler.record_event(m.now(), ev);
+        // Kick the hardware run with the guest's own control bits. This
+        // write goes through the PL fault site like any guest start — a
+        // re-hang lands back in the watchdog/ladder path.
+        let _ = m.phys_write_u32(dev + 4 * prr_regs::CTRL as u64, ctrl);
+    }
+
+    /// Escalation-ladder entry: a region exceeded the hang watchdog with a
+    /// client attached and no ladder open. Rung 1 — reset the region and
+    /// retry the client's run in place.
+    pub(crate) fn ladder_retry(
+        &mut self,
+        m: &mut Machine,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        prr: u8,
+        now: u64,
+    ) {
+        let dev = Pl::prr_page(prr);
+        let mut saved = [0u32; REG_COUNT];
+        for (i, r) in saved.iter_mut().enumerate() {
+            *r = m.phys_read_u32(dev + (i as u64) * 4).unwrap_or(0);
+        }
+        let _ = m.phys_write_u32(dev + 4 * prr_regs::CTRL as u64, prr_ctrl::RESET);
+        for idx in STAGING_REGS {
+            let _ = m.phys_write_u32(dev + 4 * idx as u64, saved[idx]);
+        }
+        let _ = m.phys_write_u32(
+            dev + 4 * prr_regs::CTRL as u64,
+            (saved[prr_regs::CTRL] & prr_ctrl::IRQ_EN) | prr_ctrl::START,
+        );
+        self.busy_since[prr as usize] = Some(now);
+        self.ladders.insert(
+            prr,
+            Ladder {
+                rung: 1,
+                deadline: now + self.ladder_retry_timeout,
+                saved,
+            },
+        );
+        stats.hwmgr.ladder_retries += 1;
+        self.metrics.inc("ladder_retries", Label::Machine);
+        let ev = TraceEvent::HwTaskEscalate { prr, rung: 1 };
+        tracer.emit(m.now(), ev);
+        self.profiler.record_event(m.now(), ev);
+    }
+
+    /// Advance the ladder for a region whose current rung timed out.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn ladder_advance(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        prr: u8,
+        now: u64,
+    ) {
+        let Some(ladder) = self.ladders.get(&prr).copied() else {
+            return;
+        };
+        if ladder.rung == 1 {
+            // Rung 2: relocate to a compatible healthy region, if one is
+            // free and the PCAP channel is ours to use.
+            let (client, task) = {
+                let e = self.prrs.entry(prr);
+                (e.client, e.task)
+            };
+            if let (Some(vm), Some(task)) = (client, task) {
+                let hops = self.relocations.get(&(vm, task)).copied().unwrap_or(0);
+                let target = (hops < MAX_RELOCATION_HOPS)
+                    .then(|| {
+                        (0..self.prrs.len() as u8).find(|&p| {
+                            p != prr && {
+                                let e = self.prrs.entry(p);
+                                !e.quarantined
+                                    && !e.retired
+                                    && e.client.is_none()
+                                    && !self.ladders.contains_key(&p)
+                                    && self.task_fits(task, p)
+                            }
+                        })
+                    })
+                    .flatten();
+                if let Some(target) = target {
+                    if self.pcap_job.is_none()
+                        && self.fabric_job.is_none()
+                        && self.prr_status(m, target) != prr_status::BUSY
+                    {
+                        self.launch_fabric_pcap(
+                            m,
+                            target,
+                            task,
+                            FabricJobKind::Relocate { vm, from: prr },
+                        );
+                        if let Some(l) = self.ladders.get_mut(&prr) {
+                            l.rung = 2;
+                            l.deadline = now + self.ladder_relocate_timeout;
+                        }
+                        stats.hwmgr.ladder_relocations += 1;
+                        self.metrics.inc("ladder_relocations", Label::Machine);
+                        let ev = TraceEvent::HwTaskEscalate { prr, rung: 2 };
+                        tracer.emit(m.now(), ev);
+                        self.profiler.record_event(m.now(), ev);
+                        return;
+                    }
+                }
+            }
+        }
+        // Rung 3 (and 4 inside): no relocation possible, or it timed out.
+        if let Some(job) = self.fabric_job {
+            if matches!(job.kind, FabricJobKind::Relocate { from, .. } if from == prr) {
+                self.cancel_fabric_job(m);
+            }
+        }
+        self.ladders.remove(&prr);
+        self.ladder_fallback(m, pds, pt, stats, tracer, prr);
+    }
+
+    /// Rungs 3 and 4: quarantine the region and migrate the client to a
+    /// shadow page; when even that is impossible (shadow pool exhausted),
+    /// hand the client an explicit device error instead of silence.
+    pub(crate) fn ladder_fallback(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        prr: u8,
+    ) {
+        stats.hwmgr.ladder_fallbacks += 1;
+        self.metrics.inc("ladder_fallbacks", Label::Machine);
+        let ev = TraceEvent::HwTaskEscalate { prr, rung: 3 };
+        tracer.emit(m.now(), ev);
+        self.profiler.record_event(m.now(), ev);
+        if self.quarantine(m, pds, pt, stats, tracer, prr) {
+            return;
+        }
+        // Rung 4: a client exists but could not be migrated (shadow pool
+        // exhausted, task unregistered, …) and is still mapped to the
+        // wedged device page. Reset the region and latch an explicit error
+        // so the guest's poll loop terminates with a diagnosable code.
+        stats.hwmgr.ladder_errors += 1;
+        self.metrics.inc("ladder_errors", Label::Machine);
+        let ev = TraceEvent::HwTaskEscalate { prr, rung: 4 };
+        tracer.emit(m.now(), ev);
+        self.profiler.record_event(m.now(), ev);
+        let dev = Pl::prr_page(prr);
+        let _ = m.phys_write_u32(dev + 4 * prr_regs::CTRL as u64, prr_ctrl::RESET);
+        let _ = m.phys_write_u32(dev + 4 * prr_regs::STATUS as u64, prr_status::ERROR);
+        let _ = m.phys_write_u32(
+            dev + 4 * prr_regs::PARAM0 as u64,
+            prr_errcode::TASK_ABANDONED,
+        );
+    }
+
+    /// Take a region out of service *without* migrating a client: the
+    /// relocation path already moved (or will move) the client elsewhere.
+    /// Counted and flight-recorded exactly like a full quarantine.
+    pub(crate) fn quarantine_bare(
+        &mut self,
+        m: &mut Machine,
+        pds: &BTreeMap<VmId, Pd>,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        prr: u8,
+    ) {
+        stats.hwmgr.quarantines += 1;
+        self.metrics.inc("quarantines", Label::Machine);
+        tracer.emit(m.now(), TraceEvent::PrrQuarantine { prr });
+        self.profiler
+            .record_event(m.now(), TraceEvent::PrrQuarantine { prr });
+        if self.profiler.has_flight_events() {
+            let vm = self.prrs.entry(prr).client;
+            let ctx = crate::postmortem::context(m, pds, vm, &self.metrics);
+            self.profiler.trigger_dump("prr-quarantine", m.now(), ctx);
+        }
+        self.busy_since[prr as usize] = None;
+        self.health[prr as usize] = PrrHealth::default();
+        {
+            let e = self.prrs.entry_mut(m, prr);
+            e.quarantined = true;
+            e.client = None;
+            e.iface_va = None;
+        }
+        // A wedged region must not keep DMA rights.
+        let _ = m.phys_write_u32(ctrl_reg(plregs::HWMMU_SEL), prr as u32);
+        let _ = m.phys_write_u32(ctrl_reg(plregs::HWMMU_LEN), 0);
+    }
+
+    /// Finish a rung-2 relocation after its PCAP load completed: quarantine
+    /// the hung source, move the client's mapping/hwMMU/IRQ route to the
+    /// target and restart the staged run there.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_relocation(
+        &mut self,
+        m: &mut Machine,
+        pds: &mut BTreeMap<VmId, Pd>,
+        pt: &mut PtAlloc,
+        stats: &mut KernelStats,
+        tracer: &Tracer,
+        job: FabricJob,
+        vm: VmId,
+        from: u8,
+    ) {
+        let Some(ladder) = self.ladders.remove(&from) else {
+            // The ladder already resolved another way (e.g. the run
+            // completed right before the load finished); the load just
+            // leaves a healthy free region with the task resident.
+            return;
+        };
+        let still_client = self.prrs.entry(from).client == Some(vm);
+        let ds = pds.get(&vm).and_then(|pd| pd.data_section);
+        let iface = pds
+            .get(&vm)
+            .and_then(|pd| pd.iface_maps.get(&job.task))
+            .copied();
+        if !still_client || ds.is_none() || iface.is_none() {
+            // Client released or died while the load was in flight: leave
+            // the target free, quarantine the hung source the plain way.
+            self.ladder_fallback(m, pds, pt, stats, tracer, from);
+            return;
+        }
+        let (ds, (iface_va, _)) = (ds.unwrap(), iface.unwrap());
+        let target = job.prr;
+        *self.relocations.entry((vm, job.task)).or_insert(0) += 1;
+
+        // The hung source goes to quarantine (and the scrubber's care) —
+        // without a client migration, since the client moves to hardware.
+        self.quarantine_bare(m, pds, stats, tracer, from);
+
+        // Move the dispatch.
+        {
+            let e = self.prrs.entry_mut(m, target);
+            e.client = Some(vm);
+            e.task = Some(job.task);
+            e.iface_va = Some(iface_va.raw());
+            e.dispatches += 1;
+        }
+        if !self.native {
+            if let Some(pd) = pds.get_mut(&vm) {
+                let _ = pagetable::unmap_page(m, pd.l1, iface_va, pd.asid);
+                let _ = pagetable::map_page(
+                    m,
+                    pd.l1,
+                    iface_va,
+                    Pl::prr_page(target),
+                    Domain::DEVICE,
+                    Ap::Full,
+                    true,
+                    false,
+                    pt,
+                );
+            }
+        }
+        if let Some(pd) = pds.get_mut(&vm) {
+            if let Some(entry) = pd.iface_maps.get_mut(&job.task) {
+                entry.1 = target;
+            }
+        }
+        self.program_hwmmu(m, target, ds);
+        if let Some(line) = self.irqs.retarget_prr(from, target) {
+            let _ = m.phys_write_u32(ctrl_reg(plregs::IRQ_ROUTE), ((from as u32) << 8) | 0xFF);
+            if let Some(li) = line.pl_index() {
+                let _ = m.phys_write_u32(
+                    ctrl_reg(plregs::IRQ_ROUTE),
+                    ((target as u32) << 8) | li as u32,
+                );
+            }
+        }
+
+        // Replay the staged run on the new region.
+        let dev = Pl::prr_page(target);
+        for idx in STAGING_REGS {
+            let _ = m.phys_write_u32(dev + 4 * idx as u64, ladder.saved[idx]);
+        }
+        let _ = m.phys_write_u32(
+            dev + 4 * prr_regs::CTRL as u64,
+            (ladder.saved[prr_regs::CTRL] & prr_ctrl::IRQ_EN) | prr_ctrl::START,
+        );
+    }
+
+    /// Does `task` list `prr` among its predefined regions?
+    fn task_fits(&self, task: HwTaskId, prr: u8) -> bool {
+        self.tasks.get(task).is_some_and(|e| e.prrs.contains(&prr))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Debug invariants
+// ---------------------------------------------------------------------------
+
+impl HwMgr {
+    /// Structural invariants that must hold at any quiescent point (no VM
+    /// mid-hypercall): no fabric resource may reference a missing VM, and
+    /// shadow-pool accounting must balance.
+    pub fn check_invariants(&self, pds: &BTreeMap<VmId, Pd>) -> Result<(), String> {
+        for (i, s) in self.shadows.iter().enumerate() {
+            if !pds.contains_key(&s.vm) {
+                return Err(format!("shadow {i} leaked to dead vm{}", s.vm.0));
+            }
+            if !pds[&s.vm].iface_maps.contains_key(&s.task) {
+                return Err(format!(
+                    "shadow {i} (vm{} task{}) has no interface mapping",
+                    s.vm.0, s.task.0
+                ));
+            }
+        }
+        for line in 0..mnv_hal::IrqNum::PL_COUNT {
+            if let Some((vm, prr)) = self.irqs.owner(mnv_hal::IrqNum::pl(line)) {
+                if !pds.contains_key(&vm) {
+                    return Err(format!(
+                        "IRQ line {line} (prr{prr}) leaked to dead vm{}",
+                        vm.0
+                    ));
+                }
+            }
+        }
+        for prr in 0..self.prrs.len() as u8 {
+            let e = self.prrs.entry(prr);
+            if let Some(vm) = e.client {
+                if !pds.contains_key(&vm) {
+                    return Err(format!("prr{prr} client is dead vm{}", vm.0));
+                }
+            }
+            if e.retired && !e.quarantined {
+                return Err(format!("prr{prr} retired but not quarantined"));
+            }
+        }
+        if let Some(vm) = self.pcap_owner {
+            if !pds.contains_key(&vm) {
+                return Err(format!("pcap owner is dead vm{}", vm.0));
+            }
+        }
+        let live = self.shadow_pages_live();
+        let free = self.shadow_pages_free();
+        let carved = self.shadow_pages_carved();
+        if live + free != carved {
+            return Err(format!(
+                "shadow pool leak: {live} live + {free} free != {carved} carved"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Convergence check for soak tests: after faults stop, the fabric must
+    /// drain back to full hardware service — no degraded clients (unless
+    /// every region their task fits was retired for good, in which case the
+    /// shadow path *is* the best reachable state), no
+    /// quarantined-but-scrubbable regions, no open ladders.
+    pub fn check_converged(&self) -> Result<(), String> {
+        for s in &self.shadows {
+            if s.promote_to.is_some() {
+                // Hardware is reserved; the switch itself is lazy (it
+                // completes at the client's next request or START) — the
+                // supervision plane has nothing left to do.
+                continue;
+            }
+            let repromotable = self
+                .tasks
+                .get(s.task)
+                .is_some_and(|e| e.prrs.iter().any(|&p| !self.prrs.entry(p).retired));
+            if repromotable {
+                return Err(format!(
+                    "vm{} task{} still degraded with un-retired compatible regions",
+                    s.vm.0, s.task.0
+                ));
+            }
+        }
+        if !self.ladders.is_empty() {
+            return Err(format!(
+                "{} escalation ladder(s) still open",
+                self.ladders.len()
+            ));
+        }
+        for prr in 0..self.prrs.len() as u8 {
+            let e = self.prrs.entry(prr);
+            let scrubbable = self.tasks.ids().iter().any(|&t| self.task_fits(t, prr));
+            if e.quarantined && !e.retired && scrubbable {
+                return Err(format!("prr{prr} is quarantined but scrubbable"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_budget_exhausts_inside_window() {
+        let mut sup = Supervisor::new();
+        sup.register(
+            VmId(1),
+            VmImage {
+                name: "t",
+                priority: Priority::GUEST,
+                build: Box::new(|| unreachable!("never built in this test")),
+            },
+        );
+        let mut now = 0;
+        for attempt in 1..=CRASH_BUDGET {
+            match sup.record_crash(VmId(1), now) {
+                CrashDecision::Restart { at, attempt: a } => {
+                    assert_eq!(a as usize, attempt);
+                    // Backoff doubles per attempt (until the cap).
+                    let expect = (timing::RESTART_BACKOFF_BASE << (attempt as u32 - 1))
+                        .min(timing::RESTART_BACKOFF_MAX);
+                    assert_eq!(at - now, expect);
+                }
+                other => panic!("expected Restart, got {other:?}"),
+            }
+            now += 1_000;
+        }
+        assert_eq!(
+            sup.record_crash(VmId(1), now),
+            CrashDecision::BudgetExhausted
+        );
+        assert!(!sup.is_supervised(VmId(1)));
+        assert_eq!(
+            sup.record_crash(VmId(1), now),
+            CrashDecision::Unsupervised,
+            "image dropped: further kills are final"
+        );
+    }
+
+    #[test]
+    fn crashes_outside_window_do_not_count() {
+        let mut sup = Supervisor::new();
+        sup.register(
+            VmId(2),
+            VmImage {
+                name: "t",
+                priority: Priority::GUEST,
+                build: Box::new(|| unreachable!()),
+            },
+        );
+        let mut now = 0;
+        // Far-apart crashes never exhaust the budget.
+        for _ in 0..10 {
+            match sup.record_crash(VmId(2), now) {
+                CrashDecision::Restart { attempt, .. } => assert_eq!(attempt, 1),
+                other => panic!("expected Restart, got {other:?}"),
+            }
+            now += timing::CRASH_WINDOW + 1;
+        }
+    }
+
+    #[test]
+    fn due_restart_pops_once() {
+        let mut sup = Supervisor::new();
+        sup.register(
+            VmId(3),
+            VmImage {
+                name: "t",
+                priority: Priority::GUEST,
+                build: Box::new(|| unreachable!()),
+            },
+        );
+        let CrashDecision::Restart { at, .. } = sup.record_crash(VmId(3), 100) else {
+            panic!("expected Restart");
+        };
+        assert!(sup.take_due_restart(at - 1).is_none(), "not due yet");
+        assert_eq!(sup.take_due_restart(at), Some((VmId(3), 1)));
+        assert!(sup.take_due_restart(u64::MAX).is_none(), "popped once");
+    }
+
+    #[test]
+    fn unsupervised_vm_is_final() {
+        let mut sup = Supervisor::new();
+        assert_eq!(sup.record_crash(VmId(9), 0), CrashDecision::Unsupervised);
+        assert!(sup.take_due_restart(u64::MAX).is_none());
+    }
+}

@@ -6,50 +6,15 @@
 //! uninvolved VM running. Nothing here is allowed to panic, and the fault
 //! stream must replay identically for the same seed.
 
-use mini_nova::{GuestKind, Kernel, KernelConfig, VmSpec};
+mod common;
+
+use common::{chaos_run, kernel, workload_guest};
+use mini_nova::{GuestKind, VmSpec};
 use mnv_fault::{FaultPlan, SiteCfg};
 use mnv_fpga::cores::make_core;
 use mnv_hal::{Cycles, HwTaskId, Priority};
 use mnv_ucos::kernel::{Ucos, UcosConfig};
-use mnv_ucos::tasks::{AdpcmTask, GsmTask, THwTask, THW_SRC_OFF};
-
-fn kernel() -> (Kernel, Vec<HwTaskId>) {
-    let mut k = Kernel::new(KernelConfig {
-        quantum: Cycles::from_millis(2.0),
-        ..Default::default()
-    });
-    let ids = k.register_paper_task_set();
-    (k, ids)
-}
-
-fn workload_guest(seed: u64, task_set: Vec<HwTaskId>) -> GuestKind {
-    let mut os = Ucos::new(UcosConfig::default());
-    os.task_create(8, Box::new(THwTask::new(task_set, seed)));
-    os.task_create(12, Box::new(GsmTask::new(seed, 4)));
-    os.task_create(20, Box::new(AdpcmTask::new(seed + 99)));
-    GuestKind::Ucos(Box::new(os))
-}
-
-/// Run one two-VM DPR scenario under the chaos preset; returns the fault
-/// records and the final kernel stats.
-fn chaos_run(seed: u64) -> (Vec<mnv_fault::FaultRecord>, mini_nova::KernelStats) {
-    let (mut k, ids) = kernel();
-    let qam: Vec<HwTaskId> = ids[6..].to_vec();
-    let fft: Vec<HwTaskId> = ids[..6].to_vec();
-    k.create_vm(VmSpec {
-        name: "g1",
-        priority: Priority::GUEST,
-        guest: workload_guest(seed, qam),
-    });
-    k.create_vm(VmSpec {
-        name: "g2",
-        priority: Priority::GUEST,
-        guest: workload_guest(seed ^ 0x5DEECE66D, fft),
-    });
-    let plane = k.enable_faults(FaultPlan::chaos(seed));
-    k.run(Cycles::from_millis(60.0));
-    (plane.records(), k.state.stats.clone())
-}
+use mnv_ucos::tasks::{AdpcmTask, THwTask, THW_SRC_OFF};
 
 #[test]
 fn chaos_soak_20_seeds_without_panics() {
@@ -121,10 +86,11 @@ fn pcap_corruption_is_retried_until_the_transfer_succeeds() {
 
 #[test]
 fn hung_prr_is_quarantined_and_sw_fallback_is_bit_identical() {
-    // Force every start to wedge the engine: the watchdog must quarantine
-    // each region it catches, migrate the client to the shadow interface,
-    // and the software service must produce output bit-identical to what
-    // the IP core would have computed.
+    // Force every start to wedge the engine, forever: the escalation
+    // ladder's retry and relocation rungs wedge too, so every compatible
+    // region ends up quarantined, the client is migrated to the shadow
+    // interface, and the software service must produce output
+    // bit-identical to what the IP core would have computed.
     let (mut k, ids) = kernel();
     let task = ids[6]; // QAM-4
     let core_kind = k.state.hwmgr.tasks.get(task).unwrap().core;
@@ -138,13 +104,14 @@ fn hung_prr_is_quarantined_and_sw_fallback_is_bit_identical() {
     });
 
     let mut plan = FaultPlan::none(9);
-    plan.prr_hang = SiteCfg::new(1_000_000, 8); // every start wedges
+    plan.prr_hang = SiteCfg::new(1_000_000, 1_000); // every start wedges
     k.enable_faults(plan);
     k.state.hwmgr.watchdog_timeout = 1_000_000; // ~1.5 ms: faster test
     k.run(Cycles::from_millis(120.0));
 
     let h = &k.state.stats.hwmgr;
-    assert!(h.quarantines >= 1, "watchdog must quarantine: {h:?}");
+    assert!(h.quarantines >= 1, "ladder must quarantine: {h:?}");
+    assert!(h.ladder_retries >= 1, "ladder rung 1 must run: {h:?}");
     assert!(h.sw_fallbacks >= 1, "software fallback must serve: {h:?}");
 
     // Bit-identity: the guest's result region must hold exactly what the
@@ -262,13 +229,14 @@ fn fault_trace_events_reach_the_tracer() {
     });
     let tracer = k.enable_tracing(65536);
     let mut plan = FaultPlan::none(15);
-    plan.prr_hang = SiteCfg::new(1_000_000, 2);
+    plan.prr_hang = SiteCfg::new(1_000_000, 1_000); // every start wedges
     k.enable_faults(plan);
     k.state.hwmgr.watchdog_timeout = 1_000_000;
-    k.run(Cycles::from_millis(60.0));
+    k.run(Cycles::from_millis(120.0));
 
     let events = tracer.snapshot();
     let has = |name: &str| events.iter().any(|(_, e)| e.kind_name() == name);
+    assert!(has("HwTaskEscalate"), "escalation event missing");
     assert!(has("PrrQuarantine"), "quarantine event missing");
     assert!(has("SwFallback"), "fallback event missing");
     assert!(has("FaultInjected"), "injection event missing");

@@ -1,0 +1,114 @@
+//! Recovery soak: the convergence gate from the supervision work. Twenty
+//! seeded chaos runs are disarmed at half-time and the system must prove
+//! it healed — structural invariants hold, the fabric drains back to the
+//! best reachable service level, and the whole armed phase replays
+//! identically for the same seed.
+
+mod common;
+
+use common::{kernel, workload_guest};
+use mini_nova::VmSpec;
+use mnv_fault::{FaultPlan, SiteCfg};
+use mnv_hal::{Cycles, HwTaskId, Priority};
+use mnv_trace::TraceEvent;
+
+/// One soak run: chaos armed for the first half, disarmed for the second.
+/// Returns the kernel plus the armed-phase fault records and the full
+/// trace-event stream.
+fn soak_run(
+    seed: u64,
+) -> (
+    mini_nova::Kernel,
+    Vec<mnv_fault::FaultRecord>,
+    Vec<(Cycles, TraceEvent)>,
+) {
+    let (mut k, ids) = kernel();
+    let qam: Vec<HwTaskId> = ids[6..].to_vec();
+    let fft: Vec<HwTaskId> = ids[..6].to_vec();
+    k.create_vm(VmSpec {
+        name: "g1",
+        priority: Priority::GUEST,
+        guest: workload_guest(seed, qam),
+    });
+    k.create_vm(VmSpec {
+        name: "g2",
+        priority: Priority::GUEST,
+        guest: workload_guest(seed ^ 0x5DEECE66D, fft),
+    });
+    let tracer = k.enable_tracing(1 << 17);
+    // The chaos preset plus real hang pressure (40% of starts wedge, six
+    // per run) so the ladder, scrubber and re-promotion paths all carry
+    // load that the disarmed half must then heal.
+    let mut plan = FaultPlan::chaos(seed);
+    plan.prr_hang = SiteCfg::new(400_000, 6);
+    let plane = k.enable_faults(plan);
+    // Compressed supervision timers (same ratios as the defaults) so both
+    // degradation and the full heal fit one soak run.
+    k.state.hwmgr.watchdog_timeout = 1_000_000;
+    k.state.hwmgr.scrub_interval = 1_000_000;
+
+    k.run(Cycles::from_millis(40.0));
+    plane.disarm();
+    k.run(Cycles::from_millis(80.0));
+
+    (k, plane.records(), tracer.snapshot())
+}
+
+#[test]
+fn twenty_seeds_converge_after_midrun_disarm() {
+    for seed in 1..=20u64 {
+        let (k, records, _events) = soak_run(seed);
+        assert!(
+            !records.is_empty(),
+            "seed {seed}: chaos plan never fired, the soak proves nothing"
+        );
+        k.check_recovery_invariants()
+            .unwrap_or_else(|e| panic!("seed {seed}: invariant violated: {e}"));
+        k.state
+            .hwmgr
+            .check_converged()
+            .unwrap_or_else(|e| panic!("seed {seed}: did not converge: {e}"));
+        assert!(
+            k.state.stats.hypercalls_total > 0,
+            "seed {seed}: guests must still be served"
+        );
+    }
+}
+
+#[test]
+fn soak_replays_identically_for_the_same_seed() {
+    // Supervision must not introduce nondeterminism: the armed-phase fault
+    // stream AND the full trace (including every scrub, reinstate,
+    // escalation and re-promotion of the healing phase) must be
+    // byte-identical across two runs of the same seed.
+    for seed in [5u64, 13] {
+        let (_, rec_a, ev_a) = soak_run(seed);
+        let (_, rec_b, ev_b) = soak_run(seed);
+        assert_eq!(rec_a, rec_b, "seed {seed}: fault replay diverged");
+        assert_eq!(ev_a.len(), ev_b.len(), "seed {seed}: trace volume diverged");
+        assert_eq!(ev_a, ev_b, "seed {seed}: trace replay diverged");
+    }
+}
+
+#[test]
+fn healing_is_observable_across_the_soak() {
+    // Aggregated over all seeds, every stage of the recovery story must
+    // actually occur: retries, relocations, fallbacks, scrubs, reinstates
+    // and re-promotions. (Per-seed the mix varies with the draw.)
+    let mut scrubs = 0u64;
+    let mut reinstates = 0u64;
+    let mut repromotions = 0u64;
+    let mut retries = 0u64;
+    for seed in 1..=6u64 {
+        let (k, _, _) = soak_run(seed);
+        let h = &k.state.stats.hwmgr;
+        scrubs += h.scrubs;
+        reinstates += h.reinstates;
+        repromotions += h.repromotions;
+        retries += h.ladder_retries;
+    }
+    assert!(scrubs >= 2, "scrubber never ran across the soak");
+    assert!(reinstates >= 1, "no region was ever reinstated");
+    assert!(repromotions >= 1, "no client was ever re-promoted");
+    assert!(retries >= 1, "the escalation ladder never opened");
+}

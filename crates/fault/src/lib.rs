@@ -225,6 +225,10 @@ struct PlaneState {
     plan: FaultPlan,
     sites: [SiteState; SITE_COUNT],
     records: Vec<FaultRecord>,
+    /// Set by [`FaultPlane::disarm`]: every probe answers "no fault" from
+    /// then on, but the plan, per-site streams and the record of what was
+    /// already injected are preserved for replay assertions.
+    disarmed: bool,
 }
 
 /// SplitMix64 step — the standard finalizer-based generator; small, fast,
@@ -256,6 +260,7 @@ impl PlaneState {
             plan,
             sites: [mk(0), mk(1), mk(2), mk(3), mk(4), mk(5), mk(6), mk(7)],
             records: Vec::new(),
+            disarmed: false,
         }
     }
 
@@ -280,6 +285,9 @@ impl PlaneState {
     }
 
     fn trip(&mut self, site: FaultSite, now: Cycles, arg: u64) -> bool {
+        if self.disarmed {
+            return false;
+        }
         let cfg = self.site_cfg(site);
         if cfg.rate_ppm == 0 || cfg.max == 0 {
             return false;
@@ -298,6 +306,9 @@ impl PlaneState {
     }
 
     fn due(&mut self, site: FaultSite, now: Cycles) -> bool {
+        if self.disarmed {
+            return false;
+        }
         let cfg = self.period_cfg(site);
         if cfg.period == 0 || cfg.max == 0 {
             return false;
@@ -415,6 +426,31 @@ impl FaultPlane {
         }
         let _ = (site, bound);
         0
+    }
+
+    /// Stop injecting from now on. The plan and the record of faults
+    /// already injected are preserved (replay assertions still hold for
+    /// the armed prefix of the run); only future probes change, answering
+    /// "no fault" unconditionally. This is the chaos-recovery half-run
+    /// switch: arm, let the system degrade, disarm, and assert that it
+    /// converges back to healthy hardware service. No-op when disabled.
+    pub fn disarm(&self) {
+        #[cfg(feature = "fault")]
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().disarmed = true;
+        }
+    }
+
+    /// True when [`FaultPlane::disarm`] has been called on an armed plane.
+    pub fn is_disarmed(&self) -> bool {
+        #[cfg(feature = "fault")]
+        {
+            self.inner.as_ref().is_some_and(|i| i.borrow().disarmed)
+        }
+        #[cfg(not(feature = "fault"))]
+        {
+            false
+        }
     }
 
     /// The armed plan, if any.
@@ -590,6 +626,45 @@ mod tests {
             }
         }
         assert!(fired >= 4, "the site must keep firing: {fired}");
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn disarm_silences_future_probes_and_keeps_records() {
+        let p = FaultPlane::armed(FaultPlan {
+            pcap_stall: SiteCfg::new(1_000_000, 100), // every opportunity…
+            irq_spurious: PeriodCfg::new(1_000, 100),
+            ..FaultPlan::none(11)
+        });
+        let mut before = 0;
+        for i in 0..20u64 {
+            if p.trip(FaultSite::PcapStall, Cycles::new(i), 0) {
+                before += 1;
+            }
+            let _ = p.due(FaultSite::IrqSpurious, Cycles::new(i * 1_000));
+        }
+        assert!(before > 0);
+        let records_at_disarm = p.records();
+        assert!(!p.is_disarmed());
+        p.disarm();
+        assert!(p.is_disarmed());
+        for i in 0..1_000u64 {
+            assert!(!p.trip(FaultSite::PcapStall, Cycles::new(100 + i), 0));
+            assert!(!p.due(FaultSite::IrqSpurious, Cycles::new(1_000_000 + i * 10_000)));
+        }
+        assert_eq!(
+            p.records(),
+            records_at_disarm,
+            "the armed prefix stays intact for replay comparison"
+        );
+        assert!(p.is_armed(), "the plan itself stays attached");
+    }
+
+    #[test]
+    fn disarm_is_a_noop_on_the_disabled_plane() {
+        let p = FaultPlane::disabled();
+        p.disarm();
+        assert!(!p.is_disarmed());
     }
 
     #[test]

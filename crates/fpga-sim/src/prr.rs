@@ -71,6 +71,10 @@ pub mod errcode {
     pub const HWMMU_VIOLATION: u32 = 2;
     /// Output would not fit DST_LEN.
     pub const DST_OVERFLOW: u32 = 3;
+    /// The kernel abandoned the run: the region hung, every escalation
+    /// rung (retry, relocation, software fallback) failed, and the client
+    /// was handed an error instead of a result.
+    pub const TASK_ABANDONED: u32 = 4;
 }
 
 /// CTRL register bits.

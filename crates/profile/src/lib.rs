@@ -345,6 +345,20 @@ impl Profiler {
         String::new()
     }
 
+    /// True when the flight recorder has retained at least one event. The
+    /// recorder is documented always-on: post-mortem dump sites gate on
+    /// *this* — "is there anything to dump?" — never on sampling state, so
+    /// a kill or quarantine is captured even in runs that only care about
+    /// the recorder.
+    #[inline]
+    pub fn has_flight_events(&self) -> bool {
+        #[cfg(feature = "profile")]
+        if let Some(inner) = &self.inner {
+            return !inner.borrow().flight.is_empty();
+        }
+        false
+    }
+
     /// Copy the retained flight-recorder events oldest-first.
     pub fn flight_snapshot(&self) -> Vec<(Cycles, TraceEvent)> {
         #[cfg(feature = "profile")]
@@ -415,6 +429,7 @@ mod tests {
         p.poll(Cycles::new(1_000_000), 0x8000, 1, false);
         p.record_event(Cycles::ZERO, TraceEvent::TlbFlush);
         assert!(!p.is_enabled());
+        assert!(!p.has_flight_events());
         assert_eq!(p.total_samples(), 0);
         assert!(p.collapsed().is_empty());
         assert_eq!(p.next_deadline(), u64::MAX);
@@ -465,12 +480,14 @@ mod tests {
         let p = Profiler::enabled(10, Cycles::ZERO, 4);
         p.set_vm(2);
         p.poll(Cycles::new(10), 0x40, 2, false);
+        assert!(!p.has_flight_events(), "no events recorded yet");
         for i in 0..6u64 {
             p.record_event(
                 Cycles::new(i * 100),
                 TraceEvent::VmSwitch { from: 0, to: 2 },
             );
         }
+        assert!(p.has_flight_events());
         let blob = p
             .trigger_dump(
                 "watchdog-abort",

@@ -173,6 +173,50 @@ pub enum TraceEvent {
         /// Stage number, 1..=6.
         stage: u8,
     },
+    /// The supervisor relaunched a killed VM from its registered image.
+    VmRestart {
+        /// The restarted VM.
+        vm: u16,
+        /// Restart attempt number within the crash-loop window (1 = first).
+        attempt: u8,
+    },
+    /// A background scrub of a quarantined PRR completed.
+    PrrScrub {
+        /// The region under scrub.
+        prr: u8,
+        /// True when the test reconfiguration passed CRC/readback.
+        pass: bool,
+    },
+    /// A quarantined PRR passed enough scrubs and returned to the
+    /// first-fit pool.
+    PrrReinstate {
+        /// The reinstated region.
+        prr: u8,
+    },
+    /// A PRR failed too many scrubs and was retired permanently.
+    PrrRetire {
+        /// The retired region.
+        prr: u8,
+    },
+    /// A software-fallback client was promoted back onto fabric hardware
+    /// (the reverse of the quarantine migration).
+    Repromote {
+        /// Owning VM.
+        vm: u16,
+        /// The re-promoted task.
+        task: u32,
+        /// The region now serving it.
+        prr: u8,
+    },
+    /// The hardware-task escalation ladder advanced a rung on a hung
+    /// region: 1 = retry-same-PRR, 2 = relocate-to-compatible-PRR,
+    /// 3 = software fallback, 4 = error to the guest.
+    HwTaskEscalate {
+        /// The hung region.
+        prr: u8,
+        /// The rung entered.
+        rung: u8,
+    },
 }
 
 impl TraceEvent {
@@ -197,6 +241,12 @@ impl TraceEvent {
             TraceEvent::SwFallback { .. } => "SwFallback",
             TraceEvent::VmKilled { .. } => "VmKilled",
             TraceEvent::DprStage { .. } => "DprStage",
+            TraceEvent::VmRestart { .. } => "VmRestart",
+            TraceEvent::PrrScrub { .. } => "PrrScrub",
+            TraceEvent::PrrReinstate { .. } => "PrrReinstate",
+            TraceEvent::PrrRetire { .. } => "PrrRetire",
+            TraceEvent::Repromote { .. } => "Repromote",
+            TraceEvent::HwTaskEscalate { .. } => "HwTaskEscalate",
         }
     }
 }

@@ -216,6 +216,36 @@ pub fn pair(events: &[(Cycles, TraceEvent)]) -> PairedTrace {
                 name: format!("dpr:stage{stage}"),
                 ts,
             }),
+            TraceEvent::VmRestart { vm, attempt } => out.instants.push(Instant {
+                track: Track::Vm(vm),
+                name: format!("vm-restart #{attempt}"),
+                ts,
+            }),
+            TraceEvent::PrrScrub { prr, pass } => out.instants.push(Instant {
+                track: Track::Pcap,
+                name: format!("scrub prr{prr} {}", if pass { "pass" } else { "fail" }),
+                ts,
+            }),
+            TraceEvent::PrrReinstate { prr } => out.instants.push(Instant {
+                track: Track::Pcap,
+                name: format!("reinstate prr{prr}"),
+                ts,
+            }),
+            TraceEvent::PrrRetire { prr } => out.instants.push(Instant {
+                track: Track::Pcap,
+                name: format!("retire prr{prr}"),
+                ts,
+            }),
+            TraceEvent::Repromote { vm, task, prr } => out.instants.push(Instant {
+                track: Track::Vm(vm),
+                name: format!("repromote task:{task} -> prr{prr}"),
+                ts,
+            }),
+            TraceEvent::HwTaskEscalate { prr, rung } => out.instants.push(Instant {
+                track: Track::HwMgr,
+                name: format!("escalate prr{prr} rung{rung}"),
+                ts,
+            }),
         }
     }
 
