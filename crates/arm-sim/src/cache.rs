@@ -52,6 +52,10 @@ pub struct Cache {
     stamps: Vec<u64>,
     tick: u64,
     stats: CacheStats,
+    /// Bumped on every mutation of line *presence* (fill or invalidate).
+    /// Hits only re-stamp LRU state; they leave the epoch alone. The
+    /// decoded-block executor memoizes run residency checks against this.
+    epoch: u64,
 }
 
 /// Tag value meaning "invalid line".
@@ -72,6 +76,7 @@ impl Cache {
             stamps: vec![0; num_sets * ways],
             tick: 0,
             stats: CacheStats::default(),
+            epoch: 0,
         }
     }
 
@@ -102,6 +107,7 @@ impl Cache {
             }
         }
         // Miss: evict LRU way.
+        self.epoch += 1;
         let victim = (0..self.ways)
             .min_by_key(|&w| self.stamps[base + w])
             .expect("ways >= 1");
@@ -128,6 +134,17 @@ impl Cache {
         (0..self.ways)
             .find(|&w| self.tags[base + w] == tag)
             .map(|w| base + w)
+    }
+
+    /// True if `slot` currently holds `pa`'s line. This is the by-value
+    /// revalidation the replay data hints rely on: the slot's tag is
+    /// compared against the address on every use, so the check stays
+    /// correct across arbitrary intervening fills and invalidations with
+    /// no epoch or hook required.
+    #[inline]
+    pub fn slot_holds(&self, slot: usize, pa: PhysAddr) -> bool {
+        let (set, tag) = self.set_and_tag(pa);
+        slot.wrapping_sub(set * self.ways) < self.ways && self.tags[slot] == tag
     }
 
     /// Credit one hit on `slot`: exactly the bookkeeping a hitting
@@ -161,6 +178,7 @@ impl Cache {
     /// Invalidate everything; returns the number of lines that were valid
     /// (maintenance loops cost cycles per line).
     pub fn invalidate_all(&mut self) -> usize {
+        self.epoch += 1;
         let valid = self.tags.iter().filter(|&&t| t != INVALID).count();
         self.tags.fill(INVALID);
         valid
@@ -169,6 +187,7 @@ impl Cache {
     /// Invalidate a single line by physical address; returns true if it was
     /// present.
     pub fn invalidate_line(&mut self, pa: PhysAddr) -> bool {
+        self.epoch += 1;
         let (set, tag) = self.set_and_tag(pa);
         let base = set * self.ways;
         for w in 0..self.ways {
@@ -178,6 +197,13 @@ impl Cache {
             }
         }
         false
+    }
+
+    /// Line-presence epoch (see the field docs): unchanged epoch means
+    /// every probe resolves exactly as it did when the epoch was read.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Statistics snapshot.

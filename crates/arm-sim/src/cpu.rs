@@ -147,6 +147,22 @@ impl Cpu {
         }
     }
 
+    /// Direct read of an unbanked low register (r0–r7, identical in every
+    /// mode). The decoded-block executor's specialized ALU arms use these
+    /// to skip the banking dispatch; callers must guarantee `r < 8`.
+    #[inline(always)]
+    pub fn low_reg(&self, r: u8) -> u32 {
+        debug_assert!(r < 8);
+        self.regs[(r & 7) as usize]
+    }
+
+    /// Direct write of an unbanked low register; see [`Cpu::low_reg`].
+    #[inline(always)]
+    pub fn set_low_reg(&mut self, r: u8, v: u32) {
+        debug_assert!(r < 8);
+        self.regs[(r & 7) as usize] = v;
+    }
+
     /// Write general register `r` as seen from the current mode.
     pub fn set_reg(&mut self, r: u8, v: u32) {
         match r {

@@ -14,7 +14,7 @@ use mnv_trace::{TraceEvent, Tracer, TrapKind};
 
 use crate::blockcache::BlockCache;
 #[cfg(feature = "block-cache")]
-use crate::blockcache::{CachedBlock, PureRun, MAX_BLOCK_LEN};
+use crate::blockcache::{BlockSeg, CachedBlock, RunVerify, VerifyStamp, MAX_BLOCK_LEN, MAX_SEGS};
 use crate::bus::{PeriphCtx, Peripheral};
 use crate::cache::{CacheHierarchy, MemAccessKind};
 use crate::cp15::{Cp15, Cp15Reg};
@@ -77,6 +77,117 @@ pub enum UndKind {
     InvalidInstr,
     /// A privileged CPSR write attempted an illegal mode value.
     MsrBadMode,
+}
+
+/// An open (super)block recording: the decoded instructions, their segment
+/// map (one [`BlockSeg`] per straight-line piece — a new segment opens at
+/// every fetch discontinuity and every page boundary, so segments never span
+/// pages and each one verifies against a single TLB entry), the memory
+/// generation the recording must survive to be committable, and the cached
+/// predecessor block (if any) to chain to at commit time.
+#[cfg(feature = "block-cache")]
+struct Recording {
+    /// Block key: (ASID, entry VA).
+    key: (u8, u32),
+    /// `code_gen` when the recording opened; a mismatch at commit means a
+    /// store landed under the open recording and it must be discarded.
+    gen: u64,
+    /// Decoded instructions with their fetch PAs, in execution order.
+    instrs: Vec<(u64, Instr)>,
+    /// Straight-line segments covering `instrs`.
+    segs: Vec<BlockSeg>,
+    /// VA the next contiguous fetch would have.
+    next_va: u32,
+    /// PA the next contiguous fetch would have.
+    next_pa: u64,
+    /// Block whose exit edge started this recording (chained at commit).
+    pred: Option<std::rc::Rc<CachedBlock>>,
+}
+
+#[cfg(feature = "block-cache")]
+impl Recording {
+    fn new(key: (u8, u32), gen: u64, pred: Option<std::rc::Rc<CachedBlock>>) -> Recording {
+        Recording {
+            key,
+            gen,
+            instrs: Vec::new(),
+            segs: Vec::new(),
+            next_va: key.1,
+            next_pa: 0,
+            pred,
+        }
+    }
+
+    /// Append a decoded instruction fetched at (`pc`, `pa`), extending the
+    /// current segment or opening a new one at a fetch discontinuity (a
+    /// fused branch seam) or a page boundary.
+    fn push(&mut self, pc: u32, pa: u64, instr: Instr) {
+        let contiguous = !self.segs.is_empty()
+            && pc == self.next_va
+            && pa == self.next_pa
+            && !(pc as u64).is_multiple_of(mnv_hal::PAGE_SIZE);
+        if contiguous {
+            self.segs.last_mut().unwrap().len += 1;
+        } else {
+            self.segs.push(BlockSeg { va: pc, pa, len: 1 });
+        }
+        self.next_va = pc.wrapping_add(INSTR_SIZE as u32);
+        self.next_pa = pa + INSTR_SIZE;
+        self.instrs.push((pa, instr));
+    }
+}
+
+/// Validated-by-value fast-path hint for replayed `Ldr`/`Str` data
+/// accesses (one per direction, surviving across blocks and slices).
+///
+/// Nothing in the hint is *trusted*: on every use the TLB slot is
+/// recompared against the live entry, permissions are rechecked against
+/// live CP15 state, the physical range against the generation-stamped
+/// MMIO window list, and the L1D slot against the live tag. A hint can
+/// therefore never go stale — at worst it stops matching and the access
+/// takes the full model (which refreshes it) — so no invalidation hooks
+/// are needed and bit-identity holds unconditionally.
+#[cfg(feature = "block-cache")]
+#[derive(Clone, Copy)]
+struct DataHint {
+    /// TLB slot + entry that translated the last access in this
+    /// direction; `None` means the MMU was off (flat mapping).
+    tlb: Option<(usize, TlbEntry)>,
+    /// Physical range (`[lo, hi)`, the mapped page/section) proven
+    /// disjoint from the GIC, private-timer and every peripheral window.
+    ram_lo: u64,
+    ram_hi: u64,
+    /// `Machine::mmio_gen` the RAM-range proof was made against.
+    mmio_gen: u32,
+    /// L1D slot that held the last access's line.
+    line_slot: usize,
+}
+
+/// ALU core for the specialized replay loop when every operand lives in
+/// the unbanked r0–r7 file: direct register indexing and lazy NZC, with
+/// exactly [`Machine::alu`]'s semantics (only `Sub`/`Cmp` set flags, `Cmp`
+/// writes no register).
+#[cfg(feature = "block-cache")]
+#[inline(always)]
+fn alu_low(cpu: &mut Cpu, op: AluOp, rd: u8, a: u32, b: u32, flags_dead: bool) {
+    let result = match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub | AluOp::Cmp => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Orr => a | b,
+        AluOp::Eor => a ^ b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Lsl => a.wrapping_shl(b & 31),
+        AluOp::Lsr => a.wrapping_shr(b & 31),
+    };
+    if !flags_dead && matches!(op, AluOp::Sub | AluOp::Cmp) {
+        cpu.cpsr.n = result & 0x8000_0000 != 0;
+        cpu.cpsr.z = result == 0;
+        cpu.cpsr.c = a >= b; // no borrow
+    }
+    if op != AluOp::Cmp {
+        cpu.set_low_reg(rd, result);
+    }
 }
 
 /// Machine construction parameters.
@@ -150,6 +261,13 @@ pub struct Machine {
     /// the kernel installs a shared one). Consulted at instruction
     /// boundaries only — see [`Machine::profile_poll`].
     pub profiler: Profiler,
+    /// Replay data-access hints, indexed `[read, write]`; see [`DataHint`].
+    #[cfg(feature = "block-cache")]
+    dhint: [Option<DataHint>; 2],
+    /// Bumped whenever the MMIO window list changes (peripheral attach),
+    /// expiring every [`DataHint`] RAM-range proof.
+    #[cfg(feature = "block-cache")]
+    mmio_gen: u32,
     clock: Cycles,
     last_sync: Cycles,
     periphs: Vec<Box<dyn Peripheral>>,
@@ -187,6 +305,10 @@ impl Machine {
             pmu: Pmu::default(),
             bcache: BlockCache::default(),
             profiler: Profiler::disabled(),
+            #[cfg(feature = "block-cache")]
+            dhint: [None; 2],
+            #[cfg(feature = "block-cache")]
+            mmio_gen: 0,
             clock: Cycles::ZERO,
             last_sync: Cycles::ZERO,
             periphs: Vec::new(),
@@ -354,6 +476,10 @@ impl Machine {
             );
         }
         self.periphs.push(p);
+        #[cfg(feature = "block-cache")]
+        {
+            self.mmio_gen += 1;
+        }
     }
 
     /// Typed access to an attached peripheral.
@@ -826,21 +952,32 @@ impl Machine {
         }
     }
 
-    /// Commit a recorded straight-line run as a cached block. Discards the
-    /// recording if any store landed while it was open (the dirty-chunk
-    /// drain only protects blocks that are already resident).
+    /// Commit a recorded (super)block. Discards the recording if any store
+    /// landed while it was open (the dirty-chunk drain only protects blocks
+    /// that are already resident). When the recording knows its dynamic
+    /// predecessor (the block whose exit started it), the new block is
+    /// chained in immediately — the edge was just traversed.
     #[cfg(feature = "block-cache")]
-    fn bcache_commit(&mut self, key: (u8, u32), rec: &mut Vec<(u64, Instr)>, rec_gen: u64) {
-        if rec.is_empty() {
+    fn bcache_commit(&mut self, rec: Recording) {
+        let Recording {
+            key,
+            gen,
+            instrs,
+            segs,
+            pred,
+            ..
+        } = rec;
+        if instrs.is_empty() {
             return;
         }
-        if self.mem.code_gen() != rec_gen {
-            rec.clear();
+        if self.mem.code_gen() != gen {
             return;
         }
-        let instrs = std::mem::take(rec);
-        let block = CachedBlock::new(instrs, key.1, self.caches.l1i.line_shift());
-        self.bcache.insert(key.0, block);
+        let block = CachedBlock::new(instrs, segs, key.0, key.1, self.caches.l1i.line_shift());
+        let rc = self.bcache.insert(block);
+        if let Some(p) = pred {
+            self.bcache.patch(&p, &rc);
+        }
     }
 
     /// Run until the clock reaches `deadline` or a non-`Retired` event
@@ -949,31 +1086,194 @@ impl Machine {
         }
     }
 
-    /// The decoded-block fast path. Whole pure runs (see
-    /// [`PureRun`](crate::blockcache::PureRun)) are replayed in one step:
-    /// translation and L1I residency are verified once up front, the
-    /// statically-known cycles are charged, the instructions execute
-    /// back-to-back, and the TLB/L1I hit bookkeeping the reference path
-    /// would have done per fetch is settled in one exact bulk update.
-    /// Everything else replays per instruction through hint-verified fetch
-    /// paths, and recording/uncached execution keeps the reference path's
-    /// full fetch pipeline. Device models sync only at computed deadlines;
-    /// loads/stores re-arm the deadline only when they actually reached
-    /// MMIO (detectable as `last_sync` having caught up to the clock,
-    /// because every MMIO access syncs internally), while CP15/CPSR writes
-    /// conservatively force a sync + poll at the next boundary.
+    /// Replayed `Ldr`/`Str`: bit-identical to the [`Machine::execute`]
+    /// arms, with a validated-by-value fast path for the common case — a
+    /// TLB-hitting, permission-passing access to plain RAM whose line sits
+    /// in L1D. Validation mutates nothing, so a mismatch cleanly takes the
+    /// full model (reference sequence) and refreshes the hint. The commit
+    /// sequence reproduces the reference bookkeeping in reference order:
+    /// TLB hit credit, then the permission check (a failure aborts with
+    /// the hit already counted and nothing charged, exactly like
+    /// `Mmu::translate`), then the L1D hit credit and charge, then the
+    /// RAM access.
+    #[cfg(feature = "block-cache")]
+    fn execute_mem_replay(&mut self, instr: Instr, pc: u32, privileged: bool) -> CpuEvent {
+        let (write, rn, imm) = match instr {
+            Instr::Ldr { rn, imm, .. } => (false, rn, imm),
+            Instr::Str { rn, imm, .. } => (true, rn, imm),
+            _ => return self.execute(instr, pc, privileged),
+        };
+        let va = VirtAddr::new(self.cpu.reg(rn).wrapping_add(imm) as u64);
+        let access = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        'fast: {
+            let Some(h) = self.dhint[write as usize] else {
+                break 'fast;
+            };
+            if h.mmio_gen != self.mmio_gen || !self.caches.enabled {
+                break 'fast;
+            }
+            let pa = match h.tlb {
+                Some((slot, e)) => {
+                    if !self.cp15.mmu_enabled()
+                        || self.tlb.entry_at(slot) != Some(e)
+                        || !e.matches(va, self.cp15.asid())
+                    {
+                        break 'fast;
+                    }
+                    e.translate(va)
+                }
+                None => {
+                    if self.cp15.mmu_enabled() {
+                        break 'fast;
+                    }
+                    va.raw()
+                }
+            };
+            // The window check keys off the access's start address, as the
+            // physical routing in `phys_read_u32`/`phys_write_u32` does.
+            if pa < h.ram_lo || pa >= h.ram_hi {
+                break 'fast;
+            }
+            let ppa = PhysAddr::new(pa);
+            if !self.caches.l1d.slot_holds(h.line_slot, ppa) {
+                break 'fast;
+            }
+            if let Some((slot, e)) = h.tlb {
+                self.tlb.replay_hits(slot, 1);
+                let level = if e.kind == PageKind::Section { 1 } else { 2 };
+                if let Err(f) = self
+                    .mmu
+                    .check(&e, va, access, privileged, &self.cp15, level)
+                {
+                    self.record_fault(f);
+                    self.deliver_exception(ExceptionKind::DataAbort, pc);
+                    return CpuEvent::Exception(ExceptionKind::DataAbort);
+                }
+            }
+            self.caches.l1d.replay_hit(h.line_slot);
+            self.charge(timing::L1_HIT);
+            match instr {
+                Instr::Ldr { rd, .. } => {
+                    let v = self.mem.read_u32(ppa).unwrap_or(0);
+                    self.cpu.set_reg(rd, v);
+                }
+                Instr::Str { rs, .. } => {
+                    let _ = self.mem.write_u32(ppa, self.cpu.reg(rs));
+                }
+                _ => unreachable!(),
+            }
+            self.cpu.pc = pc.wrapping_add(INSTR_SIZE as u32);
+            self.instructions_retired += 1;
+            return CpuEvent::Retired;
+        }
+        let pa = match self.translate(va, access, privileged) {
+            Ok(pa) => pa,
+            Err(_) => {
+                self.deliver_exception(ExceptionKind::DataAbort, pc);
+                return CpuEvent::Exception(ExceptionKind::DataAbort);
+            }
+        };
+        match instr {
+            Instr::Ldr { rd, .. } => {
+                let v = self.phys_read_u32(pa).unwrap_or(0);
+                self.cpu.set_reg(rd, v);
+            }
+            Instr::Str { rs, .. } => {
+                let _ = self.phys_write_u32(pa, self.cpu.reg(rs));
+            }
+            _ => unreachable!(),
+        }
+        self.dhint[write as usize] = self.make_data_hint(va, pa);
+        self.cpu.pc = pc.wrapping_add(INSTR_SIZE as u32);
+        self.instructions_retired += 1;
+        CpuEvent::Retired
+    }
+
+    /// Build a [`DataHint`] for a just-completed data access, or `None`
+    /// when the fast path can't serve this page (MMIO in range, cold L1D
+    /// line, no TLB entry, caches disabled) — meaning the next access
+    /// simply takes the full model again.
+    #[cfg(feature = "block-cache")]
+    fn make_data_hint(&self, va: VirtAddr, pa: PhysAddr) -> Option<DataHint> {
+        if !self.caches.enabled {
+            return None;
+        }
+        let tlb = if self.cp15.mmu_enabled() {
+            Some(self.tlb.probe_slot(va, self.cp15.asid())?)
+        } else {
+            None
+        };
+        let (ram_lo, ram_hi) = match tlb {
+            Some((_, e)) => {
+                let size = match e.kind {
+                    PageKind::Section => mnv_hal::SECTION_SIZE,
+                    PageKind::Small => mnv_hal::PAGE_SIZE,
+                };
+                (e.pa_base, e.pa_base + size)
+            }
+            None => {
+                let lo = pa.raw() & !(mnv_hal::PAGE_SIZE - 1);
+                (lo, lo + mnv_hal::PAGE_SIZE)
+            }
+        };
+        let disjoint = |lo: u64, len: u64| ram_hi <= lo || lo + len <= ram_lo;
+        if !disjoint(GIC_BASE, GIC_SIZE) || !disjoint(PTIMER_BASE, PTIMER_SIZE) {
+            return None;
+        }
+        for p in &self.periphs {
+            let (b, l) = p.window();
+            if !disjoint(b.raw(), l) {
+                return None;
+            }
+        }
+        let line_slot = self.caches.l1d.probe_slot(pa)?;
+        Some(DataHint {
+            tlb,
+            ram_lo,
+            ram_hi,
+            mmio_gen: self.mmio_gen,
+            line_slot,
+        })
+    }
+
+    /// The decoded-block fast path with block chaining. Whole pure runs
+    /// (see [`PureRun`](crate::blockcache::PureRun)) are replayed in one
+    /// step: translation and L1I residency are verified once up front (per
+    /// superblock segment), the statically-known cycles are charged, the
+    /// instructions execute back-to-back through a specialized loop (with
+    /// lazy NZC evaluation for provably dead flag setters), and the TLB/L1I
+    /// hit bookkeeping the reference path would have done per fetch is
+    /// settled in one exact bulk update. Everything else replays per
+    /// instruction through hint-verified fetch paths, and recording /
+    /// uncached execution keeps the reference path's full fetch pipeline.
+    ///
+    /// Block transitions follow chain links where possible: when a block
+    /// finishes, its successor is resolved through the lazily patched link
+    /// (validity-, ASID- and PC-checked) without a cache lookup. The slice
+    /// deadline, the device-sync deadline and the profiler's sample
+    /// deadline are folded into one precomputed *chain exit bound*, so the
+    /// hot path pays a single compare per block boundary; the dirty-chunk
+    /// `code_gen` drain stays a second integer compare. Device models sync
+    /// only at computed deadlines; loads/stores re-arm the deadline only
+    /// when they actually reached MMIO (detectable as `last_sync` having
+    /// caught up to the clock, because every MMIO access syncs internally),
+    /// while CP15/CPSR writes conservatively force a sync + poll at the
+    /// next boundary.
     #[cfg(feature = "block-cache")]
     fn run_slice_fast(&mut self, deadline: Cycles) -> CpuEvent {
         use std::rc::Rc;
 
         /// Replay cursor: the block being replayed plus the fetch hints.
         struct Replay {
-            key: (u8, u32),
-            instrs: Rc<Vec<(u64, Instr)>>,
-            runs: Rc<Vec<PureRun>>,
+            block: Rc<CachedBlock>,
             idx: usize,
-            /// Cursor into `runs` (runs are met in order; entering a run
-            /// mid-way — after a deadline split — skips its batch).
+            /// Cursor into the block's runs (runs are met in order;
+            /// entering a run mid-way — after a deadline split — skips its
+            /// batch).
             next_run: usize,
             /// Fetch-translation hint: TLB slot + entry of the last
             /// replayed fetch.
@@ -986,52 +1286,86 @@ impl Machine {
         // Starts at `clock` so the first iteration syncs + polls exactly
         // like the first reference `step()`.
         let mut dev_deadline = self.clock;
+        // The chain exit bound: min(slice deadline, device deadline,
+        // profiler sample deadline). While the clock is strictly below it,
+        // a block boundary needs no deadline processing at all — one
+        // compare and control stays inside the chained blocks. Starting at
+        // `clock` forces the first iteration through the slow boundary.
+        let mut chain_bound = self.clock;
 
         let mut replay: Option<Replay> = None;
 
         // Open recording (absent while replaying).
-        let mut rec: Vec<(u64, Instr)> = Vec::new();
-        let mut rec_key: Option<(u8, u32)> = None;
-        let mut rec_gen = 0u64;
+        let mut rec: Option<Recording> = None;
 
-        // Scratch for batch line slots (reused across batches).
+        // The block that just finished, waiting to learn its successor:
+        // either followed through its chain link, or patched to the next
+        // lookup/commit result on this first traversal of the edge.
+        let mut pending_link: Option<Rc<CachedBlock>> = None;
+
+        // Scratch for batch line slots and per-segment TLB slots (reused
+        // across batches).
         let mut line_slots: Vec<(usize, u64)> = Vec::new();
+        let mut seg_slots: Vec<(usize, u64)> = Vec::new();
 
         'slice: loop {
-            if self.clock >= deadline {
-                // Slice exhausted: an open recording is still a valid
-                // straight-line prefix — keep it.
-                if let Some(k) = rec_key.take() {
-                    self.bcache_commit(k, &mut rec, rec_gen);
-                }
-                return CpuEvent::Retired;
-            }
-            // Sample before the boundary's IRQ poll, exactly where the
-            // reference path samples (before `step()`'s `poll_irq`).
-            self.profile_poll();
-            if self.clock >= dev_deadline {
-                if let Some(ev) = self.poll_irq() {
-                    if let Some(k) = rec_key.take() {
-                        self.bcache_commit(k, &mut rec, rec_gen);
+            if self.clock >= chain_bound {
+                // Slow boundary: at least one of the folded deadlines is
+                // due. Handle them in the reference order, then recompute
+                // the bound.
+                if self.clock >= deadline {
+                    // Slice exhausted: an open recording is still a valid
+                    // straight-line prefix — keep it.
+                    if let Some(r) = rec.take() {
+                        self.bcache_commit(r);
                     }
-                    return ev;
+                    return CpuEvent::Retired;
                 }
-                dev_deadline = self.device_deadline();
-                // The sync may have DMA'd over code or flipped a bit in it
-                // (fault plane): stop trusting the run being replayed; the
-                // boundary drain below reconciles the cache itself.
-                if replay.is_some() && self.mem.code_gen() != self.bcache.seen_gen() {
-                    replay = None;
+                // Sample before the boundary's IRQ poll, exactly where the
+                // reference path samples (before `step()`'s `poll_irq`).
+                self.profile_poll();
+                if self.clock >= dev_deadline {
+                    if let Some(ev) = self.poll_irq() {
+                        if let Some(r) = rec.take() {
+                            self.bcache_commit(r);
+                        }
+                        return ev;
+                    }
+                    dev_deadline = self.device_deadline();
+                    // The sync may have DMA'd over code or flipped a bit in
+                    // it (fault plane): stop trusting the run being
+                    // replayed; the boundary drain below reconciles the
+                    // cache itself.
+                    if replay.is_some() && self.mem.code_gen() != self.bcache.seen_gen() {
+                        replay = None;
+                        pending_link = None;
+                    }
                 }
+                chain_bound = deadline
+                    .min(dev_deadline)
+                    .min(Cycles::new(self.profiler.next_deadline()));
             }
 
             // Block boundary: finished (or abandoned) a replay and no
-            // recording is open — reconcile invalidations, then look up the
-            // next block.
-            if matches!(replay, Some(ref r) if r.idx >= r.instrs.len()) {
-                replay = None;
+            // recording is open — reconcile invalidations, then resolve the
+            // next block (chain link first, lookup second). A finished block
+            // whose successor is itself (hot loop back edge) re-enters in
+            // place, skipping the cursor teardown and link chase.
+            if let Some(r) = replay.as_mut() {
+                if r.idx >= r.block.instrs.len() {
+                    if self.mem.code_gen() == self.bcache.seen_gen()
+                        && self
+                            .bcache
+                            .follow_self(&r.block, self.cp15.asid().0, self.cpu.pc)
+                    {
+                        r.idx = 0;
+                        r.next_run = 0;
+                    } else {
+                        pending_link = replay.take().map(|r| r.block);
+                    }
+                }
             }
-            if replay.is_none() && rec_key.is_none() {
+            if replay.is_none() && rec.is_none() {
                 if self.mem.code_gen() != self.bcache.seen_gen() {
                     let gen = self.mem.code_gen();
                     let dirty = self.mem.take_dirty_code();
@@ -1040,23 +1374,33 @@ impl Machine {
                 }
                 let asid = self.cp15.asid().0;
                 let pc = self.cpu.pc;
-                match self.bcache.lookup(asid, pc) {
-                    Some(b) => {
+                let pred = pending_link.take();
+                let chained = pred.as_ref().and_then(|p| self.bcache.follow(p, asid, pc));
+                let hit = match chained {
+                    Some(b) => Some(b),
+                    None => {
+                        let b = self.bcache.lookup(asid, pc);
+                        // First traversal of this edge: patch the link so
+                        // the next one follows it without the lookup.
+                        if let (Some(p), Some(b)) = (pred.as_ref(), b.as_ref()) {
+                            self.bcache.patch(p, b);
+                        }
+                        b
+                    }
+                };
+                match hit {
+                    Some(block) => {
                         replay = Some(Replay {
-                            key: (asid, pc),
-                            instrs: Rc::clone(&b.instrs),
-                            runs: Rc::clone(&b.runs),
+                            block,
                             idx: 0,
                             next_run: 0,
                             tlb_hint: None,
                             line_hint: None,
                         })
                     }
-                    None => {
-                        rec_key = Some((asid, pc));
-                        rec_gen = self.mem.code_gen();
-                        rec.clear();
-                    }
+                    // On a miss the predecessor rides along in the
+                    // recording and is chained to the new block at commit.
+                    None => rec = Some(Recording::new((asid, pc), self.mem.code_gen(), pred)),
                 }
             }
 
@@ -1066,138 +1410,219 @@ impl Machine {
 
             // -- whole-run batch ------------------------------------------
             // If the replay cursor sits at the start of a planned pure run
-            // and every boundary inside it falls strictly before the next
-            // sync/poll point, verify the run's translation and L1I
-            // residency once and execute it in one step. Any failed
-            // precondition falls through to the per-instruction path, which
-            // reproduces the reference behaviour (including fault delivery)
-            // exactly.
+            // and every boundary inside it falls strictly before the chain
+            // exit bound, verify the run's translation (per segment) and
+            // L1I residency once and execute it in one specialized step.
+            // Any failed precondition falls through to the per-instruction
+            // path, which reproduces the reference behaviour (including
+            // fault delivery) exactly.
             'batch: {
                 let Some(r) = replay.as_mut() else {
                     break 'batch;
                 };
-                while r.next_run < r.runs.len() && (r.runs[r.next_run].start as usize) < r.idx {
+                let block = Rc::clone(&r.block);
+                while r.next_run < block.runs.len()
+                    && (block.runs[r.next_run].start as usize) < r.idx
+                {
                     r.next_run += 1;
                 }
-                let runs = Rc::clone(&r.runs);
-                let Some(run) = runs.get(r.next_run) else {
+                let Some(run) = block.runs.get(r.next_run) else {
                     break 'batch;
                 };
                 if run.start as usize != r.idx {
                     break 'batch;
                 }
-                let mut dl = if deadline < dev_deadline {
-                    deadline
-                } else {
-                    dev_deadline
-                };
-                // A pure run may not stride over a sample deadline: the
-                // reference path checks it at every instruction boundary,
-                // so the batch must end there too.
-                let sample_dl = Cycles::new(self.profiler.next_deadline());
-                if sample_dl < dl {
-                    dl = sample_dl;
-                }
-                if self.clock + Cycles::new(run.cost_before_last) >= dl {
+                // One compare folds slice deadline, device deadline and
+                // sample deadline: a pure run may not stride over any of
+                // them (the reference path checks all three at every
+                // instruction boundary).
+                if self.clock + Cycles::new(run.cost_before_last) >= chain_bound {
                     break 'batch;
                 }
                 if !self.caches.enabled {
                     break 'batch;
                 }
                 let len = run.len as usize;
-                let first_pa = r.instrs[r.idx].0;
-                // One translation check covers every fetch in the run:
-                // nothing inside a pure run can change the mapping, the
-                // ASID, DACR, the privilege level or the TLB itself, and
-                // the run is physically contiguous within one page.
-                let tlb_slot = if self.cp15.mmu_enabled() {
-                    let asid = self.cp15.asid();
-                    let hit = match r.tlb_hint {
-                        Some((slot, e))
-                            if self.tlb.entry_at(slot) == Some(e) && e.matches(va, asid) =>
-                        {
-                            Some((slot, e))
-                        }
-                        _ => self.tlb.probe_slot(va, asid),
-                    };
-                    let Some((slot, entry)) = hit else {
-                        break 'batch;
-                    };
-                    let level = if entry.kind == PageKind::Section {
-                        1
-                    } else {
-                        2
-                    };
-                    if self
-                        .mmu
-                        .check(
-                            &entry,
-                            va,
-                            AccessKind::Execute,
-                            privileged,
-                            &self.cp15,
-                            level,
-                        )
-                        .is_err()
-                    {
-                        break 'batch;
-                    }
-                    if entry.translate(va) != first_pa {
-                        break 'batch;
-                    }
-                    r.tlb_hint = Some((slot, entry));
-                    Some(slot)
-                } else {
-                    if pc as u64 != first_pa {
-                        break 'batch;
-                    }
-                    None
+                debug_assert_eq!(run.segs[0].va, pc, "replay PC tracks recorded VAs");
+                // Verification is memoized per run on the block: when the
+                // stamp matches, the probes below would provably resolve the
+                // same slots with the same outcome (see [`VerifyStamp`]), so
+                // they are skipped. The *observable* bookkeeping — bulk
+                // TLB/L1I hit credit — always runs, memo hit or not.
+                let stamp = VerifyStamp {
+                    tlb_epoch: self.tlb.epoch(),
+                    l1i_epoch: self.caches.l1i.epoch(),
+                    dacr: self.cp15.dacr,
+                    asid: self.cp15.asid().0,
+                    privileged,
+                    mmu_on: self.cp15.mmu_enabled(),
                 };
-                // Every line resident ⇒ every fetch is a plain L1I hit
-                // (a hit never evicts, and only these fetches touch L1I).
-                line_slots.clear();
-                for &(lpa, ord) in run.lines.iter() {
-                    match self.caches.l1i.probe_slot(PhysAddr::new(lpa)) {
-                        Some(s) => line_slots.push((s, ord)),
-                        None => break 'batch,
+                let mut memo = block.verify.borrow_mut();
+                if !memo[r.next_run].as_ref().is_some_and(|v| v.stamp == stamp) {
+                    // Per-segment translation check: nothing inside a pure
+                    // run can change the mapping, the ASID, DACR, the
+                    // privilege level or the TLB itself, and every segment
+                    // is physically contiguous within one page — so one TLB
+                    // entry check per segment covers every fetch in the run.
+                    seg_slots.clear();
+                    let mut last_hint = None;
+                    if stamp.mmu_on {
+                        let asid = self.cp15.asid();
+                        for (si, seg) in run.segs.iter().enumerate() {
+                            let sva = VirtAddr::new(seg.va as u64);
+                            let hit = match r.tlb_hint {
+                                Some((slot, e))
+                                    if si == 0
+                                        && self.tlb.entry_at(slot) == Some(e)
+                                        && e.matches(sva, asid) =>
+                                {
+                                    Some((slot, e))
+                                }
+                                _ => self.tlb.probe_slot(sva, asid),
+                            };
+                            let Some((slot, entry)) = hit else {
+                                break 'batch;
+                            };
+                            let level = if entry.kind == PageKind::Section {
+                                1
+                            } else {
+                                2
+                            };
+                            if self
+                                .mmu
+                                .check(
+                                    &entry,
+                                    sva,
+                                    AccessKind::Execute,
+                                    privileged,
+                                    &self.cp15,
+                                    level,
+                                )
+                                .is_err()
+                            {
+                                break 'batch;
+                            }
+                            if entry.translate(sva) != seg.pa {
+                                break 'batch;
+                            }
+                            last_hint = Some((slot, entry));
+                            seg_slots.push((slot, seg.len as u64));
+                        }
+                    } else {
+                        for seg in run.segs.iter() {
+                            if seg.va as u64 != seg.pa {
+                                break 'batch;
+                            }
+                        }
                     }
+                    // Every line resident ⇒ every fetch is a plain L1I hit
+                    // (a hit never evicts, and only these fetches touch L1I).
+                    line_slots.clear();
+                    for &(lpa, ord) in run.lines.iter() {
+                        match self.caches.l1i.probe_slot(PhysAddr::new(lpa)) {
+                            Some(s) => line_slots.push((s, ord)),
+                            None => break 'batch,
+                        }
+                    }
+                    let shift = self.caches.l1i.line_shift();
+                    let line_hint = run
+                        .lines
+                        .last()
+                        .zip(line_slots.last())
+                        .map(|(&(lpa, _), &(slot, _))| (lpa >> shift, slot));
+                    memo[r.next_run] = Some(RunVerify {
+                        stamp,
+                        tlb_hint: last_hint,
+                        line_hint,
+                        seg_slots: seg_slots.as_slice().into(),
+                        line_slots: line_slots.as_slice().into(),
+                    });
                 }
-                // Committed. Charge the fetch cycles up front (`execute`
-                // charges its own static extras; nothing in a pure run
-                // observes the clock, so only the final value matters),
-                // execute, then settle the deferred hit bookkeeping.
-                let instrs = Rc::clone(&r.instrs);
+                let v = memo[r.next_run].as_ref().expect("verified above");
+                if let Some(h) = v.tlb_hint {
+                    r.tlb_hint = Some(h);
+                }
+                r.line_hint = v.line_hint;
+                // Committed. Charge the statically-known cycles up front
+                // (fetches, compute bursts, MUL extras, unconditional
+                // taken-branch costs; nothing in a pure run observes the
+                // clock, so only the final value matters), run the
+                // specialized loop, then settle the deferred bookkeeping.
                 let start = r.idx;
                 r.idx += len;
                 r.next_run += 1;
-                let shift = self.caches.l1i.line_shift();
-                r.line_hint = run
-                    .lines
-                    .last()
-                    .zip(line_slots.last())
-                    .map(|(&(lpa, _), &(slot, _))| (lpa >> shift, slot));
-                self.charge(len as u64 * (timing::L1_HIT + timing::INSTR_BASE));
-                for &(_, instr) in &instrs[start..start + len] {
-                    let ipc = self.cpu.pc;
-                    let ev = self.execute(instr, ipc, privileged);
-                    debug_assert!(
-                        matches!(ev, CpuEvent::Retired),
-                        "pure instructions cannot trap"
-                    );
+                let flags_dead = run.flags_dead;
+                self.charge(run.static_cost);
+                let mut ipc = pc;
+                for (k, &(_, instr)) in block.instrs[start..start + len].iter().enumerate() {
+                    let mut next = ipc.wrapping_add(INSTR_SIZE as u32);
+                    match instr {
+                        Instr::MovImm { rd, imm } => {
+                            if rd < 8 {
+                                self.cpu.set_low_reg(rd, imm);
+                            } else {
+                                self.cpu.set_reg(rd, imm);
+                            }
+                        }
+                        Instr::Alu { op, rd, rn, rm } => {
+                            let dead = flags_dead & (1 << k) != 0;
+                            if (rd | rn | rm) < 8 {
+                                let a = self.cpu.low_reg(rn);
+                                let b = self.cpu.low_reg(rm);
+                                alu_low(&mut self.cpu, op, rd, a, b, dead);
+                            } else {
+                                let a = self.cpu.reg(rn);
+                                let b = self.cpu.reg(rm);
+                                self.alu_lazy(op, rd, a, b, dead);
+                            }
+                        }
+                        Instr::AluImm { op, rd, rn, imm } => {
+                            let dead = flags_dead & (1 << k) != 0;
+                            if (rd | rn) < 8 {
+                                let a = self.cpu.low_reg(rn);
+                                alu_low(&mut self.cpu, op, rd, a, imm, dead);
+                            } else {
+                                let a = self.cpu.reg(rn);
+                                self.alu_lazy(op, rd, a, imm, dead);
+                            }
+                        }
+                        Instr::Compute { .. } => {} // cycles in static_cost
+                        Instr::MrsCpsr { rd } => {
+                            let v = self.cpu.cpsr.to_bits();
+                            self.cpu.set_reg(rd, v);
+                        }
+                        Instr::B { cond, target } => {
+                            if cond == Cond::Al {
+                                next = target; // taken cost in static_cost
+                            } else if self.cond_holds(cond) {
+                                next = target;
+                                self.charge(timing::BRANCH_TAKEN);
+                            }
+                        }
+                        Instr::Bl { target } => {
+                            self.cpu.set_reg(14, next);
+                            next = target; // taken cost in static_cost
+                        }
+                        Instr::Ret => next = self.cpu.reg(14),
+                        _ => debug_assert!(false, "non-pure instruction in a pure run"),
+                    }
+                    ipc = next;
                 }
-                if let Some(slot) = tlb_slot {
-                    self.tlb.replay_hits(slot, len as u64);
+                self.cpu.pc = ipc;
+                self.instructions_retired += len as u64;
+                for &(slot, n) in v.seg_slots.iter() {
+                    self.tlb.replay_hits(slot, n);
                 }
-                self.caches.l1i.replay_hits(len as u64, &line_slots);
+                self.caches.l1i.replay_hits(len as u64, &v.line_slots);
                 self.bcache.stats.replayed_instrs += len as u64;
+                self.bcache.stats.batched_instrs += len as u64;
                 continue 'slice;
             }
 
             // -- per-instruction ------------------------------------------
             let instr = 'fetch: {
                 if let Some(r) = replay.as_mut() {
-                    let (blk_pa, instr) = r.instrs[r.idx];
-                    let key = r.key;
+                    let (blk_pa, instr) = r.block.instrs[r.idx];
                     let pa = match self.replay_translate(va, privileged, &mut r.tlb_hint) {
                         Ok(pa) => pa,
                         Err(_) => {
@@ -1217,12 +1642,15 @@ impl Machine {
                         break 'fetch instr;
                     }
                     // The mapping moved under the block (remap without TLB
-                    // maintenance — MIR can do it): drop the block and fetch
-                    // this instruction the slow way, without recording.
+                    // maintenance — MIR can do it): drop the block — which
+                    // also invalidates it, de-chaining it from every
+                    // predecessor — and fetch this instruction the slow
+                    // way, without recording.
                     self.bcache.stats.replay_aborts += 1;
-                    self.bcache.remove(key.0, key.1);
+                    let (basid, bva) = (r.block.asid, r.block.va);
+                    self.bcache.remove(basid, bva);
                     replay = None;
-                    match self.fetch_slow(pc, pa, &mut rec, &mut rec_key, rec_gen) {
+                    match self.fetch_slow(pc, pa, &mut rec) {
                         Ok(i) => break 'fetch i,
                         Err(ev) => return ev,
                     }
@@ -1233,26 +1661,32 @@ impl Machine {
                 let pa = match self.translate(va, AccessKind::Execute, privileged) {
                     Ok(pa) => pa,
                     Err(_) => {
-                        if let Some(k) = rec_key.take() {
-                            self.bcache_commit(k, &mut rec, rec_gen);
+                        if let Some(r) = rec.take() {
+                            self.bcache_commit(r);
                         }
                         self.deliver_exception(ExceptionKind::PrefetchAbort, pc);
                         return CpuEvent::Exception(ExceptionKind::PrefetchAbort);
                     }
                 };
-                match self.fetch_slow(pc, pa, &mut rec, &mut rec_key, rec_gen) {
+                match self.fetch_slow(pc, pa, &mut rec) {
                     Ok(i) => i,
                     Err(ev) => return ev,
                 }
             };
 
-            match self.execute(instr, pc, privileged) {
+            let ev = match instr {
+                Instr::Ldr { .. } | Instr::Str { .. } => {
+                    self.execute_mem_replay(instr, pc, privileged)
+                }
+                _ => self.execute(instr, pc, privileged),
+            };
+            match ev {
                 CpuEvent::Retired => {}
                 ev => {
                     // Halt/SVC/WFI/exception: the recorded run up to and
                     // including this instruction is a valid block.
-                    if let Some(k) = rec_key.take() {
-                        self.bcache_commit(k, &mut rec, rec_gen);
+                    if let Some(r) = rec.take() {
+                        self.bcache_commit(r);
                     }
                     return ev;
                 }
@@ -1274,6 +1708,7 @@ impl Machine {
                             if !self.cpu.cpsr.irq_masked && self.gic.highest_pending().is_some() {
                                 dev_deadline = self.clock;
                             }
+                            chain_bound = chain_bound.min(dev_deadline);
                         }
                         // A store over cached code must stop the replay
                         // before the next (now stale) instruction.
@@ -1288,20 +1723,34 @@ impl Machine {
                     Instr::VfpOp { .. } => {}
                     // CP15/CPSR writes can unmask IRQs, remap, retune
                     // devices: re-sync and re-poll at the next boundary.
-                    _ => dev_deadline = self.clock,
+                    _ => {
+                        dev_deadline = self.clock;
+                        chain_bound = chain_bound.min(dev_deadline);
+                    }
                 },
                 _ => {
                     // Recording: keep the reference path's conservative
                     // per-boundary sync after any sideband instruction.
                     dev_deadline = self.clock;
+                    chain_bound = chain_bound.min(dev_deadline);
                 }
             }
 
-            if rec_key.is_some() {
+            if let Some(r) = rec.as_ref() {
+                // A recording continues across unconditionally taken
+                // statically-targeted transfers (superblock fusion) while
+                // segment and length budgets allow; everything else ends
+                // the block exactly as a plain basic block would.
+                let fused = instr.static_target().is_some() && r.segs.len() < MAX_SEGS;
                 let page_end = (pc as u64 + INSTR_SIZE).is_multiple_of(mnv_hal::PAGE_SIZE);
-                if instr.is_control_transfer() || rec.len() >= MAX_BLOCK_LEN || page_end {
-                    let k = rec_key.take().unwrap();
-                    self.bcache_commit(k, &mut rec, rec_gen);
+                let end = if fused {
+                    r.instrs.len() >= MAX_BLOCK_LEN
+                } else {
+                    instr.is_control_transfer() || r.instrs.len() >= MAX_BLOCK_LEN || page_end
+                };
+                if end {
+                    let r = rec.take().unwrap();
+                    self.bcache_commit(r);
                 }
             }
         }
@@ -1316,14 +1765,12 @@ impl Machine {
         &mut self,
         pc: u32,
         pa: PhysAddr,
-        rec: &mut Vec<(u64, Instr)>,
-        rec_key: &mut Option<(u8, u32)>,
-        rec_gen: u64,
+        rec: &mut Option<Recording>,
     ) -> Result<Instr, CpuEvent> {
         let mut bytes = [0u8; 8];
         if self.mem.read(pa, &mut bytes).is_err() {
-            if let Some(k) = rec_key.take() {
-                self.bcache_commit(k, rec, rec_gen);
+            if let Some(r) = rec.take() {
+                self.bcache_commit(r);
             }
             self.deliver_exception(ExceptionKind::PrefetchAbort, pc);
             return Err(CpuEvent::Exception(ExceptionKind::PrefetchAbort));
@@ -1336,8 +1783,8 @@ impl Machine {
             Some(i) => i,
             None => {
                 // Invalid encodings are never recorded.
-                if let Some(k) = rec_key.take() {
-                    self.bcache_commit(k, rec, rec_gen);
+                if let Some(r) = rec.take() {
+                    self.bcache_commit(r);
                 }
                 self.last_und = Some(UndCause {
                     pc: VirtAddr::new(pc as u64),
@@ -1347,14 +1794,31 @@ impl Machine {
                 return Err(CpuEvent::Exception(ExceptionKind::Undefined));
             }
         };
-        if rec_key.is_some() {
-            rec.push((pa.raw(), instr));
+        if let Some(r) = rec.as_mut() {
+            r.push(pc, pa.raw(), instr);
             // Mark the backing chunk now, not at commit: a store landing
             // between this push and the commit must bump the generation the
             // commit checks.
             self.mem.note_code(pa, INSTR_SIZE as usize);
         }
         Ok(instr)
+    }
+
+    /// `Machine::alu` with the flag computation skipped when the planner
+    /// proved the N/Z/C results dead (overwritten by a later setter in the
+    /// same pure run before any reader). A dead `Cmp` is a complete no-op;
+    /// a dead `Sub` is just its register write.
+    #[cfg(feature = "block-cache")]
+    #[inline]
+    fn alu_lazy(&mut self, op: AluOp, rd: u8, a: u32, b: u32, flags_dead: bool) {
+        if !flags_dead {
+            return self.alu(op, rd, a, b);
+        }
+        match op {
+            AluOp::Cmp => {}
+            AluOp::Sub => self.cpu.set_reg(rd, a.wrapping_sub(b)),
+            _ => self.alu(op, rd, a, b),
+        }
     }
 
     fn und(&mut self, pc: u32, kind: UndKind) -> CpuEvent {

@@ -228,15 +228,44 @@ impl PhysMemory {
         CHUNK_SIZE as u64
     }
 
-    /// Read a little-endian u32.
+    /// Read a little-endian u32. Word accesses are the data-path common
+    /// case, so the in-chunk case skips the generic span loop.
     pub fn read_u32(&self, addr: PhysAddr) -> HalResult<u32> {
+        let a = addr.raw();
+        let r = self.region_for(a, 4)?;
+        let off = a - r.base;
+        let in_chunk = (off & (CHUNK_SIZE as u64 - 1)) as usize;
+        if in_chunk <= CHUNK_SIZE - 4 {
+            return Ok(match &r.chunks[(off >> CHUNK_SHIFT) as usize] {
+                Some(c) => u32::from_le_bytes(c[in_chunk..in_chunk + 4].try_into().unwrap()),
+                None => 0,
+            });
+        }
         let mut b = [0u8; 4];
         self.read(addr, &mut b)?;
         Ok(u32::from_le_bytes(b))
     }
 
-    /// Write a little-endian u32.
+    /// Write a little-endian u32 (single-chunk fast path, with the same
+    /// code-chunk dirty tracking as the generic span path).
     pub fn write_u32(&mut self, addr: PhysAddr, val: u32) -> HalResult<()> {
+        let a = addr.raw();
+        let in_chunk = (a & (CHUNK_SIZE as u64 - 1)) as usize;
+        if in_chunk <= CHUNK_SIZE - 4 {
+            let r = self.region_for_mut(a, 4)?;
+            let off = a - r.base;
+            let idx = (off >> CHUNK_SHIFT) as usize;
+            if r.code[idx] {
+                r.code[idx] = false;
+                let base = r.base;
+                self.dirty_code.push(base + ((idx as u64) << CHUNK_SHIFT));
+                self.code_gen += 1;
+            }
+            let r = self.region_for_mut(a, 4)?;
+            let chunk = r.chunk_mut(off);
+            chunk[in_chunk..in_chunk + 4].copy_from_slice(&val.to_le_bytes());
+            return Ok(());
+        }
         self.write(addr, &val.to_le_bytes())
     }
 

@@ -332,6 +332,54 @@ impl Instr {
         )
     }
 
+    /// Statically-known successor of an *unconditionally taken* transfer:
+    /// `B` with `Cond::Al` or `Bl`. These are the only transfers a
+    /// superblock may fuse across — the recorded instruction stream after
+    /// one of them is guaranteed to continue at the returned target, so the
+    /// seam can be re-verified at replay time without evaluating anything.
+    /// Conditional branches and `Ret` return `None` (dynamic successors).
+    pub fn static_target(self) -> Option<u32> {
+        match self {
+            Instr::B {
+                cond: Cond::Al,
+                target,
+            }
+            | Instr::Bl { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// True when executing the instruction overwrites the N/Z/C condition
+    /// flags (`Machine::alu` sets them for `Sub` and `Cmp` only). Used by
+    /// the block cache's flag-liveness pass: a setter whose flags are
+    /// overwritten by a later setter before any reader can skip the flag
+    /// computation entirely during a pure-run replay.
+    pub fn sets_nzcv(self) -> bool {
+        matches!(
+            self,
+            Instr::Alu {
+                op: AluOp::Sub | AluOp::Cmp,
+                ..
+            } | Instr::AluImm {
+                op: AluOp::Sub | AluOp::Cmp,
+                ..
+            }
+        )
+    }
+
+    /// True when the instruction observes the condition flags: conditional
+    /// branches evaluate N/Z/C and `MrsCpsr` materialises the whole CPSR
+    /// (flags included) into a register. `MsrCpsr` *writes* flags but is
+    /// [`FastClass::Sideband`], so it never appears inside a pure run and
+    /// needs no entry here.
+    pub fn reads_nzcv(self) -> bool {
+        match self {
+            Instr::B { cond, .. } => cond != Cond::Al,
+            Instr::MrsCpsr { .. } => true,
+            _ => false,
+        }
+    }
+
     /// Encode to the fixed 8-byte format.
     pub fn encode(self) -> [u8; 8] {
         let (op, a, b, c, imm): (u8, u8, u8, u8, u32) = match self {

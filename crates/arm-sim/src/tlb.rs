@@ -120,6 +120,12 @@ pub struct Tlb {
     sets: usize,
     tick: u64,
     stats: TlbStats,
+    /// Bumped on every mutation of entry *presence* (insert or flush).
+    /// Hits only re-stamp LRU state, which cannot change what any future
+    /// probe resolves to, so they leave the epoch alone. The decoded-block
+    /// executor uses this to memoize run verification: an unchanged epoch
+    /// proves every slot still holds the same entry.
+    epoch: u64,
 }
 
 impl Default for Tlb {
@@ -139,12 +145,20 @@ impl Tlb {
             sets: capacity / TLB_WAYS,
             tick: 0,
             stats: TlbStats::default(),
+            epoch: 0,
         }
     }
 
     /// Slot range of the set a VA indexes under the given granularity.
     fn set_slots(&self, va_base: u64, kind: PageKind) -> std::ops::Range<usize> {
-        let set = (va_base >> kind.shift()) as usize % self.sets;
+        let x = (va_base >> kind.shift()) as usize;
+        // The standard geometries are powers of two; masking spares the
+        // integer division on the translation hot path.
+        let set = if self.sets.is_power_of_two() {
+            x & (self.sets - 1)
+        } else {
+            x % self.sets
+        };
         set * TLB_WAYS..(set + 1) * TLB_WAYS
     }
 
@@ -204,6 +218,7 @@ impl Tlb {
     /// duplicates of the same va/asid are overwritten in place).
     pub fn insert(&mut self, entry: TlbEntry) {
         self.tick += 1;
+        self.epoch += 1;
         let slots = self.set_slots(entry.va_base, entry.kind);
         // Overwrite a matching entry if present (walk after explicit
         // invalidate-by-MVA, or permission upgrade).
@@ -230,6 +245,7 @@ impl Tlb {
 
     /// Invalidate everything (TLBIALL).
     pub fn flush_all(&mut self) {
+        self.epoch += 1;
         let n = self.entries.iter().filter(|e| e.is_some()).count();
         self.stats.flushed_entries += n as u64;
         self.entries.iter_mut().for_each(|e| *e = None);
@@ -237,6 +253,7 @@ impl Tlb {
 
     /// Invalidate all non-global entries with the given ASID (TLBIASID).
     pub fn flush_asid(&mut self, asid: Asid) {
+        self.epoch += 1;
         for slot in self.entries.iter_mut() {
             if let Some(e) = slot {
                 if !e.global && e.asid == asid {
@@ -250,6 +267,7 @@ impl Tlb {
     /// Invalidate any entry covering `va` under `asid` (TLBIMVA); global
     /// entries covering `va` are removed regardless of ASID.
     pub fn flush_mva(&mut self, va: VirtAddr, asid: Asid) {
+        self.epoch += 1;
         for slot in self.entries.iter_mut() {
             if let Some(e) = slot {
                 if e.matches(va, asid) {
@@ -258,6 +276,13 @@ impl Tlb {
                 }
             }
         }
+    }
+
+    /// Entry-presence epoch (see the field docs): unchanged epoch means
+    /// every slot resolves exactly as it did when the epoch was read.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Current statistics.

@@ -157,6 +157,55 @@ pub fn gen_program(rng: &mut Lcg) -> Program {
     b.assemble(CODE_BASE)
 }
 
+/// Directed chain-heavy program: a loop of small blocks stitched together
+/// by *unconditional* branches and leaf calls, the exact shape the block
+/// cache turns into chained superblocks. Used by the chain/SMC lockstep
+/// tests and the profiler quad-lockstep extension, where the point is to
+/// prove identity while chains and fused segments are actually in play
+/// (random programs only hit that path occasionally).
+pub fn chain_heavy_program(rng: &mut Lcg) -> Program {
+    let mut b = ProgramBuilder::new();
+    for r in 0..6u8 {
+        b.mov(r, rng.next_u32() & 0xFFFF);
+    }
+    b.mov(6, DATA_BASE);
+    b.mov(8, 0x0FFF_FFFF); // outlives any harness horizon
+    let entry = b.label();
+    b.branch(Cond::Al, entry);
+    // Two leaf routines: Bl/Ret seams the decoder fuses across.
+    let leaf_a = b.label();
+    b.bind(leaf_a);
+    b.alu_imm(AluOp::Add, 0, 0, 13);
+    b.alu(AluOp::Eor, 1, 1, 0);
+    b.ret();
+    let leaf_b = b.label();
+    b.bind(leaf_b);
+    b.alu_imm(AluOp::Lsr, 3, 3, 1);
+    b.alu(AluOp::Add, 3, 3, 2);
+    b.ret();
+    b.bind(entry);
+    let top = b.label();
+    b.bind(top);
+    for i in 0..4 {
+        b.alu_imm(AluOp::Add, 0, 0, 7 + i);
+    }
+    b.call(leaf_a);
+    let mid = b.label();
+    b.branch(Cond::Al, mid); // unconditional block seam: fusion candidate
+    b.bind(mid);
+    b.str(0, 6, 8);
+    b.ldr(4, 6, 8);
+    b.call(leaf_b);
+    let tail = b.label();
+    b.branch(Cond::Al, tail);
+    b.bind(tail);
+    b.alu_imm(AluOp::Sub, 8, 8, 1);
+    b.alu_imm(AluOp::Cmp, 8, 8, 0);
+    b.branch(Cond::Ne, top);
+    b.halt();
+    b.assemble(CODE_BASE)
+}
+
 /// Full architectural-state comparison. Anything observable by a guest or
 /// by the kernel's accounting must match exactly.
 pub fn assert_same(seed: u64, at: &str, fast: &Machine, slow: &Machine) {

@@ -18,9 +18,11 @@
 
 mod common;
 
-use common::{advance, assert_same, gen_program, service, Lcg, CODE_BASE};
+use common::{advance, assert_same, chain_heavy_program, gen_program, service, Lcg, CODE_BASE};
 use mnv_arm::machine::{bare_machine, Machine};
+use mnv_arm::mir::Program;
 use mnv_arm::psr::Psr;
+use mnv_arm::BlockCacheStats;
 use mnv_hal::{Cycles, IrqNum, PhysAddr};
 use mnv_profile::Profiler;
 
@@ -32,10 +34,21 @@ fn quad_lockstep(seed: u64, total_cycles: u64) {
     let mut rng = Lcg::new(seed);
     let prog = gen_program(&mut rng);
     let period = 500 + rng.range(0, 5000);
+    quad_lockstep_prog(seed, &prog, period, total_cycles);
+}
 
+/// The quad harness proper, over a caller-supplied program. Returns the
+/// block-cache stats of the profiled fast machine so directed tests can
+/// assert that the path under test (chains, superblocks) actually ran.
+fn quad_lockstep_prog(
+    seed: u64,
+    prog: &Program,
+    period: u64,
+    total_cycles: u64,
+) -> BlockCacheStats {
     let make = |cache_on: bool, profiled: bool| -> (Machine, Profiler) {
         let mut m = bare_machine();
-        m.load_program(&prog, PhysAddr::new(CODE_BASE)).unwrap();
+        m.load_program(prog, PhysAddr::new(CODE_BASE)).unwrap();
         m.cpu.pc = CODE_BASE as u32;
         m.cpu.cpsr = Psr::user();
         m.cpu.cpsr.irq_masked = false;
@@ -109,6 +122,7 @@ fn quad_lockstep(seed: u64, total_cycles: u64) {
         );
         assert!(!quad[0].1.is_enabled() && !quad[2].1.is_enabled());
     }
+    quad[3].0.bcache.stats
 }
 
 #[test]
@@ -124,5 +138,27 @@ fn dense_sampling_with_fine_slices_stays_identical() {
     // block-batch commits interleave in every order.
     for seed in 60..66 {
         quad_lockstep(seed, 600_000);
+    }
+}
+
+#[test]
+fn chained_superblocks_sample_identically() {
+    // Directed chain-heavy programs: unconditional seams and leaf calls
+    // the decoder fuses into superblocks, so sample deadlines land inside
+    // chained replay batches rather than at block boundaries. The profiled
+    // fast machine must both take the chained path *and* fold the exact
+    // sample stream of the per-instruction reference.
+    for seed in 200..206 {
+        let mut rng = Lcg::new(seed);
+        let prog = chain_heavy_program(&mut rng);
+        let stats = quad_lockstep_prog(seed, &prog, 1200, 300_000);
+        assert!(
+            stats.chain_follows > 0,
+            "seed {seed}: chains never formed under the profiler: {stats:?}"
+        );
+        assert!(
+            stats.fused_segs > 0,
+            "seed {seed}: unconditional seams never fused: {stats:?}"
+        );
     }
 }

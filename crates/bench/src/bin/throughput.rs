@@ -1,21 +1,33 @@
-//! Host-throughput benchmark for the decoded basic-block cache (PR 5).
+//! Host-throughput benchmark for the decoded-block executor (PR 5 + PR 8).
 //!
 //! Runs the Fig. 9-shaped 4-guest scenario — four MIR guests under full
 //! trap-and-emulate, interleaved by the scheduler with periodic timer
 //! traffic — for a fixed amount of *simulated* time, once with the block
 //! cache disabled (the per-instruction reference interpreter) and once
-//! enabled, and reports host MIPS (millions of simulated instructions
-//! retired per wall-clock second) for both. The simulated results are
-//! bit-identical by construction (see `tests/block_cache_lockstep.rs`);
+//! enabled (the chained/superblock executor), and reports host MIPS
+//! (millions of simulated instructions retired per wall-clock second) for
+//! both. The simulated results are bit-identical by construction (see
+//! `tests/block_cache_lockstep.rs` and `crates/arm-sim/tests/*lockstep*`);
 //! this binary measures only how fast the host gets them.
 //!
-//! Emits `target/experiments/BENCH_pr5.json`.
+//! Each executor is measured `--repeat N` times and the best run is
+//! recorded: host MIPS on a shared machine is bimodal (frequency scaling,
+//! co-tenants), while the best-of-N envelope and the deterministic ratio
+//! metrics (hit ratio, chain-follow ratio, speedup within one process)
+//! are stable. See EXPERIMENTS.md "Throughput artifacts" for the
+//! methodology.
 //!
-//! Usage: `cargo run --release -p mnv-bench --bin throughput [--quick] [--check]`
+//! Emits `target/experiments/BENCH_pr5.json` (the PR 5 schema, kept for
+//! trajectory comparisons) and `BENCH_pr8.json` at the repo root with the
+//! chaining/superblock counters beside the PR 5 recorded baseline.
 //!
-//! `--check` validates the emitted record (schema + block-cache hit ratio
-//! above 0.9 on this workload) and exits non-zero on violation — the CI
-//! perf-smoke entry point.
+//! Usage: `cargo run --release -p mnv-bench --bin throughput
+//!         [--quick] [--check] [--repeat N]`
+//!
+//! `--check` validates both records and applies the CI perf gate —
+//! schema, block-cache hit ratio, chain-follow ratio, a conservative
+//! absolute MIPS floor and an in-process speedup floor — and exits
+//! non-zero on violation. This is the CI perf-smoke entry point.
 
 use mini_nova::kernel::{GuestKind, Kernel, KernelConfig, VmSpec};
 use mini_nova::mirguest::MirGuest;
@@ -25,6 +37,18 @@ use mnv_hal::{Cycles, Priority};
 use mnv_trace::json::Json;
 use mnv_ucos::layout as guest_layout;
 use std::time::Instant;
+
+/// MIPS recorded by the PR 5 run of this benchmark on its host (see
+/// EXPERIMENTS.md): the trajectory anchor BENCH_pr8.json reports against.
+const PR5_RECORDED_OFF_MIPS: f64 = 13.7;
+const PR5_RECORDED_ON_MIPS: f64 = 70.6;
+
+/// CI perf-gate floors, deliberately far under healthy values (absolute
+/// MIPS on a noisy shared runner swings ~2×; the ratios do not).
+const GATE_MIN_ON_MIPS: f64 = 25.0;
+const GATE_MIN_SPEEDUP: f64 = 4.0;
+const GATE_MIN_CHAIN_FOLLOW_RATIO: f64 = 0.8;
+const GATE_MIN_HIT_RATIO: f64 = 0.9;
 
 /// One guest: a long-lived loop of ALU work with periodic memory traffic,
 /// the instruction mix the per-instruction interpreter spends its time on
@@ -59,6 +83,13 @@ struct Measurement {
     hits: u64,
     misses: u64,
     hit_ratio: f64,
+    chain_follows: u64,
+    chain_follow_ratio: f64,
+    replayed_instrs: u64,
+    batched_instrs: u64,
+    evictions: u64,
+    superblocks: u64,
+    fused_segs: u64,
 }
 
 fn measure(cache_on: bool, sim_ms: f64) -> Measurement {
@@ -86,10 +117,36 @@ fn measure(cache_on: bool, sim_ms: f64) -> Measurement {
         hits: s.hits,
         misses: s.misses,
         hit_ratio: s.hit_ratio(),
+        chain_follows: s.chain_follows,
+        chain_follow_ratio: s.chain_follow_ratio(),
+        replayed_instrs: s.replayed_instrs,
+        batched_instrs: s.batched_instrs,
+        evictions: s.evictions,
+        superblocks: s.superblocks,
+        fused_segs: s.fused_segs,
     }
 }
 
-fn to_json(m: &Measurement) -> Json {
+/// Best of `repeats` runs by wall clock. The simulated side of every run
+/// is identical (asserted), so picking the fastest run only filters host
+/// noise out of the wall-clock denominator.
+fn measure_best(cache_on: bool, sim_ms: f64, repeats: u32) -> Measurement {
+    let mut best = measure(cache_on, sim_ms);
+    for _ in 1..repeats {
+        let m = measure(cache_on, sim_ms);
+        assert_eq!(
+            m.instrs, best.instrs,
+            "repeat runs must retire identical instruction counts"
+        );
+        if m.mips > best.mips {
+            best = m;
+        }
+    }
+    best
+}
+
+/// The PR 5 record schema, unchanged (trajectory comparisons depend on it).
+fn to_json_pr5(m: &Measurement) -> Json {
     Json::obj([
         ("wall_s", Json::Num(m.wall_s)),
         ("instructions", Json::Num(m.instrs as f64)),
@@ -100,8 +157,30 @@ fn to_json(m: &Measurement) -> Json {
     ])
 }
 
-/// Schema + invariant check over the emitted record; returns the failures.
-fn check(record: &Json, on: &Measurement, off: &Measurement) -> Vec<String> {
+/// The PR 8 per-executor record: PR 5 fields plus chaining + superblocks.
+fn to_json_pr8(m: &Measurement) -> Json {
+    Json::obj([
+        ("wall_s", Json::Num(m.wall_s)),
+        ("instructions", Json::Num(m.instrs as f64)),
+        ("mips", Json::Num(m.mips)),
+        ("bcache_hits", Json::Num(m.hits as f64)),
+        ("bcache_misses", Json::Num(m.misses as f64)),
+        ("bcache_hit_ratio", Json::Num(m.hit_ratio)),
+        ("bcache_chain_follows", Json::Num(m.chain_follows as f64)),
+        ("bcache_chain_follow_ratio", Json::Num(m.chain_follow_ratio)),
+        (
+            "bcache_replayed_instrs",
+            Json::Num(m.replayed_instrs as f64),
+        ),
+        ("bcache_batched_instrs", Json::Num(m.batched_instrs as f64)),
+        ("bcache_evictions", Json::Num(m.evictions as f64)),
+        ("bcache_superblocks", Json::Num(m.superblocks as f64)),
+        ("bcache_fused_segs", Json::Num(m.fused_segs as f64)),
+    ])
+}
+
+/// Schema + invariant check over the PR 5 record; returns the failures.
+fn check_pr5(record: &Json) -> Vec<String> {
     let mut errs = Vec::new();
     let obj = match record.as_obj() {
         Some(o) => o,
@@ -130,19 +209,96 @@ fn check(record: &Json, on: &Measurement, off: &Measurement) -> Vec<String> {
             }
         }
     }
+    errs
+}
+
+/// Schema check over the PR 8 record; returns the failures.
+fn check_pr8(record: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    let obj = match record.as_obj() {
+        Some(o) => o,
+        None => return vec!["BENCH_pr8 record is not an object".into()],
+    };
+    for key in [
+        "workload",
+        "sim_ms",
+        "repeats",
+        "pr5_recorded",
+        "off",
+        "on",
+        "speedup",
+        "on_mips_vs_pr5_on",
+    ] {
+        if !obj.contains_key(key) {
+            errs.push(format!("BENCH_pr8 missing key {key:?}"));
+        }
+    }
+    for side in ["off", "on"] {
+        let Some(m) = obj.get(side).and_then(|v| v.as_obj()) else {
+            errs.push(format!("BENCH_pr8 {side:?} is not an object"));
+            continue;
+        };
+        for key in [
+            "mips",
+            "bcache_chain_follows",
+            "bcache_chain_follow_ratio",
+            "bcache_superblocks",
+            "bcache_fused_segs",
+            "bcache_evictions",
+            "bcache_batched_instrs",
+        ] {
+            if m.get(key).and_then(|v| v.as_num()).is_none() {
+                errs.push(format!("BENCH_pr8 {side}.{key} missing or not a number"));
+            }
+        }
+    }
+    errs
+}
+
+/// The CI perf gate: sanity invariants plus regression floors on the
+/// noise-robust metrics (ratios, in-process speedup) and one deliberately
+/// loose absolute floor.
+fn perf_gate(on: &Measurement, off: &Measurement) -> Vec<String> {
+    let mut errs = Vec::new();
     if off.hits + off.misses != 0 {
         errs.push("reference run consulted the block cache".into());
     }
-    if on.hits + on.misses == 0 {
+    if on.instrs == 0 || off.instrs == 0 {
+        errs.push("a run retired zero instructions".into());
+    }
+    if on.hits + on.misses + on.chain_follows == 0 {
         errs.push("cached run never consulted the block cache".into());
-    } else if on.hit_ratio <= 0.9 {
+        return errs;
+    }
+    if on.hit_ratio <= GATE_MIN_HIT_RATIO {
         errs.push(format!(
-            "block-cache hit ratio {:.3} ≤ 0.9 on the fig9 workload",
+            "block-cache hit ratio {:.3} ≤ {GATE_MIN_HIT_RATIO} on the fig9 workload",
             on.hit_ratio
         ));
     }
-    if on.instrs == 0 || off.instrs == 0 {
-        errs.push("a run retired zero instructions".into());
+    if on.chain_follow_ratio < GATE_MIN_CHAIN_FOLLOW_RATIO {
+        errs.push(format!(
+            "chain-follow ratio {:.3} < {GATE_MIN_CHAIN_FOLLOW_RATIO}: chaining regressed",
+            on.chain_follow_ratio
+        ));
+    }
+    // No superblock floor: the fig9 loop has no unconditional seams, so
+    // zero fused segments is the *correct* count here. Fusion coverage
+    // lives in the directed lockstep tests instead.
+    if on.batched_instrs == 0 {
+        errs.push("the batched replay loop never ran".into());
+    }
+    let speedup = on.mips / off.mips;
+    if speedup < GATE_MIN_SPEEDUP {
+        errs.push(format!(
+            "in-process speedup {speedup:.2}x < {GATE_MIN_SPEEDUP}x"
+        ));
+    }
+    if on.mips < GATE_MIN_ON_MIPS {
+        errs.push(format!(
+            "cached executor {:.1} MIPS < {GATE_MIN_ON_MIPS} MIPS floor",
+            on.mips
+        ));
     }
     errs
 }
@@ -151,11 +307,18 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let sim_ms = if quick { 30.0 } else { 200.0 };
+    let repeats: u32 = args
+        .iter()
+        .position(|a| a == "--repeat")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--repeat takes a positive integer"))
+        .unwrap_or(if quick { 2 } else { 3 });
+    assert!(repeats >= 1, "--repeat takes a positive integer");
 
-    println!("SIMULATOR THROUGHPUT: decoded-block cache off vs on");
-    println!("(4 MIR guests, 1 ms slices, {sim_ms} ms simulated)\n");
-    let off = measure(false, sim_ms);
-    let on = measure(true, sim_ms);
+    println!("SIMULATOR THROUGHPUT: per-instruction vs chained block executor");
+    println!("(4 MIR guests, 1 ms slices, {sim_ms} ms simulated, best of {repeats})\n");
+    let off = measure_best(false, sim_ms, repeats);
+    let on = measure_best(true, sim_ms, repeats);
     assert_eq!(
         on.instrs, off.instrs,
         "the two executors must retire identical instruction counts"
@@ -165,7 +328,7 @@ fn main() {
         "{:<22}{:>12}{:>14}{:>12}",
         "executor", "wall s", "instrs", "MIPS"
     );
-    for (name, m) in [("per-instruction", &off), ("block-cache", &on)] {
+    for (name, m) in [("per-instruction", &off), ("chained blocks", &on)] {
         println!(
             "{:<22}{:>12.3}{:>14}{:>12.2}",
             name, m.wall_s, m.instrs, m.mips
@@ -176,24 +339,68 @@ fn main() {
         "\nspeedup: {speedup:.2}x   hit ratio: {:.4} ({} hits / {} misses)",
         on.hit_ratio, on.hits, on.misses
     );
+    println!(
+        "chain follows: {} (ratio {:.4})   superblocks: {} (+{} fused segs)",
+        on.chain_follows, on.chain_follow_ratio, on.superblocks, on.fused_segs
+    );
+    println!(
+        "batched: {} / {} replayed instrs   evictions: {}",
+        on.batched_instrs, on.replayed_instrs, on.evictions
+    );
 
-    let record = Json::obj([
+    let record5 = Json::obj([
         ("workload", Json::str("fig9-4guest-mir")),
         ("sim_ms", Json::Num(sim_ms)),
-        ("off", to_json(&off)),
-        ("on", to_json(&on)),
+        ("off", to_json_pr5(&off)),
+        ("on", to_json_pr5(&on)),
         ("speedup", Json::Num(speedup)),
     ]);
-    write_json("BENCH_pr5", &record);
+    write_json("BENCH_pr5", &record5);
+
+    let record8 = Json::obj([
+        ("workload", Json::str("fig9-4guest-mir")),
+        ("sim_ms", Json::Num(sim_ms)),
+        ("repeats", Json::Num(repeats as f64)),
+        (
+            "pr5_recorded",
+            Json::obj([
+                ("off_mips", Json::Num(PR5_RECORDED_OFF_MIPS)),
+                ("on_mips", Json::Num(PR5_RECORDED_ON_MIPS)),
+            ]),
+        ),
+        ("off", to_json_pr8(&off)),
+        ("on", to_json_pr8(&on)),
+        ("speedup", Json::Num(speedup)),
+        (
+            "on_mips_vs_pr5_on",
+            Json::Num(on.mips / PR5_RECORDED_ON_MIPS),
+        ),
+    ]);
+    // The PR 8 artifact lives at the repo root so the bench trajectory
+    // materializes as checked-in-visible files, not build-dir residue.
+    if let Err(e) = std::fs::write("BENCH_pr8.json", record8.to_string()) {
+        eprintln!("warn: cannot write BENCH_pr8.json: {e}");
+    }
+    println!(
+        "\nvs PR 5 recorded {PR5_RECORDED_ON_MIPS} MIPS: {:.2}x",
+        on.mips / PR5_RECORDED_ON_MIPS
+    );
 
     if args.iter().any(|a| a == "--check") {
-        let errs = check(&record, &on, &off);
+        let mut errs = check_pr5(&record5);
+        errs.extend(check_pr8(&record8));
+        errs.extend(perf_gate(&on, &off));
         if !errs.is_empty() {
             for e in &errs {
                 eprintln!("CHECK FAILED: {e}");
             }
             std::process::exit(1);
         }
-        println!("check: schema valid, hit ratio {:.4} > 0.9", on.hit_ratio);
+        println!(
+            "check: schemas valid, hit ratio {:.4}, chain-follow {:.4}, \
+             speedup {speedup:.2}x ≥ {GATE_MIN_SPEEDUP}x, \
+             {:.1} MIPS ≥ {GATE_MIN_ON_MIPS}",
+            on.hit_ratio, on.chain_follow_ratio, on.mips
+        );
     }
 }

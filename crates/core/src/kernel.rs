@@ -594,7 +594,12 @@ impl Kernel {
                 let s = &self.machine.bcache.stats;
                 r.set("bcache_hits", Label::Machine, s.hits);
                 r.set("bcache_misses", Label::Machine, s.misses);
+                r.set("bcache_chain_follows", Label::Machine, s.chain_follows);
                 r.set("bcache_replayed_instrs", Label::Machine, s.replayed_instrs);
+                r.set("bcache_batched_instrs", Label::Machine, s.batched_instrs);
+                r.set("bcache_evictions", Label::Machine, s.evictions);
+                r.set("bcache_superblocks", Label::Machine, s.superblocks);
+                r.set("bcache_fused_segs", Label::Machine, s.fused_segs);
                 r.set(
                     "bcache_store_invalidations",
                     Label::Machine,
