@@ -15,14 +15,22 @@
 //! (`fig9.collapsed.txt`) plus Perfetto sample-rate counter tracks
 //! (`fig9.profile.trace.json`). Same seed ⇒ byte-identical profile.
 //!
-//! Usage: `cargo run --release -p mnv-bench --bin fig9 [--quick] [--no-trace] [--attrib] [--profile]`
+//! With `--waterfall` (requires `--features trace`) it re-runs the 4-guest
+//! workload with causal request tracing live, reconstructs the per-request
+//! stage waterfalls and writes `fig9.waterfall.json` (the `mnvdbg
+//! --request` input format) plus an SLO summary of the run.
+//!
+//! Usage: `cargo run --release -p mnv-bench --bin fig9 [--quick] [--no-trace] [--attrib] [--profile] [--waterfall]`
 
 use mnv_bench::attrib::{format_attrib, measure_attrib};
+use mnv_bench::table3::build_kernel;
 use mnv_bench::{
     fig9_rows, measure_native, measure_virtualized, profiled_run, traced_run, write_artifact,
     write_json, Table3Config,
 };
+use mnv_hal::Cycles;
 use mnv_trace::json::Json;
+use mnv_trace::waterfall;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -119,6 +127,50 @@ fn main() {
         }
     }
     write_json("BENCH_pr4", &Json::obj(bench));
+
+    if args.iter().any(|a| a == "--waterfall") {
+        // A dedicated traced run so both the kernel's SLO counters and the
+        // request spans come from the same deterministic 30 ms window.
+        let mut k = build_kernel(4, 11, &cfg);
+        let tracer = k.enable_tracing(1 << 20);
+        k.run(Cycles::from_millis(30.0));
+        let events = tracer.snapshot();
+        let falls = waterfall::build(&events);
+        if !tracer.is_enabled() || events.is_empty() {
+            eprintln!("warning: tracer is inert — rerun with `--features trace` for waterfalls");
+        } else if falls.is_empty() {
+            eprintln!("warning: no request spans captured in the trace window");
+        } else {
+            let complete = falls.iter().filter(|w| w.complete).count();
+            let s = &k.state.stats;
+            println!(
+                "\nWATERFALL (4 guests, 30 ms): {} requests traced, {complete} complete",
+                falls.len()
+            );
+            println!(
+                "SLO: {} requests minted, {} violations, {} burns (objective {:.1} ms)",
+                s.reqs_minted,
+                s.slo_violations,
+                s.slo_burns,
+                Cycles::new(k.state.hwmgr.slo.objective(0)).as_millis()
+            );
+            // Show the slowest completed request end-to-end.
+            if let Some(w) = falls
+                .iter()
+                .filter(|w| w.complete)
+                .max_by(|a, b| a.total_us().total_cmp(&b.total_us()))
+            {
+                println!("\nslowest completed request:\n{}", waterfall::render(w));
+            }
+            write_artifact(
+                "fig9.waterfall.json",
+                &waterfall::to_json(&falls).to_string(),
+            );
+            eprintln!(
+                "(inspect one with: mnvdbg --request <id> target/experiments/fig9.waterfall.json)"
+            );
+        }
+    }
 
     if !args.iter().any(|a| a == "--no-trace") {
         let tracer = traced_run(4, &cfg, 30.0);

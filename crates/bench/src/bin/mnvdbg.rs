@@ -7,8 +7,16 @@
 //! human-readable report, with no simulator state needed — a dump from a
 //! different build configuration still decodes.
 //!
+//! It also decodes causal-request waterfalls: `--request <id> <file>`
+//! looks a request up in a waterfall export (`fig9 --waterfall` writes
+//! one) and renders its per-stage latency breakdown — the post-hoc answer
+//! to "where did request N spend its time".
+//!
 //! Usage:
-//!   mnvdbg <dump.json>   decode and print a dump file
+//!   mnvdbg <dump.json>            decode and print a dump file
+//!   mnvdbg --request ID FILE      render one request's stage waterfall
+//!                                 from a waterfall JSON export
+//!                                 (`ID` = `all` lists every request)
 //!   mnvdbg --demo        (requires `--features fault,profile`) run a
 //!                        2-guest scenario with every accelerator start
 //!                        wedged, let the watchdog quarantine the region,
@@ -21,15 +29,71 @@ use mnv_bench::write_artifact;
 use mnv_fault::{FaultPlan, SiteCfg};
 use mnv_hal::Cycles;
 use mnv_profile::postmortem;
+use mnv_trace::waterfall;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("--demo") => demo(),
+        Some("--request") => match (args.get(2), args.get(3)) {
+            (Some(id), Some(path)) => request(id, path),
+            _ => {
+                eprintln!("usage: mnvdbg --request <id|all> <waterfall.json>");
+                std::process::exit(2);
+            }
+        },
         Some(path) => decode_file(path),
         None => {
-            eprintln!("usage: mnvdbg <dump.json> | mnvdbg --demo");
+            eprintln!(
+                "usage: mnvdbg <dump.json> | mnvdbg --request <id|all> <file> | mnvdbg --demo"
+            );
             std::process::exit(2);
+        }
+    }
+}
+
+/// Render one request's waterfall (or all of them) from an export file.
+fn request(id: &str, path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mnvdbg: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let falls = match waterfall::parse(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mnvdbg: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if id == "all" {
+        if falls.is_empty() {
+            println!("no requests in {path}");
+        }
+        for w in &falls {
+            println!("{}", waterfall::render(w));
+        }
+        return;
+    }
+    let id: u32 = match id.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("mnvdbg: request id must be a number or `all`, got {id:?}");
+            std::process::exit(2);
+        }
+    };
+    match falls.iter().find(|w| w.req == id) {
+        Some(w) => print!("{}", waterfall::render(w)),
+        None => {
+            eprintln!(
+                "mnvdbg: request {id} not in {path} ({} requests: {}..={})",
+                falls.len(),
+                falls.iter().map(|w| w.req).min().unwrap_or(0),
+                falls.iter().map(|w| w.req).max().unwrap_or(0),
+            );
+            std::process::exit(1);
         }
     }
 }

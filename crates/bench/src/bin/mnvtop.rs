@@ -10,8 +10,14 @@
 //! hottest sampled PCs (with VM and kernel-context annotations) and the
 //! sampled-cycle share per (VM, hypercall/DPR-stage) context.
 //!
+//! With the `trace` feature on, each frame also renders a request pane:
+//! the frame's SLO violations/burns, the per-interface request-latency
+//! distribution with its p99 tail exemplar (a request id `mnvdbg
+//! --request` can look up), and a compact waterfall of the slowest
+//! request that completed inside the frame's window.
+//!
 //! Usage:
-//!   cargo run --release -p mnv-bench --features metrics,profile --bin mnvtop -- \
+//!   cargo run --release -p mnv-bench --features metrics,profile,trace --bin mnvtop -- \
 //!     [--guests N] [--frames N] [--interval-ms F] [--plain]
 //!
 //! `--plain` disables the ANSI clear-screen between frames (the default
@@ -25,6 +31,8 @@ use mnv_bench::table3::{build_kernel, quick_config};
 use mnv_hal::Cycles;
 use mnv_metrics::{Label, Snapshot};
 use mnv_profile::Profiler;
+use mnv_trace::waterfall;
+use mnv_trace::Tracer;
 
 fn arg_val(args: &[String], name: &str) -> Option<f64> {
     args.iter()
@@ -53,6 +61,10 @@ fn main() {
             "note: profiler is inert — add `profile` to the feature list for the hot-spot pane"
         );
     }
+    let tracer = k.enable_tracing(1 << 20);
+    if !tracer.is_enabled() {
+        eprintln!("note: tracer is inert — add `trace` to the feature list for the request pane");
+    }
 
     // Short warm-up so caches/TLBs and the scheduler reach steady state.
     k.run(Cycles::from_millis(5.0 * guests as f64));
@@ -61,6 +73,7 @@ fn main() {
     let mut prev_ctxs = counts_map(&profiler.hot_contexts());
 
     for frame in 0..frames {
+        let window_start = k.machine.now().raw();
         k.run(Cycles::from_millis(interval_ms));
         let snap = reg.snapshot();
         let d = snap.delta(&prev);
@@ -72,7 +85,80 @@ fn main() {
         if profiler.is_enabled() {
             render_hot(&profiler, &mut prev_pcs, &mut prev_ctxs);
         }
+        if tracer.is_enabled() {
+            render_reqs(
+                &tracer,
+                &d,
+                &k.state.metrics.snapshot(),
+                k.state.stats.reqs_minted,
+                window_start,
+            );
+        }
     }
+}
+
+/// The causal-request pane: frame SLO counters, the per-interface request
+/// latency distribution with its p99 tail exemplar, and a one-line
+/// waterfall of the slowest request completed inside this frame's window.
+fn render_reqs(tracer: &Tracer, d: &Snapshot, lifetime: &Snapshot, minted: u64, window_start: u64) {
+    println!(
+        "requests: {minted} minted   slo: {} violation(s) / {} burn(s) this frame ({} / {} lifetime)",
+        d.total("slo_violations"),
+        d.total("slo_burns"),
+        lifetime.total("slo_violations"),
+        lifetime.total("slo_burns"),
+    );
+    // Lifetime latency distribution per accelerator interface. The tail
+    // exemplar is the last request id that landed beyond the p99 estimate
+    // — paste it into `mnvdbg --request` to see where that time went.
+    for h in lifetime.hists.iter().filter(|h| h.name == "req_latency") {
+        let us = |c: u64| Cycles::new(c).as_micros();
+        let exemplar = h
+            .buckets
+            .iter()
+            .rev()
+            .find(|b| h.is_tail(b) && b.exemplar_req != 0);
+        let mut line = format!(
+            "  {:<6} n={:<5} p99={:>7.0}us max={:>7.0}us",
+            match h.label {
+                Label::Iface(name) => name,
+                _ => "?",
+            },
+            h.count,
+            us(h.p99),
+            us(h.max),
+        );
+        if let Some(b) = exemplar {
+            line.push_str(&format!(
+                "   tail exemplar: req {} ({:.0}us)",
+                b.exemplar_req,
+                us(b.exemplar_value)
+            ));
+        }
+        println!("{line}");
+    }
+    // The slowest request that finished inside this frame, as a compact
+    // stage chain (durations in us).
+    let falls = waterfall::build(&tracer.snapshot());
+    let slowest = falls
+        .iter()
+        .filter(|w| w.complete && w.start >= window_start)
+        .max_by(|a, b| a.total.cmp(&b.total));
+    if let Some(w) = slowest {
+        let chain: Vec<String> = w
+            .stages
+            .iter()
+            .map(|s| format!("{} {:.0}", s.stage, Cycles::new(s.dur).as_micros()))
+            .collect();
+        println!(
+            "slowest this frame: req {} vm{} {:.0}us = {}",
+            w.req,
+            w.vm,
+            w.total_us(),
+            chain.join(" | ")
+        );
+    }
+    println!();
 }
 
 fn counts_map(cur: &[(String, u64)]) -> BTreeMap<String, u64> {

@@ -18,11 +18,14 @@
 //! methodology.
 //!
 //! Emits `target/experiments/BENCH_pr5.json` (the PR 5 schema, kept for
-//! trajectory comparisons) and `BENCH_pr8.json` at the repo root with the
-//! chaining/superblock counters beside the PR 5 recorded baseline.
+//! trajectory comparisons) and a current-PR artifact (default
+//! `BENCH_pr9.json` at the repo root, override with `--out <path>`) with
+//! the chaining/superblock counters beside the PR 5 recorded baseline.
+//! The CI perf gate reads the same declared path, so the artifact name
+//! can never drift from what CI checks again.
 //!
 //! Usage: `cargo run --release -p mnv-bench --bin throughput
-//!         [--quick] [--check] [--repeat N]`
+//!         [--quick] [--check] [--repeat N] [--out <path>]`
 //!
 //! `--check` validates both records and applies the CI perf gate —
 //! schema, block-cache hit ratio, chain-follow ratio, a conservative
@@ -39,7 +42,7 @@ use mnv_ucos::layout as guest_layout;
 use std::time::Instant;
 
 /// MIPS recorded by the PR 5 run of this benchmark on its host (see
-/// EXPERIMENTS.md): the trajectory anchor BENCH_pr8.json reports against.
+/// EXPERIMENTS.md): the anchor the current-PR artifact reports against.
 const PR5_RECORDED_OFF_MIPS: f64 = 13.7;
 const PR5_RECORDED_ON_MIPS: f64 = 70.6;
 
@@ -212,12 +215,12 @@ fn check_pr5(record: &Json) -> Vec<String> {
     errs
 }
 
-/// Schema check over the PR 8 record; returns the failures.
-fn check_pr8(record: &Json) -> Vec<String> {
+/// Schema check over the current-PR record; returns the failures.
+fn check_current(record: &Json) -> Vec<String> {
     let mut errs = Vec::new();
     let obj = match record.as_obj() {
         Some(o) => o,
-        None => return vec!["BENCH_pr8 record is not an object".into()],
+        None => return vec!["bench record is not an object".into()],
     };
     for key in [
         "workload",
@@ -230,12 +233,12 @@ fn check_pr8(record: &Json) -> Vec<String> {
         "on_mips_vs_pr5_on",
     ] {
         if !obj.contains_key(key) {
-            errs.push(format!("BENCH_pr8 missing key {key:?}"));
+            errs.push(format!("bench record missing key {key:?}"));
         }
     }
     for side in ["off", "on"] {
         let Some(m) = obj.get(side).and_then(|v| v.as_obj()) else {
-            errs.push(format!("BENCH_pr8 {side:?} is not an object"));
+            errs.push(format!("bench record {side:?} is not an object"));
             continue;
         };
         for key in [
@@ -248,7 +251,7 @@ fn check_pr8(record: &Json) -> Vec<String> {
             "bcache_batched_instrs",
         ] {
             if m.get(key).and_then(|v| v.as_num()).is_none() {
-                errs.push(format!("BENCH_pr8 {side}.{key} missing or not a number"));
+                errs.push(format!("bench record {side}.{key} missing or not a number"));
             }
         }
     }
@@ -314,6 +317,12 @@ fn main() {
         .map(|v| v.parse().expect("--repeat takes a positive integer"))
         .unwrap_or(if quick { 2 } else { 3 });
     assert!(repeats >= 1, "--repeat takes a positive integer");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
 
     println!("SIMULATOR THROUGHPUT: per-instruction vs chained block executor");
     println!("(4 MIR guests, 1 ms slices, {sim_ms} ms simulated, best of {repeats})\n");
@@ -357,7 +366,7 @@ fn main() {
     ]);
     write_json("BENCH_pr5", &record5);
 
-    let record8 = Json::obj([
+    let record = Json::obj([
         ("workload", Json::str("fig9-4guest-mir")),
         ("sim_ms", Json::Num(sim_ms)),
         ("repeats", Json::Num(repeats as f64)),
@@ -376,10 +385,13 @@ fn main() {
             Json::Num(on.mips / PR5_RECORDED_ON_MIPS),
         ),
     ]);
-    // The PR 8 artifact lives at the repo root so the bench trajectory
-    // materializes as checked-in-visible files, not build-dir residue.
-    if let Err(e) = std::fs::write("BENCH_pr8.json", record8.to_string()) {
-        eprintln!("warn: cannot write BENCH_pr8.json: {e}");
+    // The current-PR artifact lives at the repo root (by default) so the
+    // bench trajectory materializes as checked-in-visible files, not
+    // build-dir residue. `--out` declares the path; CI reads the same one.
+    if let Err(e) = std::fs::write(&out_path, record.to_string()) {
+        eprintln!("warn: cannot write {out_path}: {e}");
+    } else {
+        println!("wrote {out_path}");
     }
     println!(
         "\nvs PR 5 recorded {PR5_RECORDED_ON_MIPS} MIPS: {:.2}x",
@@ -388,7 +400,7 @@ fn main() {
 
     if args.iter().any(|a| a == "--check") {
         let mut errs = check_pr5(&record5);
-        errs.extend(check_pr8(&record8));
+        errs.extend(check_current(&record));
         errs.extend(perf_gate(&on, &off));
         if !errs.is_empty() {
             for e in &errs {

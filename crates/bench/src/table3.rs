@@ -90,6 +90,11 @@ pub struct Row {
     pub repromotions: u64,
     /// Supervised VMs relaunched after a kill (0 unless guests crash).
     pub vm_restarts: u64,
+    /// Completed requests that missed their interface's latency objective
+    /// (0 in a fault-free run — only chaos-armed runs produce tails).
+    pub slo_violations: u64,
+    /// SLO burn windows (violation count crossed the burn limit).
+    pub slo_burns: u64,
 }
 
 impl Row {
@@ -112,6 +117,8 @@ impl Row {
             reinstates: h.reinstates,
             repromotions: h.repromotions,
             vm_restarts: 0,
+            slo_violations: 0,
+            slo_burns: 0,
         }
     }
 
@@ -137,6 +144,8 @@ impl Row {
             ("reinstates", Json::num(self.reinstates as f64)),
             ("repromotions", Json::num(self.repromotions as f64)),
             ("vm_restarts", Json::num(self.vm_restarts as f64)),
+            ("slo_violations", Json::num(self.slo_violations as f64)),
+            ("slo_burns", Json::num(self.slo_burns as f64)),
         ])
     }
 }
@@ -216,6 +225,8 @@ pub fn build_kernel(n: usize, seed: u64, cfg: &Table3Config) -> Kernel {
 pub fn measure_virtualized(n: usize, cfg: &Table3Config) -> Row {
     let mut agg = HwMgrStats::default();
     let mut restarts = 0u64;
+    let mut slo_violations = 0u64;
+    let mut slo_burns = 0u64;
     for &seed in &cfg.seeds {
         let mut k = build_kernel(n, seed, cfg);
         if let Some(base) = cfg.chaos_seed {
@@ -225,12 +236,18 @@ pub fn measure_virtualized(n: usize, cfg: &Table3Config) -> Row {
         k.run(Cycles::from_millis(cfg.warmup_ms_per_guest * n as f64));
         k.state.stats.reset_hwmgr();
         let restarts_before = k.state.stats.vm_restarts;
+        let slo_v_before = k.state.stats.slo_violations;
+        let slo_b_before = k.state.stats.slo_burns;
         k.run(Cycles::from_millis(cfg.measure_ms_per_guest * n as f64));
         agg.merge(&k.state.stats.hwmgr);
         restarts += k.state.stats.vm_restarts - restarts_before;
+        slo_violations += k.state.stats.slo_violations - slo_v_before;
+        slo_burns += k.state.stats.slo_burns - slo_b_before;
     }
     let mut row = Row::from_stats(n as u32, &agg);
     row.vm_restarts = restarts;
+    row.slo_violations = slo_violations;
+    row.slo_burns = slo_burns;
     row
 }
 
@@ -445,6 +462,8 @@ pub fn format_table3(native: &Row, virt: &[Row]) -> String {
     out.push_str(&count("PRR reinstates", &|r| r.reinstates));
     out.push_str(&count("Re-promotions", &|r| r.repromotions));
     out.push_str(&count("VM restarts", &|r| r.vm_restarts));
+    out.push_str(&count("SLO violations", &|r| r.slo_violations));
+    out.push_str(&count("SLO burns", &|r| r.slo_burns));
     out
 }
 
@@ -607,6 +626,8 @@ mod tests {
             reinstates: 0,
             repromotions: 0,
             vm_restarts: 0,
+            slo_violations: 0,
+            slo_burns: 0,
         }
     }
 

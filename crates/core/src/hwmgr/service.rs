@@ -18,17 +18,19 @@ use mnv_fpga::prr::errcode as prr_errcode;
 use mnv_fpga::prr::regs as prr_regs;
 use mnv_fpga::prr::status as prr_status;
 use mnv_hal::abi::{data_section, hw_task_result, HcError, HwTaskState, HwTaskStatus};
-use mnv_hal::{Domain, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
+use mnv_hal::{Cycles, Domain, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
 use mnv_metrics::{Label, Registry};
 use mnv_profile::{Profiler, SampleCtx};
+use mnv_trace::event::{iface_name, req_stage};
 use mnv_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
 use super::irqalloc::PlIrqAllocator;
-use super::tables::{HwTaskTable, PrrTable};
+use super::tables::{HwTaskTable, PrrTable, ReqTag};
 use crate::kobj::pd::{DataSection, Pd};
 use crate::mem::layout::{self, ktext};
 use crate::mem::pagetable::{self, PtAlloc};
+use crate::slo::{iface_of, SloTracker};
 use crate::stats::KernelStats;
 use crate::supervisor::{timing, FabricJob, Ladder, PrrHealth};
 
@@ -73,6 +75,9 @@ pub struct PcapJob {
     pub attempts: u8,
     /// Cycle time of the current launch (stall-watchdog reference).
     pub started_at: u64,
+    /// The causal request waiting on this reconfiguration (stamps the
+    /// PCAP launch/retry/done/abort hops into its waterfall).
+    pub req: ReqTag,
 }
 
 impl PcapJob {
@@ -109,6 +114,10 @@ pub struct SwShadow {
     /// programmed for this client: the next START is transplanted onto it
     /// instead of being served in software.
     pub promote_to: Option<u8>,
+    /// The open causal request this dispatch will complete (migrated off
+    /// the quarantined region's PRR entry, or minted by the request that
+    /// created the pure-software dispatch).
+    pub req: ReqTag,
 }
 
 /// The manager service state.
@@ -172,6 +181,30 @@ pub struct HwMgr {
     /// the allocation routine attribute to the active Fig. 7 stage, and
     /// quarantine / watchdog aborts trigger post-mortem dumps.
     pub profiler: Profiler,
+    /// Monotonic `ReqId` mint counter. Incremented unconditionally on
+    /// every HwTaskRequest hypercall — enabling tracing must not change
+    /// the id sequence (lockstep bit-identity).
+    pub next_req: u32,
+    /// Per-interface-family latency objectives and windowed burn state.
+    /// Unconditional like the mint counter: its counters feed
+    /// `KernelStats`, which lockstep compares.
+    pub slo: SloTracker,
+    /// Completions buffered toward a descheduled owner: the request stays
+    /// open (stage `virq:buffer`) until the owner is switched back in,
+    /// where the `resume` hop closes it.
+    pub pending_resume: Vec<PendingResume>,
+}
+
+/// A completion buffered toward a VM that was not running when it was
+/// delivered; consumed (and its request closed) when the VM resumes.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingResume {
+    /// The owner the completion is waiting on.
+    pub vm: VmId,
+    /// The open request the completion belongs to.
+    pub req: ReqTag,
+    /// Interface family (for the SLO observation at resume).
+    pub iface: u8,
 }
 
 pub(crate) fn ctrl_reg(off: u64) -> PhysAddr {
@@ -203,6 +236,9 @@ impl HwMgr {
             native,
             metrics: Registry::disabled(),
             profiler: Profiler::disabled(),
+            next_req: 0,
+            slo: SloTracker::new(),
+            pending_resume: Vec::new(),
         }
     }
 
@@ -261,12 +297,155 @@ impl HwMgr {
     }
 
     /// Mark entry into stage `stage` (1-6 of Fig. 7): samples taken until
-    /// the next marker attribute to it, and the transition is logged in
-    /// the flight-recorder ring.
-    fn stage(&self, m: &Machine, stage: u8) {
+    /// the next marker attribute to it, the transition is logged in the
+    /// flight-recorder ring, and the open request (if any) gets a stage
+    /// stamp in its causal waterfall.
+    fn stage(&self, m: &Machine, tracer: &Tracer, req: ReqTag, stage: u8) {
         self.profiler.swap_ctx(SampleCtx::DprStage(stage));
         self.profiler
             .record_event(m.now(), TraceEvent::DprStage { stage });
+        self.req_stamp(m.now(), tracer, req, stage);
+    }
+
+    /// Stamp one causal hop into an open request's waterfall (no-op for
+    /// the absent tag). Pure observation: charges nothing.
+    pub(crate) fn req_stamp(&self, now: Cycles, tracer: &Tracer, req: ReqTag, stage: u8) {
+        if req.is_open() {
+            tracer.emit(now, TraceEvent::ReqStage { req: req.id, stage });
+        }
+    }
+
+    /// Close an open request's root span after stamping `stage`,
+    /// observing its end-to-end latency in the `req_latency` histogram
+    /// (with the request id as the exemplar) and against the interface
+    /// family's SLO. No-op for the absent tag.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_req(
+        &mut self,
+        now: Cycles,
+        tracer: &Tracer,
+        stats: &mut KernelStats,
+        req: ReqTag,
+        vm: VmId,
+        iface: u8,
+        stage: u8,
+    ) {
+        if !req.is_open() {
+            return;
+        }
+        tracer.emit(now, TraceEvent::ReqStage { req: req.id, stage });
+        tracer.emit(
+            now,
+            TraceEvent::ReqSpan {
+                req: req.id,
+                vm: vm.0,
+                end: true,
+            },
+        );
+        let latency = now.raw().saturating_sub(req.started);
+        self.metrics.observe(
+            "req_latency",
+            Label::Iface(iface_name(iface)),
+            latency,
+            req.id,
+        );
+        let outcome = self.slo.observe(iface, latency, now.raw());
+        if outcome.violated {
+            stats.slo_violations += 1;
+            self.metrics
+                .inc("slo_violations", Label::Iface(iface_name(iface)));
+        }
+        if let Some(violations) = outcome.burned {
+            stats.slo_burns += 1;
+            self.metrics
+                .inc("slo_burns", Label::Iface(iface_name(iface)));
+            let ev = TraceEvent::SloBurn { iface, violations };
+            tracer.emit(now, ev);
+            self.profiler.record_event(now, ev);
+        }
+    }
+
+    /// Close an open request that ended without a completion (an error
+    /// status, a release, or a superseding request). Stamps `stage`
+    /// (`FAILED` or `RELEASED`) and ends the root span; no SLO
+    /// observation — the guest did not get a service completion.
+    pub(crate) fn fail_req(&self, now: Cycles, tracer: &Tracer, req: ReqTag, vm: VmId, stage: u8) {
+        if !req.is_open() {
+            return;
+        }
+        tracer.emit(now, TraceEvent::ReqStage { req: req.id, stage });
+        tracer.emit(
+            now,
+            TraceEvent::ReqSpan {
+                req: req.id,
+                vm: vm.0,
+                end: true,
+            },
+        );
+    }
+
+    /// Attach an open request to a PRR's completion slot. A stale request
+    /// still parked there is closed as released first — its completion
+    /// can no longer be told apart from the new one.
+    fn attach_req(&mut self, now: Cycles, tracer: &Tracer, prr: u8, vm: VmId, req: ReqTag) {
+        let old = std::mem::replace(self.prrs.req_slot(prr), req);
+        self.fail_req(now, tracer, old, vm, req_stage::RELEASED);
+    }
+
+    /// Interface family of the task currently resident in `prr`.
+    pub(crate) fn prr_iface(&self, prr: u8) -> u8 {
+        self.prrs
+            .entry(prr)
+            .task
+            .and_then(|t| self.tasks.get(t))
+            .map(|e| iface_of(e.core))
+            .unwrap_or(0)
+    }
+
+    /// Close the `resume` hop of every completion buffered toward `vm` —
+    /// called when the VM is switched in and its buffered vIRQs drain.
+    pub(crate) fn drain_resumes(
+        &mut self,
+        now: Cycles,
+        tracer: &Tracer,
+        stats: &mut KernelStats,
+        vm: VmId,
+    ) {
+        let mut i = 0;
+        while i < self.pending_resume.len() {
+            if self.pending_resume[i].vm != vm {
+                i += 1;
+                continue;
+            }
+            let p = self.pending_resume.remove(i);
+            self.finish_req(now, tracer, stats, p.req, vm, p.iface, req_stage::RESUME);
+        }
+    }
+
+    /// Drop every open request owned by `vm` (VM teardown): buffered
+    /// resumes, PRR slots and shadow dispatches all close as failed.
+    pub(crate) fn forget_vm_reqs(&mut self, now: Cycles, tracer: &Tracer, vm: VmId) {
+        let mut i = 0;
+        while i < self.pending_resume.len() {
+            if self.pending_resume[i].vm != vm {
+                i += 1;
+                continue;
+            }
+            let p = self.pending_resume.remove(i);
+            self.fail_req(now, tracer, p.req, vm, req_stage::FAILED);
+        }
+        for prr in 0..self.prrs.len() as u8 {
+            if self.prrs.entry(prr).client == Some(vm) {
+                let old = self.prrs.req_slot(prr).take();
+                self.fail_req(now, tracer, old, vm, req_stage::FAILED);
+            }
+        }
+        for i in 0..self.shadows.len() {
+            if self.shadows[i].vm == vm {
+                let old = self.shadows[i].req.take();
+                self.fail_req(now, tracer, old, vm, req_stage::FAILED);
+            }
+        }
     }
 
     /// The manager's allocation algorithm: request validation, policy
@@ -407,6 +586,7 @@ impl HwMgr {
         task: HwTaskId,
         iface_va: VirtAddr,
         data_va: VirtAddr,
+        req: ReqTag,
     ) -> Result<u32, HcError> {
         // Stage attribution brackets the whole allocation routine; the
         // caller's context (the HwTaskRequest hypercall) is restored on
@@ -414,7 +594,10 @@ impl HwMgr {
         let outer = self.profiler.swap_ctx(SampleCtx::DprStage(1));
         self.profiler
             .record_event(m.now(), TraceEvent::DprStage { stage: 1 });
-        let r = self.request_inner(m, pds, pt, stats, tracer, caller, task, iface_va, data_va);
+        self.req_stamp(m.now(), tracer, req, 1);
+        let r = self.request_inner(
+            m, pds, pt, stats, tracer, caller, task, iface_va, data_va, req,
+        );
         self.profiler.swap_ctx(outer);
         r
     }
@@ -431,6 +614,7 @@ impl HwMgr {
         task: HwTaskId,
         iface_va: VirtAddr,
         data_va: VirtAddr,
+        req: ReqTag,
     ) -> Result<u32, HcError> {
         self.touch_code(m, 24);
         stats.hwmgr.invocations += 1;
@@ -470,12 +654,15 @@ impl HwMgr {
                 // quarantined: refresh the data section and re-report the
                 // degraded dispatch — the interface mapping already points
                 // at the shadow page.
-                if let Some(s) = self
+                if let Some(i) = self
                     .shadows
-                    .iter_mut()
-                    .find(|s| s.vm == caller && s.task == task)
+                    .iter()
+                    .position(|s| s.vm == caller && s.task == task)
                 {
-                    s.ds = ds;
+                    self.shadows[i].ds = ds;
+                    let old = std::mem::replace(&mut self.shadows[i].req, req);
+                    self.fail_req(m.now(), tracer, old, caller, req_stage::RELEASED);
+                    self.req_stamp(m.now(), tracer, req, req_stage::SW_DISPATCH);
                 }
                 return Ok(HwTaskStatus::Success as u32
                     | ((prr as u32) << 8)
@@ -495,6 +682,7 @@ impl HwMgr {
                 self.transplant(m, pds, pt, stats, tracer, &s, prr, 0);
             }
             self.program_hwmmu(m, prr, ds);
+            self.attach_req(m.now(), tracer, prr, caller, req);
             let line = self
                 .irqs
                 .alloc(caller, prr)
@@ -517,7 +705,7 @@ impl HwMgr {
             .any(|s| s.vm == caller && s.task == task)
         {
             if let Some(prr) = self.select_prr(m, &entry_prrs, task) {
-                self.drop_shadow_of(m, pds, caller, task);
+                self.drop_shadow_of(m, pds, tracer, caller, task);
                 if let Some(pd) = pds.get_mut(&caller) {
                     if !self.native {
                         if let Some(&(va, _)) = pd.iface_maps.get(&task) {
@@ -537,12 +725,15 @@ impl HwMgr {
                 };
                 tracer.emit(m.now(), ev);
                 self.profiler.record_event(m.now(), ev);
-            } else if let Some(s) = self
+            } else if let Some(i) = self
                 .shadows
-                .iter_mut()
-                .find(|s| s.vm == caller && s.task == task)
+                .iter()
+                .position(|s| s.vm == caller && s.task == task)
             {
-                s.ds = ds;
+                self.shadows[i].ds = ds;
+                let old = std::mem::replace(&mut self.shadows[i].req, req);
+                self.fail_req(m.now(), tracer, old, caller, req_stage::RELEASED);
+                self.req_stamp(m.now(), tracer, req, req_stage::SW_DISPATCH);
                 return Ok(HwTaskStatus::Success as u32
                     | (hw_task_result::NO_PRR << 8)
                     | (hw_task_result::NO_LINE << 16)
@@ -550,14 +741,14 @@ impl HwMgr {
             }
         }
 
-        self.stage(m, 2);
+        self.stage(m, tracer, req, 2);
         let Some(prr) = self.select_prr(m, &entry_prrs, task) else {
             if !entry_prrs.is_empty() && entry_prrs.iter().all(|&p| self.prrs.entry(p).quarantined)
             {
                 // Every region this task fits is out of service: degrade
                 // to a pure-software dispatch instead of failing forever.
                 return self.dispatch_software(
-                    m, pds, pt, stats, tracer, caller, task, core, iface_va, ds,
+                    m, pds, pt, stats, tracer, caller, task, core, iface_va, ds, req,
                 );
             }
             // Fig. 7 stage 2: "if no idle PRR is available, the manager
@@ -576,7 +767,7 @@ impl HwMgr {
         }
 
         // Stage 3: map the interface page into the caller.
-        self.stage(m, 3);
+        self.stage(m, tracer, req, 3);
         if !self.native {
             let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
             pagetable::map_page(
@@ -597,7 +788,7 @@ impl HwMgr {
         }
 
         // Stage 4: load the hwMMU with the client's data section.
-        self.stage(m, 4);
+        self.stage(m, tracer, req, 4);
         self.program_hwmmu(m, prr, ds);
 
         // §IV-D: allocate a PL IRQ line and register it in the vGIC. The
@@ -632,10 +823,11 @@ impl HwMgr {
             e.iface_va = Some(iface_va.raw());
             e.dispatches += 1;
         }
+        self.attach_req(m.now(), tracer, prr, caller, req);
 
         // Stage 5: launch the PCAP download if the task is not resident.
         if needs_reconfig {
-            self.stage(m, 5);
+            self.stage(m, tracer, req, 5);
             stats.hwmgr.reconfigs += 1;
             self.metrics.inc("hwmgr_reconfigs", Label::Machine);
             // Client reconfigurations always win the channel: a background
@@ -655,16 +847,18 @@ impl HwMgr {
                 bit_len,
                 attempts: 0,
                 started_at: m.now().raw(),
+                req,
             });
+            self.req_stamp(m.now(), tracer, req, req_stage::PCAP_LAUNCH);
             if let Some(pd) = pds.get_mut(&caller) {
                 pd.pcap_pending = Some(task);
             }
             // Stage 6: return immediately with the reconfig flag — the
             // manager "does not check the completion of the PCAP transfer".
-            self.stage(m, 6);
+            self.stage(m, tracer, req, 6);
             return Ok(HwTaskStatus::Reconfiguring as u32 | ((prr as u32) << 8) | (line_idx << 16));
         }
-        self.stage(m, 6);
+        self.stage(m, tracer, req, 6);
         Ok(HwTaskStatus::Success as u32 | ((prr as u32) << 8) | (line_idx << 16))
     }
 
@@ -680,17 +874,22 @@ impl HwMgr {
         &mut self,
         m: &mut Machine,
         pds: &mut BTreeMap<VmId, Pd>,
+        tracer: &Tracer,
         caller: VmId,
         task: HwTaskId,
     ) -> Result<u32, HcError> {
         self.touch_code(m, 8);
         let Some(prr) = self.prrs.find_dispatch(caller, task) else {
-            return self.release_shadow(m, pds, caller, task);
+            return self.release_shadow(m, pds, tracer, caller, task);
         };
+        // A release closes whatever request was still waiting on the
+        // dispatch — its completion will never be attributed.
+        let old = self.prrs.req_slot(prr).take();
+        self.fail_req(m.now(), tracer, old, caller, req_stage::RELEASED);
         // A quarantined region's client was migrated to a shadow page;
         // dropping the dispatch drops the shadow too (and frees its page
         // and parked completion line).
-        self.drop_shadow_of(m, pds, caller, task);
+        self.drop_shadow_of(m, pds, tracer, caller, task);
         self.relocations.remove(&(caller, task));
         let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
         if !self.native {
@@ -725,6 +924,7 @@ impl HwMgr {
         &mut self,
         m: &mut Machine,
         pds: &mut BTreeMap<VmId, Pd>,
+        tracer: &Tracer,
         vm: VmId,
         task: HwTaskId,
     ) {
@@ -736,6 +936,7 @@ impl HwMgr {
             return;
         };
         let s = self.shadows.remove(idx);
+        self.fail_req(m.now(), tracer, s.req, vm, req_stage::RELEASED);
         self.free_shadow_page(s.page);
         if let Some(line) = s.line {
             if let Some(li) = line.pl_index() {
@@ -754,6 +955,7 @@ impl HwMgr {
         &mut self,
         m: &mut Machine,
         pds: &mut BTreeMap<VmId, Pd>,
+        tracer: &Tracer,
         caller: VmId,
         task: HwTaskId,
     ) -> Result<u32, HcError> {
@@ -764,7 +966,7 @@ impl HwMgr {
         {
             return Err(HcError::NotFound);
         }
-        self.drop_shadow_of(m, pds, caller, task);
+        self.drop_shadow_of(m, pds, tracer, caller, task);
         self.relocations.remove(&(caller, task));
         let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
         if !self.native {
@@ -793,6 +995,7 @@ impl HwMgr {
         core: CoreKind,
         iface_va: VirtAddr,
         ds: DataSection,
+        req: ReqTag,
     ) -> Result<u32, HcError> {
         let page = self.alloc_shadow_page(m).ok_or(HcError::NoResource)?;
         let _ = m.phys_write_u32(page + 4 * prr_regs::STATUS as u64, prr_status::IDLE);
@@ -834,7 +1037,9 @@ impl HwMgr {
             line: None,
             from_prr: None,
             promote_to: None,
+            req,
         });
+        self.req_stamp(m.now(), tracer, req, req_stage::SW_DISPATCH);
         stats.hwmgr.sw_fallbacks += 1;
         self.metrics.inc("sw_fallbacks", Label::Machine);
         tracer.emit(
@@ -880,6 +1085,7 @@ impl HwMgr {
             let status = m.phys_read_u32(ctrl_reg(plregs::PCAP_STATUS)).unwrap_or(0);
             if status == pcap_status::BUSY && now > job.stall_deadline() {
                 let _ = m.phys_write_u32(ctrl_reg(plregs::PCAP_CTRL), 0b10);
+                self.req_stamp(m.now(), tracer, job.req, req_stage::PCAP_ABORT);
                 if self.profiler.has_flight_events() {
                     let ctx = crate::postmortem::context(m, pds, Some(job.vm), &self.metrics);
                     self.profiler
@@ -1015,7 +1221,11 @@ impl HwMgr {
             }
         }
         let _ = m.phys_write_u32(ctrl_reg(plregs::IRQ_ROUTE), ((prr as u32) << 8) | 0xFF);
-        let shadow = SwShadow {
+        // The open request follows its client onto the shadow: whatever
+        // completes the migrated dispatch closes it.
+        let req = self.prrs.req_slot(prr).take();
+        self.req_stamp(m.now(), tracer, req, req_stage::SW_DISPATCH);
+        let mut shadow = SwShadow {
             vm,
             task,
             core,
@@ -1024,12 +1234,13 @@ impl HwMgr {
             line,
             from_prr: Some(prr),
             promote_to: None,
+            req,
         };
 
         // The wedged run: the guest is polling STATUS (or waiting on the
         // completion IRQ) — finish it on the CPU now.
         if regs[prr_regs::STATUS] == prr_status::BUSY {
-            self.serve_one(m, pds, stats, tracer, &shadow, regs[prr_regs::CTRL]);
+            self.serve_one(m, pds, stats, tracer, &mut shadow, regs[prr_regs::CTRL]);
         }
         self.shadows.push(shadow);
         true
@@ -1048,7 +1259,7 @@ impl HwMgr {
     ) {
         let shadows = std::mem::take(&mut self.shadows);
         let mut kept = Vec::with_capacity(shadows.len());
-        for s in shadows {
+        for mut s in shadows {
             let ctrl = m
                 .phys_read_u32(s.page + 4 * prr_regs::CTRL as u64)
                 .unwrap_or(0);
@@ -1061,7 +1272,7 @@ impl HwMgr {
                 // shadow — the dispatch is hardware-backed from here on.
                 self.transplant(m, pds, pt, stats, tracer, &s, prr, ctrl);
             } else {
-                self.serve_one(m, pds, stats, tracer, &s, ctrl);
+                self.serve_one(m, pds, stats, tracer, &mut s, ctrl);
                 kept.push(s);
             }
         }
@@ -1080,43 +1291,46 @@ impl HwMgr {
         pds: &mut BTreeMap<VmId, Pd>,
         stats: &mut KernelStats,
         tracer: &Tracer,
-        s: &SwShadow,
+        s: &mut SwShadow,
         ctrl: u32,
     ) {
-        let reg = |m: &mut Machine, idx: usize| {
-            m.phys_read_u32(s.page + 4 * idx as u64).unwrap_or(0) as u64
+        let page = s.page;
+        let ds = s.ds;
+        let reg = move |m: &mut Machine, idx: usize| {
+            m.phys_read_u32(page + 4 * idx as u64).unwrap_or(0) as u64
         };
         let src = reg(m, prr_regs::SRC_ADDR);
         let src_len = reg(m, prr_regs::SRC_LEN);
         let dst = reg(m, prr_regs::DST_ADDR);
         let dst_cap = reg(m, prr_regs::DST_LEN);
 
-        let in_window = |a: u64, l: u64| {
-            a >= s.ds.pa.raw()
-                && a.checked_add(l)
-                    .is_some_and(|e| e <= s.ds.pa.raw() + s.ds.len)
+        let in_window = move |a: u64, l: u64| {
+            a >= ds.pa.raw() && a.checked_add(l).is_some_and(|e| e <= ds.pa.raw() + ds.len)
         };
         let core = make_core(s.core);
         let out_len = core.output_len(src_len as usize) as u64;
 
-        let fail = |m: &mut Machine, code: u32| {
-            let _ = m.phys_write_u32(s.page + 4 * prr_regs::STATUS as u64, prr_status::ERROR);
-            let _ = m.phys_write_u32(s.page + 4 * prr_regs::PARAM0 as u64, code);
+        let fail = move |m: &mut Machine, code: u32| {
+            let _ = m.phys_write_u32(page + 4 * prr_regs::STATUS as u64, prr_status::ERROR);
+            let _ = m.phys_write_u32(page + 4 * prr_regs::PARAM0 as u64, code);
         };
         // Clear the START pulse either way (IRQ_EN is a level setting).
-        let _ = m.phys_write_u32(s.page + 4 * prr_regs::CTRL as u64, ctrl & prr_ctrl::IRQ_EN);
+        let _ = m.phys_write_u32(page + 4 * prr_regs::CTRL as u64, ctrl & prr_ctrl::IRQ_EN);
         if !in_window(src, src_len) || !in_window(dst, out_len) {
             fail(m, prr_errcode::HWMMU_VIOLATION);
+            self.fail_req(m.now(), tracer, s.req.take(), s.vm, req_stage::FAILED);
             return;
         }
         if out_len > dst_cap {
             fail(m, prr_errcode::DST_OVERFLOW);
+            self.fail_req(m.now(), tracer, s.req.take(), s.vm, req_stage::FAILED);
             return;
         }
 
         let mut input = vec![0u8; src_len as usize];
         if m.phys_read_block(PhysAddr::new(src), &mut input).is_err() {
             fail(m, prr_errcode::HWMMU_VIOLATION);
+            self.fail_req(m.now(), tracer, s.req.take(), s.vm, req_stage::FAILED);
             return;
         }
         // The same functional model the fabric runs — the output bytes are
@@ -1126,14 +1340,12 @@ impl HwMgr {
         m.charge(sw_cycles);
         if m.phys_write_block(PhysAddr::new(dst), &output).is_err() {
             fail(m, prr_errcode::HWMMU_VIOLATION);
+            self.fail_req(m.now(), tracer, s.req.take(), s.vm, req_stage::FAILED);
             return;
         }
-        let _ = m.phys_write_u32(
-            s.page + 4 * prr_regs::RESULT_LEN as u64,
-            output.len() as u32,
-        );
-        let _ = m.phys_write_u32(s.page + 4 * prr_regs::PERF_CYCLES as u64, sw_cycles as u32);
-        let _ = m.phys_write_u32(s.page + 4 * prr_regs::STATUS as u64, prr_status::DONE);
+        let _ = m.phys_write_u32(page + 4 * prr_regs::RESULT_LEN as u64, output.len() as u32);
+        let _ = m.phys_write_u32(page + 4 * prr_regs::PERF_CYCLES as u64, sw_cycles as u32);
+        let _ = m.phys_write_u32(page + 4 * prr_regs::STATUS as u64, prr_status::DONE);
 
         // A completed (software) round trip ends the no-completion streak.
         self.relocations.remove(&(s.vm, s.task));
@@ -1148,13 +1360,38 @@ impl HwMgr {
         );
         // Completion delivery: buffer the vIRQ like the vGIC routing path
         // does for an inactive owner, and wake the VM.
+        let req = s.req.take();
+        let mut buffered = false;
         if ctrl & prr_ctrl::IRQ_EN != 0 {
             if let (Some(line), Some(pd)) = (s.line, pds.get_mut(&s.vm)) {
                 pd.vgic.buffer(line);
                 if pd.vgic.is_enabled(line) {
                     pd.wake_at = 0;
                 }
+                buffered = true;
             }
+        }
+        if buffered && req.is_open() {
+            // The request stays open through the buffered delivery; the
+            // owner's next switch-in closes it at the `resume` hop.
+            self.req_stamp(m.now(), tracer, req, req_stage::SW_DONE);
+            self.req_stamp(m.now(), tracer, req, req_stage::VIRQ_BUFFER);
+            self.pending_resume.push(PendingResume {
+                vm: s.vm,
+                req,
+                iface: iface_of(s.core),
+            });
+        } else {
+            // Polling dispatch: publishing DONE is the completion.
+            self.finish_req(
+                m.now(),
+                tracer,
+                stats,
+                req,
+                s.vm,
+                iface_of(s.core),
+                req_stage::SW_DONE,
+            );
         }
     }
 
@@ -1213,6 +1450,15 @@ impl HwMgr {
             if let Some(pd) = pds.get_mut(&caller) {
                 pd.pcap_pending = None;
             }
+            if let Some(job) = self.pcap_job {
+                self.req_stamp(m.now(), tracer, job.req, req_stage::PCAP_DONE);
+                self.metrics.observe(
+                    "pcap_latency",
+                    Label::Prr(job.prr),
+                    m.now().raw().saturating_sub(job.started_at),
+                    job.req.id,
+                );
+            }
             self.pcap_owner = None;
             self.pcap_job = None;
             return Ok(1);
@@ -1238,6 +1484,7 @@ impl HwMgr {
                                 attempt: job.attempts,
                             },
                         );
+                        self.req_stamp(m.now(), tracer, job.req, req_stage::PCAP_RETRY);
                         // Exponential backoff, then relaunch the transfer.
                         m.charge(timing::PCAP_RETRY_BACKOFF_BASE << job.attempts);
                         let _ =
@@ -1254,6 +1501,7 @@ impl HwMgr {
                     // is persistently failing (e.g. a damaged bitstream
                     // store). Quarantine it and serve the client on the
                     // CPU — the reconfiguration completes, degraded.
+                    self.req_stamp(m.now(), tracer, job.req, req_stage::PCAP_ABORT);
                     self.pcap_job = None;
                     self.pcap_owner = None;
                     if let Some(pd) = pds.get_mut(&caller) {

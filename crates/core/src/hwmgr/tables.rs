@@ -105,6 +105,32 @@ impl HwTaskTable {
     }
 }
 
+/// A minted request id plus its hypercall-entry timestamp. `id == 0` means
+/// "no open request": ids are minted from 1, so the default tag is the
+/// absent tag. The tag travels with whatever object currently owns the
+/// request's completion — a [`PrrEntry`] while the task runs on fabric, a
+/// `PcapJob` during reconfiguration, a `SwShadow` when degraded — and is
+/// consumed exactly once when the completion is delivered to the guest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReqTag {
+    /// Request id (0 = none).
+    pub id: u32,
+    /// Mint timestamp (absolute cycles at hypercall entry).
+    pub started: u64,
+}
+
+impl ReqTag {
+    /// True when this slot holds an open request.
+    pub fn is_open(&self) -> bool {
+        self.id != 0
+    }
+
+    /// Take the tag out of the slot, leaving it empty.
+    pub fn take(&mut self) -> ReqTag {
+        std::mem::take(self)
+    }
+}
+
 /// One PRR-table entry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PrrEntry {
@@ -127,6 +153,9 @@ pub struct PrrEntry {
     /// considered genuinely damaged. `retired` implies `quarantined` and
     /// is never cleared.
     pub retired: bool,
+    /// The open causal request awaiting its first completion through this
+    /// region (cleared when the completion vIRQ is attributed to it).
+    pub req: ReqTag,
 }
 
 /// The PRR state table.
@@ -158,6 +187,14 @@ impl PrrTable {
         let addr = layout::HWMGR_BASE + 0x4000 + (prr as u64) * 64;
         let _ = m.phys_write_u32(addr, 0);
         &mut self.entries[prr as usize]
+    }
+
+    /// Uncharged access to the causal-request slot of `prr`. Request
+    /// bookkeeping shares the entry's cache line, which the charged
+    /// accessors already touched on every path that reaches it, so the
+    /// tracing layer stays cycle-neutral.
+    pub fn req_slot(&mut self, prr: u8) -> &mut ReqTag {
+        &mut self.entries[prr as usize].req
     }
 
     /// Number of regions.

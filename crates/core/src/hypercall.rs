@@ -16,8 +16,10 @@ use mnv_hal::abi::{vm_stats, HcError, Hypercall, HypercallArgs};
 use mnv_hal::{Cycles, HwTaskId, IrqNum, PhysAddr, VirtAddr, VmId};
 use mnv_metrics::Label;
 use mnv_profile::SampleCtx;
+use mnv_trace::event::req_stage;
 use mnv_trace::{MgrPhase, TraceEvent, TrapKind};
 
+use crate::hwmgr::tables::ReqTag;
 use crate::ipc;
 use crate::kernel::{sd_block, KernelState};
 use crate::mem::dacr::{self, GuestContext};
@@ -284,30 +286,57 @@ fn dispatch(
             }
             Ok(0)
         }
-        HwTaskRequest => with_manager(m, ks, caller, |m, ks| {
-            let crate::kernel::KernelState {
-                hwmgr,
-                pds,
-                pt,
-                stats,
-                tracer,
-                ..
-            } = ks;
-            hwmgr.handle_request(
-                m,
-                pds,
-                pt,
-                stats,
-                tracer,
-                caller,
-                HwTaskId(args.a0 as u16),
-                VirtAddr::new(args.a1 as u64),
-                VirtAddr::new(args.a2 as u64),
-            )
-        }),
-        HwTaskRelease => with_manager(m, ks, caller, |m, ks| {
-            let (hwmgr, pds) = (&mut ks.hwmgr, &mut ks.pds);
-            hwmgr.handle_release(m, pds, caller, HwTaskId(args.a0 as u16))
+        HwTaskRequest => {
+            // Mint the causal request id. The counter advances and the stat
+            // bumps whether or not tracing is enabled, so instrumented and
+            // bare lockstep runs agree on every piece of kernel state.
+            ks.hwmgr.next_req = ks.hwmgr.next_req.wrapping_add(1).max(1);
+            let req = ReqTag {
+                id: ks.hwmgr.next_req,
+                started: m.now().raw(),
+            };
+            ks.stats.reqs_minted += 1;
+            ks.tracer.emit(
+                m.now(),
+                TraceEvent::ReqSpan {
+                    req: req.id,
+                    vm: caller.0,
+                    end: false,
+                },
+            );
+            let r = with_manager(m, ks, caller, req.id, |m, ks| {
+                let crate::kernel::KernelState {
+                    hwmgr,
+                    pds,
+                    pt,
+                    stats,
+                    tracer,
+                    ..
+                } = ks;
+                hwmgr.handle_request(
+                    m,
+                    pds,
+                    pt,
+                    stats,
+                    tracer,
+                    caller,
+                    HwTaskId(args.a0 as u16),
+                    VirtAddr::new(args.a1 as u64),
+                    VirtAddr::new(args.a2 as u64),
+                    req,
+                )
+            });
+            if r.is_err() {
+                // A refused request never produces a completion — close the
+                // span here so the waterfall shows the failure, not a leak.
+                ks.hwmgr
+                    .fail_req(m.now(), &ks.tracer, req, caller, req_stage::FAILED);
+            }
+            r
+        }
+        HwTaskRelease => with_manager(m, ks, caller, 0, |m, ks| {
+            let (hwmgr, pds, tracer) = (&mut ks.hwmgr, &mut ks.pds, &ks.tracer);
+            hwmgr.handle_release(m, pds, tracer, caller, HwTaskId(args.a0 as u16))
         }),
         HwTaskQuery => ks
             .hwmgr
@@ -380,6 +409,7 @@ fn with_manager(
     m: &mut Machine,
     ks: &mut KernelState,
     caller: VmId,
+    exemplar: u32,
     body: impl FnOnce(&mut Machine, &mut KernelState) -> Result<u32, HcError>,
 ) -> Result<u32, HcError> {
     // ---- entry: save the caller, enter the manager's memory space ----
@@ -424,6 +454,8 @@ fn with_manager(
     ks.metrics.inc("hwmgr_invocations", vm_label);
     ks.metrics
         .add("hwmgr_entry_cycles", vm_label, (t1 - t0).raw());
+    ks.metrics
+        .observe("mgr_entry_latency", vm_label, (t1 - t0).raw(), exemplar);
     ks.tracer.emit(
         t1,
         TraceEvent::HwMgrPhase {
@@ -445,6 +477,8 @@ fn with_manager(
     ks.stats.hwmgr.exec.push(Cycles::new((t2 - t1).raw()));
     ks.metrics
         .add("hwmgr_exec_cycles", vm_label, (t2 - t1).raw());
+    ks.metrics
+        .observe("mgr_exec_latency", vm_label, (t2 - t1).raw(), exemplar);
     ks.tracer.emit(
         t2,
         TraceEvent::HwMgrPhase {
@@ -480,6 +514,10 @@ fn with_manager(
     ks.stats.hwmgr.total.push(Cycles::new((t3 - t0).raw()));
     ks.metrics
         .add("hwmgr_exit_cycles", vm_label, (t3 - t2).raw());
+    ks.metrics
+        .observe("mgr_exit_latency", vm_label, (t3 - t2).raw(), exemplar);
+    ks.metrics
+        .observe("mgr_total_latency", vm_label, (t3 - t0).raw(), exemplar);
     ks.tracer.emit(
         t3,
         TraceEvent::HwMgrPhase {

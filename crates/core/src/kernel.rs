@@ -531,8 +531,17 @@ impl Kernel {
             .map(|pd| pd.iface_maps.keys().copied().collect())
             .unwrap_or_default();
         for t in held {
-            let KernelState { hwmgr, pds, .. } = &mut self.state;
-            let _ = hwmgr.handle_release(&mut self.machine, pds, vm, t);
+            let KernelState {
+                hwmgr, pds, tracer, ..
+            } = &mut self.state;
+            let _ = hwmgr.handle_release(&mut self.machine, pds, tracer, vm, t);
+        }
+        // Close any causal requests still waiting on the dead VM (buffered
+        // completions, slots the releases above did not reach): their
+        // completion can never be delivered.
+        {
+            let KernelState { hwmgr, tracer, .. } = &mut self.state;
+            hwmgr.forget_vm_reqs(self.machine.now(), tracer, vm);
         }
         // An in-flight reconfiguration owned by the dead VM would otherwise
         // linger (nobody left to poll it): drop the ownership so the next
@@ -903,6 +912,17 @@ impl Kernel {
     /// Run one VM for (at most) `grant` cycles; returns (used, exit).
     fn run_vm(&mut self, vm: VmId, grant: Cycles) -> (Cycles, RunExit) {
         let buffered = self.switch_in(vm);
+        // Buffered completion vIRQs are delivered below — close their
+        // causal requests' `resume` hop at the same simulated instant.
+        {
+            let KernelState {
+                hwmgr,
+                stats,
+                tracer,
+                ..
+            } = &mut self.state;
+            hwmgr.drain_resumes(self.machine.now(), tracer, stats, vm);
+        }
         let start = self.machine.now();
 
         let mut guest = self.guests.remove(&vm).expect("guest exists");

@@ -42,6 +42,7 @@ pub mod mirguest;
 pub mod native;
 pub mod postmortem;
 pub mod sched;
+pub mod slo;
 pub mod stats;
 pub mod supervisor;
 pub mod vgic;

@@ -273,6 +273,14 @@ impl GuestEnv for NativeEnv<'_> {
                 // The manager runs inline; only its execution is measured
                 // (Table III native column: entry/exit/IRQ-entry are 0).
                 let t0 = self.m.now();
+                // Requests are minted on the native path too — the counter
+                // is kernel state, so the baseline stays comparable.
+                self.hwmgr.next_req = self.hwmgr.next_req.wrapping_add(1).max(1);
+                let req = crate::hwmgr::tables::ReqTag {
+                    id: self.hwmgr.next_req,
+                    started: t0.raw(),
+                };
+                self.stats.reqs_minted += 1;
                 let r = self.hwmgr.handle_request(
                     self.m,
                     self.pds,
@@ -283,15 +291,19 @@ impl GuestEnv for NativeEnv<'_> {
                     HwTaskId(args.a0 as u16),
                     VirtAddr::new(args.a1 as u64),
                     VirtAddr::new(args.a2 as u64),
+                    req,
                 );
                 let dt = self.m.now() - t0;
                 self.stats.hwmgr.exec.push(Cycles::new(dt.raw()));
                 r
             }
-            Hypercall::HwTaskRelease => {
-                self.hwmgr
-                    .handle_release(self.m, self.pds, NATIVE_VM, HwTaskId(args.a0 as u16))
-            }
+            Hypercall::HwTaskRelease => self.hwmgr.handle_release(
+                self.m,
+                self.pds,
+                &mnv_trace::Tracer::disabled(),
+                NATIVE_VM,
+                HwTaskId(args.a0 as u16),
+            ),
             Hypercall::HwTaskQuery => {
                 self.hwmgr
                     .handle_query(self.m, self.pds, NATIVE_VM, HwTaskId(args.a0 as u16))

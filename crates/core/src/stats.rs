@@ -130,6 +130,15 @@ pub struct KernelStats {
     pub liveness_kills: u64,
     /// VMs killed permanently after exhausting the crash-loop budget.
     pub crash_loop_kills: u64,
+    /// Hardware-task requests minted (every `HwTaskRequest` hypercall gets
+    /// a fresh `ReqId`, whether or not it is eventually satisfied).
+    pub reqs_minted: u64,
+    /// Completed requests whose end-to-end latency exceeded the interface's
+    /// latency objective.
+    pub slo_violations: u64,
+    /// SLO burn events: windows in which the violation count crossed the
+    /// burn limit.
+    pub slo_burns: u64,
 }
 
 impl KernelStats {

@@ -37,6 +37,7 @@ use mnv_fpga::prr::status as prr_status;
 use mnv_fpga::prr::REG_COUNT;
 use mnv_hal::{Domain, HwTaskId, Priority, VmId};
 use mnv_metrics::Label;
+use mnv_trace::event::req_stage;
 use mnv_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
@@ -766,6 +767,10 @@ impl HwMgr {
             }
         }
         self.prrs.entry_mut(m, prr).dispatches += 1;
+        // The shadow's open causal request follows the client back onto
+        // fabric: the completion vIRQ from the new region closes it.
+        let old = std::mem::replace(self.prrs.req_slot(prr), s.req);
+        self.fail_req(m.now(), tracer, old, s.vm, req_stage::RELEASED);
         self.free_shadow_page(s.page);
         stats.hwmgr.repromotions += 1;
         self.metrics.inc("repromotions", Label::Machine);
@@ -821,6 +826,8 @@ impl HwMgr {
         let ev = TraceEvent::HwTaskEscalate { prr, rung: 1 };
         tracer.emit(m.now(), ev);
         self.profiler.record_event(m.now(), ev);
+        let req = self.prrs.entry(prr).req;
+        self.req_stamp(m.now(), tracer, req, req_stage::LADDER_RETRY);
     }
 
     /// Advance the ladder for a region whose current rung timed out.
@@ -881,6 +888,8 @@ impl HwMgr {
                         let ev = TraceEvent::HwTaskEscalate { prr, rung: 2 };
                         tracer.emit(m.now(), ev);
                         self.profiler.record_event(m.now(), ev);
+                        let req = self.prrs.entry(prr).req;
+                        self.req_stamp(m.now(), tracer, req, req_stage::LADDER_RELOCATE);
                         return;
                     }
                 }
@@ -913,6 +922,8 @@ impl HwMgr {
         let ev = TraceEvent::HwTaskEscalate { prr, rung: 3 };
         tracer.emit(m.now(), ev);
         self.profiler.record_event(m.now(), ev);
+        let req = self.prrs.entry(prr).req;
+        self.req_stamp(m.now(), tracer, req, req_stage::LADDER_FALLBACK);
         if self.quarantine(m, pds, pt, stats, tracer, prr) {
             return;
         }
@@ -925,6 +936,14 @@ impl HwMgr {
         let ev = TraceEvent::HwTaskEscalate { prr, rung: 4 };
         tracer.emit(m.now(), ev);
         self.profiler.record_event(m.now(), ev);
+        {
+            // Rung 4 is terminal for the causal request: the guest gets an
+            // explicit device error, never a completion vIRQ.
+            let vm = self.prrs.entry(prr).client.unwrap_or(VmId(0));
+            let req = self.prrs.req_slot(prr).take();
+            self.req_stamp(m.now(), tracer, req, req_stage::LADDER_ERROR);
+            self.fail_req(m.now(), tracer, req, vm, req_stage::FAILED);
+        }
         let dev = Pl::prr_page(prr);
         let _ = m.phys_write_u32(dev + 4 * prr_regs::CTRL as u64, prr_ctrl::RESET);
         let _ = m.phys_write_u32(dev + 4 * prr_regs::STATUS as u64, prr_status::ERROR);
@@ -1005,6 +1024,10 @@ impl HwMgr {
         let target = job.prr;
         *self.relocations.entry((vm, job.task)).or_insert(0) += 1;
 
+        // The open causal request follows the client to the target region
+        // (taken before the quarantine clears the source entry).
+        let moved = self.prrs.req_slot(from).take();
+
         // The hung source goes to quarantine (and the scrubber's care) —
         // without a client migration, since the client moves to hardware.
         self.quarantine_bare(m, pds, stats, tracer, from);
@@ -1017,6 +1040,7 @@ impl HwMgr {
             e.iface_va = Some(iface_va.raw());
             e.dispatches += 1;
         }
+        *self.prrs.req_slot(target) = moved;
         if !self.native {
             if let Some(pd) = pds.get_mut(&vm) {
                 let _ = pagetable::unmap_page(m, pd.l1, iface_va, pd.asid);

@@ -12,9 +12,11 @@
 use mnv_arm::machine::Machine;
 use mnv_hal::abi::{HcError, HypercallArgs};
 use mnv_hal::{Cycles, IrqNum, VirtAddr, VmId};
+use mnv_trace::event::req_stage;
 use mnv_trace::{TraceEvent, TrapKind};
 use mnv_ucos::env::{GuestEnv, GuestFault};
 
+use crate::hwmgr::service::{PendingResume, SHADOW_LINE_KEY};
 use crate::hypercall::{self, touch_ktext};
 use crate::kernel::KernelState;
 use crate::mem::layout::ktext;
@@ -88,11 +90,13 @@ impl<'a> VmEnv<'a> {
         };
 
         let is_pl = irq.pl_index().is_some();
+        let mut buffered_for: Option<VmId> = None;
         let result = match owner {
             Some(vm) if vm == self.vm => match self.ks.pds.get_mut(&self.vm) {
                 None => None,
                 Some(pd) if !pd.vgic.is_enabled(irq) && irq != IrqNum::PCAP_DONE => {
                     pd.vgic.buffer(irq);
+                    buffered_for = Some(vm);
                     None
                 }
                 Some(pd) => {
@@ -134,11 +138,50 @@ impl<'a> VmEnv<'a> {
                     if pd.vgic.is_enabled(irq) {
                         pd.wake_at = 0;
                     }
+                    buffered_for = Some(other);
                 }
                 None
             }
             None => None,
         };
+        // Causal-request attribution for PL completion lines: an injected
+        // vIRQ closes the region's open request; a buffered one parks it in
+        // the resume queue, closed when the owner is next switched in.
+        // PCAP_DONE traffic is the manager's own and never closes a request;
+        // shadow pseudo-keys never reach this path's region lookup.
+        if is_pl && irq != IrqNum::PCAP_DONE {
+            if let Some((owner_vm, key)) = self.ks.hwmgr.irqs.owner(irq) {
+                if key & SHADOW_LINE_KEY == 0 && (key as usize) < self.ks.hwmgr.prrs.len() {
+                    let now = self.m.now();
+                    let KernelState {
+                        hwmgr,
+                        stats,
+                        tracer,
+                        ..
+                    } = &mut *self.ks;
+                    if result.is_some() {
+                        let req = hwmgr.prrs.req_slot(key).take();
+                        let iface = hwmgr.prr_iface(key);
+                        hwmgr.finish_req(
+                            now,
+                            tracer,
+                            stats,
+                            req,
+                            owner_vm,
+                            iface,
+                            req_stage::VIRQ_INJECT,
+                        );
+                    } else if let Some(vm) = buffered_for {
+                        let req = hwmgr.prrs.req_slot(key).take();
+                        if req.is_open() {
+                            hwmgr.req_stamp(now, tracer, req, req_stage::VIRQ_BUFFER);
+                            let iface = hwmgr.prr_iface(key);
+                            hwmgr.pending_resume.push(PendingResume { vm, req, iface });
+                        }
+                    }
+                }
+            }
+        }
         self.ks.tracer.emit(self.m.now(), TraceEvent::TrapExit);
         result
     }

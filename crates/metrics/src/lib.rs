@@ -26,9 +26,18 @@
 //!   ([`Snapshot::prometheus`], every sample line `name{labels} value`)
 //!   and `mnv_trace::json` ([`Snapshot::to_json`]) for machine-readable
 //!   artefacts.
+//! * **Histograms with exemplars.** [`Registry::observe`] records a latency
+//!   sample into a log-bucketed histogram (reusing `mnv_trace::Hist`) and
+//!   remembers, per bucket, the last request id that landed there. The
+//!   classic exposition stays integer-valued; the OpenMetrics-style
+//!   exposition ([`Snapshot::openmetrics`]) annotates p99-tail buckets
+//!   with their exemplar so a tail sample links straight back to the
+//!   request waterfall that caused it.
 
 use mnv_trace::json::Json;
 
+#[cfg(feature = "metrics")]
+use mnv_trace::hist::{self, Hist, BUCKETS};
 #[cfg(feature = "metrics")]
 use std::cell::RefCell;
 #[cfg(feature = "metrics")]
@@ -114,6 +123,52 @@ pub struct Entry {
     pub value: u64,
 }
 
+/// One exported histogram bucket: exclusive upper bound, the number of
+/// samples that landed in it, and the exemplar — the last request id (with
+/// its sampled value) observed in this bucket (`exemplar_req == 0` when no
+/// request-attributed sample landed here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistBucket {
+    /// Exclusive upper bound of the bucket (saturating at `u64::MAX`).
+    pub le: u64,
+    /// Samples in this bucket (non-cumulative).
+    pub count: u64,
+    /// Last request id that landed here (0 = none).
+    pub exemplar_req: u32,
+    /// The sample value that request contributed.
+    pub exemplar_value: u64,
+}
+
+/// One exported histogram series.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistEntry {
+    /// Metric name (static, snake_case, unprefixed).
+    pub name: &'static str,
+    /// Attribution label.
+    pub label: Label,
+    /// Total sample count.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Estimated 99th percentile (integer, same unit as the samples).
+    pub p99: u64,
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<HistBucket>,
+}
+
+impl HistEntry {
+    /// True when `b` is a p99-tail bucket: its range reaches at or beyond
+    /// the estimated 99th percentile, so its exemplar points at a genuine
+    /// tail sample.
+    pub fn is_tail(&self, b: &HistBucket) -> bool {
+        b.le > self.p99
+    }
+}
+
 /// A point-in-time capture of the whole registry. Plain data — usable (and
 /// empty) even when the `metrics` feature is off, so harness code needs no
 /// feature gates.
@@ -121,6 +176,8 @@ pub struct Entry {
 pub struct Snapshot {
     /// Samples in (name, label) order.
     pub entries: Vec<Entry>,
+    /// Histogram series in (name, label) order.
+    pub hists: Vec<HistEntry>,
 }
 
 impl Snapshot {
@@ -151,10 +208,19 @@ impl Snapshot {
             .collect()
     }
 
+    /// The histogram series for one (name, label), if recorded.
+    pub fn hist(&self, name: &str, label: Label) -> Option<&HistEntry> {
+        self.hists
+            .iter()
+            .find(|h| h.name == name && h.label == label)
+    }
+
     /// Measurement-window arithmetic: counters subtract the earlier
     /// capture (saturating, so a reset upstream cannot underflow); gauges
     /// keep their latest value. Samples missing from `earlier` pass
-    /// through unchanged.
+    /// through unchanged. Histograms are lifetime-cumulative and pass
+    /// through as-is (their quantiles are only meaningful over the full
+    /// distribution).
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         let entries = self
             .entries
@@ -167,13 +233,32 @@ impl Snapshot {
                 Kind::Gauge => *e,
             })
             .collect();
-        Snapshot { entries }
+        Snapshot {
+            entries,
+            hists: self.hists.clone(),
+        }
     }
 
     /// Prometheus text exposition: `# HELP` and `# TYPE` headers plus one
-    /// `mnv_name{labels} value` line per sample. Label values are escaped
-    /// per the format (see [`escape_label_value`]).
+    /// `mnv_name{labels} value` line per sample, and the classic
+    /// cumulative `_bucket{le=...}` / `_sum` / `_count` series for every
+    /// histogram. Label values are escaped per the format (see
+    /// [`escape_label_value`]). Every sample value is an integer.
     pub fn prometheus(&self) -> String {
+        self.exposition(false)
+    }
+
+    /// OpenMetrics-style text exposition: the same families as
+    /// [`Snapshot::prometheus`], but p99-tail histogram buckets carry an
+    /// exemplar annotation (`# {req_id="N"} value`) naming the last
+    /// request that landed there, and the document ends with `# EOF`.
+    pub fn openmetrics(&self) -> String {
+        let mut out = self.exposition(true);
+        out.push_str("# EOF\n");
+        out
+    }
+
+    fn exposition(&self, exemplars: bool) -> String {
         let mut out = String::new();
         let mut last: Option<&'static str> = None;
         for e in &self.entries {
@@ -197,10 +282,66 @@ impl Snapshot {
             }
             out.push_str(&format!("mnv_{}{} {}\n", e.name, e.label.render(), e.value));
         }
+        let mut last: Option<&'static str> = None;
+        for h in &self.hists {
+            if last != Some(h.name) {
+                out.push_str(&format!(
+                    "# HELP mnv_{} Mini-NOVA histogram `{}` (log-bucketed distribution, cumulative since boot).\n",
+                    h.name, h.name
+                ));
+                out.push_str(&format!("# TYPE mnv_{} histogram\n", h.name));
+                last = Some(h.name);
+            }
+            let mut cum = 0u64;
+            let mut had_inf = false;
+            for b in &h.buckets {
+                cum += b.count;
+                let le = if b.le == u64::MAX {
+                    had_inf = true;
+                    "+Inf".to_string()
+                } else {
+                    b.le.to_string()
+                };
+                let series = format!(
+                    "mnv_{}_bucket{}",
+                    h.name,
+                    label_set_with(&h.label, &format!("le=\"{le}\""))
+                );
+                if exemplars && h.is_tail(b) && b.exemplar_req != 0 {
+                    out.push_str(&format!(
+                        "{series} {cum} # {{req_id=\"{}\"}} {}\n",
+                        b.exemplar_req, b.exemplar_value
+                    ));
+                } else {
+                    out.push_str(&format!("{series} {cum}\n"));
+                }
+            }
+            if !had_inf {
+                out.push_str(&format!(
+                    "mnv_{}_bucket{} {}\n",
+                    h.name,
+                    label_set_with(&h.label, "le=\"+Inf\""),
+                    h.count
+                ));
+            }
+            out.push_str(&format!(
+                "mnv_{}_sum{} {}\n",
+                h.name,
+                h.label.render(),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "mnv_{}_count{} {}\n",
+                h.name,
+                h.label.render(),
+                h.count
+            ));
+        }
         out
     }
 
-    /// JSON export: `{name: {label: value, ...}, ...}`.
+    /// JSON export: `{name: {label: value, ...}, ...}`; histogram series
+    /// export their summary (`count`/`sum`/`p99`/`max`) per label.
     pub fn to_json(&self) -> Json {
         let mut metrics: std::collections::BTreeMap<String, Json> = Default::default();
         for e in &self.entries {
@@ -211,8 +352,45 @@ impl Snapshot {
                 map.insert(e.label.json_key(), Json::num(e.value as f64));
             }
         }
+        for h in &self.hists {
+            let slot = metrics
+                .entry(h.name.to_string())
+                .or_insert_with(|| Json::Obj(Default::default()));
+            if let Json::Obj(map) = slot {
+                map.insert(
+                    h.label.json_key(),
+                    Json::obj([
+                        ("count", Json::num(h.count as f64)),
+                        ("sum", Json::num(h.sum as f64)),
+                        ("p99", Json::num(h.p99 as f64)),
+                        ("max", Json::num(h.max as f64)),
+                    ]),
+                );
+            }
+        }
         Json::Obj(metrics.into_iter().collect())
     }
+}
+
+/// Merge an extra `key="value"` pair into a rendered label set (labels
+/// render as `{...}` or the empty string for [`Label::Machine`]).
+fn label_set_with(label: &Label, extra: &str) -> String {
+    let base = label.render();
+    if base.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &base[..base.len() - 1])
+    }
+}
+
+#[cfg(feature = "metrics")]
+struct HistSlot {
+    name: &'static str,
+    label: Label,
+    hist: Hist,
+    /// Per-bucket exemplar: last (request id, sample value) that landed
+    /// there; request id 0 means no request-attributed sample yet.
+    exemplars: [(u32, u64); BUCKETS],
 }
 
 #[cfg(feature = "metrics")]
@@ -222,6 +400,10 @@ struct State {
     slots: Vec<Entry>,
     /// (name, label) → slot index; allocation happens only on first touch.
     index: BTreeMap<(&'static str, Label), usize>,
+    /// Histogram slot storage, same first-touch discipline.
+    hists: Vec<HistSlot>,
+    /// (name, label) → histogram slot index.
+    hist_index: BTreeMap<(&'static str, Label), usize>,
 }
 
 #[cfg(feature = "metrics")]
@@ -237,6 +419,19 @@ impl State {
             self.slots.len() - 1
         });
         &mut self.slots[idx]
+    }
+
+    fn hist_slot(&mut self, name: &'static str, label: Label) -> &mut HistSlot {
+        let idx = *self.hist_index.entry((name, label)).or_insert_with(|| {
+            self.hists.push(HistSlot {
+                name,
+                label,
+                hist: Hist::new(),
+                exemplars: [(0, 0); BUCKETS],
+            });
+            self.hists.len() - 1
+        });
+        &mut self.hists[idx]
     }
 }
 
@@ -297,6 +492,25 @@ impl Registry {
         self.add(name, label, 1);
     }
 
+    /// Record a histogram sample, optionally attributed to a request id
+    /// (`exemplar != 0`): the sample's bucket remembers the last request
+    /// that landed in it, which the OpenMetrics exposition surfaces as an
+    /// exemplar annotation on p99-tail buckets.
+    #[inline]
+    pub fn observe(&self, name: &'static str, label: Label, value: u64, exemplar: u32) {
+        #[cfg(feature = "metrics")]
+        if let Some(inner) = &self.inner {
+            let mut s = inner.borrow_mut();
+            let slot = s.hist_slot(name, label);
+            slot.hist.record(value);
+            if exemplar != 0 {
+                slot.exemplars[hist::bucket_of(value)] = (exemplar, value);
+            }
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (name, label, value, exemplar);
+    }
+
     /// Set a gauge to `v`.
     #[inline]
     pub fn set(&self, name: &'static str, label: Label, v: u64) {
@@ -331,9 +545,42 @@ impl Registry {
             let s = inner.borrow();
             let mut entries: Vec<Entry> = s.index.iter().map(|(&(_, _), &i)| s.slots[i]).collect();
             entries.sort_by(|a, b| (a.name, a.label).cmp(&(b.name, b.label)));
-            return Snapshot { entries };
+            // hist_index iterates in (name, label) order already.
+            let hists: Vec<HistEntry> = s
+                .hist_index
+                .values()
+                .map(|&i| {
+                    let sl = &s.hists[i];
+                    let buckets = (0..BUCKETS)
+                        .filter(|&b| sl.hist.bucket_count(b) > 0)
+                        .map(|b| HistBucket {
+                            le: hist::bucket_hi(b),
+                            count: sl.hist.bucket_count(b),
+                            exemplar_req: sl.exemplars[b].0,
+                            exemplar_value: sl.exemplars[b].1,
+                        })
+                        .collect();
+                    HistEntry {
+                        name: sl.name,
+                        label: sl.label,
+                        count: sl.hist.count(),
+                        sum: sl.hist.sum(),
+                        min: sl.hist.min(),
+                        max: sl.hist.max(),
+                        p99: sl.hist.p99() as u64,
+                        buckets,
+                    }
+                })
+                .collect();
+            return Snapshot { entries, hists };
         }
         Snapshot::default()
+    }
+
+    /// OpenMetrics-style text of the current state (just the `# EOF`
+    /// terminator when disabled).
+    pub fn openmetrics(&self) -> String {
+        self.snapshot().openmetrics()
     }
 
     /// Prometheus text of the current state (empty when disabled).
@@ -364,10 +611,13 @@ mod tests {
         let r = Registry::disabled();
         r.add("x", Label::Machine, 5);
         r.set("g", Label::Vm(1), 7);
+        r.observe("h", Label::Machine, 100, 3);
         assert!(!r.is_enabled());
         assert_eq!(r.get("x", Label::Machine), 0);
         assert!(r.snapshot().entries.is_empty());
+        assert!(r.snapshot().hists.is_empty());
         assert!(r.prometheus().is_empty());
+        assert_eq!(r.openmetrics(), "# EOF\n");
     }
 
     #[cfg(feature = "metrics")]
@@ -495,6 +745,93 @@ mod tests {
 
     #[cfg(feature = "metrics")]
     #[test]
+    fn histograms_observe_and_snapshot() {
+        let r = Registry::enabled();
+        for _ in 0..99 {
+            r.observe("req_latency", Label::Iface("fft"), 1_000, 0);
+        }
+        r.observe("req_latency", Label::Iface("fft"), 1_000_000, 42);
+        let s = r.snapshot();
+        let h = s.hist("req_latency", Label::Iface("fft")).expect("series");
+        assert_eq!(h.count, 100);
+        assert_eq!(h.sum, 99 * 1_000 + 1_000_000);
+        assert_eq!(h.max, 1_000_000);
+        assert!(h.p99 >= 1_000, "{}", h.p99);
+        // Only the slow sample carried a request id; its bucket remembers it.
+        let tail = h
+            .buckets
+            .iter()
+            .find(|b| b.exemplar_req != 0)
+            .expect("exemplar recorded");
+        assert_eq!(tail.exemplar_req, 42);
+        assert_eq!(tail.exemplar_value, 1_000_000);
+        assert!(h.is_tail(tail), "the outlier bucket is in the p99 tail");
+        // Deltas pass histograms through (they are lifetime-cumulative).
+        let d = r.snapshot().delta(&s);
+        assert_eq!(d.hist("req_latency", Label::Iface("fft")), Some(h));
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn prometheus_histograms_are_cumulative_integer_series() {
+        let r = Registry::enabled();
+        r.observe("req_latency", Label::Vm(1), 3, 0);
+        r.observe("req_latency", Label::Vm(1), 5, 0);
+        r.observe("req_latency", Label::Vm(1), 900, 7);
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE mnv_req_latency histogram"), "{text}");
+        // Buckets are cumulative: ⌈log2⌉ buckets with upper bounds 4, 8, 1024.
+        assert!(
+            text.contains("mnv_req_latency_bucket{vm=\"1\",le=\"4\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mnv_req_latency_bucket{vm=\"1\",le=\"8\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mnv_req_latency_bucket{vm=\"1\",le=\"1024\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mnv_req_latency_bucket{vm=\"1\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("mnv_req_latency_sum{vm=\"1\"} 908"), "{text}");
+        assert!(text.contains("mnv_req_latency_count{vm=\"1\"} 3"), "{text}");
+        // The classic exposition never carries exemplar annotations, so
+        // every sample line still parses as `series u64-value`.
+        assert!(!text.contains("req_id"), "{text}");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(value.parse::<u64>().is_ok(), "{line}");
+            assert!(series.starts_with("mnv_"), "{line}");
+        }
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn openmetrics_annotates_tail_buckets_with_exemplars() {
+        let r = Registry::enabled();
+        for _ in 0..99 {
+            r.observe("lat", Label::Machine, 100, 1);
+        }
+        r.observe("lat", Label::Machine, 1_000_000, 17);
+        let text = r.openmetrics();
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        let tail = text
+            .lines()
+            .find(|l| l.contains("# {req_id=\"17\"}"))
+            .expect("tail exemplar annotated");
+        assert!(tail.starts_with("mnv_lat_bucket{le=\""), "{tail}");
+        assert!(tail.ends_with(" 1000000"), "{tail}");
+        // The bulk bucket sits below the p99 tail: its exemplar (request 1)
+        // stays unannotated.
+        assert!(!text.contains("req_id=\"1\""), "{text}");
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
     fn no_alloc_after_first_touch() {
         let r = Registry::enabled();
         r.add("c", Label::Vm(1), 1);
@@ -506,6 +843,14 @@ mod tests {
             }
             let after = r.inner.as_ref().unwrap().borrow().slots.capacity();
             assert_eq!(before, after, "steady-state adds must not grow storage");
+            // Histogram slots follow the same first-touch discipline.
+            r.observe("h", Label::Vm(1), 100, 1);
+            let before = r.inner.as_ref().unwrap().borrow().hists.capacity();
+            for v in 0..1000 {
+                r.observe("h", Label::Vm(1), v, 1);
+            }
+            let after = r.inner.as_ref().unwrap().borrow().hists.capacity();
+            assert_eq!(before, after, "steady-state observes must not grow storage");
         }
         assert_eq!(r.get("c", Label::Vm(1)), 1001);
     }

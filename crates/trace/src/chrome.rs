@@ -96,6 +96,36 @@ pub fn export_with_drops(events: &[(Cycles, TraceEvent)], dropped: u64) -> Strin
         ]));
     }
 
+    // Flow events: chain every request's hops ("s" at the first stamp,
+    // "t" steps after) under one flow id so Perfetto renders each request
+    // as a single connected arrow chain across tracks.
+    let mut hops: Vec<(u32, Cycles, Track)> = Vec::new();
+    for s in &paired.spans {
+        if s.req != 0 {
+            hops.push((s.req, s.start, s.track));
+        }
+    }
+    for i in &paired.instants {
+        if i.req != 0 {
+            hops.push((i.req, i.ts, i.track));
+        }
+    }
+    hops.sort_by_key(|&(req, ts, track)| (req, ts, track.tid()));
+    let mut prev_req = 0u32;
+    for (req, ts, track) in hops {
+        let ph = if req == prev_req { "t" } else { "s" };
+        prev_req = req;
+        out.push(Json::obj([
+            ("name", Json::str(format!("r{req}"))),
+            ("cat", Json::str("req")),
+            ("ph", Json::str(ph)),
+            ("id", Json::num(req as f64)),
+            ("ts", Json::num(us(ts))),
+            ("pid", Json::num(PID)),
+            ("tid", Json::num(track.tid() as f64)),
+        ]));
+    }
+
     Json::obj([
         ("traceEvents", Json::Arr(out)),
         ("displayTimeUnit", Json::str("ms")),
@@ -104,6 +134,7 @@ pub fn export_with_drops(events: &[(Cycles, TraceEvent)], dropped: u64) -> Strin
             Json::obj([
                 ("clock", Json::str("simulated 660 MHz cycle counter")),
                 ("events_dropped", Json::num(dropped as f64)),
+                ("orphan_spans", Json::num(paired.orphan_spans as f64)),
                 ("source", Json::str("mnv-trace")),
             ]),
         ),
@@ -178,6 +209,50 @@ mod tests {
         assert!((svc.get("ts").unwrap().as_num().unwrap() - 1.0).abs() < 1e-9);
         let dur = svc.get("dur").unwrap().as_num().unwrap();
         assert!((dur - (1500.0 - 660.0) / 660.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn request_hops_export_as_flow_events() {
+        let events = vec![
+            (
+                Cycles::new(0),
+                E::ReqSpan {
+                    req: 7,
+                    vm: 1,
+                    end: false,
+                },
+            ),
+            (Cycles::new(100), E::ReqStage { req: 7, stage: 2 }),
+            (
+                Cycles::new(660),
+                E::ReqSpan {
+                    req: 7,
+                    vm: 1,
+                    end: true,
+                },
+            ),
+        ];
+        let text = export(&events);
+        let doc = json::parse(&text).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let flows: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("req"))
+            .collect();
+        // One "s" start then "t" steps, all under flow id 7.
+        assert!(flows.len() >= 2, "{}", text);
+        assert_eq!(flows[0].get("ph").and_then(Json::as_str), Some("s"));
+        assert!(flows[1..]
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) == Some("t")));
+        assert!(flows
+            .iter()
+            .all(|e| e.get("id").and_then(Json::as_num) == Some(7.0)));
+        let orphans = doc
+            .get("otherData")
+            .and_then(|o| o.get("orphan_spans"))
+            .and_then(Json::as_num);
+        assert_eq!(orphans, Some(0.0));
     }
 
     #[test]

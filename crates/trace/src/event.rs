@@ -217,6 +217,112 @@ pub enum TraceEvent {
         /// The rung entered.
         rung: u8,
     },
+    /// Root span of one request-scoped causal trace: minted at hardware-task
+    /// hypercall entry (`end: false`), closed when the completion vIRQ is
+    /// delivered to the running guest — or, for a buffered completion, when
+    /// the guest resumes with it (`end: true`).
+    ReqSpan {
+        /// Monotonic per-machine request id (never 0).
+        req: u32,
+        /// Requesting VM.
+        vm: u16,
+        /// False at mint, true at terminal delivery.
+        end: bool,
+    },
+    /// A stage stamp on a request's causal chain: the six-stage allocation
+    /// routine plus every post-allocation hop (PCAP launch/retry/done,
+    /// escalation rungs, software fallback, completion vIRQ, guest resume).
+    /// Waterfalls are reconstructed as deltas between consecutive stamps of
+    /// the same `req` (see [`req_stage_name`] for the taxonomy).
+    ReqStage {
+        /// The request this stamp belongs to.
+        req: u32,
+        /// Stage code (see [`req_stage_name`]).
+        stage: u8,
+    },
+    /// The SLO engine detected an error-budget burn: too many requests on
+    /// one interface family blew their latency objective within a window.
+    SloBurn {
+        /// Interface family code (see [`iface_name`]).
+        iface: u8,
+        /// Objective violations accumulated in the burning window.
+        violations: u16,
+    },
+}
+
+/// Request-stage codes used by [`TraceEvent::ReqStage`].
+pub mod req_stage {
+    /// Allocation-routine stages 1..=6 use their stage number directly.
+    pub const ALLOC_BASE: u8 = 0; // stage n => code n (1..=6)
+    /// A PCAP transfer was launched for this request.
+    pub const PCAP_LAUNCH: u8 = 10;
+    /// A failed PCAP transfer was relaunched.
+    pub const PCAP_RETRY: u8 = 11;
+    /// The PCAP transfer completed and the region is configured.
+    pub const PCAP_DONE: u8 = 12;
+    /// The PCAP transfer was aborted (retries exhausted or watchdog).
+    pub const PCAP_ABORT: u8 = 13;
+    /// Escalation ladder rung 1: restart in place.
+    pub const LADDER_RETRY: u8 = 20;
+    /// Escalation ladder rung 2: relocate to a compatible region.
+    pub const LADDER_RELOCATE: u8 = 21;
+    /// Escalation ladder rung 3: software fallback.
+    pub const LADDER_FALLBACK: u8 = 22;
+    /// Escalation ladder rung 4: error to the guest.
+    pub const LADDER_ERROR: u8 = 23;
+    /// The request was dispatched to the software-fallback lane.
+    pub const SW_DISPATCH: u8 = 30;
+    /// The software-fallback lane published the completed run.
+    pub const SW_DONE: u8 = 31;
+    /// The completion vIRQ was injected into the running owner.
+    pub const VIRQ_INJECT: u8 = 40;
+    /// The completion vIRQ was buffered (owner not running).
+    pub const VIRQ_BUFFER: u8 = 41;
+    /// The owner resumed and drained the buffered completion.
+    pub const RESUME: u8 = 42;
+    /// The allocation failed and the request terminated with an error.
+    pub const FAILED: u8 = 50;
+    /// The request was released/abandoned before a completion delivered.
+    pub const RELEASED: u8 = 51;
+}
+
+/// Exporter-facing name of a [`TraceEvent::ReqStage`] code.
+pub fn req_stage_name(stage: u8) -> &'static str {
+    match stage {
+        1 => "alloc:s1",
+        2 => "alloc:s2",
+        3 => "alloc:s3",
+        4 => "alloc:s4",
+        5 => "alloc:s5",
+        6 => "alloc:s6",
+        req_stage::PCAP_LAUNCH => "pcap:launch",
+        req_stage::PCAP_RETRY => "pcap:retry",
+        req_stage::PCAP_DONE => "pcap:done",
+        req_stage::PCAP_ABORT => "pcap:abort",
+        req_stage::LADDER_RETRY => "ladder:retry",
+        req_stage::LADDER_RELOCATE => "ladder:relocate",
+        req_stage::LADDER_FALLBACK => "ladder:fallback",
+        req_stage::LADDER_ERROR => "ladder:error",
+        req_stage::SW_DISPATCH => "sw:dispatch",
+        req_stage::SW_DONE => "sw:done",
+        req_stage::VIRQ_INJECT => "virq:inject",
+        req_stage::VIRQ_BUFFER => "virq:buffer",
+        req_stage::RESUME => "resume",
+        req_stage::FAILED => "failed",
+        req_stage::RELEASED => "released",
+        _ => "stage:?",
+    }
+}
+
+/// Interface-family names used by [`TraceEvent::SloBurn`] and the SLO
+/// engine's per-interface objectives (0 = FFT, 1 = QAM, 2 = FIR).
+pub fn iface_name(iface: u8) -> &'static str {
+    match iface {
+        0 => "fft",
+        1 => "qam",
+        2 => "fir",
+        _ => "iface:?",
+    }
 }
 
 impl TraceEvent {
@@ -247,6 +353,9 @@ impl TraceEvent {
             TraceEvent::PrrRetire { .. } => "PrrRetire",
             TraceEvent::Repromote { .. } => "Repromote",
             TraceEvent::HwTaskEscalate { .. } => "HwTaskEscalate",
+            TraceEvent::ReqSpan { .. } => "ReqSpan",
+            TraceEvent::ReqStage { .. } => "ReqStage",
+            TraceEvent::SloBurn { .. } => "SloBurn",
         }
     }
 }

@@ -33,7 +33,8 @@ impl Default for Hist {
     }
 }
 
-fn bucket_of(v: u64) -> usize {
+/// The bucket a sample lands in (`⌈log2(v+1)⌉`, clamped to the last bucket).
+pub fn bucket_of(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -42,7 +43,7 @@ fn bucket_of(v: u64) -> usize {
 }
 
 /// Lower bound (inclusive) of bucket `b`.
-fn bucket_lo(b: usize) -> u64 {
+pub fn bucket_lo(b: usize) -> u64 {
     if b == 0 {
         0
     } else {
@@ -51,7 +52,7 @@ fn bucket_lo(b: usize) -> u64 {
 }
 
 /// Upper bound (exclusive, saturating) of bucket `b`.
-fn bucket_hi(b: usize) -> u64 {
+pub fn bucket_hi(b: usize) -> u64 {
     if b >= 63 {
         u64::MAX
     } else {
@@ -98,6 +99,11 @@ impl Hist {
     /// Largest sample (0 when empty).
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Number of samples in bucket `b` (out-of-range buckets read 0).
+    pub fn bucket_count(&self, b: usize) -> u64 {
+        self.buckets.get(b).copied().unwrap_or(0)
     }
 
     /// Mean sample (0.0 when empty).

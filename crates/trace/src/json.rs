@@ -75,6 +75,14 @@ impl Json {
         }
     }
 
+    /// The node as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Object member lookup (`None` on non-objects or missing keys).
     pub fn get(&self, key: &str) -> Option<&Json> {
         self.as_obj().and_then(|m| m.get(key))

@@ -32,12 +32,14 @@ pub mod json;
 pub mod ring;
 pub mod span;
 pub mod summary;
+pub mod waterfall;
 
 pub use acc::Acc;
 pub use event::{MgrPhase, TraceEvent, TrapKind};
 pub use hist::Hist;
 pub use ring::TraceRing;
 pub use span::{PairedTrace, Span, Track};
+pub use waterfall::ReqWaterfall;
 
 use mnv_hal::Cycles;
 #[cfg(feature = "trace")]

@@ -45,6 +45,13 @@ pub fn summarize_with_drops(events: &[(Cycles, TraceEvent)], n: usize, dropped: 
             "  (incomplete: {dropped} earlier events lost to ring wraparound)"
         );
     }
+    if paired.orphan_spans > 0 {
+        let _ = writeln!(
+            out,
+            "  ({} orphan span ends — begins evicted by wraparound, not paired)",
+            paired.orphan_spans
+        );
+    }
     let _ = writeln!(
         out,
         "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10}",

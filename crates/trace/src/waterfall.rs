@@ -1,0 +1,358 @@
+//! Request-waterfall reconstruction: one latency breakdown per `ReqId`.
+//!
+//! The causal request-tracing layer stamps every hardware-task request's
+//! hops into the event ring ([`TraceEvent::ReqSpan`] roots plus
+//! [`TraceEvent::ReqStage`] stamps). This module folds a raw event stream
+//! back into per-request waterfalls: ordered stage segments whose duration
+//! is the delta between consecutive stamps, ending at the completion
+//! delivery. The same structure round-trips through JSON so `fig9
+//! --waterfall` can export what `mnvdbg --request <id>` renders post-hoc.
+
+use crate::event::{req_stage_name, TraceEvent};
+use crate::json::Json;
+use mnv_hal::Cycles;
+use std::collections::BTreeMap;
+
+/// One waterfall segment: the time spent between this hop's stamp and the
+/// next one (or the request's terminal event for the last segment).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageRow {
+    /// Segment label (the stage entered at the segment start; the first
+    /// segment, hypercall entry → allocation start, is `"hc-entry"`).
+    pub stage: String,
+    /// Segment start, relative to the request mint (cycles).
+    pub at: u64,
+    /// Segment duration (cycles).
+    pub dur: u64,
+}
+
+/// One request's reconstructed waterfall.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReqWaterfall {
+    /// The request id.
+    pub req: u32,
+    /// Requesting VM.
+    pub vm: u16,
+    /// Mint timestamp (absolute cycles).
+    pub start: u64,
+    /// End-to-end latency in cycles (mint → terminal event).
+    pub total: u64,
+    /// True when the root span's end was observed (completion delivered);
+    /// false when the trace ended with the request still in flight.
+    pub complete: bool,
+    /// Ordered stage segments.
+    pub stages: Vec<StageRow>,
+}
+
+impl ReqWaterfall {
+    /// End-to-end latency in microseconds.
+    pub fn total_us(&self) -> f64 {
+        Cycles::new(self.total).as_micros()
+    }
+}
+
+struct Building {
+    vm: u16,
+    start: u64,
+    // (ts, label) hops, oldest first; the mint itself is hop 0.
+    hops: Vec<(u64, String)>,
+    end: Option<u64>,
+}
+
+/// Reconstruct the waterfalls of every request observed in an oldest-first
+/// event stream, ordered by request id. Requests whose mint was lost to
+/// ring wraparound are skipped (their chain cannot be anchored).
+pub fn build(events: &[(Cycles, TraceEvent)]) -> Vec<ReqWaterfall> {
+    let mut open: BTreeMap<u32, Building> = BTreeMap::new();
+    let mut done: Vec<ReqWaterfall> = Vec::new();
+    let mut last_ts = 0u64;
+    for &(ts, ev) in events {
+        let ts = ts.raw();
+        last_ts = last_ts.max(ts);
+        match ev {
+            TraceEvent::ReqSpan {
+                req,
+                vm,
+                end: false,
+            } => {
+                open.insert(
+                    req,
+                    Building {
+                        vm,
+                        start: ts,
+                        hops: vec![(ts, "hc-entry".to_string())],
+                        end: None,
+                    },
+                );
+            }
+            TraceEvent::ReqStage { req, stage } => {
+                if let Some(b) = open.get_mut(&req) {
+                    b.hops.push((ts, req_stage_name(stage).to_string()));
+                }
+            }
+            TraceEvent::ReqSpan { req, end: true, .. } => {
+                if let Some(mut b) = open.remove(&req) {
+                    b.end = Some(ts);
+                    done.push(finish(req, b));
+                }
+            }
+            _ => {}
+        }
+    }
+    // In-flight requests: close at the trace end, marked incomplete.
+    for (req, mut b) in open {
+        b.hops
+            .push((last_ts.max(b.start), "…in-flight".to_string()));
+        done.push(finish(req, b));
+    }
+    done.sort_by_key(|w| w.req);
+    done
+}
+
+fn finish(req: u32, b: Building) -> ReqWaterfall {
+    let end = b
+        .end
+        .unwrap_or_else(|| b.hops.last().map(|h| h.0).unwrap_or(b.start));
+    let mut stages = Vec::with_capacity(b.hops.len());
+    for (i, (ts, name)) in b.hops.iter().enumerate() {
+        let next = b.hops.get(i + 1).map(|h| h.0).unwrap_or(end);
+        stages.push(StageRow {
+            stage: name.clone(),
+            at: ts - b.start,
+            dur: next.saturating_sub(*ts),
+        });
+    }
+    ReqWaterfall {
+        req,
+        vm: b.vm,
+        start: b.start,
+        total: end - b.start,
+        complete: b.end.is_some(),
+        stages,
+    }
+}
+
+/// The waterfall-export JSON document (`fig9.waterfall.json` schema).
+pub fn to_json(waterfalls: &[ReqWaterfall]) -> Json {
+    Json::obj([
+        ("source", Json::str("mnv-trace")),
+        ("clock", Json::str("simulated 660 MHz cycle counter")),
+        (
+            "requests",
+            Json::Arr(
+                waterfalls
+                    .iter()
+                    .map(|w| {
+                        Json::obj([
+                            ("req", Json::num(w.req as f64)),
+                            ("vm", Json::num(w.vm as f64)),
+                            ("start_us", Json::num(Cycles::new(w.start).as_micros())),
+                            ("total_us", Json::num(w.total_us())),
+                            ("complete", Json::Bool(w.complete)),
+                            (
+                                "stages",
+                                Json::Arr(
+                                    w.stages
+                                        .iter()
+                                        .map(|s| {
+                                            Json::obj([
+                                                ("stage", Json::str(s.stage.clone())),
+                                                ("at_us", Json::num(Cycles::new(s.at).as_micros())),
+                                                (
+                                                    "dur_us",
+                                                    Json::num(Cycles::new(s.dur).as_micros()),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parse a waterfall-export document back (the `mnvdbg --request` input).
+pub fn parse(text: &str) -> Result<Vec<ReqWaterfall>, String> {
+    let doc = crate::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    if doc.get("source").and_then(Json::as_str) != Some("mnv-trace") {
+        return Err("not an mnv-trace waterfall export (missing source)".into());
+    }
+    let reqs = doc
+        .get("requests")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"requests\" array")?;
+    let us_to_cycles = |us: f64| (us * mnv_hal::cycles::CPU_HZ as f64 / 1e6).round() as u64;
+    let num = |v: &Json, key: &str| {
+        v.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("request missing numeric {key:?}"))
+    };
+    let mut out = Vec::new();
+    for r in reqs {
+        let stages = r
+            .get("stages")
+            .and_then(Json::as_arr)
+            .ok_or("request missing \"stages\"")?
+            .iter()
+            .map(|s| {
+                Ok(StageRow {
+                    stage: s
+                        .get("stage")
+                        .and_then(Json::as_str)
+                        .ok_or("stage missing name")?
+                        .to_string(),
+                    at: us_to_cycles(num(s, "at_us")?),
+                    dur: us_to_cycles(num(s, "dur_us")?),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        out.push(ReqWaterfall {
+            req: num(r, "req")? as u32,
+            vm: num(r, "vm")? as u16,
+            start: us_to_cycles(num(r, "start_us")?),
+            total: us_to_cycles(num(r, "total_us")?),
+            complete: r.get("complete").and_then(Json::as_bool).unwrap_or(false),
+            stages,
+        })
+    }
+    Ok(out)
+}
+
+/// Render one waterfall as a text latency breakdown with proportional bars.
+pub fn render(w: &ReqWaterfall) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "request waterfall r{} (vm{}) — total {:.2} us{}",
+        w.req,
+        w.vm,
+        w.total_us(),
+        if w.complete { "" } else { "  [IN FLIGHT]" }
+    );
+    const WIDTH: usize = 32;
+    let total = w.total.max(1);
+    for s in &w.stages {
+        let lead = (s.at as usize * WIDTH) / total as usize;
+        let fill = ((s.dur as usize * WIDTH).div_ceil(total as usize)).min(WIDTH - lead.min(WIDTH));
+        let bar: String = std::iter::repeat_n(' ', lead.min(WIDTH))
+            .chain(std::iter::repeat_n('#', fill))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {:<16} +{:>10.2} us  {:>10.2} us  |{:<width$}|",
+            s.stage,
+            Cycles::new(s.at).as_micros(),
+            Cycles::new(s.dur).as_micros(),
+            bar,
+            width = WIDTH
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{req_stage, TraceEvent as E};
+
+    fn sample() -> Vec<(Cycles, E)> {
+        vec![
+            (
+                Cycles::new(1000),
+                E::ReqSpan {
+                    req: 3,
+                    vm: 1,
+                    end: false,
+                },
+            ),
+            (Cycles::new(1400), E::ReqStage { req: 3, stage: 1 }),
+            (Cycles::new(1500), E::ReqStage { req: 3, stage: 2 }),
+            (Cycles::new(1700), E::ReqStage { req: 3, stage: 5 }),
+            (
+                Cycles::new(1760),
+                E::ReqStage {
+                    req: 3,
+                    stage: req_stage::PCAP_LAUNCH,
+                },
+            ),
+            (
+                Cycles::new(7000),
+                E::ReqStage {
+                    req: 3,
+                    stage: req_stage::PCAP_DONE,
+                },
+            ),
+            (
+                Cycles::new(9000),
+                E::ReqStage {
+                    req: 3,
+                    stage: req_stage::VIRQ_INJECT,
+                },
+            ),
+            (
+                Cycles::new(9000),
+                E::ReqSpan {
+                    req: 3,
+                    vm: 1,
+                    end: true,
+                },
+            ),
+            // A second request that never completes in the window.
+            (
+                Cycles::new(5000),
+                E::ReqSpan {
+                    req: 4,
+                    vm: 2,
+                    end: false,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn waterfall_reconstructs_stage_deltas() {
+        let ws = build(&sample());
+        assert_eq!(ws.len(), 2);
+        let w = &ws[0];
+        assert_eq!((w.req, w.vm), (3, 1));
+        assert!(w.complete);
+        assert_eq!(w.total, 8000);
+        assert_eq!(w.stages[0].stage, "hc-entry");
+        assert_eq!(w.stages[0].dur, 400);
+        assert_eq!(w.stages[1].stage, "alloc:s1");
+        assert_eq!(w.stages[1].dur, 100);
+        let pcap = w.stages.iter().find(|s| s.stage == "pcap:launch").unwrap();
+        assert_eq!(pcap.dur, 7000 - 1760);
+        let last = w.stages.last().unwrap();
+        assert_eq!(last.stage, "virq:inject");
+        assert_eq!(last.dur, 0);
+        assert!(!ws[1].complete, "req 4 still in flight");
+    }
+
+    #[test]
+    fn waterfall_json_round_trips() {
+        let ws = build(&sample());
+        let text = to_json(&ws).to_string();
+        let back = parse(&text).expect("round trip");
+        assert_eq!(back.len(), ws.len());
+        assert_eq!(back[0].req, ws[0].req);
+        assert_eq!(back[0].stages.len(), ws[0].stages.len());
+        assert_eq!(back[0].total, ws[0].total);
+        assert_eq!(back[0].stages[2].stage, "alloc:s2");
+    }
+
+    #[test]
+    fn render_shows_every_stage_once() {
+        let ws = build(&sample());
+        let text = render(&ws[0]);
+        assert!(text.contains("request waterfall r3"), "{text}");
+        for s in ["hc-entry", "alloc:s1", "pcap:launch", "virq:inject"] {
+            assert!(text.contains(s), "missing {s} in:\n{text}");
+        }
+    }
+}
