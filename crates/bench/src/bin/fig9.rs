@@ -172,6 +172,10 @@ fn main() {
         }
     }
 
+    if args.iter().any(|a| a == "--ring") {
+        run_ring_section(&args);
+    }
+
     if !args.iter().any(|a| a == "--no-trace") {
         let tracer = traced_run(4, &cfg, 30.0);
         if tracer.dropped() > 0 {
@@ -183,4 +187,73 @@ fn main() {
         write_artifact("fig9.trace.json", &tracer.export_chrome());
         eprintln!("(load target/experiments/fig9.trace.json in Perfetto / chrome://tracing)");
     }
+}
+
+/// `--ring`: the shared-ring vs per-call submission comparison. Writes
+/// `BENCH_pr10.json` at the repo root (the perf gate's input) and a copy
+/// under `target/experiments/`. With `--check`, exits non-zero when the
+/// lockstep diff fails or the hypercall reduction drops below 5x.
+#[cfg(feature = "ring")]
+fn run_ring_section(args: &[String]) {
+    use mnv_bench::ringbench::compare_ring_modes;
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let sim_ms = if quick { 60.0 } else { 200.0 };
+    let c = compare_ring_modes(11, sim_ms);
+
+    println!("\nSHARED-RING SUBMISSION vs PER-CALL ({sim_ms} ms simulated, 1 guest)");
+    println!(
+        "{:<10}{:>12}{:>14}{:>12}{:>14}{:>10}",
+        "mode", "rounds", "hw hypercalls", "per round", "vm switches", "per round"
+    );
+    for r in [&c.per_call, &c.ring] {
+        println!(
+            "{:<10}{:>12.1}{:>14}{:>12.1}{:>14}{:>10.1}",
+            r.mode,
+            r.rounds,
+            r.hw_hypercalls,
+            r.hypercalls_per_round(),
+            r.vm_switches,
+            r.switches_per_round()
+        );
+    }
+    println!(
+        "\nreduction: {:.1}x hardware-task hypercalls, {:.1}x world switches per round",
+        c.hypercall_reduction(),
+        c.switch_reduction()
+    );
+    println!(
+        "lockstep: {} shared checkpoints, bit-identical: {}",
+        c.lockstep_points, c.lockstep_ok
+    );
+    println!(
+        "coalescing: {} descriptors over {} kicks, {} completion vIRQs",
+        c.ring.ring_descs, c.ring.ring_kicks, c.ring.ring_virqs
+    );
+
+    let json = c.to_json();
+    write_json("BENCH_pr10", &json);
+    if let Err(e) = std::fs::write("BENCH_pr10.json", json.to_string()) {
+        eprintln!("warn: cannot write BENCH_pr10.json: {e}");
+    }
+
+    if args.iter().any(|a| a == "--check") {
+        if !c.lockstep_ok {
+            eprintln!("CHECK FAILED: ring and per-call runs are not bit-identical");
+            std::process::exit(1);
+        }
+        if c.hypercall_reduction() < 5.0 {
+            eprintln!(
+                "CHECK FAILED: hypercall reduction {:.2}x < 5x",
+                c.hypercall_reduction()
+            );
+            std::process::exit(1);
+        }
+        println!("ring perf gate: OK");
+    }
+}
+
+#[cfg(not(feature = "ring"))]
+fn run_ring_section(_args: &[String]) {
+    eprintln!("warning: built without the `ring` feature — --ring section skipped");
 }

@@ -21,6 +21,8 @@
 pub mod ablation;
 pub mod attrib;
 pub mod hostbench;
+#[cfg(feature = "ring")]
+pub mod ringbench;
 pub mod table3;
 
 pub use table3::{

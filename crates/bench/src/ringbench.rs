@@ -1,0 +1,197 @@
+//! Shared-ring vs per-call hardware-task submission: the `--ring` section
+//! of the fig9 binary.
+//!
+//! Runs the same deterministic batch workload (`HwBatchTask`) twice — once
+//! posting descriptors through the paravirtual ring (`ring_kick`, one
+//! coalesced completion vIRQ per drain), once issuing the classic
+//! per-request hypercall sequence — over identical simulated time, and
+//! reports:
+//!
+//! * the **lockstep check**: the guest-published `(completions, checksum)`
+//!   checkpoints must be bit-identical wherever the two runs overlap;
+//! * the **cost ratio**: hardware-task hypercalls (`HwTaskRequest` +
+//!   `PcapPoll` + `RingKick`) and world switches per completed batch
+//!   round, ring vs per-call.
+
+use std::collections::BTreeMap;
+
+use mini_nova::mem::layout::vm_region;
+use mini_nova::{GuestKind, Kernel, KernelConfig, VmSpec};
+use mnv_hal::abi::Hypercall;
+use mnv_hal::{Cycles, HwTaskId, Priority, VmId};
+use mnv_trace::json::Json;
+use mnv_ucos::kernel::{Ucos, UcosConfig};
+use mnv_ucos::tasks::{BatchMode, HwBatchTask, BATCH_CHECK_VA};
+
+/// Descriptors per batch round (posted together, kicked once).
+pub const RING_BATCH: u16 = 6;
+
+/// One mode's measured run.
+pub struct RingReport {
+    pub mode: &'static str,
+    /// Guest-visible completions at the end of the window.
+    pub completions: u32,
+    /// Completed rounds (completions / batch).
+    pub rounds: f64,
+    /// HwTaskRequest + PcapPoll + RingKick over the window.
+    pub hw_hypercalls: u64,
+    /// World switches over the window.
+    pub vm_switches: u64,
+    pub ring_kicks: u64,
+    pub ring_descs: u64,
+    pub ring_virqs: u64,
+    /// Lockstep checkpoints: completion count -> running checksum.
+    pub samples: BTreeMap<u32, u32>,
+}
+
+impl RingReport {
+    pub fn hypercalls_per_round(&self) -> f64 {
+        self.hw_hypercalls as f64 / self.rounds.max(1e-9)
+    }
+
+    pub fn switches_per_round(&self) -> f64 {
+        self.vm_switches as f64 / self.rounds.max(1e-9)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("mode", Json::str(self.mode)),
+            ("completions", Json::num(self.completions as f64)),
+            ("rounds", Json::num(self.rounds)),
+            ("hw_hypercalls", Json::num(self.hw_hypercalls as f64)),
+            ("vm_switches", Json::num(self.vm_switches as f64)),
+            (
+                "hypercalls_per_round",
+                Json::num(self.hypercalls_per_round()),
+            ),
+            ("switches_per_round", Json::num(self.switches_per_round())),
+            ("ring_kicks", Json::num(self.ring_kicks as f64)),
+            ("ring_descs", Json::num(self.ring_descs as f64)),
+            ("ring_virqs", Json::num(self.ring_virqs as f64)),
+        ])
+    }
+}
+
+fn batch_kernel(seed: u64, mode: BatchMode) -> (Kernel, VmId) {
+    let mut k = Kernel::new(KernelConfig {
+        quantum: Cycles::from_millis(2.0),
+        ..Default::default()
+    });
+    let ids = k.register_paper_task_set();
+    let qam: Vec<HwTaskId> = ids[6..].to_vec();
+    let mut os = Ucos::new(UcosConfig::default());
+    os.task_create(
+        8,
+        Box::new(HwBatchTask::new(qam, 1, mode, RING_BATCH, seed)),
+    );
+    let vm = k.create_vm(VmSpec {
+        name: "batch",
+        priority: Priority::GUEST,
+        guest: GuestKind::Ucos(Box::new(os)),
+    });
+    (k, vm)
+}
+
+/// Run one mode for `sim_ms` simulated milliseconds, sampling the guest's
+/// lockstep checkpoint between slices.
+pub fn measure_ring_mode(mode: BatchMode, seed: u64, sim_ms: f64) -> RingReport {
+    let (mut k, vm) = batch_kernel(seed, mode);
+    let mut samples = BTreeMap::new();
+    let slices = (sim_ms / 0.5).ceil() as u64;
+    let base = vm_region(vm) + BATCH_CHECK_VA.raw();
+    for _ in 0..slices {
+        k.run(Cycles::from_millis(0.5));
+        let count = k.machine.mem.read_u32(base + 4).unwrap_or(0);
+        let sum = k.machine.mem.read_u32(base).unwrap_or(0);
+        if count > 0 {
+            samples.entry(count).or_insert(sum);
+        }
+    }
+    let s = &k.state.stats;
+    let hw_hypercalls = s.hypercalls[Hypercall::HwTaskRequest.nr() as usize]
+        + s.hypercalls[Hypercall::PcapPoll.nr() as usize]
+        + s.hypercalls[Hypercall::RingKick.nr() as usize];
+    let completions = k.machine.mem.read_u32(base + 4).unwrap_or(0);
+    RingReport {
+        mode: match mode {
+            BatchMode::Ring => "ring",
+            BatchMode::PerCall => "per-call",
+        },
+        completions,
+        rounds: completions as f64 / RING_BATCH as f64,
+        hw_hypercalls,
+        vm_switches: s.vm_switches,
+        ring_kicks: s.hwmgr.ring_kicks,
+        ring_descs: s.hwmgr.ring_descs,
+        ring_virqs: s.hwmgr.ring_virqs,
+        samples,
+    }
+}
+
+/// The combined comparison the perf gate consumes.
+pub struct RingComparison {
+    pub ring: RingReport,
+    pub per_call: RingReport,
+    /// Checkpoints present in both runs (same completion count).
+    pub lockstep_points: usize,
+    /// True when every shared checkpoint carries an identical checksum.
+    pub lockstep_ok: bool,
+}
+
+impl RingComparison {
+    pub fn hypercall_reduction(&self) -> f64 {
+        self.per_call.hypercalls_per_round() / self.ring.hypercalls_per_round().max(1e-9)
+    }
+
+    pub fn switch_reduction(&self) -> f64 {
+        self.per_call.switches_per_round() / self.ring.switches_per_round().max(1e-9)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ring", self.ring.to_json()),
+            ("per_call", self.per_call.to_json()),
+            ("hypercall_reduction", Json::num(self.hypercall_reduction())),
+            ("switch_reduction", Json::num(self.switch_reduction())),
+            ("lockstep_points", Json::num(self.lockstep_points as f64)),
+            ("lockstep_ok", Json::Bool(self.lockstep_ok)),
+        ])
+    }
+}
+
+/// Run both modes with the same seed and window; diff their checkpoints.
+pub fn compare_ring_modes(seed: u64, sim_ms: f64) -> RingComparison {
+    let ring = measure_ring_mode(BatchMode::Ring, seed, sim_ms);
+    let per_call = measure_ring_mode(BatchMode::PerCall, seed, sim_ms);
+    let mut points = 0;
+    let mut ok = true;
+    for (count, sum) in &ring.samples {
+        if let Some(other) = per_call.samples.get(count) {
+            points += 1;
+            ok &= sum == other;
+        }
+    }
+    RingComparison {
+        ring,
+        per_call,
+        lockstep_points: points,
+        lockstep_ok: ok && points > 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_comparison_is_lockstepped_and_cheaper() {
+        let c = compare_ring_modes(11, 40.0);
+        assert!(c.lockstep_ok, "modes diverged");
+        assert!(c.lockstep_points >= 1);
+        assert!(
+            c.hypercall_reduction() >= 5.0,
+            "reduction {:.1}x",
+            c.hypercall_reduction()
+        );
+    }
+}

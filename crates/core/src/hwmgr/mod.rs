@@ -10,9 +10,11 @@
 //! service does not check the completion of the PCAP transfer").
 
 pub mod irqalloc;
+pub mod ring;
 pub mod service;
 pub mod tables;
 
 pub use irqalloc::PlIrqAllocator;
+pub use ring::{RingCtx, RingRun};
 pub use service::HwMgr;
 pub use tables::{HwTaskEntry, HwTaskTable, PrrEntry, PrrTable};

@@ -193,6 +193,9 @@ pub struct HwMgr {
     /// open (stage `virq:buffer`) until the owner is switched back in,
     /// where the `resume` hop closes it.
     pub pending_resume: Vec<PendingResume>,
+    /// Registered shared-memory descriptor rings (one per VM × interface
+    /// family; see [`super::ring`]).
+    pub rings: Vec<super::ring::RingCtx>,
 }
 
 /// A completion buffered toward a VM that was not running when it was
@@ -239,6 +242,7 @@ impl HwMgr {
             next_req: 0,
             slo: SloTracker::new(),
             pending_resume: Vec::new(),
+            rings: Vec::new(),
         }
     }
 
@@ -411,13 +415,19 @@ impl HwMgr {
         stats: &mut KernelStats,
         vm: VmId,
     ) {
-        let mut i = 0;
-        while i < self.pending_resume.len() {
-            if self.pending_resume[i].vm != vm {
-                i += 1;
-                continue;
+        // Single pass: partition out this VM's entries in posting order,
+        // keep everyone else's in place. (`Vec::remove` in a scan loop
+        // shifted the tail on every hit — O(n²) under completion storms.)
+        let pending = std::mem::take(&mut self.pending_resume);
+        let mut mine = Vec::new();
+        for p in pending {
+            if p.vm == vm {
+                mine.push(p);
+            } else {
+                self.pending_resume.push(p);
             }
-            let p = self.pending_resume.remove(i);
+        }
+        for p in mine {
             self.finish_req(now, tracer, stats, p.req, vm, p.iface, req_stage::RESUME);
         }
     }
@@ -425,14 +435,17 @@ impl HwMgr {
     /// Drop every open request owned by `vm` (VM teardown): buffered
     /// resumes, PRR slots and shadow dispatches all close as failed.
     pub(crate) fn forget_vm_reqs(&mut self, now: Cycles, tracer: &Tracer, vm: VmId) {
-        let mut i = 0;
-        while i < self.pending_resume.len() {
-            if self.pending_resume[i].vm != vm {
-                i += 1;
-                continue;
+        // Ring teardown first: its queued requests are owned by the ring
+        // alone; an active run's request is caught by the sweeps below.
+        self.forget_vm_rings(now, tracer, vm);
+        // Same single-pass FIFO drain as `drain_resumes`.
+        let pending = std::mem::take(&mut self.pending_resume);
+        for p in pending {
+            if p.vm == vm {
+                self.fail_req(now, tracer, p.req, vm, req_stage::FAILED);
+            } else {
+                self.pending_resume.push(p);
             }
-            let p = self.pending_resume.remove(i);
-            self.fail_req(now, tracer, p.req, vm, req_stage::FAILED);
         }
         for prr in 0..self.prrs.len() as u8 {
             if self.prrs.entry(prr).client == Some(vm) {
@@ -681,6 +694,30 @@ impl HwMgr {
                 let s = self.shadows.remove(idx);
                 self.transplant(m, pds, pt, stats, tracer, &s, prr, 0);
             }
+            // Re-establish the interface mapping: a client that reuses
+            // one interface slot across tasks has since pointed this VA
+            // at another region's page, and the held dispatch would be
+            // programmed through the wrong window.
+            if !self.native {
+                let pd = pds.get_mut(&caller).ok_or(HcError::BadArg)?;
+                pagetable::map_page(
+                    m,
+                    pd.l1,
+                    iface_va,
+                    Pl::prr_page(prr),
+                    Domain::DEVICE,
+                    Ap::Full,
+                    true,
+                    false,
+                    pt,
+                )
+                .map_err(|_| HcError::NoResource)?;
+                m.tlb_flush_mva(iface_va, pd.asid);
+                pd.iface_maps.insert(task, (iface_va, prr));
+            } else if let Some(pd) = pds.get_mut(&caller) {
+                pd.iface_maps.insert(task, (iface_va, prr));
+            }
+            self.prrs.entry_mut(m, prr).iface_va = Some(iface_va.raw());
             self.program_hwmmu(m, prr, ds);
             self.attach_req(m.now(), tracer, prr, caller, req);
             let line = self
@@ -782,6 +819,11 @@ impl HwMgr {
                 pt,
             )
             .map_err(|_| HcError::NoResource)?;
+            // The VA may have pointed at another region's page until now
+            // (a client reusing one interface slot across tasks): the
+            // remap must shoot the stale translation down, or the guest's
+            // register writes keep reaching the old region.
+            m.tlb_flush_mva(iface_va, pd.asid);
             pd.iface_maps.insert(task, (iface_va, prr));
         } else if let Some(pd) = pds.get_mut(&caller) {
             pd.iface_maps.insert(task, (iface_va, prr));
@@ -1015,6 +1057,9 @@ impl HwMgr {
                 pt,
             )
             .map_err(|_| HcError::NoResource)?;
+            // Same stale-translation hazard as the hardware dispatch: the
+            // interface VA may be remapped from a real PRR page.
+            m.tlb_flush_mva(iface_va, pd.asid);
             pd.iface_maps
                 .insert(task, (iface_va, hw_task_result::NO_PRR as u8));
         } else if let Some(pd) = pds.get_mut(&caller) {
@@ -1059,7 +1104,7 @@ impl HwMgr {
     /// Called from the kernel's main loop between scheduling slices; the
     /// kernel has the CPU, so everything here is charged kernel time.
     ///
-    /// Four duties:
+    /// Five duties:
     /// 1. abort a PCAP transfer that has been BUSY past its deadline (the
     ///    guest's next PcapPoll then takes the retry path);
     /// 2. escalate a region whose STATUS has been BUSY for longer than
@@ -1069,7 +1114,9 @@ impl HwMgr {
     /// 3. serve start requests the guests wrote into shadow pages
     ///    (transplanting promoted ones back onto fabric);
     /// 4. drive the supervisor's background fabric work (scrubs,
-    ///    re-promotion and relocation loads).
+    ///    re-promotion and relocation loads);
+    /// 5. service shared-ring batches whose owners are descheduled (see
+    ///    [`super::ring`]).
     pub fn watchdog(
         &mut self,
         m: &mut Machine,
@@ -1127,6 +1174,11 @@ impl HwMgr {
 
         // 4. Background fabric maintenance.
         self.fabric_tick(m, pds, pt, stats, tracer);
+
+        // 5. Ring service: drive shared-ring batches whose owners are
+        //    descheduled or idle (a running owner's poll path drives its
+        //    own rings between these passes).
+        self.ring_tick(m, pds, pt, stats, tracer, None);
     }
 
     /// Take a hung region out of service and migrate its client to a
@@ -1285,7 +1337,7 @@ impl HwMgr {
     /// Run one software-fallback request to completion: validate the DMA
     /// windows like the hwMMU would, run the functional model, publish the
     /// results into the shadow register group and deliver the completion.
-    fn serve_one(
+    pub(crate) fn serve_one(
         &mut self,
         m: &mut Machine,
         pds: &mut BTreeMap<VmId, Pd>,
@@ -1523,5 +1575,72 @@ impl HwMgr {
     /// Convenience for tests: PRR interface page physical address.
     pub fn iface_page(prr: u8) -> PhysAddr {
         PhysAddr::new(PL_GP_BASE + (1 + prr as u64) * PAGE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(id: u32) -> ReqTag {
+        ReqTag { id, started: 0 }
+    }
+
+    fn pend(vm: u16, id: u32) -> PendingResume {
+        PendingResume {
+            vm: VmId(vm),
+            req: tag(id),
+            iface: 0,
+        }
+    }
+
+    #[test]
+    fn drain_resumes_preserves_posting_order_per_vm() {
+        // Regression: the old `Vec::remove(i)` scan both re-shifted the
+        // tail (O(n²) under completion storms) and was easy to get wrong
+        // around index advancement. The drain must close VM 1's requests
+        // in exactly the order they were buffered, and leave VM 2's
+        // entries untouched and in order.
+        let mut mgr = HwMgr::new(4, false);
+        let tracer = Tracer::enabled(64);
+        let mut stats = KernelStats::default();
+        for p in [pend(1, 1), pend(2, 10), pend(1, 2), pend(2, 11), pend(1, 3)] {
+            mgr.pending_resume.push(p);
+        }
+        mgr.drain_resumes(Cycles::new(0), &tracer, &mut stats, VmId(1));
+
+        if tracer.is_enabled() {
+            let resumed: Vec<u32> = tracer
+                .snapshot()
+                .into_iter()
+                .filter_map(|(_, ev)| match ev {
+                    TraceEvent::ReqStage { req, stage } if stage == req_stage::RESUME => Some(req),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(resumed, vec![1, 2, 3], "VM 1 closes in posting order");
+        }
+        let left: Vec<(VmId, u32)> = mgr
+            .pending_resume
+            .iter()
+            .map(|p| (p.vm, p.req.id))
+            .collect();
+        assert_eq!(
+            left,
+            vec![(VmId(2), 10), (VmId(2), 11)],
+            "other VMs keep their entries, in order"
+        );
+    }
+
+    #[test]
+    fn forget_vm_reqs_drops_only_the_dead_vms_resumes() {
+        let mut mgr = HwMgr::new(4, false);
+        let tracer = Tracer::disabled();
+        for p in [pend(3, 7), pend(4, 20), pend(3, 8)] {
+            mgr.pending_resume.push(p);
+        }
+        mgr.forget_vm_reqs(Cycles::new(0), &tracer, VmId(3));
+        let left: Vec<u32> = mgr.pending_resume.iter().map(|p| p.req.id).collect();
+        assert_eq!(left, vec![20]);
     }
 }

@@ -80,7 +80,13 @@ pub fn hypercall_from_trap(
                 .inc("hypercalls_denied", Label::Vm(caller.0 as u8));
         })?;
     }
-    ks.stats.hypercalls[args.nr.nr() as usize] += 1;
+    // The typed `Hypercall` can only carry in-range numbers (raw decode
+    // rejects unknown ones into `hypercalls_invalid` before dispatch), but
+    // never let a stats index become an out-of-bounds write regardless.
+    match ks.stats.hypercalls.get_mut(args.nr.nr() as usize) {
+        Some(slot) => *slot += 1,
+        None => ks.stats.hypercalls_invalid += 1,
+    }
     ks.stats.hypercalls_total += 1;
     ks.metrics.inc("hypercalls", Label::Vm(caller.0 as u8));
     ks.tracer
@@ -333,6 +339,29 @@ fn dispatch(
                     .fail_req(m.now(), &ks.tracer, req, caller, req_stage::FAILED);
             }
             r
+        }
+        RingKick => {
+            // One manager invocation (two world switches) drains a whole
+            // batch — the per-descriptor hypercalls the per-call path
+            // would have paid collapse into this single protocol round.
+            #[cfg(feature = "ring")]
+            {
+                with_manager(m, ks, caller, 0, |m, ks| {
+                    let crate::kernel::KernelState {
+                        hwmgr,
+                        pds,
+                        pt,
+                        stats,
+                        tracer,
+                        ..
+                    } = ks;
+                    hwmgr.handle_ring_kick(m, pds, pt, stats, tracer, caller, args.a0 as u64)
+                })
+            }
+            #[cfg(not(feature = "ring"))]
+            {
+                Err(HcError::BadCall)
+            }
         }
         HwTaskRelease => with_manager(m, ks, caller, 0, |m, ks| {
             let (hwmgr, pds, tracer) = (&mut ks.hwmgr, &mut ks.pds, &ks.tracer);

@@ -37,9 +37,8 @@ pub fn portal_of(hc: Hypercall) -> PortalClass {
         IrqEnable | IrqDisable | IrqEoi | IrqSetEntry => PortalClass::Irq,
         MapInsert | MapRemove | PtCreate => PortalClass::Memory,
         RegRead | RegWrite => PortalClass::Register,
-        HwTaskRequest | HwTaskRelease | HwTaskQuery | PcapPoll | ConsoleWrite | SdRead => {
-            PortalClass::Device
-        }
+        HwTaskRequest | HwTaskRelease | HwTaskQuery | PcapPoll | RingKick | ConsoleWrite
+        | SdRead => PortalClass::Device,
         IpcSend | IpcRecv => PortalClass::Ipc,
         Yield | VmInfo | VmStats | TimerProgram | TimerStop => PortalClass::Sched,
     }

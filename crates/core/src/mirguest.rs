@@ -127,7 +127,11 @@ impl MirGuest {
                         a3: m.cpu.user_reg(3),
                     },
                     None => {
-                        // Unknown call: report BadCall in the registers.
+                        // Unknown call: count it in the dedicated invalid
+                        // slot (never index the per-call array with an
+                        // out-of-range number) and report BadCall.
+                        ks.stats.hypercalls_invalid += 1;
+                        ks.stats.hypercalls_total += 1;
                         m.cpu.set_user_reg(0, HC_FAIL);
                         m.cpu.set_user_reg(1, hc_error_code(HcError::BadCall));
                         m.exception_return(ret);

@@ -82,9 +82,17 @@ impl SloTracker {
         Self::default()
     }
 
-    /// Override one family's latency objective (cycles).
+    /// Override one family's latency objective (cycles). Out-of-range
+    /// family indices are rejected — silently clamping them used to alias
+    /// bogus families onto FIR (family 2), corrupting its statistics.
     pub fn set_objective(&mut self, iface: u8, cycles: u64) {
-        self.objectives[(iface as usize).min(FAMILIES - 1)] = cycles;
+        debug_assert!(
+            (iface as usize) < FAMILIES,
+            "SLO objective for unknown interface family {iface}"
+        );
+        if let Some(o) = self.objectives.get_mut(iface as usize) {
+            *o = cycles;
+        }
     }
 
     /// Override the burn window (cycles) and limit (violations per window).
@@ -93,15 +101,27 @@ impl SloTracker {
         self.burn_limit = limit.max(1);
     }
 
-    /// One family's latency objective (cycles).
+    /// One family's latency objective (cycles); 0 for unknown families.
     pub fn objective(&self, iface: u8) -> u64 {
-        self.objectives[(iface as usize).min(FAMILIES - 1)]
+        debug_assert!(
+            (iface as usize) < FAMILIES,
+            "SLO objective query for unknown interface family {iface}"
+        );
+        self.objectives.get(iface as usize).copied().unwrap_or(0)
     }
 
     /// Observe one completed request: `latency` cycles end-to-end for
     /// family `iface`, delivered at simulated time `now`.
     pub fn observe(&mut self, iface: u8, latency: u64, now: u64) -> SloOutcome {
-        let i = (iface as usize).min(FAMILIES - 1);
+        debug_assert!(
+            (iface as usize) < FAMILIES,
+            "SLO observation for unknown interface family {iface}"
+        );
+        let i = iface as usize;
+        if i >= FAMILIES {
+            // Never alias an unknown family's latency into FIR: ignore it.
+            return SloOutcome::default();
+        }
         if now.saturating_sub(self.window_start[i]) >= self.window {
             // Fixed windows anchored to the first sample past the edge —
             // deterministic with respect to simulated time only.
@@ -167,6 +187,34 @@ mod tests {
         // A new window resets the burn latch.
         let o = t.observe(1, 50_000, 100 + 1_000_000);
         assert!(o.violated && o.burned.is_none());
+    }
+
+    #[test]
+    fn out_of_range_family_is_rejected_not_aliased_into_fir() {
+        let mut t = SloTracker::new();
+        t.set_objective(2, 1_000);
+        if cfg!(debug_assertions) {
+            // Debug contract: an unknown family index trips the assert.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                t.observe(3, u64::MAX, 0);
+            }));
+            assert!(r.is_err(), "debug_assert must reject family 3");
+        } else {
+            // Release contract: ignored outright. The old `.min(FAMILIES-1)`
+            // clamp aliased these observations into FIR's window.
+            t.set_objective(3, 1);
+            assert_eq!(t.objective(3), 0);
+            assert_eq!(t.objective(2), 1_000, "FIR objective untouched");
+            assert_eq!(t.observe(3, u64::MAX, 0), SloOutcome::default());
+            t.set_burn_policy(1_000_000, 1);
+            for _ in 0..8 {
+                t.observe(200, u64::MAX, 10);
+            }
+            assert!(
+                !t.observe(2, 500, 20).violated,
+                "bogus families must not burn FIR's window"
+            );
+        }
     }
 
     #[test]

@@ -68,6 +68,13 @@ pub struct HwMgrStats {
     pub ladder_fallbacks: u64,
     /// Escalation-ladder rung 4: hung task failed with an error to the guest.
     pub ladder_errors: u64,
+    /// `RingKick` drains performed (one manager invocation per kick).
+    pub ring_kicks: u64,
+    /// Ring descriptors accepted across all kicks.
+    pub ring_descs: u64,
+    /// Coalesced ring-completion vIRQs delivered (one per drained batch,
+    /// not one per descriptor).
+    pub ring_virqs: u64,
 }
 
 impl HwMgrStats {
@@ -100,6 +107,9 @@ impl HwMgrStats {
         self.ladder_relocations += other.ladder_relocations;
         self.ladder_fallbacks += other.ladder_fallbacks;
         self.ladder_errors += other.ladder_errors;
+        self.ring_kicks += other.ring_kicks;
+        self.ring_descs += other.ring_descs;
+        self.ring_virqs += other.ring_virqs;
     }
 }
 
@@ -114,6 +124,10 @@ pub struct KernelStats {
     pub hypercalls_total: u64,
     /// Denied hypercalls (portal capability misses).
     pub hypercalls_denied: u64,
+    /// Hypercalls whose number decodes to no known call. Counted in a
+    /// dedicated slot — an out-of-range number must never index the
+    /// per-call `hypercalls` array.
+    pub hypercalls_invalid: u64,
     /// Hardware Task Manager measurements.
     pub hwmgr: HwMgrStats,
     /// Virtual IRQs injected (all classes).

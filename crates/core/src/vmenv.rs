@@ -363,6 +363,29 @@ impl GuestEnv for VmEnv<'_> {
                 return Some(mnv_ucos::layout::TIMER_VIRQ);
             }
         }
+        // Ring service for the running guest: drive its shared-ring
+        // batches (descriptor dispatch, completion publication, the
+        // coalesced drain vIRQ) so in-slice progress doesn't wait for the
+        // kernel's watchdog pass — and its cost is charged to the VM that
+        // benefits. Other VMs' rings advance from the watchdog.
+        if self
+            .ks
+            .hwmgr
+            .rings
+            .iter()
+            .any(|r| r.vm == self.vm && r.has_work())
+        {
+            self.m.sync_devices();
+            let KernelState {
+                hwmgr,
+                pds,
+                pt,
+                stats,
+                tracer,
+                ..
+            } = &mut *self.ks;
+            hwmgr.ring_tick(self.m, pds, pt, stats, tracer, Some(self.vm));
+        }
         self.gic_path()
     }
 }

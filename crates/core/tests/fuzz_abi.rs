@@ -147,3 +147,47 @@ fn fuzz_against_armed_fault_plane() {
     k.run(Cycles::from_millis(10.0));
     assert!(k.pd(vm).stats.cpu_cycles > 0);
 }
+
+#[test]
+fn out_of_range_svc_numbers_land_in_the_invalid_slot() {
+    // Regression: an out-of-range SVC immediate used to be a blind spot —
+    // the per-call histogram `hypercalls[nr]` must never be indexed with
+    // it, and the event must still be visible in `hypercalls_invalid`.
+    // Drive real SVC instructions from a MIR guest so the whole trap path
+    // is covered, not just the dispatch function.
+    use mini_nova::mirguest::MirGuest;
+    use mnv_arm::mir::{Cond, ProgramBuilder};
+
+    let mut k = Kernel::new(KernelConfig::default());
+    let mut b = ProgramBuilder::new();
+    let top = b.label();
+    b.bind(top);
+    b.svc(mnv_hal::abi::HYPERCALL_COUNT as u8); // first invalid number
+    b.svc(0x7F);
+    b.svc(0xFF);
+    b.svc(Hypercall::VmInfo.nr()); // one valid call in the mix
+    b.compute(400);
+    b.branch(Cond::Al, top);
+    let vm = k.create_vm(VmSpec {
+        name: "badsvc",
+        priority: Priority::GUEST,
+        guest: GuestKind::Mir(Box::new(MirGuest::new(
+            b.assemble(mnv_ucos::layout::CODE_BASE.raw()),
+        ))),
+    });
+    k.run(Cycles::from_millis(5.0));
+
+    let s = &k.state.stats;
+    assert!(
+        s.hypercalls_invalid >= 3,
+        "invalid slot: {}",
+        s.hypercalls_invalid
+    );
+    assert!(s.hypercalls[Hypercall::VmInfo.nr() as usize] > 0);
+    // Bookkeeping invariant: every counted call is either a valid slot or
+    // the invalid slot — nothing leaks past the array bound.
+    let valid: u64 = s.hypercalls.iter().sum();
+    assert_eq!(valid + s.hypercalls_invalid, s.hypercalls_total);
+    // The guest survives its own bad calls.
+    assert!(k.pd(vm).stats.cpu_cycles > 0);
+}

@@ -87,11 +87,19 @@ pub enum Hypercall {
     /// kernel charged it, never another VM's counters. A reproduction
     /// extension beyond the paper's 25 calls.
     VmStats = 25,
+    /// Kick a shared-memory descriptor ring (a0 = ring base VA): the
+    /// Hardware Task Manager consumes every descriptor the guest posted
+    /// since the last kick in one invocation, and the whole drained batch
+    /// completes with a single coalesced completion vIRQ. See the [`ring`]
+    /// module for the shared-page layout. A reproduction extension in the
+    /// spirit of Virtio-FPGA's paravirtual queues.
+    RingKick = 26,
 }
 
 /// Total number of hypercalls provided — the paper's 25 plus the
-/// reproduction's read-only [`Hypercall::VmStats`].
-pub const HYPERCALL_COUNT: usize = 26;
+/// reproduction's read-only [`Hypercall::VmStats`] and the paravirtual
+/// queue kick [`Hypercall::RingKick`].
+pub const HYPERCALL_COUNT: usize = 27;
 
 impl Hypercall {
     /// All hypercalls in numeric order.
@@ -122,6 +130,7 @@ impl Hypercall {
         Hypercall::ConsoleWrite,
         Hypercall::SdRead,
         Hypercall::VmStats,
+        Hypercall::RingKick,
     ];
 
     /// Decode from the SVC immediate.
@@ -316,6 +325,98 @@ pub mod vm_stats {
     pub const SELECTOR_COUNT: u32 = 16;
 }
 
+/// Layout of the shared-memory descriptor ring behind
+/// [`Hypercall::RingKick`] — a virtqueue-style paravirtual queue, one ring
+/// per accelerator interface family.
+///
+/// The ring lives in a single guest page inside the VM's own region. The
+/// header is followed by `size` 32-byte descriptors; a descriptor's ring
+/// slot is `index & (size - 1)`. Index ownership is strict:
+///
+/// * **avail** ([`HDR_AVAIL`](ring::HDR_AVAIL)) is written by the *guest only*: a
+///   free-running u16 (stored in a u32 word) counting descriptors ever
+///   posted. The guest fills the slot, then bumps avail, then (eventually)
+///   kicks.
+/// * **used** ([`HDR_USED`](ring::HDR_USED)) is written by the *kernel only*: a
+///   free-running u16 counting descriptors ever completed. Completions are
+///   strictly FIFO — `used` advancing past an index publishes that
+///   descriptor's result fields ([`DESC_STATUS`](ring::DESC_STATUS), [`DESC_RESULT_LEN`](ring::DESC_RESULT_LEN)) in
+///   place.
+///
+/// Both indices wrap freely through 65535 → 0; the in-flight count is
+/// always `avail.wrapping_sub(used)` and must never exceed `size`.
+/// One kick may drain many descriptors; the batch completes with a single
+/// coalesced completion vIRQ on the PL line of the last allocation,
+/// delivered (or buffered, if the owner is descheduled) when the final
+/// descriptor of the drain finishes.
+pub mod ring {
+    /// Magic word a valid ring header must carry ("MNVQ").
+    pub const MAGIC: u32 = 0x4D4E_5651;
+    /// Maximum descriptors per ring (header + 64 × 32 B fits one 4 KB page).
+    pub const MAX_DESCS: u16 = 64;
+
+    /// Header word: magic ([`MAGIC`]).
+    pub const HDR_MAGIC: u64 = 0x00;
+    /// Header word: descriptor count (power of two, 2..=[`MAX_DESCS`]).
+    pub const HDR_SIZE: u64 = 0x04;
+    /// Header word: guest-owned avail index (free-running u16 in a u32).
+    pub const HDR_AVAIL: u64 = 0x08;
+    /// Header word: kernel-owned used index (free-running u16 in a u32).
+    pub const HDR_USED: u64 = 0x0C;
+    /// Header word: VA of the hardware-task data section all descriptors'
+    /// offsets are relative to.
+    pub const HDR_DATA_VA: u64 = 0x10;
+    /// Header word: VA the task interface (PRR register group) is mapped at
+    /// while the ring's descriptors run.
+    pub const HDR_IFACE_VA: u64 = 0x14;
+    /// Header word: interface family (0 = FFT, 1 = QAM, 2 = FIR). Every
+    /// descriptor's task must belong to this family.
+    pub const HDR_FAMILY: u64 = 0x18;
+    /// Header length in bytes (descriptor 0 starts here).
+    pub const HDR_LEN: u64 = 0x20;
+
+    /// Descriptor word: hardware-task id.
+    pub const DESC_TASK: u64 = 0x00;
+    /// Descriptor word: input offset within the data section.
+    pub const DESC_SRC_OFF: u64 = 0x04;
+    /// Descriptor word: input length in bytes.
+    pub const DESC_SRC_LEN: u64 = 0x08;
+    /// Descriptor word: output offset within the data section.
+    pub const DESC_DST_OFF: u64 = 0x0C;
+    /// Descriptor word: output capacity in bytes.
+    pub const DESC_DST_CAP: u64 = 0x10;
+    /// Descriptor word (kernel-written): completion status — low byte a
+    /// `desc_status` code, bits 15:8 an error detail.
+    pub const DESC_STATUS: u64 = 0x14;
+    /// Descriptor word (kernel-written): result length in bytes.
+    pub const DESC_RESULT_LEN: u64 = 0x18;
+    /// Descriptor word (kernel-written): the causal request id minted for
+    /// this descriptor (diagnostics — matches the trace waterfall).
+    pub const DESC_REQ: u64 = 0x1C;
+    /// Descriptor stride in bytes.
+    pub const DESC_LEN: u64 = 0x20;
+
+    /// Byte offset of descriptor `index` in a ring of `size` descriptors.
+    pub fn desc_off(size: u16, index: u16) -> u64 {
+        HDR_LEN + (index & (size - 1)) as u64 * DESC_LEN
+    }
+
+    /// Completion codes written to the low byte of [`DESC_STATUS`].
+    pub mod desc_status {
+        /// Not yet completed (the guest should write this when posting).
+        pub const PENDING: u32 = 0;
+        /// Completed on fabric hardware.
+        pub const OK: u32 = 1;
+        /// Completed bit-identically by the software fallback.
+        pub const OK_DEGRADED: u32 = 2;
+        /// Rejected before dispatch (validation or allocation failure);
+        /// the detail byte carries the would-be hypercall error code.
+        pub const ERR_REJECTED: u32 = 3;
+        /// The device reported an error; the detail byte carries its code.
+        pub const ERR_DEVICE: u32 = 4;
+    }
+}
+
 /// Layout of the reserved consistency structure at the head of every
 /// hardware-task data section (Fig. 5: "we allocate a reserved data
 /// structure to hold the state of a hardware task, the state flag and the
@@ -337,10 +438,12 @@ mod tests {
 
     #[test]
     fn paper_hypercalls_plus_vm_stats() {
-        // The paper's 25 plus the reproduction's read-only VmStats.
-        assert_eq!(HYPERCALL_COUNT, 26);
-        assert_eq!(Hypercall::ALL.len(), 26);
+        // The paper's 25 plus the reproduction's read-only VmStats and the
+        // paravirtual ring kick.
+        assert_eq!(HYPERCALL_COUNT, 27);
+        assert_eq!(Hypercall::ALL.len(), 27);
         assert_eq!(Hypercall::VmStats.nr(), 25);
+        assert_eq!(Hypercall::RingKick.nr(), 26);
         assert_eq!(Hypercall::SdRead.nr(), 24, "the paper set stays 0..=24");
     }
 
@@ -378,5 +481,21 @@ mod tests {
     fn reserved_structure_fits_16_registers() {
         use data_section::*;
         assert_eq!(RESERVED_LEN, SAVED_REGS + 16 * 4);
+    }
+
+    #[test]
+    fn ring_fits_one_page_and_slots_wrap_by_mask() {
+        use ring::*;
+        assert!(HDR_LEN + MAX_DESCS as u64 * DESC_LEN <= crate::PAGE_SIZE);
+        assert_eq!(desc_off(8, 0), HDR_LEN);
+        assert_eq!(
+            desc_off(8, 9),
+            HDR_LEN + DESC_LEN,
+            "slot = index & (size-1)"
+        );
+        // Free-running indices keep addressing valid slots through the
+        // u16 wrap: 65535 is slot size-1, 0 is slot 0 again.
+        assert_eq!(desc_off(64, 65535), HDR_LEN + 63 * DESC_LEN);
+        assert_eq!(desc_off(64, 65535u16.wrapping_add(1)), HDR_LEN);
     }
 }

@@ -284,6 +284,12 @@ pub mod req_stage {
     pub const FAILED: u8 = 50;
     /// The request was released/abandoned before a completion delivered.
     pub const RELEASED: u8 = 51;
+    /// The request was posted as a shared-ring descriptor (`RingKick`
+    /// accepted it into the kernel's queue).
+    pub const RING_POST: u8 = 60;
+    /// The ring engine published the descriptor's completion to the used
+    /// ring (the guest-visible result is in place).
+    pub const RING_DONE: u8 = 61;
 }
 
 /// Exporter-facing name of a [`TraceEvent::ReqStage`] code.
@@ -310,6 +316,8 @@ pub fn req_stage_name(stage: u8) -> &'static str {
         req_stage::RESUME => "resume",
         req_stage::FAILED => "failed",
         req_stage::RELEASED => "released",
+        req_stage::RING_POST => "ring:post",
+        req_stage::RING_DONE => "ring:done",
         _ => "stage:?",
     }
 }

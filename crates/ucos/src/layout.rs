@@ -39,6 +39,14 @@ pub const HWIFACE_BASE: VirtAddr = VirtAddr::new(0x00F0_0000);
 /// Number of interface page slots.
 pub const HWIFACE_SLOTS: u64 = 16;
 
+/// Base of the paravirtual descriptor-ring area (one 4 KB page per
+/// accelerator interface family — FFT, QAM, FIR). A ring page holds the
+/// shared header plus up to 64 descriptors of `mnv_hal::abi::ring`; the
+/// guest posts into it and hands the VA to the kernel via `RingKick`.
+pub const RING_BASE: VirtAddr = VirtAddr::new(0x00E0_0000);
+/// Number of ring pages (one per family).
+pub const RING_PAGES: u64 = 3;
+
 /// The guest-kernel/guest-user split inside the guest window: addresses
 /// below this belong to the guest kernel (DACR-protected from guest user
 /// code per Table II).
@@ -54,6 +62,12 @@ pub fn hwiface_slot(i: u64) -> VirtAddr {
     VirtAddr::new(HWIFACE_BASE.raw() + i * 0x1000)
 }
 
+/// VA of the descriptor-ring page for interface `family` (0..=2).
+pub fn ring_page(family: u8) -> VirtAddr {
+    assert!((family as u64) < RING_PAGES);
+    VirtAddr::new(RING_BASE.raw() + family as u64 * 0x1000)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +79,7 @@ mod tests {
             (KDATA_BASE.raw(), KDATA_LEN),
             (WORK_BASE.raw(), WORK_LEN),
             (HWDATA_BASE.raw(), HWDATA_LEN),
+            (RING_BASE.raw(), RING_PAGES * 0x1000),
             (HWIFACE_BASE.raw(), HWIFACE_SLOTS * 0x1000),
         ];
         for (i, &(b1, l1)) in regions.iter().enumerate() {
@@ -86,5 +101,18 @@ mod tests {
     #[should_panic]
     fn slot_out_of_range_panics() {
         let _ = hwiface_slot(HWIFACE_SLOTS);
+    }
+
+    #[test]
+    fn ring_pages_are_page_aligned() {
+        for f in 0..RING_PAGES as u8 {
+            assert!(ring_page(f).is_page_aligned());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_page_out_of_range_panics() {
+        let _ = ring_page(RING_PAGES as u8);
     }
 }

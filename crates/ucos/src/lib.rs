@@ -19,6 +19,7 @@ pub mod hwtask;
 pub mod kernel;
 pub mod layout;
 pub mod port;
+pub mod ring;
 pub mod sync;
 pub mod task;
 pub mod tasks;
@@ -26,5 +27,6 @@ pub mod tasks;
 pub use env::{GuestEnv, GuestFault, MockEnv};
 pub use hwtask::HwTaskClient;
 pub use kernel::{RunExit, Ucos, UcosConfig};
+pub use ring::{RingClient, RingCompletion, RingError};
 pub use sync::{MboxId, OsServices, SemId};
 pub use task::{GuestTask, TaskAction, TaskCtx};

@@ -4,8 +4,9 @@
 //! package, including additional functions and hypercalls. The size of
 //! patch counts to around 200 lines of code." This module is that patch:
 //! thin wrappers that replace uC/OS-II's sensitive operations with
-//! hypercalls, plus the list of the **17** hypercalls the guest actually
-//! uses (out of Mini-NOVA's 25) — both numbers are asserted in tests.
+//! hypercalls, plus the list of the hypercalls the guest actually uses —
+//! the paper's **17** (out of Mini-NOVA's 25) plus `RingKick` for the
+//! reproduction's batched ring driver; both numbers are asserted in tests.
 
 use mnv_hal::abi::{HcError, HwTaskState, HwTaskStatus, Hypercall, HypercallArgs};
 use mnv_hal::{HwTaskId, VirtAddr};
@@ -13,7 +14,7 @@ use mnv_hal::{HwTaskId, VirtAddr};
 use crate::env::GuestEnv;
 
 /// The subset of Mini-NOVA's hypercalls the uC/OS-II port uses.
-pub const HYPERCALLS_USED: [Hypercall; 17] = [
+pub const HYPERCALLS_USED: [Hypercall; 18] = [
     Hypercall::Yield,
     Hypercall::VmInfo,
     Hypercall::CacheFlushAll,
@@ -30,6 +31,7 @@ pub const HYPERCALLS_USED: [Hypercall; 17] = [
     Hypercall::HwTaskRelease,
     Hypercall::HwTaskQuery,
     Hypercall::PcapPoll,
+    Hypercall::RingKick,
     Hypercall::ConsoleWrite,
 ];
 
@@ -121,6 +123,15 @@ pub fn pcap_poll(env: &mut dyn GuestEnv) -> bool {
         .unwrap_or(false)
 }
 
+/// Hand a descriptor ring's newly-posted entries to the Hardware Task
+/// Manager (`ring_va` is the page holding the `mnv_hal::abi::ring` header).
+/// One kick submits everything between the kernel's last-seen avail index
+/// and the header's current one; returns the number of descriptors the
+/// kernel accepted this call.
+pub fn ring_kick(env: &mut dyn GuestEnv, ring_va: VirtAddr) -> Result<u32, HcError> {
+    env.hypercall(HypercallArgs::new(Hypercall::RingKick).a0(ring_va.raw() as u32))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,11 +139,13 @@ mod tests {
     use std::collections::HashSet;
 
     #[test]
-    fn exactly_17_hypercalls_used() {
-        // The paper's §V-A: 17 dedicated hypercalls for the guest uCOS-II.
-        assert_eq!(HYPERCALLS_USED.len(), 17);
+    fn paper_17_hypercalls_plus_ring_kick() {
+        // The paper's §V-A: 17 dedicated hypercalls for the guest uCOS-II;
+        // the reproduction's ring driver adds RingKick on top.
+        assert_eq!(HYPERCALLS_USED.len(), 18);
         let set: HashSet<_> = HYPERCALLS_USED.iter().collect();
-        assert_eq!(set.len(), 17, "no duplicates");
+        assert_eq!(set.len(), 18, "no duplicates");
+        assert!(HYPERCALLS_USED.contains(&Hypercall::RingKick));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! memory traffic, so running more VMs really does pollute the simulated
 //! caches — the causal mechanism behind the paper's Table III trends.
 
-use mnv_hal::abi::HwTaskStatus;
+use mnv_hal::abi::{ring as ringabi, HcError, HwTaskStatus};
 use mnv_hal::{HwTaskId, VirtAddr};
 use mnv_workloads::adpcm::{adpcm_encode, AdpcmState};
 use mnv_workloads::gsm::{GsmEncoder, GSM_FRAME_BYTES, GSM_FRAME_SAMPLES};
@@ -20,6 +20,7 @@ use mnv_workloads::signal::{Lcg, Signal};
 
 use crate::hwtask::{HwClientError, HwTaskClient};
 use crate::layout;
+use crate::ring::RingClient;
 use crate::task::{GuestTask, TaskAction, TaskCtx};
 
 /// Modelled cost of encoding one GSM frame on the A9 (≈90 µs at 660 MHz —
@@ -374,6 +375,376 @@ impl GuestTask for THwTask {
     }
 }
 
+/// Submission mode of [`HwBatchTask`]: the classic one-hypercall-per-task
+/// path, or the shared-ring batched path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchMode {
+    /// One `HwTaskRequest` (plus `PcapPoll`s) per hardware task.
+    PerCall,
+    /// Post a whole batch of descriptors, then one `RingKick`.
+    Ring,
+}
+
+/// Statistics gathered by [`HwBatchTask`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HwBatchStats {
+    /// Completed batch rounds.
+    pub rounds: u64,
+    /// Hardware tasks submitted (both modes count per descriptor/request).
+    pub submitted: u64,
+    /// Successful completions harvested.
+    pub completions: u64,
+    /// Completions served by the software fallback.
+    pub degraded: u64,
+    /// Rejections, device errors, faults.
+    pub errors: u64,
+    /// `RingKick` hypercalls issued.
+    pub kicks: u64,
+    /// Times the task fell back from ring to per-call mode.
+    pub fallbacks: u64,
+    /// Running FNV-1a digest over every harvested result (length + bytes,
+    /// in posting order) — the lockstep fingerprint both modes must agree
+    /// on for identical seeds.
+    pub checksum: u32,
+}
+
+/// Input bytes per batch item. Sized so the worst expanding core still
+/// fits a slot: QAM at 2 bits/symbol emits `input * 32` bytes, so 0x100
+/// bytes in means at most 0x2000 out.
+pub const BATCH_SRC_LEN: u32 = 0x100;
+/// Result capacity per batch item: eight slots exactly tile the upper
+/// half of the 128 KiB data section.
+pub const BATCH_DST_CAP: u32 = 0x2000;
+/// Guest VA where a batch task publishes its lockstep checkpoint: the
+/// running checksum at +0 and the completion count at +4 (top of the
+/// workload-buffer region: `WORK_BASE + WORK_LEN - 0x40`).
+pub const BATCH_CHECK_VA: VirtAddr = VirtAddr::new(0x003F_FFC0);
+
+/// Fold bytes into an FNV-1a digest (seed with [`fnv_init`]).
+pub fn fnv_fold(mut h: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(16_777_619);
+    }
+    h
+}
+
+/// FNV-1a offset basis.
+pub fn fnv_init() -> u32 {
+    0x811C_9DC5
+}
+
+enum BatchPhase {
+    /// Start a round: stage inputs and (ring mode) post + kick the batch.
+    Start,
+    /// Ring mode: wait for the kernel to drain the batch.
+    RingWait,
+    /// Per-call mode: request item `slot`.
+    PcRequest(u16),
+    /// Per-call mode: wait out item `slot`'s reconfiguration.
+    PcWaitCfg(u16, HwTaskClient),
+    /// Per-call mode: program and start item `slot`.
+    PcRun(u16, HwTaskClient),
+    /// Per-call mode: poll item `slot` to completion.
+    PcWaitDone(u16, HwTaskClient),
+}
+
+/// A deterministic batch submitter: every round runs the same `batch`-item
+/// op stream (tasks rotated from `set`, inputs derived from the seed and
+/// round number) and folds every result into a running checksum, so a
+/// per-call instance and a ring instance with the same seed must publish
+/// **bit-identical** checkpoints — the lockstep property the fig. 9 `--ring`
+/// comparison asserts. Ring mode degrades permanently to per-call when the
+/// kick is refused (kernel built without the `ring` feature).
+pub struct HwBatchTask {
+    set: Vec<HwTaskId>,
+    family: u8,
+    /// Active submission mode (observable: flips on fallback).
+    pub mode: BatchMode,
+    batch: u16,
+    seed: u64,
+    round: u64,
+    ring: Option<RingClient>,
+    /// Free-running ring index of this round's first descriptor.
+    round_base: u16,
+    phase: BatchPhase,
+    /// Observable statistics.
+    pub stats: HwBatchStats,
+}
+
+impl HwBatchTask {
+    /// Build a batch task over `set` (all tasks must belong to `family` —
+    /// the ring is per interface family). `batch` is clamped to 1..=8.
+    pub fn new(set: Vec<HwTaskId>, family: u8, mode: BatchMode, batch: u16, seed: u64) -> Self {
+        HwBatchTask {
+            set,
+            family,
+            mode,
+            batch: batch.clamp(1, 8),
+            seed,
+            round: 0,
+            ring: None,
+            round_base: 0,
+            phase: BatchPhase::Start,
+            stats: HwBatchStats {
+                checksum: fnv_init(),
+                ..Default::default()
+            },
+        }
+    }
+
+    fn src_off(slot: u16) -> u32 {
+        THW_SRC_OFF + slot as u32 * BATCH_SRC_LEN
+    }
+
+    fn dst_off(slot: u16) -> u32 {
+        THW_DST_OFF + slot as u32 * BATCH_DST_CAP
+    }
+
+    /// The item's task id: rotates deterministically through the set so
+    /// consecutive descriptors often share a core — the pattern DPR
+    /// batching exploits.
+    fn item_task(&self, slot: u16) -> HwTaskId {
+        let i = self.round as usize * self.batch as usize + slot as usize;
+        self.set[i % self.set.len()]
+    }
+
+    /// The item's input bytes: a pure function of (seed, round, slot).
+    fn item_input(&self, slot: u16) -> Vec<u8> {
+        let mut rng = Lcg::new(
+            self.seed
+                ^ (self
+                    .round
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(slot as u64 + 1)),
+        );
+        let mut buf = vec![0u8; BATCH_SRC_LEN as usize];
+        rng.fill_bytes(&mut buf);
+        buf
+    }
+
+    /// Fold one completed item into the running checksum.
+    fn harvest_slot(&mut self, env: &mut dyn crate::env::GuestEnv, slot: u16, result_len: u32) {
+        let n = result_len.min(BATCH_DST_CAP) as usize;
+        let mut buf = vec![0u8; n];
+        let _ = env.read_block(layout::HWDATA_BASE + Self::dst_off(slot) as u64, &mut buf);
+        self.stats.checksum = fnv_fold(self.stats.checksum, &result_len.to_le_bytes());
+        self.stats.checksum = fnv_fold(self.stats.checksum, &buf);
+        self.stats.completions += 1;
+    }
+
+    /// Fold a failed item so a real failure shows up in the fingerprint.
+    fn harvest_error(&mut self, code: u32) {
+        self.stats.checksum = fnv_fold(self.stats.checksum, &code.to_le_bytes());
+        self.stats.errors += 1;
+    }
+
+    /// Publish the lockstep checkpoint and arm the next round.
+    fn finalize(&mut self, env: &mut dyn crate::env::GuestEnv) -> TaskAction {
+        self.stats.rounds += 1;
+        self.stats.submitted += self.batch as u64;
+        let _ = env.write_u32(BATCH_CHECK_VA, self.stats.checksum);
+        let _ = env.write_u32(BATCH_CHECK_VA + 4, self.stats.completions as u32);
+        self.round += 1;
+        self.phase = BatchPhase::Start;
+        TaskAction::Delay(1)
+    }
+
+    /// Abandon the ring and redo the current round per-call.
+    fn fall_back(&mut self) -> TaskAction {
+        self.ring = None;
+        self.mode = BatchMode::PerCall;
+        self.stats.fallbacks += 1;
+        self.phase = BatchPhase::PcRequest(0);
+        TaskAction::Continue
+    }
+}
+
+impl GuestTask for HwBatchTask {
+    fn name(&self) -> &'static str {
+        "hw-batch"
+    }
+
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskAction {
+        match std::mem::replace(&mut self.phase, BatchPhase::Start) {
+            BatchPhase::Start => match self.mode {
+                BatchMode::Ring => {
+                    if self.ring.is_none() {
+                        match RingClient::init(
+                            ctx.env,
+                            self.family,
+                            layout::ring_page(self.family),
+                            8,
+                            layout::HWDATA_BASE,
+                            layout::hwiface_slot(1),
+                        ) {
+                            Ok(r) => self.ring = Some(r),
+                            Err(_) => return self.fall_back(),
+                        }
+                    }
+                    for s in 0..self.batch {
+                        let input = self.item_input(s);
+                        let _ = ctx
+                            .env
+                            .write_block(layout::HWDATA_BASE + Self::src_off(s) as u64, &input);
+                        let task = self.item_task(s);
+                        let ring = self.ring.as_mut().expect("ring initialised");
+                        let posted = ring.post(
+                            ctx.env,
+                            task,
+                            Self::src_off(s),
+                            BATCH_SRC_LEN,
+                            Self::dst_off(s),
+                            BATCH_DST_CAP,
+                        );
+                        if s == 0 {
+                            match posted {
+                                Ok(idx) => self.round_base = idx,
+                                Err(_) => return self.fall_back(),
+                            }
+                        } else if posted.is_err() {
+                            self.harvest_error(u32::MAX);
+                        }
+                    }
+                    self.stats.kicks += 1;
+                    match self.ring.as_ref().expect("ring initialised").kick(ctx.env) {
+                        Ok(_) => {
+                            self.phase = BatchPhase::RingWait;
+                            TaskAction::Continue
+                        }
+                        Err(_) => self.fall_back(),
+                    }
+                }
+                BatchMode::PerCall => {
+                    self.phase = BatchPhase::PcRequest(0);
+                    TaskAction::Continue
+                }
+            },
+            BatchPhase::RingWait => {
+                let done = match self
+                    .ring
+                    .as_mut()
+                    .expect("ring initialised")
+                    .harvest(ctx.env)
+                {
+                    Ok(d) => d,
+                    Err(_) => return self.fall_back(),
+                };
+                for c in done {
+                    let slot = c.idx.wrapping_sub(self.round_base);
+                    if c.ok() {
+                        if c.code == ringabi::desc_status::OK_DEGRADED {
+                            self.stats.degraded += 1;
+                        }
+                        self.harvest_slot(ctx.env, slot, c.result_len);
+                    } else {
+                        self.harvest_error(c.code << 8 | c.detail as u32);
+                    }
+                }
+                if self.ring.as_ref().expect("ring initialised").in_flight() == 0 {
+                    self.finalize(ctx.env)
+                } else {
+                    ctx.env.compute(500);
+                    self.phase = BatchPhase::RingWait;
+                    TaskAction::Continue
+                }
+            }
+            BatchPhase::PcRequest(slot) => {
+                if slot >= self.batch {
+                    return self.finalize(ctx.env);
+                }
+                let task = self.item_task(slot);
+                match HwTaskClient::request(
+                    ctx.env,
+                    task,
+                    layout::hwiface_slot(1),
+                    layout::HWDATA_BASE,
+                ) {
+                    Ok((client, HwTaskStatus::Success)) => {
+                        self.phase = BatchPhase::PcRun(slot, client);
+                        TaskAction::Continue
+                    }
+                    Ok((client, HwTaskStatus::Reconfiguring)) => {
+                        self.phase = BatchPhase::PcWaitCfg(slot, client);
+                        TaskAction::Continue
+                    }
+                    Err(HwClientError::Request(HcError::Busy)) => {
+                        // Same item again next tick — order is preserved.
+                        self.phase = BatchPhase::PcRequest(slot);
+                        TaskAction::Delay(1)
+                    }
+                    Err(_) => {
+                        self.harvest_error(u32::MAX - 1);
+                        self.phase = BatchPhase::PcRequest(slot + 1);
+                        TaskAction::Continue
+                    }
+                }
+            }
+            BatchPhase::PcWaitCfg(slot, client) => {
+                if crate::port::pcap_poll(ctx.env) {
+                    self.phase = BatchPhase::PcRun(slot, client);
+                } else {
+                    ctx.env.compute(500);
+                    self.phase = BatchPhase::PcWaitCfg(slot, client);
+                }
+                TaskAction::Continue
+            }
+            BatchPhase::PcRun(slot, client) => {
+                let input = self.item_input(slot);
+                let run = (|| -> Result<(), HwClientError> {
+                    client.write_input(ctx.env, Self::src_off(slot), &input)?;
+                    client.configure(
+                        ctx.env,
+                        Self::src_off(slot),
+                        BATCH_SRC_LEN,
+                        Self::dst_off(slot),
+                        BATCH_DST_CAP,
+                    )?;
+                    client.start(ctx.env, true)?;
+                    Ok(())
+                })();
+                match run {
+                    Ok(()) => {
+                        self.phase = BatchPhase::PcWaitDone(slot, client);
+                        TaskAction::Continue
+                    }
+                    Err(_) => {
+                        self.harvest_error(u32::MAX - 1);
+                        self.phase = BatchPhase::PcRequest(slot + 1);
+                        TaskAction::Continue
+                    }
+                }
+            }
+            BatchPhase::PcWaitDone(slot, client) => match client.status(ctx.env) {
+                Ok(mnv_fpga::prr::status::DONE) => {
+                    let len = client.wait_done(ctx.env, 1).unwrap_or(0);
+                    if client.degraded {
+                        self.stats.degraded += 1;
+                    }
+                    self.harvest_slot(ctx.env, slot, len);
+                    self.phase = BatchPhase::PcRequest(slot + 1);
+                    TaskAction::Continue
+                }
+                Ok(mnv_fpga::prr::status::ERROR) => {
+                    self.harvest_error(u32::MAX - 2);
+                    self.phase = BatchPhase::PcRequest(slot + 1);
+                    TaskAction::Continue
+                }
+                Ok(_) => {
+                    ctx.env.compute(1_000);
+                    self.phase = BatchPhase::PcWaitDone(slot, client);
+                    TaskAction::Continue
+                }
+                Err(_) => {
+                    self.harvest_error(u32::MAX - 1);
+                    self.phase = BatchPhase::PcRequest(slot + 1);
+                    TaskAction::Continue
+                }
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +869,142 @@ mod tests {
         };
         t.step(&mut ctx); // Run fails at configure
         assert_eq!(t.stats.reclaims_seen, 1);
+    }
+
+    /// Mark `n` ring descriptors complete (64-byte results) and publish the
+    /// used index, playing the kernel's role against the mock.
+    fn mock_ring_complete(env: &mut MockEnv, n: u16) {
+        let base = layout::ring_page(0);
+        for i in 0..n {
+            let d = base + mnv_hal::abi::ring::desc_off(8, i);
+            env.write_u32(d + mnv_hal::abi::ring::DESC_STATUS, 1)
+                .unwrap(); // OK
+            env.write_u32(d + mnv_hal::abi::ring::DESC_RESULT_LEN, 64)
+                .unwrap();
+        }
+        env.write_u32(base + mnv_hal::abi::ring::HDR_USED, n as u32)
+            .unwrap();
+    }
+
+    #[test]
+    fn batch_ring_round_is_one_hypercall() {
+        let (mut env, mut svc) = ctx_parts();
+        env.respond(Hypercall::RingKick, Ok(4));
+        let mut t = HwBatchTask::new(vec![HwTaskId(0), HwTaskId(1)], 0, BatchMode::Ring, 4, 42);
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        t.step(&mut ctx); // Start: init + 4 posts + 1 kick
+        mock_ring_complete(&mut env, 4);
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        let act = t.step(&mut ctx); // RingWait: harvest all, finalize
+        assert!(matches!(act, TaskAction::Delay(_)));
+        assert_eq!(t.stats.rounds, 1);
+        assert_eq!(t.stats.completions, 4);
+        assert_eq!(t.stats.kicks, 1);
+        let hw_calls = env
+            .calls
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.nr,
+                    Hypercall::HwTaskRequest | Hypercall::PcapPoll | Hypercall::RingKick
+                )
+            })
+            .count();
+        assert_eq!(hw_calls, 1, "the whole batch cost one hypercall");
+        // The lockstep checkpoint is published.
+        assert_eq!(env.read_u32(BATCH_CHECK_VA + 4).unwrap(), 4);
+        assert_eq!(env.read_u32(BATCH_CHECK_VA).unwrap(), t.stats.checksum);
+    }
+
+    #[test]
+    fn batch_falls_back_to_per_call_when_kick_refused() {
+        let (mut env, mut svc) = ctx_parts();
+        env.respond(
+            Hypercall::RingKick,
+            Err(mnv_hal::abi::HcError::BadCall), // kernel built without rings
+        );
+        env.respond(Hypercall::HwTaskRequest, Ok(0));
+        let mut t = HwBatchTask::new(vec![HwTaskId(0)], 0, BatchMode::Ring, 2, 7);
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        t.step(&mut ctx); // Start: kick refused -> fall back
+        assert_eq!(t.mode, BatchMode::PerCall);
+        assert_eq!(t.stats.fallbacks, 1);
+        let mut ctx = TaskCtx {
+            env: &mut env,
+            svc: &mut svc,
+        };
+        t.step(&mut ctx); // PcRequest(0) issues a per-call request
+        assert!(env.calls.iter().any(|c| c.nr == Hypercall::HwTaskRequest));
+    }
+
+    #[test]
+    fn batch_modes_agree_on_the_checksum() {
+        // Same seed, same (mocked) results: per-call and ring instances
+        // must publish identical fingerprints.
+        let run_ring = || {
+            let (mut env, mut svc) = ctx_parts();
+            env.respond(Hypercall::RingKick, Ok(2));
+            let mut t = HwBatchTask::new(vec![HwTaskId(0), HwTaskId(1)], 0, BatchMode::Ring, 2, 9);
+            let mut ctx = TaskCtx {
+                env: &mut env,
+                svc: &mut svc,
+            };
+            t.step(&mut ctx);
+            mock_ring_complete(&mut env, 2);
+            let mut ctx = TaskCtx {
+                env: &mut env,
+                svc: &mut svc,
+            };
+            t.step(&mut ctx);
+            assert_eq!(t.stats.rounds, 1);
+            t.stats.checksum
+        };
+        let run_percall = || {
+            let (mut env, mut svc) = ctx_parts();
+            env.respond(Hypercall::HwTaskRequest, Ok(0));
+            // Device "completes" instantly with the same 64-byte result.
+            env.write_u32(
+                layout::hwiface_slot(1) + 4 * mnv_fpga::prr::regs::STATUS as u64,
+                mnv_fpga::prr::status::DONE,
+            )
+            .unwrap();
+            env.write_u32(
+                layout::hwiface_slot(1) + 4 * mnv_fpga::prr::regs::RESULT_LEN as u64,
+                64,
+            )
+            .unwrap();
+            let mut t =
+                HwBatchTask::new(vec![HwTaskId(0), HwTaskId(1)], 0, BatchMode::PerCall, 2, 9);
+            for _ in 0..32 {
+                if t.stats.rounds == 1 {
+                    break;
+                }
+                let mut ctx = TaskCtx {
+                    env: &mut env,
+                    svc: &mut svc,
+                };
+                t.step(&mut ctx);
+                // The client pre-writes BUSY on start; restore DONE so the
+                // next poll sees a finished device.
+                env.write_u32(
+                    layout::hwiface_slot(1) + 4 * mnv_fpga::prr::regs::STATUS as u64,
+                    mnv_fpga::prr::status::DONE,
+                )
+                .unwrap();
+            }
+            assert_eq!(t.stats.rounds, 1);
+            t.stats.checksum
+        };
+        assert_eq!(run_ring(), run_percall());
     }
 
     #[test]
